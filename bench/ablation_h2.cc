@@ -1,0 +1,213 @@
+// Ablations of H2Cloud's design choices (DESIGN.md experiment index):
+//
+//   1. Asynchronous vs synchronous NameRing maintenance (§3.3.1's
+//      strawman): what deferring merges buys on the foreground path.
+//   2. Namespace caching: the paper's H2 resolves level-by-level (O(d));
+//      a (parent, name)->namespace cache makes deep access flat, which is
+//      the behaviour the paper attributes to Dynamic Partition.
+//   3. Detailed-LIST batch width: the proxy's parallel lanes for
+//      per-child metadata fetches, the knob behind "LIST 1000 = 0.35 s".
+//   4. Tombstone GC age: eager (paper) vs aged compaction -- amortized
+//      LIST cost after heavy churn.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace h2::bench {
+namespace {
+
+std::unique_ptr<internal::H2Holder> MakeH2(H2Config cfg) {
+  return std::make_unique<internal::H2Holder>(cfg);
+}
+
+void AblationSyncMaintenance() {
+  SweepTable table("Ablation 1: async vs synchronous maintenance",
+                   "op_index", "ms");
+  table.SetSweep({0, 1, 2});
+  std::puts("x axis: 0=MKDIR 1=WRITE(new file) 2=MOVE dir(n=100)");
+  for (bool synchronous : {false, true}) {
+    H2Config cfg;
+    cfg.synchronous_maintenance = synchronous;
+    auto holder = MakeH2(cfg);
+    FileSystem& fs = holder->fs();
+    BENCH_CHECK(fs.Mkdir("/dir"));
+    BENCH_CHECK(AddFiles(fs, "/dir", 0, 100));
+    BENCH_CHECK(fs.Mkdir("/dst"));
+    holder->Quiesce();
+
+    Series series{synchronous ? "synchronous" : "async(paper)", {}};
+    series.values.push_back(MeasureMs(fs, 5, [&](std::size_t i) {
+      BENCH_CHECK(fs.Mkdir("/m" + std::to_string(i) +
+                           (synchronous ? "s" : "a")));
+    }));
+    series.values.push_back(MeasureMs(fs, 5, [&](std::size_t i) {
+      BENCH_CHECK(fs.WriteFile("/w" + std::to_string(i) +
+                                   (synchronous ? "s" : "a"),
+                               FileBlob::FromString("x")));
+    }));
+    BENCH_CHECK(fs.Move("/dir", "/dst/moved"));
+    series.values.push_back(fs.last_op().elapsed_ms());
+    table.AddSeries(std::move(series));
+  }
+  table.Print();
+}
+
+void AblationNamespaceCache() {
+  SweepTable table("Ablation 2: namespace cache and access depth", "depth",
+                   "ms");
+  std::vector<double> xs;
+  for (std::size_t d = 1; d <= 16; d *= 2) {
+    xs.push_back(static_cast<double>(d));
+  }
+  table.SetSweep(xs);
+  for (bool cache : {false, true}) {
+    H2Config cfg;
+    cfg.namespace_cache = cache;
+    auto holder = MakeH2(cfg);
+    FileSystem& fs = holder->fs();
+    std::string dir;
+    for (std::size_t d = 1; d < 16; ++d) {
+      dir += "/d" + std::to_string(d);
+      BENCH_CHECK(fs.Mkdir(dir));
+    }
+    BENCH_CHECK(fs.WriteFile(dir + "/leaf", FileBlob::FromString("x")));
+    holder->Quiesce();
+
+    Series series{cache ? "cache_on" : "cache_off(paper)", {}};
+    for (std::size_t d = 1; d <= 16; d *= 2) {
+      std::string path;
+      for (std::size_t i = 1; i < d; ++i) path += "/d" + std::to_string(i);
+      path += d == 16 ? "/leaf" : "/d" + std::to_string(d);
+      series.values.push_back(MeasureMs(fs, 5, [&](std::size_t) {
+        BENCH_CHECK(fs.Stat(path).status());
+      }));
+    }
+    table.AddSeries(std::move(series));
+  }
+  table.Print();
+  std::puts(
+      "With the cache on, deep access flattens toward O(1) -- the same\n"
+      "effect the paper observes for Dropbox's Dynamic Partition (Fig. 13).");
+}
+
+void AblationBatchWidth() {
+  SweepTable table("Ablation 3: detailed-LIST batch width (m=1000)",
+                   "width", "ms");
+  std::vector<double> xs;
+  for (std::uint64_t w : {1, 4, 16, 32, 64, 128}) {
+    xs.push_back(static_cast<double>(w));
+  }
+  table.SetSweep(xs);
+  Series series{"H2Cloud", {}};
+  for (std::uint64_t width : {1, 4, 16, 32, 64, 128}) {
+    H2Config cfg;
+    cfg.list_batch_width = width;
+    auto holder = MakeH2(cfg);
+    FileSystem& fs = holder->fs();
+    BENCH_CHECK(fs.Mkdir("/dir"));
+    BENCH_CHECK(AddFiles(fs, "/dir", 0, 1000));
+    holder->Quiesce();
+    BENCH_CHECK(fs.List("/dir", ListDetail::kDetailed).status());
+    series.values.push_back(fs.last_op().elapsed_ms());
+  }
+  table.AddSeries(std::move(series));
+  table.Print();
+  std::puts(
+      "The paper's 0.35 s LIST-1000 implies ~32 parallel lanes at ~10 ms\n"
+      "per child HEAD; width 1 degrades to ~10 s.");
+}
+
+void AblationTombstoneGc() {
+  SweepTable table(
+      "Ablation 4: tombstone GC age -- LIST cost after churn", "config",
+      "ms");
+  table.SetSweep({0, 1, 2});
+  std::puts(
+      "x axis: 0=gc_age 0 (paper, eager) 1=gc_age 2s (default) "
+      "2=compaction off");
+  Series ring_size{"ring_tuples_after", {}};
+  Series list_ms{"list_ms", {}};
+  struct Option {
+    bool compact;
+    VirtualNanos age;
+  };
+  for (const Option& opt : {Option{true, 0}, Option{true, 2 * kSecond},
+                            Option{false, 0}}) {
+    H2Config cfg;
+    cfg.compact_on_use = opt.compact;
+    cfg.tombstone_gc_age = opt.age;
+    auto holder = MakeH2(cfg);
+    FileSystem& fs = holder->fs();
+    BENCH_CHECK(fs.Mkdir("/dir"));
+    // Churn: create and delete 500 files, keep 100.
+    BENCH_CHECK(AddFiles(fs, "/dir", 0, 600));
+    for (int i = 100; i < 600; ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "/dir/f%06d", i);
+      BENCH_CHECK(fs.RemoveFile(buf));
+    }
+    holder->Quiesce();
+    list_ms.values.push_back(MeasureMs(fs, 3, [&](std::size_t) {
+      BENCH_CHECK(fs.List("/dir", ListDetail::kDetailed).status());
+    }));
+    // Ring size after use-time compaction policy applied.
+    auto names = fs.List("/dir", ListDetail::kNamesOnly);
+    BENCH_CHECK(names.status());
+    ring_size.values.push_back(static_cast<double>(names->size()));
+  }
+  table.AddSeries(std::move(list_ms));
+  table.AddSeries(std::move(ring_size));
+  table.Print();
+}
+
+void AblationBatchIngest() {
+  SweepTable table("Ablation 5: bulk ingest (one patch per directory)",
+                   "files", "seconds");
+  std::vector<double> xs = {100, 400, 1600};
+  table.SetSweep(xs);
+  Series single{"per-file patches", {}};
+  Series batched{"batched patches", {}};
+  for (double n : xs) {
+    {
+      auto holder = MakeH2({});
+      FileSystem& fs = holder->fs();
+      BENCH_CHECK(fs.Mkdir("/dir"));
+      double total = 0;
+      for (int i = 0; i < static_cast<int>(n); ++i) {
+        BENCH_CHECK(fs.WriteFile("/dir/f" + std::to_string(i),
+                                 FileBlob::FromString("x")));
+        total += fs.last_op().elapsed_ms();
+      }
+      single.values.push_back(total / 1000.0);
+    }
+    {
+      auto holder = MakeH2({});
+      auto* account = static_cast<H2AccountFs*>(&holder->fs());
+      BENCH_CHECK(account->Mkdir("/dir"));
+      std::vector<std::pair<std::string, FileBlob>> files;
+      for (int i = 0; i < static_cast<int>(n); ++i) {
+        files.emplace_back("/dir/f" + std::to_string(i),
+                           FileBlob::FromString("x"));
+      }
+      BENCH_CHECK(account->WriteFiles(std::move(files)));
+      batched.values.push_back(account->last_op().elapsed_ms() / 1000.0);
+    }
+  }
+  table.AddSeries(std::move(single));
+  table.AddSeries(std::move(batched));
+  table.Print();
+  std::puts(
+      "Batching folds n durable patch commits into one per directory --\n"
+      "the fast path a sync client uses when uploading a whole folder.");
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main() {
+  h2::bench::AblationSyncMaintenance();
+  h2::bench::AblationNamespaceCache();
+  h2::bench::AblationBatchWidth();
+  h2::bench::AblationTombstoneGc();
+  h2::bench::AblationBatchIngest();
+}

@@ -1,0 +1,47 @@
+// Small helpers shared by the figure benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bench/systems.h"
+#include "fs/path.h"
+#include "metrics/stats.h"
+
+namespace h2::bench {
+
+/// Writes files f<from>..f<to-1> (1 KiB each) into `dir`.
+inline Status AddFiles(FileSystem& fs, const std::string& dir,
+                       std::size_t from, std::size_t to,
+                       std::uint64_t file_size = 1024) {
+  char buf[64];
+  for (std::size_t i = from; i < to; ++i) {
+    std::snprintf(buf, sizeof(buf), "f%06zu", i);
+    const std::string path = JoinPath(dir, buf);
+    H2_RETURN_IF_ERROR(
+        fs.WriteFile(path, FileBlob::Synthetic("sample", file_size)));
+  }
+  return Status::Ok();
+}
+
+/// Runs `op` `reps` times and returns the mean operation time in ms.
+template <typename Op>
+double MeasureMs(FileSystem& fs, std::size_t reps, Op&& op) {
+  Summary summary;
+  for (std::size_t i = 0; i < reps; ++i) {
+    op(i);
+    summary.Add(fs.last_op().elapsed_ms());
+  }
+  return summary.mean();
+}
+
+inline void Die(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+#define BENCH_CHECK(expr) ::h2::bench::Die((expr), #expr)
+
+}  // namespace h2::bench

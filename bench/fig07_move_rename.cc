@@ -1,0 +1,63 @@
+// Figure 7: operation time of MOVE and RENAME as the number of files in
+// the directory (n) grows from 10 to 100,000.
+//
+// Paper result: OpenStack Swift grows linearly with n (every file's
+// placement key changes), while H2Cloud and Dropbox stay flat (a MOVE is
+// a parent-record rewrite + two NameRing patches / an index dentry swap).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace h2::bench {
+namespace {
+
+void Run() {
+  const auto sweep = GeometricSweep(100'000);
+  SweepTable move_table("Figure 7 (MOVE): operation time vs n", "n_files",
+                        "ms");
+  SweepTable rename_table("Figure 7 (RENAME): operation time vs n",
+                          "n_files", "ms");
+  std::vector<double> xs(sweep.begin(), sweep.end());
+  move_table.SetSweep(xs);
+  rename_table.SetSweep(xs);
+
+  for (SystemKind kind : PaperTrio()) {
+    auto holder = MakeSystem(kind);
+    FileSystem& fs = holder->fs();
+    BENCH_CHECK(fs.Mkdir("/dst"));
+    BENCH_CHECK(fs.Mkdir("/work"));
+
+    Series move_series{KindName(kind), {}};
+    Series rename_series{KindName(kind), {}};
+    std::size_t populated = 0;
+    for (std::size_t n : sweep) {
+      BENCH_CHECK(AddFiles(fs, "/work", populated, n));
+      populated = n;
+      holder->Quiesce();
+
+      // MOVE the n-file directory under a different parent, then restore.
+      BENCH_CHECK(fs.Move("/work", "/dst/moved"));
+      move_series.values.push_back(fs.last_op().elapsed_ms());
+      BENCH_CHECK(fs.Move("/dst/moved", "/work"));
+
+      // RENAME is a MOVE within the parent (§5.3).
+      BENCH_CHECK(fs.Rename("/work", "work2"));
+      rename_series.values.push_back(fs.last_op().elapsed_ms());
+      BENCH_CHECK(fs.Rename("/work2", "work"));
+      holder->Quiesce();
+    }
+    move_table.AddSeries(std::move(move_series));
+    rename_table.AddSeries(std::move(rename_series));
+  }
+
+  move_table.Print();
+  rename_table.Print();
+  std::puts(
+      "Expected shape (paper): Swift grows ~linearly in n; H2Cloud and\n"
+      "Dropbox are flat (O(1) directory moves).");
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main() { h2::bench::Run(); }

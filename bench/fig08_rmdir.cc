@@ -1,0 +1,40 @@
+// Figure 8: operation time of RMDIR vs the number of files in the
+// directory (n).  Same shape as Fig. 7: Swift deletes every member object
+// (O(n)); H2Cloud tombstones the parent entry and reclaims lazily (O(1));
+// Dropbox/DP detaches the subtree at the index (O(1)).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace h2::bench {
+namespace {
+
+void Run() {
+  const auto sweep = GeometricSweep(100'000);
+  SweepTable table("Figure 8 (RMDIR): operation time vs n", "n_files", "ms");
+  table.SetSweep({sweep.begin(), sweep.end()});
+
+  for (SystemKind kind : PaperTrio()) {
+    auto holder = MakeSystem(kind);
+    FileSystem& fs = holder->fs();
+    Series series{KindName(kind), {}};
+    for (std::size_t n : sweep) {
+      BENCH_CHECK(fs.Mkdir("/doomed"));
+      BENCH_CHECK(AddFiles(fs, "/doomed", 0, n));
+      holder->Quiesce();
+      BENCH_CHECK(fs.Rmdir("/doomed"));
+      series.values.push_back(fs.last_op().elapsed_ms());
+      holder->Quiesce();  // lazy reclamation runs off the measured path
+    }
+    table.AddSeries(std::move(series));
+  }
+  table.Print();
+  std::puts(
+      "Expected shape (paper): Swift ~linear in n; H2Cloud and Dropbox "
+      "flat.");
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main() { h2::bench::Run(); }

@@ -1,0 +1,49 @@
+// Figure 12: operation time of MKDIR vs the size of the containing
+// directory (n).
+//
+// Paper result: constant for every system (the new directory is empty).
+// Swift is fastest (~tens of ms: a marker PUT + DB insert); H2Cloud and
+// Dropbox take 150-200 ms -- H2 pays the durable NameRing patch
+// submission, Dropbox its service stack -- which the paper deems
+// acceptable because RTT dominates user experience for this operation.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace h2::bench {
+namespace {
+
+void Run() {
+  const auto sweep = GeometricSweep(10'000);
+  SweepTable table("Figure 12 (MKDIR): operation time vs n", "n_files",
+                   "ms");
+  table.SetSweep({sweep.begin(), sweep.end()});
+
+  for (SystemKind kind : PaperTrio()) {
+    auto holder = MakeSystem(kind);
+    FileSystem& fs = holder->fs();
+    BENCH_CHECK(fs.Mkdir("/parent"));
+
+    Series series{KindName(kind), {}};
+    std::size_t populated = 0;
+    std::size_t dir_id = 0;
+    for (std::size_t n : sweep) {
+      BENCH_CHECK(AddFiles(fs, "/parent", populated, n));
+      populated = n;
+      holder->Quiesce();
+      series.values.push_back(MeasureMs(fs, 5, [&](std::size_t) {
+        BENCH_CHECK(fs.Mkdir("/parent/sub" + std::to_string(dir_id++)));
+      }));
+    }
+    table.AddSeries(std::move(series));
+  }
+  table.Print();
+  std::puts(
+      "Expected shape (paper): constant in n for all; Swift fastest,\n"
+      "H2Cloud and Dropbox higher but steady (paper: 150-200 ms).");
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main() { h2::bench::Run(); }

@@ -1,0 +1,68 @@
+// Figure 13: file access (lookup) time vs the directory depth d of the
+// accessed file, d = 1..20.
+//
+// Paper result: Swift is flat at ~10 ms (one full-path hash + HEAD);
+// H2 grows linearly in d (one directory-record GET per level, ~61 ms on
+// average at the measured workloads' mean depth d=4); Dropbox is roughly
+// constant with fluctuations, because Dynamic Partition usually resolves
+// all d steps inside one index server.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace h2::bench {
+namespace {
+
+constexpr std::size_t kMaxDepth = 20;
+
+void Run() {
+  SweepTable table("Figure 13 (file access): lookup time vs depth d",
+                   "depth", "ms");
+  std::vector<double> xs;
+  for (std::size_t d = 1; d <= kMaxDepth; ++d) {
+    xs.push_back(static_cast<double>(d));
+  }
+  table.SetSweep(xs);
+
+  double h2_at_4 = 0;
+  for (SystemKind kind : PaperTrio()) {
+    auto holder = MakeSystem(kind);
+    FileSystem& fs = holder->fs();
+    // Build a 20-deep chain with one file at every level.
+    std::string dir;
+    std::vector<std::string> files;
+    for (std::size_t d = 1; d <= kMaxDepth; ++d) {
+      // The file at depth d sits in the (d-1)-deep directory.
+      const std::string file =
+          dir + "/file_at_" + std::to_string(d);
+      BENCH_CHECK(fs.WriteFile(file, FileBlob::FromString("x")));
+      files.push_back(file);
+      if (d < kMaxDepth) {
+        dir += "/d" + std::to_string(d);
+        BENCH_CHECK(fs.Mkdir(dir));
+      }
+    }
+    holder->Quiesce();
+
+    Series series{KindName(kind), {}};
+    for (const std::string& file : files) {
+      series.values.push_back(MeasureMs(
+          fs, 5, [&](std::size_t) { BENCH_CHECK(fs.Stat(file).status()); }));
+    }
+    if (kind == SystemKind::kH2) h2_at_4 = series.values[3];
+    table.AddSeries(std::move(series));
+  }
+  table.Print();
+  std::printf(
+      "H2Cloud lookup at the workloads' average depth d=4: %.1f ms "
+      "(paper: ~61 ms).\n",
+      h2_at_4);
+  std::puts(
+      "Expected shape (paper): Swift flat ~10 ms; H2Cloud proportional to "
+      "d;\nDropbox roughly constant with fluctuations.");
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main() { h2::bench::Run(); }

@@ -1,0 +1,50 @@
+// Figure 14: number of objects stored, H2Cloud vs OpenStack Swift, for
+// the same ingested filesystems.
+//
+// Paper result: H2Cloud stores visibly more objects, because every
+// directory contributes a directory-record object and a NameRing object
+// (plus transient patch/chain bookkeeping); Swift stores one object per
+// file plus small directory markers.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/tree_gen.h"
+
+namespace h2::bench {
+namespace {
+
+void Run() {
+  const std::size_t file_counts[] = {100, 1'000, 10'000};
+  SweepTable table("Figure 14: stored objects vs filesystem size",
+                   "n_files", "objects");
+  std::vector<double> xs;
+  for (std::size_t n : file_counts) xs.push_back(static_cast<double>(n));
+  table.SetSweep(xs);
+
+  for (SystemKind kind : {SystemKind::kSwift, SystemKind::kH2}) {
+    Series series{KindName(kind), {}};
+    for (std::size_t n : file_counts) {
+      auto holder = MakeSystem(kind);
+      TreeSpec spec;
+      spec.file_count = n;
+      spec.dir_count = n / 10;
+      spec.max_depth = 8;
+      spec.seed = 7;
+      const GeneratedTree tree = GenerateTree(spec);
+      BENCH_CHECK(PopulateTree(holder->fs(), tree));
+      holder->Quiesce();
+      series.values.push_back(
+          static_cast<double>(holder->cloud().LogicalObjectCount()));
+    }
+    table.AddSeries(std::move(series));
+  }
+  table.Print();
+  std::puts(
+      "Expected shape (paper): H2Cloud stores more objects than Swift\n"
+      "(every directory adds a record object and a NameRing object).");
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main() { h2::bench::Run(); }

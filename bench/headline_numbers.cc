@@ -1,0 +1,86 @@
+// The paper's headline absolute numbers (§1, §5.3), measured on the
+// calibrated simulator:
+//
+//   * LISTing 1000 files costs just 0.35 second        (H2Cloud)
+//   * COPYing 1000 files costs ~10 seconds             (H2Cloud)
+//   * MKDIR takes 150-200 ms for H2Cloud and Dropbox
+//   * Swift file access is stably as low as ~10 ms
+//   * H2 file access averages ~61 ms at the workloads' mean depth d=4
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace h2::bench {
+namespace {
+
+void Run() {
+  std::puts("== Headline numbers: paper vs this reproduction ==");
+
+  // H2Cloud: LIST 1000 and COPY 1000.
+  {
+    auto holder = MakeSystem(SystemKind::kH2);
+    FileSystem& fs = holder->fs();
+    BENCH_CHECK(fs.Mkdir("/dir"));
+    BENCH_CHECK(AddFiles(fs, "/dir", 0, 1000));
+    holder->Quiesce();
+
+    BENCH_CHECK(fs.List("/dir", ListDetail::kDetailed).status());
+    std::printf("%-34s paper: %8s   measured: %7.2f s\n",
+                "H2Cloud LIST 1000 (detailed)", "0.35 s",
+                fs.last_op().elapsed_ms() / 1000.0);
+
+    BENCH_CHECK(fs.Copy("/dir", "/dir-copy"));
+    std::printf("%-34s paper: %8s   measured: %7.2f s\n",
+                "H2Cloud COPY 1000", "~10 s",
+                fs.last_op().elapsed_ms() / 1000.0);
+
+    const double mkdir_ms =
+        MeasureMs(fs, 10, [&](std::size_t i) {
+          BENCH_CHECK(fs.Mkdir("/m" + std::to_string(i)));
+        });
+    std::printf("%-34s paper: %8s   measured: %7.0f ms\n", "H2Cloud MKDIR",
+                "150-200ms", mkdir_ms);
+
+    // Access at depth 4.
+    BENCH_CHECK(fs.Mkdir("/a"));
+    BENCH_CHECK(fs.Mkdir("/a/b"));
+    BENCH_CHECK(fs.Mkdir("/a/b/c"));
+    BENCH_CHECK(fs.WriteFile("/a/b/c/f", FileBlob::FromString("x")));
+    const double access_ms = MeasureMs(fs, 10, [&](std::size_t) {
+      BENCH_CHECK(fs.Stat("/a/b/c/f").status());
+    });
+    std::printf("%-34s paper: %8s   measured: %7.0f ms\n",
+                "H2Cloud file access at d=4", "~61 ms", access_ms);
+  }
+
+  // Swift file access.
+  {
+    auto holder = MakeSystem(SystemKind::kSwift);
+    FileSystem& fs = holder->fs();
+    BENCH_CHECK(fs.Mkdir("/a"));
+    BENCH_CHECK(fs.Mkdir("/a/b"));
+    BENCH_CHECK(fs.Mkdir("/a/b/c"));
+    BENCH_CHECK(fs.WriteFile("/a/b/c/f", FileBlob::FromString("x")));
+    const double access_ms = MeasureMs(fs, 10, [&](std::size_t) {
+      BENCH_CHECK(fs.Stat("/a/b/c/f").status());
+    });
+    std::printf("%-34s paper: %8s   measured: %7.1f ms\n",
+                "Swift file access (any depth)", "~10 ms", access_ms);
+  }
+
+  // Dropbox MKDIR.
+  {
+    auto holder = MakeSystem(SystemKind::kDropbox);
+    FileSystem& fs = holder->fs();
+    const double mkdir_ms = MeasureMs(fs, 10, [&](std::size_t i) {
+      BENCH_CHECK(fs.Mkdir("/m" + std::to_string(i)));
+    });
+    std::printf("%-34s paper: %8s   measured: %7.0f ms\n", "Dropbox MKDIR",
+                "150-200ms", mkdir_ms);
+  }
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main() { h2::bench::Run(); }

@@ -1,0 +1,121 @@
+// google-benchmark microbenchmarks of the hot in-process data structures:
+// the hashes that place every object, NameRing parse/merge/serialize, and
+// partition-ring lookup.  These bound the CPU overhead the H2 middleware
+// adds on top of the storage latencies the figure benches simulate.
+#include <benchmark/benchmark.h>
+
+#include "h2/name_ring.h"
+#include "hash/fast_hash.h"
+#include "hash/md5.h"
+#include "ring/partition_ring.h"
+
+namespace h2 {
+namespace {
+
+void BM_Md5SmallKey(benchmark::State& state) {
+  const std::string key = "06.01.1469346604539::some-file-name.dat";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::Hash64(key));
+  }
+}
+BENCHMARK(BM_Md5SmallKey);
+
+void BM_Md5Payload(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::Hash(payload));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_Md5Payload)->Range(1 << 10, 1 << 20);
+
+void BM_XxHash64(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(XxHash64(payload));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_XxHash64)->Range(1 << 10, 1 << 20);
+
+NameRing MakeRing(std::size_t children) {
+  NameRing ring;
+  for (std::size_t i = 0; i < children; ++i) {
+    ring.Apply(RingTuple{"child" + std::to_string(i),
+                         static_cast<VirtualNanos>(i + 1), EntryKind::kFile,
+                         false});
+  }
+  return ring;
+}
+
+void BM_NameRingSerialize(benchmark::State& state) {
+  const NameRing ring = MakeRing(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Serialize());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NameRingSerialize)->Range(8, 1 << 14);
+
+void BM_NameRingParse(benchmark::State& state) {
+  const std::string data =
+      MakeRing(static_cast<std::size_t>(state.range(0))).Serialize();
+  for (auto _ : state) {
+    auto parsed = NameRing::Parse(data);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NameRingParse)->Range(8, 1 << 14);
+
+void BM_NameRingMergePatch(benchmark::State& state) {
+  const NameRing base = MakeRing(static_cast<std::size_t>(state.range(0)));
+  NameRing patch;
+  patch.Apply(RingTuple{"child3", 1'000'000, EntryKind::kFile, true});
+  patch.Apply(RingTuple{"brand-new", 1'000'001, EntryKind::kFile, false});
+  for (auto _ : state) {
+    NameRing ring = base;
+    benchmark::DoNotOptimize(ring.Merge(patch));
+  }
+}
+BENCHMARK(BM_NameRingMergePatch)->Range(8, 1 << 14);
+
+void BM_PartitionRingLookup(benchmark::State& state) {
+  PartitionRing ring(16, 3);
+  for (int i = 0; i < 8; ++i) {
+    benchmark::DoNotOptimize(
+        ring.AddDevice(RingDevice{static_cast<DeviceId>(i),
+                                  "node-" + std::to_string(i), 1.0}));
+  }
+  benchmark::DoNotOptimize(ring.Rebalance());
+  std::uint64_t hash = 0x1234;
+  for (auto _ : state) {
+    hash = hash * 6364136223846793005ULL + 1;
+    benchmark::DoNotOptimize(ring.ReplicasOfHash(hash));
+  }
+}
+BENCHMARK(BM_PartitionRingLookup);
+
+void BM_RingRebalanceAfterNodeAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    PartitionRing ring(static_cast<int>(state.range(0)), 3);
+    for (int i = 0; i < 8; ++i) {
+      benchmark::DoNotOptimize(
+          ring.AddDevice(RingDevice{static_cast<DeviceId>(i), "n", 1.0}));
+    }
+    benchmark::DoNotOptimize(ring.Rebalance());
+    benchmark::DoNotOptimize(
+        ring.AddDevice(RingDevice{8, "new", 1.0}));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ring.Rebalance());
+  }
+}
+BENCHMARK(BM_RingRebalanceAfterNodeAdd)->DenseRange(8, 14, 2);
+
+}  // namespace
+}  // namespace h2
+
+BENCHMARK_MAIN();

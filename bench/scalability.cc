@@ -1,0 +1,133 @@
+// Table 1's "System Scalability" column, measured: Swift is "Limited",
+// H2 is "Yes".
+//
+// Why: every Swift account's file-path DB lives on one storage node, so
+// all metadata operations of all concurrent clients serialize on it; H2
+// keeps no secondary structure -- NameRings are ordinary objects spread
+// over the whole ring, and middlewares are stateless (§1: application
+// instances "can easily scale").
+//
+// Model: k clients each run the same metadata-heavy workload in their own
+// subtree.  Per-client costs are measured; the cluster makespan is
+//   object portion:  max(max_i o_i, sum_i o_i / node_count)   (parallel
+//                    across storage nodes)
+//   Swift DB portion: sum_i d_i                               (one node)
+//   makespan = max(object portion, DB portion)
+// Aggregate throughput = total ops / makespan.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace h2::bench {
+namespace {
+
+constexpr int kOpsPerClient = 60;
+constexpr int kNodes = 8;
+
+struct ClientCost {
+  double elapsed_ms = 0;
+  double db_ms = 0;
+  int ops = 0;
+};
+
+ClientCost RunClientWorkload(FileSystem& fs, int client) {
+  ClientCost cost;
+  const std::string home = "/client" + std::to_string(client);
+  BENCH_CHECK(fs.Mkdir(home));
+  const double db_page_ms = 0.05;
+  auto account = [&] {
+    cost.elapsed_ms += fs.last_op().elapsed_ms();
+    cost.db_ms += static_cast<double>(fs.last_op().db_pages) * db_page_ms;
+    ++cost.ops;
+  };
+  account();
+  for (int i = 0; cost.ops < kOpsPerClient; ++i) {
+    BENCH_CHECK(fs.Mkdir(home + "/d" + std::to_string(i)));
+    account();
+    BENCH_CHECK(fs.WriteFile(home + "/d" + std::to_string(i) + "/f",
+                             FileBlob::FromString("x")));
+    account();
+    BENCH_CHECK(
+        fs.List(home, ListDetail::kDetailed).status());
+    account();
+  }
+  return cost;
+}
+
+double MakespanMs(const std::vector<ClientCost>& clients, bool shared_db,
+                  int nodes = kNodes) {
+  double max_obj = 0, sum_obj = 0, sum_db = 0;
+  for (const ClientCost& c : clients) {
+    const double obj = c.elapsed_ms - c.db_ms;
+    max_obj = std::max(max_obj, obj);
+    sum_obj += obj;
+    sum_db += c.db_ms;
+  }
+  const double object_makespan = std::max(max_obj, sum_obj / nodes);
+  return shared_db ? std::max(object_makespan, sum_db) : object_makespan;
+}
+
+void Run() {
+  SweepTable table(
+      "Aggregate throughput vs concurrent clients (metadata-heavy mix)",
+      "clients", "ops_per_sec");
+  std::vector<double> xs = {1, 2, 4, 8, 16, 32};
+  table.SetSweep(xs);
+
+  for (SystemKind kind : {SystemKind::kSwift, SystemKind::kH2}) {
+    Series series{KindName(kind), {}};
+    for (double k : xs) {
+      auto holder = MakeSystem(kind);
+      std::vector<ClientCost> clients;
+      int total_ops = 0;
+      for (int c = 0; c < static_cast<int>(k); ++c) {
+        clients.push_back(RunClientWorkload(holder->fs(), c));
+        total_ops += clients.back().ops;
+      }
+      const double makespan_ms =
+          MakespanMs(clients, kind == SystemKind::kSwift);
+      series.values.push_back(1000.0 * total_ops / makespan_ms);
+    }
+    table.AddSeries(std::move(series));
+  }
+  table.Print();
+
+  // Part 2 -- the crux of "Limited" vs "Yes": add hardware.  Swift's
+  // ceiling is the one DB node, so extra storage nodes barely help; H2's
+  // throughput is storage-bound and keeps growing with the cluster.
+  SweepTable scaling(
+      "Aggregate throughput vs storage nodes (32 concurrent clients)",
+      "nodes", "ops_per_sec");
+  std::vector<double> node_counts = {8, 16, 32, 64, 128};
+  scaling.SetSweep(node_counts);
+  for (SystemKind kind : {SystemKind::kSwift, SystemKind::kH2}) {
+    auto holder = MakeSystem(kind);
+    std::vector<ClientCost> clients;
+    int total_ops = 0;
+    for (int c = 0; c < 32; ++c) {
+      clients.push_back(RunClientWorkload(holder->fs(), c));
+      total_ops += clients.back().ops;
+    }
+    Series series{KindName(kind), {}};
+    for (double nodes : node_counts) {
+      const double makespan_ms =
+          MakespanMs(clients, kind == SystemKind::kSwift,
+                     static_cast<int>(nodes));
+      series.values.push_back(1000.0 * total_ops / makespan_ms);
+    }
+    scaling.AddSeries(std::move(series));
+  }
+  scaling.Print();
+  std::puts(
+      "Expected (Table 1): Swift's throughput saturates once the single\n"
+      "file-path DB serializes all clients' metadata ('Limited') -- adding\n"
+      "storage nodes cannot raise that ceiling.  H2 has no secondary\n"
+      "structure, so throughput keeps scaling with the cluster ('Yes').\n"
+      "H2's higher per-op constant is the durable patch submission; its\n"
+      "curve crosses Swift's as soon as the hardware grows.");
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main() { h2::bench::Run(); }

@@ -1,0 +1,171 @@
+// Shared system construction for the figure benches.
+//
+// Each benchmark compares the systems the paper's evaluation compares
+// (§5): H2Cloud, the OpenStack Swift model, and the Dropbox model
+// (Dynamic Partition over a WAN-profile cloud); the Table-1 bench widens
+// the set to every baseline.  Every system gets its own private cloud so
+// object counts and load are not conflated.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cas_fs.h"
+#include "baselines/ch_fs.h"
+#include "baselines/index_fs.h"
+#include "baselines/snapshot_fs.h"
+#include "baselines/swift_fs.h"
+#include "h2/h2cloud.h"
+
+namespace h2::bench {
+
+enum class SystemKind {
+  kH2,
+  kSwift,
+  kDropbox,
+  kPlainCh,
+  kCumulus,
+  kCas,
+  kSingleIndex,
+  kStaticPartition,
+  kDp,
+  kDpSharedDisk,
+};
+
+inline const char* KindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kH2: return "H2Cloud";
+    case SystemKind::kSwift: return "Swift";
+    case SystemKind::kDropbox: return "Dropbox";
+    case SystemKind::kPlainCh: return "PlainCH";
+    case SystemKind::kCumulus: return "Cumulus";
+    case SystemKind::kCas: return "CAS";
+    case SystemKind::kSingleIndex: return "SingleIndex";
+    case SystemKind::kStaticPartition: return "StaticPart";
+    case SystemKind::kDp: return "DP";
+    case SystemKind::kDpSharedDisk: return "DPShared";
+  }
+  return "?";
+}
+
+class SystemHolder {
+ public:
+  virtual ~SystemHolder() = default;
+  virtual FileSystem& fs() = 0;
+  virtual ObjectCloud& cloud() = 0;
+  /// H2 only: drains background maintenance (between measured phases).
+  virtual void Quiesce() {}
+  virtual H2Cloud* h2() { return nullptr; }
+};
+
+namespace internal {
+
+inline CloudConfig BenchCloudConfig(LatencyProfile profile) {
+  CloudConfig cfg;
+  cfg.node_count = 8;       // the paper's rack: 8 storage nodes (§5.1)
+  cfg.replica_count = 3;
+  cfg.part_power = 10;
+  cfg.latency = profile;
+  return cfg;
+}
+
+class H2Holder final : public SystemHolder {
+ public:
+  explicit H2Holder(H2Config h2_config = {}) {
+    H2CloudConfig cfg;
+    cfg.cloud = BenchCloudConfig(LatencyProfile::RackLan());
+    cfg.h2 = h2_config;
+    cloud_ = std::make_unique<H2Cloud>(cfg);
+    const Status st = cloud_->CreateAccount("bench");
+    (void)st;
+    account_ = std::move(cloud_->OpenFilesystem("bench")).value();
+  }
+  FileSystem& fs() override { return *account_; }
+  ObjectCloud& cloud() override { return cloud_->cloud(); }
+  void Quiesce() override { cloud_->RunMaintenanceToQuiescence(); }
+  H2Cloud* h2() override { return cloud_.get(); }
+
+ private:
+  std::unique_ptr<H2Cloud> cloud_;
+  std::unique_ptr<H2AccountFs> account_;
+};
+
+template <typename Fs>
+class BaselineHolder final : public SystemHolder {
+ public:
+  template <typename... Args>
+  explicit BaselineHolder(LatencyProfile profile, Args&&... args)
+      : cloud_(BenchCloudConfig(profile)),
+        fs_(cloud_, std::forward<Args>(args)...) {}
+  FileSystem& fs() override { return fs_; }
+  ObjectCloud& cloud() override { return cloud_; }
+  void Quiesce() override {
+    if constexpr (std::is_same_v<Fs, IndexServerFs>) {
+      fs_.RunLazyCleanup();
+    }
+  }
+
+ private:
+  ObjectCloud cloud_;
+  Fs fs_;
+};
+
+}  // namespace internal
+
+inline std::unique_ptr<SystemHolder> MakeSystem(SystemKind kind) {
+  using internal::BaselineHolder;
+  const LatencyProfile lan = LatencyProfile::RackLan();
+  switch (kind) {
+    case SystemKind::kH2:
+      return std::make_unique<internal::H2Holder>();
+    case SystemKind::kSwift:
+      return std::make_unique<BaselineHolder<SwiftFs>>(lan);
+    case SystemKind::kDropbox:
+      return std::make_unique<BaselineHolder<IndexServerFs>>(
+          LatencyProfile::DropboxWan(), IndexFsOptions::Dropbox());
+    case SystemKind::kPlainCh:
+      return std::make_unique<BaselineHolder<ChFs>>(lan);
+    case SystemKind::kCumulus:
+      return std::make_unique<BaselineHolder<SnapshotFs>>(lan);
+    case SystemKind::kCas:
+      return std::make_unique<BaselineHolder<CasFs>>(lan);
+    case SystemKind::kSingleIndex:
+      return std::make_unique<BaselineHolder<IndexServerFs>>(
+          lan, IndexFsOptions::SingleIndex());
+    case SystemKind::kStaticPartition:
+      return std::make_unique<BaselineHolder<IndexServerFs>>(
+          lan, IndexFsOptions::StaticPartition());
+    case SystemKind::kDp:
+      return std::make_unique<BaselineHolder<IndexServerFs>>(
+          lan, IndexFsOptions::DynamicPartition());
+    case SystemKind::kDpSharedDisk:
+      return std::make_unique<BaselineHolder<IndexServerFs>>(
+          lan, IndexFsOptions::DpSharedDisk());
+  }
+  return nullptr;
+}
+
+/// The three systems of Figs. 7-13.
+inline std::vector<SystemKind> PaperTrio() {
+  return {SystemKind::kSwift, SystemKind::kH2, SystemKind::kDropbox};
+}
+
+/// Every Table-1 row this repository implements.
+inline std::vector<SystemKind> AllKinds() {
+  return {SystemKind::kCumulus,        SystemKind::kCas,
+          SystemKind::kPlainCh,        SystemKind::kSwift,
+          SystemKind::kSingleIndex,    SystemKind::kStaticPartition,
+          SystemKind::kDp,             SystemKind::kDpSharedDisk,
+          SystemKind::kH2,             SystemKind::kDropbox};
+}
+
+/// Standard sweep of the figures' x axis (10 ... 100,000), capped for
+/// binaries that need a faster default.
+inline std::vector<std::size_t> GeometricSweep(std::size_t max_value) {
+  std::vector<std::size_t> xs;
+  for (std::size_t v = 10; v <= max_value; v *= 10) xs.push_back(v);
+  return xs;
+}
+
+}  // namespace h2::bench

@@ -1,0 +1,183 @@
+// h2sh: an interactive shell over an H2Cloud filesystem.
+//
+// A tangible way to poke at the system: POSIX-ish commands are translated
+// to H2 operations and each one reports its simulated storage cost.
+//
+// Usage:
+//   ./build/examples/h2sh                 # interactive (reads stdin)
+//   ./build/examples/h2sh -c 'mkdir /a; put /a/f hello; ls /a; cat /a/f'
+//
+// Commands:
+//   mkdir <dir>            ls [-l] <dir>        put <file> <text...>
+//   cat <file>             stat <path>          rm <file>
+//   rmdir <dir>            mv <from> <to>       cp <from> <to>
+//   rename <path> <name>   ns <dir>             objects
+//   maint                  help                 exit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "h2/h2cloud.h"
+#include "h2/monitor.h"
+
+using namespace h2;
+
+namespace {
+
+struct Shell {
+  H2Cloud cloud;
+  std::unique_ptr<H2AccountFs> fs;
+
+  Shell() {
+    (void)cloud.CreateAccount("me");
+    fs = std::move(cloud.OpenFilesystem("me")).value();
+  }
+
+  void ReportCost() {
+    const OpCost& cost = fs->last_op();
+    std::printf("  (%.1f ms, %llu primitives)\n", cost.elapsed_ms(),
+                static_cast<unsigned long long>(cost.object_primitives()));
+  }
+
+  void Run(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) return;
+
+    auto arg = [&in]() {
+      std::string a;
+      in >> a;
+      return a;
+    };
+    auto rest = [&in]() {
+      std::string r;
+      std::getline(in, r);
+      while (!r.empty() && r.front() == ' ') r.erase(r.begin());
+      return r;
+    };
+    auto show = [this](const Status& st) {
+      if (!st.ok()) {
+        std::printf("  error: %s\n", st.ToString().c_str());
+      } else {
+        ReportCost();
+      }
+    };
+
+    if (cmd == "help") {
+      std::puts(
+          "  mkdir ls put cat stat rm rmdir mv cp rename ns objects "
+          "monitor maint exit");
+    } else if (cmd == "mkdir") {
+      show(fs->Mkdir(arg()));
+    } else if (cmd == "ls") {
+      std::string a = arg();
+      bool detailed = a == "-l";
+      std::string dir = detailed ? arg() : a;
+      if (dir.empty()) dir = std::string{"/"};
+      auto entries = fs->List(
+          dir, detailed ? ListDetail::kDetailed : ListDetail::kNamesOnly);
+      if (!entries.ok()) {
+        std::printf("  error: %s\n", entries.status().ToString().c_str());
+        return;
+      }
+      for (const auto& e : *entries) {
+        if (detailed) {
+          std::printf("  %c %10llu  %s\n",
+                      e.kind == EntryKind::kDirectory ? 'd' : '-',
+                      static_cast<unsigned long long>(e.size),
+                      e.name.c_str());
+        } else {
+          std::printf("  %s%s\n", e.name.c_str(),
+                      e.kind == EntryKind::kDirectory ? "/" : "");
+        }
+      }
+      ReportCost();
+    } else if (cmd == "put") {
+      const std::string path = arg();
+      show(fs->WriteFile(path, FileBlob::FromString(rest())));
+    } else if (cmd == "cat") {
+      auto blob = fs->ReadFile(arg());
+      if (!blob.ok()) {
+        std::printf("  error: %s\n", blob.status().ToString().c_str());
+        return;
+      }
+      std::printf("  %s\n", blob->data.c_str());
+      ReportCost();
+    } else if (cmd == "stat") {
+      auto info = fs->Stat(arg());
+      if (!info.ok()) {
+        std::printf("  error: %s\n", info.status().ToString().c_str());
+        return;
+      }
+      std::printf("  kind=%s size=%llu\n",
+                  info->kind == EntryKind::kDirectory ? "dir" : "file",
+                  static_cast<unsigned long long>(info->size));
+      ReportCost();
+    } else if (cmd == "rm") {
+      show(fs->RemoveFile(arg()));
+    } else if (cmd == "rmdir") {
+      show(fs->Rmdir(arg()));
+    } else if (cmd == "mv") {
+      const std::string f = arg();
+      show(fs->Move(f, arg()));
+    } else if (cmd == "cp") {
+      const std::string f = arg();
+      show(fs->Copy(f, arg()));
+    } else if (cmd == "rename") {
+      const std::string p = arg();
+      show(fs->Rename(p, arg()));
+    } else if (cmd == "ns") {
+      auto ns = fs->Namespace(arg());
+      if (ns.ok()) {
+        std::printf("  namespace %s\n", ns->ToString().c_str());
+        ReportCost();
+      } else {
+        std::printf("  error: %s\n", ns.status().ToString().c_str());
+      }
+    } else if (cmd == "objects") {
+      std::printf("  %llu logical objects, %llu raw replicas, %s\n",
+                  static_cast<unsigned long long>(
+                      cloud.cloud().LogicalObjectCount()),
+                  static_cast<unsigned long long>(
+                      cloud.cloud().RawObjectCount()),
+                  HumanBytes(cloud.cloud().LogicalBytes()).c_str());
+    } else if (cmd == "monitor") {
+      std::fputs(CollectSnapshot(cloud).ToText().c_str(), stdout);
+    } else if (cmd == "maint") {
+      const std::size_t steps = cloud.RunMaintenanceToQuiescence();
+      const H2Counters counters = cloud.middleware(0).counters();
+      std::printf("  quiescent after %zu steps; %llu patches merged\n",
+                  steps,
+                  static_cast<unsigned long long>(counters.patches_merged));
+    } else if (cmd == "exit" || cmd == "quit") {
+      std::exit(0);
+    } else {
+      std::printf("  unknown command '%s' (try help)\n", cmd.c_str());
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc >= 3 && std::string(argv[1]) == "-c") {
+    for (auto part : Split(argv[2], ';')) {
+      std::string cmd(part);
+      std::printf("h2sh> %s\n", cmd.c_str());
+      shell.Run(cmd);
+    }
+    return 0;
+  }
+  std::puts("h2sh -- type 'help' for commands, 'exit' to quit");
+  std::string line;
+  while (std::printf("h2sh> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    shell.Run(line);
+  }
+  return 0;
+}

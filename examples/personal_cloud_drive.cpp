@@ -1,0 +1,137 @@
+// Personal cloud drive: the workload the paper's introduction motivates.
+//
+// A Dropbox-like service hosts a user's whole filesystem.  This example
+// ingests a synthetic "heavy user" tree (thousands of directories, tens
+// of thousands of files, per §5.1's workload description), replays a mix
+// of POSIX-like operations against three hosting strategies -- H2Cloud,
+// the OpenStack Swift pseudo-filesystem, and a Dynamic-Partition index
+// service -- and prints a per-operation latency report.
+//
+// Run:  ./build/examples/personal_cloud_drive [files] [ops]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/index_fs.h"
+#include "baselines/swift_fs.h"
+#include "h2/h2cloud.h"
+#include "workload/trace.h"
+#include "workload/tree_gen.h"
+
+using namespace h2;
+
+namespace {
+
+struct Report {
+  std::string system;
+  ReplayStats stats;
+  double populate_ms = 0;
+};
+
+template <typename MakeFs>
+Report RunSystem(const std::string& name, const GeneratedTree& tree,
+                 const std::vector<TraceOp>& trace, MakeFs&& make) {
+  Report report;
+  report.system = name;
+  auto holder = make();
+  FileSystem& fs = holder->fs();
+  OpCost populate;
+  const Status populated = PopulateTree(fs, tree, &populate);
+  if (!populated.ok()) {
+    std::fprintf(stderr, "[%s] populate failed: %s\n", name.c_str(),
+                 populated.ToString().c_str());
+    std::exit(1);
+  }
+  report.populate_ms = populate.elapsed_ms();
+  report.stats = ReplayTrace(fs, trace);
+  return report;
+}
+
+struct SwiftHolder {
+  ObjectCloud cloud{CloudConfig{}};
+  SwiftFs filesystem{cloud};
+  FileSystem& fs() { return filesystem; }
+};
+
+struct DpHolder {
+  ObjectCloud cloud{CloudConfig{}};
+  IndexServerFs filesystem{cloud, IndexFsOptions::DynamicPartition()};
+  FileSystem& fs() { return filesystem; }
+};
+
+struct H2Holder {
+  H2Holder() {
+    (void)cloud.CreateAccount("user");
+    account = std::move(cloud.OpenFilesystem("user")).value();
+  }
+  H2Cloud cloud;
+  std::unique_ptr<H2AccountFs> account;
+  FileSystem& fs() { return *account; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t files =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 20'000;
+  const std::size_t ops =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 2'000;
+
+  TreeSpec spec = TreeSpec::Heavy(/*seed=*/2018);
+  spec.file_count = files;
+  spec.dir_count = std::max<std::size_t>(files / 20, 10);
+  const GeneratedTree tree = GenerateTree(spec);
+  std::printf("synthetic heavy user: %zu dirs, %zu files, max depth %zu, "
+              "%.1f GiB logical\n",
+              tree.dirs.size(), tree.files.size(), tree.max_depth(),
+              static_cast<double>(tree.total_bytes()) / (1ULL << 30));
+
+  const std::vector<TraceOp> trace =
+      GenerateTrace(tree, ops, TraceMix{}, /*seed=*/7);
+  std::printf("replaying %zu operations on each system...\n\n",
+              trace.size());
+
+  std::vector<Report> reports;
+  reports.push_back(RunSystem("H2Cloud", tree, trace, [] {
+    return std::make_unique<H2Holder>();
+  }));
+  reports.push_back(RunSystem("Swift", tree, trace, [] {
+    return std::make_unique<SwiftHolder>();
+  }));
+  reports.push_back(RunSystem("DP", tree, trace, [] {
+    return std::make_unique<DpHolder>();
+  }));
+
+  std::printf("%-8s", "op");
+  for (const Report& r : reports) std::printf(" %14s", r.system.c_str());
+  std::puts("   (mean ms per op)");
+  for (int k = 0; k < 10; ++k) {
+    const auto kind = static_cast<TraceOpKind>(k);
+    std::printf("%-8s", std::string(TraceOpName(kind)).c_str());
+    for (const Report& r : reports) {
+      const std::size_t count = r.stats.per_kind_count[static_cast<std::size_t>(k)];
+      const double ms = r.stats.per_kind_ms[static_cast<std::size_t>(k)];
+      std::printf(" %14.1f", count == 0 ? 0.0 : ms / static_cast<double>(count));
+    }
+    std::puts("");
+  }
+  std::printf("%-8s", "TOTAL");
+  for (const Report& r : reports) {
+    std::printf(" %14.1f", r.stats.total_cost.elapsed_ms() /
+                               static_cast<double>(r.stats.ops));
+  }
+  std::puts("");
+  for (const Report& r : reports) {
+    std::printf("%s: %zu/%zu ops failed, ingest took %.1f s of simulated "
+                "storage time\n",
+                r.system.c_str(), r.stats.failures, r.stats.ops,
+                r.populate_ms / 1000.0);
+  }
+  std::puts(
+      "\nTakeaway: on an everyday mix of mostly-small directories all "
+      "three are\ncomparable -- H2Cloud pays durable patch submission on "
+      "each mutation but\nneeds no index cloud.  Its decisive wins are on "
+      "large directories, where\nSwift's RMDIR/MOVE pay per file: see "
+      "bench/fig07_move_rename and\nbench/fig08_rmdir (orders of magnitude "
+      "at n=100k).");
+  return 0;
+}

@@ -1,0 +1,325 @@
+#include "baselines/cas_fs.h"
+
+#include "codec/formatter.h"
+#include "fs/path.h"
+#include "hash/md5.h"
+
+namespace h2 {
+namespace {
+
+constexpr VirtualNanos kPerEntryHashCpu = FromMillis(0.002);
+
+std::string ContentHash(const FileBlob& blob) {
+  Md5 md5;
+  md5.Update(blob.data);
+  const std::uint64_t size = blob.logical_size;
+  md5.Update(&size, sizeof(size));
+  std::string hex;
+  for (std::uint8_t b : md5.Finish()) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    hex.push_back(kHex[b >> 4]);
+    hex.push_back(kHex[b & 15]);
+  }
+  return hex;
+}
+
+}  // namespace
+
+CasFs::CasFs(ObjectCloud& cloud) : cloud_(cloud) {
+  OpMeter boot;
+  (void)RebuildIndex(boot);  // publish the (empty) root pointer block
+}
+
+std::string CasFs::BlockKey(const std::string& hash) {
+  return "cas:blk:" + hash;
+}
+
+std::string CasFs::HashSubtree(
+    IndexNode* node, OpMeter& meter,
+    std::vector<std::pair<std::string, std::string>>* new_blocks) {
+  if (!node->is_dir()) return meta_[node].hash;
+  // Serialize the pointer block: (name, kind, child hash, size) tuples.
+  std::string payload;
+  for (auto& [name, child] : node->children) {
+    const std::string child_hash = HashSubtree(child.get(), meter, new_blocks);
+    payload += MakeTupleLine(
+        {name, child->is_dir() ? "D" : "F", child_hash,
+         std::to_string(child->size), std::to_string(child->modified)});
+    payload.push_back('\n');
+    meter.Charge(kPerEntryHashCpu);
+    meter.CountScanned(1);  // work unit: one entry re-hashed
+  }
+  const std::string hash = Md5::HexDigest(payload);
+  NodeMeta& m = meta_[node];
+  if (m.hash != hash) {
+    new_blocks->emplace_back(hash, std::move(payload));
+    m.hash = hash;
+  }
+  return m.hash;
+}
+
+Status CasFs::RebuildIndex(OpMeter& meter) {
+  // The naive CAS re-derivation the paper charges O(N) for: every pointer
+  // block in the tree is re-serialized and re-hashed; blocks whose hash
+  // changed are written (content addressing dedups the rest).
+  ++rebuilds_;
+  std::vector<std::pair<std::string, std::string>> new_blocks;
+  const std::string new_root = HashSubtree(tree_.root(), meter, &new_blocks);
+  for (auto& [hash, payload] : new_blocks) {
+    ObjectValue value =
+        ObjectValue::FromString(std::move(payload), cloud_.clock().Tick());
+    value.metadata["kind"] = "ptrblock";
+    H2_RETURN_IF_ERROR(cloud_.Put(BlockKey(hash), std::move(value), meter));
+  }
+  if (new_root != root_hash_) {
+    root_hash_ = new_root;
+    ObjectValue root = ObjectValue::FromString(root_hash_,
+                                               cloud_.clock().Tick());
+    root.metadata["kind"] = "casroot";
+    H2_RETURN_IF_ERROR(cloud_.Put("cas:root", std::move(root), meter));
+  }
+  return Status::Ok();
+}
+
+Result<IndexNode*> CasFs::WalkChargingBlockReads(std::string_view normalized,
+                                                 OpMeter& meter) {
+  // Path access descends pointer blocks from the root: one GET per level.
+  IndexNode* node = tree_.root();
+  for (auto component : PathComponents(normalized)) {
+    if (!node->is_dir()) {
+      return Status::NotADirectory("not a directory on path");
+    }
+    H2_ASSIGN_OR_RETURN(ObjectValue block,
+                        cloud_.Get(BlockKey(meta_[node].hash), meter));
+    (void)block;
+    auto it = node->children.find(component);
+    if (it == node->children.end()) {
+      return Status::NotFound("no such entry: " + std::string(normalized));
+    }
+    node = it->second.get();
+  }
+  return node;
+}
+
+Status CasFs::WriteFile(std::string_view path, FileBlob blob) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::IsADirectory("cannot write to /");
+  H2_ASSIGN_OR_RETURN(IndexNode * parent,
+                      tree_.FindDir(ParentPath(p), nullptr));
+  const std::string_view name = BaseName(p);
+
+  IndexNode* node = nullptr;
+  auto it = parent->children.find(name);
+  if (it != parent->children.end()) {
+    node = it->second.get();
+    if (node->is_dir()) return Status::IsADirectory("is a directory: " + p);
+    ReleaseContent(node, meter);
+  } else {
+    H2_ASSIGN_OR_RETURN(node,
+                        tree_.CreateChild(parent, name, EntryKind::kFile,
+                                          cloud_.clock().Tick()));
+  }
+
+  const std::string hash = ContentHash(blob);
+  node->size = blob.logical_size;
+  node->modified = cloud_.clock().Tick();
+  meta_[node].hash = hash;
+  if (content_refs_[hash]++ == 0) {
+    ObjectValue value;
+    value.payload = std::move(blob.data);
+    value.logical_size = blob.logical_size;
+    value.metadata["kind"] = "content";
+    H2_RETURN_IF_ERROR(cloud_.Put(BlockKey(hash), std::move(value), meter));
+  }
+  return RebuildIndex(meter);  // structural change: O(N)
+}
+
+Result<FileBlob> CasFs::ReadFile(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::IsADirectory("cannot read /");
+  H2_ASSIGN_OR_RETURN(IndexNode * node, WalkChargingBlockReads(p, meter));
+  if (node->is_dir()) return Status::IsADirectory("is a directory: " + p);
+  H2_ASSIGN_OR_RETURN(ObjectValue obj,
+                      cloud_.Get(BlockKey(meta_[node].hash), meter));
+  return FileBlob{std::move(obj.payload), obj.logical_size};
+}
+
+Result<FileInfo> CasFs::Stat(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  FileInfo info;
+  if (p == "/") {
+    info.kind = EntryKind::kDirectory;
+    return info;
+  }
+  H2_ASSIGN_OR_RETURN(IndexNode * node, WalkChargingBlockReads(p, meter));
+  info.kind = node->kind;
+  info.size = node->size;
+  info.created = node->created;
+  info.modified = node->modified;
+  return info;
+}
+
+Result<FileInfo> CasFs::StatByHash(const std::string& content_hash) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(ObjectHead head,
+                      cloud_.Head(BlockKey(content_hash), meter));
+  FileInfo info;
+  info.kind = EntryKind::kFile;
+  info.size = head.logical_size;
+  info.created = head.created;
+  info.modified = head.modified;
+  return info;
+}
+
+Result<std::string> CasFs::HashOf(std::string_view path) {
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  H2_ASSIGN_OR_RETURN(IndexNode * node, tree_.Find(p, nullptr));
+  return meta_[node].hash;
+}
+
+void CasFs::ReleaseContent(IndexNode* subtree, OpMeter& meter) {
+  TreeIndex::Visit(subtree, [&](IndexNode* n) {
+    if (n->is_dir()) return;
+    const std::string& hash = meta_[n].hash;
+    auto it = content_refs_.find(hash);
+    if (it != content_refs_.end() && --it->second == 0) {
+      (void)cloud_.Delete(BlockKey(hash), meter);
+      content_refs_.erase(it);
+    }
+  });
+}
+
+Status CasFs::RemoveFile(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::IsADirectory("cannot remove /");
+  H2_ASSIGN_OR_RETURN(IndexNode * node, tree_.Find(p, nullptr));
+  if (node->is_dir()) return Status::IsADirectory("is a directory: " + p);
+  ReleaseContent(node, meter);
+  meta_.erase(node);
+  H2_RETURN_IF_ERROR(tree_.Remove(node));
+  return RebuildIndex(meter);
+}
+
+Status CasFs::Mkdir(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::AlreadyExists("/");
+  H2_ASSIGN_OR_RETURN(IndexNode * parent,
+                      tree_.FindDir(ParentPath(p), nullptr));
+  H2_ASSIGN_OR_RETURN(IndexNode * node,
+                      tree_.CreateChild(parent, BaseName(p),
+                                        EntryKind::kDirectory,
+                                        cloud_.clock().Tick()));
+  (void)node;
+  return RebuildIndex(meter);  // "even simple MKDIR" is O(N) in CAS (§2)
+}
+
+Status CasFs::Rmdir(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::InvalidArgument("cannot remove /");
+  H2_ASSIGN_OR_RETURN(IndexNode * node, tree_.Find(p, nullptr));
+  if (!node->is_dir()) return Status::NotADirectory("not a directory: " + p);
+  ReleaseContent(node, meter);
+  TreeIndex::Visit(node, [&](IndexNode* n) { meta_.erase(n); });
+  H2_RETURN_IF_ERROR(tree_.Remove(node));
+  return RebuildIndex(meter);
+}
+
+Status CasFs::Move(std::string_view from, std::string_view to) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string f, NormalizePath(from));
+  H2_ASSIGN_OR_RETURN(std::string t, NormalizePath(to));
+  if (f == "/") return Status::InvalidArgument("cannot move /");
+  if (t == "/") return Status::AlreadyExists("destination exists: /");
+  if (f == t) return Status::Ok();
+  if (IsWithin(t, f)) {
+    return Status::InvalidArgument("cannot move a directory into itself");
+  }
+  H2_ASSIGN_OR_RETURN(IndexNode * node, tree_.Find(f, nullptr));
+  H2_ASSIGN_OR_RETURN(IndexNode * to_parent,
+                      tree_.FindDir(ParentPath(t), nullptr));
+  const std::string_view to_name = BaseName(t);
+  if (to_parent->children.contains(std::string(to_name))) {
+    return Status::AlreadyExists("destination exists: " + t);
+  }
+  std::unique_ptr<IndexNode> owned = tree_.Detach(node);
+  H2_RETURN_IF_ERROR(tree_.Attach(to_parent, std::move(owned), to_name));
+  return RebuildIndex(meter);  // content untouched, index rebuilt
+}
+
+Result<std::vector<DirEntry>> CasFs::List(std::string_view path,
+                                          ListDetail detail) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  H2_ASSIGN_OR_RETURN(IndexNode * node, WalkChargingBlockReads(p, meter));
+  if (!node->is_dir()) return Status::NotADirectory("not a directory: " + p);
+  // One more GET: the directory's own pointer block, which carries the
+  // (name, kind, hash, size) tuples -- O(m) with per-entry CPU.
+  H2_ASSIGN_OR_RETURN(ObjectValue block,
+                      cloud_.Get(BlockKey(meta_[node].hash), meter));
+  (void)block;
+  std::vector<DirEntry> entries;
+  for (const auto& [name, child] : node->children) {
+    meter.Charge(kPerEntryHashCpu);
+    meter.CountScanned(1);  // work unit: one pointer-block entry read
+    DirEntry e;
+    e.name = name;
+    e.kind = child->kind;
+    if (detail == ListDetail::kDetailed) {
+      e.size = child->size;
+      e.modified = child->modified;
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+Status CasFs::Copy(std::string_view from, std::string_view to) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string f, NormalizePath(from));
+  H2_ASSIGN_OR_RETURN(std::string t, NormalizePath(to));
+  if (f == "/") return Status::InvalidArgument("cannot copy /");
+  if (t == "/") return Status::AlreadyExists("destination exists: /");
+  if (f == t || IsWithin(t, f)) {
+    return Status::InvalidArgument("cannot copy a directory into itself");
+  }
+  H2_ASSIGN_OR_RETURN(IndexNode * src, tree_.Find(f, nullptr));
+  H2_ASSIGN_OR_RETURN(IndexNode * to_parent,
+                      tree_.FindDir(ParentPath(t), nullptr));
+  const std::string_view to_name = BaseName(t);
+  if (to_parent->children.contains(std::string(to_name))) {
+    return Status::AlreadyExists("destination exists: " + t);
+  }
+
+  // Content blocks are shared (that is CAS's strength: no data copies);
+  // only the metadata tree is cloned, then the index rebuilt.
+  const std::function<Result<IndexNode*>(IndexNode*, IndexNode*,
+                                         std::string_view)>
+      clone = [&](IndexNode* dst_parent, IndexNode* src_node,
+                  std::string_view name) -> Result<IndexNode*> {
+    H2_ASSIGN_OR_RETURN(IndexNode * dst,
+                        tree_.CreateChild(dst_parent, name, src_node->kind,
+                                          cloud_.clock().Tick()));
+    dst->size = src_node->size;
+    if (!src_node->is_dir()) {
+      meta_[dst].hash = meta_[src_node].hash;
+      content_refs_[meta_[dst].hash] += 1;  // dedup: share the block
+    }
+    for (auto& [child_name, child] : src_node->children) {
+      H2_ASSIGN_OR_RETURN(IndexNode * ignored,
+                          clone(dst, child.get(), child_name));
+      (void)ignored;
+    }
+    return dst;
+  };
+  H2_ASSIGN_OR_RETURN(IndexNode * ignored, clone(to_parent, src, to_name));
+  (void)ignored;
+  return RebuildIndex(meter);
+}
+
+}  // namespace h2

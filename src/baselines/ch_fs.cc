@@ -1,0 +1,226 @@
+#include "baselines/ch_fs.h"
+
+#include "common/strings.h"
+#include "fs/path.h"
+
+namespace h2 {
+
+namespace {
+constexpr std::string_view kPrefix = "ch:";
+}
+
+ChFs::ChFs(ObjectCloud& cloud) : cloud_(cloud) {}
+
+std::string ChFs::Key(std::string_view path) const {
+  std::string key(kPrefix);
+  key += path;
+  return key;
+}
+
+bool ChFs::IsDirMarker(const ObjectValue& v) {
+  auto it = v.metadata.find("kind");
+  return it != v.metadata.end() && it->second == "dir";
+}
+
+std::vector<std::pair<std::string, bool>> ChFs::ScanSubtree(
+    const std::string& dir, OpMeter& meter) {
+  const std::string prefix =
+      Key(dir == "/" ? std::string("/") : dir + "/");
+  std::vector<std::pair<std::string, bool>> out;
+  cloud_.Scan(
+      [&](const std::string& key, const ObjectValue& value) {
+        if (!StartsWith(key, kPrefix)) return;
+        if (key.compare(0, prefix.size(), prefix) != 0) return;
+        out.emplace_back(key.substr(kPrefix.size()), IsDirMarker(value));
+      },
+      meter);
+  return out;
+}
+
+Status ChFs::RequireDir(const std::string& path, OpMeter& meter) {
+  if (path == "/") return Status::Ok();
+  H2_ASSIGN_OR_RETURN(ObjectHead head, cloud_.Head(Key(path), meter));
+  auto it = head.metadata.find("kind");
+  if (it == head.metadata.end() || it->second != "dir") {
+    return Status::NotADirectory("not a directory: " + path);
+  }
+  return Status::Ok();
+}
+
+Status ChFs::WriteFile(std::string_view path, FileBlob blob) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::IsADirectory("cannot write to /");
+  H2_RETURN_IF_ERROR(RequireDir(ParentPath(p), meter));
+  Result<ObjectHead> existing = cloud_.Head(Key(p), meter);
+  if (existing.ok()) {
+    auto it = existing->metadata.find("kind");
+    if (it != existing->metadata.end() && it->second == "dir") {
+      return Status::IsADirectory("is a directory: " + p);
+    }
+  } else if (existing.code() != ErrorCode::kNotFound) {
+    return existing.status();
+  }
+  ObjectValue value;
+  value.payload = std::move(blob.data);
+  value.logical_size = blob.logical_size;
+  value.metadata["kind"] = "file";
+  return cloud_.Put(Key(p), std::move(value), meter);
+}
+
+Result<FileBlob> ChFs::ReadFile(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::IsADirectory("cannot read /");
+  H2_ASSIGN_OR_RETURN(ObjectValue obj, cloud_.Get(Key(p), meter));
+  if (IsDirMarker(obj)) return Status::IsADirectory("is a directory: " + p);
+  return FileBlob{std::move(obj.payload), obj.logical_size};
+}
+
+Result<FileInfo> ChFs::Stat(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  FileInfo info;
+  if (p == "/") {
+    info.kind = EntryKind::kDirectory;
+    return info;
+  }
+  H2_ASSIGN_OR_RETURN(ObjectHead head, cloud_.Head(Key(p), meter));
+  auto it = head.metadata.find("kind");
+  info.kind = (it != head.metadata.end() && it->second == "dir")
+                  ? EntryKind::kDirectory
+                  : EntryKind::kFile;
+  info.size = head.logical_size;
+  info.created = head.created;
+  info.modified = head.modified;
+  return info;
+}
+
+Status ChFs::RemoveFile(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::IsADirectory("cannot remove /");
+  H2_ASSIGN_OR_RETURN(ObjectHead head, cloud_.Head(Key(p), meter));
+  auto it = head.metadata.find("kind");
+  if (it != head.metadata.end() && it->second == "dir") {
+    return Status::IsADirectory("is a directory: " + p);
+  }
+  return cloud_.Delete(Key(p), meter);
+}
+
+Status ChFs::Mkdir(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::AlreadyExists("/");
+  H2_RETURN_IF_ERROR(RequireDir(ParentPath(p), meter));
+  if (cloud_.Exists(Key(p), meter)) {
+    return Status::AlreadyExists("exists: " + p);
+  }
+  ObjectValue marker = ObjectValue::FromString("", cloud_.clock().Tick());
+  marker.metadata["kind"] = "dir";
+  return cloud_.Put(Key(p), std::move(marker), meter);
+}
+
+Status ChFs::Rmdir(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::InvalidArgument("cannot remove /");
+  H2_RETURN_IF_ERROR(RequireDir(p, meter));
+  // Without any index, membership is discovered by scanning the cluster.
+  for (const auto& [member, is_dir] : ScanSubtree(p, meter)) {
+    H2_RETURN_IF_ERROR(cloud_.Delete(Key(member), meter));
+  }
+  return cloud_.Delete(Key(p), meter);
+}
+
+Status ChFs::Move(std::string_view from, std::string_view to) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string f, NormalizePath(from));
+  H2_ASSIGN_OR_RETURN(std::string t, NormalizePath(to));
+  if (f == "/") return Status::InvalidArgument("cannot move /");
+  if (t == "/") return Status::AlreadyExists("destination exists: /");
+  if (f == t) return Status::Ok();
+  if (IsWithin(t, f)) {
+    return Status::InvalidArgument("cannot move a directory into itself");
+  }
+  H2_RETURN_IF_ERROR(RequireDir(ParentPath(t), meter));
+  H2_ASSIGN_OR_RETURN(ObjectHead src, cloud_.Head(Key(f), meter));
+  if (cloud_.Exists(Key(t), meter)) {
+    return Status::AlreadyExists("destination exists: " + t);
+  }
+  auto it = src.metadata.find("kind");
+  const bool is_dir = it != src.metadata.end() && it->second == "dir";
+
+  std::vector<std::pair<std::string, bool>> members;
+  if (is_dir) members = ScanSubtree(f, meter);
+  members.emplace_back(f, is_dir);
+  for (const auto& [member, member_is_dir] : members) {
+    const std::string target = t + member.substr(f.size());
+    H2_RETURN_IF_ERROR(cloud_.Copy(Key(member), Key(target), meter));
+    H2_RETURN_IF_ERROR(cloud_.Delete(Key(member), meter));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<DirEntry>> ChFs::List(std::string_view path,
+                                         ListDetail detail) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  H2_RETURN_IF_ERROR(RequireDir(p, meter));
+
+  // O(N): the only way to learn a directory's members is a cluster scan.
+  const std::string prefix = p == "/" ? "/" : p + "/";
+  std::vector<DirEntry> entries;
+  cloud_.Scan(
+      [&](const std::string& key, const ObjectValue& value) {
+        if (!StartsWith(key, kPrefix)) return;
+        const std::string_view stored(key);
+        const std::string_view member = stored.substr(kPrefix.size());
+        if (member.size() <= prefix.size() ||
+            member.compare(0, prefix.size(), prefix) != 0) {
+          return;
+        }
+        const std::string_view rest = member.substr(prefix.size());
+        if (rest.find('/') != std::string_view::npos) return;  // deeper
+        DirEntry e;
+        e.name = std::string(rest);
+        e.kind = IsDirMarker(value) ? EntryKind::kDirectory
+                                    : EntryKind::kFile;
+        if (detail == ListDetail::kDetailed) {
+          e.size = value.logical_size;
+          e.modified = value.modified;
+        }
+        entries.push_back(std::move(e));
+      },
+      meter);
+  return entries;
+}
+
+Status ChFs::Copy(std::string_view from, std::string_view to) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string f, NormalizePath(from));
+  H2_ASSIGN_OR_RETURN(std::string t, NormalizePath(to));
+  if (f == "/") return Status::InvalidArgument("cannot copy /");
+  if (t == "/") return Status::AlreadyExists("destination exists: /");
+  if (f == t || IsWithin(t, f)) {
+    return Status::InvalidArgument("cannot copy a directory into itself");
+  }
+  H2_RETURN_IF_ERROR(RequireDir(ParentPath(t), meter));
+  H2_ASSIGN_OR_RETURN(ObjectHead src, cloud_.Head(Key(f), meter));
+  if (cloud_.Exists(Key(t), meter)) {
+    return Status::AlreadyExists("destination exists: " + t);
+  }
+  auto it = src.metadata.find("kind");
+  const bool is_dir = it != src.metadata.end() && it->second == "dir";
+
+  std::vector<std::pair<std::string, bool>> members;
+  if (is_dir) members = ScanSubtree(f, meter);
+  members.emplace_back(f, is_dir);
+  for (const auto& [member, member_is_dir] : members) {
+    const std::string target = t + member.substr(f.size());
+    H2_RETURN_IF_ERROR(cloud_.Copy(Key(member), Key(target), meter));
+  }
+  return Status::Ok();
+}
+
+}  // namespace h2

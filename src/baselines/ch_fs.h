@@ -1,0 +1,46 @@
+// Plain Consistent Hash pseudo-filesystem (Table 1 row 3).
+//
+// Files and directory markers are flat objects at hash(full path) and
+// there is NO secondary index whatsoever.  File access and MKDIR are O(1),
+// but any operation that must discover the members of a directory --
+// LIST, RMDIR, MOVE, COPY -- has no option but to enumerate the cluster
+// (ObjectCloud::Scan) and filter by path prefix, which is what drives the
+// O(N) rows in Table 1 and why Swift bolts a file-path DB on top.
+#pragma once
+
+#include <string>
+
+#include "cluster/object_cloud.h"
+#include "fs/filesystem.h"
+
+namespace h2 {
+
+class ChFs final : public FileSystem {
+ public:
+  explicit ChFs(ObjectCloud& cloud);
+
+  std::string_view system_name() const override { return "PlainCH"; }
+
+  Status WriteFile(std::string_view path, FileBlob blob) override;
+  Result<FileBlob> ReadFile(std::string_view path) override;
+  Result<FileInfo> Stat(std::string_view path) override;
+  Status RemoveFile(std::string_view path) override;
+  Status Mkdir(std::string_view path) override;
+  Status Rmdir(std::string_view path) override;
+  Status Move(std::string_view from, std::string_view to) override;
+  Result<std::vector<DirEntry>> List(std::string_view path,
+                                     ListDetail detail) override;
+  Status Copy(std::string_view from, std::string_view to) override;
+
+ private:
+  std::string Key(std::string_view path) const;
+  static bool IsDirMarker(const ObjectValue& v);
+  /// Cluster scan returning the paths under `dir` (O(N)).
+  std::vector<std::pair<std::string, bool>> ScanSubtree(
+      const std::string& dir, OpMeter& meter);
+  Status RequireDir(const std::string& path, OpMeter& meter);
+
+  ObjectCloud& cloud_;
+};
+
+}  // namespace h2

@@ -1,0 +1,134 @@
+#include "baselines/common/tree_index.h"
+
+#include "fs/path.h"
+
+namespace h2 {
+
+TreeIndex::TreeIndex() : root_(std::make_unique<IndexNode>()) {
+  root_->kind = EntryKind::kDirectory;
+}
+
+Result<IndexNode*> TreeIndex::Find(std::string_view normalized_path,
+                                   std::size_t* levels_out) {
+  IndexNode* node = root_.get();
+  std::size_t levels = 0;
+  for (auto component : PathComponents(normalized_path)) {
+    if (!node->is_dir()) {
+      return Status::NotADirectory("not a directory on path: " +
+                                   std::string(component));
+    }
+    auto it = node->children.find(component);
+    if (it == node->children.end()) {
+      return Status::NotFound("no such entry: " +
+                              std::string(normalized_path));
+    }
+    node = it->second.get();
+    ++levels;
+  }
+  if (levels_out != nullptr) *levels_out = levels;
+  return node;
+}
+
+Result<IndexNode*> TreeIndex::FindDir(std::string_view normalized_path,
+                                      std::size_t* levels_out) {
+  H2_ASSIGN_OR_RETURN(IndexNode * node, Find(normalized_path, levels_out));
+  if (!node->is_dir()) {
+    return Status::NotADirectory("not a directory: " +
+                                 std::string(normalized_path));
+  }
+  return node;
+}
+
+Result<IndexNode*> TreeIndex::CreateChild(IndexNode* dir,
+                                          std::string_view name,
+                                          EntryKind kind, VirtualNanos now) {
+  if (!dir->is_dir()) {
+    return Status::NotADirectory("parent is not a directory");
+  }
+  auto [it, inserted] = dir->children.try_emplace(std::string(name));
+  if (!inserted) {
+    return Status::AlreadyExists("exists: " + std::string(name));
+  }
+  it->second = std::make_unique<IndexNode>();
+  IndexNode* child = it->second.get();
+  child->name = std::string(name);
+  child->kind = kind;
+  child->created = child->modified = now;
+  child->parent = dir;
+  child->server = dir->server;  // partitions inherit unless split later
+  return child;
+}
+
+std::unique_ptr<IndexNode> TreeIndex::Detach(IndexNode* node) {
+  IndexNode* parent = node->parent;
+  if (parent == nullptr) return nullptr;  // cannot detach the root
+  auto it = parent->children.find(node->name);
+  if (it == parent->children.end()) return nullptr;
+  std::unique_ptr<IndexNode> owned = std::move(it->second);
+  parent->children.erase(it);
+  owned->parent = nullptr;
+  return owned;
+}
+
+Status TreeIndex::Attach(IndexNode* dir, std::unique_ptr<IndexNode> node,
+                         std::string_view name) {
+  if (!dir->is_dir()) {
+    return Status::NotADirectory("attach target is not a directory");
+  }
+  if (dir->children.contains(std::string(name))) {
+    return Status::AlreadyExists("exists: " + std::string(name));
+  }
+  node->name = std::string(name);
+  node->parent = dir;
+  dir->children[node->name] = std::move(node);
+  return Status::Ok();
+}
+
+Status TreeIndex::Remove(IndexNode* node) {
+  IndexNode* parent = node->parent;
+  if (parent == nullptr) {
+    return Status::InvalidArgument("cannot remove the root");
+  }
+  parent->children.erase(node->name);
+  return Status::Ok();
+}
+
+std::size_t TreeIndex::SubtreeNodeCount(const IndexNode* node) {
+  std::size_t count = 1;
+  for (const auto& [name, child] : node->children) {
+    count += SubtreeNodeCount(child.get());
+  }
+  return count;
+}
+
+std::size_t TreeIndex::SubtreeFileCount(const IndexNode* node) {
+  std::size_t count = node->is_dir() ? 0 : 1;
+  for (const auto& [name, child] : node->children) {
+    count += SubtreeFileCount(child.get());
+  }
+  return count;
+}
+
+void TreeIndex::Visit(IndexNode* node,
+                      const std::function<void(IndexNode*)>& fn) {
+  fn(node);
+  for (auto& [name, child] : node->children) Visit(child.get(), fn);
+}
+
+void TreeIndex::Visit(const IndexNode* node,
+                      const std::function<void(const IndexNode*)>& fn) {
+  fn(node);
+  for (const auto& [name, child] : node->children) {
+    Visit(static_cast<const IndexNode*>(child.get()), fn);
+  }
+}
+
+bool TreeIndex::IsDescendant(const IndexNode* node,
+                             const IndexNode* ancestor) {
+  for (const IndexNode* cur = node; cur != nullptr; cur = cur->parent) {
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+}  // namespace h2

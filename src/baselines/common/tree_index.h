@@ -1,0 +1,86 @@
+// In-memory directory tree shared by the index-server baselines
+// (Single Index Server, Static Partition, Dynamic Partition).
+//
+// These systems keep the namespace on dedicated metadata servers rather
+// than in the object cloud; the tree here models that server-resident
+// state.  Cost accounting lives in the filesystems that use it -- the
+// tree itself is pure data structure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "fs/filesystem.h"
+
+namespace h2 {
+
+struct IndexNode {
+  std::string name;
+  EntryKind kind = EntryKind::kDirectory;
+  std::uint64_t size = 0;
+  VirtualNanos created = 0;
+  VirtualNanos modified = 0;
+  /// Content object id for files (the cloud key suffix).
+  std::uint64_t file_id = 0;
+  /// Metadata-server id owning this dentry (used by the partition
+  /// baselines; 0 elsewhere).
+  std::uint32_t server = 0;
+
+  IndexNode* parent = nullptr;
+  std::map<std::string, std::unique_ptr<IndexNode>, std::less<>> children;
+
+  bool is_dir() const { return kind == EntryKind::kDirectory; }
+};
+
+class TreeIndex {
+ public:
+  TreeIndex();
+
+  IndexNode* root() { return root_.get(); }
+  const IndexNode* root() const { return root_.get(); }
+
+  /// Walks a normalized path.  `levels_out`, if set, receives the number
+  /// of components traversed (the paper's d).
+  Result<IndexNode*> Find(std::string_view normalized_path,
+                          std::size_t* levels_out = nullptr);
+  /// Find + require a directory.
+  Result<IndexNode*> FindDir(std::string_view normalized_path,
+                             std::size_t* levels_out = nullptr);
+
+  /// Creates a child under `dir`; fails with AlreadyExists.
+  Result<IndexNode*> CreateChild(IndexNode* dir, std::string_view name,
+                                 EntryKind kind, VirtualNanos now);
+
+  /// Detaches `node` from its parent and returns ownership (for MOVE).
+  std::unique_ptr<IndexNode> Detach(IndexNode* node);
+
+  /// Attaches a detached subtree under `dir` as `name`.
+  Status Attach(IndexNode* dir, std::unique_ptr<IndexNode> node,
+                std::string_view name);
+
+  /// Removes `node` and its subtree.
+  Status Remove(IndexNode* node);
+
+  // --- subtree queries ---------------------------------------------------
+  static std::size_t SubtreeNodeCount(const IndexNode* node);
+  static std::size_t SubtreeFileCount(const IndexNode* node);
+  /// Pre-order visit (node itself included).
+  static void Visit(IndexNode* node,
+                    const std::function<void(IndexNode*)>& fn);
+  static void Visit(const IndexNode* node,
+                    const std::function<void(const IndexNode*)>& fn);
+
+  /// True if `node` is `ancestor` or lies beneath it.
+  static bool IsDescendant(const IndexNode* node, const IndexNode* ancestor);
+
+ private:
+  std::unique_ptr<IndexNode> root_;
+};
+
+}  // namespace h2

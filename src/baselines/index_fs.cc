@@ -1,0 +1,407 @@
+#include "baselines/index_fs.h"
+
+#include <algorithm>
+
+#include "fs/path.h"
+#include "hash/fast_hash.h"
+
+namespace h2 {
+namespace {
+
+// In-memory tree-walk cost per level on a metadata server.
+constexpr VirtualNanos kPerLevelCpu = FromMillis(0.02);
+// Per-entry cost of a detailed LIST (metadata row fetch + serialization).
+constexpr VirtualNanos kPerChildDetail = FromMillis(0.25);
+
+}  // namespace
+
+IndexFsOptions IndexFsOptions::SingleIndex() {
+  IndexFsOptions o;
+  o.partitioning = Partitioning::kSingle;
+  o.server_count = 1;
+  o.key_prefix = "gfs:";
+  o.display_name = "SingleIndex";
+  return o;
+}
+
+IndexFsOptions IndexFsOptions::StaticPartition(int servers) {
+  IndexFsOptions o;
+  o.partitioning = Partitioning::kStatic;
+  o.server_count = servers;
+  o.key_prefix = "afs:";
+  o.display_name = "StaticPartition";
+  return o;
+}
+
+IndexFsOptions IndexFsOptions::DynamicPartition(int servers) {
+  IndexFsOptions o;
+  o.partitioning = Partitioning::kDynamic;
+  o.server_count = servers;
+  o.key_prefix = "dp:";
+  o.display_name = "DP";
+  return o;
+}
+
+IndexFsOptions IndexFsOptions::DpSharedDisk(int servers) {
+  IndexFsOptions o = DynamicPartition(servers);
+  o.shared_disk = true;
+  o.key_prefix = "dpsd:";
+  o.display_name = "DPSharedDisk";
+  return o;
+}
+
+IndexFsOptions IndexFsOptions::Dropbox(int servers) {
+  IndexFsOptions o = DynamicPartition(servers);
+  o.service_overhead = true;
+  o.key_prefix = "dbx:";
+  o.display_name = "Dropbox";
+  return o;
+}
+
+IndexServerFs::IndexServerFs(ObjectCloud& cloud, IndexFsOptions options)
+    : cloud_(cloud), options_(std::move(options)) {
+  server_load_.assign(static_cast<std::size_t>(options_.server_count), 0);
+  server_load_[0] = 1;  // the root dentry
+}
+
+void IndexServerFs::ChargeServiceOverhead(OpMeter& meter) {
+  if (!options_.service_overhead) return;
+  meter.Charge(
+      cloud_.latency().Jitter(cloud_.latency().profile().service_overhead));
+}
+
+void IndexServerFs::ChargeMetadataRpc(OpMeter& meter, std::size_t levels,
+                                      std::size_t crossings, bool mutation) {
+  const LatencyProfile& p = cloud_.latency().profile();
+  // One RPC to the entry server plus one per partition crossing.
+  VirtualNanos cost =
+      static_cast<VirtualNanos>(1 + crossings) * (2 * p.lan_hop + p.index_cpu);
+  cost += static_cast<VirtualNanos>(levels) * kPerLevelCpu;
+  if (mutation && options_.shared_disk) {
+    // Strong consistency across the shared disks (§2, DP on Shared Disk).
+    cost += p.durable_commit;
+  }
+  meter.Charge(cloud_.latency().Jitter(cost));
+  meter.CountIndexRpc();
+}
+
+Result<IndexNode*> IndexServerFs::Resolve(std::string_view normalized,
+                                          OpMeter& meter, bool mutation) {
+  std::size_t levels = 0;
+  Result<IndexNode*> node = tree_.Find(normalized, &levels);
+  // Count partition crossings along the successful prefix of the walk.
+  std::size_t crossings = 0;
+  if (node.ok()) {
+    const IndexNode* cur = *node;
+    while (cur->parent != nullptr) {
+      if (cur->server != cur->parent->server) ++crossings;
+      cur = cur->parent;
+    }
+  }
+  last_crossings_ = crossings;
+  ChargeMetadataRpc(meter, levels, crossings, mutation);
+  meter.CountScanned(levels);  // work units: tree levels walked
+  return node;
+}
+
+Result<IndexNode*> IndexServerFs::ResolveParent(std::string_view normalized,
+                                                OpMeter& meter,
+                                                bool mutation) {
+  H2_ASSIGN_OR_RETURN(IndexNode * node,
+                      Resolve(ParentPath(normalized), meter, mutation));
+  if (!node->is_dir()) {
+    return Status::NotADirectory("parent is not a directory");
+  }
+  return node;
+}
+
+std::string IndexServerFs::ContentKey(std::uint64_t file_id) const {
+  return options_.key_prefix + "file:" + std::to_string(file_id);
+}
+
+std::uint32_t IndexServerFs::PickServerForNewDir(const IndexNode& parent,
+                                                 std::string_view new_name) {
+  (void)new_name;
+  switch (options_.partitioning) {
+    case IndexFsOptions::Partitioning::kSingle:
+      return 0;
+    case IndexFsOptions::Partitioning::kStatic: {
+      // Fixed assignment by top-level directory name: never rebalanced.
+      // A directory created directly under the root *is* the top level,
+      // so it hashes its own (new) name.
+      if (parent.parent == nullptr) {
+        return static_cast<std::uint32_t>(Fnv1a64(new_name) %
+                                          server_load_.size());
+      }
+      const IndexNode* top = &parent;
+      while (top->parent != nullptr && top->parent->parent != nullptr) {
+        top = top->parent;
+      }
+      return static_cast<std::uint32_t>(Fnv1a64(top->name) %
+                                        server_load_.size());
+    }
+    case IndexFsOptions::Partitioning::kDynamic: {
+      // Split: once the parent's server is over threshold, place new
+      // sub-directories on the least-loaded server.
+      if (server_load_[parent.server] <= options_.split_threshold) {
+        return parent.server;
+      }
+      const auto it =
+          std::min_element(server_load_.begin(), server_load_.end());
+      return static_cast<std::uint32_t>(it - server_load_.begin());
+    }
+  }
+  return 0;
+}
+
+void IndexServerFs::AccountCreate(const IndexNode& node) {
+  server_load_[node.server] += 1;
+}
+
+void IndexServerFs::AccountRemoveSubtree(const IndexNode* node) {
+  TreeIndex::Visit(node, [this](const IndexNode* n) {
+    auto& load = server_load_[n->server];
+    if (load > 0) --load;
+  });
+}
+
+Status IndexServerFs::WriteFile(std::string_view path, FileBlob blob) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::IsADirectory("cannot write to /");
+  ChargeServiceOverhead(meter);
+  H2_ASSIGN_OR_RETURN(IndexNode * parent, ResolveParent(p, meter, true));
+  const std::string_view name = BaseName(p);
+
+  IndexNode* node = nullptr;
+  auto it = parent->children.find(name);
+  if (it != parent->children.end()) {
+    node = it->second.get();
+    if (node->is_dir()) {
+      return Status::IsADirectory("is a directory: " + p);
+    }
+  } else {
+    H2_ASSIGN_OR_RETURN(
+        node, tree_.CreateChild(parent, name, EntryKind::kFile,
+                                cloud_.clock().Tick()));
+    node->server = parent->server;
+    node->file_id = next_file_id_++;
+    AccountCreate(*node);
+  }
+  node->size = blob.logical_size;
+  node->modified = cloud_.clock().Tick();
+
+  ObjectValue value;
+  value.payload = std::move(blob.data);
+  value.logical_size = node->size;
+  return cloud_.Put(ContentKey(node->file_id), std::move(value), meter);
+}
+
+Result<FileBlob> IndexServerFs::ReadFile(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  ChargeServiceOverhead(meter);
+  H2_ASSIGN_OR_RETURN(IndexNode * node, Resolve(p, meter, false));
+  if (node->is_dir()) return Status::IsADirectory("is a directory: " + p);
+  H2_ASSIGN_OR_RETURN(ObjectValue obj,
+                      cloud_.Get(ContentKey(node->file_id), meter));
+  return FileBlob{std::move(obj.payload), obj.logical_size};
+}
+
+Result<FileInfo> IndexServerFs::Stat(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  ChargeServiceOverhead(meter);
+  H2_ASSIGN_OR_RETURN(IndexNode * node, Resolve(p, meter, false));
+  FileInfo info;
+  info.kind = node->kind;
+  info.size = node->size;
+  info.created = node->created;
+  info.modified = node->modified;
+  return info;
+}
+
+Status IndexServerFs::RemoveFile(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  ChargeServiceOverhead(meter);
+  H2_ASSIGN_OR_RETURN(IndexNode * node, Resolve(p, meter, true));
+  if (node->is_dir()) return Status::IsADirectory("is a directory: " + p);
+  H2_RETURN_IF_ERROR(cloud_.Delete(ContentKey(node->file_id), meter));
+  AccountRemoveSubtree(node);
+  return tree_.Remove(node);
+}
+
+Status IndexServerFs::Mkdir(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::AlreadyExists("/");
+  ChargeServiceOverhead(meter);
+  H2_ASSIGN_OR_RETURN(IndexNode * parent, ResolveParent(p, meter, true));
+  H2_ASSIGN_OR_RETURN(
+      IndexNode * node,
+      tree_.CreateChild(parent, BaseName(p), EntryKind::kDirectory,
+                        cloud_.clock().Tick()));
+  node->server = PickServerForNewDir(*parent, BaseName(p));
+  AccountCreate(*node);
+  return Status::Ok();
+}
+
+Status IndexServerFs::Rmdir(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::InvalidArgument("cannot remove /");
+  ChargeServiceOverhead(meter);
+  H2_ASSIGN_OR_RETURN(IndexNode * node, Resolve(p, meter, true));
+  if (!node->is_dir()) return Status::NotADirectory("not a directory: " + p);
+  AccountRemoveSubtree(node);
+  std::unique_ptr<IndexNode> detached = tree_.Detach(node);
+  if (detached != nullptr) {
+    cleanup_.push_back(std::move(detached));  // content reclaimed lazily
+  }
+  return Status::Ok();
+}
+
+Status IndexServerFs::TransferSubtreeContent(IndexNode* node,
+                                             OpMeter& meter) {
+  // Static partitioning's penalty: moving across partitions physically
+  // re-writes every file's content to the destination server's store.
+  Status status = Status::Ok();
+  TreeIndex::Visit(node, [&](IndexNode* n) {
+    if (n->is_dir() || !status.ok()) return;
+    const std::string old_key = ContentKey(n->file_id);
+    n->file_id = next_file_id_++;
+    Status s = cloud_.Copy(old_key, ContentKey(n->file_id), meter);
+    if (s.ok()) s = cloud_.Delete(old_key, meter);
+    if (!s.ok()) status = s;
+  });
+  return status;
+}
+
+Status IndexServerFs::Move(std::string_view from, std::string_view to) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string f, NormalizePath(from));
+  H2_ASSIGN_OR_RETURN(std::string t, NormalizePath(to));
+  if (f == "/") return Status::InvalidArgument("cannot move /");
+  if (t == "/") return Status::AlreadyExists("destination exists: /");
+  if (f == t) return Status::Ok();
+  if (IsWithin(t, f)) {
+    return Status::InvalidArgument("cannot move a directory into itself");
+  }
+  ChargeServiceOverhead(meter);
+  H2_ASSIGN_OR_RETURN(IndexNode * node, Resolve(f, meter, true));
+  H2_ASSIGN_OR_RETURN(IndexNode * to_parent, ResolveParent(t, meter, true));
+  const std::string_view to_name = BaseName(t);
+  if (to_parent->children.contains(std::string(to_name))) {
+    return Status::AlreadyExists("destination exists: " + t);
+  }
+
+  const std::uint32_t src_server = node->server;
+  std::unique_ptr<IndexNode> owned = tree_.Detach(node);
+  Status attached = tree_.Attach(to_parent, std::move(owned), to_name);
+  if (!attached.ok()) return attached;
+
+  if (options_.partitioning == IndexFsOptions::Partitioning::kStatic &&
+      src_server != to_parent->server) {
+    // Cross-partition move: rehome metadata and transfer content.
+    TreeIndex::Visit(node, [&](IndexNode* n) {
+      server_load_[n->server] -= 1;
+      n->server = to_parent->server;
+      server_load_[n->server] += 1;
+    });
+    return TransferSubtreeContent(node, meter);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<DirEntry>> IndexServerFs::List(std::string_view path,
+                                                  ListDetail detail) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  ChargeServiceOverhead(meter);
+  H2_ASSIGN_OR_RETURN(IndexNode * node, Resolve(p, meter, false));
+  if (!node->is_dir()) return Status::NotADirectory("not a directory: " + p);
+
+  std::vector<DirEntry> entries;
+  entries.reserve(node->children.size());
+  std::uint64_t bytes = 0;
+  for (const auto& [name, child] : node->children) {
+    DirEntry e;
+    e.name = name;
+    e.kind = child->kind;
+    bytes += name.size() + 32;
+    if (detail == ListDetail::kDetailed) {
+      e.size = child->size;
+      e.modified = child->modified;
+      meter.Charge(kPerChildDetail);
+      meter.CountScanned(1);  // work unit: one metadata row fetched
+    }
+    entries.push_back(std::move(e));
+  }
+  meter.Charge(cloud_.latency().ByteCost(bytes));
+  return entries;
+}
+
+Status IndexServerFs::Copy(std::string_view from, std::string_view to) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string f, NormalizePath(from));
+  H2_ASSIGN_OR_RETURN(std::string t, NormalizePath(to));
+  if (f == "/") return Status::InvalidArgument("cannot copy /");
+  if (t == "/") return Status::AlreadyExists("destination exists: /");
+  if (f == t || IsWithin(t, f)) {
+    return Status::InvalidArgument("cannot copy a directory into itself");
+  }
+  ChargeServiceOverhead(meter);
+  H2_ASSIGN_OR_RETURN(IndexNode * src, Resolve(f, meter, true));
+  H2_ASSIGN_OR_RETURN(IndexNode * to_parent, ResolveParent(t, meter, true));
+  const std::string_view to_name = BaseName(t);
+  if (to_parent->children.contains(std::string(to_name))) {
+    return Status::AlreadyExists("destination exists: " + t);
+  }
+
+  // Deep-copy metadata in memory, duplicating content objects (O(n)).
+  Status status = Status::Ok();
+  const std::function<Result<IndexNode*>(IndexNode*, const IndexNode*,
+                                         std::string_view)>
+      clone = [&](IndexNode* dst_parent, const IndexNode* src_node,
+                  std::string_view name) -> Result<IndexNode*> {
+    H2_ASSIGN_OR_RETURN(IndexNode * dst,
+                        tree_.CreateChild(dst_parent, name, src_node->kind,
+                                          cloud_.clock().Tick()));
+    dst->server = dst_parent->server;
+    dst->size = src_node->size;
+    AccountCreate(*dst);
+    if (!src_node->is_dir()) {
+      dst->file_id = next_file_id_++;
+      H2_RETURN_IF_ERROR(cloud_.Copy(ContentKey(src_node->file_id),
+                                     ContentKey(dst->file_id), meter));
+      return dst;
+    }
+    for (const auto& [child_name, child] : src_node->children) {
+      H2_ASSIGN_OR_RETURN(IndexNode * ignored,
+                          clone(dst, child.get(), child_name));
+      (void)ignored;
+    }
+    return dst;
+  };
+  H2_ASSIGN_OR_RETURN(IndexNode * ignored, clone(to_parent, src, to_name));
+  (void)ignored;
+  return status;
+}
+
+std::size_t IndexServerFs::RunLazyCleanup(std::size_t max_objects) {
+  std::size_t deleted = 0;
+  while (!cleanup_.empty() && deleted < max_objects) {
+    std::unique_ptr<IndexNode> subtree = std::move(cleanup_.front());
+    cleanup_.pop_front();
+    TreeIndex::Visit(subtree.get(), [&](IndexNode* n) {
+      if (n->is_dir()) return;
+      if (cloud_.Delete(ContentKey(n->file_id), maintenance_meter_).ok()) {
+        ++deleted;
+      }
+    });
+  }
+  return deleted;
+}
+
+}  // namespace h2

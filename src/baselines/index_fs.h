@@ -1,0 +1,118 @@
+// The index-server baseline family (Table 1 rows 5-8).
+//
+// One configurable implementation covers four data structures that share
+// a "namespace on metadata servers, content in the object cloud" split:
+//
+//   * Single Index Server (GFS/HDFS namenode): one metadata server; every
+//     operation is one RPC; scalability limited by that server.
+//   * Static Partition (AFS): the namespace is split by top-level
+//     directory across k servers with a fixed mapping; operations that
+//     cross partitions must physically transfer file content.
+//   * Dynamic Partition (Ceph/PanFS, and -- per the paper's §5.3
+//     inference -- Dropbox): directory subtrees are (re)assigned to
+//     servers by load; resolution pays an extra RPC per partition
+//     crossing, structural operations stay O(1).
+//   * DP on Shared Disk (BlueSky/xFS): DP whose metadata mutations must
+//     synchronously commit to shared storage (strong consistency),
+//     charging a durable-commit penalty per mutation.
+//
+// The Dropbox profile additionally charges the measured service-stack
+// overhead per metadata operation (cluster/latency.h, DropboxWan).
+//
+// Contents of removed subtrees are reclaimed lazily (RunLazyCleanup),
+// charged to a maintenance meter -- the same asynchrony H2Cloud uses --
+// which is what makes RMDIR/MOVE O(1) in Table 1.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common/tree_index.h"
+#include "cluster/object_cloud.h"
+#include "fs/filesystem.h"
+
+namespace h2 {
+
+struct IndexFsOptions {
+  enum class Partitioning { kSingle, kStatic, kDynamic };
+
+  Partitioning partitioning = Partitioning::kDynamic;
+  int server_count = 4;
+  /// Dynamic: dentries a server may hold before new sub-directories are
+  /// split off to the least-loaded server.
+  std::size_t split_threshold = 4096;
+  /// DP-on-shared-disk: charge a durable commit per metadata mutation.
+  bool shared_disk = false;
+  /// Dropbox: charge the latency profile's service overhead per op.
+  bool service_overhead = false;
+  std::string key_prefix = "dp:";
+  std::string display_name = "DP";
+
+  static IndexFsOptions SingleIndex();
+  static IndexFsOptions StaticPartition(int servers = 4);
+  static IndexFsOptions DynamicPartition(int servers = 4);
+  static IndexFsOptions DpSharedDisk(int servers = 4);
+  /// Use together with a cloud built on LatencyProfile::DropboxWan().
+  static IndexFsOptions Dropbox(int servers = 8);
+};
+
+class IndexServerFs final : public FileSystem {
+ public:
+  IndexServerFs(ObjectCloud& cloud, IndexFsOptions options);
+
+  std::string_view system_name() const override {
+    return options_.display_name;
+  }
+
+  Status WriteFile(std::string_view path, FileBlob blob) override;
+  Result<FileBlob> ReadFile(std::string_view path) override;
+  Result<FileInfo> Stat(std::string_view path) override;
+  Status RemoveFile(std::string_view path) override;
+  Status Mkdir(std::string_view path) override;
+  Status Rmdir(std::string_view path) override;
+  Status Move(std::string_view from, std::string_view to) override;
+  Result<std::vector<DirEntry>> List(std::string_view path,
+                                     ListDetail detail) override;
+  Status Copy(std::string_view from, std::string_view to) override;
+
+  // --- maintenance & introspection ----------------------------------------
+  /// Deletes content objects of removed subtrees; returns objects freed.
+  std::size_t RunLazyCleanup(std::size_t max_objects = ~std::size_t{0});
+  bool MaintenanceIdle() const { return cleanup_.empty(); }
+  OpCost maintenance_cost() const { return maintenance_meter_.cost(); }
+  /// Dentries per metadata server (load-balance experiments).
+  std::vector<std::size_t> ServerLoads() const { return server_load_; }
+  /// Partition crossings during the last resolution (tests).
+  std::size_t last_crossings() const { return last_crossings_; }
+
+ private:
+  // Cost charging.
+  void ChargeServiceOverhead(OpMeter& meter);
+  void ChargeMetadataRpc(OpMeter& meter, std::size_t levels,
+                         std::size_t crossings, bool mutation);
+
+  Result<IndexNode*> Resolve(std::string_view normalized, OpMeter& meter,
+                             bool mutation);
+  Result<IndexNode*> ResolveParent(std::string_view normalized,
+                                   OpMeter& meter, bool mutation);
+  std::string ContentKey(std::uint64_t file_id) const;
+  std::uint32_t PickServerForNewDir(const IndexNode& parent,
+                                    std::string_view new_name);
+  void AccountCreate(const IndexNode& node);
+  void AccountRemoveSubtree(const IndexNode* node);
+  Status TransferSubtreeContent(IndexNode* node, OpMeter& meter);
+
+  ObjectCloud& cloud_;
+  IndexFsOptions options_;
+  TreeIndex tree_;
+  std::vector<std::size_t> server_load_;
+  std::uint64_t next_file_id_ = 1;
+  std::deque<std::unique_ptr<IndexNode>> cleanup_;
+  OpMeter maintenance_meter_;
+  std::size_t last_crossings_ = 0;
+};
+
+}  // namespace h2

@@ -1,0 +1,307 @@
+#include "baselines/snapshot_fs.h"
+
+#include "codec/formatter.h"
+#include "fs/path.h"
+
+namespace h2 {
+namespace {
+
+constexpr std::size_t kEntriesPerChunk = 1024;
+constexpr std::uint64_t kSegmentTarget = 4ULL << 20;  // 4 MiB segments
+constexpr VirtualNanos kPerEntryCpu = FromMillis(0.002);
+
+std::string ChunkKey(std::size_t index) {
+  return "cum:meta:" + std::to_string(index);
+}
+std::string SegmentKey(std::uint32_t segment) {
+  return "cum:seg:" + std::to_string(segment);
+}
+
+}  // namespace
+
+SnapshotFs::SnapshotFs(ObjectCloud& cloud) : cloud_(cloud) {}
+
+std::size_t SnapshotFs::ChunksNeeded() const {
+  return (state_.size() + kEntriesPerChunk - 1) / kEntriesPerChunk;
+}
+
+Status SnapshotFs::PutChunk(std::size_t index, OpMeter& meter) {
+  // Serialize the entries belonging to this chunk (the real object, so
+  // Fig. 14/15 storage accounting sees the metadata log).
+  std::string payload;
+  std::size_t i = 0;
+  for (const auto& [path, entry] : state_) {
+    if (i / kEntriesPerChunk == index) {
+      payload += MakeTupleLine(
+          {path, std::to_string(entry.size),
+           entry.kind == EntryKind::kDirectory ? "D" : "F",
+           std::to_string(entry.segment)});
+      payload.push_back('\n');
+    }
+    ++i;
+  }
+  ObjectValue value = ObjectValue::FromString(std::move(payload),
+                                              cloud_.clock().Tick());
+  value.metadata["kind"] = "metalog";
+  H2_RETURN_IF_ERROR(cloud_.Put(ChunkKey(index), std::move(value), meter));
+  if (chunk_dirty_.size() <= index) chunk_dirty_.resize(index + 1, false);
+  chunk_dirty_[index] = true;
+  return Status::Ok();
+}
+
+Status SnapshotFs::ChargeLogScan(OpMeter& meter) {
+  // Fetch every metadata-log chunk and walk every entry.
+  for (std::size_t i = 0; i < ChunksNeeded(); ++i) {
+    Result<ObjectValue> chunk = cloud_.Get(ChunkKey(i), meter);
+    if (!chunk.ok() && chunk.code() != ErrorCode::kNotFound) {
+      return chunk.status();
+    }
+  }
+  meter.Charge(static_cast<VirtualNanos>(state_.size()) * kPerEntryCpu);
+  meter.CountScanned(state_.size());  // work units: log entries walked
+  return Status::Ok();
+}
+
+Status SnapshotFs::RewriteLog(OpMeter& meter) {
+  const std::size_t needed = ChunksNeeded();
+  for (std::size_t i = 0; i < needed; ++i) {
+    H2_RETURN_IF_ERROR(PutChunk(i, meter));
+  }
+  // Drop chunks past the new end.
+  for (std::size_t i = needed; i < chunk_dirty_.size(); ++i) {
+    if (chunk_dirty_[i]) (void)cloud_.Delete(ChunkKey(i), meter);
+  }
+  chunk_dirty_.resize(needed, false);
+  meter.Charge(static_cast<VirtualNanos>(state_.size()) * kPerEntryCpu);
+  meter.CountScanned(state_.size());  // work units: log entries rewritten
+  return Status::Ok();
+}
+
+Status SnapshotFs::AppendToLog(OpMeter& meter) {
+  // Touch only the tail chunk.
+  const std::size_t last = ChunksNeeded() == 0 ? 0 : ChunksNeeded() - 1;
+  return PutChunk(last, meter);
+}
+
+Status SnapshotFs::RequireDir(const std::string& path, OpMeter& meter) {
+  (void)meter;
+  if (path == "/") return Status::Ok();
+  auto it = state_.find(path);
+  if (it == state_.end()) return Status::NotFound("no such directory: " + path);
+  if (it->second.kind != EntryKind::kDirectory) {
+    return Status::NotADirectory("not a directory: " + path);
+  }
+  return Status::Ok();
+}
+
+Status SnapshotFs::WriteContentToSegment(const Entry& entry,
+                                         OpMeter& meter) {
+  segment_bytes_ += entry.size;
+  if (segment_bytes_ > kSegmentTarget) {
+    ++current_segment_;
+    segment_bytes_ = entry.size;
+  }
+  // Rewrite (append to) the current segment object; the logical size
+  // reflects everything packed so far.
+  ObjectValue seg;
+  seg.payload = "segment-sample";
+  seg.logical_size = segment_bytes_;
+  seg.metadata["kind"] = "segment";
+  return cloud_.Put(SegmentKey(current_segment_), std::move(seg), meter);
+}
+
+Status SnapshotFs::WriteFile(std::string_view path, FileBlob blob) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::IsADirectory("cannot write to /");
+  H2_RETURN_IF_ERROR(RequireDir(ParentPath(p), meter));
+  auto it = state_.find(p);
+  if (it != state_.end() && it->second.kind == EntryKind::kDirectory) {
+    return Status::IsADirectory("is a directory: " + p);
+  }
+
+  Entry entry;
+  entry.kind = EntryKind::kFile;
+  entry.size = blob.logical_size;
+  entry.created = it != state_.end() ? it->second.created
+                                     : cloud_.clock().Tick();
+  entry.modified = cloud_.clock().Tick();
+  entry.segment = current_segment_;
+  entry.payload = std::move(blob.data);
+  H2_RETURN_IF_ERROR(WriteContentToSegment(entry, meter));
+  state_[p] = std::move(entry);
+  return AppendToLog(meter);
+}
+
+Result<FileBlob> SnapshotFs::ReadFile(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::IsADirectory("cannot read /");
+  // Locate the file by scanning the metadata log (O(N))...
+  H2_RETURN_IF_ERROR(ChargeLogScan(meter));
+  auto it = state_.find(p);
+  if (it == state_.end()) return Status::NotFound("no such file: " + p);
+  if (it->second.kind == EntryKind::kDirectory) {
+    return Status::IsADirectory("is a directory: " + p);
+  }
+  // ...then pull the segment that packs its content.
+  H2_ASSIGN_OR_RETURN(ObjectValue seg,
+                      cloud_.Get(SegmentKey(it->second.segment), meter));
+  (void)seg;
+  return FileBlob{it->second.payload, it->second.size};
+}
+
+Result<FileInfo> SnapshotFs::Stat(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") {
+    FileInfo info;
+    info.kind = EntryKind::kDirectory;
+    return info;
+  }
+  H2_RETURN_IF_ERROR(ChargeLogScan(meter));
+  auto it = state_.find(p);
+  if (it == state_.end()) return Status::NotFound("no such entry: " + p);
+  FileInfo info;
+  info.kind = it->second.kind;
+  info.size = it->second.size;
+  info.created = it->second.created;
+  info.modified = it->second.modified;
+  return info;
+}
+
+Status SnapshotFs::RemoveFile(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::IsADirectory("cannot remove /");
+  auto it = state_.find(p);
+  if (it == state_.end()) return Status::NotFound("no such file: " + p);
+  if (it->second.kind == EntryKind::kDirectory) {
+    return Status::IsADirectory("is a directory: " + p);
+  }
+  state_.erase(it);
+  // Dropping an entry invalidates the packed log: rewrite it.
+  return RewriteLog(meter);
+}
+
+Status SnapshotFs::Mkdir(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::AlreadyExists("/");
+  H2_RETURN_IF_ERROR(RequireDir(ParentPath(p), meter));
+  if (state_.contains(p)) return Status::AlreadyExists("exists: " + p);
+  Entry entry;
+  entry.kind = EntryKind::kDirectory;
+  entry.created = entry.modified = cloud_.clock().Tick();
+  state_[p] = std::move(entry);
+  return AppendToLog(meter);  // O(1): append-only
+}
+
+Status SnapshotFs::Rmdir(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  if (p == "/") return Status::InvalidArgument("cannot remove /");
+  H2_RETURN_IF_ERROR(RequireDir(p, meter));
+  const std::string lo = p + "/";
+  auto it = state_.lower_bound(lo);
+  while (it != state_.end() && it->first.compare(0, lo.size(), lo) == 0) {
+    it = state_.erase(it);
+  }
+  state_.erase(p);
+  return RewriteLog(meter);  // O(N)
+}
+
+Status SnapshotFs::Move(std::string_view from, std::string_view to) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string f, NormalizePath(from));
+  H2_ASSIGN_OR_RETURN(std::string t, NormalizePath(to));
+  if (f == "/") return Status::InvalidArgument("cannot move /");
+  if (t == "/") return Status::AlreadyExists("destination exists: /");
+  if (f == t) return Status::Ok();
+  if (IsWithin(t, f)) {
+    return Status::InvalidArgument("cannot move a directory into itself");
+  }
+  H2_RETURN_IF_ERROR(RequireDir(ParentPath(t), meter));
+  auto src = state_.find(f);
+  if (src == state_.end()) return Status::NotFound("no such entry: " + f);
+  if (state_.contains(t)) return Status::AlreadyExists("destination exists: " + t);
+
+  std::vector<std::pair<std::string, Entry>> moved;
+  moved.emplace_back(t, src->second);
+  if (src->second.kind == EntryKind::kDirectory) {
+    const std::string lo = f + "/";
+    for (auto it = state_.lower_bound(lo);
+         it != state_.end() && it->first.compare(0, lo.size(), lo) == 0;
+         ++it) {
+      moved.emplace_back(t + it->first.substr(f.size()), it->second);
+    }
+  }
+  // Erase the old range, insert the renamed one, rewrite the log.
+  state_.erase(f);
+  const std::string lo = f + "/";
+  auto it = state_.lower_bound(lo);
+  while (it != state_.end() && it->first.compare(0, lo.size(), lo) == 0) {
+    it = state_.erase(it);
+  }
+  for (auto& [new_path, entry] : moved) state_[new_path] = std::move(entry);
+  return RewriteLog(meter);  // O(N)
+}
+
+Result<std::vector<DirEntry>> SnapshotFs::List(std::string_view path,
+                                               ListDetail detail) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  H2_RETURN_IF_ERROR(RequireDir(p, meter));
+  H2_RETURN_IF_ERROR(ChargeLogScan(meter));  // O(N)
+
+  const std::string lo = p == "/" ? "/" : p + "/";
+  std::vector<DirEntry> entries;
+  for (auto it = state_.lower_bound(lo);
+       it != state_.end() && it->first.compare(0, lo.size(), lo) == 0;
+       ++it) {
+    const std::string_view rest = std::string_view(it->first).substr(lo.size());
+    if (rest.find('/') != std::string_view::npos) continue;
+    DirEntry e;
+    e.name = std::string(rest);
+    e.kind = it->second.kind;
+    if (detail == ListDetail::kDetailed) {
+      e.size = it->second.size;
+      e.modified = it->second.modified;
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+Status SnapshotFs::Copy(std::string_view from, std::string_view to) {
+  OpMeter& meter = BeginOp();
+  H2_ASSIGN_OR_RETURN(std::string f, NormalizePath(from));
+  H2_ASSIGN_OR_RETURN(std::string t, NormalizePath(to));
+  if (f == "/") return Status::InvalidArgument("cannot copy /");
+  if (t == "/") return Status::AlreadyExists("destination exists: /");
+  if (f == t || IsWithin(t, f)) {
+    return Status::InvalidArgument("cannot copy a directory into itself");
+  }
+  H2_RETURN_IF_ERROR(RequireDir(ParentPath(t), meter));
+  auto src = state_.find(f);
+  if (src == state_.end()) return Status::NotFound("no such entry: " + f);
+  if (state_.contains(t)) return Status::AlreadyExists("destination exists: " + t);
+
+  // Segments are immutable and content-shared between snapshots, so a COPY
+  // duplicates only metadata entries; finding them still scans the log.
+  H2_RETURN_IF_ERROR(ChargeLogScan(meter));
+  std::vector<std::pair<std::string, Entry>> copies;
+  copies.emplace_back(t, src->second);
+  if (src->second.kind == EntryKind::kDirectory) {
+    const std::string lo = f + "/";
+    for (auto it = state_.lower_bound(lo);
+         it != state_.end() && it->first.compare(0, lo.size(), lo) == 0;
+         ++it) {
+      copies.emplace_back(t + it->first.substr(f.size()), it->second);
+    }
+  }
+  for (auto& [new_path, entry] : copies) state_[new_path] = std::move(entry);
+  return RewriteLog(meter);
+}
+
+}  // namespace h2

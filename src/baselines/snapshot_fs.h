@@ -1,0 +1,82 @@
+// Compressed Snapshot baseline -- Cumulus (Table 1 row 1, Fig. 1a).
+//
+// Cumulus backs a filesystem up to an object cloud as *segments* (TAR-like
+// packs of file content) plus a *metadata log*: the directory hierarchy
+// flattened to a linear list of entries.  The representation is superb for
+// whole-filesystem backup/restore and terrible as a live filesystem:
+//
+//   * locating one file means scanning the metadata log -- O(N) GETs/CPU;
+//   * LIST and COPY scan the log the same way -- O(N);
+//   * RMDIR and MOVE invalidate log entries wholesale, forcing a rewrite
+//     of the log -- O(N);
+//   * only appends (WRITE of a new file, MKDIR) are cheap -- O(1) amortized,
+//     touching the log's tail chunk.
+//
+// The log is materialized as chunk objects ("cum:meta:<i>", 1024 entries
+// each) and content as rotating segment objects ("cum:seg:<k>"), so the
+// storage-side object counts and byte volumes are real; an in-memory
+// mirror answers queries *after* the faithful scan/rewrite costs have been
+// charged.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/object_cloud.h"
+#include "fs/filesystem.h"
+
+namespace h2 {
+
+class SnapshotFs final : public FileSystem {
+ public:
+  explicit SnapshotFs(ObjectCloud& cloud);
+
+  std::string_view system_name() const override { return "Cumulus"; }
+
+  Status WriteFile(std::string_view path, FileBlob blob) override;
+  Result<FileBlob> ReadFile(std::string_view path) override;
+  Result<FileInfo> Stat(std::string_view path) override;
+  Status RemoveFile(std::string_view path) override;
+  Status Mkdir(std::string_view path) override;
+  Status Rmdir(std::string_view path) override;
+  Status Move(std::string_view from, std::string_view to) override;
+  Result<std::vector<DirEntry>> List(std::string_view path,
+                                     ListDetail detail) override;
+  Status Copy(std::string_view from, std::string_view to) override;
+
+  std::size_t log_entry_count() const { return state_.size(); }
+  std::size_t chunk_count() const { return chunk_dirty_.size(); }
+
+ private:
+  struct Entry {
+    EntryKind kind = EntryKind::kFile;
+    std::uint64_t size = 0;
+    VirtualNanos created = 0;
+    VirtualNanos modified = 0;
+    std::uint32_t segment = 0;  // content segment (files)
+    std::string payload;        // sample payload (in-memory mirror)
+  };
+
+  // -- cost charging against the real log/segment objects --
+  Status ChargeLogScan(OpMeter& meter);
+  Status RewriteLog(OpMeter& meter);
+  Status AppendToLog(OpMeter& meter);
+
+  Status PutChunk(std::size_t index, OpMeter& meter);
+  std::size_t ChunksNeeded() const;
+
+  Status RequireDir(const std::string& path, OpMeter& meter);
+  Status WriteContentToSegment(const Entry& entry, OpMeter& meter);
+
+  ObjectCloud& cloud_;
+  // The "current snapshot": latest state per path, sorted so subtree
+  // ranges are contiguous (like the flattened metadata log).
+  std::map<std::string, Entry> state_;
+  std::vector<bool> chunk_dirty_;  // chunk objects currently in the cloud
+  std::uint32_t current_segment_ = 0;
+  std::uint64_t segment_bytes_ = 0;
+};
+
+}  // namespace h2

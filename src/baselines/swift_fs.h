@@ -1,0 +1,94 @@
+// OpenStack Swift pseudo-filesystem baseline: Consistent Hash with a
+// File-Path DB (Table 1 row 4; the paper's primary comparison system).
+//
+// Files live in the object cloud at hash(full path) -- the "pseudo
+// filesystem" of Fig. 1b -- and every file additionally has a row in a
+// per-account SQL-style file-path database (SQLite/MySQL in Swift), kept
+// sorted by path so LIST and COPY can binary-search instead of scanning
+// the cluster (Fig. 3).  This puts Swift's complexities at:
+//
+//   file access O(1); MKDIR O(1);
+//   RMDIR/MOVE  O(n)      -- every file's full path changes, so each one
+//                            must be copied to its new key and deleted;
+//   LIST        O(m logN) -- one B-tree descent per listed child;
+//   COPY        O(n+logN) -- per-file server-side copies + bulk DB insert.
+//
+// The DB is modeled as a sorted map whose accesses charge B-tree page
+// costs; it lives on a single storage node, which is the scalability
+// bottleneck the paper criticizes ("Limited" in Table 1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cluster/object_cloud.h"
+#include "fs/filesystem.h"
+
+namespace h2 {
+
+/// The file-path database: rows keyed by full path, sorted (B-tree).
+/// Cost accounting is done by the owner via the page-count helpers.
+class PathDb {
+ public:
+  struct Row {
+    EntryKind kind = EntryKind::kFile;
+    std::uint64_t size = 0;
+    VirtualNanos created = 0;
+    VirtualNanos modified = 0;
+  };
+
+  /// B-tree descent depth for the current table size.
+  std::uint64_t SeekPages() const;
+
+  bool Contains(const std::string& path) const;
+  const Row* Find(const std::string& path) const;
+  void Upsert(const std::string& path, Row row);
+  bool Erase(const std::string& path);
+
+  /// Visits rows in ["prefix/", "prefix0") -- i.e. everything beneath the
+  /// directory -- in path order.  Returns rows visited.
+  std::size_t VisitSubtree(
+      const std::string& dir,
+      const std::function<void(const std::string&, const Row&)>& fn) const;
+  /// Visits only direct children of `dir`.  Returns rows visited.
+  std::size_t VisitChildren(
+      const std::string& dir,
+      const std::function<void(const std::string&, const Row&)>& fn) const;
+
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::map<std::string, Row> rows_;
+};
+
+class SwiftFs final : public FileSystem {
+ public:
+  explicit SwiftFs(ObjectCloud& cloud);
+
+  std::string_view system_name() const override { return "Swift"; }
+
+  Status WriteFile(std::string_view path, FileBlob blob) override;
+  Result<FileBlob> ReadFile(std::string_view path) override;
+  Result<FileInfo> Stat(std::string_view path) override;
+  Status RemoveFile(std::string_view path) override;
+  Status Mkdir(std::string_view path) override;
+  Status Rmdir(std::string_view path) override;
+  Status Move(std::string_view from, std::string_view to) override;
+  Result<std::vector<DirEntry>> List(std::string_view path,
+                                     ListDetail detail) override;
+  Status Copy(std::string_view from, std::string_view to) override;
+
+  const PathDb& db() const { return db_; }
+
+ private:
+  std::string Key(std::string_view path) const;
+  void ChargeDbPages(OpMeter& meter, std::uint64_t pages);
+  /// Directory existence check via the DB (root always exists).
+  Status RequireDir(const std::string& path, OpMeter& meter);
+
+  ObjectCloud& cloud_;
+  PathDb db_;
+};
+
+}  // namespace h2

@@ -1,0 +1,62 @@
+#include "cluster/latency.h"
+
+#include <algorithm>
+
+namespace h2 {
+
+LatencyProfile LatencyProfile::RackLan() { return LatencyProfile{}; }
+
+LatencyProfile LatencyProfile::DropboxWan() {
+  LatencyProfile p;
+  // Dropbox's metadata service sits behind load balancers, an API tier and
+  // the index-server fleet; the paper measures its metadata operations at
+  // a roughly constant 80-200 ms regardless of n.  We keep the same
+  // storage primitive costs and add the stack overhead.
+  p.service_overhead = FromMillis(110.0);
+  p.jitter_frac = 0.25;  // Fig. 13 shows visible fluctuation for Dropbox
+  return p;
+}
+
+LatencyProfile LatencyProfile::ModernNvme() {
+  LatencyProfile p;
+  p.lan_hop = FromMillis(0.05);        // 25 GbE, kernel-bypass-ish
+  p.per_kib_net = FromMillis(0.0004);
+  p.proxy_cpu = FromMillis(0.2);
+  p.disk_read = FromMillis(0.25);      // NVMe random read
+  p.disk_write = FromMillis(0.35);
+  p.per_kib_disk = FromMillis(0.0006);
+  p.durable_commit = FromMillis(2.0);  // NVMe fsync
+  p.db_page = FromMillis(0.01);
+  p.index_cpu = FromMillis(0.02);
+  p.scan_per_object = FromMillis(0.002);
+  return p;
+}
+
+VirtualNanos LatencyModel::Jitter(VirtualNanos base) {
+  if (profile_.jitter_frac <= 0.0 || base <= 0) return base;
+  const double f =
+      1.0 + profile_.jitter_frac * (2.0 * rng_.NextDouble() - 1.0);
+  return static_cast<VirtualNanos>(static_cast<double>(base) * f);
+}
+
+VirtualNanos LatencyModel::ByteCost(std::uint64_t bytes) const {
+  const std::uint64_t kib = (bytes + 1023) / 1024;
+  return static_cast<VirtualNanos>(kib) *
+         (profile_.per_kib_net + profile_.per_kib_disk);
+}
+
+VirtualNanos LatencyModel::SampleWanRtt() {
+  // Triangular-ish: average of two uniforms over [min, max], centred near
+  // the midpoint; clamp keeps the paper's observed range.
+  const double u =
+      (rng_.NextDouble() + rng_.NextDouble()) / 2.0;  // mean 0.5
+  const double lo = static_cast<double>(profile_.wan_rtt_min);
+  const double hi = static_cast<double>(profile_.wan_rtt_max);
+  const double mean = static_cast<double>(profile_.wan_rtt_mean);
+  // Shift so the expected value sits at the configured mean.
+  const double raw = lo + u * (hi - lo);
+  const double centred = raw + (mean - (lo + hi) / 2.0);
+  return static_cast<VirtualNanos>(std::clamp(centred, lo, hi));
+}
+
+}  // namespace h2

@@ -1,0 +1,44 @@
+// The object value type stored by the simulated cloud.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+
+namespace h2 {
+
+/// An object as stored on a node.
+///
+/// `payload` holds the actual bytes; `logical_size` is the size the object
+/// *represents*.  Workload generators create multi-gigabyte "video" files
+/// without materializing the bytes: they store a small sample payload and
+/// declare the real size, which is what latency byte-costs and the storage
+/// overhead experiments (Fig. 14/15) account.  For ordinary small objects
+/// (NameRings, directory records, text files) the two are equal.
+struct ObjectValue {
+  std::string payload;
+  std::uint64_t logical_size = 0;
+  std::map<std::string, std::string> metadata;
+  VirtualNanos created = 0;
+  VirtualNanos modified = 0;
+
+  static ObjectValue FromString(std::string data, VirtualNanos now) {
+    ObjectValue v;
+    v.logical_size = data.size();
+    v.payload = std::move(data);
+    v.created = v.modified = now;
+    return v;
+  }
+};
+
+/// Metadata-only view returned by HEAD.
+struct ObjectHead {
+  std::uint64_t logical_size = 0;
+  std::map<std::string, std::string> metadata;
+  VirtualNanos created = 0;
+  VirtualNanos modified = 0;
+};
+
+}  // namespace h2

@@ -1,0 +1,403 @@
+#include "cluster/object_cloud.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "hash/md5.h"
+
+namespace h2 {
+
+ObjectCloud::ObjectCloud(const CloudConfig& config)
+    : ring_(config.part_power, config.replica_count),
+      latency_(config.latency, config.seed),
+      replica_count_(config.replica_count) {
+  assert(config.node_count >= 1);
+  SplitMix64 seeder(config.seed);
+  const int zones = std::max(config.zone_count, 1);
+  for (int i = 0; i < config.node_count; ++i) {
+    const auto id = static_cast<DeviceId>(i);
+    const auto zone = static_cast<std::uint32_t>(i % zones);
+    std::string name = "node-" + std::to_string(i);
+    nodes_.push_back(
+        std::make_unique<StorageNode>(id, name, seeder.Next(), zone));
+    const Status st =
+        ring_.AddDevice(RingDevice{id, std::move(name), 1.0, zone});
+    assert(st.ok());
+    (void)st;
+  }
+  const Status st = ring_.Rebalance();
+  assert(st.ok());
+  (void)st;
+}
+
+std::vector<StorageNode*> ObjectCloud::ReplicaNodes(
+    const std::string& key, std::uint32_t reader_zone) const {
+  const std::uint64_t hash = Md5::Hash64(key);
+  std::vector<StorageNode*> out;
+  for (DeviceId dev : ring_.ReplicasOfHash(hash)) {
+    out.push_back(nodes_[dev].get());
+  }
+  // Read affinity: same-zone replicas first, original order otherwise.
+  std::stable_partition(out.begin(), out.end(),
+                        [reader_zone](const StorageNode* n) {
+                          return n->zone() == reader_zone;
+                        });
+  return out;
+}
+
+VirtualNanos ObjectCloud::ZoneSurcharge(const StorageNode& node,
+                                        const OpMeter& meter) const {
+  return node.zone() == meter.zone() ? 0
+                                     : latency_.profile().inter_zone_hop;
+}
+
+Status ObjectCloud::Put(const std::string& key, ObjectValue value,
+                        OpMeter& meter, PutOptions opts) {
+  const std::uint64_t size = value.logical_size;
+  const std::vector<StorageNode*> replicas = ReplicaNodes(key, meter.zone());
+  {
+    std::lock_guard lock(latency_mu_);
+    VirtualNanos base = latency_.Jitter(latency_.PutBase());
+    if (opts.durable) base += latency_.profile().durable_commit;
+    // Replication fans out in parallel; the farthest replica's ack
+    // dominates when the quorum spans zones.
+    VirtualNanos zone_extra = 0;
+    int remote = 0;
+    for (const StorageNode* node : replicas) {
+      if (node->zone() != meter.zone()) ++remote;
+    }
+    const int quorum = replica_count_ / 2 + 1;
+    if (static_cast<int>(replicas.size()) - remote < quorum) {
+      zone_extra = latency_.profile().inter_zone_hop;
+    }
+    const VirtualNanos total = base + latency_.ByteCost(size) + zone_extra;
+    meter.Charge(total);
+    clock_.Advance(total);
+  }
+  meter.CountPut();
+  meter.AddBytes(size);
+
+  value.modified = clock_.Tick();
+  if (value.created == 0) value.created = value.modified;
+
+  int acks = 0;
+  Status last_error = Status::Internal("no replicas");
+  for (StorageNode* node : replicas) {
+    const Status st = node->Put(key, value);
+    if (st.ok()) {
+      ++acks;
+    } else {
+      last_error = st;
+    }
+  }
+  // Durability comes from fsync-before-ack (charged above), not from
+  // waiting for every replica: a majority quorum keeps writes available
+  // through single-node failures, like Swift's write affinity.
+  const int needed = replica_count_ / 2 + 1;
+  if (acks < std::min(needed, static_cast<int>(nodes_.size()))) {
+    return last_error;
+  }
+  return Status::Ok();
+}
+
+Result<ObjectValue> ObjectCloud::Get(const std::string& key,
+                                     OpMeter& meter) {
+  // Swift-style read: probe replicas in (zone-affine) ring order; a
+  // replica that answers 404 does NOT end the read -- it may simply have
+  // missed the write -- unless it holds a tombstone newer than any object
+  // copy, which means the object was deleted.
+  meter.CountGet();
+  bool any_answer = false;
+  VirtualNanos newest_tombstone = 0;
+  for (StorageNode* node : ReplicaNodes(key, meter.zone())) {
+    Result<ObjectValue> r = node->Get(key);
+    if (r.code() == ErrorCode::kUnavailable) {
+      std::lock_guard lock(latency_mu_);
+      meter.Charge(latency_.Jitter(latency_.profile().lan_hop));
+      continue;
+    }
+    any_answer = true;
+    if (r.ok()) {
+      if (r->modified <= std::max(newest_tombstone,
+                                  node->TombstoneTime(key))) {
+        continue;  // a newer delete supersedes this copy
+      }
+      const std::uint64_t size = r->logical_size;
+      std::lock_guard lock(latency_mu_);
+      const VirtualNanos total = latency_.Jitter(latency_.GetBase()) +
+                                 latency_.ByteCost(size) +
+                                 ZoneSurcharge(*node, meter);
+      meter.Charge(total);
+      clock_.Advance(total);
+      meter.AddBytes(size);
+      return r;
+    }
+    // 404: remember any tombstone and keep probing.
+    newest_tombstone = std::max(newest_tombstone, node->TombstoneTime(key));
+    std::lock_guard lock(latency_mu_);
+    const VirtualNanos probe = latency_.Jitter(latency_.HeadBase()) +
+                               ZoneSurcharge(*node, meter);
+    meter.Charge(probe);
+    clock_.Advance(probe);
+  }
+  if (any_answer) return Status::NotFound("no such object: " + key);
+  return Status::Unavailable("no replica reachable for: " + key);
+}
+
+Result<ObjectHead> ObjectCloud::Head(const std::string& key,
+                                     OpMeter& meter) {
+  meter.CountHead();
+  bool any_answer = false;
+  VirtualNanos newest_tombstone = 0;
+  for (StorageNode* node : ReplicaNodes(key, meter.zone())) {
+    Result<ObjectHead> r = node->Head(key);
+    if (r.code() == ErrorCode::kUnavailable) {
+      std::lock_guard lock(latency_mu_);
+      meter.Charge(latency_.Jitter(latency_.profile().lan_hop));
+      continue;
+    }
+    any_answer = true;
+    std::lock_guard lock(latency_mu_);
+    const VirtualNanos total = latency_.Jitter(latency_.HeadBase()) +
+                               ZoneSurcharge(*node, meter);
+    meter.Charge(total);
+    clock_.Advance(total);
+    if (r.ok()) {
+      if (r->modified <= std::max(newest_tombstone,
+                                  node->TombstoneTime(key))) {
+        continue;
+      }
+      return r;
+    }
+    newest_tombstone = std::max(newest_tombstone, node->TombstoneTime(key));
+  }
+  if (any_answer) return Status::NotFound("no such object: " + key);
+  return Status::Unavailable("no replica reachable for: " + key);
+}
+
+Status ObjectCloud::Delete(const std::string& key, OpMeter& meter) {
+  {
+    std::lock_guard lock(latency_mu_);
+    const VirtualNanos total = latency_.Jitter(latency_.DeleteBase());
+    meter.Charge(total);
+    clock_.Advance(total);
+  }
+  meter.CountDelete();
+
+  const VirtualNanos tombstone_ts = clock_.Tick();
+  int acks = 0;
+  bool found = false;
+  Status last_error = Status::Internal("no replicas");
+  for (StorageNode* node : ReplicaNodes(key)) {
+    const Status st = node->Delete(key, tombstone_ts);
+    if (st.ok()) {
+      ++acks;
+      found = true;
+    } else if (st.code() == ErrorCode::kNotFound) {
+      ++acks;  // already absent counts as success for idempotency
+    } else {
+      last_error = st;
+    }
+  }
+  const int needed =
+      std::min(replica_count_ / 2 + 1, static_cast<int>(nodes_.size()));
+  if (acks < needed) return last_error;
+  if (!found) return Status::NotFound("no such object: " + key);
+  return Status::Ok();
+}
+
+Status ObjectCloud::Copy(const std::string& src, const std::string& dst,
+                         OpMeter& meter) {
+  meter.CountCopy();
+  // Read from one source replica, write to the destination replicas --
+  // all inside the cluster, pipelined (CopyBase); the proxy sees only
+  // control traffic.
+  Status read_error = Status::Internal("no replicas");
+  for (StorageNode* node : ReplicaNodes(src)) {
+    Result<ObjectValue> r = node->Get(src);
+    if (r.code() == ErrorCode::kNotFound) return r.status();
+    if (!r.ok()) {
+      read_error = r.status();
+      continue;
+    }
+    ObjectValue value = std::move(r).value();
+    {
+      std::lock_guard lock(latency_mu_);
+      const VirtualNanos total = latency_.Jitter(latency_.CopyBase()) +
+                                 latency_.ByteCost(value.logical_size);
+      meter.Charge(total);
+      clock_.Advance(total);
+    }
+    meter.AddBytes(value.logical_size);
+    value.created = 0;  // fresh object at the destination
+    value.modified = clock_.Tick();
+    value.created = value.modified;
+
+    int acks = 0;
+    Status write_error = Status::Internal("no replicas");
+    for (StorageNode* dst_node : ReplicaNodes(dst)) {
+      const Status st = dst_node->Put(dst, value);
+      if (st.ok()) {
+        ++acks;
+      } else {
+        write_error = st;
+      }
+    }
+    const int needed =
+        std::min(replica_count_ / 2 + 1, static_cast<int>(nodes_.size()));
+    return acks >= needed ? Status::Ok() : write_error;
+  }
+  return read_error;
+}
+
+bool ObjectCloud::Exists(const std::string& key, OpMeter& meter) {
+  return Head(key, meter).ok();
+}
+
+void ObjectCloud::Scan(const std::function<void(const std::string&,
+                                                const ObjectValue&)>& visitor,
+                       OpMeter& meter) {
+  // Nodes scan concurrently; elapsed time is the busiest node's share.
+  std::uint64_t busiest = 0;
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    std::uint64_t visited = 0;
+    node->ForEach([&](const std::string& key, const ObjectValue& value) {
+      ++visited;
+      // Visit each logical object exactly once: at its primary replica.
+      const auto replicas = ring_.ReplicasOfHash(Md5::Hash64(key));
+      if (!replicas.empty() && replicas.front() == node->id()) {
+        visitor(key, value);
+      }
+    });
+    busiest = std::max(busiest, visited);
+    total += visited;
+  }
+  meter.CountScanned(total);
+  std::lock_guard lock(latency_mu_);
+  const VirtualNanos elapsed =
+      2 * latency_.profile().lan_hop +
+      static_cast<VirtualNanos>(busiest) *
+          latency_.profile().scan_per_object;
+  meter.Charge(elapsed);
+  clock_.Advance(elapsed);
+}
+
+std::uint64_t ObjectCloud::LogicalObjectCount() const {
+  std::uint64_t count = 0;
+  for (const auto& node : nodes_) {
+    node->ForEach([&](const std::string& key, const ObjectValue&) {
+      const auto replicas = ring_.ReplicasOfHash(Md5::Hash64(key));
+      if (!replicas.empty() && replicas.front() == node->id()) ++count;
+    });
+  }
+  return count;
+}
+
+std::uint64_t ObjectCloud::LogicalBytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& node : nodes_) {
+    node->ForEach([&](const std::string& key, const ObjectValue& value) {
+      const auto replicas = ring_.ReplicasOfHash(Md5::Hash64(key));
+      if (!replicas.empty() && replicas.front() == node->id()) {
+        bytes += value.logical_size;
+      }
+    });
+  }
+  return bytes;
+}
+
+std::uint64_t ObjectCloud::RawObjectCount() const {
+  std::uint64_t count = 0;
+  for (const auto& node : nodes_) count += node->object_count();
+  return count;
+}
+
+std::vector<std::uint64_t> ObjectCloud::NodeObjectCounts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(nodes_.size());
+  for (const auto& node : nodes_) counts.push_back(node->object_count());
+  return counts;
+}
+
+
+ObjectCloud::MigrationReport ObjectCloud::RedistributeObjects() {
+  MigrationReport report;
+  // Snapshot every object (newest copy wins) and who currently holds it.
+  struct Placement {
+    ObjectValue value;
+    std::vector<DeviceId> holders;
+  };
+  std::unordered_map<std::string, Placement> objects;
+  for (const auto& node : nodes_) {
+    node->ForEach([&](const std::string& key, const ObjectValue& value) {
+      auto [it, inserted] = objects.try_emplace(key);
+      if (inserted || value.modified > it->second.value.modified) {
+        it->second.value = value;
+      }
+      it->second.holders.push_back(node->id());
+    });
+  }
+
+  for (auto& [key, placement] : objects) {
+    // A tombstone newer than the object on any replica means the object
+    // was deleted; propagate the deletion instead of re-replicating.
+    VirtualNanos tombstone = 0;
+    for (const auto& node : nodes_) {
+      tombstone = std::max(tombstone, node->TombstoneTime(key));
+    }
+    const auto owners = ring_.ReplicasOfHash(Md5::Hash64(key));
+    if (tombstone >= placement.value.modified) {
+      for (DeviceId holder : placement.holders) {
+        if (nodes_[holder]->Delete(key, tombstone).ok()) {
+          ++report.objects_dropped;
+        }
+      }
+      continue;
+    }
+    for (DeviceId owner : owners) {
+      if (std::find(placement.holders.begin(), placement.holders.end(),
+                    owner) == placement.holders.end()) {
+        if (nodes_[owner]->Put(key, placement.value).ok()) {
+          ++report.objects_copied;
+          report.bytes_copied += placement.value.logical_size;
+        }
+      }
+    }
+    for (DeviceId holder : placement.holders) {
+      if (std::find(owners.begin(), owners.end(), holder) == owners.end()) {
+        if (nodes_[holder]->Delete(key).ok()) ++report.objects_dropped;
+      }
+    }
+  }
+  return report;
+}
+
+Result<ObjectCloud::MigrationReport> ObjectCloud::AddStorageNode() {
+  const auto id = static_cast<DeviceId>(nodes_.size());
+  std::string name = "node-" + std::to_string(id);
+  SplitMix64 seeder(0x9e3779b97f4a7c15ULL ^ id);
+  nodes_.push_back(std::make_unique<StorageNode>(id, name, seeder.Next()));
+  H2_RETURN_IF_ERROR(ring_.AddDevice(RingDevice{id, std::move(name), 1.0}));
+  H2_RETURN_IF_ERROR(ring_.Rebalance());
+  return RedistributeObjects();
+}
+
+Result<ObjectCloud::MigrationReport> ObjectCloud::DecommissionNode(
+    DeviceId id) {
+  H2_RETURN_IF_ERROR(ring_.RemoveDevice(id));
+  H2_RETURN_IF_ERROR(ring_.Rebalance());
+  MigrationReport report = RedistributeObjects();
+  // The drained node must hold nothing afterwards.
+  if (nodes_[id]->object_count() != 0) {
+    return Status::Internal("decommissioned node still holds objects");
+  }
+  return report;
+}
+
+ObjectCloud::MigrationReport ObjectCloud::RepairReplicas() {
+  return RedistributeObjects();
+}
+
+}  // namespace h2

@@ -1,0 +1,153 @@
+// The simulated object storage cloud: proxy + ring + replicated nodes.
+//
+// This is the substrate the whole repository runs on -- the stand-in for
+// the paper's OpenStack Swift deployment (§5.1: one proxy, eight storage
+// nodes, three replicas).  It exposes exactly the flat primitives the
+// paper builds on: PUT, GET, DELETE, HEAD, plus server-side COPY and the
+// full-cluster Scan that the plain consistent-hash baseline is forced to
+// use for directory traversals.
+//
+// Every primitive charges calibrated latency and counters to the OpMeter
+// the caller threads through (see cluster/latency.h, cluster/op_meter.h).
+//
+// Consistency/replication model: writes go to all R replicas and succeed
+// when a majority quorum acks; reads fall through replicas in ring order.
+// Failure injection on individual nodes lets tests exercise quorum
+// behaviour and H2Cloud's eventual-consistency story.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/latency.h"
+#include "cluster/object.h"
+#include "cluster/op_meter.h"
+#include "cluster/storage_node.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "ring/partition_ring.h"
+
+namespace h2 {
+
+struct CloudConfig {
+  int node_count = 8;        // storage nodes (paper: 8 + 1 proxy)
+  int replica_count = 3;     // paper §5.1
+  int part_power = 12;       // 4096 partitions; plenty for tests/benches
+  /// Failure domains (racks / data centers).  Nodes are assigned zones
+  /// round-robin; with zone_count >= replica_count the ring places every
+  /// object's replicas in distinct zones, and reads prefer the replica in
+  /// the caller's zone (OpMeter::SetZone), charging
+  /// latency.inter_zone_hop otherwise.
+  int zone_count = 1;
+  LatencyProfile latency = LatencyProfile::RackLan();
+  std::uint64_t seed = 42;
+};
+
+struct PutOptions {
+  /// Fsync-before-ack durability (used for NameRing patches and
+  /// journals): charges the durable-commit latency on top of the normal
+  /// majority-quorum write.
+  bool durable = false;
+};
+
+class ObjectCloud {
+ public:
+  explicit ObjectCloud(const CloudConfig& config);
+
+  ObjectCloud(const ObjectCloud&) = delete;
+  ObjectCloud& operator=(const ObjectCloud&) = delete;
+
+  // --- flat object primitives (the paper's PUT/GET/DELETE "and other") ---
+  Status Put(const std::string& key, ObjectValue value, OpMeter& meter,
+             PutOptions opts = {});
+  Result<ObjectValue> Get(const std::string& key, OpMeter& meter);
+  Result<ObjectHead> Head(const std::string& key, OpMeter& meter);
+  Status Delete(const std::string& key, OpMeter& meter);
+  /// Server-side copy; the payload never crosses the proxy.
+  Status Copy(const std::string& src, const std::string& dst,
+              OpMeter& meter);
+  /// Metadata existence probe (a HEAD that tolerates NotFound).
+  bool Exists(const std::string& key, OpMeter& meter);
+
+  /// Enumerates every *primary* object in the cluster (each logical object
+  /// once).  Nodes scan in parallel; the meter is charged for the busiest
+  /// node.  This is the only way a flat cloud can answer "which objects
+  /// are under directory X?" without an index -- the O(N) the paper's
+  /// Table 1 assigns to plain Consistent Hash.
+  void Scan(const std::function<void(const std::string&,
+                                     const ObjectValue&)>& visitor,
+            OpMeter& meter);
+
+  // --- cluster-wide accounting (Fig. 14 / Fig. 15) -----------------------
+  /// Logical (deduplicated) object count, i.e. replicas counted once.
+  std::uint64_t LogicalObjectCount() const;
+  /// Logical bytes, replicas counted once.
+  std::uint64_t LogicalBytes() const;
+  /// Raw stored copies across all nodes (= logical * replication when all
+  /// nodes are healthy).
+  std::uint64_t RawObjectCount() const;
+
+  // --- cluster administration ----------------------------------------------
+  // The elasticity story the paper leans on ("re-take advantage of the
+  // object storage cloud to automatically provide high reliability and
+  // scalability"): grow or shrink the ring and move only the partitions
+  // whose ownership changed, or heal replication after a node loss.
+  // Administration assumes a quiescent cluster (no concurrent writers),
+  // as Swift's ring deployments do.
+
+  struct MigrationReport {
+    std::uint64_t objects_copied = 0;   // new replica placements written
+    std::uint64_t objects_dropped = 0;  // stale replicas removed
+    std::uint64_t bytes_copied = 0;
+    double moved_fraction() const {
+      const std::uint64_t total = objects_copied + objects_dropped;
+      return total == 0 ? 0.0 : static_cast<double>(objects_copied) / total;
+    }
+  };
+
+  /// Adds a storage node, rebalances the ring, migrates affected
+  /// partitions.  Consistent hashing bounds the movement to ~1/(n+1) of
+  /// the data.
+  Result<MigrationReport> AddStorageNode();
+  /// Removes a node from the ring and drains its data to the new owners.
+  Result<MigrationReport> DecommissionNode(DeviceId id);
+  /// Anti-entropy pass: re-replicates under-replicated objects (e.g.
+  /// after a node lost its disk) and drops replicas from nodes that no
+  /// longer own them.  Swift calls this the replicator.
+  MigrationReport RepairReplicas();
+
+  // --- infrastructure access ---------------------------------------------
+  StorageNode& node(std::size_t i) { return *nodes_[i]; }
+  std::size_t node_count() const { return nodes_.size(); }
+  const PartitionRing& ring() const { return ring_; }
+  LatencyModel& latency() { return latency_; }
+  SimClock& clock() { return clock_; }
+
+  /// Per-node object counts (load-balance experiments).
+  std::vector<std::uint64_t> NodeObjectCounts() const;
+
+ private:
+  /// Replica nodes for a key, reordered so replicas in `reader_zone` come
+  /// first (read affinity).
+  std::vector<StorageNode*> ReplicaNodes(const std::string& key,
+                                         std::uint32_t reader_zone = 0) const;
+  /// Inter-zone surcharge for touching `node` from `meter`'s zone.
+  VirtualNanos ZoneSurcharge(const StorageNode& node,
+                             const OpMeter& meter) const;
+  /// Moves every object to exactly its current replica set.
+  MigrationReport RedistributeObjects();
+
+  PartitionRing ring_;
+  std::vector<std::unique_ptr<StorageNode>> nodes_;
+  SimClock clock_;
+
+  std::mutex latency_mu_;  // guards latency_'s jitter RNG
+  LatencyModel latency_;
+  int replica_count_;
+};
+
+}  // namespace h2

@@ -1,0 +1,112 @@
+#include "cluster/storage_node.h"
+
+namespace h2 {
+
+Status StorageNode::CheckAvailable() const {
+  if (down_) {
+    return Status::Unavailable("node " + name_ + " is down");
+  }
+  if (error_rate_ > 0.0 && fault_rng_.Chance(error_rate_)) {
+    return Status::Unavailable("node " + name_ + " injected fault");
+  }
+  return Status::Ok();
+}
+
+Status StorageNode::Put(const std::string& key, ObjectValue value) {
+  std::lock_guard lock(mu_);
+  H2_RETURN_IF_ERROR(CheckAvailable());
+  // Last-writer-wins against a tombstone: an older write arriving after a
+  // newer delete must not resurrect the object.
+  auto tomb = tombstones_.find(key);
+  if (tomb != tombstones_.end()) {
+    if (tomb->second >= value.modified) return Status::Ok();  // superseded
+    tombstones_.erase(tomb);
+  }
+  auto [it, inserted] = objects_.try_emplace(key);
+  if (!inserted) {
+    value.created = it->second.created;  // preserve creation time
+  }
+  it->second = std::move(value);
+  return Status::Ok();
+}
+
+Result<ObjectValue> StorageNode::Get(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  H2_RETURN_IF_ERROR(CheckAvailable());
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("no such object: " + key);
+  }
+  return it->second;
+}
+
+Result<ObjectHead> StorageNode::Head(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  H2_RETURN_IF_ERROR(CheckAvailable());
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("no such object: " + key);
+  }
+  const ObjectValue& v = it->second;
+  return ObjectHead{v.logical_size, v.metadata, v.created, v.modified};
+}
+
+Status StorageNode::Delete(const std::string& key, VirtualNanos ts) {
+  std::lock_guard lock(mu_);
+  H2_RETURN_IF_ERROR(CheckAvailable());
+  if (ts != 0) {
+    auto [it, inserted] = tombstones_.try_emplace(key, ts);
+    if (!inserted && ts > it->second) it->second = ts;
+  }
+  if (objects_.erase(key) == 0) {
+    return Status::NotFound("no such object: " + key);
+  }
+  return Status::Ok();
+}
+
+VirtualNanos StorageNode::TombstoneTime(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  auto it = tombstones_.find(key);
+  return it == tombstones_.end() ? 0 : it->second;
+}
+
+bool StorageNode::Contains(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  return objects_.find(key) != objects_.end();
+}
+
+void StorageNode::ForEach(
+    const std::function<void(const std::string&, const ObjectValue&)>& fn)
+    const {
+  std::lock_guard lock(mu_);
+  for (const auto& [key, value] : objects_) fn(key, value);
+}
+
+std::uint64_t StorageNode::object_count() const {
+  std::lock_guard lock(mu_);
+  return objects_.size();
+}
+
+std::uint64_t StorageNode::logical_bytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : objects_) total += value.logical_size;
+  return total;
+}
+
+void StorageNode::SetDown(bool down) {
+  std::lock_guard lock(mu_);
+  down_ = down;
+}
+
+bool StorageNode::IsDown() const {
+  std::lock_guard lock(mu_);
+  return down_;
+}
+
+void StorageNode::SetErrorRate(double rate) {
+  std::lock_guard lock(mu_);
+  error_rate_ = rate;
+}
+
+}  // namespace h2

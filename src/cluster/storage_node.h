@@ -1,0 +1,78 @@
+// A single storage node of the simulated object cloud.
+//
+// Thread-safe in-memory key/object store with failure injection.  Latency
+// is *not* charged here -- the ObjectCloud proxy layer owns accounting --
+// so a node is a pure state container, which keeps the concurrency story
+// simple (one mutex, no calls out while holding it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/object.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "ring/partition_ring.h"
+
+namespace h2 {
+
+class StorageNode {
+ public:
+  StorageNode(DeviceId id, std::string name, std::uint64_t fault_seed,
+              std::uint32_t zone = 0)
+      : id_(id), name_(std::move(name)), zone_(zone),
+        fault_rng_(fault_seed) {}
+
+  DeviceId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  std::uint32_t zone() const { return zone_; }
+
+  Status Put(const std::string& key, ObjectValue value);
+  Result<ObjectValue> Get(const std::string& key) const;
+  Result<ObjectHead> Head(const std::string& key) const;
+  /// Removes the object and records a tombstone at `ts` (0 = untimed).
+  /// Tombstones let the cloud's replica fall-through distinguish "this
+  /// replica missed the write" from "this object was deleted" -- the same
+  /// job Swift's X-Timestamp tombstones do.
+  Status Delete(const std::string& key, VirtualNanos ts = 0);
+  bool Contains(const std::string& key) const;
+  /// Deletion timestamp if this node holds a tombstone for `key`, else 0.
+  VirtualNanos TombstoneTime(const std::string& key) const;
+
+  /// Visits every (key, object) on this node.  The callback runs under the
+  /// node lock; it must not call back into the node.
+  void ForEach(
+      const std::function<void(const std::string&, const ObjectValue&)>& fn)
+      const;
+
+  std::uint64_t object_count() const;
+  std::uint64_t logical_bytes() const;
+
+  // --- failure injection -------------------------------------------------
+  /// A down node fails every request with kUnavailable.
+  void SetDown(bool down);
+  bool IsDown() const;
+  /// Each request independently fails with this probability (deterministic
+  /// per-node stream).
+  void SetErrorRate(double rate);
+
+ private:
+  Status CheckAvailable() const;
+
+  const DeviceId id_;
+  const std::string name_;
+  const std::uint32_t zone_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ObjectValue> objects_;
+  std::unordered_map<std::string, VirtualNanos> tombstones_;
+  bool down_ = false;
+  double error_rate_ = 0.0;
+  mutable Rng fault_rng_;
+};
+
+}  // namespace h2

@@ -1,0 +1,170 @@
+#include "codec/formatter.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace h2 {
+namespace {
+
+constexpr char kHex[] = "0123456789ABCDEF";
+
+bool NeedsEscape(char c) {
+  // '=' is escaped so KvRecord's key=value split is unambiguous even when
+  // keys or values contain it.
+  return c == '%' || c == '|' || c == '\n' || c == '=';
+}
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string EscapeField(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (NeedsEscape(c)) {
+      out.push_back('%');
+      out.push_back(kHex[static_cast<std::uint8_t>(c) >> 4]);
+      out.push_back(kHex[static_cast<std::uint8_t>(c) & 15]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeField(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) {
+      return Status::Corruption("truncated escape in field");
+    }
+    const int hi = HexVal(s[i + 1]);
+    const int lo = HexVal(s[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::Corruption("invalid escape in field");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ParseTupleLine(std::string_view line) {
+  std::vector<std::string> out;
+  for (auto field : Split(line, '|')) {
+    H2_ASSIGN_OR_RETURN(std::string unescaped, UnescapeField(field));
+    out.push_back(std::move(unescaped));
+  }
+  return out;
+}
+
+std::string MakeTupleLine(const std::vector<std::string_view>& fields) {
+  std::string out;
+  bool first = true;
+  for (auto f : fields) {
+    if (!first) out.push_back('|');
+    out += EscapeField(f);
+    first = false;
+  }
+  return out;
+}
+
+void KvRecord::Set(std::string_view key, std::string_view value) {
+  fields_[std::string(key)] = std::string(value);
+}
+
+void KvRecord::SetInt(std::string_view key, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  Set(key, buf);
+}
+
+void KvRecord::SetUint(std::string_view key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  Set(key, buf);
+}
+
+bool KvRecord::Has(std::string_view key) const {
+  return fields_.find(key) != fields_.end();
+}
+
+const std::string& KvRecord::Get(std::string_view key) const {
+  static const std::string kEmpty;
+  auto it = fields_.find(key);
+  return it == fields_.end() ? kEmpty : it->second;
+}
+
+Result<std::int64_t> KvRecord::GetInt(std::string_view key) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end()) {
+    return Status::Corruption("missing field: " + std::string(key));
+  }
+  std::string_view v = it->second;
+  bool negative = false;
+  if (!v.empty() && v[0] == '-') {
+    negative = true;
+    v.remove_prefix(1);
+  }
+  std::uint64_t magnitude = 0;
+  if (!ParseUint64(v, &magnitude)) {
+    return Status::Corruption("bad integer field: " + std::string(key));
+  }
+  const std::int64_t value = static_cast<std::int64_t>(magnitude);
+  return negative ? -value : value;
+}
+
+Result<std::uint64_t> KvRecord::GetUint(std::string_view key) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end()) {
+    return Status::Corruption("missing field: " + std::string(key));
+  }
+  std::uint64_t value = 0;
+  if (!ParseUint64(it->second, &value)) {
+    return Status::Corruption("bad integer field: " + std::string(key));
+  }
+  return value;
+}
+
+std::string KvRecord::Serialize() const {
+  std::string out;
+  for (const auto& [key, value] : fields_) {
+    out += EscapeField(key);
+    out.push_back('=');
+    out += EscapeField(value);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<KvRecord> KvRecord::Parse(std::string_view data) {
+  KvRecord record;
+  for (auto line : Split(data, '\n')) {
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Corruption("record line without '='");
+    }
+    H2_ASSIGN_OR_RETURN(std::string key, UnescapeField(line.substr(0, eq)));
+    H2_ASSIGN_OR_RETURN(std::string value,
+                        UnescapeField(line.substr(eq + 1)));
+    record.fields_[std::move(key)] = std::move(value);
+  }
+  return record;
+}
+
+}  // namespace h2

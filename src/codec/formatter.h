@@ -1,0 +1,60 @@
+// The Formatter (ICPP'18 §4.4): converts every data type H2Cloud stores --
+// directory records, NameRings, NameRing patches, account records -- into
+// ASCII string-style objects, and parses them back.
+//
+// Two building blocks:
+//   * field escaping: '%', '|' and '\n' are percent-encoded so arbitrary
+//     file names survive the round trip;
+//   * a line-oriented record codec: each record is `key=value\n` (values
+//     escaped), giving objects that are human-inspectable in a debugger or
+//     a raw object GET -- mirroring how Swift metadata is plain text.
+//
+// NameRing tuple lists use the same escaping with '|'-separated fields and
+// are serialized in alphabetical child order, as §4.4 requires.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace h2 {
+
+/// Percent-encode '%', '|', '=' and '\n'.
+std::string EscapeField(std::string_view s);
+
+/// Inverse of EscapeField.  Fails on truncated or invalid escapes.
+Result<std::string> UnescapeField(std::string_view s);
+
+/// Splits a '|'-separated tuple line into unescaped fields.
+Result<std::vector<std::string>> ParseTupleLine(std::string_view line);
+
+/// Joins fields into a '|'-separated tuple line, escaping each.
+std::string MakeTupleLine(const std::vector<std::string_view>& fields);
+
+/// Ordered key=value record codec (deterministic output: keys sorted).
+class KvRecord {
+ public:
+  void Set(std::string_view key, std::string_view value);
+  void SetInt(std::string_view key, std::int64_t value);
+  void SetUint(std::string_view key, std::uint64_t value);
+
+  bool Has(std::string_view key) const;
+  /// Empty string when absent; use Has() to distinguish.
+  const std::string& Get(std::string_view key) const;
+  Result<std::int64_t> GetInt(std::string_view key) const;
+  Result<std::uint64_t> GetUint(std::string_view key) const;
+
+  std::string Serialize() const;
+  static Result<KvRecord> Parse(std::string_view data);
+
+  std::size_t size() const { return fields_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> fields_;
+};
+
+}  // namespace h2

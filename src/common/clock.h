@@ -1,0 +1,68 @@
+// Virtual time for deterministic latency simulation.
+//
+// Benchmarks in this repository reproduce the paper's "operation time"
+// metric (ICPP'18 §5.2): how long the storage system needs to process a
+// filesystem operation, excluding client RTT.  Instead of sleeping, the
+// object cloud *charges* per-primitive latencies (see cluster/latency.h) to
+// an OpMeter; the SimClock provides a monotonically advancing virtual
+// timestamp used for NameRing tuple timestamps, UUID generation and gossip
+// ordering.  This keeps runs fast and bit-for-bit reproducible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace h2 {
+
+/// Virtual duration in nanoseconds.  A plain integral type (not
+/// std::chrono) so it can be accumulated and serialized trivially.
+using VirtualNanos = std::int64_t;
+
+constexpr VirtualNanos kMicrosecond = 1'000;
+constexpr VirtualNanos kMillisecond = 1'000'000;
+constexpr VirtualNanos kSecond = 1'000'000'000;
+
+constexpr double ToMillis(VirtualNanos ns) {
+  return static_cast<double>(ns) / static_cast<double>(kMillisecond);
+}
+constexpr VirtualNanos FromMillis(double ms) {
+  return static_cast<VirtualNanos>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Monotonic virtual clock.  `Tick()` returns a strictly increasing
+/// timestamp, so two events observed by the same clock never collide --
+/// the property the NameRing merge algorithm's last-writer-wins rule and
+/// the gossip loop-back suppression both rely on.
+///
+/// Thread-safe: timestamps are handed out from a single atomic counter.
+class SimClock {
+ public:
+  /// Starts at `epoch_ns` (defaults to the paper's example timestamp
+  /// 1469346604539 ms so namespace UUIDs look like the ones in §3.1).
+  explicit SimClock(VirtualNanos epoch_ns = 1469346604539LL * kMillisecond)
+      : now_(epoch_ns) {}
+
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  /// Current virtual time without advancing.
+  VirtualNanos Now() const { return now_.load(std::memory_order_relaxed); }
+
+  /// Strictly increasing timestamp (advances by 1ns per call).
+  VirtualNanos Tick() {
+    return now_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Advance virtual time (e.g. between benchmark phases).
+  void Advance(VirtualNanos delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Milliseconds since the UNIX epoch, as used in namespace UUIDs.
+  std::int64_t NowUnixMillis() const { return Now() / kMillisecond; }
+
+ private:
+  std::atomic<VirtualNanos> now_;
+};
+
+}  // namespace h2

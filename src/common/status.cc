@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace h2 {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kNotADirectory: return "NotADirectory";
+    case ErrorCode::kIsADirectory: return "IsADirectory";
+    case ErrorCode::kNotEmpty: return "NotEmpty";
+    case ErrorCode::kUnavailable: return "Unavailable";
+    case ErrorCode::kCorruption: return "Corruption";
+    case ErrorCode::kPermission: return "Permission";
+    case ErrorCode::kUnimplemented: return "Unimplemented";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace h2

@@ -1,0 +1,153 @@
+// Lightweight status / result types used across the H2Cloud codebase.
+//
+// Filesystem and object-store operations fail for ordinary reasons (missing
+// key, existing directory, node down) that are part of the API contract, so
+// errors are values, not exceptions.  `Status` carries an error code plus a
+// human-readable message; `Result<T>` is a Status-or-value sum type.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace h2 {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,        // object / path does not exist
+  kAlreadyExists,   // create target already present
+  kInvalidArgument, // malformed path, bad parameter
+  kNotADirectory,   // directory operation on a file
+  kIsADirectory,    // file operation on a directory
+  kNotEmpty,        // non-recursive RMDIR of a populated directory
+  kUnavailable,     // node down / quorum not reached
+  kCorruption,      // failed to parse a stored object
+  kPermission,      // account / auth failure
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name for an error code ("NotFound", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// Value-semantic status: either OK or (code, message).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string m) {
+    return {ErrorCode::kNotFound, std::move(m)};
+  }
+  static Status AlreadyExists(std::string m) {
+    return {ErrorCode::kAlreadyExists, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m) {
+    return {ErrorCode::kInvalidArgument, std::move(m)};
+  }
+  static Status NotADirectory(std::string m) {
+    return {ErrorCode::kNotADirectory, std::move(m)};
+  }
+  static Status IsADirectory(std::string m) {
+    return {ErrorCode::kIsADirectory, std::move(m)};
+  }
+  static Status NotEmpty(std::string m) {
+    return {ErrorCode::kNotEmpty, std::move(m)};
+  }
+  static Status Unavailable(std::string m) {
+    return {ErrorCode::kUnavailable, std::move(m)};
+  }
+  static Status Corruption(std::string m) {
+    return {ErrorCode::kCorruption, std::move(m)};
+  }
+  static Status Permission(std::string m) {
+    return {ErrorCode::kPermission, std::move(m)};
+  }
+  static Status Unimplemented(std::string m) {
+    return {ErrorCode::kUnimplemented, std::move(m)};
+  }
+  static Status Internal(std::string m) {
+    return {ErrorCode::kInternal, std::move(m)};
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "NotFound: no such object" or "OK".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Status-or-value.  `Result<T>` is OK iff it holds a value.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}                 // NOLINT
+  Result(Status status) : rep_(std::move(status)) {           // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+  ErrorCode code() const {
+    return ok() ? ErrorCode::kOk : std::get<Status>(rep_).code();
+  }
+
+  /// Value if OK, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagate-on-error helpers, in the style of absl's RETURN_IF_ERROR.
+#define H2_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::h2::Status h2_status_ = (expr);             \
+    if (!h2_status_.ok()) return h2_status_;      \
+  } while (0)
+
+#define H2_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto H2_CONCAT_(h2_result_, __LINE__) = (expr); \
+  if (!H2_CONCAT_(h2_result_, __LINE__).ok())     \
+    return H2_CONCAT_(h2_result_, __LINE__).status(); \
+  lhs = std::move(H2_CONCAT_(h2_result_, __LINE__)).value()
+
+#define H2_CONCAT_(a, b) H2_CONCAT_IMPL_(a, b)
+#define H2_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace h2

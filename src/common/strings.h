@@ -1,0 +1,32 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace h2 {
+
+/// Split on a single-character delimiter.  Keeps empty fields.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+/// Split, dropping empty fields ("/a//b/" -> {"a","b"}).
+std::vector<std::string_view> SplitSkipEmpty(std::string_view s, char delim);
+
+/// Join with a delimiter.
+std::string Join(const std::vector<std::string_view>& parts,
+                 std::string_view delim);
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parse a non-negative decimal integer; returns false on any malformation.
+bool ParseUint64(std::string_view s, std::uint64_t* out);
+
+/// Format a byte count as "1.5 MiB" etc. (used by bench table output).
+std::string HumanBytes(std::uint64_t bytes);
+
+}  // namespace h2

@@ -1,0 +1,16 @@
+#include "fs/filesystem.h"
+
+#include "fs/path.h"
+
+namespace h2 {
+
+Status FileSystem::Rename(std::string_view path, std::string_view new_name) {
+  if (!IsValidName(new_name)) {
+    BeginOp();
+    return Status::InvalidArgument("bad name: " + std::string(new_name));
+  }
+  H2_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  return Move(normalized, JoinPath(ParentPath(normalized), new_name));
+}
+
+}  // namespace h2

@@ -1,0 +1,109 @@
+// The POSIX-like filesystem interface every system in this repository
+// implements: the H2 middleware and all seven Table-1 baselines.
+//
+// The operation set is the paper's (§1): READ, WRITE, MKDIR, RMDIR, MOVE,
+// RENAME, LIST, COPY, plus Stat -- "file access" in the evaluation, which
+// measures the *lookup* time of a file while excluding content transfer
+// (§5.2).  Each call meters its own cost; `last_op()` returns the
+// simulated operation time and primitive counts of the most recent call,
+// which is exactly the series the figures plot.
+//
+// Implementations are thread-compatible: one client drives one FileSystem
+// instance at a time; concurrent multi-middleware behaviour is exercised
+// through separate H2Middleware instances over a shared cloud.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/op_meter.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace h2 {
+
+/// File content plus its declared logical size (large synthetic files
+/// carry a small sample payload; see cluster/object.h).
+struct FileBlob {
+  std::string data;
+  std::uint64_t logical_size = 0;
+
+  static FileBlob FromString(std::string s) {
+    FileBlob b;
+    b.logical_size = s.size();
+    b.data = std::move(s);
+    return b;
+  }
+  static FileBlob Synthetic(std::string sample, std::uint64_t size) {
+    return FileBlob{std::move(sample), size};
+  }
+};
+
+enum class EntryKind { kFile, kDirectory };
+
+struct DirEntry {
+  std::string name;
+  EntryKind kind = EntryKind::kFile;
+  // Populated only by detailed LISTs.
+  std::uint64_t size = 0;
+  VirtualNanos modified = 0;
+};
+
+struct FileInfo {
+  EntryKind kind = EntryKind::kFile;
+  std::uint64_t size = 0;
+  VirtualNanos created = 0;
+  VirtualNanos modified = 0;
+};
+
+/// Names-only LIST is the O(1) NameRing read; detailed LIST additionally
+/// fetches each child's metadata -- O(m) (§2, "Comparison with H2").
+enum class ListDetail { kNamesOnly, kDetailed };
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Short system name for bench tables ("H2Cloud", "Swift", ...).
+  virtual std::string_view system_name() const = 0;
+
+  // --- file content -------------------------------------------------------
+  virtual Status WriteFile(std::string_view path, FileBlob blob) = 0;
+  virtual Result<FileBlob> ReadFile(std::string_view path) = 0;
+  /// "File access" in the paper: locate the file and return its metadata
+  /// without transferring content.
+  virtual Result<FileInfo> Stat(std::string_view path) = 0;
+  virtual Status RemoveFile(std::string_view path) = 0;
+
+  // --- directories ----------------------------------------------------------
+  virtual Status Mkdir(std::string_view path) = 0;
+  /// Removes a directory and everything beneath it (the paper's RMDIR
+  /// benchmarks directories holding n files).
+  virtual Status Rmdir(std::string_view path) = 0;
+  /// Moves a file or directory subtree to a new full path.
+  virtual Status Move(std::string_view from, std::string_view to) = 0;
+  /// RENAME "is in fact a special case of MOVE" (§5.3): same parent,
+  /// new name.
+  virtual Status Rename(std::string_view path, std::string_view new_name);
+  virtual Result<std::vector<DirEntry>> List(std::string_view path,
+                                             ListDetail detail) = 0;
+  /// Copies a file or directory subtree to a new full path.
+  virtual Status Copy(std::string_view from, std::string_view to) = 0;
+
+  // --- metering -------------------------------------------------------------
+  /// Cost of the most recent operation (the figures' y-axis).
+  const OpCost& last_op() const { return meter_.cost(); }
+
+ protected:
+  /// Implementations call this first in every public operation.
+  OpMeter& BeginOp() {
+    meter_.Reset();
+    return meter_;
+  }
+
+  OpMeter meter_;
+};
+
+}  // namespace h2

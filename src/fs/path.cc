@@ -1,0 +1,72 @@
+#include "fs/path.h"
+
+#include "common/strings.h"
+
+namespace h2 {
+
+bool IsValidName(std::string_view name) {
+  if (name.empty() || name == "." || name == "..") return false;
+  for (char c : name) {
+    if (c == '/' || c == '\0') return false;
+  }
+  return true;
+}
+
+Result<std::string> NormalizePath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must be absolute: " +
+                                   std::string(path));
+  }
+  std::string out;
+  for (auto part : SplitSkipEmpty(path, '/')) {
+    if (!IsValidName(part)) {
+      return Status::InvalidArgument("bad path component: " +
+                                     std::string(part));
+    }
+    out.push_back('/');
+    out += part;
+  }
+  if (out.empty()) out = "/";
+  return out;
+}
+
+std::vector<std::string_view> PathComponents(std::string_view normalized) {
+  return SplitSkipEmpty(normalized, '/');
+}
+
+std::string ParentPath(std::string_view normalized) {
+  if (normalized == "/") return "/";
+  const std::size_t slash = normalized.rfind('/');
+  if (slash == 0) return "/";
+  return std::string(normalized.substr(0, slash));
+}
+
+std::string_view BaseName(std::string_view normalized) {
+  if (normalized == "/") return {};
+  const std::size_t slash = normalized.rfind('/');
+  return normalized.substr(slash + 1);
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (out.empty() || out.back() != '/') out.push_back('/');
+  out += name;
+  return out;
+}
+
+std::size_t PathDepth(std::string_view normalized) {
+  if (normalized == "/") return 0;
+  std::size_t depth = 0;
+  for (char c : normalized) {
+    if (c == '/') ++depth;
+  }
+  return depth;
+}
+
+bool IsWithin(std::string_view path, std::string_view ancestor) {
+  if (ancestor == "/") return true;
+  if (!StartsWith(path, ancestor)) return false;
+  return path.size() == ancestor.size() || path[ancestor.size()] == '/';
+}
+
+}  // namespace h2

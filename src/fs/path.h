@@ -1,0 +1,43 @@
+// Path handling for the POSIX-like namespace all filesystems expose.
+//
+// Paths are absolute, '/'-separated, normalized ("/home/ubuntu/file1").
+// Component names may contain any byte except '/' and NUL; the Formatter's
+// escaping keeps them safe inside stored objects.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace h2 {
+
+/// True for a valid single component ("ubuntu", not "a/b", ".", "..", "").
+bool IsValidName(std::string_view name);
+
+/// Normalizes to "/a/b/c" form: leading slash, no duplicate or trailing
+/// slashes.  Fails on relative paths, empty input, "." / ".." components.
+Result<std::string> NormalizePath(std::string_view path);
+
+/// Components of a normalized path ("/a/b" -> {"a","b"}; "/" -> {}).
+std::vector<std::string_view> PathComponents(std::string_view normalized);
+
+/// Parent of a normalized path ("/a/b" -> "/a"; "/a" -> "/").
+/// The root has no parent: ParentPath("/") == "/".
+std::string ParentPath(std::string_view normalized);
+
+/// Last component ("/a/b" -> "b"); empty for "/".
+std::string_view BaseName(std::string_view normalized);
+
+/// Joins a normalized directory path and a child name.
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+/// Directory depth d as the paper defines it: number of components
+/// ("/home/ubuntu/file1" has d = 3).
+std::size_t PathDepth(std::string_view normalized);
+
+/// True if `path` equals `ancestor` or lies beneath it.
+bool IsWithin(std::string_view path, std::string_view ancestor);
+
+}  // namespace h2

@@ -1,0 +1,104 @@
+#include "gossip/gossip.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace h2 {
+
+GossipBus::GossipBus(int fanout, std::uint64_t seed)
+    : fanout_(std::max(fanout, 1)), rng_(seed) {}
+
+std::uint32_t GossipBus::Join(Handler handler) {
+  std::lock_guard lock(mu_);
+  members_.push_back(std::move(handler));
+  return static_cast<std::uint32_t>(members_.size() - 1);
+}
+
+void GossipBus::FanOutLocked(std::uint32_t from, const Rumor& rumor) {
+  const std::size_t n = members_.size();
+  if (n <= 1) return;
+  // The first peer is always the ring successor: a fresh rumor therefore
+  // walks the whole membership ring even if every random pick lands on an
+  // already-informed member, so pure rumor-mongering cannot stall short of
+  // full coverage.  The remaining fanout-1 peers are random, which is what
+  // gives the epidemic its O(log n) spreading speed.
+  const std::size_t want =
+      std::min<std::size_t>(static_cast<std::size_t>(fanout_), n - 1);
+  const std::uint32_t successor =
+      static_cast<std::uint32_t>((from + 1) % n);
+  queue_.push_back(Delivery{successor, rumor});
+  ++stats_.forwarded;
+
+  std::vector<std::uint32_t> peers;
+  peers.reserve(n - 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i != from && i != successor) peers.push_back(i);
+  }
+  for (std::size_t i = 0; i + 1 < want && i < peers.size(); ++i) {
+    const std::size_t j = i + rng_.Below(peers.size() - i);
+    std::swap(peers[i], peers[j]);
+    queue_.push_back(Delivery{peers[i], rumor});
+    ++stats_.forwarded;
+  }
+}
+
+void GossipBus::Publish(std::uint32_t from, Rumor rumor) {
+  std::lock_guard lock(mu_);
+  assert(from < members_.size());
+  ++stats_.published;
+  FanOutLocked(from, rumor);
+}
+
+std::size_t GossipBus::Step() {
+  // Swap out this round's queue so handler-generated traffic lands in the
+  // next round, then deliver without holding the lock.
+  std::deque<Delivery> round;
+  {
+    std::lock_guard lock(mu_);
+    if (queue_.empty()) return 0;
+    round.swap(queue_);
+    ++stats_.rounds;
+  }
+
+  std::size_t delivered = 0;
+  for (const Delivery& d : round) {
+    Handler handler;
+    {
+      std::lock_guard lock(mu_);
+      handler = members_[d.to];
+    }
+    const bool fresh = handler(d.rumor);
+    ++delivered;
+    std::lock_guard lock(mu_);
+    ++stats_.delivered;
+    if (fresh) {
+      FanOutLocked(d.to, d.rumor);
+    } else {
+      ++stats_.suppressed;  // timestamp said: already known; stop here
+    }
+  }
+  return delivered;
+}
+
+std::size_t GossipBus::RunToQuiescence(std::size_t max_rounds) {
+  std::size_t rounds = 0;
+  while (rounds < max_rounds && Step() > 0) ++rounds;
+  return rounds;
+}
+
+bool GossipBus::Idle() const {
+  std::lock_guard lock(mu_);
+  return queue_.empty();
+}
+
+GossipStats GossipBus::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t GossipBus::member_count() const {
+  std::lock_guard lock(mu_);
+  return members_.size();
+}
+
+}  // namespace h2

@@ -1,0 +1,93 @@
+// Epidemic dissemination engine (ICPP'18 §3.3.2, step 2).
+//
+// After a middleware merges patches into a NameRing it must tell the other
+// middlewares, "so that each node can eventually have the same NameRing
+// views".  The paper uses gossip flooding: each gossip message carries
+// tuples (N_i, H_j, t_k) -- NameRing N_i was updated on node H_j at time
+// t_k -- and a receiver aborts forwarding when its local timestamp already
+// covers the rumor (loop-back avoidance by timestamp comparison).
+//
+// This module is the protocol engine, independent of NameRings: members
+// join with a handler; `Publish` injects a rumor at a member; delivery
+// fans out to `fanout` random peers per hop.  The handler returns true if
+// the rumor was *news* (keep forwarding) and false if stale (stop) --
+// exactly the paper's timestamp rule, supplied by the H2 layer.
+//
+// Two execution modes:
+//   * deterministic: tests and benches call Step()/RunToQuiescence() and
+//     observe per-round delivery counts;
+//   * threaded: H2Cloud's background pump calls Step() periodically.
+// All state is guarded by one mutex; handlers are invoked without the lock
+// held so they may publish follow-up rumors.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace h2 {
+
+struct Rumor {
+  std::string topic;          // e.g. a NameRing namespace key
+  std::uint32_t origin = 0;   // member that produced the update
+  std::int64_t version = 0;   // update timestamp t_k
+};
+
+struct GossipStats {
+  std::uint64_t published = 0;
+  std::uint64_t delivered = 0;   // handler invocations
+  std::uint64_t forwarded = 0;   // fan-out transmissions enqueued
+  std::uint64_t suppressed = 0;  // rumors a handler declared stale
+  std::uint64_t rounds = 0;
+};
+
+class GossipBus {
+ public:
+  /// `fanout`: peers each member forwards a fresh rumor to.
+  explicit GossipBus(int fanout = 3, std::uint64_t seed = 7);
+
+  /// Handler: called on rumor delivery; return true iff the rumor was new
+  /// locally (it will then be forwarded onward).
+  using Handler = std::function<bool(const Rumor&)>;
+
+  /// Adds a member; returns its id (dense, starting at 0).
+  std::uint32_t Join(Handler handler);
+
+  /// Member `from` announces a rumor to `fanout` random peers.
+  void Publish(std::uint32_t from, Rumor rumor);
+
+  /// Delivers every message currently queued (one gossip round).
+  /// Messages enqueued by handlers during the round run next round.
+  /// Returns the number of deliveries made.
+  std::size_t Step();
+
+  /// Steps until no messages remain; returns rounds taken.
+  /// Stops after `max_rounds` as a runaway guard.
+  std::size_t RunToQuiescence(std::size_t max_rounds = 10'000);
+
+  bool Idle() const;
+  GossipStats stats() const;
+  std::size_t member_count() const;
+
+ private:
+  struct Delivery {
+    std::uint32_t to;
+    Rumor rumor;
+  };
+
+  void FanOutLocked(std::uint32_t from, const Rumor& rumor);
+
+  const int fanout_;
+  mutable std::mutex mu_;
+  std::vector<Handler> members_;
+  std::deque<Delivery> queue_;
+  Rng rng_;
+  GossipStats stats_;
+};
+
+}  // namespace h2

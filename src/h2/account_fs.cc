@@ -1,0 +1,109 @@
+#include "h2/account_fs.h"
+
+#include "fs/path.h"
+
+namespace h2 {
+
+Status H2AccountFs::WriteFile(std::string_view path, FileBlob blob) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  return middleware_.WriteFile(root_, p, std::move(blob), meter);
+}
+
+Status H2AccountFs::WriteFiles(
+    std::vector<std::pair<std::string, FileBlob>> files) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  std::vector<H2Middleware::BatchEntry> batch;
+  batch.reserve(files.size());
+  for (auto& [path, blob] : files) {
+    H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+    batch.push_back(H2Middleware::BatchEntry{std::move(p), std::move(blob)});
+  }
+  return middleware_.WriteFiles(root_, std::move(batch), meter);
+}
+
+Result<FileBlob> H2AccountFs::ReadFile(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  return middleware_.ReadFile(root_, p, meter);
+}
+
+Result<FileInfo> H2AccountFs::Stat(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  return middleware_.Stat(root_, p, meter);
+}
+
+Status H2AccountFs::RemoveFile(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  return middleware_.RemoveFile(root_, p, meter);
+}
+
+Status H2AccountFs::Mkdir(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  return middleware_.Mkdir(root_, p, meter);
+}
+
+Status H2AccountFs::Rmdir(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  return middleware_.Rmdir(root_, p, meter);
+}
+
+Status H2AccountFs::Move(std::string_view from, std::string_view to) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string f, NormalizePath(from));
+  H2_ASSIGN_OR_RETURN(std::string t, NormalizePath(to));
+  return middleware_.Move(root_, f, t, meter);
+}
+
+Result<std::vector<DirEntry>> H2AccountFs::List(std::string_view path,
+                                                ListDetail detail) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  return middleware_.List(root_, p, detail, meter);
+}
+
+Status H2AccountFs::Copy(std::string_view from, std::string_view to) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string f, NormalizePath(from));
+  H2_ASSIGN_OR_RETURN(std::string t, NormalizePath(to));
+  return middleware_.Copy(root_, f, t, meter);
+}
+
+Result<H2Middleware::Page> H2AccountFs::ListPaged(
+    std::string_view path, ListDetail detail, std::string_view start_after,
+    std::size_t limit) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  return middleware_.ListPaged(root_, p, detail, start_after, limit, meter);
+}
+
+Result<FileInfo> H2AccountFs::StatRelative(const NamespaceId& ns,
+                                           std::string_view name) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  return middleware_.StatRelative(ns, name, meter);
+}
+
+Result<NamespaceId> H2AccountFs::Namespace(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  return middleware_.ResolvePath(root_, p, meter);
+}
+
+}  // namespace h2

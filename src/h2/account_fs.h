@@ -1,0 +1,63 @@
+// H2AccountFs: the FileSystem view one user gets from an H2Middleware.
+//
+// A session binds (middleware, account root namespace); all paths are
+// normalized here and dispatched into the middleware with this session's
+// OpMeter, so `last_op()` reports the paper's operation-time metric for
+// the H2Cloud system.
+#pragma once
+
+#include <string>
+
+#include "fs/filesystem.h"
+#include "h2/middleware.h"
+
+namespace h2 {
+
+class H2AccountFs final : public FileSystem {
+ public:
+  H2AccountFs(H2Middleware& middleware, std::string account,
+              NamespaceId root)
+      : middleware_(middleware), account_(std::move(account)), root_(root) {}
+
+  std::string_view system_name() const override { return "H2Cloud"; }
+
+  Status WriteFile(std::string_view path, FileBlob blob) override;
+  /// Bulk ingest: one durable NameRing patch per affected directory
+  /// (H2Middleware::WriteFiles).
+  Status WriteFiles(std::vector<std::pair<std::string, FileBlob>> files);
+  Result<FileBlob> ReadFile(std::string_view path) override;
+  Result<FileInfo> Stat(std::string_view path) override;
+  Status RemoveFile(std::string_view path) override;
+  Status Mkdir(std::string_view path) override;
+  Status Rmdir(std::string_view path) override;
+  Status Move(std::string_view from, std::string_view to) override;
+  Result<std::vector<DirEntry>> List(std::string_view path,
+                                     ListDetail detail) override;
+  Status Copy(std::string_view from, std::string_view to) override;
+
+  // --- H2-specific extensions ------------------------------------------------
+  /// Paged LIST with a Swift-style marker: at most `limit` children
+  /// strictly after `start_after`; detailed metadata fetched only for
+  /// the page (see H2Middleware::ListPaged).
+  Result<H2Middleware::Page> ListPaged(std::string_view path,
+                                       ListDetail detail,
+                                       std::string_view start_after = {},
+                                       std::size_t limit = 1000);
+  /// The quick method (§3.2): O(1) access by namespace-decorated relative
+  /// path.
+  Result<FileInfo> StatRelative(const NamespaceId& ns,
+                                std::string_view name);
+  /// Resolve a directory path to its namespace handle.
+  Result<NamespaceId> Namespace(std::string_view path);
+
+  const std::string& account() const { return account_; }
+  const NamespaceId& root() const { return root_; }
+  H2Middleware& middleware() { return middleware_; }
+
+ private:
+  H2Middleware& middleware_;
+  std::string account_;
+  NamespaceId root_;
+};
+
+}  // namespace h2

@@ -1,0 +1,46 @@
+// Tunables of the H2 middleware.  Defaults follow the paper's design;
+// the non-default settings are exercised by the ablation benches.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace h2 {
+
+struct H2Config {
+  /// Cache (parent namespace, name) -> child namespace lookups.  The paper's
+  /// H2 resolves level-by-level on every access (O(d), Fig. 13), so the
+  /// cache defaults off; switching it on approximates the locality that
+  /// makes Dynamic Partition look O(1) (bench/ablation_ns_cache).
+  bool namespace_cache = false;
+  /// Bound on cached (parent ns, name) -> namespace entries; least
+  /// recently used entries are evicted beyond it.
+  std::size_t ns_cache_capacity = 65'536;
+
+  /// Physically drop tombstoned tuples when a NameRing is "in use"
+  /// (LIST/MOVE), per §3.3.2.  Tombstones younger than `tombstone_gc_age`
+  /// are kept so a delayed old creation patch cannot resurrect a deleted
+  /// child and a concurrently clobbered deletion can still be repaired by
+  /// gossip; 0 reproduces the paper's eager behaviour (and its anomaly --
+  /// demonstrated in tests/h2/maintenance_test.cc).
+  bool compact_on_use = true;
+  VirtualNanos tombstone_gc_age = 2 * kSecond;
+
+  /// Parallel lanes for the per-child metadata fetches of a detailed LIST;
+  /// 0 uses the cloud latency profile's batch width.
+  std::uint64_t list_batch_width = 0;
+
+  /// Journal a durable intent object before each MOVE's multi-object
+  /// mutation sequence, so a middleware crash mid-move can be re-driven
+  /// by RecoverIntents() instead of leaving the entry reachable under
+  /// both names (or neither).  Costs ~3 extra object ops per MOVE.
+  bool move_intent_log = true;
+
+  /// Charge background merging/cleanup to the foreground operation meter
+  /// instead of the maintenance meter.  Models the strawman *synchronous*
+  /// protocol of §3.3.1 (ablation: what asynchrony buys).
+  bool synchronous_maintenance = false;
+};
+
+}  // namespace h2

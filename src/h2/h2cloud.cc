@@ -1,0 +1,94 @@
+#include "h2/h2cloud.h"
+
+#include <cassert>
+
+namespace h2 {
+
+H2Cloud::H2Cloud(const H2CloudConfig& config)
+    : cloud_(std::make_unique<ObjectCloud>(config.cloud)),
+      gossip_(config.gossip_fanout, config.cloud.seed ^ 0x9e3779b9ULL) {
+  assert(config.middleware_count >= 1);
+  const int zones = std::max(config.cloud.zone_count, 1);
+  for (int i = 0; i < config.middleware_count; ++i) {
+    middlewares_.push_back(std::make_unique<H2Middleware>(
+        *cloud_, static_cast<std::uint32_t>(i + 1), config.h2));
+    middlewares_.back()->SetZone(static_cast<std::uint32_t>(i % zones));
+    middlewares_.back()->JoinGossip(gossip_);
+  }
+}
+
+H2Cloud::~H2Cloud() { StopBackground(); }
+
+Status H2Cloud::CreateAccount(std::string_view user) {
+  OpMeter meter;
+  return middlewares_.front()->CreateAccount(user, meter);
+}
+
+Status H2Cloud::DeleteAccount(std::string_view user) {
+  OpMeter meter;
+  return middlewares_.front()->DeleteAccount(user, meter);
+}
+
+Result<std::unique_ptr<H2AccountFs>> H2Cloud::OpenFilesystem(
+    std::string_view user, std::size_t middleware_index) {
+  if (middleware_index >= middlewares_.size()) {
+    return Status::InvalidArgument("no such middleware");
+  }
+  H2Middleware& mw = *middlewares_[middleware_index];
+  OpMeter meter;
+  H2_ASSIGN_OR_RETURN(NamespaceId root, mw.AccountRoot(user, meter));
+  return std::make_unique<H2AccountFs>(mw, std::string(user), root);
+}
+
+std::size_t H2Cloud::RunMaintenanceStep() {
+  std::size_t work = 0;
+  for (auto& mw : middlewares_) {
+    work += mw->MergePending();
+    work += mw->RunLazyCleanup(256);
+  }
+  work += gossip_.Step();
+  return work;
+}
+
+std::size_t H2Cloud::RunMaintenanceToQuiescence(std::size_t max_steps) {
+  std::size_t steps = 0;
+  while (steps < max_steps) {
+    ++steps;
+    if (RunMaintenanceStep() == 0) {
+      bool idle = gossip_.Idle();
+      for (auto& mw : middlewares_) idle = idle && mw->MaintenanceIdle();
+      if (idle) break;
+    }
+  }
+  return steps;
+}
+
+void H2Cloud::StartBackground(std::chrono::milliseconds period) {
+  bool expected = false;
+  if (!background_running_.compare_exchange_strong(expected, true)) return;
+  background_threads_.emplace_back(
+      [this, period] { BackgroundLoop(period); });
+}
+
+void H2Cloud::StopBackground() {
+  background_running_.store(false);
+  for (auto& t : background_threads_) {
+    if (t.joinable()) t.join();
+  }
+  background_threads_.clear();
+}
+
+void H2Cloud::BackgroundLoop(std::chrono::milliseconds period) {
+  while (background_running_.load(std::memory_order_relaxed)) {
+    RunMaintenanceStep();
+    std::this_thread::sleep_for(period);
+  }
+}
+
+OpCost H2Cloud::TotalMaintenanceCost() const {
+  OpCost total;
+  for (const auto& mw : middlewares_) total += mw->maintenance_cost();
+  return total;
+}
+
+}  // namespace h2

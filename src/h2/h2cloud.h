@@ -1,0 +1,85 @@
+// H2Cloud: the whole system (§4.1, Fig. 5).
+//
+// Owns the object storage cloud, a fleet of H2Middlewares (the H2Layer),
+// and the gossip bus that synchronizes their NameRing views.  Offers the
+// user-facing Account/Directory/File APIs through per-account FileSystem
+// sessions, and runs the Background Merger either deterministically
+// (RunMaintenance*) or on real background threads (StartBackground).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "cluster/object_cloud.h"
+#include "gossip/gossip.h"
+#include "h2/account_fs.h"
+#include "h2/config.h"
+#include "h2/middleware.h"
+
+namespace h2 {
+
+struct H2CloudConfig {
+  CloudConfig cloud;
+  H2Config h2;
+  int middleware_count = 1;  // H2Middlewares in the H2Layer
+  int gossip_fanout = 3;
+};
+
+class H2Cloud {
+ public:
+  explicit H2Cloud(const H2CloudConfig& config = {});
+  ~H2Cloud();
+
+  H2Cloud(const H2Cloud&) = delete;
+  H2Cloud& operator=(const H2Cloud&) = delete;
+
+  // --- Account APIs ----------------------------------------------------------
+  Status CreateAccount(std::string_view user);
+  Status DeleteAccount(std::string_view user);
+  /// Opens a filesystem session for `user` through the given middleware
+  /// (requests are normally load-balanced across middlewares; picking one
+  /// explicitly lets tests exercise cross-middleware consistency).
+  Result<std::unique_ptr<H2AccountFs>> OpenFilesystem(
+      std::string_view user, std::size_t middleware_index = 0);
+
+  // --- deterministic maintenance ----------------------------------------------
+  /// One maintenance step: every middleware merges its pending patches and
+  /// runs some lazy cleanup, then gossip delivers one round.
+  /// Returns work items processed (patches + deletions + deliveries).
+  std::size_t RunMaintenanceStep();
+  /// Steps until the system is quiescent (no pending patches, empty
+  /// cleanup queues, silent gossip).  Returns steps taken.
+  std::size_t RunMaintenanceToQuiescence(std::size_t max_steps = 10'000);
+
+  // --- threaded maintenance ----------------------------------------------------
+  /// Starts one background thread per middleware (the Background Merger)
+  /// plus a gossip pump.  Idempotent.
+  void StartBackground(
+      std::chrono::milliseconds period = std::chrono::milliseconds(2));
+  void StopBackground();
+
+  // --- accessors ----------------------------------------------------------------
+  ObjectCloud& cloud() { return *cloud_; }
+  GossipBus& gossip() { return gossip_; }
+  H2Middleware& middleware(std::size_t i) { return *middlewares_[i]; }
+  std::size_t middleware_count() const { return middlewares_.size(); }
+
+  /// Sum of all middlewares' background costs.
+  OpCost TotalMaintenanceCost() const;
+
+ private:
+  void BackgroundLoop(std::chrono::milliseconds period);
+
+  std::unique_ptr<ObjectCloud> cloud_;
+  GossipBus gossip_;
+  std::vector<std::unique_ptr<H2Middleware>> middlewares_;
+
+  std::atomic<bool> background_running_{false};
+  std::vector<std::thread> background_threads_;
+};
+
+}  // namespace h2

@@ -1,0 +1,128 @@
+#include "h2/intent_log.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace h2 {
+
+std::string IntentLog::ChainKey() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "intent::Node%02u", node_);
+  return buf;
+}
+
+std::string IntentLog::IntentKey(std::uint64_t id) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "intent::Node%02u.%llu", node_,
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+Status IntentLog::LoadLocked(std::unique_lock<std::mutex>& lock,
+                             OpMeter& meter) {
+  if (loaded_) return Status::Ok();
+  lock.unlock();
+  Result<ObjectValue> chain = cloud_.Get(ChainKey(), meter);
+  std::uint64_t next = 1;
+  std::set<std::uint64_t> open;
+  if (chain.ok()) {
+    H2_ASSIGN_OR_RETURN(KvRecord record, KvRecord::Parse(chain->payload));
+    H2_ASSIGN_OR_RETURN(next, record.GetUint("next"));
+    for (auto part : SplitSkipEmpty(record.Get("open"), ',')) {
+      std::uint64_t id = 0;
+      if (!ParseUint64(part, &id)) {
+        return Status::Corruption("bad intent chain");
+      }
+      open.insert(id);
+    }
+  } else if (chain.code() != ErrorCode::kNotFound) {
+    return chain.status();
+  }
+  lock.lock();
+  if (!loaded_) {
+    next_id_ = next;
+    open_ = std::move(open);
+    loaded_ = true;
+  }
+  return Status::Ok();
+}
+
+Status IntentLog::PersistChain(OpMeter& meter) {
+  KvRecord record;
+  std::string open_list;
+  {
+    std::lock_guard lock(mu_);
+    record.SetUint("next", next_id_);
+    bool first = true;
+    for (std::uint64_t id : open_) {
+      if (!first) open_list.push_back(',');
+      open_list += std::to_string(id);
+      first = false;
+    }
+  }
+  record.Set("open", open_list);
+  ObjectValue value =
+      ObjectValue::FromString(record.Serialize(), cloud_.clock().Tick());
+  value.metadata["kind"] = "intent-chain";
+  return cloud_.Put(ChainKey(), std::move(value), meter);
+}
+
+Result<std::uint64_t> IntentLog::Begin(const KvRecord& record,
+                                       OpMeter& meter) {
+  std::uint64_t id = 0;
+  {
+    std::unique_lock lock(mu_);
+    H2_RETURN_IF_ERROR(LoadLocked(lock, meter));
+    id = next_id_++;
+    open_.insert(id);
+  }
+  ObjectValue value =
+      ObjectValue::FromString(record.Serialize(), cloud_.clock().Tick());
+  value.metadata["kind"] = "intent";
+  // The intent must be durable before the first mutation it covers.
+  H2_RETURN_IF_ERROR(cloud_.Put(IntentKey(id), std::move(value), meter,
+                                PutOptions{.durable = true}));
+  H2_RETURN_IF_ERROR(PersistChain(meter));
+  return id;
+}
+
+Status IntentLog::Commit(std::uint64_t id, OpMeter& meter) {
+  (void)cloud_.Delete(IntentKey(id), meter);
+  {
+    std::lock_guard lock(mu_);
+    open_.erase(id);
+  }
+  return PersistChain(meter);
+}
+
+Result<std::vector<std::pair<std::uint64_t, KvRecord>>> IntentLog::Open(
+    OpMeter& meter) {
+  std::set<std::uint64_t> ids;
+  {
+    std::unique_lock lock(mu_);
+    H2_RETURN_IF_ERROR(LoadLocked(lock, meter));
+    ids = open_;
+  }
+  std::vector<std::pair<std::uint64_t, KvRecord>> out;
+  for (std::uint64_t id : ids) {
+    Result<ObjectValue> obj = cloud_.Get(IntentKey(id), meter);
+    if (obj.code() == ErrorCode::kNotFound) {
+      // Deleted but chain update lost: treat as committed.
+      std::lock_guard lock(mu_);
+      open_.erase(id);
+      continue;
+    }
+    if (!obj.ok()) return obj.status();
+    H2_ASSIGN_OR_RETURN(KvRecord record, KvRecord::Parse(obj->payload));
+    out.emplace_back(id, std::move(record));
+  }
+  return out;
+}
+
+std::size_t IntentLog::pending() const {
+  std::lock_guard lock(mu_);
+  return open_.size();
+}
+
+}  // namespace h2

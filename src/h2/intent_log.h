@@ -1,0 +1,67 @@
+// Write-ahead intents for multi-object filesystem operations.
+//
+// A MOVE in H2 touches several objects (new directory record / file copy,
+// old-key delete, two NameRing patches).  A middleware crash between the
+// steps would otherwise leave the entry reachable under both names or
+// under neither.  Before executing, the middleware journals an *intent*
+// object -- durably, in the same cloud that holds everything else, so no
+// separate reliable store is reintroduced -- and deletes it after the
+// last step.  `Open()` returns the intents a crashed predecessor left
+// behind; H2Middleware::RecoverIntents() re-drives them (each step is
+// idempotent: object puts/deletes converge and patch merging is
+// last-writer-wins).
+//
+// Keys: intents live at "intent::Node<k>.<seq>", with the set of open
+// sequence numbers tracked in "intent::Node<k>" -- mirroring the patch
+// chain design (§3.3.2).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/object_cloud.h"
+#include "codec/formatter.h"
+#include "common/status.h"
+
+namespace h2 {
+
+class IntentLog {
+ public:
+  IntentLog(ObjectCloud& cloud, std::uint32_t node)
+      : cloud_(cloud), node_(node) {}
+
+  /// Durably journals `record` before the operation runs; returns the
+  /// intent id to pass to Commit().
+  Result<std::uint64_t> Begin(const KvRecord& record, OpMeter& meter);
+
+  /// Removes the intent after the operation's last step.
+  Status Commit(std::uint64_t id, OpMeter& meter);
+
+  /// Loads the intents left open by a crashed predecessor with this node
+  /// id (reads the chain object from the cloud on first use).
+  Result<std::vector<std::pair<std::uint64_t, KvRecord>>> Open(
+      OpMeter& meter);
+
+  /// Open-intent count currently known in memory (tests).
+  std::size_t pending() const;
+
+  std::string ChainKey() const;
+  std::string IntentKey(std::uint64_t id) const;
+
+ private:
+  Status LoadLocked(std::unique_lock<std::mutex>& lock, OpMeter& meter);
+  Status PersistChain(OpMeter& meter);
+
+  ObjectCloud& cloud_;
+  const std::uint32_t node_;
+
+  mutable std::mutex mu_;
+  bool loaded_ = false;
+  std::uint64_t next_id_ = 1;
+  std::set<std::uint64_t> open_;
+};
+
+}  // namespace h2

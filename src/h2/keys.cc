@@ -1,0 +1,38 @@
+#include "h2/keys.h"
+
+#include <cstdio>
+
+namespace h2 {
+
+std::string ChildKey(const NamespaceId& ns, std::string_view name) {
+  std::string key = ns.ToString();
+  key += "::";
+  key += name;
+  return key;
+}
+
+std::string NameRingKey(const NamespaceId& ns) {
+  return ns.ToString() + "::/NameRing/";
+}
+
+std::string PatchKey(const NamespaceId& ns, std::uint32_t node,
+                     std::uint64_t patch_no) {
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), ".Node%02u.Patch%02llu", node,
+                static_cast<unsigned long long>(patch_no));
+  return NameRingKey(ns) + suffix;
+}
+
+std::string PatchChainKey(const NamespaceId& ns, std::uint32_t node) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".Node%02u.Chain", node);
+  return NameRingKey(ns) + suffix;
+}
+
+std::string AccountKey(std::string_view user) {
+  std::string key = "account::";
+  key += user;
+  return key;
+}
+
+}  // namespace h2

@@ -1,0 +1,48 @@
+// Object-key construction for the H2 data structure.
+//
+// H2 stores four kinds of objects in the flat cloud, all addressed by
+// namespace-decorated keys (§3.1):
+//
+//   child objects   "<ns>::<name>"                 directory records and
+//                                                  file content, addressed
+//                                                  by parent namespace +
+//                                                  child name
+//   NameRings       "<ns>::/NameRing/"             the child list of the
+//                                                  directory owning <ns>
+//   patches         "<ns>::/NameRing/.Node01.Patch03"   §3.3.2 phase 1
+//   patch chains    "<ns>::/NameRing/.Node01.Chain"     per-node link-list
+//                                                  head for the patches
+//   account roots   "account::<user>"              maps a user to the
+//                                                  root namespace
+//
+// '/' cannot appear in a child name (fs/path.h), so "<ns>::/NameRing/"
+// never collides with a child key; the namespace grammar (digits and
+// dots) makes the "<ns>::" prefix unambiguous.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hash/uuid.h"
+
+namespace h2 {
+
+/// "<ns>::<name>" -- the namespace-decorated relative path.  Hashing this
+/// key is the paper's O(1) "quick method" of file access.
+std::string ChildKey(const NamespaceId& ns, std::string_view name);
+
+/// "<ns>::/NameRing/"
+std::string NameRingKey(const NamespaceId& ns);
+
+/// "<ns>::/NameRing/.Node<NN>.Patch<K>"
+std::string PatchKey(const NamespaceId& ns, std::uint32_t node,
+                     std::uint64_t patch_no);
+
+/// "<ns>::/NameRing/.Node<NN>.Chain"
+std::string PatchChainKey(const NamespaceId& ns, std::uint32_t node);
+
+/// "account::<user>"
+std::string AccountKey(std::string_view user);
+
+}  // namespace h2

@@ -1,0 +1,1097 @@
+#include "h2/middleware.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "fs/path.h"
+#include "h2/keys.h"
+
+namespace h2 {
+
+// ---------------------------------------------------------------------------
+// The per-NameRing File Descriptor (§4.5).  Tracks this node's patch chain,
+// the parsed-but-unmerged patches, and the node's local merged view of the
+// ring, which is what the gossip step joins against to repair lost
+// concurrent merges.
+// ---------------------------------------------------------------------------
+struct H2Middleware::Descriptor {
+  PatchChain chain;
+  bool chain_loaded = false;
+  // Unmerged patches by patch number (the link-list of §3.3.2, step 1).
+  std::map<std::uint64_t, NameRing> pending;
+  // Local (possibly ahead-of-cloud) merged view.
+  std::optional<NameRing> local;
+  VirtualNanos local_version = 0;
+};
+
+namespace {
+
+FileInfo InfoFromHead(const ObjectHead& head) {
+  FileInfo info;
+  auto it = head.metadata.find(std::string(kMetaKind));
+  info.kind = (it != head.metadata.end() && it->second == kMetaKindDir)
+                  ? EntryKind::kDirectory
+                  : EntryKind::kFile;
+  info.size = info.kind == EntryKind::kDirectory ? 0 : head.logical_size;
+  info.created = head.created;
+  info.modified = head.modified;
+  return info;
+}
+
+ObjectValue MakeObject(std::string payload, std::string_view kind,
+                       VirtualNanos now) {
+  ObjectValue v = ObjectValue::FromString(std::move(payload), now);
+  v.metadata[std::string(kMetaKind)] = std::string(kind);
+  return v;
+}
+
+}  // namespace
+
+H2Middleware::H2Middleware(ObjectCloud& cloud, std::uint32_t node_id,
+                           H2Config config)
+    : cloud_(cloud),
+      node_(node_id),
+      config_(config),
+      minter_(node_id),
+      intents_(cloud, node_id) {}
+
+H2Middleware::~H2Middleware() = default;
+
+// ---------------------------------------------------------------------------
+// Accounts
+// ---------------------------------------------------------------------------
+
+Status H2Middleware::CreateAccount(std::string_view user, OpMeter& meter) {
+  if (user.empty()) return Status::InvalidArgument("empty account name");
+  const std::string key = AccountKey(user);
+  if (cloud_.Exists(key, meter)) {
+    return Status::AlreadyExists("account exists: " + std::string(user));
+  }
+  NamespaceId root;
+  {
+    std::lock_guard lock(mu_);
+    root = minter_.Mint(cloud_.clock().NowUnixMillis());
+  }
+  const VirtualNanos now = cloud_.clock().Tick();
+  AccountRecord record{std::string(user), root, now};
+  H2_RETURN_IF_ERROR(
+      cloud_.Put(key, MakeObject(record.Serialize(), "account", now), meter));
+  // The root directory's (empty) NameRing.
+  return cloud_.Put(NameRingKey(root), MakeObject("", "ring", now), meter);
+}
+
+Result<NamespaceId> H2Middleware::AccountRoot(std::string_view user,
+                                              OpMeter& meter) {
+  H2_ASSIGN_OR_RETURN(ObjectValue obj, cloud_.Get(AccountKey(user), meter));
+  H2_ASSIGN_OR_RETURN(AccountRecord record, AccountRecord::Parse(obj.payload));
+  return record.root_ns;
+}
+
+Status H2Middleware::DeleteAccount(std::string_view user, OpMeter& meter) {
+  H2_ASSIGN_OR_RETURN(NamespaceId root, AccountRoot(user, meter));
+  H2_RETURN_IF_ERROR(cloud_.Delete(AccountKey(user), meter));
+  std::lock_guard lock(mu_);
+  cleanup_queue_.push_back(root);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Lookup (§3.2)
+// ---------------------------------------------------------------------------
+
+Result<DirRecord> H2Middleware::LoadDirRecord(const NamespaceId& parent_ns,
+                                              std::string_view name,
+                                              OpMeter& meter) {
+  H2_ASSIGN_OR_RETURN(ObjectValue obj,
+                      cloud_.Get(ChildKey(parent_ns, name), meter));
+  auto it = obj.metadata.find(std::string(kMetaKind));
+  if (it == obj.metadata.end() || it->second != kMetaKindDir) {
+    return Status::NotADirectory("not a directory: " + std::string(name));
+  }
+  return DirRecord::Parse(obj.payload);
+}
+
+Result<NamespaceId> H2Middleware::ResolvePath(const NamespaceId& root,
+                                              std::string_view path,
+                                              OpMeter& meter) {
+  NamespaceId current = root;
+  for (auto component : PathComponents(path)) {
+    const std::string child_key = ChildKey(current, component);
+    if (config_.namespace_cache) {
+      if (auto cached = CachedNamespace(child_key)) {
+        current = *cached;
+        continue;
+      }
+    }
+    Result<DirRecord> record = LoadDirRecord(current, component, meter);
+    if (!record.ok()) return record.status();
+    if (config_.namespace_cache) {
+      std::lock_guard lock(mu_);
+      CacheNamespace(child_key, record->ns);
+    }
+    current = record->ns;
+  }
+  return current;
+}
+
+Result<NamespaceId> H2Middleware::ResolveParent(
+    const NamespaceId& root, std::string_view normalized_path,
+    OpMeter& meter) {
+  return ResolvePath(root, ParentPath(normalized_path), meter);
+}
+
+Result<NameRing> H2Middleware::LoadNameRing(const NamespaceId& ns,
+                                            OpMeter& meter) {
+  H2_ASSIGN_OR_RETURN(ObjectValue obj, cloud_.Get(NameRingKey(ns), meter));
+  H2_ASSIGN_OR_RETURN(NameRing ring, NameRing::Parse(obj.payload));
+  // Overlay this node's unmerged patches and its local merged view so the
+  // middleware reads its own writes (free: in-memory joins).
+  std::lock_guard lock(mu_);
+  auto it = descriptors_.find(ns);
+  if (it != descriptors_.end()) {
+    const Descriptor& desc = *it->second;
+    if (desc.local.has_value()) ring.Merge(*desc.local);
+    for (const auto& [patch_no, patch] : desc.pending) ring.Merge(patch);
+  }
+  return ring;
+}
+
+Result<FileInfo> H2Middleware::StatRelative(const NamespaceId& ns,
+                                            std::string_view name,
+                                            OpMeter& meter) {
+  H2_ASSIGN_OR_RETURN(ObjectHead head, cloud_.Head(ChildKey(ns, name), meter));
+  return InfoFromHead(head);
+}
+
+Result<FileInfo> H2Middleware::Stat(const NamespaceId& root,
+                                    std::string_view path, OpMeter& meter) {
+  if (path == "/") {
+    FileInfo info;
+    info.kind = EntryKind::kDirectory;
+    return info;
+  }
+  H2_ASSIGN_OR_RETURN(NamespaceId parent, ResolveParent(root, path, meter));
+  return StatRelative(parent, BaseName(path), meter);
+}
+
+// ---------------------------------------------------------------------------
+// File content
+// ---------------------------------------------------------------------------
+
+Status H2Middleware::WriteFile(const NamespaceId& root, std::string_view path,
+                               FileBlob blob, OpMeter& meter) {
+  if (path == "/") return Status::IsADirectory("cannot write to /");
+  H2_ASSIGN_OR_RETURN(NamespaceId parent, ResolveParent(root, path, meter));
+  const std::string_view name = BaseName(path);
+  const std::string key = ChildKey(parent, name);
+
+  Result<ObjectHead> existing = cloud_.Head(key, meter);
+  bool is_new = false;
+  if (existing.ok()) {
+    auto it = existing->metadata.find(std::string(kMetaKind));
+    if (it != existing->metadata.end() && it->second == kMetaKindDir) {
+      return Status::IsADirectory("is a directory: " + std::string(path));
+    }
+  } else if (existing.code() == ErrorCode::kNotFound) {
+    is_new = true;
+  } else {
+    return existing.status();
+  }
+
+  // §3.3.3(b): while the content stream is in flight, merges on the parent
+  // NameRing are blocked.
+  {
+    std::lock_guard lock(mu_);
+    write_blocked_.insert(parent);
+  }
+  const VirtualNanos now = cloud_.clock().Tick();
+  ObjectValue value;
+  value.payload = std::move(blob.data);
+  value.logical_size = blob.logical_size;
+  value.metadata[std::string(kMetaKind)] = std::string(kMetaKindFile);
+  value.created = value.modified = now;
+  Status put = cloud_.Put(key, std::move(value), meter);
+  Status patch = Status::Ok();
+  if (put.ok() && is_new) {
+    patch = SubmitPatch(
+        parent, RingTuple{std::string(name), now, EntryKind::kFile, false},
+        meter);
+  }
+  {
+    std::lock_guard lock(mu_);
+    write_blocked_.erase(parent);
+  }
+  H2_RETURN_IF_ERROR(put);
+  return patch;
+}
+
+Status H2Middleware::WriteFiles(const NamespaceId& root,
+                                std::vector<BatchEntry> batch,
+                                OpMeter& meter) {
+  // Per-directory accumulation of the tuples to patch in.
+  struct DirBatch {
+    NamespaceId ns;
+    std::vector<RingTuple> tuples;
+  };
+  std::map<std::string, DirBatch> by_parent;
+
+  for (BatchEntry& entry : batch) {
+    const std::string& path = entry.path;
+    if (path == "/") return Status::IsADirectory("cannot write to /");
+    const std::string parent_path = ParentPath(path);
+    auto it = by_parent.find(parent_path);
+    if (it == by_parent.end()) {
+      H2_ASSIGN_OR_RETURN(NamespaceId parent,
+                          ResolvePath(root, parent_path, meter));
+      it = by_parent.emplace(parent_path, DirBatch{parent, {}}).first;
+    }
+    const NamespaceId parent = it->second.ns;
+    const std::string_view name = BaseName(path);
+    const std::string key = ChildKey(parent, name);
+
+    Result<ObjectHead> existing = cloud_.Head(key, meter);
+    bool is_new = false;
+    if (existing.ok()) {
+      auto kind = existing->metadata.find(std::string(kMetaKind));
+      if (kind != existing->metadata.end() && kind->second == kMetaKindDir) {
+        return Status::IsADirectory("is a directory: " + path);
+      }
+    } else if (existing.code() == ErrorCode::kNotFound) {
+      is_new = true;
+    } else {
+      return existing.status();
+    }
+
+    const VirtualNanos now = cloud_.clock().Tick();
+    ObjectValue value;
+    value.payload = std::move(entry.blob.data);
+    value.logical_size = entry.blob.logical_size;
+    value.metadata[std::string(kMetaKind)] = std::string(kMetaKindFile);
+    value.created = value.modified = now;
+    H2_RETURN_IF_ERROR(cloud_.Put(key, std::move(value), meter));
+    if (is_new) {
+      it->second.tuples.push_back(
+          RingTuple{std::string(name), now, EntryKind::kFile, false});
+    }
+  }
+
+  // One durable patch per touched directory.
+  for (auto& [parent_path, dir_batch] : by_parent) {
+    if (dir_batch.tuples.empty()) continue;
+    H2_RETURN_IF_ERROR(
+        SubmitPatchTuples(dir_batch.ns, std::move(dir_batch.tuples), meter));
+  }
+  return Status::Ok();
+}
+
+Result<FileBlob> H2Middleware::ReadFile(const NamespaceId& root,
+                                        std::string_view path,
+                                        OpMeter& meter) {
+  if (path == "/") return Status::IsADirectory("cannot read /");
+  H2_ASSIGN_OR_RETURN(NamespaceId parent, ResolveParent(root, path, meter));
+  H2_ASSIGN_OR_RETURN(ObjectValue obj,
+                      cloud_.Get(ChildKey(parent, BaseName(path)), meter));
+  auto it = obj.metadata.find(std::string(kMetaKind));
+  if (it != obj.metadata.end() && it->second == kMetaKindDir) {
+    return Status::IsADirectory("is a directory: " + std::string(path));
+  }
+  return FileBlob{std::move(obj.payload), obj.logical_size};
+}
+
+Status H2Middleware::RemoveFile(const NamespaceId& root,
+                                std::string_view path, OpMeter& meter) {
+  if (path == "/") return Status::IsADirectory("cannot remove /");
+  H2_ASSIGN_OR_RETURN(NamespaceId parent, ResolveParent(root, path, meter));
+  const std::string_view name = BaseName(path);
+  const std::string key = ChildKey(parent, name);
+
+  H2_ASSIGN_OR_RETURN(ObjectHead head, cloud_.Head(key, meter));
+  auto it = head.metadata.find(std::string(kMetaKind));
+  if (it != head.metadata.end() && it->second == kMetaKindDir) {
+    return Status::IsADirectory("is a directory: " + std::string(path));
+  }
+  H2_RETURN_IF_ERROR(cloud_.Delete(key, meter));
+  // Fake deletion (§3.3.3a): the tuple gains a Deleted tag via a patch.
+  return SubmitPatch(
+      parent, RingTuple{std::string(name), cloud_.clock().Tick(),
+                        EntryKind::kFile, /*deleted=*/true},
+      meter);
+}
+
+// ---------------------------------------------------------------------------
+// Directories
+// ---------------------------------------------------------------------------
+
+Status H2Middleware::Mkdir(const NamespaceId& root, std::string_view path,
+                           OpMeter& meter) {
+  if (path == "/") return Status::AlreadyExists("/");
+  H2_ASSIGN_OR_RETURN(NamespaceId parent, ResolveParent(root, path, meter));
+  const std::string_view name = BaseName(path);
+  const std::string key = ChildKey(parent, name);
+  if (cloud_.Exists(key, meter)) {
+    return Status::AlreadyExists("exists: " + std::string(path));
+  }
+
+  NamespaceId ns;
+  {
+    std::lock_guard lock(mu_);
+    ns = minter_.Mint(cloud_.clock().NowUnixMillis());
+  }
+  const VirtualNanos now = cloud_.clock().Tick();
+  DirRecord record{ns, parent, std::string(name), now};
+  H2_RETURN_IF_ERROR(
+      cloud_.Put(key, MakeObject(record.Serialize(), kMetaKindDir, now),
+                 meter));
+  H2_RETURN_IF_ERROR(
+      cloud_.Put(NameRingKey(ns), MakeObject("", "ring", now), meter));
+  if (config_.namespace_cache) {
+    std::lock_guard lock(mu_);
+    CacheNamespace(key, ns);
+  }
+  return SubmitPatch(
+      parent,
+      RingTuple{std::string(name), now, EntryKind::kDirectory, false}, meter);
+}
+
+Status H2Middleware::Rmdir(const NamespaceId& root, std::string_view path,
+                           OpMeter& meter) {
+  if (path == "/") return Status::InvalidArgument("cannot remove /");
+  H2_ASSIGN_OR_RETURN(NamespaceId parent, ResolveParent(root, path, meter));
+  const std::string_view name = BaseName(path);
+  H2_ASSIGN_OR_RETURN(DirRecord record, LoadDirRecord(parent, name, meter));
+
+  H2_RETURN_IF_ERROR(cloud_.Delete(ChildKey(parent, name), meter));
+  H2_RETURN_IF_ERROR(SubmitPatch(
+      parent, RingTuple{std::string(name), cloud_.clock().Tick(),
+                        EntryKind::kDirectory, /*deleted=*/true},
+      meter));
+  // The n files and sub-directories beneath are unreachable now; their
+  // objects are reclaimed lazily (O(1) foreground, Table 1).
+  std::lock_guard lock(mu_);
+  cleanup_queue_.push_back(record.ns);
+  InvalidateNamespace(ChildKey(parent, name));
+  return Status::Ok();
+}
+
+Status H2Middleware::Move(const NamespaceId& root, std::string_view from,
+                          std::string_view to, OpMeter& meter) {
+  if (from == "/") return Status::InvalidArgument("cannot move /");
+  if (to == "/") return Status::AlreadyExists("destination exists: /");
+  if (from == to) return Status::Ok();
+  if (IsWithin(to, from)) {
+    return Status::InvalidArgument("cannot move a directory into itself");
+  }
+  H2_ASSIGN_OR_RETURN(NamespaceId from_parent,
+                      ResolveParent(root, from, meter));
+  const std::string_view from_name = BaseName(from);
+  const std::string from_key = ChildKey(from_parent, from_name);
+  // Source existence takes error precedence over destination conflicts.
+  H2_ASSIGN_OR_RETURN(ObjectValue source, cloud_.Get(from_key, meter));
+  H2_ASSIGN_OR_RETURN(NamespaceId to_parent, ResolveParent(root, to, meter));
+  const std::string_view to_name = BaseName(to);
+  const std::string to_key = ChildKey(to_parent, to_name);
+
+  if (cloud_.Exists(to_key, meter)) {
+    return Status::AlreadyExists("destination exists: " + std::string(to));
+  }
+  auto kind_it = source.metadata.find(std::string(kMetaKind));
+  const bool is_dir =
+      kind_it != source.metadata.end() && kind_it->second == kMetaKindDir;
+
+  const VirtualNanos now = cloud_.clock().Tick();
+  const VirtualNanos insert_ts = cloud_.clock().Tick();
+  const EntryKind kind = is_dir ? EntryKind::kDirectory : EntryKind::kFile;
+
+  // Journal the multi-object sequence so a crash mid-move can be
+  // re-driven by RecoverIntents() (h2/intent_log.h).
+  std::uint64_t intent_id = 0;
+  if (config_.move_intent_log) {
+    KvRecord intent;
+    intent.Set("op", "move");
+    intent.Set("kind", is_dir ? "dir" : "file");
+    intent.Set("from_parent", from_parent.ToString());
+    intent.Set("to_parent", to_parent.ToString());
+    intent.Set("from_name", from_name);
+    intent.Set("to_name", to_name);
+    intent.SetInt("delete_ts", now);
+    intent.SetInt("insert_ts", insert_ts);
+    H2_ASSIGN_OR_RETURN(intent_id, intents_.Begin(intent, meter));
+  }
+
+  if (is_dir) {
+    // Rewriting the directory record is the whole move: the subtree stays
+    // keyed by the directory's own namespace.  This is H2's O(1) MOVE.
+    H2_ASSIGN_OR_RETURN(DirRecord record, DirRecord::Parse(source.payload));
+    record.parent_ns = to_parent;
+    record.name = std::string(to_name);
+    H2_RETURN_IF_ERROR(cloud_.Put(
+        to_key, MakeObject(record.Serialize(), kMetaKindDir, now), meter));
+    H2_RETURN_IF_ERROR(cloud_.Delete(from_key, meter));
+    std::lock_guard lock(mu_);
+    InvalidateNamespace(from_key);
+    if (config_.namespace_cache) CacheNamespace(to_key, record.ns);
+  } else {
+    H2_RETURN_IF_ERROR(cloud_.Copy(from_key, to_key, meter));
+    H2_RETURN_IF_ERROR(cloud_.Delete(from_key, meter));
+  }
+
+  H2_RETURN_IF_ERROR(SubmitPatch(
+      from_parent,
+      RingTuple{std::string(from_name), now, kind, /*deleted=*/true}, meter));
+  H2_RETURN_IF_ERROR(SubmitPatch(
+      to_parent, RingTuple{std::string(to_name), insert_ts, kind, false},
+      meter));
+  if (config_.move_intent_log) {
+    H2_RETURN_IF_ERROR(intents_.Commit(intent_id, meter));
+  }
+  return Status::Ok();
+}
+
+std::size_t H2Middleware::RecoverIntents() {
+  OpMeter meter;
+  meter.SetZone(zone_);
+  std::size_t completed = 0;
+  Result<std::vector<std::pair<std::uint64_t, KvRecord>>> open =
+      intents_.Open(meter);
+  if (!open.ok()) return 0;
+  for (auto& [id, record] : *open) {
+    if (record.Get("op") != "move") {
+      (void)intents_.Commit(id, meter);
+      continue;
+    }
+    auto from_parent = NamespaceId::Parse(record.Get("from_parent"));
+    auto to_parent = NamespaceId::Parse(record.Get("to_parent"));
+    auto delete_ts = record.GetInt("delete_ts");
+    auto insert_ts = record.GetInt("insert_ts");
+    if (!from_parent.ok() || !to_parent.ok() || !delete_ts.ok() ||
+        !insert_ts.ok()) {
+      (void)intents_.Commit(id, meter);
+      continue;
+    }
+    const std::string from_name = record.Get("from_name");
+    const std::string to_name = record.Get("to_name");
+    const bool is_dir = record.Get("kind") == "dir";
+    const std::string from_key = ChildKey(*from_parent, from_name);
+    const std::string to_key = ChildKey(*to_parent, to_name);
+
+    // Redo, idempotently: ensure the destination object exists, drop the
+    // source object, re-submit both patches (last-writer-wins makes
+    // duplicate tuples merge to the same ring state).
+    if (!cloud_.Exists(to_key, meter)) {
+      Result<ObjectValue> source = cloud_.Get(from_key, meter);
+      if (source.ok()) {
+        if (is_dir) {
+          Result<DirRecord> dir = DirRecord::Parse(source->payload);
+          if (dir.ok()) {
+            dir->parent_ns = *to_parent;
+            dir->name = to_name;
+            (void)cloud_.Put(to_key,
+                             MakeObject(dir->Serialize(), kMetaKindDir,
+                                        cloud_.clock().Tick()),
+                             meter);
+          }
+        } else {
+          (void)cloud_.Copy(from_key, to_key, meter);
+        }
+      }
+    }
+    (void)cloud_.Delete(from_key, meter);
+    const EntryKind kind =
+        is_dir ? EntryKind::kDirectory : EntryKind::kFile;
+    (void)SubmitPatch(*from_parent,
+                      RingTuple{from_name, *delete_ts, kind, true}, meter);
+    (void)SubmitPatch(*to_parent,
+                      RingTuple{to_name, *insert_ts, kind, false}, meter);
+    if (intents_.Commit(id, meter).ok()) ++completed;
+  }
+  std::lock_guard lock(mu_);
+  maintenance_meter_.Merge(meter.cost());
+  return completed;
+}
+
+Result<std::vector<DirEntry>> H2Middleware::List(const NamespaceId& root,
+                                                 std::string_view path,
+                                                 ListDetail detail,
+                                                 OpMeter& meter) {
+  H2_ASSIGN_OR_RETURN(NamespaceId ns, ResolvePath(root, path, meter));
+  H2_ASSIGN_OR_RETURN(NameRing ring, LoadNameRing(ns, meter));
+  H2_RETURN_IF_ERROR(MaybeCompact(ns, ring, meter));
+
+  std::vector<DirEntry> entries;
+  const std::vector<RingTuple> children = ring.LiveChildren();
+  entries.reserve(children.size());
+
+  if (detail == ListDetail::kNamesOnly) {
+    // O(1): one NameRing read regardless of child count.
+    for (const RingTuple& t : children) {
+      entries.push_back(DirEntry{t.name, t.kind, 0, 0});
+    }
+    return entries;
+  }
+
+  // Detailed LIST: the per-child metadata fetches run on the proxy's
+  // parallel lanes -- O(m) with a batched constant (§2).
+  std::uint64_t width = config_.list_batch_width;
+  if (width == 0) width = cloud_.latency().profile().batch_width;
+  const VirtualNanos mark = meter.cost().elapsed;
+  for (const RingTuple& t : children) {
+    Result<ObjectHead> head = cloud_.Head(ChildKey(ns, t.name), meter);
+    if (head.code() == ErrorCode::kNotFound) continue;  // mid-cleanup child
+    if (!head.ok()) return head.status();
+    DirEntry entry;
+    entry.name = t.name;
+    entry.kind = t.kind;
+    entry.size =
+        t.kind == EntryKind::kDirectory ? 0 : head->logical_size;
+    entry.modified = head->modified;
+    entries.push_back(std::move(entry));
+  }
+  meter.FoldParallel(mark, width);
+  return entries;
+}
+
+Result<H2Middleware::Page> H2Middleware::ListPaged(
+    const NamespaceId& root, std::string_view path, ListDetail detail,
+    std::string_view start_after, std::size_t limit, OpMeter& meter) {
+  if (limit == 0) return Status::InvalidArgument("limit must be positive");
+  H2_ASSIGN_OR_RETURN(NamespaceId ns, ResolvePath(root, path, meter));
+  H2_ASSIGN_OR_RETURN(NameRing ring, LoadNameRing(ns, meter));
+  H2_RETURN_IF_ERROR(MaybeCompact(ns, ring, meter));
+
+  Page page;
+  const std::vector<RingTuple> children = ring.LiveChildren();
+  // LiveChildren is alphabetical: find the window after the marker.
+  auto it = children.begin();
+  if (!start_after.empty()) {
+    it = std::upper_bound(children.begin(), children.end(), start_after,
+                          [](std::string_view marker, const RingTuple& t) {
+                            return marker < t.name;
+                          });
+  }
+  std::uint64_t width = config_.list_batch_width;
+  if (width == 0) width = cloud_.latency().profile().batch_width;
+  const VirtualNanos mark = meter.cost().elapsed;
+  for (; it != children.end() && page.entries.size() < limit; ++it) {
+    DirEntry entry;
+    entry.name = it->name;
+    entry.kind = it->kind;
+    if (detail == ListDetail::kDetailed) {
+      Result<ObjectHead> head = cloud_.Head(ChildKey(ns, it->name), meter);
+      if (head.code() == ErrorCode::kNotFound) continue;
+      if (!head.ok()) return head.status();
+      entry.size =
+          it->kind == EntryKind::kDirectory ? 0 : head->logical_size;
+      entry.modified = head->modified;
+    }
+    page.entries.push_back(std::move(entry));
+  }
+  if (detail == ListDetail::kDetailed) meter.FoldParallel(mark, width);
+  page.truncated = it != children.end();
+  if (!page.entries.empty()) page.next_marker = page.entries.back().name;
+  return page;
+}
+
+Status H2Middleware::CopyTree(const NamespaceId& src_ns,
+                              const NamespaceId& dst_ns, OpMeter& meter) {
+  H2_ASSIGN_OR_RETURN(NameRing src_ring, LoadNameRing(src_ns, meter));
+  NameRing dst_ring;
+  for (const RingTuple& child : src_ring.LiveChildren()) {
+    const VirtualNanos now = cloud_.clock().Tick();
+    if (child.kind == EntryKind::kDirectory) {
+      Result<DirRecord> record = LoadDirRecord(src_ns, child.name, meter);
+      if (record.code() == ErrorCode::kNotFound) continue;
+      if (!record.ok()) return record.status();
+      NamespaceId child_dst;
+      {
+        std::lock_guard lock(mu_);
+        child_dst = minter_.Mint(cloud_.clock().NowUnixMillis());
+      }
+      DirRecord dst_record{child_dst, dst_ns, child.name, now};
+      H2_RETURN_IF_ERROR(cloud_.Put(
+          ChildKey(dst_ns, child.name),
+          MakeObject(dst_record.Serialize(), kMetaKindDir, now), meter));
+      H2_RETURN_IF_ERROR(CopyTree(record->ns, child_dst, meter));
+    } else {
+      const Status copied = cloud_.Copy(ChildKey(src_ns, child.name),
+                                        ChildKey(dst_ns, child.name), meter);
+      if (copied.code() == ErrorCode::kNotFound) continue;
+      H2_RETURN_IF_ERROR(copied);
+    }
+    dst_ring.Apply(RingTuple{child.name, now, child.kind, false});
+  }
+  const VirtualNanos now = cloud_.clock().Tick();
+  return cloud_.Put(NameRingKey(dst_ns),
+                    MakeObject(dst_ring.Serialize(), "ring", now), meter);
+}
+
+Status H2Middleware::Copy(const NamespaceId& root, std::string_view from,
+                          std::string_view to, OpMeter& meter) {
+  if (from == "/") return Status::InvalidArgument("cannot copy /");
+  if (to == "/") return Status::AlreadyExists("destination exists: /");
+  if (from == to || IsWithin(to, from)) {
+    return Status::InvalidArgument("cannot copy a directory into itself");
+  }
+  H2_ASSIGN_OR_RETURN(NamespaceId from_parent,
+                      ResolveParent(root, from, meter));
+  const std::string_view from_name = BaseName(from);
+  const std::string from_key = ChildKey(from_parent, from_name);
+  H2_ASSIGN_OR_RETURN(ObjectHead head, cloud_.Head(from_key, meter));
+  H2_ASSIGN_OR_RETURN(NamespaceId to_parent, ResolveParent(root, to, meter));
+  const std::string_view to_name = BaseName(to);
+  const std::string to_key = ChildKey(to_parent, to_name);
+
+  if (cloud_.Exists(to_key, meter)) {
+    return Status::AlreadyExists("destination exists: " + std::string(to));
+  }
+  auto kind_it = head.metadata.find(std::string(kMetaKind));
+  const bool is_dir =
+      kind_it != head.metadata.end() && kind_it->second == kMetaKindDir;
+
+  const VirtualNanos now = cloud_.clock().Tick();
+  if (!is_dir) {
+    H2_RETURN_IF_ERROR(cloud_.Copy(from_key, to_key, meter));
+    return SubmitPatch(
+        to_parent,
+        RingTuple{std::string(to_name), now, EntryKind::kFile, false}, meter);
+  }
+
+  // Directory copy must mint fresh namespaces for the whole subtree --
+  // unlike MOVE, this is inherently O(n) (Table 1).  The subtree is
+  // copied BEFORE the destination record is written: a crash mid-copy
+  // then leaves only invisible orphan objects (fresh namespaces no path
+  // reaches), never a half-populated visible directory.
+  H2_ASSIGN_OR_RETURN(DirRecord src_record,
+                      LoadDirRecord(from_parent, from_name, meter));
+  NamespaceId dst_ns;
+  {
+    std::lock_guard lock(mu_);
+    dst_ns = minter_.Mint(cloud_.clock().NowUnixMillis());
+  }
+  H2_RETURN_IF_ERROR(CopyTree(src_record.ns, dst_ns, meter));
+  DirRecord dst_record{dst_ns, to_parent, std::string(to_name), now};
+  H2_RETURN_IF_ERROR(cloud_.Put(
+      to_key, MakeObject(dst_record.Serialize(), kMetaKindDir, now), meter));
+  return SubmitPatch(
+      to_parent,
+      RingTuple{std::string(to_name), now, EntryKind::kDirectory, false},
+      meter);
+}
+
+// ---------------------------------------------------------------------------
+// NameRing maintenance (§3.3)
+// ---------------------------------------------------------------------------
+
+H2Middleware::Descriptor& H2Middleware::DescriptorFor(const NamespaceId& ns) {
+  auto it = descriptors_.find(ns);
+  if (it == descriptors_.end()) {
+    it = descriptors_.emplace(ns, std::make_unique<Descriptor>()).first;
+  }
+  return *it->second;
+}
+
+Status H2Middleware::SubmitPatch(const NamespaceId& ns, RingTuple tuple,
+                                 OpMeter& meter) {
+  std::vector<RingTuple> tuples;
+  tuples.push_back(std::move(tuple));
+  return SubmitPatchTuples(ns, std::move(tuples), meter);
+}
+
+Status H2Middleware::SubmitPatchTuples(const NamespaceId& ns,
+                                       std::vector<RingTuple> tuples,
+                                       OpMeter& meter) {
+  // Phase 1 (§3.3.2): write the patch as a durable log object named
+  // "<ns>::/NameRing/.Node<k>.Patch<i>" and advance the chain head.
+  std::uint64_t patch_no = 0;
+  {
+    std::unique_lock lock(mu_);
+    Descriptor& desc = DescriptorFor(ns);
+    if (!desc.chain_loaded) {
+      lock.unlock();
+      Result<ObjectValue> chain_obj =
+          cloud_.Get(PatchChainKey(ns, node_), meter);
+      PatchChain recovered;
+      if (chain_obj.ok()) {
+        H2_ASSIGN_OR_RETURN(recovered, PatchChain::Parse(chain_obj->payload));
+      } else if (chain_obj.code() != ErrorCode::kNotFound) {
+        return chain_obj.status();
+      }
+      lock.lock();
+      Descriptor& desc2 = DescriptorFor(ns);
+      if (!desc2.chain_loaded) {
+        desc2.chain = recovered;
+        desc2.chain_loaded = true;
+      }
+    }
+    Descriptor& ready = DescriptorFor(ns);
+    patch_no = ready.chain.next_patch++;
+  }
+
+  NameRing patch;
+  for (RingTuple& tuple : tuples) patch.Apply(std::move(tuple));
+  const VirtualNanos now = cloud_.clock().Tick();
+  H2_RETURN_IF_ERROR(cloud_.Put(PatchKey(ns, node_, patch_no),
+                                MakeObject(patch.Serialize(), "patch", now),
+                                meter, PutOptions{.durable = true}));
+  PatchChain chain_snapshot;
+  {
+    std::lock_guard lock(mu_);
+    Descriptor& desc = DescriptorFor(ns);
+    desc.pending.emplace(patch_no, std::move(patch));
+    chain_snapshot = desc.chain;
+    ++counters_.patches_submitted;
+  }
+  H2_RETURN_IF_ERROR(
+      cloud_.Put(PatchChainKey(ns, node_),
+                 MakeObject(chain_snapshot.Serialize(), "chain", now), meter));
+
+  if (config_.synchronous_maintenance) {
+    // Strawman mode (§3.3.1): the caller waits for the merge.
+    std::unique_lock lock(mu_);
+    MergeNamespaceLocked(ns, lock, meter);
+  }
+  return Status::Ok();
+}
+
+std::size_t H2Middleware::MergeNamespaceLocked(
+    const NamespaceId& ns, std::unique_lock<std::mutex>& lock,
+    OpMeter& meter) {
+  assert(lock.owns_lock());
+  if (write_blocked_.contains(ns)) return 0;  // §3.3.3(b)
+  Descriptor& desc = DescriptorFor(ns);
+  if (!desc.chain_loaded || desc.chain.pending() == 0) return 0;
+
+  const std::uint64_t lo = desc.chain.merged_through + 1;
+  const std::uint64_t hi = desc.chain.next_patch - 1;
+
+  // Step 1: merge the patch link-list into one "big" patch, fetching any
+  // patch this process does not hold in memory (recovery after restart).
+  NameRing big;
+  std::vector<std::uint64_t> have;
+  for (std::uint64_t i = lo; i <= hi; ++i) {
+    auto it = desc.pending.find(i);
+    if (it != desc.pending.end()) {
+      big.Merge(it->second);
+      have.push_back(i);
+    }
+  }
+  std::vector<std::uint64_t> missing;
+  for (std::uint64_t i = lo; i <= hi; ++i) {
+    if (!std::binary_search(have.begin(), have.end(), i)) missing.push_back(i);
+  }
+  std::optional<NameRing> local_copy = desc.local;
+
+  lock.unlock();
+  for (std::uint64_t i : missing) {
+    Result<ObjectValue> obj = cloud_.Get(PatchKey(ns, node_, i), meter);
+    if (!obj.ok()) continue;  // lost patch: tolerated, see header comment
+    Result<NameRing> parsed = NameRing::Parse(obj->payload);
+    if (parsed.ok()) big.Merge(*parsed);
+  }
+
+  // Step 2: read-merge-write the NameRing object.
+  Result<ObjectValue> ring_obj = cloud_.Get(NameRingKey(ns), meter);
+  bool ring_exists = ring_obj.ok();
+  NameRing ring;
+  if (ring_exists) {
+    Result<NameRing> parsed = NameRing::Parse(ring_obj->payload);
+    if (parsed.ok()) ring = std::move(parsed).value();
+  }
+  std::size_t merged_patches = 0;
+  VirtualNanos version = 0;
+  if (ring_exists) {
+    ring.Merge(big);
+    if (local_copy.has_value()) ring.Merge(*local_copy);
+    ring.NoteMerged(node_, hi);
+    version = cloud_.clock().Tick();
+    const Status put =
+        cloud_.Put(NameRingKey(ns),
+                   MakeObject(ring.Serialize(), "ring", version), meter);
+    if (!put.ok()) {
+      lock.lock();
+      return 0;  // retry on the next merge pass
+    }
+    merged_patches = static_cast<std::size_t>(hi - lo + 1);
+  }
+  // The ring object being gone means the directory was removed; the
+  // patches are obsolete either way.  Delete them and advance the chain.
+  for (std::uint64_t i = lo; i <= hi; ++i) {
+    (void)cloud_.Delete(PatchKey(ns, node_, i), meter);
+  }
+
+  lock.lock();
+  Descriptor& after = DescriptorFor(ns);
+  after.chain.merged_through = hi;
+  for (std::uint64_t i = lo; i <= hi; ++i) after.pending.erase(i);
+  PatchChain chain_snapshot = after.chain;
+  if (ring_exists) {
+    after.local = ring;
+    after.local_version = version;
+  }
+  counters_.patches_merged += merged_patches;
+  ++counters_.merge_passes;
+
+  lock.unlock();
+  const VirtualNanos now = cloud_.clock().Tick();
+  (void)cloud_.Put(PatchChainKey(ns, node_),
+                   MakeObject(chain_snapshot.Serialize(), "chain", now),
+                   meter);
+  if (ring_exists) Announce(ns, version);
+  lock.lock();
+  return merged_patches;
+}
+
+std::size_t H2Middleware::MergeNamespace(const NamespaceId& ns) {
+  OpMeter local;
+  local.SetZone(zone_);
+  std::size_t merged = 0;
+  {
+    std::unique_lock lock(mu_);
+    merged = MergeNamespaceLocked(ns, lock, local);
+  }
+  std::lock_guard lock(mu_);
+  maintenance_meter_.Merge(local.cost());
+  return merged;
+}
+
+std::size_t H2Middleware::MergePending() {
+  std::vector<NamespaceId> targets;
+  {
+    std::lock_guard lock(mu_);
+    targets.reserve(descriptors_.size());
+    for (const auto& [ns, desc] : descriptors_) {
+      if (desc->chain_loaded && desc->chain.pending() > 0) {
+        targets.push_back(ns);
+      }
+    }
+  }
+  std::size_t merged = 0;
+  for (const NamespaceId& ns : targets) merged += MergeNamespace(ns);
+  return merged;
+}
+
+std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
+  OpMeter local;
+  local.SetZone(zone_);
+  std::size_t deleted = 0;
+  while (deleted < max_objects) {
+    NamespaceId ns;
+    {
+      std::lock_guard lock(mu_);
+      if (cleanup_queue_.empty()) break;
+      ns = cleanup_queue_.front();
+      cleanup_queue_.pop_front();
+    }
+    // Read the removed directory's NameRing to find its children.
+    Result<ObjectValue> ring_obj = cloud_.Get(NameRingKey(ns), local);
+    if (ring_obj.ok()) {
+      Result<NameRing> parsed = NameRing::Parse(ring_obj->payload);
+      if (parsed.ok()) {
+        for (const RingTuple& child : parsed->LiveChildren()) {
+          const std::string key = ChildKey(ns, child.name);
+          if (child.kind == EntryKind::kDirectory) {
+            Result<ObjectValue> rec_obj = cloud_.Get(key, local);
+            if (rec_obj.ok()) {
+              Result<DirRecord> rec = DirRecord::Parse(rec_obj->payload);
+              if (rec.ok()) {
+                std::lock_guard lock(mu_);
+                cleanup_queue_.push_back(rec->ns);
+              }
+            }
+          }
+          if (cloud_.Delete(key, local).ok()) ++deleted;
+        }
+      }
+      if (cloud_.Delete(NameRingKey(ns), local).ok()) ++deleted;
+    }
+    if (cloud_.Delete(PatchChainKey(ns, node_), local).ok()) ++deleted;
+    // Drop any of our own patch objects still parked under this namespace.
+    std::vector<std::uint64_t> orphan_patches;
+    {
+      std::lock_guard lock(mu_);
+      auto it = descriptors_.find(ns);
+      if (it != descriptors_.end()) {
+        for (const auto& [patch_no, patch] : it->second->pending) {
+          orphan_patches.push_back(patch_no);
+        }
+        descriptors_.erase(it);
+      }
+    }
+    for (std::uint64_t patch_no : orphan_patches) {
+      if (cloud_.Delete(PatchKey(ns, node_, patch_no), local).ok()) {
+        ++deleted;
+      }
+    }
+  }
+  std::lock_guard lock(mu_);
+  counters_.cleanup_objects_deleted += deleted;
+  maintenance_meter_.Merge(local.cost());
+  return deleted;
+}
+
+bool H2Middleware::MaintenanceIdle() const {
+  std::lock_guard lock(mu_);
+  if (!cleanup_queue_.empty()) return false;
+  for (const auto& [ns, desc] : descriptors_) {
+    if (desc->chain_loaded && desc->chain.pending() > 0) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Gossip (§3.3.2, phase 2 step 2)
+// ---------------------------------------------------------------------------
+
+void H2Middleware::JoinGossip(GossipBus& bus) {
+  gossip_ = &bus;
+  gossip_member_ = bus.Join(
+      [this](const Rumor& rumor) { return HandleRumor(rumor); });
+}
+
+void H2Middleware::Announce(const NamespaceId& ns, VirtualNanos version) {
+  if (gossip_ == nullptr) return;
+  gossip_->Publish(gossip_member_,
+                   Rumor{ns.ToString(), node_, version});
+}
+
+bool H2Middleware::HandleRumor(const Rumor& rumor) {
+  Result<NamespaceId> parsed = NamespaceId::Parse(rumor.topic);
+  if (!parsed.ok()) return false;
+  const NamespaceId ns = *parsed;
+
+  {
+    std::lock_guard lock(mu_);
+    ++counters_.gossip_rumors_handled;
+    Descriptor& desc = DescriptorFor(ns);
+    // Loop-back avoidance by timestamp comparison (§3.3.2): if the local
+    // version already covers the rumor, abort forwarding.
+    if (desc.local_version >= rumor.version) return false;
+  }
+
+  OpMeter local_meter;
+  local_meter.SetZone(zone_);
+  Result<ObjectValue> ring_obj = cloud_.Get(NameRingKey(ns), local_meter);
+  bool fresh = false;
+  bool need_repair = false;
+  NameRing repaired;
+  VirtualNanos repair_version = 0;
+  if (ring_obj.ok()) {
+    Result<NameRing> cloud_ring = NameRing::Parse(ring_obj->payload);
+    if (cloud_ring.ok()) {
+      std::lock_guard lock(mu_);
+      Descriptor& desc = DescriptorFor(ns);
+      NameRing merged = *cloud_ring;
+      if (desc.local.has_value()) {
+        // Age out tombstones from the local copy the same way compaction
+        // does, so a legitimately compacted deletion is not "repaired"
+        // back into the ring forever.
+        NameRing aged = *desc.local;
+        aged.PruneTombstones(cloud_.clock().Now() -
+                             config_.tombstone_gc_age);
+        merged.Merge(aged);
+      }
+      fresh = !desc.local.has_value() || !(merged == *desc.local);
+      if (!(merged == *cloud_ring)) {
+        // The stored ring is missing updates we hold locally: a concurrent
+        // read-merge-write clobbered them.  Write the join back.
+        need_repair = true;
+        repaired = merged;
+        repair_version = cloud_.clock().Tick();
+        ++counters_.gossip_repairs;
+      }
+      desc.local = std::move(merged);
+      desc.local_version = std::max(
+          {desc.local_version, rumor.version, repair_version});
+    }
+  } else {
+    // Ring gone (directory removed elsewhere): remember the version so the
+    // rumor stops here.
+    std::lock_guard lock(mu_);
+    Descriptor& desc = DescriptorFor(ns);
+    desc.local_version = std::max(desc.local_version, rumor.version);
+  }
+
+  if (need_repair) {
+    (void)cloud_.Put(NameRingKey(ns),
+                     MakeObject(repaired.Serialize(), "ring", repair_version),
+                     local_meter);
+    Announce(ns, repair_version);
+  }
+  std::lock_guard lock(mu_);
+  maintenance_meter_.Merge(local_meter.cost());
+  return fresh;
+}
+
+// ---------------------------------------------------------------------------
+// Compaction & caches
+// ---------------------------------------------------------------------------
+
+Status H2Middleware::MaybeCompact(const NamespaceId& ns, NameRing& ring,
+                                  OpMeter& meter) {
+  if (!config_.compact_on_use || ring.tombstone_count() == 0) {
+    return Status::Ok();
+  }
+  NameRing pruned = ring;
+  const std::size_t removed = pruned.PruneTombstones(
+      cloud_.clock().Now() - config_.tombstone_gc_age);
+  if (removed == 0) return Status::Ok();
+  const VirtualNanos now = cloud_.clock().Tick();
+  H2_RETURN_IF_ERROR(cloud_.Put(NameRingKey(ns),
+                                MakeObject(pruned.Serialize(), "ring", now),
+                                meter));
+  ring = pruned;
+  std::lock_guard lock(mu_);
+  Descriptor& desc = DescriptorFor(ns);
+  desc.local = std::move(pruned);
+  desc.local_version = now;
+  counters_.tombstones_compacted += removed;
+  return Status::Ok();
+}
+
+void H2Middleware::CacheNamespace(const std::string& child_key,
+                                  const NamespaceId& ns) {
+  auto it = ns_cache_.find(child_key);
+  if (it != ns_cache_.end()) {
+    it->second->second = ns;
+    ns_lru_.splice(ns_lru_.begin(), ns_lru_, it->second);
+    return;
+  }
+  ns_lru_.emplace_front(child_key, ns);
+  ns_cache_[child_key] = ns_lru_.begin();
+  while (ns_lru_.size() > std::max<std::size_t>(config_.ns_cache_capacity, 1)) {
+    ns_cache_.erase(ns_lru_.back().first);
+    ns_lru_.pop_back();
+  }
+}
+
+std::optional<NamespaceId> H2Middleware::CachedNamespace(
+    const std::string& child_key) {
+  std::lock_guard lock(mu_);
+  auto it = ns_cache_.find(child_key);
+  if (it == ns_cache_.end()) {
+    ++counters_.ns_cache_misses;
+    return std::nullopt;
+  }
+  ++counters_.ns_cache_hits;
+  ns_lru_.splice(ns_lru_.begin(), ns_lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void H2Middleware::InvalidateNamespace(const std::string& child_key) {
+  auto it = ns_cache_.find(child_key);
+  if (it == ns_cache_.end()) return;
+  ns_lru_.erase(it->second);
+  ns_cache_.erase(it);
+}
+
+OpCost H2Middleware::maintenance_cost() const {
+  std::lock_guard lock(mu_);
+  return maintenance_meter_.cost();
+}
+
+H2Counters H2Middleware::counters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+}  // namespace h2

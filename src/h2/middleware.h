@@ -1,0 +1,235 @@
+// H2Middleware: the key component of H2Cloud (§4.2).
+//
+// One middleware embodies the H2 data structure and its algorithms:
+//
+//   * H2 Lookup -- file access through a namespace-decorated relative path
+//     (O(1), "quick method") or a full path walked level-by-level (O(d));
+//   * the filesystem operations (WRITE/READ/MKDIR/RMDIR/MOVE/RENAME/LIST/
+//     COPY), each translated to flat object primitives;
+//   * the NameRing Maintenance module -- patch submission (phase 1),
+//     intra-node merging by the Background Merger (phase 2 step 1) and
+//     inter-node synchronization via gossip (phase 2 step 2), with the
+//     per-NameRing File Descriptors held in a File Descriptor Cache (§4.5);
+//   * concurrency avoidance: fake deletion and write blocking (§3.3.3).
+//
+// Deployments run several middlewares over one ObjectCloud; each one is
+// identified by a node number that namespaces its UUIDs and patch keys.
+//
+// Thread model: all mutable middleware state (descriptor cache, namespace
+// cache, cleanup queue, counters) sits behind one mutex, never held across
+// cloud I/O.  Foreground filesystem calls, the background merger thread
+// and gossip handlers may run concurrently.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/object_cloud.h"
+#include "common/status.h"
+#include "fs/filesystem.h"
+#include "gossip/gossip.h"
+#include "h2/config.h"
+#include "h2/intent_log.h"
+#include "h2/name_ring.h"
+#include "h2/records.h"
+#include "hash/uuid.h"
+
+namespace h2 {
+
+/// Running totals a middleware exposes for tests and experiment reports.
+struct H2Counters {
+  std::uint64_t patches_submitted = 0;
+  std::uint64_t patches_merged = 0;
+  std::uint64_t merge_passes = 0;
+  std::uint64_t gossip_rumors_handled = 0;
+  std::uint64_t gossip_repairs = 0;    // lost concurrent merges re-applied
+  std::uint64_t tombstones_compacted = 0;
+  std::uint64_t cleanup_objects_deleted = 0;
+  std::uint64_t ns_cache_hits = 0;
+  std::uint64_t ns_cache_misses = 0;
+};
+
+class H2Middleware {
+ public:
+  /// `node_id` must be unique among middlewares sharing a cloud.
+  H2Middleware(ObjectCloud& cloud, std::uint32_t node_id,
+               H2Config config = {});
+  ~H2Middleware();  // out-of-line: Descriptor is an incomplete type here
+
+  H2Middleware(const H2Middleware&) = delete;
+  H2Middleware& operator=(const H2Middleware&) = delete;
+
+  std::uint32_t node_id() const { return node_; }
+  ObjectCloud& cloud() { return cloud_; }
+  const H2Config& config() const { return config_; }
+
+  /// Zone (data center) this middleware runs in; set before serving
+  /// traffic.  Charged reads prefer same-zone replicas (§4.1's
+  /// geographically distributed deployment).
+  void SetZone(std::uint32_t zone) { zone_ = zone; }
+  std::uint32_t zone() const { return zone_; }
+
+  // --- Account APIs (§4.3) -------------------------------------------------
+  Status CreateAccount(std::string_view user, OpMeter& meter);
+  Status DeleteAccount(std::string_view user, OpMeter& meter);
+  Result<NamespaceId> AccountRoot(std::string_view user, OpMeter& meter);
+
+  // --- Directory & File Content APIs, account-root scoped -------------------
+  // `path` is normalized ("/a/b"); callers go through H2AccountFs which
+  // normalizes and owns the OpMeter.
+  Status WriteFile(const NamespaceId& root, std::string_view path,
+                   FileBlob blob, OpMeter& meter);
+
+  /// Bulk ingest: writes many files and submits ONE combined NameRing
+  /// patch per affected directory (a patch is itself a NameRing, §3.3.2,
+  /// so multi-tuple patches come for free).  This amortizes the durable
+  /// patch commit that dominates single-file WRITE latency -- the fast
+  /// path for client sync engines uploading whole folders.  Stops at the
+  /// first error; files written before it remain.
+  struct BatchEntry {
+    std::string path;  // normalized
+    FileBlob blob;
+  };
+  Status WriteFiles(const NamespaceId& root, std::vector<BatchEntry> batch,
+                    OpMeter& meter);
+  Result<FileBlob> ReadFile(const NamespaceId& root, std::string_view path,
+                            OpMeter& meter);
+  Result<FileInfo> Stat(const NamespaceId& root, std::string_view path,
+                        OpMeter& meter);
+  Status RemoveFile(const NamespaceId& root, std::string_view path,
+                    OpMeter& meter);
+  Status Mkdir(const NamespaceId& root, std::string_view path,
+               OpMeter& meter);
+  Status Rmdir(const NamespaceId& root, std::string_view path,
+               OpMeter& meter);
+  Status Move(const NamespaceId& root, std::string_view from,
+              std::string_view to, OpMeter& meter);
+  Result<std::vector<DirEntry>> List(const NamespaceId& root,
+                                     std::string_view path,
+                                     ListDetail detail, OpMeter& meter);
+
+  /// Paged LIST (Swift-style marker/limit).  The paper's workloads hold
+  /// up to half a million files in one directory (§5.1); a client should
+  /// not have to stat all of them to render the first screen.  Returns
+  /// children strictly after `start_after` (empty = from the beginning),
+  /// at most `limit`; detailed metadata is fetched only for the page.
+  struct Page {
+    std::vector<DirEntry> entries;
+    bool truncated = false;       // more children remain
+    std::string next_marker;      // pass back as start_after
+  };
+  Result<Page> ListPaged(const NamespaceId& root, std::string_view path,
+                         ListDetail detail, std::string_view start_after,
+                         std::size_t limit, OpMeter& meter);
+  Status Copy(const NamespaceId& root, std::string_view from,
+              std::string_view to, OpMeter& meter);
+
+  // --- the quick method (§3.2) ----------------------------------------------
+  /// O(1) file access via a namespace-decorated relative path: one HEAD.
+  Result<FileInfo> StatRelative(const NamespaceId& ns, std::string_view name,
+                                OpMeter& meter);
+  /// Resolves a full directory path to its namespace (the handle internal
+  /// operations pass around).
+  Result<NamespaceId> ResolvePath(const NamespaceId& root,
+                                  std::string_view path, OpMeter& meter);
+
+  // --- NameRing maintenance (§3.3) -------------------------------------------
+  /// Phase-2 step 1: merge this node's pending patches into their
+  /// NameRings.  Returns the number of patches merged.  Costs are charged
+  /// to the maintenance meter (or the foreground meter under the
+  /// synchronous-maintenance ablation).
+  std::size_t MergePending();
+  /// Merges one namespace's pending patches; returns patches merged.
+  std::size_t MergeNamespace(const NamespaceId& ns);
+  /// Processes up to `max_objects` deletions from the lazy-cleanup queue
+  /// left behind by RMDIR.  Returns objects deleted.
+  std::size_t RunLazyCleanup(std::size_t max_objects = ~std::size_t{0});
+  /// Re-drives MOVEs a crashed predecessor (same node id) journaled but
+  /// did not finish.  Every redo step is idempotent.  Returns the number
+  /// of intents completed.
+  std::size_t RecoverIntents();
+  IntentLog& intent_log() { return intents_; }
+  /// True when no patches await merging and the cleanup queue is empty.
+  bool MaintenanceIdle() const;
+
+  /// Joins a gossip bus (phase-2 step 2).  The middleware announces its
+  /// NameRing merges and repairs/fetches on incoming rumors.
+  void JoinGossip(GossipBus& bus);
+
+  /// Cumulative background cost (merging, cleanup, gossip fetches).
+  OpCost maintenance_cost() const;
+  H2Counters counters() const;
+
+ private:
+  struct Descriptor;  // the per-NameRing File Descriptor (§4.5)
+
+  // -- lookup helpers --
+  Result<DirRecord> LoadDirRecord(const NamespaceId& parent_ns,
+                                  std::string_view name, OpMeter& meter);
+  Result<NamespaceId> ResolveParent(const NamespaceId& root,
+                                    std::string_view normalized_path,
+                                    OpMeter& meter);
+  /// GET + parse a NameRing, overlaying this node's unmerged patches so
+  /// the middleware reads its own writes.
+  Result<NameRing> LoadNameRing(const NamespaceId& ns, OpMeter& meter);
+
+  // -- maintenance internals --
+  Status SubmitPatch(const NamespaceId& ns, RingTuple tuple, OpMeter& meter);
+  Status SubmitPatchTuples(const NamespaceId& ns,
+                           std::vector<RingTuple> tuples, OpMeter& meter);
+  std::size_t MergeNamespaceLocked(const NamespaceId& ns,
+                                   std::unique_lock<std::mutex>& lock,
+                                   OpMeter& meter);
+  bool HandleRumor(const Rumor& rumor);
+  void Announce(const NamespaceId& ns, VirtualNanos version);
+  OpMeter& MaintenanceMeter() {
+    return config_.synchronous_maintenance && foreground_meter_ != nullptr
+               ? *foreground_meter_
+               : maintenance_meter_;
+  }
+
+  // -- shared-state helpers (call with mu_ held) --
+  Descriptor& DescriptorFor(const NamespaceId& ns);
+  void CacheNamespace(const std::string& child_key, const NamespaceId& ns);
+  std::optional<NamespaceId> CachedNamespace(const std::string& child_key);
+  void InvalidateNamespace(const std::string& child_key);
+
+  // -- op helpers --
+  Status CopyTree(const NamespaceId& src_ns, const NamespaceId& dst_ns,
+                  OpMeter& meter);
+  Status MaybeCompact(const NamespaceId& ns, NameRing& ring, OpMeter& meter);
+
+  ObjectCloud& cloud_;
+  const std::uint32_t node_;
+  const H2Config config_;
+  std::uint32_t zone_ = 0;
+
+  mutable std::mutex mu_;
+  NamespaceMinter minter_;
+  // LRU namespace cache: the list keeps recency order (front = hottest),
+  // the map indexes into it.
+  using NsLruList = std::list<std::pair<std::string, NamespaceId>>;
+  NsLruList ns_lru_;
+  std::unordered_map<std::string, NsLruList::iterator> ns_cache_;
+  std::unordered_map<NamespaceId, std::unique_ptr<Descriptor>> descriptors_;
+  std::unordered_set<NamespaceId> write_blocked_;  // §3.3.3(b)
+  IntentLog intents_;
+  std::deque<NamespaceId> cleanup_queue_;
+  H2Counters counters_;
+  OpMeter maintenance_meter_;
+  OpMeter* foreground_meter_ = nullptr;  // synchronous-maintenance ablation
+
+  GossipBus* gossip_ = nullptr;
+  std::uint32_t gossip_member_ = 0;
+};
+
+}  // namespace h2

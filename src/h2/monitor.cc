@@ -1,0 +1,130 @@
+#include "h2/monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace h2 {
+
+std::uint64_t MonitorSnapshot::TotalPatchesSubmitted() const {
+  std::uint64_t total = 0;
+  for (const auto& mw : middlewares) total += mw.counters.patches_submitted;
+  return total;
+}
+
+std::uint64_t MonitorSnapshot::TotalPatchesMerged() const {
+  std::uint64_t total = 0;
+  for (const auto& mw : middlewares) total += mw.counters.patches_merged;
+  return total;
+}
+
+std::uint64_t MonitorSnapshot::TotalGossipRepairs() const {
+  std::uint64_t total = 0;
+  for (const auto& mw : middlewares) total += mw.counters.gossip_repairs;
+  return total;
+}
+
+bool MonitorSnapshot::FullyConverged() const {
+  return std::all_of(middlewares.begin(), middlewares.end(),
+                     [](const MiddlewareSnapshot& mw) { return mw.idle; });
+}
+
+double MonitorSnapshot::LoadImbalance() const {
+  if (nodes.empty()) return 1.0;
+  std::uint64_t max = 0, sum = 0;
+  for (const auto& n : nodes) {
+    max = std::max(max, n.objects);
+    sum += n.objects;
+  }
+  if (sum == 0) return 1.0;
+  return static_cast<double>(max) * static_cast<double>(nodes.size()) /
+         static_cast<double>(sum);
+}
+
+std::string MonitorSnapshot::ToText() const {
+  std::string out;
+  char buf[256];
+
+  std::snprintf(buf, sizeof(buf),
+                "== H2Cloud monitor ==\n"
+                "objects: %llu logical / %llu raw replicas, %s logical\n"
+                "ring: %zu partitions across %zu zone(s), load imbalance "
+                "%.3f\n",
+                static_cast<unsigned long long>(logical_objects),
+                static_cast<unsigned long long>(raw_objects),
+                HumanBytes(logical_bytes).c_str(), ring_partitions,
+                ring_zones, LoadImbalance());
+  out += buf;
+
+  out += "-- middlewares --\n";
+  for (const auto& mw : middlewares) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  node %02u zone %u: %llu patches submitted, %llu merged, %llu "
+        "rumors, %llu repairs, %llu tombstones compacted, maintenance "
+        "%.1f ms, %s\n",
+        mw.node_id, mw.zone,
+        static_cast<unsigned long long>(mw.counters.patches_submitted),
+        static_cast<unsigned long long>(mw.counters.patches_merged),
+        static_cast<unsigned long long>(mw.counters.gossip_rumors_handled),
+        static_cast<unsigned long long>(mw.counters.gossip_repairs),
+        static_cast<unsigned long long>(mw.counters.tombstones_compacted),
+        mw.maintenance.elapsed_ms(), mw.idle ? "idle" : "BUSY");
+    out += buf;
+  }
+
+  out += "-- storage nodes --\n";
+  for (const auto& n : nodes) {
+    std::snprintf(buf, sizeof(buf), "  %-8s zone %u: %8llu objects, %10s%s\n",
+                  n.name.c_str(), n.zone,
+                  static_cast<unsigned long long>(n.objects),
+                  HumanBytes(n.logical_bytes).c_str(),
+                  n.down ? "  [DOWN]" : "");
+    out += buf;
+  }
+
+  std::snprintf(buf, sizeof(buf),
+                "-- gossip --\n  %llu published, %llu delivered, %llu "
+                "suppressed, %llu rounds\n",
+                static_cast<unsigned long long>(gossip.published),
+                static_cast<unsigned long long>(gossip.delivered),
+                static_cast<unsigned long long>(gossip.suppressed),
+                static_cast<unsigned long long>(gossip.rounds));
+  out += buf;
+  return out;
+}
+
+MonitorSnapshot CollectSnapshot(H2Cloud& cloud) {
+  MonitorSnapshot snapshot;
+  for (std::size_t i = 0; i < cloud.middleware_count(); ++i) {
+    H2Middleware& mw = cloud.middleware(i);
+    MiddlewareSnapshot m;
+    m.node_id = mw.node_id();
+    m.zone = mw.zone();
+    m.counters = mw.counters();
+    m.maintenance = mw.maintenance_cost();
+    m.idle = mw.MaintenanceIdle();
+    snapshot.middlewares.push_back(m);
+  }
+  ObjectCloud& oc = cloud.cloud();
+  for (std::size_t i = 0; i < oc.node_count(); ++i) {
+    StorageNode& node = oc.node(i);
+    NodeSnapshot n;
+    n.name = node.name();
+    n.zone = node.zone();
+    n.objects = node.object_count();
+    n.logical_bytes = node.logical_bytes();
+    n.down = node.IsDown();
+    snapshot.nodes.push_back(std::move(n));
+  }
+  snapshot.gossip = cloud.gossip().stats();
+  snapshot.logical_objects = oc.LogicalObjectCount();
+  snapshot.raw_objects = oc.RawObjectCount();
+  snapshot.logical_bytes = oc.LogicalBytes();
+  snapshot.ring_partitions = oc.ring().partition_count();
+  snapshot.ring_zones = oc.ring().active_zone_count();
+  return snapshot;
+}
+
+}  // namespace h2

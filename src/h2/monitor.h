@@ -1,0 +1,63 @@
+// System monitoring (§4.2: "there are a few other modules inside an
+// H2Middleware for inter-communications and system monitoring").
+//
+// Assembles one coherent snapshot of a running H2Cloud -- per-middleware
+// protocol counters and maintenance cost, per-node storage load, ring
+// shape, gossip traffic -- and renders it as an operator-readable report.
+// Used by the examples and by tests that assert system-level invariants
+// (e.g. "all patches submitted were eventually merged").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gossip/gossip.h"
+#include "h2/h2cloud.h"
+
+namespace h2 {
+
+struct MiddlewareSnapshot {
+  std::uint32_t node_id = 0;
+  std::uint32_t zone = 0;
+  H2Counters counters;
+  OpCost maintenance;
+  bool idle = true;
+};
+
+struct NodeSnapshot {
+  std::string name;
+  std::uint32_t zone = 0;
+  std::uint64_t objects = 0;
+  std::uint64_t logical_bytes = 0;
+  bool down = false;
+};
+
+struct MonitorSnapshot {
+  std::vector<MiddlewareSnapshot> middlewares;
+  std::vector<NodeSnapshot> nodes;
+  GossipStats gossip;
+  std::uint64_t logical_objects = 0;
+  std::uint64_t raw_objects = 0;
+  std::uint64_t logical_bytes = 0;
+  std::size_t ring_partitions = 0;
+  std::size_t ring_zones = 0;
+
+  // -- aggregates ---------------------------------------------------------
+  std::uint64_t TotalPatchesSubmitted() const;
+  std::uint64_t TotalPatchesMerged() const;
+  std::uint64_t TotalGossipRepairs() const;
+  /// All submitted patches merged, queues drained, gossip silent.
+  bool FullyConverged() const;
+  /// max/mean node object count (1.0 = perfectly even).
+  double LoadImbalance() const;
+
+  /// Operator-readable multi-section report.
+  std::string ToText() const;
+};
+
+/// Collects a consistent-enough snapshot (counters are read atomically
+/// per middleware; the cluster keeps serving during collection).
+MonitorSnapshot CollectSnapshot(H2Cloud& cloud);
+
+}  // namespace h2

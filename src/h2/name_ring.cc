@@ -1,0 +1,195 @@
+#include "h2/name_ring.h"
+
+#include <cstdio>
+
+#include "codec/formatter.h"
+#include "common/strings.h"
+
+namespace h2 {
+namespace {
+
+// Serialized tuple lines: name|timestamp|kind|flag
+//   kind: "F" file, "D" directory
+//   flag: "" live, "X" deleted
+// Version vector lines are prefixed with "#vv": #vv|node|patch_no
+constexpr std::string_view kVvPrefix = "#vv";
+
+std::string_view KindCode(EntryKind kind) {
+  return kind == EntryKind::kDirectory ? "D" : "F";
+}
+
+}  // namespace
+
+bool NameRing::Apply(RingTuple tuple) {
+  auto it = tuples_.find(tuple.name);
+  if (it == tuples_.end()) {
+    tuples_.emplace(tuple.name, std::move(tuple));
+    return true;
+  }
+  if (tuple.timestamp > it->second.timestamp) {
+    it->second = std::move(tuple);
+    return true;
+  }
+  return false;
+}
+
+const RingTuple* NameRing::Find(std::string_view name) const {
+  auto it = tuples_.find(name);
+  return it == tuples_.end() ? nullptr : &it->second;
+}
+
+bool NameRing::HasLive(std::string_view name) const {
+  const RingTuple* t = Find(name);
+  return t != nullptr && !t->deleted;
+}
+
+std::size_t NameRing::Merge(const NameRing& patch) {
+  std::size_t changed = 0;
+  for (const auto& [name, tuple] : patch.tuples_) {
+    if (Apply(tuple)) ++changed;
+  }
+  for (const auto& [node, patch_no] : patch.versions_) {
+    auto [it, inserted] = versions_.try_emplace(node, patch_no);
+    if (!inserted && patch_no > it->second) it->second = patch_no;
+  }
+  return changed;
+}
+
+std::size_t NameRing::Compact() {
+  std::size_t removed = 0;
+  for (auto it = tuples_.begin(); it != tuples_.end();) {
+    if (it->second.deleted) {
+      it = tuples_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<RingTuple> NameRing::AllTuples() const {
+  std::vector<RingTuple> out;
+  out.reserve(tuples_.size());
+  for (const auto& [name, tuple] : tuples_) out.push_back(tuple);
+  return out;
+}
+
+std::size_t NameRing::PruneTombstones(VirtualNanos cutoff) {
+  std::size_t removed = 0;
+  for (auto it = tuples_.begin(); it != tuples_.end();) {
+    if (it->second.deleted && it->second.timestamp <= cutoff) {
+      it = tuples_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<RingTuple> NameRing::LiveChildren() const {
+  std::vector<RingTuple> out;
+  out.reserve(tuples_.size());
+  for (const auto& [name, tuple] : tuples_) {
+    if (!tuple.deleted) out.push_back(tuple);
+  }
+  return out;
+}
+
+std::size_t NameRing::live_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, tuple] : tuples_) {
+    if (!tuple.deleted) ++n;
+  }
+  return n;
+}
+
+void NameRing::NoteMerged(std::uint32_t node, std::uint64_t patch_no) {
+  auto [it, inserted] = versions_.try_emplace(node, patch_no);
+  if (!inserted && patch_no > it->second) it->second = patch_no;
+}
+
+std::uint64_t NameRing::MergedUpTo(std::uint32_t node) const {
+  auto it = versions_.find(node);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+std::string NameRing::Serialize() const {
+  std::string out;
+  char buf[32];
+  for (const auto& [node, patch_no] : versions_) {
+    std::snprintf(buf, sizeof(buf), "%u", node);
+    std::string line(kVvPrefix);
+    line += '|';
+    line += buf;
+    line += '|';
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(patch_no));
+    line += buf;
+    out += line;
+    out.push_back('\n');
+  }
+  for (const auto& [name, tuple] : tuples_) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(tuple.timestamp));
+    out += MakeTupleLine({name, buf, KindCode(tuple.kind),
+                          tuple.deleted ? "X" : ""});
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<NameRing> NameRing::Parse(std::string_view data) {
+  NameRing ring;
+  for (auto line : Split(data, '\n')) {
+    if (line.empty()) continue;
+    H2_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                        ParseTupleLine(line));
+    if (!fields.empty() && fields[0] == kVvPrefix) {
+      if (fields.size() != 3) {
+        return Status::Corruption("bad version-vector line in NameRing");
+      }
+      std::uint64_t node = 0, patch_no = 0;
+      if (!ParseUint64(fields[1], &node) ||
+          !ParseUint64(fields[2], &patch_no) || node > 0xffffffffULL) {
+        return Status::Corruption("bad version-vector values in NameRing");
+      }
+      ring.versions_[static_cast<std::uint32_t>(node)] = patch_no;
+      continue;
+    }
+    if (fields.size() != 4) {
+      return Status::Corruption("bad tuple line in NameRing");
+    }
+    RingTuple tuple;
+    tuple.name = std::move(fields[0]);
+    std::string_view ts = fields[1];
+    bool negative = false;
+    if (!ts.empty() && ts[0] == '-') {
+      negative = true;
+      ts.remove_prefix(1);
+    }
+    std::uint64_t magnitude = 0;
+    if (!ParseUint64(ts, &magnitude)) {
+      return Status::Corruption("bad timestamp in NameRing tuple");
+    }
+    tuple.timestamp = negative ? -static_cast<VirtualNanos>(magnitude)
+                               : static_cast<VirtualNanos>(magnitude);
+    if (fields[2] == "D") {
+      tuple.kind = EntryKind::kDirectory;
+    } else if (fields[2] == "F") {
+      tuple.kind = EntryKind::kFile;
+    } else {
+      return Status::Corruption("bad kind in NameRing tuple");
+    }
+    if (fields[3] == "X") {
+      tuple.deleted = true;
+    } else if (!fields[3].empty()) {
+      return Status::Corruption("bad flag in NameRing tuple");
+    }
+    ring.tuples_[tuple.name] = std::move(tuple);
+  }
+  return ring;
+}
+
+}  // namespace h2

@@ -1,0 +1,108 @@
+// NameRing: the per-directory child list at the heart of H2 (§3.1).
+//
+// A NameRing is a list of tuples (child_i, t_i) naming the *direct*
+// children of one directory, kept alphabetically sorted (the Formatter's
+// serialization order, §4.4).  Deletion is logical: the tuple gains a
+// Deleted tag and a fresh timestamp ("fake deletion", §3.3.3a); physical
+// removal is deferred until the ring is next *in use* (Compact()).
+//
+// The merge algorithm (§3.3.2) treats a patch as a virtual NameRing and
+// folds it in child-by-child: a child present in both sides keeps the
+// tuple with the larger timestamp; a child present only in the patch is
+// inserted; nothing is ever physically removed by a merge.  With
+// timestamps drawn from a strictly monotonic clock this makes Merge a
+// join: commutative, associative and idempotent (property-tested in
+// tests/h2/name_ring_property_test.cc), which is what lets the
+// asynchronous maintenance protocol converge regardless of patch arrival
+// order.
+//
+// The ring also carries a version vector {node -> highest merged patch
+// number} so a middleware can tell whether its own submitted patches have
+// reached the stored ring (used for gossip-driven repair after concurrent
+// read-merge-write races; see h2/middleware.cc).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "fs/filesystem.h"
+
+namespace h2 {
+
+struct RingTuple {
+  std::string name;
+  VirtualNanos timestamp = 0;  // creation or deletion time (the paper's t_i)
+  EntryKind kind = EntryKind::kFile;
+  bool deleted = false;        // the Deleted tag
+
+  friend bool operator==(const RingTuple&, const RingTuple&) = default;
+};
+
+class NameRing {
+ public:
+  NameRing() = default;
+
+  /// Applies one tuple under the merge rule: inserted if the child is new,
+  /// overriding if its timestamp is strictly larger than the stored one.
+  /// Returns true if the ring changed.
+  bool Apply(RingTuple tuple);
+
+  /// The tuple for `name`, including tombstoned ones; nullptr if absent.
+  const RingTuple* Find(std::string_view name) const;
+
+  /// A child that exists and is not tombstoned.
+  bool HasLive(std::string_view name) const;
+
+  /// The NameRing merging algorithm: fold `patch` (same representation)
+  /// into this ring.  Returns the number of tuples changed.
+  std::size_t Merge(const NameRing& patch);
+
+  /// Physically drops tombstoned tuples ("really removing the tuple ...
+  /// until this NameRing is in use", §3.3.2).  Returns tuples removed.
+  std::size_t Compact();
+
+  /// Live children in alphabetical order.
+  std::vector<RingTuple> LiveChildren() const;
+
+  /// Every tuple, tombstones included, in alphabetical order.
+  std::vector<RingTuple> AllTuples() const;
+
+  /// Physically removes tombstones whose deletion timestamp is <= cutoff
+  /// (the compaction safety rule; see h2/config.h tombstone_gc_age).
+  /// Returns tuples removed.
+  std::size_t PruneTombstones(VirtualNanos cutoff);
+
+  std::size_t tuple_count() const { return tuples_.size(); }
+  std::size_t live_count() const;
+  std::size_t tombstone_count() const { return tuple_count() - live_count(); }
+
+  // --- version vector ------------------------------------------------------
+  /// Records that patches up to `patch_no` from `node` are folded in.
+  void NoteMerged(std::uint32_t node, std::uint64_t patch_no);
+  /// Highest patch number from `node` folded into this ring (0 = none).
+  std::uint64_t MergedUpTo(std::uint32_t node) const;
+  const std::map<std::uint32_t, std::uint64_t>& version_vector() const {
+    return versions_;
+  }
+
+  // --- serialization (the Formatter, §4.4) ----------------------------------
+  std::string Serialize() const;
+  static Result<NameRing> Parse(std::string_view data);
+
+  friend bool operator==(const NameRing& a, const NameRing& b) {
+    return a.tuples_ == b.tuples_ && a.versions_ == b.versions_;
+  }
+
+ private:
+  // Alphabetical by child name -- the on-disk order the paper specifies.
+  std::map<std::string, RingTuple, std::less<>> tuples_;
+  std::map<std::uint32_t, std::uint64_t> versions_;
+};
+
+}  // namespace h2

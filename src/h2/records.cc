@@ -1,0 +1,76 @@
+#include "h2/records.h"
+
+#include "codec/formatter.h"
+
+namespace h2 {
+namespace {
+
+Result<NamespaceId> ParseNsField(const KvRecord& record,
+                                 std::string_view key) {
+  if (!record.Has(key)) {
+    return Status::Corruption("missing field: " + std::string(key));
+  }
+  return NamespaceId::Parse(record.Get(key));
+}
+
+}  // namespace
+
+std::string DirRecord::Serialize() const {
+  KvRecord record;
+  record.Set(kMetaKind, kMetaKindDir);
+  record.Set("ns", ns.ToString());
+  record.Set("parent", parent_ns.ToString());
+  record.Set("name", name);
+  record.SetInt("created", created);
+  return record.Serialize();
+}
+
+Result<DirRecord> DirRecord::Parse(std::string_view data) {
+  H2_ASSIGN_OR_RETURN(KvRecord record, KvRecord::Parse(data));
+  if (record.Get(kMetaKind) != kMetaKindDir) {
+    return Status::Corruption("object is not a directory record");
+  }
+  DirRecord dir;
+  H2_ASSIGN_OR_RETURN(dir.ns, ParseNsField(record, "ns"));
+  H2_ASSIGN_OR_RETURN(dir.parent_ns, ParseNsField(record, "parent"));
+  dir.name = record.Get("name");
+  H2_ASSIGN_OR_RETURN(dir.created, record.GetInt("created"));
+  return dir;
+}
+
+std::string AccountRecord::Serialize() const {
+  KvRecord record;
+  record.Set("user", user);
+  record.Set("root", root_ns.ToString());
+  record.SetInt("created", created);
+  return record.Serialize();
+}
+
+Result<AccountRecord> AccountRecord::Parse(std::string_view data) {
+  H2_ASSIGN_OR_RETURN(KvRecord record, KvRecord::Parse(data));
+  AccountRecord account;
+  account.user = record.Get("user");
+  H2_ASSIGN_OR_RETURN(account.root_ns, ParseNsField(record, "root"));
+  H2_ASSIGN_OR_RETURN(account.created, record.GetInt("created"));
+  return account;
+}
+
+std::string PatchChain::Serialize() const {
+  KvRecord record;
+  record.SetUint("next", next_patch);
+  record.SetUint("merged", merged_through);
+  return record.Serialize();
+}
+
+Result<PatchChain> PatchChain::Parse(std::string_view data) {
+  H2_ASSIGN_OR_RETURN(KvRecord record, KvRecord::Parse(data));
+  PatchChain chain;
+  H2_ASSIGN_OR_RETURN(chain.next_patch, record.GetUint("next"));
+  H2_ASSIGN_OR_RETURN(chain.merged_through, record.GetUint("merged"));
+  if (chain.next_patch == 0 || chain.merged_through >= chain.next_patch) {
+    return Status::Corruption("inconsistent patch chain");
+  }
+  return chain;
+}
+
+}  // namespace h2

@@ -1,0 +1,62 @@
+// Stored record types for H2 objects other than NameRings.
+//
+// All of these go through the Formatter's key=value codec so the objects
+// in the cloud are plain ASCII (§4.4): directory records ("Directories
+// are converted to ASCII strings corresponding to their namespaces"),
+// account roots, and patch-chain heads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "hash/uuid.h"
+
+namespace h2 {
+
+/// The object stored at "<parent_ns>::<dirname>": binds a directory name
+/// to the namespace that owns its NameRing and children.
+struct DirRecord {
+  NamespaceId ns;          // this directory's own namespace
+  NamespaceId parent_ns;   // namespace of the containing directory
+  std::string name;
+  VirtualNanos created = 0;
+
+  std::string Serialize() const;
+  static Result<DirRecord> Parse(std::string_view data);
+};
+
+/// The object stored at "account::<user>": the account's root namespace.
+struct AccountRecord {
+  std::string user;
+  NamespaceId root_ns;
+  VirtualNanos created = 0;
+
+  std::string Serialize() const;
+  static Result<AccountRecord> Parse(std::string_view data);
+};
+
+/// Head object of one node's patch link-list for one NameRing (§3.3.2:
+/// "patches within each node are arranged as a link-list").  Patch numbers
+/// in [merged_through + 1, next_patch) exist as objects and await merging.
+struct PatchChain {
+  std::uint64_t next_patch = 1;      // number the next submission takes
+  std::uint64_t merged_through = 0;  // all patches <= this are merged
+
+  std::uint64_t pending() const {
+    return next_patch > merged_through + 1 ? next_patch - 1 - merged_through
+                                           : 0;
+  }
+
+  std::string Serialize() const;
+  static Result<PatchChain> Parse(std::string_view data);
+};
+
+// Metadata keys used on file content objects.
+inline constexpr std::string_view kMetaKind = "kind";       // "file" / "dir"
+inline constexpr std::string_view kMetaKindFile = "file";
+inline constexpr std::string_view kMetaKindDir = "dir";
+
+}  // namespace h2

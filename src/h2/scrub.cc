@@ -1,0 +1,81 @@
+#include "h2/scrub.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/strings.h"
+#include "h2/records.h"
+#include "hash/uuid.h"
+
+namespace h2 {
+namespace {
+
+/// Namespace prefix of an H2 key ("<ns>::..."), if it has one.
+bool NamespaceOfKey(const std::string& key, NamespaceId* ns) {
+  const std::size_t sep = key.find("::");
+  if (sep == std::string::npos) return false;
+  Result<NamespaceId> parsed = NamespaceId::Parse(key.substr(0, sep));
+  if (!parsed.ok()) return false;
+  *ns = *parsed;
+  return true;
+}
+
+}  // namespace
+
+ScrubReport ScrubOrphans(ObjectCloud& cloud) {
+  ScrubReport report;
+  OpMeter meter;
+
+  // Pass 1: enumerate.  Collect account roots, the directory-record edges
+  // (parent namespace -> child namespace), and every key per namespace.
+  std::vector<NamespaceId> roots;
+  std::unordered_map<NamespaceId, std::vector<NamespaceId>> edges;
+  std::unordered_map<NamespaceId, std::vector<std::string>> keys_by_ns;
+
+  cloud.Scan(
+      [&](const std::string& key, const ObjectValue& value) {
+        ++report.objects_scanned;
+        if (StartsWith(key, "account::")) {
+          Result<AccountRecord> account = AccountRecord::Parse(value.payload);
+          if (account.ok()) roots.push_back(account->root_ns);
+          return;
+        }
+        NamespaceId ns;
+        if (!NamespaceOfKey(key, &ns)) return;  // not an H2 object
+        keys_by_ns[ns].push_back(key);
+        auto kind = value.metadata.find("kind");
+        if (kind != value.metadata.end() && kind->second == "dir") {
+          Result<DirRecord> record = DirRecord::Parse(value.payload);
+          if (record.ok()) edges[ns].push_back(record->ns);
+        }
+      },
+      meter);
+  report.namespaces_total = keys_by_ns.size();
+
+  // Pass 2: reachability from the account roots.
+  std::unordered_set<NamespaceId> reachable;
+  std::vector<NamespaceId> frontier = roots;
+  while (!frontier.empty()) {
+    const NamespaceId ns = frontier.back();
+    frontier.pop_back();
+    if (!reachable.insert(ns).second) continue;
+    auto it = edges.find(ns);
+    if (it == edges.end()) continue;
+    for (const NamespaceId& child : it->second) frontier.push_back(child);
+  }
+
+  // Pass 3: reclaim everything belonging to unreachable namespaces.
+  for (const auto& [ns, keys] : keys_by_ns) {
+    if (reachable.contains(ns)) continue;
+    ++report.namespaces_unreachable;
+    for (const std::string& key : keys) {
+      if (cloud.Delete(key, meter).ok()) ++report.objects_deleted;
+    }
+  }
+  report.cost = meter.cost();
+  return report;
+}
+
+}  // namespace h2

@@ -1,0 +1,36 @@
+// Offline scrubber: reclaims unreachable H2 objects.
+//
+// Crash windows intentionally leave only *invisible* garbage (PROTOCOL.md):
+// a COPY that died mid-subtree leaves freshly minted namespaces no path
+// reaches; an interrupted lazy cleanup leaves children of removed
+// directories.  The scrubber makes the guarantee complete: enumerate the
+// cluster (the O(N) Scan a flat cloud supports), compute the set of
+// namespaces reachable from account roots through directory records, and
+// delete every H2 object belonging to an unreachable namespace.
+//
+// Run it like Swift runs its auditors: offline or during quiet periods,
+// after draining pending maintenance (unmerged patches reference live
+// namespaces and are skipped conservatively if their namespace is still
+// reachable... unreachable ones go with their namespace).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/object_cloud.h"
+
+namespace h2 {
+
+struct ScrubReport {
+  std::uint64_t objects_scanned = 0;
+  std::uint64_t namespaces_total = 0;
+  std::uint64_t namespaces_unreachable = 0;
+  std::uint64_t objects_deleted = 0;
+  OpCost cost;
+};
+
+/// Deletes all H2 objects whose namespace cannot be reached from any
+/// account root.  The cluster must be quiescent (no concurrent writers,
+/// maintenance drained) -- the same assumption ring administration makes.
+ScrubReport ScrubOrphans(ObjectCloud& cloud);
+
+}  // namespace h2

@@ -1,0 +1,233 @@
+#include "h2/web_api.h"
+
+#include "codec/formatter.h"
+#include "common/strings.h"
+
+namespace h2 {
+namespace {
+
+void AttachCost(HttpResponse* response, const OpCost& cost) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", cost.elapsed_ms());
+  response->headers["x-op-ms"] = buf;
+  response->headers["x-op-primitives"] =
+      std::to_string(cost.object_primitives());
+}
+
+std::string EncodeEntries(const std::vector<DirEntry>& entries,
+                          ListDetail detail) {
+  std::string out;
+  for (const DirEntry& e : entries) {
+    if (detail == ListDetail::kNamesOnly) {
+      out += MakeTupleLine(
+          {e.name, e.kind == EntryKind::kDirectory ? "D" : "F"});
+    } else {
+      out += MakeTupleLine(
+          {e.name, e.kind == EntryKind::kDirectory ? "D" : "F",
+           std::to_string(e.size), std::to_string(e.modified)});
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<NamespaceId> H2WebApi::RootFor(const std::string& user) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = roots_.find(user);
+    if (it != roots_.end()) return it->second;
+  }
+  OpMeter meter;
+  H2_ASSIGN_OR_RETURN(NamespaceId root,
+                      cloud_.middleware(0).AccountRoot(user, meter));
+  std::lock_guard lock(mu_);
+  roots_[user] = root;
+  return root;
+}
+
+HttpResponse H2WebApi::Handle(const HttpRequest& request) {
+  Result<std::string> decoded = UrlDecode(request.Path());
+  if (!decoded.ok()) {
+    return HttpResponse::Text(400, "malformed target encoding");
+  }
+  const std::string& path = *decoded;
+
+  // /v1/accounts/{user}
+  static constexpr std::string_view kAccounts = "/v1/accounts/";
+  if (StartsWith(path, kAccounts)) {
+    const std::string user = path.substr(kAccounts.size());
+    if (user.empty() || user.find('/') != std::string::npos) {
+      return HttpResponse::Text(400, "bad account name");
+    }
+    return HandleAccounts(request, user);
+  }
+
+  // /v1/{user}/fs{path}
+  static constexpr std::string_view kV1 = "/v1/";
+  if (StartsWith(path, kV1)) {
+    const std::size_t user_start = kV1.size();
+    const std::size_t slash = path.find('/', user_start);
+    if (slash != std::string::npos) {
+      const std::string user = path.substr(user_start, slash - user_start);
+      std::string_view rest = std::string_view(path).substr(slash);
+      if (StartsWith(rest, "/fs/") || rest == "/fs") {
+        std::string fs_path(rest.substr(3));
+        if (fs_path.empty()) fs_path = "/";
+        return HandleFs(request, user, fs_path);
+      }
+    }
+  }
+  return HttpResponse::Text(404, "no such route");
+}
+
+HttpResponse H2WebApi::HandleAccounts(const HttpRequest& request,
+                                      const std::string& user) {
+  OpMeter meter;
+  if (request.method == "PUT") {
+    const Status st = cloud_.middleware(0).CreateAccount(user, meter);
+    HttpResponse response = HttpResponse::FromStatus(st, "created\n");
+    if (st.ok()) response.status = 201;
+    AttachCost(&response, meter.cost());
+    return response;
+  }
+  if (request.method == "DELETE") {
+    const Status st = cloud_.middleware(0).DeleteAccount(user, meter);
+    {
+      std::lock_guard lock(mu_);
+      roots_.erase(user);
+    }
+    HttpResponse response = HttpResponse::FromStatus(st, "deleted\n");
+    AttachCost(&response, meter.cost());
+    return response;
+  }
+  return HttpResponse::Text(405, "use PUT or DELETE");
+}
+
+HttpResponse H2WebApi::HandleFs(const HttpRequest& request,
+                                const std::string& user,
+                                const std::string& path) {
+  Result<NamespaceId> root = RootFor(user);
+  if (!root.ok()) {
+    return HttpResponse::FromStatus(root.status());
+  }
+  // A fresh session per request: sessions are single-threaded, requests
+  // are not.
+  H2AccountFs fs(cloud_.middleware(0), user, *root);
+
+  auto finish = [&fs](Status st, std::string ok_body = "") {
+    HttpResponse response = HttpResponse::FromStatus(st, std::move(ok_body));
+    AttachCost(&response, fs.last_op());
+    return response;
+  };
+
+  if (request.method == "GET") {
+    const std::string list = request.Query("list");
+    if (!list.empty()) {
+      const ListDetail detail =
+          list == "detail" ? ListDetail::kDetailed : ListDetail::kNamesOnly;
+      const std::string limit_str = request.Query("limit");
+      if (!limit_str.empty() || !request.Query("marker").empty()) {
+        // Paged listing, Swift-style: ?list=names&marker=<name>&limit=N.
+        std::uint64_t limit = 1000;
+        if (!limit_str.empty() && !ParseUint64(limit_str, &limit)) {
+          return HttpResponse::Text(400, "bad limit");
+        }
+        Result<std::string> marker = UrlDecode(request.Query("marker"));
+        if (!marker.ok()) return HttpResponse::Text(400, "bad marker");
+        auto page = fs.ListPaged(path, detail, *marker,
+                                 static_cast<std::size_t>(limit));
+        if (!page.ok()) return finish(page.status());
+        HttpResponse response = HttpResponse::Text(
+            200, EncodeEntries(page->entries, detail));
+        if (page->truncated) {
+          response.headers["x-next-marker"] = UrlEncode(page->next_marker);
+        }
+        AttachCost(&response, fs.last_op());
+        return response;
+      }
+      auto entries = fs.List(path, detail);
+      if (!entries.ok()) return finish(entries.status());
+      return finish(Status::Ok(), EncodeEntries(*entries, detail));
+    }
+    if (!request.Query("stat").empty()) {
+      auto info = fs.Stat(path);
+      if (!info.ok()) return finish(info.status());
+      KvRecord record;
+      record.Set("kind", info->kind == EntryKind::kDirectory ? "dir"
+                                                             : "file");
+      record.SetUint("size", info->size);
+      record.SetInt("created", info->created);
+      record.SetInt("modified", info->modified);
+      return finish(Status::Ok(), record.Serialize());
+    }
+    auto blob = fs.ReadFile(path);
+    if (!blob.ok()) return finish(blob.status());
+    HttpResponse response = HttpResponse::Text(200, std::move(blob->data));
+    response.headers["x-logical-size"] = std::to_string(blob->logical_size);
+    AttachCost(&response, fs.last_op());
+    return response;
+  }
+
+  if (request.method == "PUT") {
+    FileBlob blob = FileBlob::FromString(request.body);
+    const std::string& declared = request.Header("x-logical-size");
+    if (!declared.empty()) {
+      std::uint64_t size = 0;
+      if (!ParseUint64(declared, &size)) {
+        return HttpResponse::Text(400, "bad x-logical-size");
+      }
+      blob.logical_size = size;
+    }
+    return finish(fs.WriteFile(path, std::move(blob)), "written\n");
+  }
+
+  if (request.method == "DELETE") {
+    if (!request.Query("dir").empty()) {
+      return finish(fs.Rmdir(path), "removed\n");
+    }
+    return finish(fs.RemoveFile(path), "removed\n");
+  }
+
+  if (request.method == "POST") {
+    const std::string& op = request.Header("x-op");
+    if (op == "mkdir") return finish(fs.Mkdir(path), "created\n");
+    if (op == "move" || op == "copy") {
+      Result<std::string> dest = UrlDecode(request.Header("x-dest"));
+      if (!dest.ok() || dest->empty()) {
+        return HttpResponse::Text(400, "missing or malformed x-dest");
+      }
+      if (op == "move") return finish(fs.Move(path, *dest), "moved\n");
+      return finish(fs.Copy(path, *dest), "copied\n");
+    }
+    if (op == "rename") {
+      Result<std::string> name = UrlDecode(request.Header("x-name"));
+      if (!name.ok() || name->empty()) {
+        return HttpResponse::Text(400, "missing or malformed x-name");
+      }
+      return finish(fs.Rename(path, *name), "renamed\n");
+    }
+    return HttpResponse::Text(400, "unknown x-op");
+  }
+
+  return HttpResponse::Text(405, "unsupported method");
+}
+
+Status H2WebApi::StartServer(std::uint16_t port) {
+  if (server_ != nullptr) return Status::AlreadyExists("server running");
+  server_ = std::make_unique<HttpServer>(
+      [this](const HttpRequest& request) { return Handle(request); });
+  const Status st = server_->Start(port);
+  if (!st.ok()) server_.reset();
+  return st;
+}
+
+void H2WebApi::StopServer() {
+  if (server_ != nullptr) {
+    server_->Stop();
+    server_.reset();
+  }
+}
+
+}  // namespace h2

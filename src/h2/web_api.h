@@ -1,0 +1,68 @@
+// The H2Cloud web APIs (§4.3): the Inbound API's three route families --
+// Account APIs, Directory APIs and File Content APIs -- mapped onto the
+// H2Middleware, served over the net/http substrate.
+//
+// Route map (targets percent-encoded; responses are plain text or the
+// Formatter's record/tuple encodings):
+//
+//   Account APIs
+//     PUT    /v1/accounts/{user}            create account        -> 201
+//     DELETE /v1/accounts/{user}            delete account        -> 200
+//
+//   File Content APIs
+//     PUT    /v1/{user}/fs{path}            WRITE (body = content;
+//            optional x-logical-size header for synthetic large files)
+//     GET    /v1/{user}/fs{path}            READ  (content body)
+//     GET    /v1/{user}/fs{path}?stat=1     file access / Stat
+//     DELETE /v1/{user}/fs{path}            remove file
+//     DELETE /v1/{user}/fs{path}?dir=1      RMDIR (recursive)
+//
+//   Directory APIs
+//     GET    /v1/{user}/fs{path}?list=names    LIST, names only (O(1))
+//     GET    /v1/{user}/fs{path}?list=detail   LIST, detailed (O(m))
+//     POST   /v1/{user}/fs{path}  x-op: mkdir                  MKDIR
+//     POST   /v1/{user}/fs{path}  x-op: move   x-dest: <path>  MOVE
+//     POST   /v1/{user}/fs{path}  x-op: rename x-name: <name>  RENAME
+//     POST   /v1/{user}/fs{path}  x-op: copy   x-dest: <path>  COPY
+//
+// Every response carries "x-op-ms" and "x-op-primitives" headers with the
+// simulated operation cost -- the same metric the benches report.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "h2/h2cloud.h"
+#include "net/http.h"
+
+namespace h2 {
+
+class H2WebApi {
+ public:
+  explicit H2WebApi(H2Cloud& cloud) : cloud_(cloud) {}
+
+  /// Handles one request (also usable without a socket, for tests).
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Starts the Inbound API server on 127.0.0.1:`port` (0 = ephemeral).
+  Status StartServer(std::uint16_t port = 0);
+  void StopServer();
+  std::uint16_t port() const { return server_ ? server_->port() : 0; }
+
+ private:
+  HttpResponse HandleAccounts(const HttpRequest& request,
+                              const std::string& user);
+  HttpResponse HandleFs(const HttpRequest& request, const std::string& user,
+                        const std::string& path);
+  Result<NamespaceId> RootFor(const std::string& user);
+
+  H2Cloud& cloud_;
+  std::unique_ptr<HttpServer> server_;
+
+  std::mutex mu_;
+  std::unordered_map<std::string, NamespaceId> roots_;  // user -> root ns
+};
+
+}  // namespace h2

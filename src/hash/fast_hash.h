@@ -1,0 +1,27 @@
+// Fast non-cryptographic hashes: FNV-1a and xxHash64.
+//
+// MD5 (hash/md5.h) is what the placement ring uses, mirroring OpenStack
+// Swift.  These cheaper hashes serve everything that does not need Swift
+// compatibility: in-memory hash tables, gossip digests and workload
+// sharding.  xxHash64 is implemented from the published specification.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace h2 {
+
+/// FNV-1a 64-bit.
+constexpr std::uint64_t Fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xxHash64 with the given seed.
+std::uint64_t XxHash64(std::string_view s, std::uint64_t seed = 0);
+
+}  // namespace h2

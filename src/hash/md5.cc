@@ -1,0 +1,156 @@
+#include "hash/md5.h"
+
+#include <cstring>
+
+namespace h2 {
+namespace {
+
+constexpr std::uint32_t kInit[4] = {0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                                    0x10325476u};
+
+// Per-round left-rotation amounts.
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * |sin(i + 1)|)
+constexpr std::uint32_t kSine[64] = {
+    0xd76aa478u, 0xe8c7b756u, 0x242070dbu, 0xc1bdceeeu, 0xf57c0fafu,
+    0x4787c62au, 0xa8304613u, 0xfd469501u, 0x698098d8u, 0x8b44f7afu,
+    0xffff5bb1u, 0x895cd7beu, 0x6b901122u, 0xfd987193u, 0xa679438eu,
+    0x49b40821u, 0xf61e2562u, 0xc040b340u, 0x265e5a51u, 0xe9b6c7aau,
+    0xd62f105du, 0x02441453u, 0xd8a1e681u, 0xe7d3fbc8u, 0x21e1cde6u,
+    0xc33707d6u, 0xf4d50d87u, 0x455a14edu, 0xa9e3e905u, 0xfcefa3f8u,
+    0x676f02d9u, 0x8d2a4c8au, 0xfffa3942u, 0x8771f681u, 0x6d9d6122u,
+    0xfde5380cu, 0xa4beea44u, 0x4bdecfa9u, 0xf6bb4b60u, 0xbebfbc70u,
+    0x289b7ec6u, 0xeaa127fau, 0xd4ef3085u, 0x04881d05u, 0xd9d4d039u,
+    0xe6db99e5u, 0x1fa27cf8u, 0xc4ac5665u, 0xf4292244u, 0x432aff97u,
+    0xab9423a7u, 0xfc93a039u, 0x655b59c3u, 0x8f0ccc92u, 0xffeff47du,
+    0x85845dd1u, 0x6fa87e4fu, 0xfe2ce6e0u, 0xa3014314u, 0x4e0811a1u,
+    0xf7537e82u, 0xbd3af235u, 0x2ad7d2bbu, 0xeb86d391u};
+
+std::uint32_t Rotl(std::uint32_t x, int c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+std::uint32_t LoadLe32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Md5::Md5() { std::memcpy(state_, kInit, sizeof(state_)); }
+
+void Md5::ProcessBlock(const std::uint8_t block[64]) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) m[i] = LoadLe32(block + 4 * i);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + Rotl(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::Update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  bit_count_ += static_cast<std::uint64_t>(len) * 8;
+
+  if (buffer_len_ > 0) {
+    const std::size_t need = 64 - buffer_len_;
+    const std::size_t take = len < need ? len : need;
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == 64) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffer_len_ = len;
+  }
+}
+
+Md5::Digest Md5::Finish() {
+  const std::uint64_t bits = bit_count_;
+  static constexpr std::uint8_t kPad[64] = {0x80};
+  const std::size_t pad_len =
+      (buffer_len_ < 56) ? (56 - buffer_len_) : (120 - buffer_len_);
+  Update(kPad, pad_len);
+  std::uint8_t length_le[8];
+  for (int i = 0; i < 8; ++i) {
+    length_le[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+  Update(length_le, 8);
+
+  Digest digest{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      digest[static_cast<std::size_t>(4 * i + j)] =
+          static_cast<std::uint8_t>(state_[i] >> (8 * j));
+    }
+  }
+  return digest;
+}
+
+Md5::Digest Md5::Hash(std::string_view s) {
+  Md5 md5;
+  md5.Update(s);
+  return md5.Finish();
+}
+
+std::uint64_t Md5::Hash64(std::string_view s) {
+  const Digest d = Hash(s);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::string Md5::HexDigest(std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const Digest d = Hash(s);
+  std::string out;
+  out.reserve(32);
+  for (std::uint8_t byte : d) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 15]);
+  }
+  return out;
+}
+
+}  // namespace h2

@@ -1,0 +1,43 @@
+// MD5 message digest (RFC 1321).
+//
+// OpenStack Swift locates objects by the MD5 of their path mapped onto the
+// partition ring; we implement the same digest from scratch so the ring
+// behaves like Swift's without external dependencies.  MD5 is used here
+// purely as a well-distributed placement hash, never for security.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace h2 {
+
+class Md5 {
+ public:
+  using Digest = std::array<std::uint8_t, 16>;
+
+  Md5();
+
+  /// Incremental interface.
+  void Update(const void* data, std::size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+  Digest Finish();
+
+  /// One-shot helpers.
+  static Digest Hash(std::string_view s);
+  /// First 8 bytes of the digest as a big-endian integer -- the value the
+  /// consistent-hash ring maps to a partition.
+  static std::uint64_t Hash64(std::string_view s);
+  static std::string HexDigest(std::string_view s);
+
+ private:
+  void ProcessBlock(const std::uint8_t block[64]);
+
+  std::uint32_t state_[4];
+  std::uint64_t bit_count_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace h2

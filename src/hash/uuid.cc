@@ -1,0 +1,31 @@
+#include "hash/uuid.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace h2 {
+
+std::string NamespaceId::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%02llu.%02u.%lld",
+                static_cast<unsigned long long>(seq), node,
+                static_cast<long long>(ts_millis));
+  return buf;
+}
+
+Result<NamespaceId> NamespaceId::Parse(std::string_view s) {
+  const auto parts = Split(s, '.');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("bad namespace id: " + std::string(s));
+  }
+  std::uint64_t seq = 0, node = 0, ts = 0;
+  if (!ParseUint64(parts[0], &seq) || !ParseUint64(parts[1], &node) ||
+      !ParseUint64(parts[2], &ts) || node > 0xffffffffULL) {
+    return Status::InvalidArgument("bad namespace id: " + std::string(s));
+  }
+  return NamespaceId{seq, static_cast<std::uint32_t>(node),
+                     static_cast<std::int64_t>(ts)};
+}
+
+}  // namespace h2

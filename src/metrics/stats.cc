@@ -1,0 +1,162 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace h2 {
+
+void Summary::Add(double v) {
+  values_.push_back(v);
+  sorted_ = false;
+}
+
+void Summary::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Summary::min() const {
+  EnsureSorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Summary::max() const {
+  EnsureSorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Summary::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::percentile(double q) const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+SweepTable::SweepTable(std::string title, std::string x_label,
+                       std::string value_unit)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      unit_(std::move(value_unit)) {}
+
+void SweepTable::SetSweep(std::vector<double> xs) { xs_ = std::move(xs); }
+
+void SweepTable::AddSeries(Series series) {
+  series_.push_back(std::move(series));
+}
+
+namespace {
+std::string FormatValue(double v) {
+  char buf[40];
+  if (v >= 10000.0 || (v != 0.0 && std::fabs(v) < 0.01)) {
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string SweepTable::ToText() const {
+  std::string out = "== " + title_ + " (" + unit_ + ") ==\n";
+  // Header.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%14s", x_label_.c_str());
+  out += buf;
+  for (const Series& s : series_) {
+    std::snprintf(buf, sizeof(buf), " %16s", s.label.c_str());
+    out += buf;
+  }
+  out += '\n';
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%14.0f", xs_[i]);
+    out += buf;
+    for (const Series& s : series_) {
+      const double v = i < s.values.size() ? s.values[i] : 0.0;
+      std::snprintf(buf, sizeof(buf), " %16s", FormatValue(v).c_str());
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SweepTable::ToCsv() const {
+  std::string out = x_label_;
+  for (const Series& s : series_) {
+    out += ',';
+    out += s.label;
+  }
+  out += '\n';
+  char buf[40];
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%g", xs_[i]);
+    out += buf;
+    for (const Series& s : series_) {
+      const double v = i < s.values.size() ? s.values[i] : 0.0;
+      std::snprintf(buf, sizeof(buf), ",%g", v);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void SweepTable::Print() const {
+  std::fputs(ToText().c_str(), stdout);
+  std::fputs("-- csv --\n", stdout);
+  std::fputs(ToCsv().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+double LogLogSlope(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (xs[i] <= 0.0 || ys[i] <= 0.0) continue;
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++used;
+  }
+  if (used < 2) return 0.0;
+  const double denom = static_cast<double>(used) * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (static_cast<double>(used) * sxy - sx * sy) / denom;
+}
+
+std::string ComplexityClass(double slope) {
+  if (slope < 0.15) return "O(1)";
+  if (slope < 0.5) return "O(log)";
+  if (slope < 1.3) return "O(linear)";
+  return "O(superlinear)";
+}
+
+}  // namespace h2

@@ -1,0 +1,74 @@
+// Summary statistics and series collection for the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace h2 {
+
+/// Streaming summary of a sample set (operation times, counts, ...).
+class Summary {
+ public:
+  void Add(double v);
+
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// q in [0,1]; linear interpolation between order statistics.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+/// One plotted series: y-values (e.g. mean op time in ms) over the sweep.
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// A figure-style table: one row per sweep point, one column per system.
+/// Prints the aligned text table and a CSV block the way every bench
+/// binary in bench/ reports its figure.
+class SweepTable {
+ public:
+  SweepTable(std::string title, std::string x_label,
+             std::string value_unit);
+
+  void SetSweep(std::vector<double> xs);
+  void AddSeries(Series series);
+
+  /// Aligned human-readable table.
+  std::string ToText() const;
+  /// Machine-readable CSV (x, then one column per series).
+  std::string ToCsv() const;
+  /// Prints both to stdout.
+  void Print() const;
+
+  const std::vector<double>& sweep() const { return xs_; }
+  const std::vector<Series>& series() const { return series_; }
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string unit_;
+  std::vector<double> xs_;
+  std::vector<Series> series_;
+};
+
+/// Least-squares slope of log(y) vs log(x): the empirical scaling
+/// exponent.  ~0 -> O(1), ~1 -> linear, used by bench/tab1_complexity to
+/// classify measured complexities against the paper's Table 1.
+double LogLogSlope(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+/// Maps a log-log slope to a complexity class label.
+std::string ComplexityClass(double slope);
+
+}  // namespace h2

@@ -1,0 +1,387 @@
+#include "net/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace h2 {
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+/// Reads until the full header block + Content-Length body is present.
+/// Returns false on EOF/parse failure.
+bool ReadHttpMessage(int fd, std::string* start_line,
+                     std::map<std::string, std::string>* headers,
+                     std::string* body) {
+  std::string buffer;
+  char chunk[4096];
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+    if (buffer.size() > (64u << 20)) return false;  // runaway guard
+  }
+
+  const std::string head = buffer.substr(0, header_end);
+  std::string rest = buffer.substr(header_end + 4);
+  const auto lines = Split(head, '\n');
+  if (lines.empty()) return false;
+  *start_line = std::string(lines[0]);
+  if (!start_line->empty() && start_line->back() == '\r') {
+    start_line->pop_back();
+  }
+  std::size_t content_length = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name = ToLower(line.substr(0, colon));
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    (*headers)[name] = std::string(value);
+    if (name == "content-length") {
+      std::uint64_t v = 0;
+      if (!ParseUint64(value, &v)) return false;
+      content_length = static_cast<std::size_t>(v);
+    }
+  }
+  while (rest.size() < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    rest.append(chunk, static_cast<std::size_t>(n));
+  }
+  *body = rest.substr(0, content_length);
+  return true;
+}
+
+bool SendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HttpRequest::Path() const {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string HttpRequest::Query(std::string_view key) const {
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) return "";
+  for (auto param : Split(std::string_view(target).substr(q + 1), '&')) {
+    const std::size_t eq = param.find('=');
+    if (eq == std::string_view::npos) {
+      if (param == key) return "";
+      continue;
+    }
+    if (param.substr(0, eq) == key) return std::string(param.substr(eq + 1));
+  }
+  return "";
+}
+
+const std::string& HttpRequest::Header(std::string_view name) const {
+  static const std::string kEmpty;
+  auto it = headers.find(ToLower(name));
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+HttpResponse HttpResponse::Text(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  r.headers["content-type"] = "text/plain";
+  return r;
+}
+
+int HttpStatusFor(const Status& s) {
+  switch (s.code()) {
+    case ErrorCode::kOk: return 200;
+    case ErrorCode::kNotFound: return 404;
+    case ErrorCode::kAlreadyExists: return 409;
+    case ErrorCode::kInvalidArgument: return 400;
+    case ErrorCode::kNotADirectory:
+    case ErrorCode::kIsADirectory:
+    case ErrorCode::kNotEmpty: return 409;
+    case ErrorCode::kUnavailable: return 503;
+    case ErrorCode::kPermission: return 403;
+    case ErrorCode::kUnimplemented: return 501;
+    case ErrorCode::kCorruption:
+    case ErrorCode::kInternal: return 500;
+  }
+  return 500;
+}
+
+std::string UrlEncode(std::string_view s) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool unreserved =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' ||
+        c == '~' || c == '/';
+    if (unreserved) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[static_cast<std::uint8_t>(c) >> 4]);
+      out.push_back(kHex[static_cast<std::uint8_t>(c) & 15]);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UrlDecode(std::string_view s) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) return Status::InvalidArgument("bad escape");
+    const int hi = hex(s[i + 1]);
+    const int lo = hex(s[i + 2]);
+    if (hi < 0 || lo < 0) return Status::InvalidArgument("bad escape");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+HttpResponse HttpResponse::FromStatus(const Status& s, std::string ok_body) {
+  if (s.ok()) return Text(200, std::move(ok_body));
+  return Text(HttpStatusFor(s), s.ToString());
+}
+
+std::string SerializeRequest(const HttpRequest& request) {
+  std::string out = request.method + " " + request.target + " HTTP/1.1\r\n";
+  out += "host: 127.0.0.1\r\n";
+  out += "connection: close\r\n";
+  out += "content-length: " + std::to_string(request.body.size()) + "\r\n";
+  for (const auto& [name, value] : request.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "connection: close\r\n";
+  out += "content-length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("bind() failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::Internal("listen() failed");
+  }
+  listen_fd_.store(fd);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Closing the listening socket wakes accept().
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard lock(workers_mu_);
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) break;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    std::lock_guard lock(workers_mu_);
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+    // Reap finished workers opportunistically to bound the vector.
+    if (workers_.size() > 256) {
+      for (auto& t : workers_) {
+        if (t.joinable()) t.join();
+      }
+      workers_.clear();
+    }
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string start_line, body;
+  std::map<std::string, std::string> headers;
+  if (ReadHttpMessage(fd, &start_line, &headers, &body)) {
+    HttpRequest request;
+    const auto parts = Split(start_line, ' ');
+    HttpResponse response;
+    if (parts.size() < 2) {
+      response = HttpResponse::Text(400, "malformed request line");
+    } else {
+      request.method = std::string(parts[0]);
+      request.target = std::string(parts[1]);
+      request.headers = std::move(headers);
+      request.body = std::move(body);
+      response = handler_(request);
+    }
+    SendAll(fd, SerializeResponse(response));
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+Result<HttpResponse> HttpClient::Send(const HttpRequest& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect() failed");
+  }
+  if (!SendAll(fd, SerializeRequest(request))) {
+    ::close(fd);
+    return Status::Unavailable("send() failed");
+  }
+  std::string start_line, body;
+  std::map<std::string, std::string> headers;
+  if (!ReadHttpMessage(fd, &start_line, &headers, &body)) {
+    ::close(fd);
+    return Status::Unavailable("malformed response");
+  }
+  ::close(fd);
+  HttpResponse response;
+  const auto parts = Split(start_line, ' ');
+  if (parts.size() < 2) return Status::Corruption("bad status line");
+  std::uint64_t status = 0;
+  if (!ParseUint64(parts[1], &status)) {
+    return Status::Corruption("bad status code");
+  }
+  response.status = static_cast<int>(status);
+  response.headers = std::move(headers);
+  response.body = std::move(body);
+  return response;
+}
+
+Result<HttpResponse> HttpClient::Get(std::string target) {
+  HttpRequest r;
+  r.method = "GET";
+  r.target = std::move(target);
+  return Send(r);
+}
+
+Result<HttpResponse> HttpClient::Put(std::string target, std::string body) {
+  HttpRequest r;
+  r.method = "PUT";
+  r.target = std::move(target);
+  r.body = std::move(body);
+  return Send(r);
+}
+
+Result<HttpResponse> HttpClient::Post(
+    std::string target, std::map<std::string, std::string> headers,
+    std::string body) {
+  HttpRequest r;
+  r.method = "POST";
+  r.target = std::move(target);
+  r.headers = std::move(headers);
+  r.body = std::move(body);
+  return Send(r);
+}
+
+Result<HttpResponse> HttpClient::Delete(std::string target) {
+  HttpRequest r;
+  r.method = "DELETE";
+  r.target = std::move(target);
+  return Send(r);
+}
+
+}  // namespace h2

@@ -1,0 +1,115 @@
+// Minimal HTTP/1.1 substrate for the H2Cloud web APIs (§4.3).
+//
+// The paper's H2Middleware serves users "in the form of web services,
+// i.e., through a series of web APIs": the Inbound API is an HTTP server
+// facing clients, the Outbound API an HTTP client facing the object
+// cloud.  This module provides both halves over loopback TCP sockets --
+// a real wire protocol, not a mock -- sized for what the system needs:
+// request/response framing with Content-Length bodies, header access,
+// and a threaded accept loop with a clean shutdown path.
+//
+// Scope: HTTP/1.1, one request per connection (the server replies with
+// "Connection: close"), no TLS, no chunked encoding.  These are
+// deliberate simplifications of transport plumbing, not of the paper's
+// system; the filesystem semantics live behind the handler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace h2 {
+
+struct HttpRequest {
+  std::string method;   // "GET", "PUT", ...
+  std::string target;   // path + optional "?query"
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+
+  /// Path portion of the target (before '?').
+  std::string Path() const;
+  /// Value of a query parameter, or "" if absent.
+  std::string Query(std::string_view key) const;
+  /// Header value, or "" ("x-op" style lower-case names).
+  const std::string& Header(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  static HttpResponse Text(int status, std::string body);
+  static HttpResponse FromStatus(const Status& s, std::string ok_body = "");
+};
+
+/// Maps Status codes onto HTTP statuses (NotFound -> 404, ...).
+int HttpStatusFor(const Status& s);
+
+/// Percent-encodes everything outside RFC 3986 unreserved + '/'.
+/// Request targets must be encoded (the request line is space-delimited).
+std::string UrlEncode(std::string_view s);
+/// Inverse of UrlEncode; invalid escapes fail.
+Result<std::string> UrlDecode(std::string_view s);
+
+/// Serializes/parses HTTP messages (exposed for tests).
+std::string SerializeRequest(const HttpRequest& request);
+std::string SerializeResponse(const HttpResponse& response);
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler) : handler_(std::move(handler)) {}
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  Status Start(std::uint16_t port = 0);
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex workers_mu_;
+};
+
+/// Blocking HTTP client: one request per call, new connection each time.
+class HttpClient {
+ public:
+  explicit HttpClient(std::uint16_t port) : port_(port) {}
+
+  Result<HttpResponse> Send(const HttpRequest& request);
+
+  // Convenience wrappers.
+  Result<HttpResponse> Get(std::string target);
+  Result<HttpResponse> Put(std::string target, std::string body);
+  Result<HttpResponse> Post(std::string target,
+                            std::map<std::string, std::string> headers,
+                            std::string body = "");
+  Result<HttpResponse> Delete(std::string target);
+
+ private:
+  std::uint16_t port_;
+};
+
+}  // namespace h2

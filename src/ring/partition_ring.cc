@@ -1,0 +1,256 @@
+#include "ring/partition_ring.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+namespace h2 {
+
+PartitionRing::PartitionRing(int part_power, int replica_count)
+    : part_power_(part_power), replica_count_(replica_count) {
+  assert(part_power >= 1 && part_power <= 30);
+  assert(replica_count >= 1);
+  assignment_.assign(
+      static_cast<std::size_t>(replica_count) * partition_count(),
+      kUnassigned);
+}
+
+const RingDevice* PartitionRing::FindDevice(DeviceId id) const {
+  for (const auto& d : devices_) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+RingDevice* PartitionRing::FindDevice(DeviceId id) {
+  return const_cast<RingDevice*>(
+      static_cast<const PartitionRing*>(this)->FindDevice(id));
+}
+
+Status PartitionRing::AddDevice(RingDevice device) {
+  if (device.weight <= 0) {
+    return Status::InvalidArgument("device weight must be positive");
+  }
+  if (FindDevice(device.id) != nullptr) {
+    return Status::AlreadyExists("device id already registered");
+  }
+  device.active = true;
+  devices_.push_back(std::move(device));
+  balanced_ = false;
+  return Status::Ok();
+}
+
+Status PartitionRing::RemoveDevice(DeviceId id) {
+  RingDevice* d = FindDevice(id);
+  if (d == nullptr || !d->active) {
+    return Status::NotFound("no such active device");
+  }
+  d->active = false;
+  balanced_ = false;
+  return Status::Ok();
+}
+
+Status PartitionRing::SetWeight(DeviceId id, double weight) {
+  if (weight <= 0) {
+    return Status::InvalidArgument("device weight must be positive");
+  }
+  RingDevice* d = FindDevice(id);
+  if (d == nullptr || !d->active) {
+    return Status::NotFound("no such active device");
+  }
+  d->weight = weight;
+  balanced_ = false;
+  return Status::Ok();
+}
+
+std::size_t PartitionRing::active_device_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(devices_.begin(), devices_.end(),
+                    [](const RingDevice& d) { return d.active; }));
+}
+
+Status PartitionRing::Rebalance() {
+  std::vector<const RingDevice*> active;
+  for (const auto& d : devices_) {
+    if (d.active) active.push_back(&d);
+  }
+  if (active.empty()) {
+    return Status::InvalidArgument("cannot rebalance an empty ring");
+  }
+
+  const std::uint32_t parts = partition_count();
+  const double total_weight = std::accumulate(
+      active.begin(), active.end(), 0.0,
+      [](double acc, const RingDevice* d) { return acc + d->weight; });
+
+  // Per-replica-row quota for each device, by the largest remainder method:
+  // every row assigns exactly `parts` slots, and each device's share across
+  // the whole ring is proportional to its weight.
+  std::unordered_map<DeviceId, std::uint32_t> quota;
+  for (int row = 0; row < replica_count_; ++row) {
+    std::vector<std::pair<double, DeviceId>> remainders;
+    std::uint32_t assigned = 0;
+    for (const RingDevice* d : active) {
+      const double exact = parts * d->weight / total_weight;
+      const auto whole = static_cast<std::uint32_t>(exact);
+      quota[d->id] += whole;
+      assigned += whole;
+      remainders.emplace_back(exact - whole, d->id);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;  // deterministic tie-break
+              });
+    // Rotate the starting point by row so remainder ties spread across
+    // devices rather than piling onto one -- otherwise a device could be
+    // granted more slots than there are partitions, forcing replica
+    // collisions.
+    const std::size_t offset =
+        static_cast<std::size_t>(row) % remainders.size();
+    for (std::uint32_t i = 0; assigned < parts; ++assigned, ++i) {
+      quota[remainders[(offset + i) % remainders.size()].second] += 1;
+    }
+  }
+
+  // Pass 1: keep current assignments that are still valid -- the device is
+  // active, has quota left, and does not collide with an earlier replica
+  // row of the same partition.  This is what bounds data movement.
+  std::unordered_map<DeviceId, std::uint32_t> used;
+  auto slot = [&](int row, std::uint32_t part) -> DeviceId& {
+    return assignment_[static_cast<std::size_t>(row) * parts + part];
+  };
+  // Zone-aware placement, like Swift's "as unique as possible" rule:
+  // replicas must land on distinct devices, and -- when there are enough
+  // zones -- on distinct failure domains, so a whole rack/DC outage never
+  // takes out every copy.
+  std::size_t zone_count = active_zone_count();
+  auto zone_of = [this](DeviceId dev) -> std::uint32_t {
+    const RingDevice* d = FindDevice(dev);
+    return d == nullptr ? 0 : d->zone;
+  };
+  auto collides = [&](int row, std::uint32_t part, DeviceId dev) {
+    if (active.size() < static_cast<std::size_t>(replica_count_)) {
+      return false;  // fewer devices than replicas: collisions unavoidable
+    }
+    const bool enforce_zones =
+        zone_count >= static_cast<std::size_t>(replica_count_);
+    // Check every other replica row: after an incremental rebalance, kept
+    // assignments exist above AND below the row being (re)filled.
+    for (int r = 0; r < replica_count_; ++r) {
+      if (r == row) continue;
+      const DeviceId other = slot(r, part);
+      if (other == dev) return true;
+      if (enforce_zones && other != kUnassigned &&
+          zone_of(other) == zone_of(dev)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (int row = 0; row < replica_count_; ++row) {
+    for (std::uint32_t part = 0; part < parts; ++part) {
+      const DeviceId dev = slot(row, part);
+      if (dev == kUnassigned) continue;
+      const RingDevice* d = FindDevice(dev);
+      if (d == nullptr || !d->active || used[dev] >= quota[dev] ||
+          collides(row, part, dev)) {
+        slot(row, part) = kUnassigned;
+      } else {
+        used[dev] += 1;
+      }
+    }
+  }
+
+  // Pass 2: fill the freed slots from devices with remaining quota,
+  // preferring a placement that avoids replica collisions.  When only
+  // colliding pool entries remain, repair by swapping with an already
+  // assigned partition in the same row whose device fits here and for
+  // which our candidate fits there.
+  std::vector<DeviceId> pool;
+  for (const RingDevice* d : active) {
+    for (std::uint32_t i = used[d->id]; i < quota[d->id]; ++i) {
+      pool.push_back(d->id);
+    }
+  }
+  std::size_t pool_next = 0;
+  for (int row = 0; row < replica_count_; ++row) {
+    for (std::uint32_t part = 0; part < parts; ++part) {
+      if (slot(row, part) != kUnassigned) continue;
+      assert(pool_next < pool.size());
+      std::size_t pick = pool.size();
+      for (std::size_t probe = pool_next; probe < pool.size(); ++probe) {
+        if (!collides(row, part, pool[probe])) {
+          pick = probe;
+          break;
+        }
+      }
+      if (pick != pool.size()) {
+        std::swap(pool[pool_next], pool[pick]);
+        slot(row, part) = pool[pool_next++];
+        continue;
+      }
+      // Every remaining pool device collides at `part`.  Take the head
+      // entry and look for a same-row partition to trade with.
+      const DeviceId candidate = pool[pool_next++];
+      bool swapped = false;
+      for (std::uint32_t other = 0; other < parts && !swapped; ++other) {
+        const DeviceId incumbent = slot(row, other);
+        if (other == part || incumbent == kUnassigned ||
+            incumbent == candidate) {
+          continue;
+        }
+        if (!collides(row, part, incumbent) &&
+            !collides(row, other, candidate)) {
+          slot(row, part) = incumbent;
+          slot(row, other) = candidate;
+          swapped = true;
+        }
+      }
+      if (!swapped) {
+        slot(row, part) = candidate;  // infeasible (heavily skewed weights)
+      }
+    }
+  }
+  assert(pool_next == pool.size());
+
+  balanced_ = true;
+  return Status::Ok();
+}
+
+std::size_t PartitionRing::active_zone_count() const {
+  std::vector<std::uint32_t> zones;
+  for (const auto& d : devices_) {
+    if (d.active) zones.push_back(d.zone);
+  }
+  std::sort(zones.begin(), zones.end());
+  zones.erase(std::unique(zones.begin(), zones.end()), zones.end());
+  return zones.size();
+}
+
+std::vector<DeviceId> PartitionRing::ReplicasOfPartition(
+    std::uint32_t partition) const {
+  std::vector<DeviceId> out;
+  if (!balanced_) return out;
+  out.reserve(static_cast<std::size_t>(replica_count_));
+  const std::uint32_t parts = partition_count();
+  for (int row = 0; row < replica_count_; ++row) {
+    out.push_back(
+        assignment_[static_cast<std::size_t>(row) * parts + partition]);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> PartitionRing::SlotCounts() const {
+  DeviceId max_id = 0;
+  for (const auto& d : devices_) max_id = std::max(max_id, d.id);
+  std::vector<std::uint32_t> counts(max_id + 1, 0);
+  for (DeviceId dev : assignment_) {
+    if (dev != kUnassigned) counts[dev] += 1;
+  }
+  return counts;
+}
+
+}  // namespace h2

@@ -1,0 +1,97 @@
+// Swift-style partitioned consistent-hashing ring.
+//
+// OpenStack Swift divides the hash space into 2^part_power partitions and
+// assigns each partition `replica_count` devices; an object's key is MD5
+// hashed and the top bits select its partition (see "Building a Consistent
+// Hashing Ring", referenced by the paper as [5]).  Both H2Cloud and the
+// Swift baseline place *all* objects -- file content, directory records,
+// NameRings and patches -- through this ring, which is what gives H2 its
+// automatic load balance (§3.1 step 3).
+//
+// Rebalance() implements the two properties consistent hashing is used for:
+//   * proportionality: each device owns a share of partitions proportional
+//     to its weight (largest-remainder quotas);
+//   * minimal movement: a device keeps its current partitions up to its new
+//     quota, so adding/removing one device only moves the necessary share.
+// Replicas of a partition land on distinct devices whenever the device
+// count allows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace h2 {
+
+using DeviceId = std::uint32_t;
+
+struct RingDevice {
+  DeviceId id = 0;
+  std::string name;       // e.g. "node-3"
+  double weight = 1.0;    // relative capacity
+  std::uint32_t zone = 0; // failure domain (rack / data center)
+  bool active = true;
+};
+
+class PartitionRing {
+ public:
+  /// `part_power`: 2^part_power partitions (Swift defaults to 2^18 in
+  /// production; tests use smaller rings).  `replica_count`: copies per
+  /// object (the paper's deployment keeps 3, §5.1).
+  PartitionRing(int part_power, int replica_count);
+
+  /// Registers a device.  Call Rebalance() afterwards to take effect.
+  Status AddDevice(RingDevice device);
+  /// Marks a device inactive; its partitions move on the next Rebalance().
+  Status RemoveDevice(DeviceId id);
+  Status SetWeight(DeviceId id, double weight);
+
+  /// (Re)assigns partitions to devices.  Idempotent.
+  Status Rebalance();
+
+  int part_power() const { return part_power_; }
+  int replica_count() const { return replica_count_; }
+  std::uint32_t partition_count() const { return 1u << part_power_; }
+  std::size_t active_device_count() const;
+
+  /// Partition owning a 64-bit key hash (top bits, like Swift).
+  std::uint32_t PartitionOfHash(std::uint64_t hash) const {
+    return static_cast<std::uint32_t>(hash >> (64 - part_power_));
+  }
+
+  /// Devices holding the replicas of a partition, primary first.
+  /// Empty before the first Rebalance().
+  std::vector<DeviceId> ReplicasOfPartition(std::uint32_t partition) const;
+
+  /// Distinct zones among active devices.
+  std::size_t active_zone_count() const;
+
+  /// Convenience: partition + replicas for a key hash.
+  std::vector<DeviceId> ReplicasOfHash(std::uint64_t hash) const {
+    return ReplicasOfPartition(PartitionOfHash(hash));
+  }
+
+  /// Number of (partition, replica) slots assigned to each device;
+  /// indexed by DeviceId.  Used by balance tests and the ring bench.
+  std::vector<std::uint32_t> SlotCounts() const;
+
+  const std::vector<RingDevice>& devices() const { return devices_; }
+
+ private:
+  const RingDevice* FindDevice(DeviceId id) const;
+  RingDevice* FindDevice(DeviceId id);
+
+  int part_power_;
+  int replica_count_;
+  std::vector<RingDevice> devices_;
+  // assignment_[replica_row * partition_count + partition] = device id,
+  // or kUnassigned before the first rebalance.
+  std::vector<DeviceId> assignment_;
+  bool balanced_ = false;
+
+  static constexpr DeviceId kUnassigned = ~DeviceId{0};
+};
+
+}  // namespace h2

@@ -1,0 +1,73 @@
+#include "workload/mirror.h"
+
+#include <algorithm>
+
+#include "fs/path.h"
+
+namespace h2 {
+
+Result<MirrorStats> MirrorTree(FileSystem& src, FileSystem& dst,
+                               const std::string& src_dir,
+                               const std::string& dst_dir) {
+  MirrorStats stats;
+  H2_ASSIGN_OR_RETURN(std::vector<DirEntry> entries,
+                      src.List(src_dir, ListDetail::kNamesOnly));
+  stats.source_cost += src.last_op();
+  for (const DirEntry& entry : entries) {
+    const std::string from = JoinPath(src_dir, entry.name);
+    const std::string to = JoinPath(dst_dir, entry.name);
+    if (entry.kind == EntryKind::kDirectory) {
+      const Status made = dst.Mkdir(to);
+      stats.dest_cost += dst.last_op();
+      if (!made.ok() && made.code() != ErrorCode::kAlreadyExists) {
+        return made;
+      }
+      ++stats.directories;
+      H2_ASSIGN_OR_RETURN(MirrorStats sub, MirrorTree(src, dst, from, to));
+      stats.directories += sub.directories;
+      stats.files += sub.files;
+      stats.bytes += sub.bytes;
+      stats.source_cost += sub.source_cost;
+      stats.dest_cost += sub.dest_cost;
+    } else {
+      H2_ASSIGN_OR_RETURN(FileBlob blob, src.ReadFile(from));
+      stats.source_cost += src.last_op();
+      stats.bytes += blob.logical_size;
+      H2_RETURN_IF_ERROR(dst.WriteFile(to, std::move(blob)));
+      stats.dest_cost += dst.last_op();
+      ++stats.files;
+    }
+  }
+  return stats;
+}
+
+Result<bool> TreesEqual(FileSystem& a, FileSystem& b,
+                        const std::string& dir) {
+  H2_ASSIGN_OR_RETURN(std::vector<DirEntry> ea,
+                      a.List(dir, ListDetail::kNamesOnly));
+  H2_ASSIGN_OR_RETURN(std::vector<DirEntry> eb,
+                      b.List(dir, ListDetail::kNamesOnly));
+  auto by_name = [](const DirEntry& x, const DirEntry& y) {
+    return x.name < y.name;
+  };
+  std::sort(ea.begin(), ea.end(), by_name);
+  std::sort(eb.begin(), eb.end(), by_name);
+  if (ea.size() != eb.size()) return false;
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i].name != eb[i].name || ea[i].kind != eb[i].kind) return false;
+    const std::string path = JoinPath(dir, ea[i].name);
+    if (ea[i].kind == EntryKind::kDirectory) {
+      H2_ASSIGN_OR_RETURN(bool sub, TreesEqual(a, b, path));
+      if (!sub) return false;
+    } else {
+      H2_ASSIGN_OR_RETURN(FileBlob ba, a.ReadFile(path));
+      H2_ASSIGN_OR_RETURN(FileBlob bb, b.ReadFile(path));
+      if (ba.data != bb.data || ba.logical_size != bb.logical_size) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace h2

@@ -1,0 +1,37 @@
+// Cross-system filesystem mirroring.
+//
+// Because every system in this repository -- H2Cloud and all Table-1
+// baselines -- speaks the same FileSystem interface, a whole tree can be
+// copied between ANY two of them through public operations only.  This is
+// what powers the backup/restore example (live H2Cloud filesystem backed
+// up into a Cumulus compressed snapshot and restored after a disaster)
+// and the cross-system equivalence checks in tests.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "fs/filesystem.h"
+
+namespace h2 {
+
+struct MirrorStats {
+  std::size_t directories = 0;
+  std::size_t files = 0;
+  std::uint64_t bytes = 0;
+  OpCost source_cost;  // read-side simulated cost
+  OpCost dest_cost;    // write-side simulated cost
+};
+
+/// Recursively copies `src_dir` in `src` onto `dst_dir` in `dst`
+/// (both must exist; contents are merged, existing files overwritten).
+Result<MirrorStats> MirrorTree(FileSystem& src, FileSystem& dst,
+                               const std::string& src_dir = "/",
+                               const std::string& dst_dir = "/");
+
+/// True when the two filesystems' observable trees (names, kinds, file
+/// contents) are identical under `dir`.
+Result<bool> TreesEqual(FileSystem& a, FileSystem& b,
+                        const std::string& dir = "/");
+
+}  // namespace h2

@@ -1,0 +1,257 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "fs/path.h"
+
+namespace h2 {
+
+std::string_view TraceOpName(TraceOpKind kind) {
+  switch (kind) {
+    case TraceOpKind::kStat: return "STAT";
+    case TraceOpKind::kRead: return "READ";
+    case TraceOpKind::kWrite: return "WRITE";
+    case TraceOpKind::kMkdir: return "MKDIR";
+    case TraceOpKind::kRmdir: return "RMDIR";
+    case TraceOpKind::kMove: return "MOVE";
+    case TraceOpKind::kRename: return "RENAME";
+    case TraceOpKind::kList: return "LIST";
+    case TraceOpKind::kCopy: return "COPY";
+    case TraceOpKind::kRemove: return "REMOVE";
+  }
+  return "?";
+}
+
+namespace {
+
+/// In-memory namespace model the generator evolves so that every emitted
+/// operation is valid when replayed in order.
+class NamespaceModel {
+ public:
+  explicit NamespaceModel(const GeneratedTree& tree) {
+    dirs_.push_back("/");
+    for (const auto& d : tree.dirs) dirs_.push_back(d);
+    for (const auto& f : tree.files) files_.push_back(f.path);
+  }
+
+  bool has_files() const { return !files_.empty(); }
+  std::size_t dir_count() const { return dirs_.size(); }
+
+  const std::string& RandomDir(Rng& rng) const {
+    return dirs_[rng.Below(dirs_.size())];
+  }
+  const std::string& RandomFile(Rng& rng) const {
+    return files_[rng.Below(files_.size())];
+  }
+  /// A non-root directory, or empty if none exists.
+  std::string RandomRemovableDir(Rng& rng) const {
+    if (dirs_.size() <= 1) return {};
+    return dirs_[1 + rng.Below(dirs_.size() - 1)];
+  }
+
+  bool Exists(const std::string& path) const {
+    return std::find(dirs_.begin(), dirs_.end(), path) != dirs_.end() ||
+           std::find(files_.begin(), files_.end(), path) != files_.end();
+  }
+
+  std::string FreshName(Rng& rng, const std::string& dir,
+                        std::string_view prefix) {
+    char buf[64];
+    for (;;) {
+      std::snprintf(buf, sizeof(buf), "%s%06llu", std::string(prefix).c_str(),
+                    static_cast<unsigned long long>(rng.Below(1'000'000)));
+      std::string candidate = JoinPath(dir, buf);
+      if (!Exists(candidate)) return candidate;
+    }
+  }
+
+  void AddFile(std::string path) { files_.push_back(std::move(path)); }
+  void AddDir(std::string path) { dirs_.push_back(std::move(path)); }
+
+  void RemoveFilePath(const std::string& path) {
+    files_.erase(std::remove(files_.begin(), files_.end(), path),
+                 files_.end());
+  }
+
+  void RemoveSubtree(const std::string& dir) {
+    auto within = [&dir](const std::string& p) { return IsWithin(p, dir); };
+    dirs_.erase(std::remove_if(dirs_.begin(), dirs_.end(), within),
+                dirs_.end());
+    files_.erase(std::remove_if(files_.begin(), files_.end(), within),
+                 files_.end());
+  }
+
+  void MovePath(const std::string& from, const std::string& to) {
+    for (auto& f : files_) {
+      if (f == from) {
+        f = to;
+      } else if (IsWithin(f, from)) {
+        f = to + f.substr(from.size());
+      }
+    }
+    for (auto& d : dirs_) {
+      if (d == from) {
+        d = to;
+      } else if (IsWithin(d, from)) {
+        d = to + d.substr(from.size());
+      }
+    }
+  }
+
+  void CopyFilePath(const std::string& from, const std::string& to) {
+    (void)from;
+    files_.push_back(to);
+  }
+
+ private:
+  std::vector<std::string> dirs_;
+  std::vector<std::string> files_;
+};
+
+}  // namespace
+
+std::vector<TraceOp> GenerateTrace(const GeneratedTree& tree,
+                                   std::size_t op_count, const TraceMix& mix,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  NamespaceModel model(tree);
+  std::vector<TraceOp> trace;
+  trace.reserve(op_count);
+
+  const double weights[] = {mix.stat, mix.read,   mix.write, mix.mkdir,
+                            mix.rmdir, mix.move,  mix.rename, mix.list,
+                            mix.copy, mix.remove};
+  const TraceOpKind kinds[] = {
+      TraceOpKind::kStat, TraceOpKind::kRead,   TraceOpKind::kWrite,
+      TraceOpKind::kMkdir, TraceOpKind::kRmdir, TraceOpKind::kMove,
+      TraceOpKind::kRename, TraceOpKind::kList, TraceOpKind::kCopy,
+      TraceOpKind::kRemove};
+  double total_weight = 0;
+  for (double w : weights) total_weight += w;
+
+  while (trace.size() < op_count) {
+    double pick = rng.NextDouble() * total_weight;
+    std::size_t k = 0;
+    while (k + 1 < std::size(weights) && pick >= weights[k]) {
+      pick -= weights[k];
+      ++k;
+    }
+    TraceOp op;
+    op.kind = kinds[k];
+    switch (op.kind) {
+      case TraceOpKind::kStat:
+      case TraceOpKind::kRead:
+        if (!model.has_files()) continue;
+        op.path = model.RandomFile(rng);
+        break;
+      case TraceOpKind::kWrite: {
+        const std::string& dir = model.RandomDir(rng);
+        op.path = model.FreshName(rng, dir, "w");
+        op.size = SampleFileSize(rng);
+        model.AddFile(op.path);
+        break;
+      }
+      case TraceOpKind::kMkdir: {
+        const std::string& dir = model.RandomDir(rng);
+        op.path = model.FreshName(rng, dir, "mk");
+        model.AddDir(op.path);
+        break;
+      }
+      case TraceOpKind::kRmdir: {
+        op.path = model.RandomRemovableDir(rng);
+        if (op.path.empty()) continue;
+        model.RemoveSubtree(op.path);
+        break;
+      }
+      case TraceOpKind::kMove: {
+        if (!model.has_files()) continue;
+        op.path = model.RandomFile(rng);  // file moves keep the model simple
+        const std::string& dir = model.RandomDir(rng);
+        op.path2 = model.FreshName(rng, dir, "mv");
+        if (IsWithin(op.path2, op.path)) continue;
+        model.MovePath(op.path, op.path2);
+        break;
+      }
+      case TraceOpKind::kRename: {
+        if (!model.has_files()) continue;
+        op.path = model.RandomFile(rng);
+        std::string renamed =
+            model.FreshName(rng, ParentPath(op.path), "rn");
+        op.path2 = std::string(BaseName(renamed));
+        model.MovePath(op.path, renamed);
+        break;
+      }
+      case TraceOpKind::kList:
+        op.path = model.RandomDir(rng);
+        break;
+      case TraceOpKind::kCopy: {
+        if (!model.has_files()) continue;
+        op.path = model.RandomFile(rng);
+        const std::string& dir = model.RandomDir(rng);
+        op.path2 = model.FreshName(rng, dir, "cp");
+        model.CopyFilePath(op.path, op.path2);
+        break;
+      }
+      case TraceOpKind::kRemove:
+        if (!model.has_files()) continue;
+        op.path = model.RandomFile(rng);
+        model.RemoveFilePath(op.path);
+        break;
+    }
+    trace.push_back(std::move(op));
+  }
+  return trace;
+}
+
+ReplayStats ReplayTrace(FileSystem& fs, std::span<const TraceOp> trace) {
+  ReplayStats stats;
+  for (const TraceOp& op : trace) {
+    Status status = Status::Ok();
+    switch (op.kind) {
+      case TraceOpKind::kStat:
+        status = fs.Stat(op.path).status();
+        break;
+      case TraceOpKind::kRead:
+        status = fs.ReadFile(op.path).status();
+        break;
+      case TraceOpKind::kWrite: {
+        std::string sample = "trace:" + op.path;
+        status = fs.WriteFile(
+            op.path, FileBlob::Synthetic(std::move(sample), op.size));
+        break;
+      }
+      case TraceOpKind::kMkdir:
+        status = fs.Mkdir(op.path);
+        break;
+      case TraceOpKind::kRmdir:
+        status = fs.Rmdir(op.path);
+        break;
+      case TraceOpKind::kMove:
+        status = fs.Move(op.path, op.path2);
+        break;
+      case TraceOpKind::kRename:
+        status = fs.Rename(op.path, op.path2);
+        break;
+      case TraceOpKind::kList:
+        status = fs.List(op.path, ListDetail::kDetailed).status();
+        break;
+      case TraceOpKind::kCopy:
+        status = fs.Copy(op.path, op.path2);
+        break;
+      case TraceOpKind::kRemove:
+        status = fs.RemoveFile(op.path);
+        break;
+    }
+    ++stats.ops;
+    if (!status.ok()) ++stats.failures;
+    const OpCost& cost = fs.last_op();
+    stats.total_cost += cost;
+    const auto idx = static_cast<std::size_t>(op.kind);
+    stats.per_kind_ms[idx] += cost.elapsed_ms();
+    stats.per_kind_count[idx] += 1;
+  }
+  return stats;
+}
+
+}  // namespace h2

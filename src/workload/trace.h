@@ -1,0 +1,77 @@
+// Operation traces: the replayed user manipulations of §5.1 ("the users'
+// manipulations cover most of the POSIX-like file and directory
+// operations").  A trace is generated against a materialized tree and can
+// be replayed against any FileSystem implementation, which is how the
+// cross-system comparisons keep workloads identical.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "fs/filesystem.h"
+#include "workload/tree_gen.h"
+
+namespace h2 {
+
+enum class TraceOpKind {
+  kStat,
+  kRead,
+  kWrite,
+  kMkdir,
+  kRmdir,
+  kMove,
+  kRename,
+  kList,
+  kCopy,
+  kRemove,
+};
+
+std::string_view TraceOpName(TraceOpKind kind);
+
+struct TraceOp {
+  TraceOpKind kind = TraceOpKind::kStat;
+  std::string path;   // primary operand
+  std::string path2;  // destination for Move/Copy; new name for Rename
+  std::uint64_t size = 0;  // for Write
+};
+
+/// Relative operation frequencies.  Defaults skew toward reads and
+/// stats with occasional structural changes, a typical personal-cloud mix.
+struct TraceMix {
+  double stat = 30;
+  double read = 25;
+  double write = 20;
+  double list = 12;
+  double mkdir = 4;
+  double move = 3;
+  double rename = 2;
+  double copy = 1.5;
+  double remove = 2;
+  double rmdir = 0.5;
+};
+
+/// Generates `op_count` operations referencing (and evolving) `tree`.
+/// The generator tracks namespace changes so every emitted operation is
+/// valid at replay time when applied in order from the populated tree.
+std::vector<TraceOp> GenerateTrace(const GeneratedTree& tree,
+                                   std::size_t op_count, const TraceMix& mix,
+                                   std::uint64_t seed);
+
+struct ReplayStats {
+  std::size_t ops = 0;
+  std::size_t failures = 0;
+  OpCost total_cost;
+  /// Per-kind aggregate operation time (ms), indexed by TraceOpKind.
+  std::vector<double> per_kind_ms = std::vector<double>(10, 0.0);
+  std::vector<std::size_t> per_kind_count = std::vector<std::size_t>(10, 0);
+};
+
+/// Replays a trace; failures (e.g. AlreadyExists races) are counted, not
+/// fatal.  Returns per-kind cost statistics.
+ReplayStats ReplayTrace(FileSystem& fs, std::span<const TraceOp> trace);
+
+}  // namespace h2

@@ -1,0 +1,155 @@
+#include "workload/tree_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "fs/path.h"
+
+namespace h2 {
+
+TreeSpec TreeSpec::Light(std::uint64_t seed) {
+  TreeSpec spec;
+  spec.file_count = 300;
+  spec.dir_count = 12;
+  spec.max_depth = 3;
+  spec.dir_zipf_s = 0.8;
+  spec.seed = seed;
+  return spec;
+}
+
+TreeSpec TreeSpec::Heavy(std::uint64_t seed) {
+  TreeSpec spec;
+  spec.file_count = 50'000;
+  spec.dir_count = 2'000;
+  spec.max_depth = 20;
+  spec.dir_zipf_s = 1.2;
+  spec.seed = seed;
+  return spec;
+}
+
+std::uint64_t GeneratedTree::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const FileSpec& f : files) total += f.size;
+  return total;
+}
+
+std::size_t GeneratedTree::max_depth() const {
+  std::size_t depth = 0;
+  for (const auto& d : dirs) depth = std::max(depth, PathDepth(d));
+  for (const auto& f : files) depth = std::max(depth, PathDepth(f.path));
+  return depth;
+}
+
+std::uint64_t SampleFileSize(Rng& rng) {
+  const double u = rng.NextDouble();
+  auto log_uniform = [&rng](double lo, double hi) {
+    const double l = std::log(lo), h = std::log(hi);
+    return static_cast<std::uint64_t>(
+        std::exp(l + rng.NextDouble() * (h - l)));
+  };
+  if (u < 0.50) return log_uniform(64, 1024);                  // configs/text
+  if (u < 0.90) return log_uniform(1024, 1024.0 * 1024);       // documents
+  if (u < 0.999) return log_uniform(1 << 20, 64.0 * (1 << 20));  // media
+  return log_uniform(1024.0 * (1 << 20), 4096.0 * (1 << 20));  // videos/backups
+}
+
+GeneratedTree GenerateTree(const TreeSpec& spec) {
+  Rng rng(spec.seed);
+  GeneratedTree tree;
+  tree.dirs.reserve(spec.dir_count);
+
+  // Grow the directory tree by parenting each new directory under a random
+  // existing one (bounded by max_depth); preferential attachment toward
+  // shallow directories keeps realistic shapes.
+  std::vector<std::size_t> depth_of;  // parallel to tree.dirs; root=0 implicit
+  char buf[64];
+  for (std::size_t i = 0; i < spec.dir_count; ++i) {
+    std::string parent = "/";
+    std::size_t parent_depth = 0;
+    if (!tree.dirs.empty() && rng.NextDouble() < 0.8) {
+      // Bias toward recently created (deeper) directories 30% of the time,
+      // otherwise uniform.
+      std::size_t idx = rng.Chance(0.3)
+                            ? tree.dirs.size() - 1 -
+                                  rng.Below(std::min<std::size_t>(
+                                      tree.dirs.size(), 8))
+                            : rng.Below(tree.dirs.size());
+      if (depth_of[idx] < spec.max_depth - 1) {
+        parent = tree.dirs[idx];
+        parent_depth = depth_of[idx];
+      }
+    }
+    std::snprintf(buf, sizeof(buf), "dir%05zu", i);
+    tree.dirs.push_back(JoinPath(parent, buf));
+    depth_of.push_back(parent_depth + 1);
+  }
+
+  // Place files into directories with Zipf-skewed popularity.
+  const std::size_t buckets = tree.dirs.size() + 1;  // +1 for the root
+  ZipfSampler zipf(buckets, spec.dir_zipf_s);
+  tree.files.reserve(spec.file_count);
+  for (std::size_t i = 0; i < spec.file_count; ++i) {
+    const std::size_t bucket = zipf.Sample(rng);
+    const std::string& dir =
+        bucket == 0 ? std::string("/")
+                    : tree.dirs[bucket - 1];  // NOLINT: ref lifetime ok
+    std::snprintf(buf, sizeof(buf), "file%06zu.dat", i);
+    tree.files.push_back(FileSpec{JoinPath(dir, buf), SampleFileSize(rng)});
+  }
+  return tree;
+}
+
+namespace {
+
+/// Sample payload for a synthetic file: small, content keyed to the path
+/// so reads can verify integrity.
+FileBlob SyntheticBlob(const std::string& path, std::uint64_t size) {
+  std::string sample = "synthetic:" + path;
+  if (sample.size() > size) sample.resize(std::max<std::uint64_t>(size, 1));
+  return FileBlob::Synthetic(std::move(sample), size);
+}
+
+}  // namespace
+
+Status PopulateTree(FileSystem& fs, const GeneratedTree& tree,
+                    OpCost* op_cost_out) {
+  OpCost total;
+  for (const std::string& dir : tree.dirs) {
+    H2_RETURN_IF_ERROR(fs.Mkdir(dir));
+    total += fs.last_op();
+  }
+  for (const FileSpec& file : tree.files) {
+    H2_RETURN_IF_ERROR(fs.WriteFile(file.path, SyntheticBlob(file.path,
+                                                             file.size)));
+    total += fs.last_op();
+  }
+  if (op_cost_out != nullptr) *op_cost_out = total;
+  return Status::Ok();
+}
+
+Status FillDirectory(FileSystem& fs, const std::string& dir, std::size_t n,
+                     std::uint64_t file_size) {
+  H2_RETURN_IF_ERROR(fs.Mkdir(dir));
+  char buf[64];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "f%06zu", i);
+    const std::string path = JoinPath(dir, buf);
+    H2_RETURN_IF_ERROR(
+        fs.WriteFile(path, SyntheticBlob(path, file_size)));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> MakeChain(FileSystem& fs, std::size_t depth) {
+  std::string path = "/";
+  char buf[32];
+  for (std::size_t i = 0; i < depth; ++i) {
+    std::snprintf(buf, sizeof(buf), "d%02zu", i);
+    path = JoinPath(path, buf);
+    H2_RETURN_IF_ERROR(fs.Mkdir(path));
+  }
+  return path;
+}
+
+}  // namespace h2

@@ -1,0 +1,74 @@
+// Synthetic filesystem workloads modeled on the paper's user study (§5.1).
+//
+// The evaluation hosted ~150 real users' filesystems: "light" ones with a
+// few shallow directories and hundreds of files, and "heavy" ones with
+// thousands of directories and up to millions of files; per-directory file
+// counts from 0 to ~half a million, depths from 0 to 20+, file sizes from
+// sub-KB configs through ~1 MB documents to multi-GB videos (~1 MB
+// average object size, per Fig. 15).  This generator reproduces those
+// distributional parameters with seeded determinism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "fs/filesystem.h"
+
+namespace h2 {
+
+struct TreeSpec {
+  std::size_t file_count = 1000;
+  std::size_t dir_count = 100;
+  std::size_t max_depth = 8;
+  /// Skew of directory popularity when placing files (higher = a few hot
+  /// directories hold most files, like the half-million-file directories
+  /// the paper observed).
+  double dir_zipf_s = 1.1;
+  std::uint64_t seed = 1;
+
+  /// The paper's two user classes.
+  static TreeSpec Light(std::uint64_t seed = 1);
+  static TreeSpec Heavy(std::uint64_t seed = 1);
+};
+
+struct FileSpec {
+  std::string path;
+  std::uint64_t size = 0;
+};
+
+struct GeneratedTree {
+  std::vector<std::string> dirs;  // creation order: parents before children
+  std::vector<FileSpec> files;
+
+  std::uint64_t total_bytes() const;
+  std::size_t max_depth() const;
+};
+
+/// Samples a file size from the paper's mixture: ~50% tiny configs/text
+/// (<1 KiB), ~40% medium documents, ~10% large media, a 0.1% tail of
+/// multi-GB videos/backups; mean ~1 MiB.
+std::uint64_t SampleFileSize(Rng& rng);
+
+/// Generates directory and file paths for the spec.
+GeneratedTree GenerateTree(const TreeSpec& spec);
+
+/// Materializes the tree in a filesystem.  Large files carry a small
+/// sample payload with their declared size (cluster/object.h).
+/// `op_cost_out`, if non-null, accumulates the total metered cost.
+Status PopulateTree(FileSystem& fs, const GeneratedTree& tree,
+                    OpCost* op_cost_out = nullptr);
+
+// --- builders used by the figure benches -----------------------------------
+
+/// Creates `dir` and writes `n` files "f000000..." of `file_size` bytes
+/// directly inside it (the directories of Figs. 7-11).
+Status FillDirectory(FileSystem& fs, const std::string& dir, std::size_t n,
+                     std::uint64_t file_size = 1024);
+
+/// Creates a chain /d1/d2/.../dk and returns the deepest path (Fig. 13).
+Result<std::string> MakeChain(FileSystem& fs, std::size_t depth);
+
+}  // namespace h2

@@ -1,0 +1,342 @@
+// Behaviour specific to each Table-1 baseline: the cost signatures and
+// structural properties the conformance suite does not cover.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/cas_fs.h"
+#include "baselines/ch_fs.h"
+#include "baselines/index_fs.h"
+#include "baselines/snapshot_fs.h"
+#include "baselines/swift_fs.h"
+#include "workload/tree_gen.h"
+
+namespace h2 {
+namespace {
+
+CloudConfig SmallCloud(LatencyProfile profile = LatencyProfile::RackLan()) {
+  CloudConfig cfg;
+  cfg.part_power = 8;
+  cfg.latency = profile;
+  return cfg;
+}
+
+// --------------------------- Swift ----------------------------------------
+
+TEST(SwiftTest, MoveCostScalesWithFiles) {
+  ObjectCloud cloud(SmallCloud());
+  SwiftFs fs(cloud);
+  ASSERT_TRUE(fs.Mkdir("/dst").ok());
+  ASSERT_TRUE(FillDirectory(fs, "/small", 10).ok());
+  ASSERT_TRUE(FillDirectory(fs, "/large", 100).ok());
+
+  ASSERT_TRUE(fs.Move("/small", "/dst/s").ok());
+  const auto small_cost = fs.last_op();
+  ASSERT_TRUE(fs.Move("/large", "/dst/l").ok());
+  const auto large_cost = fs.last_op();
+  // 10x files -> ~10x copies+deletes.
+  EXPECT_GE(large_cost.copies, 100u);
+  EXPECT_GT(large_cost.elapsed, 7 * small_cost.elapsed);
+}
+
+TEST(SwiftTest, ListChargesDbPagesPerChild) {
+  ObjectCloud cloud(SmallCloud());
+  SwiftFs fs(cloud);
+  ASSERT_TRUE(FillDirectory(fs, "/dir", 50).ok());
+  ASSERT_TRUE(fs.List("/dir", ListDetail::kDetailed).ok());
+  // m children, each a B-tree descent: >= m pages, no object primitives.
+  EXPECT_GE(fs.last_op().db_pages, 50u);
+  EXPECT_EQ(fs.last_op().heads, 0u);
+}
+
+TEST(SwiftTest, FileAccessIsSingleHead) {
+  ObjectCloud cloud(SmallCloud());
+  SwiftFs fs(cloud);
+  ASSERT_TRUE(fs.Mkdir("/a").ok());
+  ASSERT_TRUE(fs.Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs.WriteFile("/a/b/f", FileBlob::FromString("x")).ok());
+  ASSERT_TRUE(fs.Stat("/a/b/f").ok());
+  EXPECT_EQ(fs.last_op().object_primitives(), 1u);  // depth-independent
+}
+
+TEST(SwiftTest, DbRowCountTracksEntries) {
+  ObjectCloud cloud(SmallCloud());
+  SwiftFs fs(cloud);
+  ASSERT_TRUE(FillDirectory(fs, "/d", 20).ok());
+  EXPECT_EQ(fs.db().size(), 21u);  // 20 files + the directory row
+  ASSERT_TRUE(fs.Rmdir("/d").ok());
+  EXPECT_EQ(fs.db().size(), 0u);
+}
+
+TEST(SwiftTest, VisitChildrenSkipsDeeperEntries) {
+  ObjectCloud cloud(SmallCloud());
+  SwiftFs fs(cloud);
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.Mkdir("/d/sub").ok());
+  ASSERT_TRUE(FillDirectory(fs, "/d/sub/deep", 30).ok());
+  ASSERT_TRUE(fs.WriteFile("/d/top", FileBlob::FromString("x")).ok());
+  auto entries = fs.List("/d", ListDetail::kNamesOnly);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);  // "sub" and "top" only
+}
+
+// --------------------------- Plain CH -------------------------------------
+
+TEST(PlainChTest, ListScansWholeCluster) {
+  ObjectCloud cloud(SmallCloud());
+  ChFs fs(cloud);
+  ASSERT_TRUE(FillDirectory(fs, "/dir", 10).ok());
+  ASSERT_TRUE(FillDirectory(fs, "/other", 40).ok());
+  ASSERT_TRUE(fs.List("/dir", ListDetail::kNamesOnly).ok());
+  // The scan visits every replica in the cluster, not just /dir.
+  EXPECT_GE(fs.last_op().scanned_objects, 3 * 50u);
+}
+
+TEST(PlainChTest, AccessIsConstant) {
+  ObjectCloud cloud(SmallCloud());
+  ChFs fs(cloud);
+  ASSERT_TRUE(FillDirectory(fs, "/dir", 100).ok());
+  ASSERT_TRUE(fs.Stat("/dir/f000042").ok());
+  EXPECT_EQ(fs.last_op().object_primitives(), 1u);
+  EXPECT_EQ(fs.last_op().scanned_objects, 0u);
+}
+
+// --------------------------- Cumulus --------------------------------------
+
+TEST(CumulusTest, AccessScansMetadataLog) {
+  ObjectCloud cloud(SmallCloud());
+  SnapshotFs fs(cloud);
+  ASSERT_TRUE(FillDirectory(fs, "/dir", 64).ok());
+  ASSERT_TRUE(fs.Stat("/dir/f000000").ok());
+  EXPECT_GE(fs.last_op().scanned_objects, 64u);  // every log entry walked
+}
+
+TEST(CumulusTest, MkdirOnlyTouchesTailChunk) {
+  ObjectCloud cloud(SmallCloud());
+  SnapshotFs fs(cloud);
+  ASSERT_TRUE(FillDirectory(fs, "/dir", 50).ok());
+  ASSERT_TRUE(fs.Mkdir("/dir2").ok());
+  EXPECT_EQ(fs.last_op().puts, 1u);           // tail chunk rewrite
+  EXPECT_EQ(fs.last_op().scanned_objects, 0u);  // append, no scan
+}
+
+TEST(CumulusTest, MoveRewritesLog) {
+  ObjectCloud cloud(SmallCloud());
+  SnapshotFs fs(cloud);
+  ASSERT_TRUE(fs.Mkdir("/dst").ok());
+  ASSERT_TRUE(FillDirectory(fs, "/dir", 64).ok());
+  ASSERT_TRUE(fs.Move("/dir", "/dst/moved").ok());
+  EXPECT_GE(fs.last_op().scanned_objects, 64u);  // full log rewrite
+}
+
+TEST(CumulusTest, LogChunksAreRealObjects) {
+  ObjectCloud cloud(SmallCloud());
+  SnapshotFs fs(cloud);
+  ASSERT_TRUE(FillDirectory(fs, "/dir", 1500).ok());  // > one chunk
+  EXPECT_GE(fs.chunk_count(), 2u);
+  OpMeter meter;
+  EXPECT_TRUE(cloud.Get("cum:meta:0", meter).ok());
+  EXPECT_TRUE(cloud.Get("cum:meta:1", meter).ok());
+}
+
+TEST(CumulusTest, SegmentsRotate) {
+  ObjectCloud cloud(SmallCloud());
+  SnapshotFs fs(cloud);
+  ASSERT_TRUE(fs.Mkdir("/v").ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fs.WriteFile("/v/video" + std::to_string(i),
+                             FileBlob::Synthetic("s", 3ULL << 20))
+                    .ok());
+  }
+  OpMeter meter;
+  EXPECT_TRUE(cloud.Get("cum:seg:0", meter).ok());
+  EXPECT_TRUE(cloud.Get("cum:seg:1", meter).ok());  // 4x3MiB > 4MiB target
+}
+
+// --------------------------- CAS -------------------------------------------
+
+TEST(CasTest, MkdirRebuildsWholeIndex) {
+  ObjectCloud cloud(SmallCloud());
+  CasFs fs(cloud);
+  ASSERT_TRUE(FillDirectory(fs, "/dir", 128).ok());
+  ASSERT_TRUE(fs.Mkdir("/dir2").ok());
+  EXPECT_GE(fs.last_op().scanned_objects, 128u);  // O(N) re-hash
+}
+
+TEST(CasTest, ContentIsDeduplicated) {
+  ObjectCloud cloud(SmallCloud());
+  CasFs fs(cloud);
+  ASSERT_TRUE(fs.WriteFile("/a", FileBlob::FromString("same-bytes")).ok());
+  const std::uint64_t after_first = cloud.LogicalObjectCount();
+  ASSERT_TRUE(fs.WriteFile("/b", FileBlob::FromString("same-bytes")).ok());
+  // Same content hash: no new content block, only pointer blocks moved.
+  auto hash_a = fs.HashOf("/a");
+  auto hash_b = fs.HashOf("/b");
+  ASSERT_TRUE(hash_a.ok());
+  ASSERT_TRUE(hash_b.ok());
+  EXPECT_EQ(*hash_a, *hash_b);
+  EXPECT_LE(cloud.LogicalObjectCount(), after_first + 1);
+}
+
+TEST(CasTest, StatByHashIsOneHead) {
+  ObjectCloud cloud(SmallCloud());
+  CasFs fs(cloud);
+  ASSERT_TRUE(fs.Mkdir("/deep").ok());
+  ASSERT_TRUE(fs.Mkdir("/deep/deeper").ok());
+  ASSERT_TRUE(
+      fs.WriteFile("/deep/deeper/f", FileBlob::FromString("data")).ok());
+  auto hash = fs.HashOf("/deep/deeper/f");
+  ASSERT_TRUE(hash.ok());
+  auto info = fs.StatByHash(*hash);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(fs.last_op().object_primitives(), 1u);  // the paper's O(1)
+  EXPECT_EQ(info->size, 4u);
+}
+
+TEST(CasTest, CopySharesContentBlocks) {
+  ObjectCloud cloud(SmallCloud());
+  CasFs fs(cloud);
+  ASSERT_TRUE(FillDirectory(fs, "/dir", 20, /*file_size=*/2048).ok());
+  const std::uint64_t bytes_before = cloud.LogicalBytes();
+  ASSERT_TRUE(fs.Copy("/dir", "/dir2").ok());
+  // Dedup: content not duplicated; only pointer blocks grew.
+  EXPECT_LT(cloud.LogicalBytes() - bytes_before, 20 * 2048ull);
+  EXPECT_EQ(fs.last_op().copies, 0u);
+}
+
+TEST(CasTest, DeleteReleasesUnreferencedContent) {
+  ObjectCloud cloud(SmallCloud());
+  CasFs fs(cloud);
+  ASSERT_TRUE(fs.WriteFile("/a", FileBlob::FromString("unique-1")).ok());
+  ASSERT_TRUE(fs.Copy("/a", "/b").ok());
+  ASSERT_TRUE(fs.RemoveFile("/a").ok());
+  EXPECT_EQ(fs.ReadFile("/b")->data, "unique-1");  // still referenced
+  ASSERT_TRUE(fs.RemoveFile("/b").ok());
+  auto hash = fs.HashOf("/b");
+  EXPECT_FALSE(hash.ok());  // gone from the tree
+}
+
+// --------------------------- Index family ---------------------------------
+
+TEST(IndexFsTest, SingleIndexUsesOneServer) {
+  ObjectCloud cloud(SmallCloud());
+  IndexServerFs fs(cloud, IndexFsOptions::SingleIndex());
+  ASSERT_TRUE(FillDirectory(fs, "/dir", 30).ok());
+  const auto loads = fs.ServerLoads();
+  ASSERT_EQ(loads.size(), 1u);
+  EXPECT_EQ(loads[0], 32u);  // root + dir + 30 files
+}
+
+TEST(IndexFsTest, StaticPartitionCrossMoveTransfersContent) {
+  ObjectCloud cloud(SmallCloud());
+  IndexServerFs fs(cloud, IndexFsOptions::StaticPartition(4));
+  // Find two top-level dirs on different servers.
+  ASSERT_TRUE(fs.Mkdir("/alpha").ok());
+  std::string other;
+  for (const char* candidate : {"/beta", "/gamma", "/delta", "/epsilon",
+                                "/zeta", "/eta"}) {
+    ASSERT_TRUE(fs.Mkdir(candidate).ok());
+    ASSERT_TRUE(fs.Mkdir(std::string(candidate) + "/x").ok());
+    ASSERT_TRUE(fs.Move(std::string(candidate) + "/x",
+                        std::string(candidate) + "/y")
+                    .ok());
+    other = candidate;
+    break;
+  }
+  ASSERT_TRUE(FillDirectory(fs, "/alpha/data", 20).ok());
+
+  // In-partition move: no content transfer.
+  ASSERT_TRUE(fs.Move("/alpha/data", "/alpha/data2").ok());
+  EXPECT_EQ(fs.last_op().copies, 0u);
+
+  // Find a destination on a different server by probing.
+  bool found_cross = false;
+  for (const char* candidate : {"/beta", "/gamma", "/delta", "/epsilon"}) {
+    if (!fs.Stat(candidate).ok()) {
+      ASSERT_TRUE(fs.Mkdir(candidate).ok());
+    }
+    ASSERT_TRUE(fs.Move("/alpha/data2",
+                        std::string(candidate) + "/data").ok());
+    if (fs.last_op().copies > 0) {
+      EXPECT_GE(fs.last_op().copies, 20u);  // per-file transfer
+      found_cross = true;
+      break;
+    }
+    ASSERT_TRUE(fs.Move(std::string(candidate) + "/data", "/alpha/data2")
+                    .ok());
+  }
+  EXPECT_TRUE(found_cross) << "expected some top-level dir on another server";
+}
+
+TEST(IndexFsTest, DynamicPartitionSplitsUnderLoad) {
+  ObjectCloud cloud(SmallCloud());
+  IndexFsOptions opts = IndexFsOptions::DynamicPartition(4);
+  opts.split_threshold = 64;
+  IndexServerFs fs(cloud, opts);
+  // Create enough nested directories to trip splitting.
+  ASSERT_TRUE(fs.Mkdir("/root").ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(fs.Mkdir("/root/d" + std::to_string(i)).ok());
+    ASSERT_TRUE(
+        fs.WriteFile("/root/d" + std::to_string(i) + "/f",
+                     FileBlob::FromString("x"))
+            .ok());
+  }
+  const auto loads = fs.ServerLoads();
+  const std::size_t busy =
+      static_cast<std::size_t>(std::count_if(loads.begin(), loads.end(),
+                                             [](std::size_t l) { return l > 0; }));
+  EXPECT_GT(busy, 1u) << "load-based splitting must engage more servers";
+}
+
+TEST(IndexFsTest, DpMoveIsConstantAndCrossingsCharged) {
+  ObjectCloud cloud(SmallCloud());
+  IndexFsOptions opts = IndexFsOptions::DynamicPartition(4);
+  opts.split_threshold = 8;
+  IndexServerFs fs(cloud, opts);
+  ASSERT_TRUE(fs.Mkdir("/dst").ok());
+  ASSERT_TRUE(FillDirectory(fs, "/dir", 100).ok());
+  ASSERT_TRUE(fs.Move("/dir", "/dst/moved").ok());
+  EXPECT_EQ(fs.last_op().copies, 0u);  // O(1), subtree stays put
+  EXPECT_LE(fs.last_op().index_rpcs, 4u);
+}
+
+TEST(IndexFsTest, SharedDiskPaysDurableCommit) {
+  ObjectCloud cloud_a(SmallCloud());
+  ObjectCloud cloud_b(SmallCloud());
+  IndexServerFs dp(cloud_a, IndexFsOptions::DynamicPartition());
+  IndexServerFs shared(cloud_b, IndexFsOptions::DpSharedDisk());
+  ASSERT_TRUE(dp.Mkdir("/d").ok());
+  const double dp_ms = dp.last_op().elapsed_ms();
+  ASSERT_TRUE(shared.Mkdir("/d").ok());
+  const double shared_ms = shared.last_op().elapsed_ms();
+  EXPECT_GT(shared_ms, dp_ms + 30.0);  // the strong-consistency penalty
+}
+
+TEST(IndexFsTest, DropboxChargesServiceOverhead) {
+  ObjectCloud cloud_a(SmallCloud(LatencyProfile::DropboxWan()));
+  ObjectCloud cloud_b(SmallCloud());
+  IndexServerFs dropbox(cloud_a, IndexFsOptions::Dropbox());
+  IndexServerFs dp(cloud_b, IndexFsOptions::DynamicPartition());
+  ASSERT_TRUE(dropbox.Mkdir("/d").ok());
+  ASSERT_TRUE(dp.Mkdir("/d").ok());
+  EXPECT_GT(dropbox.last_op().elapsed_ms(), 60.0);
+  EXPECT_LT(dp.last_op().elapsed_ms(), 10.0);
+}
+
+TEST(IndexFsTest, RmdirReclaimsLazily) {
+  ObjectCloud cloud(SmallCloud());
+  IndexServerFs fs(cloud, IndexFsOptions::DynamicPartition());
+  ASSERT_TRUE(FillDirectory(fs, "/dir", 40).ok());
+  const std::uint64_t before = cloud.LogicalObjectCount();
+  ASSERT_TRUE(fs.Rmdir("/dir").ok());
+  EXPECT_EQ(cloud.LogicalObjectCount(), before);  // content still there
+  EXPECT_FALSE(fs.MaintenanceIdle());
+  EXPECT_EQ(fs.RunLazyCleanup(), 40u);
+  EXPECT_EQ(cloud.LogicalObjectCount(), before - 40);
+  EXPECT_TRUE(fs.MaintenanceIdle());
+  EXPECT_GT(fs.maintenance_cost().elapsed, 0);
+}
+
+}  // namespace
+}  // namespace h2

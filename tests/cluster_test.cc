@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cluster/object_cloud.h"
+
+namespace h2 {
+namespace {
+
+CloudConfig SmallCloud() {
+  CloudConfig cfg;
+  cfg.node_count = 8;
+  cfg.replica_count = 3;
+  cfg.part_power = 8;
+  return cfg;
+}
+
+TEST(OpMeterTest, ChargesAccumulate) {
+  OpMeter m;
+  m.Charge(FromMillis(5));
+  m.Charge(FromMillis(3));
+  EXPECT_DOUBLE_EQ(m.cost().elapsed_ms(), 8.0);
+  m.Reset();
+  EXPECT_EQ(m.cost().elapsed, 0);
+}
+
+TEST(OpMeterTest, ChargeBatchUsesLanes) {
+  OpMeter m;
+  m.ChargeBatch(100, 10, FromMillis(1));
+  EXPECT_DOUBLE_EQ(m.cost().elapsed_ms(), 10.0);
+  m.Reset();
+  m.ChargeBatch(101, 10, FromMillis(1));  // 11 waves
+  EXPECT_DOUBLE_EQ(m.cost().elapsed_ms(), 11.0);
+  m.Reset();
+  m.ChargeBatch(0, 10, FromMillis(1));
+  EXPECT_EQ(m.cost().elapsed, 0);
+}
+
+TEST(OpMeterTest, FoldParallelScalesTail) {
+  OpMeter m;
+  m.Charge(FromMillis(10));
+  const VirtualNanos mark = m.cost().elapsed;
+  for (int i = 0; i < 32; ++i) m.Charge(FromMillis(1));
+  m.FoldParallel(mark, 32);
+  EXPECT_NEAR(m.cost().elapsed_ms(), 11.0, 0.01);
+}
+
+TEST(OpMeterTest, CostAddition) {
+  OpCost a, b;
+  a.elapsed = FromMillis(1);
+  a.gets = 2;
+  b.elapsed = FromMillis(2);
+  b.puts = 3;
+  a += b;
+  EXPECT_EQ(a.elapsed, FromMillis(3));
+  EXPECT_EQ(a.gets, 2u);
+  EXPECT_EQ(a.puts, 3u);
+  EXPECT_EQ(a.object_primitives(), 5u);
+}
+
+TEST(StorageNodeTest, PutGetDelete) {
+  StorageNode node(0, "n0", 1);
+  ASSERT_TRUE(node.Put("k", ObjectValue::FromString("v", 10)).ok());
+  auto got = node.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload, "v");
+  EXPECT_TRUE(node.Contains("k"));
+  ASSERT_TRUE(node.Delete("k").ok());
+  EXPECT_EQ(node.Get("k").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(node.Delete("k").code(), ErrorCode::kNotFound);
+}
+
+TEST(StorageNodeTest, OverwritePreservesCreation) {
+  StorageNode node(0, "n0", 1);
+  ASSERT_TRUE(node.Put("k", ObjectValue::FromString("v1", 10)).ok());
+  ObjectValue v2 = ObjectValue::FromString("v2", 20);
+  v2.created = 0;
+  ASSERT_TRUE(node.Put("k", v2).ok());
+  auto got = node.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload, "v2");
+  EXPECT_EQ(got->created, 10);
+}
+
+TEST(StorageNodeTest, DownNodeFailsEverything) {
+  StorageNode node(0, "n0", 1);
+  ASSERT_TRUE(node.Put("k", ObjectValue::FromString("v", 1)).ok());
+  node.SetDown(true);
+  EXPECT_EQ(node.Get("k").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(node.Put("x", {}).code(), ErrorCode::kUnavailable);
+  node.SetDown(false);
+  EXPECT_TRUE(node.Get("k").ok());
+}
+
+TEST(StorageNodeTest, ErrorRateInjectsFaults) {
+  StorageNode node(0, "n0", 99);
+  ASSERT_TRUE(node.Put("k", ObjectValue::FromString("v", 1)).ok());
+  node.SetErrorRate(0.5);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!node.Get("k").ok()) ++failures;
+  }
+  EXPECT_GT(failures, 50);
+  EXPECT_LT(failures, 150);
+}
+
+TEST(ObjectCloudTest, PutGetRoundTrip) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter m;
+  ASSERT_TRUE(
+      cloud.Put("key1", ObjectValue::FromString("hello", 0), m).ok());
+  auto got = cloud.Get("key1", m);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload, "hello");
+  EXPECT_EQ(got->logical_size, 5u);
+}
+
+TEST(ObjectCloudTest, GetChargesCalibratedLatency) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter m;
+  ASSERT_TRUE(cloud.Put("key1", ObjectValue::FromString("x", 0), m).ok());
+  m.Reset();
+  ASSERT_TRUE(cloud.Get("key1", m).ok());
+  // DESIGN.md §5: a proxied small-object GET is ~10 ms (+-jitter).
+  EXPECT_GT(m.cost().elapsed_ms(), 8.0);
+  EXPECT_LT(m.cost().elapsed_ms(), 12.5);
+  EXPECT_EQ(m.cost().gets, 1u);
+}
+
+TEST(ObjectCloudTest, ReplicatedOnReplicaCountNodes) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter m;
+  ASSERT_TRUE(cloud.Put("k", ObjectValue::FromString("v", 0), m).ok());
+  int holders = 0;
+  for (std::size_t i = 0; i < cloud.node_count(); ++i) {
+    if (cloud.node(i).Contains("k")) ++holders;
+  }
+  EXPECT_EQ(holders, 3);
+  EXPECT_EQ(cloud.LogicalObjectCount(), 1u);
+  EXPECT_EQ(cloud.RawObjectCount(), 3u);
+}
+
+TEST(ObjectCloudTest, SurvivesOneNodeDown) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter m;
+  ASSERT_TRUE(cloud.Put("k", ObjectValue::FromString("v", 0), m).ok());
+  // Take down the primary replica; reads must fall through.
+  cloud.node(0).SetDown(true);
+  cloud.node(1).SetDown(true);  // maybe not replicas of "k", but legal
+  auto got = cloud.Get("k", m);
+  EXPECT_TRUE(got.ok()) << got.status().ToString();
+  cloud.node(0).SetDown(false);
+  cloud.node(1).SetDown(false);
+}
+
+TEST(ObjectCloudTest, QuorumWriteFailsWhenMajorityDown) {
+  CloudConfig cfg = SmallCloud();
+  cfg.node_count = 3;  // all nodes are replicas of everything
+  ObjectCloud cloud(cfg);
+  cloud.node(0).SetDown(true);
+  cloud.node(1).SetDown(true);
+  OpMeter m;
+  EXPECT_EQ(cloud.Put("k", ObjectValue::FromString("v", 0), m).code(),
+            ErrorCode::kUnavailable);
+}
+
+TEST(ObjectCloudTest, DeleteRemovesAllReplicas) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter m;
+  ASSERT_TRUE(cloud.Put("k", ObjectValue::FromString("v", 0), m).ok());
+  ASSERT_TRUE(cloud.Delete("k", m).ok());
+  EXPECT_EQ(cloud.RawObjectCount(), 0u);
+  EXPECT_EQ(cloud.Delete("k", m).code(), ErrorCode::kNotFound);
+}
+
+TEST(ObjectCloudTest, HeadReturnsMetadataOnly) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter m;
+  ObjectValue v = ObjectValue::FromString("payload", 0);
+  v.metadata["kind"] = "file";
+  ASSERT_TRUE(cloud.Put("k", std::move(v), m).ok());
+  auto head = cloud.Head("k", m);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->logical_size, 7u);
+  EXPECT_EQ(head->metadata.at("kind"), "file");
+}
+
+TEST(ObjectCloudTest, CopyIsServerSide) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter m;
+  ASSERT_TRUE(cloud.Put("src", ObjectValue::FromString("data", 0), m).ok());
+  m.Reset();
+  ASSERT_TRUE(cloud.Copy("src", "dst", m).ok());
+  EXPECT_EQ(m.cost().copies, 1u);
+  EXPECT_EQ(m.cost().gets, 0u);
+  auto got = cloud.Get("dst", m);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload, "data");
+  EXPECT_EQ(cloud.Copy("absent", "x", m).code(), ErrorCode::kNotFound);
+}
+
+TEST(ObjectCloudTest, LogicalSizeDrivesByteCosts) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter small_meter, large_meter;
+  ASSERT_TRUE(cloud
+                  .Put("small", ObjectValue::FromString("x", 0), small_meter)
+                  .ok());
+  // A "1 GiB video" with a tiny sample payload.
+  ObjectValue video;
+  video.payload = "sample";
+  video.logical_size = 1ULL << 30;
+  ASSERT_TRUE(cloud.Put("video", std::move(video), large_meter).ok());
+  EXPECT_GT(large_meter.cost().elapsed, 100 * small_meter.cost().elapsed);
+}
+
+TEST(ObjectCloudTest, ScanVisitsEachLogicalObjectOnce) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter m;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), m)
+                    .ok());
+  }
+  std::set<std::string> seen;
+  m.Reset();
+  cloud.Scan(
+      [&](const std::string& key, const ObjectValue&) {
+        EXPECT_TRUE(seen.insert(key).second) << "duplicate " << key;
+      },
+      m);
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(m.cost().scanned_objects, 300u);  // replicas scanned
+}
+
+TEST(ObjectCloudTest, LoadIsBalancedAcrossNodes) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter m;
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), m)
+                    .ok());
+  }
+  const auto counts = cloud.NodeObjectCounts();
+  const double expected = 4000.0 * 3 / 8;
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.25);
+  }
+}
+
+TEST(ObjectCloudTest, ClockAdvancesWithActivity) {
+  ObjectCloud cloud(SmallCloud());
+  const VirtualNanos before = cloud.clock().Now();
+  OpMeter m;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        cloud.Put("k" + std::to_string(i), ObjectValue::FromString("v", 0), m)
+            .ok());
+  }
+  // ~50 PUTs at ~12 ms each: virtual time moved by hundreds of ms.
+  EXPECT_GT(cloud.clock().Now() - before, FromMillis(300));
+}
+
+TEST(LatencyModelTest, JitterStaysBounded) {
+  LatencyModel model(LatencyProfile::RackLan(), 7);
+  const VirtualNanos base = FromMillis(10);
+  for (int i = 0; i < 1000; ++i) {
+    const VirtualNanos v = model.Jitter(base);
+    EXPECT_GE(v, FromMillis(9.2) - 1000);
+    EXPECT_LE(v, FromMillis(10.8) + 1000);
+  }
+}
+
+TEST(LatencyModelTest, WanRttMatchesPaperRange) {
+  LatencyModel model(LatencyProfile::DropboxWan(), 11);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const VirtualNanos rtt = model.SampleWanRtt();
+    EXPECT_GE(rtt, FromMillis(24));   // paper §5.3: 24-83 ms
+    EXPECT_LE(rtt, FromMillis(83));
+    sum += ToMillis(rtt);
+  }
+  EXPECT_NEAR(sum / 2000, 58.0, 4.0);  // mean 58 ms
+}
+
+}  // namespace
+}  // namespace h2

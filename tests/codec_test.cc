@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "codec/formatter.h"
+#include "common/rng.h"
+
+namespace h2 {
+namespace {
+
+TEST(EscapeTest, PassesPlainText) {
+  EXPECT_EQ(EscapeField("hello world"), "hello world");
+}
+
+TEST(EscapeTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeField("a|b"), "a%7Cb");
+  EXPECT_EQ(EscapeField("a\nb"), "a%0Ab");
+  EXPECT_EQ(EscapeField("100%"), "100%25");
+}
+
+TEST(EscapeTest, RoundTripsEverything) {
+  std::string nasty;
+  for (int c = 1; c < 256; ++c) nasty.push_back(static_cast<char>(c));
+  auto back = UnescapeField(EscapeField(nasty));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, nasty);
+}
+
+TEST(EscapeTest, FuzzRoundTrip) {
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string s;
+    const std::size_t len = rng.Below(64);
+    for (std::size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng.Between(1, 255)));
+    }
+    auto back = UnescapeField(EscapeField(s));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, s);
+  }
+}
+
+TEST(EscapeTest, RejectsBadEscapes) {
+  EXPECT_FALSE(UnescapeField("%").ok());
+  EXPECT_FALSE(UnescapeField("%2").ok());
+  EXPECT_FALSE(UnescapeField("%zz").ok());
+}
+
+TEST(TupleLineTest, RoundTrip) {
+  const std::string line = MakeTupleLine({"name|with|pipes", "12345", "F", ""});
+  auto fields = ParseTupleLine(line);
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 4u);
+  EXPECT_EQ((*fields)[0], "name|with|pipes");
+  EXPECT_EQ((*fields)[1], "12345");
+  EXPECT_EQ((*fields)[2], "F");
+  EXPECT_EQ((*fields)[3], "");
+}
+
+TEST(KvRecordTest, SetGet) {
+  KvRecord r;
+  r.Set("name", "value");
+  r.SetInt("neg", -42);
+  r.SetUint("big", ~0ULL);
+  EXPECT_TRUE(r.Has("name"));
+  EXPECT_FALSE(r.Has("other"));
+  EXPECT_EQ(r.Get("name"), "value");
+  EXPECT_EQ(*r.GetInt("neg"), -42);
+  EXPECT_EQ(*r.GetUint("big"), ~0ULL);
+}
+
+TEST(KvRecordTest, SerializeIsSortedAndStable) {
+  KvRecord r;
+  r.Set("zebra", "1");
+  r.Set("alpha", "2");
+  const std::string s = r.Serialize();
+  EXPECT_LT(s.find("alpha"), s.find("zebra"));
+  // Serializing twice gives identical bytes (deterministic objects).
+  EXPECT_EQ(s, r.Serialize());
+}
+
+TEST(KvRecordTest, ParseRoundTripWithSpecials) {
+  KvRecord r;
+  r.Set("key=with=equals", "value\nwith\nnewlines|and|pipes");
+  r.Set("empty", "");
+  auto parsed = KvRecord::Parse(r.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("key=with=equals"), "value\nwith\nnewlines|and|pipes");
+  EXPECT_TRUE(parsed->Has("empty"));
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(KvRecordTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(KvRecord::Parse("no-equals-sign\n").ok());
+}
+
+TEST(KvRecordTest, MissingFieldsError) {
+  KvRecord r;
+  EXPECT_EQ(r.GetInt("absent").code(), ErrorCode::kCorruption);
+  EXPECT_EQ(r.GetUint("absent").code(), ErrorCode::kCorruption);
+  r.Set("notnum", "12x");
+  EXPECT_EQ(r.GetInt("notnum").code(), ErrorCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace h2 {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  H2_ASSIGN_OR_RETURN(int h, Half(x));
+  H2_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_EQ(Quarter(6).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ClockTest, TickIsStrictlyIncreasing) {
+  SimClock clock;
+  VirtualNanos prev = clock.Tick();
+  for (int i = 0; i < 1000; ++i) {
+    VirtualNanos next = clock.Tick();
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(ClockTest, AdvanceMovesTime) {
+  SimClock clock(0);
+  clock.Advance(5 * kMillisecond);
+  EXPECT_EQ(clock.Now(), 5 * kMillisecond);
+  EXPECT_EQ(clock.NowUnixMillis(), 5);
+}
+
+TEST(ClockTest, DefaultEpochMatchesPaperExample) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowUnixMillis(), 1469346604539LL);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.Between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(ZipfTest, SkewsTowardLowRanks) {
+  Rng rng(5);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 20);  // rank 0 well above uniform share
+}
+
+TEST(ZipfTest, UniformWhenSZero) {
+  Rng rng(5);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) counts[zipf.Sample(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, 5000, 500);
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSkipEmpty) {
+  const auto parts = SplitSkipEmpty("/a//b/", '/');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  EXPECT_EQ(Join(std::vector<std::string>{"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, "/"), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("lo", "hello"));
+}
+
+TEST(StringsTest, ParseUint64) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, ~0ULL);
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // overflow
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("12a", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,153 @@
+// Replica-consistency semantics of the object cloud: Swift-style 404
+// fall-through, delete tombstones, and tombstone-aware repair.
+//
+// These are the storage-level guarantees H2Cloud's eventual consistency
+// sits on: a replica that missed a write must not shadow the object, and
+// a replica that missed a *delete* must not resurrect it.
+#include <gtest/gtest.h>
+
+#include "cluster/object_cloud.h"
+
+namespace h2 {
+namespace {
+
+CloudConfig SmallCloud() {
+  CloudConfig cfg;
+  cfg.part_power = 8;
+  return cfg;
+}
+
+/// The nodes currently holding `key`.
+std::vector<std::size_t> Holders(ObjectCloud& cloud,
+                                 const std::string& key) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < cloud.node_count(); ++i) {
+    if (cloud.node(i).Contains(key)) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(ConsistencyTest, ReadFallsThroughReplicaThatMissedTheWrite) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  ASSERT_TRUE(cloud.Put("key", ObjectValue::FromString("v", 0), meter).ok());
+  // Simulate a replica that missed the write: wipe it from one holder
+  // (without a tombstone -- the write simply never arrived there).
+  const auto holders = Holders(cloud, "key");
+  ASSERT_EQ(holders.size(), 3u);
+  ASSERT_TRUE(cloud.node(holders[0]).Delete("key", 0).ok());
+
+  // The read must find the object on another replica.
+  auto got = cloud.Get("key", meter);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->payload, "v");
+  EXPECT_TRUE(cloud.Head("key", meter).ok());
+}
+
+TEST(ConsistencyTest, DeleteWithMissedReplicaIsEventuallyConsistent) {
+  // Swift semantics, which the paper leans on explicitly ("OpenStack
+  // Swift only provides eventual consistency to its customers", §3.3.1):
+  // if a replica misses a delete, a read during the inconsistency window
+  // may return either NotFound or the stale copy -- whichever replica
+  // answers first -- but once the replicator runs, the delete wins
+  // everywhere (the tombstone is newer than the surviving copy).
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  ASSERT_TRUE(cloud.Put("key", ObjectValue::FromString("v", 0), meter).ok());
+
+  const auto holders = Holders(cloud, "key");
+  ASSERT_EQ(holders.size(), 3u);
+  cloud.node(holders[0]).SetDown(true);
+  ASSERT_TRUE(cloud.Delete("key", meter).ok());
+  cloud.node(holders[0]).SetDown(false);
+
+  // The stale copy still exists on the node that missed the delete.
+  EXPECT_TRUE(cloud.node(holders[0]).Contains("key"));
+  // During the window the read is eventual: stale value or NotFound,
+  // never an error or a corrupted result.
+  auto during = cloud.Get("key", meter);
+  if (during.ok()) {
+    EXPECT_EQ(during->payload, "v");
+  } else {
+    EXPECT_EQ(during.code(), ErrorCode::kNotFound);
+  }
+
+  // Anti-entropy converges on the delete (tombstone beats the copy).
+  cloud.RepairReplicas();
+  EXPECT_FALSE(cloud.node(holders[0]).Contains("key"));
+  EXPECT_EQ(cloud.Get("key", meter).code(), ErrorCode::kNotFound);
+}
+
+TEST(ConsistencyTest, RepairPropagatesDeletesNotResurrections) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  ASSERT_TRUE(cloud.Put("key", ObjectValue::FromString("v", 0), meter).ok());
+  const auto holders = Holders(cloud, "key");
+  cloud.node(holders[0]).SetDown(true);
+  ASSERT_TRUE(cloud.Delete("key", meter).ok());
+  cloud.node(holders[0]).SetDown(false);
+  ASSERT_TRUE(cloud.node(holders[0]).Contains("key"));
+
+  // Anti-entropy must finish the delete, not copy the stale object back.
+  const auto report = cloud.RepairReplicas();
+  EXPECT_GE(report.objects_dropped, 1u);
+  EXPECT_FALSE(cloud.node(holders[0]).Contains("key"));
+  EXPECT_EQ(cloud.Get("key", meter).code(), ErrorCode::kNotFound);
+}
+
+TEST(ConsistencyTest, RewriteAfterDeleteWins) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  ASSERT_TRUE(cloud.Put("key", ObjectValue::FromString("v1", 0), meter).ok());
+  ASSERT_TRUE(cloud.Delete("key", meter).ok());
+  EXPECT_EQ(cloud.Get("key", meter).code(), ErrorCode::kNotFound);
+  // A new write after the delete must be visible (its timestamp exceeds
+  // the tombstone's).
+  ASSERT_TRUE(cloud.Put("key", ObjectValue::FromString("v2", 0), meter).ok());
+  auto got = cloud.Get("key", meter);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload, "v2");
+}
+
+TEST(ConsistencyTest, StaleWriteAfterDeleteIsSuppressedAtTheNode) {
+  // Node-level LWW: a replica that receives an old write after a newer
+  // tombstone must drop it.
+  StorageNode node(0, "n0", 1);
+  ObjectValue old_value = ObjectValue::FromString("old", 100);
+  ASSERT_TRUE(node.Delete("key", /*ts=*/500).code() ==
+              ErrorCode::kNotFound);  // tombstone recorded anyway
+  EXPECT_EQ(node.TombstoneTime("key"), 500);
+  ASSERT_TRUE(node.Put("key", old_value).ok());  // accepted but superseded
+  EXPECT_FALSE(node.Contains("key"));
+
+  ObjectValue new_value = ObjectValue::FromString("new", 900);
+  ASSERT_TRUE(node.Put("key", new_value).ok());
+  EXPECT_TRUE(node.Contains("key"));
+  EXPECT_EQ(node.TombstoneTime("key"), 0);  // cleared by the newer write
+}
+
+TEST(ConsistencyTest, MissingObjectProbesAllReplicas) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  EXPECT_EQ(cloud.Get("never-written", meter).code(),
+            ErrorCode::kNotFound);
+  // A definitive miss costs ~3 probes, not 1 -- the price of not letting
+  // one lagging replica shadow the object.
+  EXPECT_GT(meter.cost().elapsed_ms(), 20.0);
+}
+
+TEST(ConsistencyTest, AllReplicasDownIsUnavailableNotNotFound) {
+  CloudConfig cfg = SmallCloud();
+  cfg.node_count = 3;
+  ObjectCloud cloud(cfg);
+  OpMeter meter;
+  ASSERT_TRUE(cloud.Put("key", ObjectValue::FromString("v", 0), meter).ok());
+  for (std::size_t i = 0; i < cloud.node_count(); ++i) {
+    cloud.node(i).SetDown(true);
+  }
+  EXPECT_EQ(cloud.Get("key", meter).code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(cloud.Head("key", meter).code(), ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace h2

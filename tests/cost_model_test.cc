@@ -1,0 +1,216 @@
+// Cost-model regression tests: miniature versions of the figure benches
+// that pin the *shapes* of the paper's evaluation (who scales how), so a
+// refactor of the middleware or a baseline cannot silently break the
+// reproduction.
+#include <gtest/gtest.h>
+
+#include "baselines/index_fs.h"
+#include "baselines/swift_fs.h"
+#include "h2/h2cloud.h"
+#include "metrics/stats.h"
+#include "workload/tree_gen.h"
+
+namespace h2 {
+namespace {
+
+CloudConfig SmallCloud(LatencyProfile profile = LatencyProfile::RackLan()) {
+  CloudConfig cfg;
+  cfg.part_power = 8;
+  cfg.latency = profile;
+  return cfg;
+}
+
+struct H2Box {
+  H2Box() {
+    H2CloudConfig cfg;
+    cfg.cloud.part_power = 8;
+    cloud = std::make_unique<H2Cloud>(cfg);
+    EXPECT_TRUE(cloud->CreateAccount("u").ok());
+    fs = std::move(cloud->OpenFilesystem("u")).value();
+  }
+  std::unique_ptr<H2Cloud> cloud;
+  std::unique_ptr<H2AccountFs> fs;
+};
+
+// ---- Figure 7/8 shape: MOVE and RMDIR ------------------------------------
+
+TEST(CostShapeTest, SwiftMoveScalesLinearlyH2Flat) {
+  std::vector<double> ns = {10, 40, 160};
+  std::vector<double> swift_ms, h2_ms;
+  for (double n : ns) {
+    ObjectCloud cloud(SmallCloud());
+    SwiftFs swift(cloud);
+    ASSERT_TRUE(swift.Mkdir("/dst").ok());
+    ASSERT_TRUE(FillDirectory(swift, "/dir", static_cast<std::size_t>(n))
+                    .ok());
+    ASSERT_TRUE(swift.Move("/dir", "/dst/m").ok());
+    swift_ms.push_back(swift.last_op().elapsed_ms());
+
+    H2Box box;
+    ASSERT_TRUE(box.fs->Mkdir("/dst").ok());
+    ASSERT_TRUE(
+        FillDirectory(*box.fs, "/dir", static_cast<std::size_t>(n)).ok());
+    box.cloud->RunMaintenanceToQuiescence();
+    ASSERT_TRUE(box.fs->Move("/dir", "/dst/m").ok());
+    h2_ms.push_back(box.fs->last_op().elapsed_ms());
+  }
+  EXPECT_GT(LogLogSlope(ns, swift_ms), 0.7);   // ~linear
+  EXPECT_LT(LogLogSlope(ns, h2_ms), 0.15);     // flat
+  // And at the largest n, H2 wins by a wide margin.
+  EXPECT_GT(swift_ms.back(), 5 * h2_ms.back());
+}
+
+TEST(CostShapeTest, RmdirShapes) {
+  std::vector<double> ns = {10, 40, 160};
+  std::vector<double> swift_ms, h2_ms, dp_ms;
+  for (double n : ns) {
+    ObjectCloud cloud(SmallCloud());
+    SwiftFs swift(cloud);
+    ASSERT_TRUE(FillDirectory(swift, "/dir", static_cast<std::size_t>(n))
+                    .ok());
+    ASSERT_TRUE(swift.Rmdir("/dir").ok());
+    swift_ms.push_back(swift.last_op().elapsed_ms());
+
+    H2Box box;
+    ASSERT_TRUE(
+        FillDirectory(*box.fs, "/dir", static_cast<std::size_t>(n)).ok());
+    box.cloud->RunMaintenanceToQuiescence();
+    ASSERT_TRUE(box.fs->Rmdir("/dir").ok());
+    h2_ms.push_back(box.fs->last_op().elapsed_ms());
+
+    ObjectCloud dp_cloud(SmallCloud());
+    IndexServerFs dp(dp_cloud, IndexFsOptions::DynamicPartition());
+    ASSERT_TRUE(
+        FillDirectory(dp, "/dir", static_cast<std::size_t>(n)).ok());
+    ASSERT_TRUE(dp.Rmdir("/dir").ok());
+    dp_ms.push_back(dp.last_op().elapsed_ms());
+  }
+  EXPECT_GT(LogLogSlope(ns, swift_ms), 0.7);
+  EXPECT_LT(LogLogSlope(ns, h2_ms), 0.15);
+  EXPECT_LT(LogLogSlope(ns, dp_ms), 0.15);
+}
+
+// ---- Figure 10 shape: LIST ------------------------------------------------
+
+// Local helper (FillDirectory creates the dir; here we append).
+::testing::AssertionResult AddFilesForTest(FileSystem& fs, std::size_t from,
+                                           std::size_t to) {
+  char buf[64];
+  for (std::size_t i = from; i < to; ++i) {
+    std::snprintf(buf, sizeof(buf), "/dir/f%06zu", i);
+    const Status st = fs.WriteFile(buf, FileBlob::FromString("x"));
+    if (!st.ok()) {
+      return ::testing::AssertionFailure() << st.ToString();
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(CostShapeTest, DetailedListLinearInM) {
+  H2Box box;
+  std::vector<double> ms_values;
+  std::vector<double> m_values = {32, 128, 512};
+  std::size_t populated = 0;
+  ASSERT_TRUE(box.fs->Mkdir("/dir").ok());
+  for (double m : m_values) {
+    ASSERT_TRUE(AddFilesForTest(*box.fs, populated,
+                                static_cast<std::size_t>(m)));
+    populated = static_cast<std::size_t>(m);
+    box.cloud->RunMaintenanceToQuiescence();
+    ASSERT_TRUE(box.fs->List("/dir", ListDetail::kDetailed).ok());
+    ms_values.push_back(box.fs->last_op().elapsed_ms());
+  }
+  EXPECT_GT(LogLogSlope(m_values, ms_values), 0.6);
+
+  // Names-only stays O(1): one ring read regardless of m.
+  ASSERT_TRUE(box.fs->List("/dir", ListDetail::kNamesOnly).ok());
+  EXPECT_LE(box.fs->last_op().object_primitives(), 2u);
+}
+
+// ---- Figure 13 shape: access depth -----------------------------------------
+
+TEST(CostShapeTest, H2AccessLinearInDepthSwiftFlat) {
+  H2Box box;
+  ObjectCloud cloud(SmallCloud());
+  SwiftFs swift(cloud);
+
+  std::vector<double> depths = {2, 4, 8, 16};
+  std::vector<double> h2_ms, swift_ms;
+  for (FileSystem* fs : {static_cast<FileSystem*>(box.fs.get()),
+                         static_cast<FileSystem*>(&swift)}) {
+    std::string dir;
+    for (int d = 1; d < 16; ++d) {
+      dir += "/d" + std::to_string(d);
+      ASSERT_TRUE(fs->Mkdir(dir).ok());
+    }
+    ASSERT_TRUE(fs->WriteFile(dir + "/leaf", FileBlob::FromString("x")).ok());
+  }
+  box.cloud->RunMaintenanceToQuiescence();
+  for (double d : depths) {
+    std::string path;
+    for (int i = 1; i < static_cast<int>(d); ++i) {
+      path += "/d" + std::to_string(i);
+    }
+    path += d == 16 ? "/leaf" : "/d" + std::to_string(static_cast<int>(d));
+    ASSERT_TRUE(box.fs->Stat(path).ok());
+    h2_ms.push_back(box.fs->last_op().elapsed_ms());
+    ASSERT_TRUE(swift.Stat(path).ok());
+    swift_ms.push_back(swift.last_op().elapsed_ms());
+  }
+  EXPECT_GT(LogLogSlope(depths, h2_ms), 0.7);
+  EXPECT_LT(LogLogSlope(depths, swift_ms), 0.15);
+}
+
+// ---- Figures 14/15 shape: storage overhead ----------------------------------
+
+TEST(CostShapeTest, ObjectCountUpBytesNegligible) {
+  TreeSpec spec;
+  spec.file_count = 300;
+  spec.dir_count = 30;
+  spec.seed = 3;
+  const GeneratedTree tree = GenerateTree(spec);
+
+  H2Box box;
+  ASSERT_TRUE(PopulateTree(*box.fs, tree).ok());
+  box.cloud->RunMaintenanceToQuiescence();
+  const std::uint64_t h2_objects = box.cloud->cloud().LogicalObjectCount();
+  const std::uint64_t h2_bytes = box.cloud->cloud().LogicalBytes();
+
+  ObjectCloud swift_cloud(SmallCloud());
+  SwiftFs swift(swift_cloud);
+  ASSERT_TRUE(PopulateTree(swift, tree).ok());
+  const std::uint64_t swift_objects = swift_cloud.LogicalObjectCount();
+  const std::uint64_t swift_bytes = swift_cloud.LogicalBytes();
+
+  EXPECT_GT(h2_objects, swift_objects);                  // Fig. 14
+  EXPECT_LT(h2_objects, swift_objects * 2);              // but bounded
+  const double byte_overhead =
+      static_cast<double>(h2_bytes) / static_cast<double>(swift_bytes) - 1.0;
+  EXPECT_LT(byte_overhead, 0.01);                        // Fig. 15: <1%
+}
+
+// ---- Headline absolute numbers ----------------------------------------------
+
+TEST(CostShapeTest, HeadlineNumbersInPaperBallpark) {
+  H2Box box;
+  ASSERT_TRUE(FillDirectory(*box.fs, "/dir", 1000).ok());
+  box.cloud->RunMaintenanceToQuiescence();
+
+  ASSERT_TRUE(box.fs->List("/dir", ListDetail::kDetailed).ok());
+  const double list_s = box.fs->last_op().elapsed_ms() / 1000.0;
+  EXPECT_GT(list_s, 0.2);   // paper: 0.35 s
+  EXPECT_LT(list_s, 0.6);
+
+  ASSERT_TRUE(box.fs->Copy("/dir", "/copy").ok());
+  const double copy_s = box.fs->last_op().elapsed_ms() / 1000.0;
+  EXPECT_GT(copy_s, 6.0);   // paper: ~10 s
+  EXPECT_LT(copy_s, 16.0);
+
+  ASSERT_TRUE(box.fs->Mkdir("/newdir").ok());
+  const double mkdir_ms = box.fs->last_op().elapsed_ms();
+  EXPECT_GT(mkdir_ms, 60.0);   // paper: 150-200 ms
+  EXPECT_LT(mkdir_ms, 250.0);
+}
+
+}  // namespace
+}  // namespace h2

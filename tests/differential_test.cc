@@ -1,0 +1,383 @@
+// Differential (model-based) testing: a long random operation sequence is
+// applied simultaneously to a trivially correct in-memory reference model
+// and to each real system; after every batch the full observable state
+// (recursive listings, stat of every path, content of every file) must
+// match.  This is the strongest correctness net in the repository: any
+// divergence in visibility, tombstone handling, move/copy semantics or
+// lazy cleanup shows up as a tree diff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/cas_fs.h"
+#include "baselines/index_fs.h"
+#include "baselines/snapshot_fs.h"
+#include "baselines/swift_fs.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "fs/path.h"
+#include "h2/h2cloud.h"
+
+namespace h2 {
+namespace {
+
+/// The reference model: a sorted map from normalized path to content
+/// (directories map to nullopt-like marker).
+class ModelFs {
+ public:
+  ModelFs() { entries_["/"] = Entry{true, ""}; }
+
+  struct Entry {
+    bool is_dir;
+    std::string content;
+  };
+
+  Status WriteFile(const std::string& p, std::string content) {
+    auto parent = entries_.find(ParentPath(p));
+    if (parent == entries_.end()) return Status::NotFound("parent");
+    if (!parent->second.is_dir) return Status::NotADirectory("parent");
+    auto it = entries_.find(p);
+    if (it != entries_.end() && it->second.is_dir) {
+      return Status::IsADirectory(p);
+    }
+    entries_[p] = Entry{false, std::move(content)};
+    return Status::Ok();
+  }
+
+  Status Mkdir(const std::string& p) {
+    if (p == "/") return Status::AlreadyExists(p);
+    auto parent = entries_.find(ParentPath(p));
+    if (parent == entries_.end()) return Status::NotFound("parent");
+    if (!parent->second.is_dir) return Status::NotADirectory("parent");
+    if (entries_.contains(p)) return Status::AlreadyExists(p);
+    entries_[p] = Entry{true, ""};
+    return Status::Ok();
+  }
+
+  Status RemoveFile(const std::string& p) {
+    auto it = entries_.find(p);
+    if (it == entries_.end()) return Status::NotFound(p);
+    if (it->second.is_dir) return Status::IsADirectory(p);
+    entries_.erase(it);
+    return Status::Ok();
+  }
+
+  Status Rmdir(const std::string& p) {
+    if (p == "/") return Status::InvalidArgument(p);
+    auto it = entries_.find(p);
+    if (it == entries_.end()) return Status::NotFound(p);
+    if (!it->second.is_dir) return Status::NotADirectory(p);
+    EraseSubtree(p);
+    return Status::Ok();
+  }
+
+  Status Move(const std::string& f, const std::string& t) {
+    if (f == "/") return Status::InvalidArgument(f);
+    if (t == "/") return Status::AlreadyExists(t);
+    if (f == t) return Status::Ok();
+    if (IsWithin(t, f)) return Status::InvalidArgument("into itself");
+    auto src = entries_.find(f);
+    if (src == entries_.end()) return Status::NotFound(f);
+    auto tparent = entries_.find(ParentPath(t));
+    if (tparent == entries_.end()) return Status::NotFound("dest parent");
+    if (!tparent->second.is_dir) return Status::NotADirectory("dest parent");
+    if (entries_.contains(t)) return Status::AlreadyExists(t);
+
+    std::vector<std::pair<std::string, Entry>> moved;
+    moved.emplace_back(t, src->second);
+    if (src->second.is_dir) {
+      CollectSubtree(f, t, &moved);
+    }
+    EraseSubtree(f);
+    for (auto& [path, entry] : moved) entries_[path] = std::move(entry);
+    return Status::Ok();
+  }
+
+  Status Copy(const std::string& f, const std::string& t) {
+    if (f == "/") return Status::InvalidArgument(f);
+    if (t == "/") return Status::AlreadyExists(t);
+    if (f == t || IsWithin(t, f)) return Status::InvalidArgument("overlap");
+    auto src = entries_.find(f);
+    if (src == entries_.end()) return Status::NotFound(f);
+    auto tparent = entries_.find(ParentPath(t));
+    if (tparent == entries_.end()) return Status::NotFound("dest parent");
+    if (!tparent->second.is_dir) return Status::NotADirectory("dest parent");
+    if (entries_.contains(t)) return Status::AlreadyExists(t);
+
+    std::vector<std::pair<std::string, Entry>> copies;
+    copies.emplace_back(t, src->second);
+    if (src->second.is_dir) CollectSubtree(f, t, &copies);
+    for (auto& [path, entry] : copies) entries_[path] = std::move(entry);
+    return Status::Ok();
+  }
+
+  /// Full observable state: "path|D" or "path|F|content" lines.
+  std::string Dump() const {
+    std::string out;
+    for (const auto& [path, entry] : entries_) {
+      if (path == "/") continue;
+      out += path;
+      out += entry.is_dir ? "|D" : "|F|" + entry.content;
+      out.push_back('\n');
+    }
+    return out;
+  }
+
+  std::vector<std::string> AllDirs() const {
+    std::vector<std::string> dirs;
+    for (const auto& [path, entry] : entries_) {
+      if (entry.is_dir) dirs.push_back(path);
+    }
+    return dirs;
+  }
+  std::vector<std::string> AllFiles() const {
+    std::vector<std::string> files;
+    for (const auto& [path, entry] : entries_) {
+      if (!entry.is_dir) files.push_back(path);
+    }
+    return files;
+  }
+
+ private:
+  void EraseSubtree(const std::string& p) {
+    auto it = entries_.lower_bound(p);
+    while (it != entries_.end() &&
+           (it->first == p || IsWithin(it->first, p))) {
+      it = entries_.erase(it);
+    }
+  }
+  void CollectSubtree(const std::string& f, const std::string& t,
+                      std::vector<std::pair<std::string, Entry>>* out) {
+    for (auto it = entries_.upper_bound(f);
+         it != entries_.end() && IsWithin(it->first, f); ++it) {
+      out->emplace_back(t + it->first.substr(f.size()), it->second);
+    }
+  }
+
+  std::map<std::string, Entry> entries_;
+};
+
+/// Recursively dumps a real filesystem in the model's format.
+std::string DumpFs(FileSystem& fs, const std::string& dir = "/") {
+  std::string out;
+  auto entries = fs.List(dir, ListDetail::kNamesOnly);
+  if (!entries.ok()) return "<list failed: " + entries.status().ToString() + ">";
+  for (const auto& e : *entries) {
+    const std::string path = JoinPath(dir, e.name);
+    if (e.kind == EntryKind::kDirectory) {
+      out += path + "|D\n";
+      out += DumpFs(fs, path);
+    } else {
+      auto blob = fs.ReadFile(path);
+      out += path + "|F|" + (blob.ok() ? blob->data : "<read failed>") + "\n";
+    }
+  }
+  return out;
+}
+
+std::string SortedLines(std::string dump) {
+  auto views = Split(dump, '\n');
+  std::vector<std::string> lines;
+  for (auto v : views) {
+    if (!v.empty()) lines.emplace_back(v);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (auto& l : lines) {
+    out += l;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+/// Applies `steps` random operations, mirroring each into the model, and
+/// compares dumps every `check_every` steps.
+void RunDifferential(FileSystem& fs, std::uint64_t seed, int steps,
+                     int check_every,
+                     const std::function<void()>& quiesce = [] {}) {
+  ModelFs model;
+  Rng rng(seed);
+  int counter = 0;
+
+  for (int step = 0; step < steps; ++step) {
+    const auto dirs = model.AllDirs();
+    const auto files = model.AllFiles();
+    auto random_dir = [&]() -> std::string {
+      return dirs[rng.Below(dirs.size())];
+    };
+    auto fresh_path = [&]() {
+      return JoinPath(random_dir(), "n" + std::to_string(counter++));
+    };
+    auto random_file = [&]() -> std::string {
+      return files.empty() ? fresh_path() : files[rng.Below(files.size())];
+    };
+    auto random_entry = [&]() -> std::string {
+      // Any existing path, or occasionally a bogus one.
+      if (rng.Chance(0.1)) return "/bogus" + std::to_string(counter++);
+      if (!files.empty() && rng.Chance(0.5)) return random_file();
+      return random_dir();
+    };
+
+    Status model_status, fs_status;
+    const double dice = rng.NextDouble();
+    if (dice < 0.30) {
+      const std::string p = rng.Chance(0.7) ? fresh_path() : random_file();
+      const std::string content = "c" + std::to_string(rng.Below(1000));
+      model_status = model.WriteFile(p, content);
+      fs_status = fs.WriteFile(p, FileBlob::FromString(content));
+    } else if (dice < 0.50) {
+      const std::string p = rng.Chance(0.8) ? fresh_path() : random_entry();
+      model_status = model.Mkdir(p);
+      fs_status = fs.Mkdir(p);
+    } else if (dice < 0.62) {
+      const std::string p = random_entry();
+      model_status = model.RemoveFile(p);
+      fs_status = fs.RemoveFile(p);
+    } else if (dice < 0.72) {
+      const std::string p = random_entry();
+      model_status = model.Rmdir(p);
+      fs_status = fs.Rmdir(p);
+    } else if (dice < 0.86) {
+      const std::string f = random_entry();
+      const std::string t = rng.Chance(0.8) ? fresh_path() : random_entry();
+      model_status = model.Move(f, t);
+      fs_status = fs.Move(f, t);
+    } else {
+      const std::string f = random_entry();
+      const std::string t = rng.Chance(0.8) ? fresh_path() : random_entry();
+      model_status = model.Copy(f, t);
+      fs_status = fs.Copy(f, t);
+    }
+
+    // Both sides must agree on success/failure class.
+    ASSERT_EQ(model_status.code(), fs_status.code())
+        << "step " << step << ": model=" << model_status.ToString()
+        << " fs=" << fs_status.ToString();
+
+    if ((step + 1) % check_every == 0) {
+      quiesce();
+      ASSERT_EQ(SortedLines(model.Dump()), SortedLines(DumpFs(fs)))
+          << "divergence after step " << step;
+    }
+  }
+  quiesce();
+  ASSERT_EQ(SortedLines(model.Dump()), SortedLines(DumpFs(fs)));
+}
+
+CloudConfig SmallCloud() {
+  CloudConfig cfg;
+  cfg.part_power = 8;
+  return cfg;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialTest, H2CloudMatchesModel) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  RunDifferential(*fs, GetParam(), 300, 50,
+                  [&cloud] { cloud.RunMaintenanceToQuiescence(); });
+}
+
+TEST_P(DifferentialTest, SwiftMatchesModel) {
+  ObjectCloud cloud(SmallCloud());
+  SwiftFs fs(cloud);
+  RunDifferential(fs, GetParam(), 300, 50);
+}
+
+TEST_P(DifferentialTest, DpMatchesModel) {
+  ObjectCloud cloud(SmallCloud());
+  IndexServerFs fs(cloud, IndexFsOptions::DynamicPartition());
+  RunDifferential(fs, GetParam(), 300, 50,
+                  [&fs] { fs.RunLazyCleanup(); });
+}
+
+TEST_P(DifferentialTest, CasMatchesModel) {
+  ObjectCloud cloud(SmallCloud());
+  CasFs fs(cloud);
+  RunDifferential(fs, GetParam(), 150, 50);  // CAS rebuilds are O(N)
+}
+
+TEST_P(DifferentialTest, CumulusMatchesModel) {
+  ObjectCloud cloud(SmallCloud());
+  SnapshotFs fs(cloud);
+  RunDifferential(fs, GetParam(), 150, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+// H2 with multiple middlewares: operations round-robin across them with
+// maintenance in between (sequential consistency per step is preserved
+// because each step quiesces before the next middleware acts).
+TEST(DifferentialMultiMwTest, RoundRobinMiddlewares) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  cfg.middleware_count = 3;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  std::vector<std::unique_ptr<H2AccountFs>> sessions;
+  for (int i = 0; i < 3; ++i) {
+    sessions.push_back(std::move(cloud.OpenFilesystem("u", i)).value());
+  }
+
+  // A round-robin facade over the three sessions.
+  class RoundRobinFs final : public FileSystem {
+   public:
+    RoundRobinFs(std::vector<std::unique_ptr<H2AccountFs>>& s, H2Cloud& c)
+        : sessions_(s), cloud_(c) {}
+    std::string_view system_name() const override { return "H2-RR"; }
+
+#define RR_DISPATCH(expr)                         \
+  auto& fs = *sessions_[next_++ % sessions_.size()]; \
+  cloud_.RunMaintenanceToQuiescence();            \
+  auto result = (expr);                           \
+  meter_.Reset();                                 \
+  meter_.Merge(fs.last_op());                     \
+  return result
+
+    Status WriteFile(std::string_view p, FileBlob b) override {
+      RR_DISPATCH(fs.WriteFile(p, std::move(b)));
+    }
+    Result<FileBlob> ReadFile(std::string_view p) override {
+      RR_DISPATCH(fs.ReadFile(p));
+    }
+    Result<FileInfo> Stat(std::string_view p) override {
+      RR_DISPATCH(fs.Stat(p));
+    }
+    Status RemoveFile(std::string_view p) override {
+      RR_DISPATCH(fs.RemoveFile(p));
+    }
+    Status Mkdir(std::string_view p) override { RR_DISPATCH(fs.Mkdir(p)); }
+    Status Rmdir(std::string_view p) override { RR_DISPATCH(fs.Rmdir(p)); }
+    Status Move(std::string_view f, std::string_view t) override {
+      RR_DISPATCH(fs.Move(f, t));
+    }
+    Result<std::vector<DirEntry>> List(std::string_view p,
+                                       ListDetail d) override {
+      RR_DISPATCH(fs.List(p, d));
+    }
+    Status Copy(std::string_view f, std::string_view t) override {
+      RR_DISPATCH(fs.Copy(f, t));
+    }
+#undef RR_DISPATCH
+
+   private:
+    std::vector<std::unique_ptr<H2AccountFs>>& sessions_;
+    H2Cloud& cloud_;
+    std::size_t next_ = 0;
+  };
+
+  RoundRobinFs rr(sessions, cloud);
+  RunDifferential(rr, 777, 200, 40,
+                  [&cloud] { cloud.RunMaintenanceToQuiescence(); });
+}
+
+}  // namespace
+}  // namespace h2

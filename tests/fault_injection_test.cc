@@ -1,0 +1,144 @@
+// Fault-injection torture tests: nodes flap and fail while clients keep
+// operating.  Individual operations may legitimately fail with
+// Unavailable; what must hold afterwards are the system invariants:
+// the filesystem stays responsive, listings contain no duplicates, every
+// listed file is readable, and maintenance converges once the cluster
+// heals.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "h2/h2cloud.h"
+#include "h2/monitor.h"
+
+namespace h2 {
+namespace {
+
+TEST(FaultInjectionTest, NodeFlappingDuringWrites) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("t").ok());
+  auto fs = std::move(cloud.OpenFilesystem("t")).value();
+  ASSERT_TRUE(fs->Mkdir("/dir").ok());
+
+  Rng rng(1234);
+  std::set<std::string> expected;
+  int failed_writes = 0;
+  for (int i = 0; i < 200; ++i) {
+    // Flap a random node every few operations (at most one down at a
+    // time, so quorums always exist).
+    if (i % 10 == 0) {
+      for (std::size_t n = 0; n < cloud.cloud().node_count(); ++n) {
+        cloud.cloud().node(n).SetDown(false);
+      }
+      cloud.cloud().node(rng.Below(cloud.cloud().node_count())).SetDown(true);
+    }
+    const std::string name = "f" + std::to_string(i);
+    const Status st =
+        fs->WriteFile("/dir/" + name, FileBlob::FromString("v" + name));
+    if (st.ok()) {
+      expected.insert(name);
+    } else {
+      ++failed_writes;
+      EXPECT_EQ(st.code(), ErrorCode::kUnavailable) << st.ToString();
+    }
+  }
+  // Heal and converge.
+  for (std::size_t n = 0; n < cloud.cloud().node_count(); ++n) {
+    cloud.cloud().node(n).SetDown(false);
+  }
+  cloud.RunMaintenanceToQuiescence();
+  cloud.cloud().RepairReplicas();
+
+  // With single-node outages and 3-way quorums, writes should all pass.
+  EXPECT_EQ(failed_writes, 0);
+
+  auto entries = fs->List("/dir", ListDetail::kNamesOnly);
+  ASSERT_TRUE(entries.ok());
+  std::set<std::string> listed;
+  for (const auto& e : *entries) {
+    EXPECT_TRUE(listed.insert(e.name).second) << "duplicate " << e.name;
+  }
+  EXPECT_EQ(listed, expected);
+  for (const auto& name : expected) {
+    auto blob = fs->ReadFile("/dir/" + name);
+    ASSERT_TRUE(blob.ok()) << name << ": " << blob.status().ToString();
+    EXPECT_EQ(blob->data, "v" + name);
+  }
+}
+
+TEST(FaultInjectionTest, InjectedErrorRatesSurfaceAsUnavailable) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("t").ok());
+  auto fs = std::move(cloud.OpenFilesystem("t")).value();
+
+  for (std::size_t n = 0; n < cloud.cloud().node_count(); ++n) {
+    cloud.cloud().node(n).SetErrorRate(0.4);
+  }
+  int ok = 0, unavailable = 0, other = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Status st =
+        fs->WriteFile("/f" + std::to_string(i), FileBlob::FromString("x"));
+    if (st.ok()) {
+      ++ok;
+    } else if (st.code() == ErrorCode::kUnavailable) {
+      ++unavailable;
+    } else {
+      ++other;
+    }
+  }
+  // Failures are expressed as Unavailable, never as silent corruption or
+  // misleading codes.
+  EXPECT_EQ(other, 0);
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(unavailable, 0);
+
+  for (std::size_t n = 0; n < cloud.cloud().node_count(); ++n) {
+    cloud.cloud().node(n).SetErrorRate(0.0);
+  }
+  cloud.RunMaintenanceToQuiescence();
+  // Everything that reported success is durable and listed.
+  auto entries = fs->List("/", ListDetail::kNamesOnly);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_GE(static_cast<int>(entries->size()), ok);
+  for (const auto& e : *entries) {
+    EXPECT_TRUE(fs->ReadFile("/" + e.name).ok()) << e.name;
+  }
+}
+
+TEST(FaultInjectionTest, MaintenanceRetriesThroughOutage) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("t").ok());
+  auto fs = std::move(cloud.OpenFilesystem("t")).value();
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fs->WriteFile("/d/f" + std::to_string(i),
+                              FileBlob::FromString("x"))
+                    .ok());
+  }
+  // Take down two nodes (quorum still possible on an 8-node ring for most
+  // partitions, but some merges may fail and must retry).
+  cloud.cloud().node(0).SetDown(true);
+  cloud.cloud().node(1).SetDown(true);
+  cloud.RunMaintenanceStep();
+  cloud.cloud().node(0).SetDown(false);
+  cloud.cloud().node(1).SetDown(false);
+  cloud.RunMaintenanceToQuiescence();
+
+  const MonitorSnapshot snapshot = CollectSnapshot(cloud);
+  EXPECT_TRUE(snapshot.FullyConverged());
+  EXPECT_EQ(snapshot.TotalPatchesMerged(),
+            snapshot.TotalPatchesSubmitted());
+  auto entries = fs->List("/d", ListDetail::kNamesOnly);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 5u);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,471 @@
+// Cross-system conformance suite.
+//
+// Every filesystem in this repository -- H2Cloud and all Table-1
+// baselines -- implements the same POSIX-like FileSystem interface; this
+// parameterized battery pins down the shared semantics (visibility,
+// error codes, move/copy/rename behaviour, deep-tree handling) across all
+// of them, so benchmark comparisons compare systems doing the same work.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baselines/cas_fs.h"
+#include "baselines/ch_fs.h"
+#include "baselines/index_fs.h"
+#include "baselines/snapshot_fs.h"
+#include "baselines/swift_fs.h"
+#include "h2/h2cloud.h"
+
+namespace h2 {
+namespace {
+
+CloudConfig TestCloudConfig(LatencyProfile profile = LatencyProfile::RackLan()) {
+  CloudConfig cfg;
+  cfg.part_power = 8;
+  cfg.latency = profile;
+  return cfg;
+}
+
+/// Owns the substrate and the filesystem built on it.
+struct Sut {
+  virtual ~Sut() = default;
+  virtual FileSystem& fs() = 0;
+};
+
+template <typename Fs>
+struct BaselineSut : Sut {
+  template <typename... Args>
+  explicit BaselineSut(LatencyProfile profile, Args&&... args)
+      : cloud(TestCloudConfig(profile)),
+        filesystem(cloud, std::forward<Args>(args)...) {}
+  FileSystem& fs() override { return filesystem; }
+  ObjectCloud cloud;
+  Fs filesystem;
+};
+
+struct H2Sut : Sut {
+  H2Sut() : cloud(H2CloudConfig{.cloud = TestCloudConfig(), .h2 = {}}) {
+    EXPECT_TRUE(cloud.CreateAccount("conformance").ok());
+    account = std::move(cloud.OpenFilesystem("conformance")).value();
+  }
+  FileSystem& fs() override { return *account; }
+  H2Cloud cloud;
+  std::unique_ptr<H2AccountFs> account;
+};
+
+struct SystemParam {
+  const char* name;
+  std::function<std::unique_ptr<Sut>()> make;
+};
+
+std::vector<SystemParam> AllSystems() {
+  return {
+      {"H2Cloud", [] { return std::make_unique<H2Sut>(); }},
+      {"Swift",
+       [] {
+         return std::make_unique<BaselineSut<SwiftFs>>(
+             LatencyProfile::RackLan());
+       }},
+      {"PlainCH",
+       [] {
+         return std::make_unique<BaselineSut<ChFs>>(
+             LatencyProfile::RackLan());
+       }},
+      {"Cumulus",
+       [] {
+         return std::make_unique<BaselineSut<SnapshotFs>>(
+             LatencyProfile::RackLan());
+       }},
+      {"CAS",
+       [] {
+         return std::make_unique<BaselineSut<CasFs>>(
+             LatencyProfile::RackLan());
+       }},
+      {"SingleIndex",
+       [] {
+         return std::make_unique<BaselineSut<IndexServerFs>>(
+             LatencyProfile::RackLan(), IndexFsOptions::SingleIndex());
+       }},
+      {"StaticPartition",
+       [] {
+         return std::make_unique<BaselineSut<IndexServerFs>>(
+             LatencyProfile::RackLan(), IndexFsOptions::StaticPartition());
+       }},
+      {"DP",
+       [] {
+         return std::make_unique<BaselineSut<IndexServerFs>>(
+             LatencyProfile::RackLan(), IndexFsOptions::DynamicPartition());
+       }},
+      {"DPSharedDisk",
+       [] {
+         return std::make_unique<BaselineSut<IndexServerFs>>(
+             LatencyProfile::RackLan(), IndexFsOptions::DpSharedDisk());
+       }},
+      {"Dropbox",
+       [] {
+         return std::make_unique<BaselineSut<IndexServerFs>>(
+             LatencyProfile::DropboxWan(), IndexFsOptions::Dropbox());
+       }},
+  };
+}
+
+class ConformanceTest : public ::testing::TestWithParam<SystemParam> {
+ protected:
+  void SetUp() override { sut_ = GetParam().make(); }
+  FileSystem& fs() { return sut_->fs(); }
+
+  std::vector<std::string> ListNames(std::string_view path) {
+    auto entries = fs().List(path, ListDetail::kNamesOnly);
+    EXPECT_TRUE(entries.ok()) << entries.status().ToString();
+    std::vector<std::string> names;
+    if (entries.ok()) {
+      for (const auto& e : *entries) names.push_back(e.name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  std::unique_ptr<Sut> sut_;
+};
+
+TEST_P(ConformanceTest, EmptyRootListsEmpty) {
+  EXPECT_TRUE(ListNames("/").empty());
+  auto info = fs().Stat("/");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->kind, EntryKind::kDirectory);
+}
+
+TEST_P(ConformanceTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(fs().WriteFile("/f.txt", FileBlob::FromString("hello")).ok());
+  auto blob = fs().ReadFile("/f.txt");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->data, "hello");
+  EXPECT_EQ(blob->logical_size, 5u);
+}
+
+TEST_P(ConformanceTest, OverwriteReplacesContent) {
+  ASSERT_TRUE(fs().WriteFile("/f", FileBlob::FromString("v1")).ok());
+  ASSERT_TRUE(fs().WriteFile("/f", FileBlob::FromString("longer-v2")).ok());
+  EXPECT_EQ(fs().ReadFile("/f")->data, "longer-v2");
+  EXPECT_EQ(ListNames("/"), std::vector<std::string>{"f"});
+}
+
+TEST_P(ConformanceTest, StatFileMetadata) {
+  ASSERT_TRUE(fs().WriteFile("/f", FileBlob::FromString("12345678")).ok());
+  auto info = fs().Stat("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->kind, EntryKind::kFile);
+  EXPECT_EQ(info->size, 8u);
+}
+
+TEST_P(ConformanceTest, StatMissingIsNotFound) {
+  EXPECT_EQ(fs().Stat("/nothing").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs().ReadFile("/nothing").code(), ErrorCode::kNotFound);
+}
+
+TEST_P(ConformanceTest, MkdirAndList) {
+  ASSERT_TRUE(fs().Mkdir("/docs").ok());
+  ASSERT_TRUE(fs().WriteFile("/docs/a", FileBlob::FromString("a")).ok());
+  ASSERT_TRUE(fs().WriteFile("/docs/b", FileBlob::FromString("b")).ok());
+  EXPECT_EQ(ListNames("/docs"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(ListNames("/"), std::vector<std::string>{"docs"});
+}
+
+TEST_P(ConformanceTest, ListDetailedReportsSizes) {
+  ASSERT_TRUE(fs().Mkdir("/d").ok());
+  ASSERT_TRUE(fs().WriteFile("/d/file", FileBlob::FromString("xyz")).ok());
+  ASSERT_TRUE(fs().Mkdir("/d/sub").ok());
+  auto entries = fs().List("/d", ListDetail::kDetailed);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  for (const auto& e : *entries) {
+    if (e.name == "file") {
+      EXPECT_EQ(e.kind, EntryKind::kFile);
+      EXPECT_EQ(e.size, 3u);
+    } else {
+      EXPECT_EQ(e.name, "sub");
+      EXPECT_EQ(e.kind, EntryKind::kDirectory);
+    }
+  }
+}
+
+TEST_P(ConformanceTest, MkdirExistingFails) {
+  ASSERT_TRUE(fs().Mkdir("/d").ok());
+  EXPECT_EQ(fs().Mkdir("/d").code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_P(ConformanceTest, MkdirUnderMissingParentFails) {
+  EXPECT_EQ(fs().Mkdir("/no/sub").code(), ErrorCode::kNotFound);
+}
+
+TEST_P(ConformanceTest, MkdirUnderFileFails) {
+  ASSERT_TRUE(fs().WriteFile("/f", FileBlob::FromString("x")).ok());
+  EXPECT_EQ(fs().Mkdir("/f/sub").code(), ErrorCode::kNotADirectory);
+}
+
+TEST_P(ConformanceTest, WriteIntoMissingDirFails) {
+  EXPECT_EQ(fs().WriteFile("/no/f", FileBlob::FromString("x")).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_P(ConformanceTest, WriteOverDirectoryFails) {
+  ASSERT_TRUE(fs().Mkdir("/d").ok());
+  EXPECT_EQ(fs().WriteFile("/d", FileBlob::FromString("x")).code(),
+            ErrorCode::kIsADirectory);
+  EXPECT_EQ(fs().ReadFile("/d").code(), ErrorCode::kIsADirectory);
+}
+
+TEST_P(ConformanceTest, RemoveFileSemantics) {
+  ASSERT_TRUE(fs().WriteFile("/f", FileBlob::FromString("x")).ok());
+  ASSERT_TRUE(fs().RemoveFile("/f").ok());
+  EXPECT_EQ(fs().Stat("/f").code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(ListNames("/").empty());
+  EXPECT_EQ(fs().RemoveFile("/f").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(fs().Mkdir("/d").ok());
+  EXPECT_EQ(fs().RemoveFile("/d").code(), ErrorCode::kIsADirectory);
+}
+
+TEST_P(ConformanceTest, RmdirRemovesSubtree) {
+  ASSERT_TRUE(fs().Mkdir("/d").ok());
+  ASSERT_TRUE(fs().Mkdir("/d/sub").ok());
+  ASSERT_TRUE(fs().WriteFile("/d/f", FileBlob::FromString("x")).ok());
+  ASSERT_TRUE(fs().WriteFile("/d/sub/g", FileBlob::FromString("y")).ok());
+  ASSERT_TRUE(fs().Rmdir("/d").ok());
+  EXPECT_EQ(fs().Stat("/d").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs().Stat("/d/f").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs().Stat("/d/sub/g").code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(ListNames("/").empty());
+}
+
+TEST_P(ConformanceTest, RmdirErrors) {
+  EXPECT_EQ(fs().Rmdir("/").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs().Rmdir("/missing").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(fs().WriteFile("/f", FileBlob::FromString("x")).ok());
+  EXPECT_EQ(fs().Rmdir("/f").code(), ErrorCode::kNotADirectory);
+}
+
+TEST_P(ConformanceTest, RecreateAfterRmdir) {
+  ASSERT_TRUE(fs().Mkdir("/d").ok());
+  ASSERT_TRUE(fs().WriteFile("/d/f", FileBlob::FromString("old")).ok());
+  ASSERT_TRUE(fs().Rmdir("/d").ok());
+  ASSERT_TRUE(fs().Mkdir("/d").ok());
+  EXPECT_TRUE(ListNames("/d").empty());  // old children must not reappear
+  ASSERT_TRUE(fs().WriteFile("/d/f", FileBlob::FromString("new")).ok());
+  EXPECT_EQ(fs().ReadFile("/d/f")->data, "new");
+}
+
+TEST_P(ConformanceTest, MoveFile) {
+  ASSERT_TRUE(fs().Mkdir("/a").ok());
+  ASSERT_TRUE(fs().Mkdir("/b").ok());
+  ASSERT_TRUE(fs().WriteFile("/a/f", FileBlob::FromString("data")).ok());
+  ASSERT_TRUE(fs().Move("/a/f", "/b/g").ok());
+  EXPECT_EQ(fs().Stat("/a/f").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs().ReadFile("/b/g")->data, "data");
+  EXPECT_TRUE(ListNames("/a").empty());
+  EXPECT_EQ(ListNames("/b"), std::vector<std::string>{"g"});
+}
+
+TEST_P(ConformanceTest, MoveDirectorySubtree) {
+  ASSERT_TRUE(fs().Mkdir("/src").ok());
+  ASSERT_TRUE(fs().Mkdir("/src/sub").ok());
+  ASSERT_TRUE(fs().WriteFile("/src/f", FileBlob::FromString("1")).ok());
+  ASSERT_TRUE(fs().WriteFile("/src/sub/g", FileBlob::FromString("2")).ok());
+  ASSERT_TRUE(fs().Mkdir("/dst").ok());
+  ASSERT_TRUE(fs().Move("/src", "/dst/moved").ok());
+  EXPECT_EQ(fs().ReadFile("/dst/moved/f")->data, "1");
+  EXPECT_EQ(fs().ReadFile("/dst/moved/sub/g")->data, "2");
+  EXPECT_EQ(fs().Stat("/src").code(), ErrorCode::kNotFound);
+}
+
+TEST_P(ConformanceTest, MoveErrors) {
+  ASSERT_TRUE(fs().Mkdir("/a").ok());
+  ASSERT_TRUE(fs().Mkdir("/b").ok());
+  EXPECT_EQ(fs().Move("/a", "/a/in").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs().Move("/", "/b/r").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs().Move("/missing", "/b/x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs().Move("/a", "/b").code(), ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(fs().Move("/a", "/a").ok());
+}
+
+TEST_P(ConformanceTest, RenameFile) {
+  ASSERT_TRUE(fs().Mkdir("/d").ok());
+  ASSERT_TRUE(fs().WriteFile("/d/old", FileBlob::FromString("v")).ok());
+  ASSERT_TRUE(fs().Rename("/d/old", "new").ok());
+  EXPECT_EQ(fs().ReadFile("/d/new")->data, "v");
+  EXPECT_EQ(fs().Stat("/d/old").code(), ErrorCode::kNotFound);
+}
+
+TEST_P(ConformanceTest, CopyFile) {
+  ASSERT_TRUE(fs().WriteFile("/f", FileBlob::FromString("orig")).ok());
+  ASSERT_TRUE(fs().Copy("/f", "/g").ok());
+  EXPECT_EQ(fs().ReadFile("/f")->data, "orig");
+  EXPECT_EQ(fs().ReadFile("/g")->data, "orig");
+  // Deep copy: overwriting the copy leaves the source alone.
+  ASSERT_TRUE(fs().WriteFile("/g", FileBlob::FromString("changed")).ok());
+  EXPECT_EQ(fs().ReadFile("/f")->data, "orig");
+}
+
+TEST_P(ConformanceTest, CopyDirectorySubtree) {
+  ASSERT_TRUE(fs().Mkdir("/src").ok());
+  ASSERT_TRUE(fs().Mkdir("/src/sub").ok());
+  ASSERT_TRUE(fs().WriteFile("/src/a", FileBlob::FromString("A")).ok());
+  ASSERT_TRUE(fs().WriteFile("/src/sub/b", FileBlob::FromString("B")).ok());
+  ASSERT_TRUE(fs().Copy("/src", "/copy").ok());
+  EXPECT_EQ(fs().ReadFile("/copy/a")->data, "A");
+  EXPECT_EQ(fs().ReadFile("/copy/sub/b")->data, "B");
+  EXPECT_EQ(fs().ReadFile("/src/a")->data, "A");
+  EXPECT_EQ(fs().Copy("/src", "/copy").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(fs().Copy("/src", "/src/in").code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_P(ConformanceTest, DeepTreeOperations) {
+  std::string path;
+  for (int i = 0; i < 8; ++i) {
+    path += "/level" + std::to_string(i);
+    ASSERT_TRUE(fs().Mkdir(path).ok()) << path;
+  }
+  const std::string file = path + "/deep.txt";
+  ASSERT_TRUE(fs().WriteFile(file, FileBlob::FromString("deep")).ok());
+  EXPECT_EQ(fs().ReadFile(file)->data, "deep");
+  auto info = fs().Stat(file);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 4u);
+}
+
+TEST_P(ConformanceTest, ManyFilesInOneDirectory) {
+  ASSERT_TRUE(fs().Mkdir("/big").ok());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(fs().WriteFile("/big/f" + std::to_string(i),
+                               FileBlob::FromString("x"))
+                    .ok());
+  }
+  EXPECT_EQ(ListNames("/big").size(), 64u);
+  auto entries = fs().List("/big", ListDetail::kDetailed);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 64u);
+}
+
+TEST_P(ConformanceTest, SpecialCharacterNames) {
+  ASSERT_TRUE(fs().Mkdir("/dir with spaces").ok());
+  const std::string weird = "/dir with spaces/na|me%25\tfile";
+  ASSERT_TRUE(fs().WriteFile(weird, FileBlob::FromString("w")).ok());
+  EXPECT_EQ(fs().ReadFile(weird)->data, "w");
+  EXPECT_EQ(ListNames("/dir with spaces").size(), 1u);
+}
+
+TEST_P(ConformanceTest, InvalidPathsRejected) {
+  EXPECT_EQ(fs().Stat("relative").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs().Mkdir("/x/../y").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs().WriteFile("", FileBlob::FromString("x")).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs().WriteFile("/", FileBlob::FromString("x")).code(),
+            ErrorCode::kIsADirectory);
+}
+
+TEST_P(ConformanceTest, ListFileFails) {
+  ASSERT_TRUE(fs().WriteFile("/f", FileBlob::FromString("x")).ok());
+  EXPECT_EQ(fs().List("/f", ListDetail::kNamesOnly).code(),
+            ErrorCode::kNotADirectory);
+  EXPECT_EQ(fs().List("/missing", ListDetail::kNamesOnly).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_P(ConformanceTest, SyntheticLargeFileKeepsDeclaredSize) {
+  ASSERT_TRUE(fs().WriteFile("/video.mp4",
+                             FileBlob::Synthetic("sample", 1ULL << 30))
+                  .ok());
+  auto info = fs().Stat("/video.mp4");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 1ULL << 30);
+}
+
+TEST_P(ConformanceTest, EveryOperationIsMetered) {
+  ASSERT_TRUE(fs().Mkdir("/d").ok());
+  EXPECT_GT(fs().last_op().elapsed, 0);
+  ASSERT_TRUE(fs().WriteFile("/d/f", FileBlob::FromString("x")).ok());
+  EXPECT_GT(fs().last_op().elapsed, 0);
+  ASSERT_TRUE(fs().Stat("/d/f").ok());
+  EXPECT_GT(fs().last_op().elapsed, 0);
+  ASSERT_TRUE(fs().List("/d", ListDetail::kDetailed).ok());
+  EXPECT_GT(fs().last_op().elapsed, 0);
+}
+
+
+TEST_P(ConformanceTest, MoveThenCopyChain) {
+  ASSERT_TRUE(fs().Mkdir("/a").ok());
+  ASSERT_TRUE(fs().WriteFile("/a/f", FileBlob::FromString("v1")).ok());
+  ASSERT_TRUE(fs().Move("/a", "/b").ok());
+  ASSERT_TRUE(fs().Copy("/b", "/c").ok());
+  ASSERT_TRUE(fs().Move("/c/f", "/b/g").ok());
+  EXPECT_EQ(fs().ReadFile("/b/f")->data, "v1");
+  EXPECT_EQ(fs().ReadFile("/b/g")->data, "v1");
+  EXPECT_TRUE(ListNames("/c").empty());
+  EXPECT_EQ(ListNames("/b"), (std::vector<std::string>{"f", "g"}));
+}
+
+TEST_P(ConformanceTest, RepeatedRenamesKeepOneEntry) {
+  ASSERT_TRUE(fs().WriteFile("/f0", FileBlob::FromString("x")).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(fs().Rename("/f" + std::to_string(i),
+                            "f" + std::to_string(i + 1))
+                    .ok());
+  }
+  EXPECT_EQ(ListNames("/"), std::vector<std::string>{"f6"});
+  EXPECT_EQ(fs().ReadFile("/f6")->data, "x");
+}
+
+TEST_P(ConformanceTest, MoveDirectoryThenWriteIntoIt) {
+  ASSERT_TRUE(fs().Mkdir("/old").ok());
+  ASSERT_TRUE(fs().WriteFile("/old/a", FileBlob::FromString("1")).ok());
+  ASSERT_TRUE(fs().Move("/old", "/new").ok());
+  ASSERT_TRUE(fs().WriteFile("/new/b", FileBlob::FromString("2")).ok());
+  EXPECT_EQ(ListNames("/new"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(fs().WriteFile("/old/c", FileBlob::FromString("3")).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_P(ConformanceTest, CopyIntoMovedDirectory) {
+  ASSERT_TRUE(fs().Mkdir("/src").ok());
+  ASSERT_TRUE(fs().WriteFile("/src/f", FileBlob::FromString("v")).ok());
+  ASSERT_TRUE(fs().Mkdir("/parent").ok());
+  ASSERT_TRUE(fs().Move("/parent", "/renamed").ok());
+  ASSERT_TRUE(fs().Copy("/src", "/renamed/copy").ok());
+  EXPECT_EQ(fs().ReadFile("/renamed/copy/f")->data, "v");
+}
+
+TEST_P(ConformanceTest, EmptyFileRoundTrip) {
+  ASSERT_TRUE(fs().WriteFile("/empty", FileBlob::FromString("")).ok());
+  auto blob = fs().ReadFile("/empty");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->data, "");
+  EXPECT_EQ(blob->logical_size, 0u);
+  auto info = fs().Stat("/empty");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 0u);
+}
+
+TEST_P(ConformanceTest, DeleteRecreateDelete) {
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(fs().WriteFile("/cycle",
+                               FileBlob::FromString("r" +
+                                                    std::to_string(round)))
+                    .ok());
+    EXPECT_EQ(fs().ReadFile("/cycle")->data, "r" + std::to_string(round));
+    ASSERT_TRUE(fs().RemoveFile("/cycle").ok());
+    EXPECT_EQ(fs().Stat("/cycle").code(), ErrorCode::kNotFound);
+  }
+  EXPECT_TRUE(ListNames("/").empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, ConformanceTest, ::testing::ValuesIn(AllSystems()),
+    [](const ::testing::TestParamInfo<SystemParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,179 @@
+// Concurrency tests: real threads driving H2Cloud while the background
+// merger and gossip pump run.  These exercise the locking described in
+// h2/middleware.h (run them under -DH2_TSAN=ON for race checking).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "h2/h2cloud.h"
+
+namespace h2 {
+namespace {
+
+TEST(ConcurrencyTest, ParallelWritersOnOneMiddleware) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 25;
+  std::atomic<int> failures{0};
+  {
+    // Each thread gets its own session (its own meter); they share the
+    // middleware and hammer the same directory.
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cloud, &failures, t] {
+        auto fs = std::move(cloud.OpenFilesystem("u")).value();
+        for (int i = 0; i < kWritesPerThread; ++i) {
+          const std::string path =
+              "/t" + std::to_string(t) + "_" + std::to_string(i);
+          if (!fs->WriteFile(path, FileBlob::FromString("x")).ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  cloud.RunMaintenanceToQuiescence();
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  auto names = fs->List("/", ListDetail::kNamesOnly);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(),
+            static_cast<std::size_t>(kThreads * kWritesPerThread));
+}
+
+TEST(ConcurrencyTest, WritersRaceBackgroundMerger) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  cfg.middleware_count = 2;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs0 = std::move(cloud.OpenFilesystem("u", 0)).value();
+  auto fs1 = std::move(cloud.OpenFilesystem("u", 1)).value();
+  ASSERT_TRUE(fs0->Mkdir("/hot").ok());
+
+  cloud.StartBackground(std::chrono::milliseconds(1));
+  std::thread w0([&] {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(fs0->WriteFile("/hot/a" + std::to_string(i),
+                                 FileBlob::FromString("x"))
+                      .ok());
+    }
+  });
+  std::thread w1([&] {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(fs1->WriteFile("/hot/b" + std::to_string(i),
+                                 FileBlob::FromString("x"))
+                      .ok());
+    }
+  });
+  w0.join();
+  w1.join();
+  for (int spin = 0; spin < 5000; ++spin) {
+    if (cloud.middleware(0).MaintenanceIdle() &&
+        cloud.middleware(1).MaintenanceIdle() && cloud.gossip().Idle()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  cloud.StopBackground();
+  cloud.RunMaintenanceToQuiescence();
+
+  auto names0 = fs0->List("/hot", ListDetail::kNamesOnly);
+  auto names1 = fs1->List("/hot", ListDetail::kNamesOnly);
+  ASSERT_TRUE(names0.ok());
+  ASSERT_TRUE(names1.ok());
+  EXPECT_EQ(names0->size(), 80u);
+  EXPECT_EQ(names1->size(), 80u);
+}
+
+TEST(ConcurrencyTest, ConcurrentDirectoryOperations) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto setup = std::move(cloud.OpenFilesystem("u")).value();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(setup->Mkdir("/dir" + std::to_string(i)).ok());
+  }
+  cloud.StartBackground(std::chrono::milliseconds(1));
+
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cloud, &errors, t] {
+      auto fs = std::move(cloud.OpenFilesystem("u")).value();
+      const std::string mine = "/dir" + std::to_string(t);
+      const std::string other = "/dir" + std::to_string(t + 4);
+      for (int i = 0; i < 10; ++i) {
+        const std::string f = mine + "/f" + std::to_string(i);
+        if (!fs->WriteFile(f, FileBlob::FromString("x")).ok()) ++errors;
+        if (!fs->Copy(f, other + "/c" + std::to_string(t) + "_" +
+                             std::to_string(i))
+                 .ok()) {
+          ++errors;
+        }
+        if (!fs->List(mine, ListDetail::kDetailed).ok()) ++errors;
+      }
+      if (!fs->Rmdir(mine).ok()) ++errors;
+    });
+  }
+  for (auto& t : threads) t.join();
+  cloud.StopBackground();
+  cloud.RunMaintenanceToQuiescence();
+  EXPECT_EQ(errors.load(), 0);
+
+  auto names = setup->List("/", ListDetail::kNamesOnly);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 4u);  // dirs 4..7 remain, each with 10 copies
+  for (int t = 4; t < 8; ++t) {
+    auto sub = setup->List("/dir" + std::to_string(t),
+                           ListDetail::kNamesOnly);
+    ASSERT_TRUE(sub.ok());
+    EXPECT_EQ(sub->size(), 10u);
+  }
+}
+
+TEST(ConcurrencyTest, StartStopBackgroundIsIdempotent) {
+  H2Cloud cloud;
+  cloud.StartBackground(std::chrono::milliseconds(1));
+  cloud.StartBackground(std::chrono::milliseconds(1));  // no double threads
+  cloud.StopBackground();
+  cloud.StopBackground();  // no crash
+  cloud.StartBackground(std::chrono::milliseconds(1));
+  cloud.StopBackground();
+}
+
+TEST(ConcurrencyTest, NodeFailureDuringWrites) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+
+  // One storage node goes down mid-run; 3-way replication with majority
+  // quorum must ride through it.
+  cloud.cloud().node(2).SetDown(true);
+  int failures = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (!fs->WriteFile("/f" + std::to_string(i), FileBlob::FromString("x"))
+             .ok()) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 0);
+  cloud.cloud().node(2).SetDown(false);
+  cloud.RunMaintenanceToQuiescence();
+  auto names = fs->List("/", ListDetail::kNamesOnly);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 50u);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,237 @@
+// Tests for the H2 extensions beyond the paper's core: paged LIST
+// (Swift-style marker/limit) and the bounded LRU namespace cache.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "h2/h2cloud.h"
+
+namespace h2 {
+namespace {
+
+struct H2Box {
+  explicit H2Box(H2Config h2_config = {}) {
+    H2CloudConfig cfg;
+    cfg.cloud.part_power = 8;
+    cfg.h2 = h2_config;
+    cloud = std::make_unique<H2Cloud>(cfg);
+    EXPECT_TRUE(cloud->CreateAccount("u").ok());
+    fs = std::move(cloud->OpenFilesystem("u")).value();
+  }
+  std::unique_ptr<H2Cloud> cloud;
+  std::unique_ptr<H2AccountFs> fs;
+};
+
+TEST(ListPagedTest, PagesCoverAllChildrenInOrder) {
+  H2Box box;
+  ASSERT_TRUE(box.fs->Mkdir("/dir").ok());
+  for (int i = 0; i < 57; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/dir/f%03d", i);
+    ASSERT_TRUE(box.fs->WriteFile(buf, FileBlob::FromString("x")).ok());
+  }
+  box.cloud->RunMaintenanceToQuiescence();
+
+  std::vector<std::string> collected;
+  std::string marker;
+  int pages = 0;
+  for (;;) {
+    auto page =
+        box.fs->ListPaged("/dir", ListDetail::kNamesOnly, marker, 10);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    for (const auto& e : page->entries) collected.push_back(e.name);
+    ++pages;
+    if (!page->truncated) break;
+    marker = page->next_marker;
+  }
+  EXPECT_EQ(pages, 6);  // 5 full pages + 7 leftover
+  ASSERT_EQ(collected.size(), 57u);
+  EXPECT_TRUE(std::is_sorted(collected.begin(), collected.end()));
+  std::set<std::string> unique(collected.begin(), collected.end());
+  EXPECT_EQ(unique.size(), 57u);
+}
+
+TEST(ListPagedTest, DetailCostIsPerPageNotPerDirectory) {
+  H2Box box;
+  ASSERT_TRUE(box.fs->Mkdir("/big").ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(box.fs->WriteFile("/big/f" + std::to_string(i),
+                                  FileBlob::FromString("x"))
+                    .ok());
+  }
+  box.cloud->RunMaintenanceToQuiescence();
+
+  auto page = box.fs->ListPaged("/big", ListDetail::kDetailed, {}, 20);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->entries.size(), 20u);
+  EXPECT_TRUE(page->truncated);
+  const auto page_cost = box.fs->last_op();
+  EXPECT_EQ(page_cost.heads, 20u);  // only the page's children
+
+  ASSERT_TRUE(box.fs->List("/big", ListDetail::kDetailed).ok());
+  const auto full_cost = box.fs->last_op();
+  EXPECT_EQ(full_cost.heads, 300u);
+  EXPECT_GT(full_cost.elapsed, 3 * page_cost.elapsed);
+}
+
+TEST(ListPagedTest, MarkerSkipsExactly) {
+  H2Box box;
+  ASSERT_TRUE(box.fs->Mkdir("/d").ok());
+  for (const char* name : {"alpha", "bravo", "charlie", "delta"}) {
+    ASSERT_TRUE(box.fs->WriteFile(std::string("/d/") + name,
+                                  FileBlob::FromString("x"))
+                    .ok());
+  }
+  auto page = box.fs->ListPaged("/d", ListDetail::kNamesOnly, "bravo", 10);
+  ASSERT_TRUE(page.ok());
+  ASSERT_EQ(page->entries.size(), 2u);
+  EXPECT_EQ(page->entries[0].name, "charlie");
+  EXPECT_EQ(page->entries[1].name, "delta");
+  EXPECT_FALSE(page->truncated);
+
+  // A marker that is not an existing name still works (strictly-after).
+  page = box.fs->ListPaged("/d", ListDetail::kNamesOnly, "b", 10);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->entries.size(), 3u);  // bravo, charlie, delta
+}
+
+TEST(ListPagedTest, Errors) {
+  H2Box box;
+  EXPECT_EQ(box.fs->ListPaged("/missing", ListDetail::kNamesOnly).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(
+      box.fs->ListPaged("/", ListDetail::kNamesOnly, {}, 0).code(),
+      ErrorCode::kInvalidArgument);
+}
+
+TEST(NsCacheTest, HitsAfterWarmup) {
+  H2Config cfg;
+  cfg.namespace_cache = true;
+  H2Box box(cfg);
+  ASSERT_TRUE(box.fs->Mkdir("/a").ok());
+  ASSERT_TRUE(box.fs->Mkdir("/a/b").ok());
+  ASSERT_TRUE(box.fs->WriteFile("/a/b/f", FileBlob::FromString("x")).ok());
+
+  ASSERT_TRUE(box.fs->Stat("/a/b/f").ok());  // warm
+  ASSERT_TRUE(box.fs->Stat("/a/b/f").ok());  // hit
+  EXPECT_EQ(box.fs->last_op().gets, 0u);     // no directory-record GETs
+  EXPECT_EQ(box.fs->last_op().heads, 1u);
+  const H2Counters counters = box.cloud->middleware(0).counters();
+  EXPECT_GT(counters.ns_cache_hits, 0u);
+}
+
+TEST(NsCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  H2Config cfg;
+  cfg.namespace_cache = true;
+  cfg.ns_cache_capacity = 4;
+  H2Box box(cfg);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(box.fs->Mkdir("/d" + std::to_string(i)).ok());
+  }
+  // Touch all ten directories: only 4 mappings can stay cached.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        box.fs->List("/d" + std::to_string(i), ListDetail::kNamesOnly).ok());
+  }
+  // /d9 was touched last -> cached; /d0 evicted -> needs a GET again.
+  ASSERT_TRUE(box.fs->List("/d9", ListDetail::kNamesOnly).ok());
+  EXPECT_EQ(box.fs->last_op().gets, 1u);  // only the NameRing
+  ASSERT_TRUE(box.fs->List("/d0", ListDetail::kNamesOnly).ok());
+  EXPECT_EQ(box.fs->last_op().gets, 2u);  // dir record + NameRing
+}
+
+TEST(NsCacheTest, InvalidatedOnRmdirAndMove) {
+  H2Config cfg;
+  cfg.namespace_cache = true;
+  H2Box box(cfg);
+  ASSERT_TRUE(box.fs->Mkdir("/dir").ok());
+  ASSERT_TRUE(box.fs->List("/dir", ListDetail::kNamesOnly).ok());  // cache
+  ASSERT_TRUE(box.fs->Rmdir("/dir").ok());
+  EXPECT_EQ(box.fs->List("/dir", ListDetail::kNamesOnly).code(),
+            ErrorCode::kNotFound);
+
+  ASSERT_TRUE(box.fs->Mkdir("/m").ok());
+  ASSERT_TRUE(box.fs->List("/m", ListDetail::kNamesOnly).ok());
+  ASSERT_TRUE(box.fs->Move("/m", "/moved").ok());
+  EXPECT_EQ(box.fs->List("/m", ListDetail::kNamesOnly).code(),
+            ErrorCode::kNotFound);
+  EXPECT_TRUE(box.fs->List("/moved", ListDetail::kNamesOnly).ok());
+}
+
+
+TEST(WriteBatchTest, OnePatchPerDirectory) {
+  H2Box box;
+  ASSERT_TRUE(box.fs->Mkdir("/a").ok());
+  ASSERT_TRUE(box.fs->Mkdir("/b").ok());
+  const auto before = box.cloud->middleware(0).counters();
+
+  std::vector<std::pair<std::string, FileBlob>> files;
+  for (int i = 0; i < 20; ++i) {
+    files.emplace_back("/a/f" + std::to_string(i),
+                       FileBlob::FromString("x"));
+  }
+  for (int i = 0; i < 10; ++i) {
+    files.emplace_back("/b/g" + std::to_string(i),
+                       FileBlob::FromString("y"));
+  }
+  ASSERT_TRUE(box.fs->WriteFiles(std::move(files)).ok());
+  const auto after = box.cloud->middleware(0).counters();
+  // 30 files, but only 2 patches (one per directory).
+  EXPECT_EQ(after.patches_submitted - before.patches_submitted, 2u);
+
+  box.cloud->RunMaintenanceToQuiescence();
+  EXPECT_EQ(box.fs->List("/a", ListDetail::kNamesOnly)->size(), 20u);
+  EXPECT_EQ(box.fs->List("/b", ListDetail::kNamesOnly)->size(), 10u);
+  EXPECT_EQ(box.fs->ReadFile("/a/f7")->data, "x");
+}
+
+TEST(WriteBatchTest, CheaperThanIndividualWrites) {
+  H2Box batch_box, single_box;
+  ASSERT_TRUE(batch_box.fs->Mkdir("/d").ok());
+  ASSERT_TRUE(single_box.fs->Mkdir("/d").ok());
+
+  std::vector<std::pair<std::string, FileBlob>> files;
+  for (int i = 0; i < 50; ++i) {
+    files.emplace_back("/d/f" + std::to_string(i),
+                       FileBlob::FromString("x"));
+  }
+  ASSERT_TRUE(batch_box.fs->WriteFiles(std::move(files)).ok());
+  const double batch_ms = batch_box.fs->last_op().elapsed_ms();
+
+  double single_ms = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(single_box.fs->WriteFile("/d/f" + std::to_string(i),
+                                         FileBlob::FromString("x"))
+                    .ok());
+    single_ms += single_box.fs->last_op().elapsed_ms();
+  }
+  // The 49 saved durable commits (~60 ms each) dominate.
+  EXPECT_LT(batch_ms, single_ms / 2);
+}
+
+TEST(WriteBatchTest, VisibilityBeforeMaintenance) {
+  H2Box box;
+  std::vector<std::pair<std::string, FileBlob>> files;
+  files.emplace_back("/one", FileBlob::FromString("1"));
+  files.emplace_back("/two", FileBlob::FromString("2"));
+  ASSERT_TRUE(box.fs->WriteFiles(std::move(files)).ok());
+  // Read-your-writes through the pending-patch overlay.
+  EXPECT_EQ(box.fs->List("/", ListDetail::kNamesOnly)->size(), 2u);
+}
+
+TEST(WriteBatchTest, ErrorsSurface) {
+  H2Box box;
+  std::vector<std::pair<std::string, FileBlob>> files;
+  files.emplace_back("/ok", FileBlob::FromString("x"));
+  files.emplace_back("/missing/f", FileBlob::FromString("x"));
+  EXPECT_EQ(box.fs->WriteFiles(std::move(files)).code(),
+            ErrorCode::kNotFound);
+  std::vector<std::pair<std::string, FileBlob>> bad;
+  ASSERT_TRUE(box.fs->Mkdir("/dir").ok());
+  bad.emplace_back("/dir", FileBlob::FromString("x"));
+  EXPECT_EQ(box.fs->WriteFiles(std::move(bad)).code(),
+            ErrorCode::kIsADirectory);
+}
+
+}  // namespace
+}  // namespace h2

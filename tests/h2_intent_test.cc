@@ -1,0 +1,213 @@
+// Crash-safe MOVE: the write-ahead intent log (h2/intent_log.h) and
+// H2Middleware::RecoverIntents().
+#include <gtest/gtest.h>
+
+#include "h2/h2cloud.h"
+#include "h2/intent_log.h"
+#include "h2/keys.h"
+
+namespace h2 {
+namespace {
+
+CloudConfig SmallCloud() {
+  CloudConfig cfg;
+  cfg.part_power = 8;
+  return cfg;
+}
+
+TEST(IntentLogTest, BeginCommitRoundTrip) {
+  ObjectCloud cloud(SmallCloud());
+  IntentLog log(cloud, 1);
+  OpMeter meter;
+
+  KvRecord record;
+  record.Set("op", "move");
+  record.Set("detail", "x");
+  auto id = log.Begin(record, meter);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(log.pending(), 1u);
+  // The intent is a real durable object.
+  EXPECT_TRUE(cloud.Get(log.IntentKey(*id), meter).ok());
+
+  auto open = log.Open(meter);
+  ASSERT_TRUE(open.ok());
+  ASSERT_EQ(open->size(), 1u);
+  EXPECT_EQ((*open)[0].second.Get("op"), "move");
+
+  ASSERT_TRUE(log.Commit(*id, meter).ok());
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_EQ(cloud.Get(log.IntentKey(*id), meter).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(IntentLogTest, SurvivesRestart) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  std::uint64_t left_open = 0;
+  {
+    IntentLog log(cloud, 2);
+    KvRecord a, b;
+    a.Set("op", "move");
+    b.Set("op", "move");
+    ASSERT_TRUE(log.Begin(a, meter).ok());
+    auto id_b = log.Begin(b, meter);
+    ASSERT_TRUE(id_b.ok());
+    left_open = *id_b;
+    // Commit only the first; "crash" with the second open.
+    ASSERT_TRUE(log.Commit(left_open - 1, meter).ok());
+  }
+  IntentLog recovered(cloud, 2);
+  auto open = recovered.Open(meter);
+  ASSERT_TRUE(open.ok());
+  ASSERT_EQ(open->size(), 1u);
+  EXPECT_EQ((*open)[0].first, left_open);
+  // Fresh ids never collide with the crashed instance's.
+  KvRecord c;
+  c.Set("op", "move");
+  auto id_c = recovered.Begin(c, meter);
+  ASSERT_TRUE(id_c.ok());
+  EXPECT_GT(*id_c, left_open);
+}
+
+class IntentRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cloud_ = std::make_unique<ObjectCloud>(SmallCloud());
+    mw_ = std::make_unique<H2Middleware>(*cloud_, 1);
+    OpMeter meter;
+    ASSERT_TRUE(mw_->CreateAccount("u", meter).ok());
+    root_ = *mw_->AccountRoot("u", meter);
+    ASSERT_TRUE(mw_->Mkdir(root_, "/dir", meter).ok());
+    ASSERT_TRUE(mw_->Mkdir(root_, "/dst", meter).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(mw_->WriteFile(root_, "/dir/f" + std::to_string(i),
+                                 FileBlob::FromString("v"), meter)
+                      .ok());
+    }
+    mw_->MergePending();
+  }
+
+  /// Journals the intent a dir-move of /dir -> /dst/moved would write,
+  /// optionally performing the first mutation (the new dir record), then
+  /// "crashes" (no further steps).
+  void SimulateCrashedMove(bool first_step_done) {
+    OpMeter meter;
+    from_parent_ = *mw_->ResolvePath(root_, "/", meter);
+    to_parent_ = *mw_->ResolvePath(root_, "/dst", meter);
+    const VirtualNanos delete_ts = cloud_->clock().Tick();
+    const VirtualNanos insert_ts = cloud_->clock().Tick();
+    KvRecord intent;
+    intent.Set("op", "move");
+    intent.Set("kind", "dir");
+    intent.Set("from_parent", from_parent_.ToString());
+    intent.Set("to_parent", to_parent_.ToString());
+    intent.Set("from_name", "dir");
+    intent.Set("to_name", "moved");
+    intent.SetInt("delete_ts", delete_ts);
+    intent.SetInt("insert_ts", insert_ts);
+    ASSERT_TRUE(mw_->intent_log().Begin(intent, meter).ok());
+
+    if (first_step_done) {
+      auto source = cloud_->Get(ChildKey(from_parent_, "dir"), meter);
+      ASSERT_TRUE(source.ok());
+      auto record = DirRecord::Parse(source->payload);
+      ASSERT_TRUE(record.ok());
+      record->parent_ns = to_parent_;
+      record->name = "moved";
+      ObjectValue value = ObjectValue::FromString(record->Serialize(),
+                                                  cloud_->clock().Tick());
+      value.metadata["kind"] = "dir";
+      ASSERT_TRUE(cloud_->Put(ChildKey(to_parent_, "moved"),
+                              std::move(value), meter)
+                      .ok());
+    }
+  }
+
+  void VerifyMoveCompleted(H2Middleware& mw) {
+    OpMeter meter;
+    mw.MergePending();
+    // Old path gone, new path present with all five files.
+    EXPECT_EQ(mw.Stat(root_, "/dir", meter).code(), ErrorCode::kNotFound);
+    auto entries = mw.List(root_, "/dst/moved", ListDetail::kNamesOnly,
+                           meter);
+    ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+    EXPECT_EQ(entries->size(), 5u);
+    auto root_list = mw.List(root_, "/", ListDetail::kNamesOnly, meter);
+    ASSERT_TRUE(root_list.ok());
+    ASSERT_EQ(root_list->size(), 1u);  // only /dst remains at the root
+    EXPECT_EQ((*root_list)[0].name, "dst");
+  }
+
+  std::unique_ptr<ObjectCloud> cloud_;
+  std::unique_ptr<H2Middleware> mw_;
+  NamespaceId root_;
+  NamespaceId from_parent_, to_parent_;
+};
+
+TEST_F(IntentRecoveryTest, CrashBeforeAnyStep) {
+  SimulateCrashedMove(/*first_step_done=*/false);
+  // A fresh middleware with the same node id picks the intent up and
+  // performs the whole move.
+  H2Middleware recovered(*cloud_, 1);
+  EXPECT_EQ(recovered.RecoverIntents(), 1u);
+  VerifyMoveCompleted(recovered);
+  EXPECT_EQ(recovered.intent_log().pending(), 0u);
+}
+
+TEST_F(IntentRecoveryTest, CrashAfterFirstStep) {
+  SimulateCrashedMove(/*first_step_done=*/true);
+  // Without recovery, the directory is reachable under BOTH names -- the
+  // inconsistency the intent log exists to fix.
+  {
+    OpMeter meter;
+    EXPECT_TRUE(cloud_->Exists(ChildKey(from_parent_, "dir"), meter));
+    EXPECT_TRUE(cloud_->Exists(ChildKey(to_parent_, "moved"), meter));
+  }
+  H2Middleware recovered(*cloud_, 1);
+  EXPECT_EQ(recovered.RecoverIntents(), 1u);
+  VerifyMoveCompleted(recovered);
+}
+
+TEST_F(IntentRecoveryTest, RecoveryIsIdempotent) {
+  SimulateCrashedMove(/*first_step_done=*/true);
+  H2Middleware recovered(*cloud_, 1);
+  EXPECT_EQ(recovered.RecoverIntents(), 1u);
+  EXPECT_EQ(recovered.RecoverIntents(), 0u);  // nothing left
+  VerifyMoveCompleted(recovered);
+}
+
+TEST(IntentMoveTest, CleanMoveLeavesNoIntent) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  ASSERT_TRUE(fs->Mkdir("/a").ok());
+  ASSERT_TRUE(fs->Mkdir("/b").ok());
+  ASSERT_TRUE(fs->WriteFile("/a/f", FileBlob::FromString("x")).ok());
+  ASSERT_TRUE(fs->Move("/a/f", "/b/g").ok());
+  ASSERT_TRUE(fs->Move("/a", "/b/sub").ok());
+  EXPECT_EQ(cloud.middleware(0).intent_log().pending(), 0u);
+  EXPECT_EQ(cloud.middleware(0).RecoverIntents(), 0u);
+}
+
+TEST(IntentMoveTest, DisabledByConfig) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  cfg.h2.move_intent_log = false;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  ASSERT_TRUE(fs->Mkdir("/a").ok());
+  ASSERT_TRUE(fs->Mkdir("/b").ok());
+  ASSERT_TRUE(fs->Move("/a", "/b/moved").ok());
+  // No intent objects were ever written.
+  OpMeter meter;
+  EXPECT_EQ(cloud.cloud()
+                .Get(cloud.middleware(0).intent_log().ChainKey(), meter)
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace h2

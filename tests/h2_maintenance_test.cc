@@ -1,0 +1,327 @@
+// NameRing maintenance protocol tests (§3.3): asynchronous merging,
+// cross-middleware synchronization by gossip, repair of clobbered merges,
+// crash recovery from durable patch chains, and the tombstone-compaction
+// safety rule.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "h2/h2cloud.h"
+
+namespace h2 {
+namespace {
+
+std::vector<std::string> Names(H2AccountFs& fs, std::string_view path) {
+  auto entries = fs.List(path, ListDetail::kNamesOnly);
+  EXPECT_TRUE(entries.ok()) << entries.status().ToString();
+  std::vector<std::string> names;
+  if (entries.ok()) {
+    for (const auto& e : *entries) names.push_back(e.name);
+  }
+  return names;
+}
+
+H2CloudConfig TwoMiddlewares() {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  cfg.middleware_count = 2;
+  return cfg;
+}
+
+TEST(MaintenanceTest, CrossMiddlewareVisibilityAfterMaintenance) {
+  H2Cloud cloud(TwoMiddlewares());
+  ASSERT_TRUE(cloud.CreateAccount("alice").ok());
+  auto fs0 = std::move(cloud.OpenFilesystem("alice", 0)).value();
+  auto fs1 = std::move(cloud.OpenFilesystem("alice", 1)).value();
+
+  ASSERT_TRUE(fs0->Mkdir("/shared").ok());
+  ASSERT_TRUE(
+      fs0->WriteFile("/shared/from0", FileBlob::FromString("a")).ok());
+  ASSERT_TRUE(
+      fs1->WriteFile("/shared/from1", FileBlob::FromString("b")).ok());
+
+  cloud.RunMaintenanceToQuiescence();
+
+  EXPECT_EQ(Names(*fs0, "/shared"),
+            (std::vector<std::string>{"from0", "from1"}));
+  EXPECT_EQ(Names(*fs1, "/shared"),
+            (std::vector<std::string>{"from0", "from1"}));
+}
+
+TEST(MaintenanceTest, ConcurrentPatchesToSameDirectoryConverge) {
+  H2Cloud cloud(TwoMiddlewares());
+  ASSERT_TRUE(cloud.CreateAccount("alice").ok());
+  auto fs0 = std::move(cloud.OpenFilesystem("alice", 0)).value();
+  auto fs1 = std::move(cloud.OpenFilesystem("alice", 1)).value();
+
+  ASSERT_TRUE(fs0->Mkdir("/hot").ok());
+  // Interleave writes from both middlewares into one directory without any
+  // maintenance in between: both accumulate unmerged patches.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs0->WriteFile("/hot/a" + std::to_string(i),
+                               FileBlob::FromString("x"))
+                    .ok());
+    ASSERT_TRUE(fs1->WriteFile("/hot/b" + std::to_string(i),
+                               FileBlob::FromString("x"))
+                    .ok());
+  }
+  cloud.RunMaintenanceToQuiescence();
+
+  const auto names0 = Names(*fs0, "/hot");
+  const auto names1 = Names(*fs1, "/hot");
+  EXPECT_EQ(names0.size(), 20u);
+  EXPECT_EQ(names0, names1);
+}
+
+TEST(MaintenanceTest, GossipRepairsClobberedMerge) {
+  // Both middlewares merge concurrently; one read-merge-write can clobber
+  // the other.  The gossip join must restore the union.
+  H2Cloud cloud(TwoMiddlewares());
+  ASSERT_TRUE(cloud.CreateAccount("alice").ok());
+  auto fs0 = std::move(cloud.OpenFilesystem("alice", 0)).value();
+  auto fs1 = std::move(cloud.OpenFilesystem("alice", 1)).value();
+
+  ASSERT_TRUE(fs0->Mkdir("/d").ok());
+  ASSERT_TRUE(fs0->WriteFile("/d/zero", FileBlob::FromString("x")).ok());
+  cloud.RunMaintenanceToQuiescence();
+
+  ASSERT_TRUE(fs0->WriteFile("/d/one", FileBlob::FromString("x")).ok());
+  ASSERT_TRUE(fs1->WriteFile("/d/two", FileBlob::FromString("x")).ok());
+
+  auto ns = fs0->Namespace("/d");
+  ASSERT_TRUE(ns.ok());
+  const std::string ring_key = ns->ToString() + "::/NameRing/";
+
+  // Reproduce the read-merge-write race deterministically: capture the
+  // ring as it stands after middleware 0's merge, let middleware 1 merge
+  // on top, then stomp the stored object with the captured version --
+  // exactly what a concurrent writer that read before middleware 1's PUT
+  // would have done.
+  cloud.middleware(0).MergeNamespace(*ns);
+  OpMeter m;
+  auto before = cloud.cloud().Get(ring_key, m);
+  ASSERT_TRUE(before.ok());
+  cloud.middleware(1).MergeNamespace(*ns);
+  ASSERT_TRUE(cloud.cloud()
+                  .Put(ring_key, std::move(before).value(), m)
+                  .ok());  // clobbers middleware 1's "two"
+
+  // Gossip: middleware 1 joins the stored ring with its local view and
+  // writes the union back.
+  cloud.gossip().Publish(0, Rumor{ns->ToString(), 1,
+                                  cloud.cloud().clock().Tick()});
+  cloud.RunMaintenanceToQuiescence();
+
+  const auto names = Names(*fs0, "/d");
+  EXPECT_EQ(names, (std::vector<std::string>{"one", "two", "zero"}));
+  const auto c0 = cloud.middleware(0).counters();
+  const auto c1 = cloud.middleware(1).counters();
+  EXPECT_GE(c0.gossip_repairs + c1.gossip_repairs, 1u);
+}
+
+TEST(MaintenanceTest, CrashRecoveryReplaysDurablePatches) {
+  // A middleware submits patches (durably) and "crashes" before merging.
+  // A fresh middleware with the same node id recovers the chain from the
+  // cloud and completes the merge.
+  CloudConfig cloud_cfg;
+  cloud_cfg.part_power = 8;
+  ObjectCloud cloud(cloud_cfg);
+  NamespaceId root;
+  {
+    H2Middleware mw(cloud, 1);
+    OpMeter meter;
+    ASSERT_TRUE(mw.CreateAccount("alice", meter).ok());
+    root = *mw.AccountRoot("alice", meter);
+    ASSERT_TRUE(mw.Mkdir(root, "/docs", meter).ok());
+    ASSERT_TRUE(mw.WriteFile(root, "/docs/f1",
+                             FileBlob::FromString("v"), meter)
+                    .ok());
+    ASSERT_TRUE(mw.WriteFile(root, "/docs/f2",
+                             FileBlob::FromString("v"), meter)
+                    .ok());
+    // mw is destroyed with patches unmerged -- the "crash".
+    EXPECT_FALSE(mw.MaintenanceIdle());
+  }
+  H2Middleware recovered(cloud, 1);
+  OpMeter meter;
+  // Reading the directory must see both files even before merging,
+  // because SubmitPatch persisted them...  The fresh middleware has no
+  // in-memory pending state, so visibility comes from recovery: a write
+  // to the same NameRing loads the chain object and merges the orphans.
+  ASSERT_TRUE(recovered
+                  .WriteFile(root, "/docs/f3", FileBlob::FromString("v"),
+                             meter)
+                  .ok());
+  auto ns = recovered.ResolvePath(root, "/docs", meter);
+  ASSERT_TRUE(ns.ok());
+  EXPECT_GT(recovered.MergeNamespace(*ns), 0u);
+  auto entries = recovered.List(root, "/docs", ListDetail::kNamesOnly, meter);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 3u);
+}
+
+TEST(MaintenanceTest, EagerCompactionAllowsResurrection) {
+  // The documented anomaly of the paper's eager use-time compaction
+  // (tombstone_gc_age = 0): once a deletion tombstone is physically
+  // compacted, a delayed older creation patch re-inserts the child.
+  H2Config eager;
+  eager.tombstone_gc_age = 0;
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  cfg.h2 = eager;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("alice").ok());
+  auto fs = std::move(cloud.OpenFilesystem("alice", 0)).value();
+
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  ASSERT_TRUE(fs->WriteFile("/d/ghost", FileBlob::FromString("x")).ok());
+  const VirtualNanos create_ts = cloud.cloud().clock().Now() - kSecond;
+
+  ASSERT_TRUE(fs->RemoveFile("/d/ghost").ok());
+  cloud.RunMaintenanceToQuiescence();
+  // LIST compacts the tombstone away immediately under gc_age = 0.
+  EXPECT_TRUE(Names(*fs, "/d").empty());
+  EXPECT_GT(cloud.middleware(0).counters().tombstones_compacted, 0u);
+
+  // A delayed duplicate of the original creation patch arrives (e.g. a
+  // retransmitted patch from a slow node).
+  auto ns = fs->Namespace("/d");
+  ASSERT_TRUE(ns.ok());
+  NameRing ring = [&] {
+    OpMeter m;
+    ObjectCloud& oc = cloud.cloud();
+    auto obj = oc.Get(ns->ToString() + "::/NameRing/", m);
+    return *NameRing::Parse(obj->payload);
+  }();
+  NameRing late_patch;
+  late_patch.Apply(RingTuple{"ghost", create_ts, EntryKind::kFile, false});
+  ring.Merge(late_patch);
+  // The tombstone is gone, so the stale creation wins: resurrection.
+  EXPECT_TRUE(ring.HasLive("ghost"));
+}
+
+TEST(MaintenanceTest, GcAgePreventsResurrection) {
+  // With the default gc age, the tombstone outlives the delayed patch and
+  // last-writer-wins suppresses it.
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;  // default tombstone_gc_age = 2s
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("alice").ok());
+  auto fs = std::move(cloud.OpenFilesystem("alice", 0)).value();
+
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  ASSERT_TRUE(fs->WriteFile("/d/ghost", FileBlob::FromString("x")).ok());
+  const VirtualNanos create_ts = cloud.cloud().clock().Now();
+  ASSERT_TRUE(fs->RemoveFile("/d/ghost").ok());
+  cloud.RunMaintenanceToQuiescence();
+  EXPECT_TRUE(Names(*fs, "/d").empty());
+
+  auto ns = fs->Namespace("/d");
+  OpMeter m;
+  auto obj = cloud.cloud().Get(ns->ToString() + "::/NameRing/", m);
+  ASSERT_TRUE(obj.ok());
+  NameRing ring = *NameRing::Parse(obj->payload);
+  NameRing late_patch;
+  late_patch.Apply(RingTuple{"ghost", create_ts, EntryKind::kFile, false});
+  ring.Merge(late_patch);
+  EXPECT_FALSE(ring.HasLive("ghost"));  // tombstone still present, wins
+}
+
+TEST(MaintenanceTest, SynchronousModeChargesForegroundOp) {
+  // Ablation of §3.3.1's strawman: merging inline makes directory-changing
+  // operations strictly more expensive.
+  H2CloudConfig async_cfg;
+  async_cfg.cloud.part_power = 8;
+  H2CloudConfig sync_cfg = async_cfg;
+  sync_cfg.h2.synchronous_maintenance = true;
+
+  H2Cloud async_cloud(async_cfg);
+  H2Cloud sync_cloud(sync_cfg);
+  ASSERT_TRUE(async_cloud.CreateAccount("u").ok());
+  ASSERT_TRUE(sync_cloud.CreateAccount("u").ok());
+  auto afs = std::move(async_cloud.OpenFilesystem("u")).value();
+  auto sfs = std::move(sync_cloud.OpenFilesystem("u")).value();
+
+  ASSERT_TRUE(afs->Mkdir("/d").ok());
+  const double async_ms = afs->last_op().elapsed_ms();
+  ASSERT_TRUE(sfs->Mkdir("/d").ok());
+  const double sync_ms = sfs->last_op().elapsed_ms();
+  // Inline merging adds the read-merge-write of the parent NameRing
+  // (a GET + PUT + chain PUT, ~35 ms) to the foreground MKDIR.
+  EXPECT_GT(sync_ms, async_ms + 25.0);
+
+  // And in synchronous mode nothing is left pending.
+  EXPECT_TRUE(sync_cloud.middleware(0).MaintenanceIdle());
+}
+
+TEST(MaintenanceTest, MaintenanceCostIsAccounted) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fs->WriteFile("/d/f" + std::to_string(i),
+                              FileBlob::FromString("x"))
+                    .ok());
+  }
+  EXPECT_EQ(cloud.TotalMaintenanceCost().elapsed, 0);
+  cloud.RunMaintenanceToQuiescence();
+  const OpCost cost = cloud.TotalMaintenanceCost();
+  EXPECT_GT(cost.elapsed, 0);
+  EXPECT_GT(cost.puts, 0u);
+}
+
+TEST(MaintenanceTest, DeleteAccountReclaimsEverything) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("temp").ok());
+  auto fs = std::move(cloud.OpenFilesystem("temp")).value();
+  ASSERT_TRUE(fs->Mkdir("/a").ok());
+  ASSERT_TRUE(fs->Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs->WriteFile("/a/b/f", FileBlob::FromString("x")).ok());
+  cloud.RunMaintenanceToQuiescence();
+  ASSERT_TRUE(cloud.DeleteAccount("temp").ok());
+  cloud.RunMaintenanceToQuiescence();
+  // Everything gone but (at most) stray patch-chain bookkeeping.
+  EXPECT_LE(cloud.cloud().LogicalObjectCount(), 1u);
+}
+
+TEST(MaintenanceTest, ThreadedBackgroundMergerConverges) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  cfg.middleware_count = 2;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("alice").ok());
+  auto fs0 = std::move(cloud.OpenFilesystem("alice", 0)).value();
+  auto fs1 = std::move(cloud.OpenFilesystem("alice", 1)).value();
+  ASSERT_TRUE(fs0->Mkdir("/t").ok());
+
+  cloud.StartBackground(std::chrono::milliseconds(1));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(fs0->WriteFile("/t/a" + std::to_string(i),
+                               FileBlob::FromString("x"))
+                    .ok());
+    ASSERT_TRUE(fs1->WriteFile("/t/b" + std::to_string(i),
+                               FileBlob::FromString("x"))
+                    .ok());
+  }
+  // Wait for the background merger to drain.
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (cloud.middleware(0).MaintenanceIdle() &&
+        cloud.middleware(1).MaintenanceIdle() && cloud.gossip().Idle()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  cloud.StopBackground();
+  cloud.RunMaintenanceToQuiescence();
+  EXPECT_EQ(Names(*fs0, "/t").size(), 40u);
+  EXPECT_EQ(Names(*fs1, "/t").size(), 40u);
+}
+
+}  // namespace
+}  // namespace h2

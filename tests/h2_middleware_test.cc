@@ -1,0 +1,348 @@
+// End-to-end behaviour of H2Cloud through the public FileSystem API.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "h2/h2cloud.h"
+
+namespace h2 {
+namespace {
+
+class H2CloudTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    H2CloudConfig cfg;
+    cfg.cloud.part_power = 8;
+    cloud_ = std::make_unique<H2Cloud>(cfg);
+    ASSERT_TRUE(cloud_->CreateAccount("alice").ok());
+    auto fs = cloud_->OpenFilesystem("alice");
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(fs).value();
+  }
+
+  std::vector<std::string> ListNames(std::string_view path) {
+    auto entries = fs_->List(path, ListDetail::kNamesOnly);
+    EXPECT_TRUE(entries.ok()) << entries.status().ToString();
+    std::vector<std::string> names;
+    if (entries.ok()) {
+      for (const auto& e : *entries) names.push_back(e.name);
+    }
+    return names;
+  }
+
+  std::unique_ptr<H2Cloud> cloud_;
+  std::unique_ptr<H2AccountFs> fs_;
+};
+
+TEST_F(H2CloudTest, AccountLifecycle) {
+  EXPECT_EQ(cloud_->CreateAccount("alice").code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(cloud_->CreateAccount("bob").ok());
+  EXPECT_TRUE(cloud_->OpenFilesystem("bob").ok());
+  EXPECT_TRUE(cloud_->DeleteAccount("bob").ok());
+  EXPECT_EQ(cloud_->OpenFilesystem("bob").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(cloud_->OpenFilesystem("nobody").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(H2CloudTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(fs_->Mkdir("/docs").ok());
+  ASSERT_TRUE(
+      fs_->WriteFile("/docs/note.txt", FileBlob::FromString("hello h2"))
+          .ok());
+  auto blob = fs_->ReadFile("/docs/note.txt");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->data, "hello h2");
+  EXPECT_EQ(blob->logical_size, 8u);
+}
+
+TEST_F(H2CloudTest, StatReportsKindAndSize) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  ASSERT_TRUE(fs_->WriteFile("/d/f", FileBlob::FromString("12345")).ok());
+  auto file_info = fs_->Stat("/d/f");
+  ASSERT_TRUE(file_info.ok());
+  EXPECT_EQ(file_info->kind, EntryKind::kFile);
+  EXPECT_EQ(file_info->size, 5u);
+  auto dir_info = fs_->Stat("/d");
+  ASSERT_TRUE(dir_info.ok());
+  EXPECT_EQ(dir_info->kind, EntryKind::kDirectory);
+  auto root_info = fs_->Stat("/");
+  ASSERT_TRUE(root_info.ok());
+  EXPECT_EQ(root_info->kind, EntryKind::kDirectory);
+}
+
+TEST_F(H2CloudTest, DeepPathsResolveLevelByLevel) {
+  ASSERT_TRUE(fs_->Mkdir("/home").ok());
+  ASSERT_TRUE(fs_->Mkdir("/home/ubuntu").ok());
+  ASSERT_TRUE(
+      fs_->WriteFile("/home/ubuntu/file1", FileBlob::FromString("f1")).ok());
+  auto info = fs_->Stat("/home/ubuntu/file1");
+  ASSERT_TRUE(info.ok());
+  // d = 3: two directory-record GETs on the way down plus a final HEAD.
+  EXPECT_EQ(fs_->last_op().gets, 2u);
+  EXPECT_EQ(fs_->last_op().heads, 1u);
+}
+
+TEST_F(H2CloudTest, QuickMethodIsOneHead) {
+  ASSERT_TRUE(fs_->Mkdir("/deep").ok());
+  ASSERT_TRUE(fs_->Mkdir("/deep/deeper").ok());
+  ASSERT_TRUE(
+      fs_->WriteFile("/deep/deeper/f", FileBlob::FromString("x")).ok());
+  auto ns = fs_->Namespace("/deep/deeper");
+  ASSERT_TRUE(ns.ok());
+  auto info = fs_->StatRelative(*ns, "f");
+  ASSERT_TRUE(info.ok());
+  // §3.2: the namespace-decorated relative path hits the object directly.
+  EXPECT_EQ(fs_->last_op().object_primitives(), 1u);
+  EXPECT_EQ(fs_->last_op().heads, 1u);
+}
+
+TEST_F(H2CloudTest, ListNamesOnlyIsOneGet) {
+  ASSERT_TRUE(fs_->Mkdir("/bin").ok());
+  for (const char* f : {"cat", "bash", "nc"}) {
+    ASSERT_TRUE(
+        fs_->WriteFile(std::string("/bin/") + f, FileBlob::FromString("#!"))
+            .ok());
+  }
+  const auto names = ListNames("/bin");
+  EXPECT_EQ(names, (std::vector<std::string>{"bash", "cat", "nc"}));
+  // One GET for the directory record, one for the NameRing.
+  EXPECT_EQ(fs_->last_op().gets, 2u);
+  EXPECT_EQ(fs_->last_op().heads, 0u);
+}
+
+TEST_F(H2CloudTest, ListDetailedFetchesChildren) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs_->WriteFile("/d/f" + std::to_string(i),
+                               FileBlob::FromString("abc"))
+                    .ok());
+  }
+  auto entries = fs_->List("/d", ListDetail::kDetailed);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 10u);
+  EXPECT_EQ(fs_->last_op().heads, 10u);
+  for (const auto& e : *entries) {
+    EXPECT_EQ(e.kind, EntryKind::kFile);
+    EXPECT_EQ(e.size, 3u);
+  }
+}
+
+TEST_F(H2CloudTest, MkdirErrors) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  EXPECT_EQ(fs_->Mkdir("/d").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(fs_->Mkdir("/").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(fs_->Mkdir("/missing/sub").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(fs_->WriteFile("/f", FileBlob::FromString("x")).ok());
+  EXPECT_EQ(fs_->Mkdir("/f").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(fs_->Mkdir("/f/sub").code(), ErrorCode::kNotADirectory);
+}
+
+TEST_F(H2CloudTest, RmdirIsConstantCost) {
+  ASSERT_TRUE(fs_->Mkdir("/big").ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(fs_->WriteFile("/big/f" + std::to_string(i),
+                               FileBlob::FromString("x"))
+                    .ok());
+  }
+  ASSERT_TRUE(fs_->Rmdir("/big").ok());
+  // O(1): the foreground cost must not scale with the 50 children.
+  EXPECT_LT(fs_->last_op().object_primitives(), 10u);
+  EXPECT_EQ(fs_->Stat("/big").code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(ListNames("/").empty());
+}
+
+TEST_F(H2CloudTest, RmdirErrors) {
+  EXPECT_EQ(fs_->Rmdir("/").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Rmdir("/absent").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(fs_->WriteFile("/f", FileBlob::FromString("x")).ok());
+  EXPECT_EQ(fs_->Rmdir("/f").code(), ErrorCode::kNotADirectory);
+}
+
+TEST_F(H2CloudTest, LazyCleanupReclaimsSubtreeObjects) {
+  ASSERT_TRUE(fs_->Mkdir("/big").ok());
+  ASSERT_TRUE(fs_->Mkdir("/big/sub").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs_->WriteFile("/big/f" + std::to_string(i),
+                               FileBlob::FromString("x"))
+                    .ok());
+    ASSERT_TRUE(fs_->WriteFile("/big/sub/g" + std::to_string(i),
+                               FileBlob::FromString("x"))
+                    .ok());
+  }
+  const std::uint64_t before = cloud_->cloud().LogicalObjectCount();
+  ASSERT_TRUE(fs_->Rmdir("/big").ok());
+  cloud_->RunMaintenanceToQuiescence();
+  const std::uint64_t after = cloud_->cloud().LogicalObjectCount();
+  // 20 files + 2 dir records + 2 NameRings (+ patch/chain bookkeeping)
+  // must be gone.
+  EXPECT_LT(after + 20, before);
+  EXPECT_TRUE(cloud_->middleware(0).MaintenanceIdle());
+}
+
+TEST_F(H2CloudTest, MoveDirectoryIsConstantCost) {
+  ASSERT_TRUE(fs_->Mkdir("/src").ok());
+  ASSERT_TRUE(fs_->Mkdir("/dst").ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(fs_->WriteFile("/src/f" + std::to_string(i),
+                               FileBlob::FromString("data"))
+                    .ok());
+  }
+  ASSERT_TRUE(fs_->Move("/src", "/dst/moved").ok());
+  // O(1) in n=40: record rewrite + two patches + the move intent journal.
+  EXPECT_LT(fs_->last_op().object_primitives(), 18u);
+
+  EXPECT_EQ(fs_->Stat("/src").code(), ErrorCode::kNotFound);
+  auto blob = fs_->ReadFile("/dst/moved/f7");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->data, "data");
+  EXPECT_EQ(ListNames("/dst/moved").size(), 40u);
+}
+
+TEST_F(H2CloudTest, MoveFile) {
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/b").ok());
+  ASSERT_TRUE(fs_->WriteFile("/a/f", FileBlob::FromString("payload")).ok());
+  ASSERT_TRUE(fs_->Move("/a/f", "/b/g").ok());
+  EXPECT_EQ(fs_->Stat("/a/f").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_->ReadFile("/b/g")->data, "payload");
+  EXPECT_TRUE(ListNames("/a").empty());
+  EXPECT_EQ(ListNames("/b"), std::vector<std::string>{"g"});
+}
+
+TEST_F(H2CloudTest, MoveErrors) {
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/b").ok());
+  EXPECT_EQ(fs_->Move("/a", "/a/inside").code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Move("/", "/b/root").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Move("/absent", "/b/x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_->Move("/a", "/b").code(), ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(fs_->Move("/a", "/a").ok());  // no-op
+}
+
+TEST_F(H2CloudTest, RenameIsMoveWithinParent) {
+  ASSERT_TRUE(fs_->Mkdir("/dir").ok());
+  ASSERT_TRUE(fs_->WriteFile("/dir/old", FileBlob::FromString("v")).ok());
+  ASSERT_TRUE(fs_->Rename("/dir/old", "new").ok());
+  EXPECT_EQ(fs_->ReadFile("/dir/new")->data, "v");
+  EXPECT_EQ(fs_->Stat("/dir/old").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_->Rename("/dir/new", "bad/name").code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(H2CloudTest, CopyFileAndTree) {
+  ASSERT_TRUE(fs_->Mkdir("/src").ok());
+  ASSERT_TRUE(fs_->Mkdir("/src/sub").ok());
+  ASSERT_TRUE(fs_->WriteFile("/src/a", FileBlob::FromString("A")).ok());
+  ASSERT_TRUE(fs_->WriteFile("/src/sub/b", FileBlob::FromString("B")).ok());
+
+  ASSERT_TRUE(fs_->Copy("/src", "/dst").ok());
+  EXPECT_EQ(fs_->ReadFile("/dst/a")->data, "A");
+  EXPECT_EQ(fs_->ReadFile("/dst/sub/b")->data, "B");
+  // Source intact.
+  EXPECT_EQ(fs_->ReadFile("/src/a")->data, "A");
+
+  // The copy is deep: mutating the copy leaves the source alone.
+  ASSERT_TRUE(fs_->WriteFile("/dst/a", FileBlob::FromString("A2")).ok());
+  EXPECT_EQ(fs_->ReadFile("/src/a")->data, "A");
+
+  EXPECT_EQ(fs_->Copy("/src", "/src/inside").code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Copy("/src", "/dst").code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(H2CloudTest, CopyCostScalesWithFileCount) {
+  ASSERT_TRUE(fs_->Mkdir("/many").ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(fs_->WriteFile("/many/f" + std::to_string(i),
+                               FileBlob::FromString("x"))
+                    .ok());
+  }
+  ASSERT_TRUE(fs_->Copy("/many", "/many2").ok());
+  EXPECT_GE(fs_->last_op().copies, 30u);  // one server-side copy per file
+}
+
+TEST_F(H2CloudTest, RemoveFile) {
+  ASSERT_TRUE(fs_->WriteFile("/f", FileBlob::FromString("x")).ok());
+  ASSERT_TRUE(fs_->RemoveFile("/f").ok());
+  EXPECT_EQ(fs_->Stat("/f").code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(ListNames("/").empty());
+  EXPECT_EQ(fs_->RemoveFile("/f").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  EXPECT_EQ(fs_->RemoveFile("/d").code(), ErrorCode::kIsADirectory);
+}
+
+TEST_F(H2CloudTest, OverwriteDoesNotDuplicateListing) {
+  ASSERT_TRUE(fs_->WriteFile("/f", FileBlob::FromString("v1")).ok());
+  ASSERT_TRUE(fs_->WriteFile("/f", FileBlob::FromString("v2")).ok());
+  EXPECT_EQ(fs_->ReadFile("/f")->data, "v2");
+  EXPECT_EQ(ListNames("/").size(), 1u);
+}
+
+TEST_F(H2CloudTest, WriteReadErrors) {
+  EXPECT_EQ(fs_->WriteFile("/", FileBlob::FromString("x")).code(),
+            ErrorCode::kIsADirectory);
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  EXPECT_EQ(fs_->WriteFile("/d", FileBlob::FromString("x")).code(),
+            ErrorCode::kIsADirectory);
+  EXPECT_EQ(fs_->ReadFile("/d").code(), ErrorCode::kIsADirectory);
+  EXPECT_EQ(fs_->ReadFile("/absent").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_->WriteFile("/no/parent", FileBlob::FromString("x")).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(fs_->List("/d/nothere", ListDetail::kNamesOnly).code(),
+            ErrorCode::kNotFound);
+  ASSERT_TRUE(fs_->WriteFile("/file", FileBlob::FromString("x")).ok());
+  EXPECT_EQ(fs_->List("/file", ListDetail::kNamesOnly).code(),
+            ErrorCode::kNotADirectory);
+}
+
+TEST_F(H2CloudTest, InvalidPathsRejected) {
+  EXPECT_EQ(fs_->Stat("relative").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Mkdir("/a/../b").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_->WriteFile("", FileBlob::FromString("x")).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(H2CloudTest, NamespaceUuidsFollowPaperFormat) {
+  ASSERT_TRUE(fs_->Mkdir("/home").ok());
+  auto ns = fs_->Namespace("/home");
+  ASSERT_TRUE(ns.ok());
+  // "seq.node.timestamp": middleware node 1 minted this namespace.
+  EXPECT_EQ(ns->node, 1u);
+  EXPECT_GT(ns->ts_millis, 1469346604000LL);
+  auto reparsed = NamespaceId::Parse(ns->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, *ns);
+}
+
+TEST_F(H2CloudTest, PatchesMergeAndAreReclaimed) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fs_->WriteFile("/d/f" + std::to_string(i),
+                               FileBlob::FromString("x"))
+                    .ok());
+  }
+  H2Middleware& mw = cloud_->middleware(0);
+  EXPECT_GT(mw.counters().patches_submitted, 5u);
+  cloud_->RunMaintenanceToQuiescence();
+  EXPECT_EQ(mw.counters().patches_merged, mw.counters().patches_submitted);
+  // After merging, listing still sees everything (now from the ring itself).
+  EXPECT_EQ(ListNames("/d").size(), 5u);
+  EXPECT_TRUE(mw.MaintenanceIdle());
+}
+
+TEST_F(H2CloudTest, ObjectInventoryMatchesStructure) {
+  ASSERT_TRUE(fs_->Mkdir("/d1").ok());
+  ASSERT_TRUE(fs_->Mkdir("/d1/d2").ok());
+  ASSERT_TRUE(fs_->WriteFile("/d1/f", FileBlob::FromString("x")).ok());
+  cloud_->RunMaintenanceToQuiescence();
+  // Fig. 14's point: every directory adds a record + a NameRing object.
+  // account + root ring + 2 dir records + 2 dir rings + 1 file (+ chains).
+  const std::uint64_t count = cloud_->cloud().LogicalObjectCount();
+  EXPECT_GE(count, 7u);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "hash/fast_hash.h"
+#include "hash/md5.h"
+#include "hash/uuid.h"
+
+namespace h2 {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::HexDigest(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::HexDigest("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::HexDigest("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::HexDigest("message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::HexDigest("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(Md5::HexDigest("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuv"
+                           "wxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::HexDigest("1234567890123456789012345678901234567890123456789"
+                           "0123456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  const std::string data(1000, 'x');
+  Md5 md5;
+  // Feed in ragged chunk sizes to cross block boundaries.
+  std::size_t pos = 0;
+  const std::size_t chunks[] = {1, 63, 64, 65, 100, 707};
+  for (std::size_t c : chunks) {
+    md5.Update(data.data() + pos, std::min(c, data.size() - pos));
+    pos += std::min(c, data.size() - pos);
+  }
+  md5.Update(data.data() + pos, data.size() - pos);
+  EXPECT_EQ(md5.Finish(), Md5::Hash(data));
+}
+
+TEST(Md5Test, Hash64IsBigEndianPrefix) {
+  // "abc" digest starts 90 01 50 98 3c d2 4f b0.
+  EXPECT_EQ(Md5::Hash64("abc"), 0x900150983cd24fb0ULL);
+}
+
+TEST(Md5Test, LongInputCrossesManyBlocks) {
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data += "block-of-text-";
+  // Self-consistency under different chunkings.
+  Md5 a;
+  a.Update(data);
+  Md5 b;
+  for (char c : data) b.Update(&c, 1);
+  EXPECT_EQ(a.Finish(), b.Finish());
+}
+
+TEST(XxHashTest, KnownVectors) {
+  EXPECT_EQ(XxHash64("", 0), 0xef46db3751d8e999ULL);
+  EXPECT_EQ(XxHash64("abc", 0), 0x44bc2cf5ad770999ULL);
+}
+
+TEST(XxHashTest, SeedChangesHash) {
+  EXPECT_NE(XxHash64("hello", 0), XxHash64("hello", 1));
+}
+
+TEST(XxHashTest, AllLengthPathsConsistent) {
+  // Exercise the <4, <8, <32 and >=32 byte code paths; hashes must be
+  // distinct and stable.
+  std::set<std::uint64_t> seen;
+  std::string s;
+  for (int len = 0; len <= 100; ++len) {
+    EXPECT_TRUE(seen.insert(XxHash64(s, 7)).second) << "len=" << len;
+    s.push_back(static_cast<char>('a' + len % 26));
+  }
+}
+
+TEST(Fnv1aTest, ConstexprAndKnownValue) {
+  // FNV-1a 64 of empty string is the offset basis.
+  static_assert(Fnv1a64("") == 0xcbf29ce484222325ULL);
+  // Well-known: "a" -> 0xaf63dc4c8601ec8c.
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(UuidTest, FormatMatchesPaperExample) {
+  // §3.1: "/home/ is the 6th directory created by the 1st storage node at
+  // UNIX timestamp 1469346604539" -> "06.01.1469346604539".
+  NamespaceId id{6, 1, 1469346604539LL};
+  EXPECT_EQ(id.ToString(), "06.01.1469346604539");
+}
+
+TEST(UuidTest, ParseRoundTrip) {
+  NamespaceId id{123456, 42, 1700000000123LL};
+  auto parsed = NamespaceId::Parse(id.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, id);
+}
+
+TEST(UuidTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(NamespaceId::Parse("").ok());
+  EXPECT_FALSE(NamespaceId::Parse("1.2").ok());
+  EXPECT_FALSE(NamespaceId::Parse("1.2.3.4").ok());
+  EXPECT_FALSE(NamespaceId::Parse("a.b.c").ok());
+  EXPECT_FALSE(NamespaceId::Parse("1.99999999999.3").ok());  // node overflow
+}
+
+TEST(UuidTest, MinterProducesUniqueIds) {
+  NamespaceMinter minter(3);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(minter.Mint(1469346604539LL).ToString()).second);
+  }
+}
+
+TEST(UuidTest, MintersOnDifferentNodesNeverCollide) {
+  NamespaceMinter a(1), b(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(a.Mint(1000), b.Mint(1000));
+  }
+}
+
+TEST(UuidTest, Ordering) {
+  NamespaceId a{1, 1, 100}, b{2, 1, 100};
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<NamespaceId>{}(a), std::hash<NamespaceId>{}(b));
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,161 @@
+// Tests for the HTTP substrate (net/http): framing, encoding, the
+// loopback server/client pair, and concurrent requests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/http.h"
+
+namespace h2 {
+namespace {
+
+TEST(UrlCodecTest, EncodesSpacesAndSpecials) {
+  EXPECT_EQ(UrlEncode("/a b/c"), "/a%20b/c");
+  EXPECT_EQ(UrlEncode("/plain/path-1._~"), "/plain/path-1._~");
+  EXPECT_EQ(UrlEncode("%"), "%25");
+}
+
+TEST(UrlCodecTest, RoundTrip) {
+  const std::string nasty = "/dir with spaces/na|me%\xF0\x9F\x92\xBE?&=";
+  auto decoded = UrlDecode(UrlEncode(nasty));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, nasty);
+}
+
+TEST(UrlCodecTest, RejectsBadEscapes) {
+  EXPECT_FALSE(UrlDecode("%").ok());
+  EXPECT_FALSE(UrlDecode("%2").ok());
+  EXPECT_FALSE(UrlDecode("%zz").ok());
+}
+
+TEST(HttpMessageTest, RequestHelpers) {
+  HttpRequest r;
+  r.target = "/v1/alice/fs/docs?list=detail&stat=1";
+  r.headers["x-op"] = "mkdir";
+  EXPECT_EQ(r.Path(), "/v1/alice/fs/docs");
+  EXPECT_EQ(r.Query("list"), "detail");
+  EXPECT_EQ(r.Query("stat"), "1");
+  EXPECT_EQ(r.Query("absent"), "");
+  EXPECT_EQ(r.Header("X-Op"), "mkdir");
+  EXPECT_EQ(r.Header("missing"), "");
+}
+
+TEST(HttpMessageTest, StatusMapping) {
+  EXPECT_EQ(HttpStatusFor(Status::Ok()), 200);
+  EXPECT_EQ(HttpStatusFor(Status::NotFound("x")), 404);
+  EXPECT_EQ(HttpStatusFor(Status::AlreadyExists("x")), 409);
+  EXPECT_EQ(HttpStatusFor(Status::InvalidArgument("x")), 400);
+  EXPECT_EQ(HttpStatusFor(Status::Unavailable("x")), 503);
+  EXPECT_EQ(HttpStatusFor(Status::Internal("x")), 500);
+}
+
+TEST(HttpMessageTest, SerializationContainsFraming) {
+  HttpRequest r;
+  r.method = "PUT";
+  r.target = "/x";
+  r.body = "hello";
+  const std::string wire = SerializeRequest(r);
+  EXPECT_NE(wire.find("PUT /x HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("content-length: 5\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\nhello"), std::string::npos);
+
+  HttpResponse resp = HttpResponse::Text(404, "nope");
+  const std::string wire2 = SerializeResponse(resp);
+  EXPECT_NE(wire2.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(wire2.find("content-length: 4\r\n"), std::string::npos);
+}
+
+TEST(HttpServerTest, EchoRoundTrip) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response = HttpResponse::Text(
+        200, request.method + " " + request.target + " " + request.body);
+    response.headers["x-echo"] = request.Header("x-probe");
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  HttpClient client(server.port());
+  HttpRequest request;
+  request.method = "PUT";
+  request.target = "/echo";
+  request.body = "payload-bytes";
+  request.headers["x-probe"] = "42";
+  auto response = client.Send(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "PUT /echo payload-bytes");
+  EXPECT_EQ(response->headers.at("x-echo"), "42");
+  server.Stop();
+}
+
+TEST(HttpServerTest, LargeBodyRoundTrip) {
+  HttpServer server([](const HttpRequest& request) {
+    return HttpResponse::Text(200, request.body);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client(server.port());
+  std::string big(512 * 1024, 'x');
+  big += "tail";
+  auto response = client.Put("/big", big);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body.size(), big.size());
+  EXPECT_EQ(response->body, big);
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConcurrentClients) {
+  std::atomic<int> served{0};
+  HttpServer server([&served](const HttpRequest& request) {
+    served.fetch_add(1);
+    return HttpResponse::Text(200, request.target);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&, t] {
+      HttpClient client(server.port());
+      for (int i = 0; i < 10; ++i) {
+        const std::string target =
+            "/t" + std::to_string(t) + "/" + std::to_string(i);
+        auto response = client.Get(target);
+        if (!response.ok() || response->body != target) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(served.load(), 80);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartable) {
+  HttpServer server(
+      [](const HttpRequest&) { return HttpResponse::Text(200, "ok"); });
+  ASSERT_TRUE(server.Start().ok());
+  const std::uint16_t port = server.port();
+  server.Stop();
+  server.Stop();  // no crash
+  // The port is released: a new server can bind it.
+  HttpServer second(
+      [](const HttpRequest&) { return HttpResponse::Text(200, "ok2"); });
+  ASSERT_TRUE(second.Start(port).ok());
+  HttpClient client(port);
+  auto response = client.Get("/");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "ok2");
+  second.Stop();
+}
+
+TEST(HttpClientTest, ConnectFailureIsUnavailable) {
+  HttpClient client(1);  // nothing listens on port 1
+  auto response = client.Get("/");
+  EXPECT_EQ(response.code(), ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/stats.h"
+
+namespace h2 {
+namespace {
+
+TEST(SummaryTest, BasicStats) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(0.9), 0.0);
+}
+
+TEST(SummaryTest, PercentileInterpolates) {
+  Summary s;
+  for (int i = 0; i <= 100; ++i) s.Add(i);
+  EXPECT_NEAR(s.percentile(0.25), 25.0, 1e-9);
+  EXPECT_NEAR(s.percentile(0.99), 99.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(SummaryTest, AddAfterQueryResorts) {
+  Summary s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.Add(9.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(LogLogSlopeTest, FitsKnownExponents) {
+  std::vector<double> xs = {10, 100, 1000, 10000};
+  std::vector<double> linear, constant, quadratic, logish;
+  for (double x : xs) {
+    linear.push_back(3 * x);
+    constant.push_back(42);
+    quadratic.push_back(x * x);
+    logish.push_back(std::log2(x));
+  }
+  EXPECT_NEAR(LogLogSlope(xs, linear), 1.0, 0.01);
+  EXPECT_NEAR(LogLogSlope(xs, constant), 0.0, 0.01);
+  EXPECT_NEAR(LogLogSlope(xs, quadratic), 2.0, 0.01);
+  const double log_slope = LogLogSlope(xs, logish);
+  EXPECT_GT(log_slope, 0.1);
+  EXPECT_LT(log_slope, 0.5);
+}
+
+TEST(LogLogSlopeTest, DegenerateInputs) {
+  EXPECT_EQ(LogLogSlope({}, {}), 0.0);
+  EXPECT_EQ(LogLogSlope({1}, {1}), 0.0);
+  EXPECT_EQ(LogLogSlope({0, 0}, {1, 2}), 0.0);  // non-positive xs skipped
+}
+
+TEST(ComplexityClassTest, Buckets) {
+  EXPECT_EQ(ComplexityClass(0.02), "O(1)");
+  EXPECT_EQ(ComplexityClass(0.3), "O(log)");
+  EXPECT_EQ(ComplexityClass(1.0), "O(linear)");
+  EXPECT_EQ(ComplexityClass(2.0), "O(superlinear)");
+}
+
+TEST(SweepTableTest, TextAndCsv) {
+  SweepTable table("Demo", "n", "ms");
+  table.SetSweep({10, 100});
+  table.AddSeries(Series{"sysA", {1.5, 2.5}});
+  table.AddSeries(Series{"sysB", {10.0, 20000.0}});
+
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("Demo"), std::string::npos);
+  EXPECT_NE(text.find("sysA"), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  EXPECT_NE(text.find("2.000e+04"), std::string::npos);  // sci notation
+
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("n,sysA,sysB"), std::string::npos);
+  EXPECT_NE(csv.find("10,1.5,10"), std::string::npos);
+  EXPECT_NE(csv.find("100,2.5,20000"), std::string::npos);
+}
+
+TEST(SweepTableTest, MissingValuesRenderAsZero) {
+  SweepTable table("Demo", "n", "ms");
+  table.SetSweep({1, 2, 3});
+  table.AddSeries(Series{"short", {7.0}});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("2,0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,167 @@
+// Cluster elasticity tests: ring expansion, decommissioning and replica
+// repair -- the "automatic reliability and scalability" of the object
+// cloud that H2Cloud inherits by keeping directories inside it (§1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "h2/h2cloud.h"
+#include "workload/tree_gen.h"
+
+namespace h2 {
+namespace {
+
+CloudConfig SmallCloud() {
+  CloudConfig cfg;
+  cfg.part_power = 8;
+  return cfg;
+}
+
+int ReplicaCountOf(ObjectCloud& cloud, const std::string& key) {
+  int holders = 0;
+  for (std::size_t i = 0; i < cloud.node_count(); ++i) {
+    if (cloud.node(i).Contains(key)) ++holders;
+  }
+  return holders;
+}
+
+TEST(MigrationTest, AddNodeMovesBoundedFraction) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), meter)
+                    .ok());
+  }
+  const std::uint64_t logical_before = cloud.LogicalObjectCount();
+  auto report = cloud.AddStorageNode();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Consistent hashing: the 9th node takes ~1/9 of the 3x2000 replica
+  // placements; movement must be near that, nowhere near a reshuffle.
+  EXPECT_GT(report->objects_copied, 400u);
+  EXPECT_LT(report->objects_copied, 1100u);
+  EXPECT_EQ(cloud.LogicalObjectCount(), logical_before);
+  EXPECT_EQ(cloud.RawObjectCount(), 3 * logical_before);
+  EXPECT_GT(cloud.node(8).object_count(), 0u);
+
+  // Every object still fully replicated and readable.
+  for (int i = 0; i < 2000; i += 97) {
+    const std::string key = "obj" + std::to_string(i);
+    EXPECT_EQ(ReplicaCountOf(cloud, key), 3) << key;
+    EXPECT_TRUE(cloud.Get(key, meter).ok());
+  }
+}
+
+TEST(MigrationTest, DecommissionDrainsNode) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), meter)
+                    .ok());
+  }
+  const std::uint64_t before = cloud.LogicalObjectCount();
+  auto report = cloud.DecommissionNode(3);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(cloud.node(3).object_count(), 0u);
+  EXPECT_EQ(cloud.LogicalObjectCount(), before);
+  EXPECT_EQ(cloud.RawObjectCount(), 3 * before);  // re-replicated elsewhere
+  for (int i = 0; i < 1000; i += 83) {
+    EXPECT_TRUE(cloud.Get("obj" + std::to_string(i), meter).ok());
+  }
+}
+
+TEST(MigrationTest, RepairHealsWipedNode) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), meter)
+                    .ok());
+  }
+  // Simulate a disk loss: delete everything on node 5.
+  std::vector<std::string> lost;
+  cloud.node(5).ForEach(
+      [&](const std::string& key, const ObjectValue&) { lost.push_back(key); });
+  for (const auto& key : lost) {
+    ASSERT_TRUE(cloud.node(5).Delete(key).ok());
+  }
+  ASSERT_GT(lost.size(), 0u);
+  EXPECT_LT(cloud.RawObjectCount(), 3 * cloud.LogicalObjectCount());
+
+  const auto report = cloud.RepairReplicas();
+  EXPECT_EQ(report.objects_copied, lost.size());
+  EXPECT_EQ(cloud.RawObjectCount(), 3 * cloud.LogicalObjectCount());
+  EXPECT_EQ(cloud.node(5).object_count(), lost.size());
+}
+
+TEST(MigrationTest, RepairIsIdempotent) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), meter)
+                    .ok());
+  }
+  const auto report = cloud.RepairReplicas();
+  EXPECT_EQ(report.objects_copied, 0u);
+  EXPECT_EQ(report.objects_dropped, 0u);
+}
+
+TEST(MigrationTest, H2FilesystemSurvivesRingExpansion) {
+  // The headline scenario: a whole user filesystem -- directories,
+  // NameRings, patches and content -- lives in the cloud; the operator
+  // grows the cluster; nothing observable changes.
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("alice").ok());
+  auto fs = std::move(cloud.OpenFilesystem("alice")).value();
+  const GeneratedTree tree = GenerateTree(TreeSpec::Light(77));
+  ASSERT_TRUE(PopulateTree(*fs, tree).ok());
+  cloud.RunMaintenanceToQuiescence();
+
+  auto report = cloud.cloud().AddStorageNode();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->objects_copied, 0u);
+
+  // Every file still present, readable, with the right size.
+  for (const auto& file : tree.files) {
+    auto info = fs->Stat(file.path);
+    ASSERT_TRUE(info.ok()) << file.path;
+    EXPECT_EQ(info->size, file.size);
+  }
+  // And the filesystem remains fully operational.
+  ASSERT_TRUE(fs->Mkdir("/after-expansion").ok());
+  ASSERT_TRUE(
+      fs->WriteFile("/after-expansion/f", FileBlob::FromString("ok")).ok());
+  EXPECT_EQ(fs->ReadFile("/after-expansion/f")->data, "ok");
+  cloud.RunMaintenanceToQuiescence();
+}
+
+TEST(MigrationTest, LoadRebalancesOntoNewNodes) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), meter)
+                    .ok());
+  }
+  ASSERT_TRUE(cloud.AddStorageNode().ok());
+  ASSERT_TRUE(cloud.AddStorageNode().ok());
+  const auto counts = cloud.NodeObjectCounts();
+  const double expected = 4000.0 * 3 / 10;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected, expected * 0.3)
+        << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,119 @@
+// Cross-system mirroring tests: trees copied between different systems
+// through the shared interface remain observably identical.
+#include <gtest/gtest.h>
+
+#include "baselines/snapshot_fs.h"
+#include "baselines/swift_fs.h"
+#include "h2/h2cloud.h"
+#include "workload/mirror.h"
+#include "workload/tree_gen.h"
+
+namespace h2 {
+namespace {
+
+CloudConfig SmallCloud() {
+  CloudConfig cfg;
+  cfg.part_power = 8;
+  return cfg;
+}
+
+struct H2Box {
+  H2Box() {
+    H2CloudConfig cfg;
+    cfg.cloud.part_power = 8;
+    cloud = std::make_unique<H2Cloud>(cfg);
+    EXPECT_TRUE(cloud->CreateAccount("u").ok());
+    fs = std::move(cloud->OpenFilesystem("u")).value();
+  }
+  std::unique_ptr<H2Cloud> cloud;
+  std::unique_ptr<H2AccountFs> fs;
+};
+
+TEST(MirrorTest, H2ToSwiftAndBack) {
+  H2Box h2;
+  const GeneratedTree tree = GenerateTree(TreeSpec::Light(55));
+  ASSERT_TRUE(PopulateTree(*h2.fs, tree).ok());
+  h2.cloud->RunMaintenanceToQuiescence();
+
+  ObjectCloud swift_cloud(SmallCloud());
+  SwiftFs swift(swift_cloud);
+  auto stats = MirrorTree(*h2.fs, swift);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->files, tree.files.size());
+  EXPECT_EQ(stats->directories, tree.dirs.size());
+  EXPECT_EQ(stats->bytes, tree.total_bytes());
+
+  auto equal = TreesEqual(*h2.fs, swift);
+  ASSERT_TRUE(equal.ok());
+  EXPECT_TRUE(*equal);
+
+  // Round-trip into a fresh H2.
+  H2Box h2b;
+  ASSERT_TRUE(MirrorTree(swift, *h2b.fs).ok());
+  h2b.cloud->RunMaintenanceToQuiescence();
+  auto equal2 = TreesEqual(*h2.fs, *h2b.fs);
+  ASSERT_TRUE(equal2.ok());
+  EXPECT_TRUE(*equal2);
+}
+
+TEST(MirrorTest, BackupIntoCumulusPreservesEverything) {
+  H2Box h2;
+  ASSERT_TRUE(h2.fs->Mkdir("/docs").ok());
+  ASSERT_TRUE(h2.fs->Mkdir("/docs/sub").ok());
+  ASSERT_TRUE(
+      h2.fs->WriteFile("/docs/a.txt", FileBlob::FromString("alpha")).ok());
+  ASSERT_TRUE(h2.fs->WriteFile("/docs/sub/b.txt",
+                               FileBlob::FromString("beta"))
+                  .ok());
+  ASSERT_TRUE(h2.fs->WriteFile("/video.mp4",
+                               FileBlob::Synthetic("v", 1ULL << 28))
+                  .ok());
+  h2.cloud->RunMaintenanceToQuiescence();
+
+  ObjectCloud backup_cloud(SmallCloud());
+  SnapshotFs backup(backup_cloud);
+  ASSERT_TRUE(MirrorTree(*h2.fs, backup).ok());
+  auto equal = TreesEqual(*h2.fs, backup);
+  ASSERT_TRUE(equal.ok());
+  EXPECT_TRUE(*equal);
+  // Synthetic logical size survives the round trip.
+  auto info = backup.Stat("/video.mp4");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 1ULL << 28);
+}
+
+TEST(MirrorTest, TreesEqualDetectsDifferences) {
+  H2Box a, b;
+  ASSERT_TRUE(a.fs->WriteFile("/f", FileBlob::FromString("one")).ok());
+  ASSERT_TRUE(b.fs->WriteFile("/f", FileBlob::FromString("two")).ok());
+  auto equal = TreesEqual(*a.fs, *b.fs);
+  ASSERT_TRUE(equal.ok());
+  EXPECT_FALSE(*equal);
+
+  ASSERT_TRUE(b.fs->WriteFile("/f", FileBlob::FromString("one")).ok());
+  equal = TreesEqual(*a.fs, *b.fs);
+  ASSERT_TRUE(equal.ok());
+  EXPECT_TRUE(*equal);
+
+  ASSERT_TRUE(b.fs->Mkdir("/extra").ok());
+  equal = TreesEqual(*a.fs, *b.fs);
+  ASSERT_TRUE(equal.ok());
+  EXPECT_FALSE(*equal);
+}
+
+TEST(MirrorTest, MirrorIntoExistingMerges) {
+  H2Box src, dst;
+  ASSERT_TRUE(src.fs->Mkdir("/d").ok());
+  ASSERT_TRUE(src.fs->WriteFile("/d/from_src", FileBlob::FromString("s")).ok());
+  ASSERT_TRUE(dst.fs->Mkdir("/d").ok());
+  ASSERT_TRUE(
+      dst.fs->WriteFile("/d/pre_existing", FileBlob::FromString("p")).ok());
+  ASSERT_TRUE(MirrorTree(*src.fs, *dst.fs).ok());
+  dst.cloud->RunMaintenanceToQuiescence();
+  auto entries = dst.fs->List("/d", ListDetail::kNamesOnly);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);  // merged, not replaced
+}
+
+}  // namespace
+}  // namespace h2

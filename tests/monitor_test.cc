@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "h2/monitor.h"
+
+namespace h2 {
+namespace {
+
+TEST(MonitorTest, SnapshotReflectsActivity) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  cfg.cloud.node_count = 9;
+  cfg.cloud.zone_count = 3;
+  cfg.middleware_count = 2;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("mon").ok());
+  auto fs = std::move(cloud.OpenFilesystem("mon")).value();
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs->WriteFile("/d/f" + std::to_string(i),
+                              FileBlob::FromString("x"))
+                    .ok());
+  }
+
+  MonitorSnapshot before = CollectSnapshot(cloud);
+  EXPECT_EQ(before.middlewares.size(), 2u);
+  EXPECT_EQ(before.nodes.size(), 9u);
+  EXPECT_EQ(before.ring_zones, 3u);
+  EXPECT_GT(before.TotalPatchesSubmitted(), 10u);
+  EXPECT_FALSE(before.FullyConverged());  // patches still pending
+
+  cloud.RunMaintenanceToQuiescence();
+  MonitorSnapshot after = CollectSnapshot(cloud);
+  EXPECT_TRUE(after.FullyConverged());
+  EXPECT_EQ(after.TotalPatchesMerged(), after.TotalPatchesSubmitted());
+  EXPECT_GT(after.logical_objects, 12u);
+  EXPECT_EQ(after.raw_objects, 3 * after.logical_objects);
+  EXPECT_GT(after.LoadImbalance(), 0.99);
+  EXPECT_LT(after.LoadImbalance(), 3.0);
+}
+
+TEST(MonitorTest, TextReportContainsSections) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("mon").ok());
+  auto fs = std::move(cloud.OpenFilesystem("mon")).value();
+  ASSERT_TRUE(fs->Mkdir("/x").ok());
+  cloud.RunMaintenanceToQuiescence();
+
+  const std::string report = CollectSnapshot(cloud).ToText();
+  EXPECT_NE(report.find("== H2Cloud monitor =="), std::string::npos);
+  EXPECT_NE(report.find("-- middlewares --"), std::string::npos);
+  EXPECT_NE(report.find("-- storage nodes --"), std::string::npos);
+  EXPECT_NE(report.find("-- gossip --"), std::string::npos);
+  EXPECT_NE(report.find("node-0"), std::string::npos);
+  EXPECT_NE(report.find("idle"), std::string::npos);
+}
+
+TEST(MonitorTest, DownNodeIsFlagged) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  cloud.cloud().node(2).SetDown(true);
+  const MonitorSnapshot snapshot = CollectSnapshot(cloud);
+  EXPECT_TRUE(snapshot.nodes[2].down);
+  EXPECT_NE(snapshot.ToText().find("[DOWN]"), std::string::npos);
+}
+
+TEST(MonitorTest, EmptySnapshotDegradesSafely) {
+  MonitorSnapshot snapshot;
+  EXPECT_TRUE(snapshot.FullyConverged());
+  EXPECT_DOUBLE_EQ(snapshot.LoadImbalance(), 1.0);
+  EXPECT_FALSE(snapshot.ToText().empty());
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "codec/formatter.h"
+#include "h2/keys.h"
+#include "h2/name_ring.h"
+#include "h2/records.h"
+
+namespace h2 {
+namespace {
+
+RingTuple File(std::string name, VirtualNanos ts, bool deleted = false) {
+  return RingTuple{std::move(name), ts, EntryKind::kFile, deleted};
+}
+RingTuple Dir(std::string name, VirtualNanos ts, bool deleted = false) {
+  return RingTuple{std::move(name), ts, EntryKind::kDirectory, deleted};
+}
+
+TEST(NameRingTest, ApplyInsertsNewChild) {
+  NameRing ring;
+  EXPECT_TRUE(ring.Apply(File("cat", 10)));
+  EXPECT_EQ(ring.tuple_count(), 1u);
+  EXPECT_TRUE(ring.HasLive("cat"));
+}
+
+TEST(NameRingTest, LargerTimestampOverrides) {
+  NameRing ring;
+  ring.Apply(File("cat", 10));
+  EXPECT_TRUE(ring.Apply(File("cat", 20, /*deleted=*/true)));
+  EXPECT_FALSE(ring.HasLive("cat"));
+  EXPECT_EQ(ring.tuple_count(), 1u);
+  EXPECT_EQ(ring.tombstone_count(), 1u);
+}
+
+TEST(NameRingTest, SmallerTimestampDoesNotOverride) {
+  NameRing ring;
+  ring.Apply(File("cat", 20, true));
+  EXPECT_FALSE(ring.Apply(File("cat", 10)));  // late old creation loses
+  EXPECT_FALSE(ring.HasLive("cat"));
+}
+
+TEST(NameRingTest, EqualTimestampDoesNotOverride) {
+  NameRing ring;
+  ring.Apply(File("cat", 10));
+  EXPECT_FALSE(ring.Apply(File("cat", 10, true)));
+  EXPECT_TRUE(ring.HasLive("cat"));
+}
+
+TEST(NameRingTest, LiveChildrenAreAlphabetical) {
+  NameRing ring;
+  ring.Apply(File("nc", 1));
+  ring.Apply(File("bash", 2));
+  ring.Apply(File("cat", 3));
+  ring.Apply(File("awk", 4, true));  // tombstone excluded
+  const auto live = ring.LiveChildren();
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_EQ(live[0].name, "bash");
+  EXPECT_EQ(live[1].name, "cat");
+  EXPECT_EQ(live[2].name, "nc");
+}
+
+TEST(NameRingTest, FindIncludesTombstones) {
+  NameRing ring;
+  ring.Apply(File("x", 5, true));
+  ASSERT_NE(ring.Find("x"), nullptr);
+  EXPECT_TRUE(ring.Find("x")->deleted);
+  EXPECT_EQ(ring.Find("absent"), nullptr);
+}
+
+TEST(NameRingTest, CompactDropsOnlyTombstones) {
+  NameRing ring;
+  ring.Apply(File("a", 1));
+  ring.Apply(File("b", 2, true));
+  ring.Apply(Dir("c", 3));
+  ring.Apply(File("d", 4, true));
+  EXPECT_EQ(ring.Compact(), 2u);
+  EXPECT_EQ(ring.tuple_count(), 2u);
+  EXPECT_EQ(ring.tombstone_count(), 0u);
+}
+
+TEST(NameRingTest, PruneTombstonesRespectsCutoff) {
+  NameRing ring;
+  ring.Apply(File("old", 10, true));
+  ring.Apply(File("new", 100, true));
+  ring.Apply(File("live", 5));
+  EXPECT_EQ(ring.PruneTombstones(50), 1u);  // only "old" expired
+  EXPECT_NE(ring.Find("new"), nullptr);
+  EXPECT_EQ(ring.Find("old"), nullptr);
+  EXPECT_TRUE(ring.HasLive("live"));
+}
+
+TEST(NameRingTest, MergeAppliesPatchRules) {
+  // §3.3.2: child in both -> larger timestamp wins; child only in patch ->
+  // inserted; nothing is physically removed.
+  NameRing ring;
+  ring.Apply(File("keep", 10));
+  ring.Apply(File("update", 10));
+  NameRing patch;
+  patch.Apply(File("update", 20, true));
+  patch.Apply(File("insert", 15));
+
+  EXPECT_EQ(ring.Merge(patch), 2u);
+  EXPECT_TRUE(ring.HasLive("keep"));
+  EXPECT_TRUE(ring.HasLive("insert"));
+  EXPECT_FALSE(ring.HasLive("update"));
+  EXPECT_EQ(ring.tuple_count(), 3u);  // tombstone retained
+}
+
+TEST(NameRingTest, VersionVectorMergesByMax) {
+  NameRing a, b;
+  a.NoteMerged(1, 5);
+  a.NoteMerged(2, 3);
+  b.NoteMerged(1, 2);
+  b.NoteMerged(3, 7);
+  a.Merge(b);
+  EXPECT_EQ(a.MergedUpTo(1), 5u);
+  EXPECT_EQ(a.MergedUpTo(2), 3u);
+  EXPECT_EQ(a.MergedUpTo(3), 7u);
+  EXPECT_EQ(a.MergedUpTo(99), 0u);
+}
+
+TEST(NameRingTest, SerializeParseRoundTrip) {
+  NameRing ring;
+  ring.Apply(File("plain.txt", 123456789));
+  ring.Apply(Dir("dir with spaces", 987654321));
+  ring.Apply(File("weird|name\nwith%escapes", 42, true));
+  ring.NoteMerged(1, 9);
+  ring.NoteMerged(7, 2);
+
+  auto parsed = NameRing::Parse(ring.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, ring);
+}
+
+TEST(NameRingTest, EmptyRingSerializesEmpty) {
+  NameRing ring;
+  EXPECT_EQ(ring.Serialize(), "");
+  auto parsed = NameRing::Parse("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->tuple_count(), 0u);
+}
+
+TEST(NameRingTest, SerializationIsAlphabetical) {
+  // §4.4: tuples alphabetically sorted by name.
+  NameRing ring;
+  ring.Apply(File("zeta", 1));
+  ring.Apply(File("alpha", 2));
+  const std::string s = ring.Serialize();
+  EXPECT_LT(s.find("alpha"), s.find("zeta"));
+}
+
+TEST(NameRingTest, ParseRejectsCorruption) {
+  EXPECT_FALSE(NameRing::Parse("onlyonefield\n").ok());
+  EXPECT_FALSE(NameRing::Parse("name|notanumber|F|\n").ok());
+  EXPECT_FALSE(NameRing::Parse("name|12|Q|\n").ok());
+  EXPECT_FALSE(NameRing::Parse("name|12|F|weird\n").ok());
+  EXPECT_FALSE(NameRing::Parse("#vv|1\n").ok());
+  EXPECT_FALSE(NameRing::Parse("#vv|x|2\n").ok());
+}
+
+TEST(NameRingTest, AllTuplesIncludesTombstones) {
+  NameRing ring;
+  ring.Apply(File("a", 1));
+  ring.Apply(File("b", 2, true));
+  EXPECT_EQ(ring.AllTuples().size(), 2u);
+  EXPECT_EQ(ring.LiveChildren().size(), 1u);
+}
+
+TEST(RecordsTest, DirRecordRoundTrip) {
+  DirRecord dir{NamespaceId{6, 1, 1469346604539LL},
+                NamespaceId{1, 1, 1469346604000LL}, "home", 42};
+  auto parsed = DirRecord::Parse(dir.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ns, dir.ns);
+  EXPECT_EQ(parsed->parent_ns, dir.parent_ns);
+  EXPECT_EQ(parsed->name, "home");
+  EXPECT_EQ(parsed->created, 42);
+}
+
+TEST(RecordsTest, DirRecordRejectsFilePayload) {
+  KvRecord r;
+  r.Set("kind", "file");
+  EXPECT_EQ(DirRecord::Parse(r.Serialize()).code(), ErrorCode::kCorruption);
+}
+
+TEST(RecordsTest, AccountRecordRoundTrip) {
+  AccountRecord acct{"alice", NamespaceId{1, 2, 170000}, 7};
+  auto parsed = AccountRecord::Parse(acct.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->user, "alice");
+  EXPECT_EQ(parsed->root_ns, acct.root_ns);
+}
+
+TEST(RecordsTest, PatchChainRoundTripAndPending) {
+  PatchChain chain{.next_patch = 7, .merged_through = 3};
+  EXPECT_EQ(chain.pending(), 3u);
+  auto parsed = PatchChain::Parse(chain.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->next_patch, 7u);
+  EXPECT_EQ(parsed->merged_through, 3u);
+
+  PatchChain fresh;
+  EXPECT_EQ(fresh.pending(), 0u);
+  PatchChain odd{.next_patch = 2, .merged_through = 5};
+  EXPECT_EQ(odd.pending(), 0u);  // inconsistent state degrades safely
+}
+
+TEST(KeysTest, MatchPaperFormats) {
+  const NamespaceId ns{6, 1, 1469346604539LL};
+  EXPECT_EQ(ChildKey(ns, "ubuntu"), "06.01.1469346604539::ubuntu");
+  EXPECT_EQ(NameRingKey(ns), "06.01.1469346604539::/NameRing/");
+  // §3.3.2's example: N97::/NameRing/.Node01.Patch03.
+  EXPECT_EQ(PatchKey(ns, 1, 3),
+            "06.01.1469346604539::/NameRing/.Node01.Patch03");
+  EXPECT_EQ(PatchChainKey(ns, 1),
+            "06.01.1469346604539::/NameRing/.Node01.Chain");
+  EXPECT_EQ(AccountKey("alice"), "account::alice");
+}
+
+TEST(KeysTest, NameRingKeyCannotCollideWithChild) {
+  // '/' is not a legal child name character, so "<ns>::/NameRing/" is
+  // outside the child key space.
+  const NamespaceId ns{1, 1, 1};
+  EXPECT_NE(ChildKey(ns, "NameRing"), NameRingKey(ns));
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "fs/path.h"
+
+namespace h2 {
+namespace {
+
+TEST(PathTest, NormalizeBasics) {
+  EXPECT_EQ(*NormalizePath("/"), "/");
+  EXPECT_EQ(*NormalizePath("/a/b/c"), "/a/b/c");
+  EXPECT_EQ(*NormalizePath("/a//b///c/"), "/a/b/c");
+  EXPECT_EQ(*NormalizePath("//"), "/");
+}
+
+TEST(PathTest, NormalizeRejectsBadInput) {
+  EXPECT_FALSE(NormalizePath("").ok());
+  EXPECT_FALSE(NormalizePath("relative/path").ok());
+  EXPECT_FALSE(NormalizePath("/a/./b").ok());
+  EXPECT_FALSE(NormalizePath("/a/../b").ok());
+  EXPECT_FALSE(NormalizePath(std::string("/a/b\0c", 6)).ok());
+}
+
+TEST(PathTest, IsValidName) {
+  EXPECT_TRUE(IsValidName("file.txt"));
+  EXPECT_TRUE(IsValidName("name with spaces"));
+  EXPECT_TRUE(IsValidName("文件"));
+  EXPECT_FALSE(IsValidName(""));
+  EXPECT_FALSE(IsValidName("."));
+  EXPECT_FALSE(IsValidName(".."));
+  EXPECT_FALSE(IsValidName("a/b"));
+}
+
+TEST(PathTest, Components) {
+  EXPECT_TRUE(PathComponents("/").empty());
+  const auto parts = PathComponents("/home/ubuntu/file1");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "home");
+  EXPECT_EQ(parts[2], "file1");
+}
+
+TEST(PathTest, ParentAndBase) {
+  EXPECT_EQ(ParentPath("/a/b/c"), "/a/b");
+  EXPECT_EQ(ParentPath("/a"), "/");
+  EXPECT_EQ(ParentPath("/"), "/");
+  EXPECT_EQ(BaseName("/a/b/c"), "c");
+  EXPECT_EQ(BaseName("/a"), "a");
+  EXPECT_EQ(BaseName("/"), "");
+}
+
+TEST(PathTest, Join) {
+  EXPECT_EQ(JoinPath("/", "a"), "/a");
+  EXPECT_EQ(JoinPath("/a/b", "c"), "/a/b/c");
+}
+
+TEST(PathTest, DepthMatchesPaperDefinition) {
+  // §3.2: /home/ubuntu/file1 has d = 3.
+  EXPECT_EQ(PathDepth("/home/ubuntu/file1"), 3u);
+  EXPECT_EQ(PathDepth("/"), 0u);
+  EXPECT_EQ(PathDepth("/a"), 1u);
+}
+
+TEST(PathTest, IsWithin) {
+  EXPECT_TRUE(IsWithin("/a/b/c", "/a/b"));
+  EXPECT_TRUE(IsWithin("/a/b", "/a/b"));
+  EXPECT_TRUE(IsWithin("/anything", "/"));
+  EXPECT_FALSE(IsWithin("/a/bc", "/a/b"));  // prefix but not a component
+  EXPECT_FALSE(IsWithin("/a", "/a/b"));
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+
+#include "hash/md5.h"
+#include "ring/partition_ring.h"
+
+namespace h2 {
+namespace {
+
+PartitionRing MakeRing(int devices, int part_power = 10, int replicas = 3) {
+  PartitionRing ring(part_power, replicas);
+  for (int i = 0; i < devices; ++i) {
+    EXPECT_TRUE(
+        ring.AddDevice(RingDevice{static_cast<DeviceId>(i),
+                                  "dev" + std::to_string(i), 1.0})
+            .ok());
+  }
+  EXPECT_TRUE(ring.Rebalance().ok());
+  return ring;
+}
+
+TEST(RingTest, LookupBeforeRebalanceIsEmpty) {
+  PartitionRing ring(8, 3);
+  ASSERT_TRUE(ring.AddDevice(RingDevice{0, "d0", 1.0}).ok());
+  EXPECT_TRUE(ring.ReplicasOfPartition(0).empty());
+}
+
+TEST(RingTest, EveryPartitionFullyAssigned) {
+  auto ring = MakeRing(8);
+  for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+    auto replicas = ring.ReplicasOfPartition(p);
+    ASSERT_EQ(replicas.size(), 3u);
+    for (DeviceId d : replicas) EXPECT_LT(d, 8u);
+  }
+}
+
+TEST(RingTest, ReplicasAreDistinctDevices) {
+  auto ring = MakeRing(8);
+  for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+    auto replicas = ring.ReplicasOfPartition(p);
+    std::set<DeviceId> unique(replicas.begin(), replicas.end());
+    EXPECT_EQ(unique.size(), replicas.size()) << "partition " << p;
+  }
+}
+
+TEST(RingTest, EqualWeightsBalanceEvenly) {
+  auto ring = MakeRing(8);
+  const auto counts = ring.SlotCounts();
+  const double expected =
+      3.0 * ring.partition_count() / 8.0;  // replicas * parts / devices
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(counts[i], expected, expected * 0.02) << "device " << i;
+  }
+}
+
+TEST(RingTest, WeightsAreProportional) {
+  PartitionRing ring(10, 3);
+  ASSERT_TRUE(ring.AddDevice(RingDevice{0, "small", 1.0}).ok());
+  ASSERT_TRUE(ring.AddDevice(RingDevice{1, "big", 3.0}).ok());
+  ASSERT_TRUE(ring.AddDevice(RingDevice{2, "mid", 2.0}).ok());
+  ASSERT_TRUE(ring.Rebalance().ok());
+  const auto counts = ring.SlotCounts();
+  const double total = 3.0 * ring.partition_count();
+  EXPECT_NEAR(counts[0], total * 1 / 6, total * 0.01);
+  EXPECT_NEAR(counts[1], total * 3 / 6, total * 0.01);
+  EXPECT_NEAR(counts[2], total * 2 / 6, total * 0.01);
+}
+
+TEST(RingTest, AddingDeviceMovesMinimalData) {
+  auto ring = MakeRing(8);
+  // Snapshot assignments.
+  std::vector<std::vector<DeviceId>> before;
+  for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+    before.push_back(ring.ReplicasOfPartition(p));
+  }
+  ASSERT_TRUE(ring.AddDevice(RingDevice{8, "dev8", 1.0}).ok());
+  ASSERT_TRUE(ring.Rebalance().ok());
+
+  std::size_t moved = 0;
+  const std::size_t total = 3u * ring.partition_count();
+  for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+    const auto after = ring.ReplicasOfPartition(p);
+    for (int r = 0; r < 3; ++r) {
+      if (after[r] != before[p][r]) ++moved;
+    }
+  }
+  // The new device takes ~1/9 of slots; movement should be near that, and
+  // certainly nowhere near a full reshuffle.
+  EXPECT_LT(moved, total / 4);
+  EXPECT_GT(moved, total / 20);
+}
+
+TEST(RingTest, RemovedDeviceHoldsNothing) {
+  auto ring = MakeRing(8);
+  ASSERT_TRUE(ring.RemoveDevice(3).ok());
+  ASSERT_TRUE(ring.Rebalance().ok());
+  EXPECT_EQ(ring.SlotCounts()[3], 0u);
+  for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+    for (DeviceId d : ring.ReplicasOfPartition(p)) EXPECT_NE(d, 3u);
+  }
+}
+
+TEST(RingTest, FewerDevicesThanReplicasStillAssigns) {
+  auto ring = MakeRing(2);  // 2 devices, 3 replicas
+  for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+    EXPECT_EQ(ring.ReplicasOfPartition(p).size(), 3u);
+  }
+}
+
+TEST(RingTest, KeysSpreadAcrossPartitions) {
+  auto ring = MakeRing(8, 8);
+  std::map<std::uint32_t, int> hits;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t h = Md5::Hash64("object-" + std::to_string(i));
+    hits[ring.PartitionOfHash(h)]++;
+  }
+  // With 256 partitions and 10k keys, essentially all partitions hit.
+  EXPECT_GT(hits.size(), 250u);
+}
+
+TEST(RingTest, RejectsBadConfig) {
+  PartitionRing ring(8, 3);
+  EXPECT_EQ(ring.AddDevice(RingDevice{0, "d", -1.0}).code(),
+            ErrorCode::kInvalidArgument);
+  ASSERT_TRUE(ring.AddDevice(RingDevice{0, "d", 1.0}).ok());
+  EXPECT_EQ(ring.AddDevice(RingDevice{0, "dup", 1.0}).code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(ring.RemoveDevice(42).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(ring.SetWeight(42, 2.0).code(), ErrorCode::kNotFound);
+}
+
+TEST(RingTest, EmptyRingCannotRebalance) {
+  PartitionRing ring(8, 3);
+  EXPECT_EQ(ring.Rebalance().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(RingTest, RebalanceIsIdempotent) {
+  auto ring = MakeRing(5);
+  std::vector<std::vector<DeviceId>> before;
+  for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+    before.push_back(ring.ReplicasOfPartition(p));
+  }
+  ASSERT_TRUE(ring.Rebalance().ok());
+  for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+    EXPECT_EQ(ring.ReplicasOfPartition(p), before[p]);
+  }
+}
+
+// Property sweep: balance and distinctness hold across ring shapes.
+class RingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RingPropertyTest, BalancedAndDistinct) {
+  const auto [devices, part_power, replicas] = GetParam();
+  PartitionRing ring(part_power, replicas);
+  for (int i = 0; i < devices; ++i) {
+    ASSERT_TRUE(ring.AddDevice(RingDevice{static_cast<DeviceId>(i),
+                                          "d" + std::to_string(i), 1.0})
+                    .ok());
+  }
+  ASSERT_TRUE(ring.Rebalance().ok());
+
+  const auto counts = ring.SlotCounts();
+  const double expected =
+      static_cast<double>(replicas) * ring.partition_count() / devices;
+  for (int i = 0; i < devices; ++i) {
+    EXPECT_NEAR(counts[static_cast<std::size_t>(i)], expected,
+                expected * 0.05 + 1.0);
+  }
+  if (devices >= replicas) {
+    for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+      const auto reps = ring.ReplicasOfPartition(p);
+      std::set<DeviceId> unique(reps.begin(), reps.end());
+      EXPECT_EQ(unique.size(), reps.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RingPropertyTest,
+    ::testing::Values(std::tuple{3, 8, 3}, std::tuple{8, 10, 3},
+                      std::tuple{9, 12, 3}, std::tuple{16, 10, 2},
+                      std::tuple{5, 6, 1}, std::tuple{32, 12, 3},
+                      std::tuple{7, 10, 5}));
+
+
+TEST(RingTest, IncrementalRebalanceKeepsReplicasDistinct) {
+  // Regression: after removing a node, refilled slots must not collide
+  // with assignments *kept* in later replica rows (found by
+  // MigrationTest.DecommissionDrainsNode).
+  auto ring = MakeRing(8);
+  ASSERT_TRUE(ring.RemoveDevice(3).ok());
+  ASSERT_TRUE(ring.Rebalance().ok());
+  for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+    const auto reps = ring.ReplicasOfPartition(p);
+    std::set<DeviceId> unique(reps.begin(), reps.end());
+    EXPECT_EQ(unique.size(), reps.size()) << "partition " << p;
+  }
+  // And again after growing back.
+  ASSERT_TRUE(ring.AddDevice(RingDevice{9, "dev9", 1.0}).ok());
+  ASSERT_TRUE(ring.Rebalance().ok());
+  for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+    const auto reps = ring.ReplicasOfPartition(p);
+    std::set<DeviceId> unique(reps.begin(), reps.end());
+    EXPECT_EQ(unique.size(), reps.size()) << "partition " << p;
+  }
+}
+
+TEST(RingTest, ChurnSequenceStaysConsistent) {
+  auto ring = MakeRing(5);
+  Rng rng(31);
+  DeviceId next_id = 5;
+  for (int step = 0; step < 20; ++step) {
+    if (rng.Chance(0.5) && ring.active_device_count() > 3) {
+      // Remove a random active device.
+      std::vector<DeviceId> active;
+      for (const auto& d : ring.devices()) {
+        if (d.active) active.push_back(d.id);
+      }
+      ASSERT_TRUE(ring.RemoveDevice(active[rng.Below(active.size())]).ok());
+    } else {
+      ASSERT_TRUE(
+          ring.AddDevice(RingDevice{next_id, "d" + std::to_string(next_id),
+                                    1.0 + rng.NextDouble()})
+              .ok());
+      ++next_id;
+    }
+    ASSERT_TRUE(ring.Rebalance().ok());
+    for (std::uint32_t p = 0; p < ring.partition_count(); p += 37) {
+      const auto reps = ring.ReplicasOfPartition(p);
+      ASSERT_EQ(reps.size(), 3u);
+      if (ring.active_device_count() >= 3) {
+        std::set<DeviceId> unique(reps.begin(), reps.end());
+        EXPECT_EQ(unique.size(), reps.size());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,239 @@
+// End-to-end tests of the H2Cloud web APIs (§4.3) over real sockets:
+// account lifecycle, the three route families, error mapping, and the
+// cost headers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "codec/formatter.h"
+#include "h2/web_api.h"
+
+namespace h2 {
+namespace {
+
+class WebApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    H2CloudConfig cfg;
+    cfg.cloud.part_power = 8;
+    cloud_ = std::make_unique<H2Cloud>(cfg);
+    api_ = std::make_unique<H2WebApi>(*cloud_);
+    ASSERT_TRUE(api_->StartServer().ok());
+    client_ = std::make_unique<HttpClient>(api_->port());
+    ASSERT_EQ(client_->Put("/v1/accounts/alice", "")->status, 201);
+  }
+
+  void TearDown() override { api_->StopServer(); }
+
+  HttpClient& client() { return *client_; }
+
+  std::unique_ptr<H2Cloud> cloud_;
+  std::unique_ptr<H2WebApi> api_;
+  std::unique_ptr<HttpClient> client_;
+};
+
+TEST_F(WebApiTest, AccountLifecycle) {
+  EXPECT_EQ(client().Put("/v1/accounts/alice", "")->status, 409);
+  EXPECT_EQ(client().Put("/v1/accounts/bob", "")->status, 201);
+  EXPECT_EQ(client().Delete("/v1/accounts/bob")->status, 200);
+  EXPECT_EQ(client().Delete("/v1/accounts/bob")->status, 404);
+  EXPECT_EQ(client().Put("/v1/accounts/", "")->status, 400);
+}
+
+TEST_F(WebApiTest, WriteReadRoundTrip) {
+  auto mk = client().Post("/v1/alice/fs/docs", {{"x-op", "mkdir"}});
+  ASSERT_TRUE(mk.ok());
+  EXPECT_EQ(mk->status, 200);
+  auto put = client().Put("/v1/alice/fs/docs/note.txt", "hello over http");
+  ASSERT_TRUE(put.ok());
+  EXPECT_EQ(put->status, 200);
+  auto get = client().Get("/v1/alice/fs/docs/note.txt");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get->status, 200);
+  EXPECT_EQ(get->body, "hello over http");
+  EXPECT_EQ(get->headers.at("x-logical-size"), "15");
+}
+
+TEST_F(WebApiTest, CostHeadersPresent) {
+  auto put = client().Put("/v1/alice/fs/f", "x");
+  ASSERT_TRUE(put.ok());
+  ASSERT_TRUE(put->headers.contains("x-op-ms"));
+  EXPECT_GT(std::stod(put->headers.at("x-op-ms")), 1.0);
+  EXPECT_GE(std::stoull(put->headers.at("x-op-primitives")), 2ull);
+}
+
+TEST_F(WebApiTest, StatAndList) {
+  ASSERT_EQ(client().Post("/v1/alice/fs/d", {{"x-op", "mkdir"}})->status,
+            200);
+  ASSERT_EQ(client().Put("/v1/alice/fs/d/a", "AA")->status, 200);
+  ASSERT_EQ(client().Put("/v1/alice/fs/d/b", "BBB")->status, 200);
+
+  auto stat = client().Get("/v1/alice/fs/d/b?stat=1");
+  ASSERT_TRUE(stat.ok());
+  ASSERT_EQ(stat->status, 200);
+  auto record = KvRecord::Parse(stat->body);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->Get("kind"), "file");
+  EXPECT_EQ(*record->GetUint("size"), 3u);
+
+  auto names = client().Get("/v1/alice/fs/d?list=names");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->body, "a|F\nb|F\n");
+
+  auto detail = client().Get("/v1/alice/fs/d?list=detail");
+  ASSERT_TRUE(detail.ok());
+  auto first_line = detail->body.substr(0, detail->body.find('\n'));
+  auto fields = ParseTupleLine(first_line);
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 4u);
+  EXPECT_EQ((*fields)[0], "a");
+  EXPECT_EQ((*fields)[2], "2");  // size of "AA"
+}
+
+TEST_F(WebApiTest, MoveRenameCopy) {
+  ASSERT_EQ(client().Post("/v1/alice/fs/a", {{"x-op", "mkdir"}})->status,
+            200);
+  ASSERT_EQ(client().Post("/v1/alice/fs/b", {{"x-op", "mkdir"}})->status,
+            200);
+  ASSERT_EQ(client().Put("/v1/alice/fs/a/f", "data")->status, 200);
+
+  ASSERT_EQ(client()
+                .Post("/v1/alice/fs/a/f",
+                      {{"x-op", "move"}, {"x-dest", "/b/g"}})
+                ->status,
+            200);
+  EXPECT_EQ(client().Get("/v1/alice/fs/a/f")->status, 404);
+  EXPECT_EQ(client().Get("/v1/alice/fs/b/g")->body, "data");
+
+  ASSERT_EQ(client()
+                .Post("/v1/alice/fs/b/g",
+                      {{"x-op", "rename"}, {"x-name", "h"}})
+                ->status,
+            200);
+  EXPECT_EQ(client().Get("/v1/alice/fs/b/h")->body, "data");
+
+  ASSERT_EQ(client()
+                .Post("/v1/alice/fs/b",
+                      {{"x-op", "copy"}, {"x-dest", "/b2"}})
+                ->status,
+            200);
+  EXPECT_EQ(client().Get("/v1/alice/fs/b2/h")->body, "data");
+}
+
+TEST_F(WebApiTest, DeleteFileAndRmdir) {
+  ASSERT_EQ(client().Post("/v1/alice/fs/d", {{"x-op", "mkdir"}})->status,
+            200);
+  ASSERT_EQ(client().Put("/v1/alice/fs/d/f", "x")->status, 200);
+  // Plain DELETE refuses a directory...
+  EXPECT_EQ(client().Delete("/v1/alice/fs/d")->status, 409);
+  // ...file delete and recursive rmdir work.
+  EXPECT_EQ(client().Delete("/v1/alice/fs/d/f")->status, 200);
+  ASSERT_EQ(client().Put("/v1/alice/fs/d/g", "y")->status, 200);
+  EXPECT_EQ(client().Delete("/v1/alice/fs/d?dir=1")->status, 200);
+  EXPECT_EQ(client().Get("/v1/alice/fs/d?stat=1")->status, 404);
+}
+
+TEST_F(WebApiTest, SyntheticLargeFileViaHeader) {
+  HttpRequest request;
+  request.method = "PUT";
+  request.target = "/v1/alice/fs/video.mp4";
+  request.body = "sample";
+  request.headers["x-logical-size"] = std::to_string(1ULL << 30);
+  ASSERT_EQ(client().Send(request)->status, 200);
+  auto stat = client().Get("/v1/alice/fs/video.mp4?stat=1");
+  auto record = KvRecord::Parse(stat->body);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(*record->GetUint("size"), 1ULL << 30);
+}
+
+TEST_F(WebApiTest, EncodedPathsRoundTrip) {
+  const std::string dir = "/dir with spaces";
+  ASSERT_EQ(client()
+                .Post("/v1/alice/fs" + UrlEncode(dir), {{"x-op", "mkdir"}})
+                ->status,
+            200);
+  const std::string file = dir + "/100% weird|name";
+  ASSERT_EQ(client().Put("/v1/alice/fs" + UrlEncode(file), "w")->status,
+            200);
+  EXPECT_EQ(client().Get("/v1/alice/fs" + UrlEncode(file))->body, "w");
+}
+
+TEST_F(WebApiTest, ErrorMapping) {
+  EXPECT_EQ(client().Get("/v1/alice/fs/missing")->status, 404);
+  EXPECT_EQ(client().Get("/v1/nobody/fs/x")->status, 404);
+  EXPECT_EQ(client().Get("/v2/alice/fs/x")->status, 404);
+  EXPECT_EQ(client()
+                .Post("/v1/alice/fs/x", {{"x-op", "frobnicate"}})
+                ->status,
+            400);
+  EXPECT_EQ(client().Post("/v1/alice/fs/x", {{"x-op", "move"}})->status,
+            400);  // missing x-dest
+  auto conflict = client().Post("/v1/alice/fs/c", {{"x-op", "mkdir"}});
+  ASSERT_EQ(conflict->status, 200);
+  EXPECT_EQ(client().Post("/v1/alice/fs/c", {{"x-op", "mkdir"}})->status,
+            409);
+}
+
+TEST_F(WebApiTest, ListRootOfFreshAccount) {
+  auto names = client().Get("/v1/alice/fs?list=names");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->status, 200);
+  EXPECT_EQ(names->body, "");
+}
+
+TEST_F(WebApiTest, ConcurrentHttpWriters) {
+  ASSERT_EQ(client().Post("/v1/alice/fs/hot", {{"x-op", "mkdir"}})->status,
+            200);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      HttpClient local(api_->port());
+      for (int i = 0; i < 10; ++i) {
+        auto response = local.Put("/v1/alice/fs/hot/t" + std::to_string(t) +
+                                      "_" + std::to_string(i),
+                                  "x");
+        if (!response.ok() || response->status != 200) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  cloud_->RunMaintenanceToQuiescence();
+  auto names = client().Get("/v1/alice/fs/hot?list=names");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(std::count(names->body.begin(), names->body.end(), '\n'), 40);
+}
+
+
+TEST_F(WebApiTest, PagedListWithMarkers) {
+  ASSERT_EQ(client().Post("/v1/alice/fs/d", {{"x-op", "mkdir"}})->status,
+            200);
+  for (int i = 0; i < 25; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/v1/alice/fs/d/f%02d", i);
+    ASSERT_EQ(client().Put(buf, "x")->status, 200);
+  }
+  std::string marker;
+  int collected = 0, pages = 0;
+  for (;;) {
+    std::string target = "/v1/alice/fs/d?list=names&limit=10";
+    if (!marker.empty()) target += "&marker=" + marker;
+    auto page = client().Get(target);
+    ASSERT_TRUE(page.ok());
+    ASSERT_EQ(page->status, 200);
+    collected += static_cast<int>(
+        std::count(page->body.begin(), page->body.end(), '\n'));
+    ++pages;
+    auto next = page->headers.find("x-next-marker");
+    if (next == page->headers.end()) break;
+    marker = next->second;
+  }
+  EXPECT_EQ(collected, 25);
+  EXPECT_EQ(pages, 3);
+  EXPECT_EQ(client().Get("/v1/alice/fs/d?list=names&limit=abc")->status,
+            400);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/swift_fs.h"
+#include "fs/path.h"
+#include "h2/h2cloud.h"
+#include "workload/trace.h"
+#include "workload/tree_gen.h"
+
+namespace h2 {
+namespace {
+
+TEST(TreeGenTest, DeterministicForSeed) {
+  const TreeSpec spec = TreeSpec::Light(42);
+  const GeneratedTree a = GenerateTree(spec);
+  const GeneratedTree b = GenerateTree(spec);
+  ASSERT_EQ(a.dirs.size(), b.dirs.size());
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (std::size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].path, b.files[i].path);
+    EXPECT_EQ(a.files[i].size, b.files[i].size);
+  }
+}
+
+TEST(TreeGenTest, DifferentSeedsDiffer) {
+  const GeneratedTree a = GenerateTree(TreeSpec::Light(1));
+  const GeneratedTree b = GenerateTree(TreeSpec::Light(2));
+  bool any_diff = a.files.size() != b.files.size();
+  for (std::size_t i = 0; !any_diff && i < a.files.size(); ++i) {
+    any_diff = a.files[i].path != b.files[i].path ||
+               a.files[i].size != b.files[i].size;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TreeGenTest, RespectsCounts) {
+  TreeSpec spec;
+  spec.file_count = 500;
+  spec.dir_count = 50;
+  spec.max_depth = 6;
+  const GeneratedTree tree = GenerateTree(spec);
+  EXPECT_EQ(tree.dirs.size(), 50u);
+  EXPECT_EQ(tree.files.size(), 500u);
+  EXPECT_LE(tree.max_depth(), 7u);  // dirs <= 6 deep, files one deeper
+}
+
+TEST(TreeGenTest, ParentsComeBeforeChildren) {
+  const GeneratedTree tree = GenerateTree(TreeSpec::Heavy(3));
+  std::set<std::string> seen{"/"};
+  for (const auto& dir : tree.dirs) {
+    EXPECT_TRUE(seen.contains(ParentPath(dir))) << dir;
+    seen.insert(dir);
+  }
+  for (const auto& file : tree.files) {
+    EXPECT_TRUE(seen.contains(ParentPath(file.path))) << file.path;
+  }
+}
+
+TEST(TreeGenTest, PathsAreUnique) {
+  const GeneratedTree tree = GenerateTree(TreeSpec::Light(9));
+  std::set<std::string> paths(tree.dirs.begin(), tree.dirs.end());
+  for (const auto& f : tree.files) {
+    EXPECT_TRUE(paths.insert(f.path).second) << f.path;
+  }
+}
+
+TEST(TreeGenTest, FileSizeDistributionMatchesPaper) {
+  // §5.1: sub-KB configs through multi-GB videos, ~1 MB mean object size.
+  Rng rng(123);
+  double total = 0;
+  std::size_t tiny = 0, huge = 0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t size = SampleFileSize(rng);
+    total += static_cast<double>(size);
+    if (size < 1024) ++tiny;
+    if (size > (1ULL << 30)) ++huge;
+  }
+  const double mean_mib = total / kSamples / (1 << 20);
+  EXPECT_GT(mean_mib, 0.3);
+  EXPECT_LT(mean_mib, 6.0);
+  EXPECT_GT(tiny, kSamples / 3);        // plenty of tiny config files
+  EXPECT_GT(huge, 10u);                 // the multi-GB tail exists
+  EXPECT_LT(huge, kSamples / 100);
+}
+
+TEST(TreeGenTest, PopulateRoundTripsThroughH2) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+
+  const GeneratedTree tree = GenerateTree(TreeSpec::Light(5));
+  OpCost cost;
+  ASSERT_TRUE(PopulateTree(*fs, tree, &cost).ok());
+  EXPECT_GT(cost.elapsed, 0);
+  EXPECT_GT(cost.puts, tree.files.size());
+
+  for (std::size_t i = 0; i < tree.files.size(); i += 37) {
+    auto info = fs->Stat(tree.files[i].path);
+    ASSERT_TRUE(info.ok()) << tree.files[i].path;
+    EXPECT_EQ(info->size, tree.files[i].size);
+  }
+}
+
+TEST(TraceTest, DeterministicAndComplete) {
+  const GeneratedTree tree = GenerateTree(TreeSpec::Light(5));
+  const auto a = GenerateTrace(tree, 300, TraceMix{}, 11);
+  const auto b = GenerateTrace(tree, 300, TraceMix{}, 11);
+  ASSERT_EQ(a.size(), 300u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].path, b[i].path);
+    EXPECT_EQ(a[i].path2, b[i].path2);
+  }
+}
+
+TEST(TraceTest, MixIsRespected) {
+  const GeneratedTree tree = GenerateTree(TreeSpec::Light(5));
+  TraceMix mix;
+  mix.stat = 100;
+  mix.read = mix.write = mix.list = mix.mkdir = mix.move = mix.rename =
+      mix.copy = mix.remove = mix.rmdir = 0;
+  const auto trace = GenerateTrace(tree, 100, mix, 1);
+  for (const TraceOp& op : trace) {
+    EXPECT_EQ(op.kind, TraceOpKind::kStat);
+  }
+}
+
+TEST(TraceTest, ReplaysWithoutFailuresOnH2) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  const GeneratedTree tree = GenerateTree(TreeSpec::Light(8));
+  ASSERT_TRUE(PopulateTree(*fs, tree).ok());
+  const auto trace = GenerateTrace(tree, 400, TraceMix{}, 21);
+  const ReplayStats stats = ReplayTrace(*fs, trace);
+  EXPECT_EQ(stats.failures, 0u) << "trace must be valid against the model";
+  EXPECT_EQ(stats.ops, 400u);
+  EXPECT_GT(stats.total_cost.elapsed, 0);
+}
+
+TEST(TraceTest, ReplaysIdenticallyAcrossSystems) {
+  // The same trace must be valid for every implementation -- that is what
+  // makes cross-system comparisons fair.
+  const GeneratedTree tree = GenerateTree(TreeSpec::Light(13));
+  const auto trace = GenerateTrace(tree, 300, TraceMix{}, 5);
+
+  CloudConfig cloud_cfg;
+  cloud_cfg.part_power = 8;
+  ObjectCloud swift_cloud(cloud_cfg);
+  SwiftFs swift(swift_cloud);
+  ASSERT_TRUE(PopulateTree(swift, tree).ok());
+  EXPECT_EQ(ReplayTrace(swift, trace).failures, 0u);
+}
+
+TEST(BuildersTest, FillDirectoryAndChain) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+
+  ASSERT_TRUE(FillDirectory(*fs, "/dir", 25).ok());
+  auto entries = fs->List("/dir", ListDetail::kNamesOnly);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 25u);
+
+  auto deepest = MakeChain(*fs, 6);
+  ASSERT_TRUE(deepest.ok());
+  EXPECT_EQ(PathDepth(*deepest), 6u);
+  EXPECT_TRUE(fs->Stat(*deepest).ok());
+}
+
+}  // namespace
+}  // namespace h2

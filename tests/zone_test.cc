@@ -1,0 +1,152 @@
+// Multi-zone (geo-distributed) deployment tests: zone-aware replica
+// placement, read affinity, inter-zone latency, and whole-zone outage
+// survival -- the deployment §4.1 sketches ("the object storage cloud is
+// geographically distributed across several data centers").
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/object_cloud.h"
+#include "h2/h2cloud.h"
+
+namespace h2 {
+namespace {
+
+CloudConfig GeoCloud(int zones = 3, VirtualNanos inter_zone =
+                                        FromMillis(20.0)) {
+  CloudConfig cfg;
+  cfg.node_count = 9;  // 3 per zone
+  cfg.zone_count = zones;
+  cfg.part_power = 8;
+  cfg.latency.inter_zone_hop = inter_zone;
+  return cfg;
+}
+
+TEST(ZoneTest, ReplicasSpanDistinctZones) {
+  ObjectCloud cloud(GeoCloud());
+  OpMeter meter;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), meter)
+                    .ok());
+  }
+  // Every object's replicas live in three different zones.
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "obj" + std::to_string(i);
+    std::set<std::uint32_t> zones;
+    for (std::size_t n = 0; n < cloud.node_count(); ++n) {
+      if (cloud.node(n).Contains(key)) zones.insert(cloud.node(n).zone());
+    }
+    EXPECT_EQ(zones.size(), 3u) << key;
+  }
+}
+
+TEST(ZoneTest, LocalReadsAreCheaperThanRemote) {
+  ObjectCloud cloud(GeoCloud());
+  OpMeter local, remote;
+  local.SetZone(0);
+  ASSERT_TRUE(
+      cloud.Put("key", ObjectValue::FromString("v", 0), local).ok());
+
+  // With a replica in every zone, a zone-0 reader always finds one local.
+  local.Reset();
+  ASSERT_TRUE(cloud.Get("key", local).ok());
+
+  // A reader from a zone that holds no replica... every zone holds one
+  // (3 zones, 3 replicas), so make the read remote by taking the local
+  // replica's node down.
+  for (std::size_t n = 0; n < cloud.node_count(); ++n) {
+    if (cloud.node(n).zone() == 0 && cloud.node(n).Contains("key")) {
+      cloud.node(n).SetDown(true);
+    }
+  }
+  remote.SetZone(0);
+  ASSERT_TRUE(cloud.Get("key", remote).ok());
+  EXPECT_GT(remote.cost().elapsed,
+            local.cost().elapsed + FromMillis(15.0));
+}
+
+TEST(ZoneTest, WholeZoneOutageSurvivable) {
+  ObjectCloud cloud(GeoCloud());
+  OpMeter meter;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), meter)
+                    .ok());
+  }
+  // Zone 1 goes dark entirely.
+  for (std::size_t n = 0; n < cloud.node_count(); ++n) {
+    if (cloud.node(n).zone() == 1) cloud.node(n).SetDown(true);
+  }
+  // Reads and writes keep working: replicas span zones and quorum = 2.
+  for (int i = 0; i < 100; i += 7) {
+    EXPECT_TRUE(cloud.Get("obj" + std::to_string(i), meter).ok());
+  }
+  for (int i = 100; i < 120; ++i) {
+    EXPECT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), meter)
+                    .ok());
+  }
+}
+
+TEST(ZoneTest, SingleZoneBehavesAsBefore) {
+  CloudConfig cfg;
+  cfg.part_power = 8;
+  ObjectCloud cloud(cfg);  // zone_count = 1
+  OpMeter meter;
+  ASSERT_TRUE(cloud.Put("k", ObjectValue::FromString("v", 0), meter).ok());
+  meter.Reset();
+  ASSERT_TRUE(cloud.Get("k", meter).ok());
+  EXPECT_LT(meter.cost().elapsed_ms(), 12.0);  // no surcharge anywhere
+}
+
+TEST(ZoneTest, H2MiddlewaresInDifferentZones) {
+  // Two middlewares in two data centers over one geo cloud: both see the
+  // same filesystem; the remote one pays inter-zone latency on reads that
+  // miss its zone.
+  H2CloudConfig cfg;
+  cfg.cloud = GeoCloud(3, FromMillis(30.0));
+  cfg.middleware_count = 2;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("geo").ok());
+  auto fs0 = std::move(cloud.OpenFilesystem("geo", 0)).value();
+  auto fs1 = std::move(cloud.OpenFilesystem("geo", 1)).value();
+
+  ASSERT_TRUE(fs0->Mkdir("/shared").ok());
+  ASSERT_TRUE(
+      fs0->WriteFile("/shared/doc", FileBlob::FromString("geo")).ok());
+  cloud.RunMaintenanceToQuiescence();
+
+  EXPECT_EQ(fs1->ReadFile("/shared/doc")->data, "geo");
+  // Cross-zone maintenance still converges.
+  ASSERT_TRUE(fs1->WriteFile("/shared/reply", FileBlob::FromString("ok"))
+                  .ok());
+  cloud.RunMaintenanceToQuiescence();
+  auto names = fs0->List("/shared", ListDetail::kNamesOnly);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 2u);
+}
+
+TEST(ZoneTest, FewZonesFallsBackToDeviceDistinctness) {
+  // 2 zones < 3 replicas: zone distinctness is impossible; device
+  // distinctness must still hold.
+  CloudConfig cfg;
+  cfg.node_count = 8;
+  cfg.zone_count = 2;
+  cfg.part_power = 8;
+  ObjectCloud cloud(cfg);
+  OpMeter meter;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), meter)
+                    .ok());
+  }
+  EXPECT_EQ(cloud.RawObjectCount(), 300u);  // 3 distinct devices each
+}
+
+}  // namespace
+}  // namespace h2
