@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_h2.dir/ablation_h2.cc.o"
+  "CMakeFiles/ablation_h2.dir/ablation_h2.cc.o.d"
+  "ablation_h2"
+  "ablation_h2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_h2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

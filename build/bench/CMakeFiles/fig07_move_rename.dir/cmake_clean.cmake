@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_move_rename.dir/fig07_move_rename.cc.o"
+  "CMakeFiles/fig07_move_rename.dir/fig07_move_rename.cc.o.d"
+  "fig07_move_rename"
+  "fig07_move_rename.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_move_rename.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_rmdir.dir/fig08_rmdir.cc.o"
+  "CMakeFiles/fig08_rmdir.dir/fig08_rmdir.cc.o.d"
+  "fig08_rmdir"
+  "fig08_rmdir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_rmdir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

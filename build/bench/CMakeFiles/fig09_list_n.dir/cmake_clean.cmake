@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_list_n.dir/fig09_list_n.cc.o"
+  "CMakeFiles/fig09_list_n.dir/fig09_list_n.cc.o.d"
+  "fig09_list_n"
+  "fig09_list_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_list_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_list_m.dir/fig10_list_m.cc.o"
+  "CMakeFiles/fig10_list_m.dir/fig10_list_m.cc.o.d"
+  "fig10_list_m"
+  "fig10_list_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_list_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

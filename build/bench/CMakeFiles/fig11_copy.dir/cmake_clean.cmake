@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_copy.dir/fig11_copy.cc.o"
+  "CMakeFiles/fig11_copy.dir/fig11_copy.cc.o.d"
+  "fig11_copy"
+  "fig11_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

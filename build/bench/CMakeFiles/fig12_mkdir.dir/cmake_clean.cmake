@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mkdir.dir/fig12_mkdir.cc.o"
+  "CMakeFiles/fig12_mkdir.dir/fig12_mkdir.cc.o.d"
+  "fig12_mkdir"
+  "fig12_mkdir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mkdir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

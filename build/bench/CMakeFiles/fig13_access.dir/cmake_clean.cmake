@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_access.dir/fig13_access.cc.o"
+  "CMakeFiles/fig13_access.dir/fig13_access.cc.o.d"
+  "fig13_access"
+  "fig13_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_objects.dir/fig14_objects.cc.o"
+  "CMakeFiles/fig14_objects.dir/fig14_objects.cc.o.d"
+  "fig14_objects"
+  "fig14_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

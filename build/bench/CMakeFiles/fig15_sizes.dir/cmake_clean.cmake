@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sizes.dir/fig15_sizes.cc.o"
+  "CMakeFiles/fig15_sizes.dir/fig15_sizes.cc.o.d"
+  "fig15_sizes"
+  "fig15_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtt_impact.dir/rtt_impact.cc.o"
+  "CMakeFiles/rtt_impact.dir/rtt_impact.cc.o.d"
+  "rtt_impact"
+  "rtt_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtt_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_complexity.dir/tab1_complexity.cc.o"
+  "CMakeFiles/tab1_complexity.dir/tab1_complexity.cc.o.d"
+  "tab1_complexity"
+  "tab1_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

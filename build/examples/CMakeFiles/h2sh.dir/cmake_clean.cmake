@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2sh.dir/h2sh.cpp.o"
+  "CMakeFiles/h2sh.dir/h2sh.cpp.o.d"
+  "h2sh"
+  "h2sh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2sh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

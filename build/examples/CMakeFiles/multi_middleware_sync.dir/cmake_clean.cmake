@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_middleware_sync.dir/multi_middleware_sync.cpp.o"
+  "CMakeFiles/multi_middleware_sync.dir/multi_middleware_sync.cpp.o.d"
+  "multi_middleware_sync"
+  "multi_middleware_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_middleware_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

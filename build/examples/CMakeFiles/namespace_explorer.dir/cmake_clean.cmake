@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namespace_explorer.dir/namespace_explorer.cpp.o"
+  "CMakeFiles/namespace_explorer.dir/namespace_explorer.cpp.o.d"
+  "namespace_explorer"
+  "namespace_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namespace_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personal_cloud_drive.dir/personal_cloud_drive.cpp.o"
+  "CMakeFiles/personal_cloud_drive.dir/personal_cloud_drive.cpp.o.d"
+  "personal_cloud_drive"
+  "personal_cloud_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personal_cloud_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

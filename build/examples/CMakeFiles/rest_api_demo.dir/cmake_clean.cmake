@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_api_demo.dir/rest_api_demo.cpp.o"
+  "CMakeFiles/rest_api_demo.dir/rest_api_demo.cpp.o.d"
+  "rest_api_demo"
+  "rest_api_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_api_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

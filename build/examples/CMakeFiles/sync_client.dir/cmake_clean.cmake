@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_client.dir/sync_client.cpp.o"
+  "CMakeFiles/sync_client.dir/sync_client.cpp.o.d"
+  "sync_client"
+  "sync_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hash")
+subdirs("codec")
+subdirs("ring")
+subdirs("cluster")
+subdirs("net")
+subdirs("gossip")
+subdirs("fs")
+subdirs("h2")
+subdirs("baselines")
+subdirs("workload")
+subdirs("metrics")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cas_fs.cc" "src/baselines/CMakeFiles/h2_baselines.dir/cas_fs.cc.o" "gcc" "src/baselines/CMakeFiles/h2_baselines.dir/cas_fs.cc.o.d"
+  "/root/repo/src/baselines/ch_fs.cc" "src/baselines/CMakeFiles/h2_baselines.dir/ch_fs.cc.o" "gcc" "src/baselines/CMakeFiles/h2_baselines.dir/ch_fs.cc.o.d"
+  "/root/repo/src/baselines/common/tree_index.cc" "src/baselines/CMakeFiles/h2_baselines.dir/common/tree_index.cc.o" "gcc" "src/baselines/CMakeFiles/h2_baselines.dir/common/tree_index.cc.o.d"
+  "/root/repo/src/baselines/index_fs.cc" "src/baselines/CMakeFiles/h2_baselines.dir/index_fs.cc.o" "gcc" "src/baselines/CMakeFiles/h2_baselines.dir/index_fs.cc.o.d"
+  "/root/repo/src/baselines/snapshot_fs.cc" "src/baselines/CMakeFiles/h2_baselines.dir/snapshot_fs.cc.o" "gcc" "src/baselines/CMakeFiles/h2_baselines.dir/snapshot_fs.cc.o.d"
+  "/root/repo/src/baselines/swift_fs.cc" "src/baselines/CMakeFiles/h2_baselines.dir/swift_fs.cc.o" "gcc" "src/baselines/CMakeFiles/h2_baselines.dir/swift_fs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/h2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/h2_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/h2_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/h2_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/h2_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/h2_ring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_baselines.dir/cas_fs.cc.o"
+  "CMakeFiles/h2_baselines.dir/cas_fs.cc.o.d"
+  "CMakeFiles/h2_baselines.dir/ch_fs.cc.o"
+  "CMakeFiles/h2_baselines.dir/ch_fs.cc.o.d"
+  "CMakeFiles/h2_baselines.dir/common/tree_index.cc.o"
+  "CMakeFiles/h2_baselines.dir/common/tree_index.cc.o.d"
+  "CMakeFiles/h2_baselines.dir/index_fs.cc.o"
+  "CMakeFiles/h2_baselines.dir/index_fs.cc.o.d"
+  "CMakeFiles/h2_baselines.dir/snapshot_fs.cc.o"
+  "CMakeFiles/h2_baselines.dir/snapshot_fs.cc.o.d"
+  "CMakeFiles/h2_baselines.dir/swift_fs.cc.o"
+  "CMakeFiles/h2_baselines.dir/swift_fs.cc.o.d"
+  "libh2_baselines.a"
+  "libh2_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/latency.cc" "src/cluster/CMakeFiles/h2_cluster.dir/latency.cc.o" "gcc" "src/cluster/CMakeFiles/h2_cluster.dir/latency.cc.o.d"
+  "/root/repo/src/cluster/object_cloud.cc" "src/cluster/CMakeFiles/h2_cluster.dir/object_cloud.cc.o" "gcc" "src/cluster/CMakeFiles/h2_cluster.dir/object_cloud.cc.o.d"
+  "/root/repo/src/cluster/storage_node.cc" "src/cluster/CMakeFiles/h2_cluster.dir/storage_node.cc.o" "gcc" "src/cluster/CMakeFiles/h2_cluster.dir/storage_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/h2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/h2_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/h2_ring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_cluster.dir/latency.cc.o"
+  "CMakeFiles/h2_cluster.dir/latency.cc.o.d"
+  "CMakeFiles/h2_cluster.dir/object_cloud.cc.o"
+  "CMakeFiles/h2_cluster.dir/object_cloud.cc.o.d"
+  "CMakeFiles/h2_cluster.dir/storage_node.cc.o"
+  "CMakeFiles/h2_cluster.dir/storage_node.cc.o.d"
+  "libh2_cluster.a"
+  "libh2_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

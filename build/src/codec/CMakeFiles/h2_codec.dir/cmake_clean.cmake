@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_codec.dir/formatter.cc.o"
+  "CMakeFiles/h2_codec.dir/formatter.cc.o.d"
+  "libh2_codec.a"
+  "libh2_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

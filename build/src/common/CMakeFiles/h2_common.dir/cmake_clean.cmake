@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_common.dir/rng.cc.o"
+  "CMakeFiles/h2_common.dir/rng.cc.o.d"
+  "CMakeFiles/h2_common.dir/status.cc.o"
+  "CMakeFiles/h2_common.dir/status.cc.o.d"
+  "CMakeFiles/h2_common.dir/strings.cc.o"
+  "CMakeFiles/h2_common.dir/strings.cc.o.d"
+  "libh2_common.a"
+  "libh2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

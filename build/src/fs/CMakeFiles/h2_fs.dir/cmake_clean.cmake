@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_fs.dir/filesystem.cc.o"
+  "CMakeFiles/h2_fs.dir/filesystem.cc.o.d"
+  "CMakeFiles/h2_fs.dir/path.cc.o"
+  "CMakeFiles/h2_fs.dir/path.cc.o.d"
+  "libh2_fs.a"
+  "libh2_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_gossip.dir/gossip.cc.o"
+  "CMakeFiles/h2_gossip.dir/gossip.cc.o.d"
+  "libh2_gossip.a"
+  "libh2_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/h2/account_fs.cc" "src/h2/CMakeFiles/h2_core.dir/account_fs.cc.o" "gcc" "src/h2/CMakeFiles/h2_core.dir/account_fs.cc.o.d"
+  "/root/repo/src/h2/h2cloud.cc" "src/h2/CMakeFiles/h2_core.dir/h2cloud.cc.o" "gcc" "src/h2/CMakeFiles/h2_core.dir/h2cloud.cc.o.d"
+  "/root/repo/src/h2/intent_log.cc" "src/h2/CMakeFiles/h2_core.dir/intent_log.cc.o" "gcc" "src/h2/CMakeFiles/h2_core.dir/intent_log.cc.o.d"
+  "/root/repo/src/h2/keys.cc" "src/h2/CMakeFiles/h2_core.dir/keys.cc.o" "gcc" "src/h2/CMakeFiles/h2_core.dir/keys.cc.o.d"
+  "/root/repo/src/h2/middleware.cc" "src/h2/CMakeFiles/h2_core.dir/middleware.cc.o" "gcc" "src/h2/CMakeFiles/h2_core.dir/middleware.cc.o.d"
+  "/root/repo/src/h2/monitor.cc" "src/h2/CMakeFiles/h2_core.dir/monitor.cc.o" "gcc" "src/h2/CMakeFiles/h2_core.dir/monitor.cc.o.d"
+  "/root/repo/src/h2/name_ring.cc" "src/h2/CMakeFiles/h2_core.dir/name_ring.cc.o" "gcc" "src/h2/CMakeFiles/h2_core.dir/name_ring.cc.o.d"
+  "/root/repo/src/h2/records.cc" "src/h2/CMakeFiles/h2_core.dir/records.cc.o" "gcc" "src/h2/CMakeFiles/h2_core.dir/records.cc.o.d"
+  "/root/repo/src/h2/scrub.cc" "src/h2/CMakeFiles/h2_core.dir/scrub.cc.o" "gcc" "src/h2/CMakeFiles/h2_core.dir/scrub.cc.o.d"
+  "/root/repo/src/h2/web_api.cc" "src/h2/CMakeFiles/h2_core.dir/web_api.cc.o" "gcc" "src/h2/CMakeFiles/h2_core.dir/web_api.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/h2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/h2_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/h2_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/h2_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/h2_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/h2_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/h2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/h2_ring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_core.dir/account_fs.cc.o"
+  "CMakeFiles/h2_core.dir/account_fs.cc.o.d"
+  "CMakeFiles/h2_core.dir/h2cloud.cc.o"
+  "CMakeFiles/h2_core.dir/h2cloud.cc.o.d"
+  "CMakeFiles/h2_core.dir/intent_log.cc.o"
+  "CMakeFiles/h2_core.dir/intent_log.cc.o.d"
+  "CMakeFiles/h2_core.dir/keys.cc.o"
+  "CMakeFiles/h2_core.dir/keys.cc.o.d"
+  "CMakeFiles/h2_core.dir/middleware.cc.o"
+  "CMakeFiles/h2_core.dir/middleware.cc.o.d"
+  "CMakeFiles/h2_core.dir/monitor.cc.o"
+  "CMakeFiles/h2_core.dir/monitor.cc.o.d"
+  "CMakeFiles/h2_core.dir/name_ring.cc.o"
+  "CMakeFiles/h2_core.dir/name_ring.cc.o.d"
+  "CMakeFiles/h2_core.dir/records.cc.o"
+  "CMakeFiles/h2_core.dir/records.cc.o.d"
+  "CMakeFiles/h2_core.dir/scrub.cc.o"
+  "CMakeFiles/h2_core.dir/scrub.cc.o.d"
+  "CMakeFiles/h2_core.dir/web_api.cc.o"
+  "CMakeFiles/h2_core.dir/web_api.cc.o.d"
+  "libh2_core.a"
+  "libh2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

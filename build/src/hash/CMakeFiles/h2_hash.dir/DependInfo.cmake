@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/fast_hash.cc" "src/hash/CMakeFiles/h2_hash.dir/fast_hash.cc.o" "gcc" "src/hash/CMakeFiles/h2_hash.dir/fast_hash.cc.o.d"
+  "/root/repo/src/hash/md5.cc" "src/hash/CMakeFiles/h2_hash.dir/md5.cc.o" "gcc" "src/hash/CMakeFiles/h2_hash.dir/md5.cc.o.d"
+  "/root/repo/src/hash/uuid.cc" "src/hash/CMakeFiles/h2_hash.dir/uuid.cc.o" "gcc" "src/hash/CMakeFiles/h2_hash.dir/uuid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/h2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

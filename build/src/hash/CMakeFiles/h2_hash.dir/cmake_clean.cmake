@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_hash.dir/fast_hash.cc.o"
+  "CMakeFiles/h2_hash.dir/fast_hash.cc.o.d"
+  "CMakeFiles/h2_hash.dir/md5.cc.o"
+  "CMakeFiles/h2_hash.dir/md5.cc.o.d"
+  "CMakeFiles/h2_hash.dir/uuid.cc.o"
+  "CMakeFiles/h2_hash.dir/uuid.cc.o.d"
+  "libh2_hash.a"
+  "libh2_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_metrics.dir/stats.cc.o"
+  "CMakeFiles/h2_metrics.dir/stats.cc.o.d"
+  "libh2_metrics.a"
+  "libh2_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

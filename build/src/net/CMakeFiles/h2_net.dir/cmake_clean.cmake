@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_net.dir/http.cc.o"
+  "CMakeFiles/h2_net.dir/http.cc.o.d"
+  "libh2_net.a"
+  "libh2_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

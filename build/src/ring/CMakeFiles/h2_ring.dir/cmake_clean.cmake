@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_ring.dir/partition_ring.cc.o"
+  "CMakeFiles/h2_ring.dir/partition_ring.cc.o.d"
+  "libh2_ring.a"
+  "libh2_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

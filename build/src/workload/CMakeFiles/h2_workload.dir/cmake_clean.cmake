@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_workload.dir/mirror.cc.o"
+  "CMakeFiles/h2_workload.dir/mirror.cc.o.d"
+  "CMakeFiles/h2_workload.dir/trace.cc.o"
+  "CMakeFiles/h2_workload.dir/trace.cc.o.d"
+  "CMakeFiles/h2_workload.dir/tree_gen.cc.o"
+  "CMakeFiles/h2_workload.dir/tree_gen.cc.o.d"
+  "libh2_workload.a"
+  "libh2_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

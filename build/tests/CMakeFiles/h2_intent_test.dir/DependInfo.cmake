@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/h2_intent_test.cc" "tests/CMakeFiles/h2_intent_test.dir/h2_intent_test.cc.o" "gcc" "tests/CMakeFiles/h2_intent_test.dir/h2_intent_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/h2/CMakeFiles/h2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/h2_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/h2_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/h2_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/h2_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/h2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/h2_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/h2_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/h2_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/h2_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/h2_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/h2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_ring_property_test.dir/name_ring_property_test.cc.o"
+  "CMakeFiles/name_ring_property_test.dir/name_ring_property_test.cc.o.d"
+  "name_ring_property_test"
+  "name_ring_property_test.pdb"
+  "name_ring_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_ring_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_api_test.dir/web_api_test.cc.o"
+  "CMakeFiles/web_api_test.dir/web_api_test.cc.o.d"
+  "web_api_test"
+  "web_api_test.pdb"
+  "web_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
