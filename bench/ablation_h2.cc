@@ -62,7 +62,7 @@ void AblationNamespaceCache() {
   table.SetSweep(xs);
   for (bool cache : {false, true}) {
     H2Config cfg;
-    cfg.namespace_cache = cache;
+    cfg.resolve_cache = cache;
     auto holder = MakeH2(cfg);
     FileSystem& fs = holder->fs();
     std::string dir;

@@ -4,6 +4,10 @@
 // adds on top of the storage latencies the figure benches simulate.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
+#include "h2/h2cloud.h"
 #include "h2/name_ring.h"
 #include "hash/fast_hash.h"
 #include "hash/md5.h"
@@ -114,6 +118,67 @@ void BM_RingRebalanceAfterNodeAdd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RingRebalanceAfterNodeAdd)->DenseRange(8, 14, 2);
+
+// Depth-8 path resolution against a full simulated H2Cloud with the
+// resolve cache off (arg 0) vs on (arg 1).  The figure of merit is the
+// cloud_gets_per_op counter: O(d) directory-record GETs per Stat
+// uncached, ~0 once the cache is warm.
+struct DeepCloud {
+  explicit DeepCloud(bool cache_on) {
+    H2CloudConfig cfg;
+    cfg.cloud.part_power = 8;
+    cfg.h2.resolve_cache = cache_on;
+    cloud = std::make_unique<H2Cloud>(cfg);
+    ok = cloud->CreateAccount("bench").ok();
+    if (!ok) return;
+    fs = std::move(cloud->OpenFilesystem("bench")).value();
+    for (int d = 1; d <= 8; ++d) {
+      dir += "/d" + std::to_string(d);
+      ok = ok && fs->Mkdir(dir).ok();
+    }
+    ok = ok && fs->WriteFile(dir + "/leaf", FileBlob::FromString("x")).ok();
+    cloud->RunMaintenanceToQuiescence();
+  }
+  std::unique_ptr<H2Cloud> cloud;
+  std::unique_ptr<H2AccountFs> fs;
+  std::string dir;
+  bool ok = true;
+};
+
+void BM_H2DeepStat(benchmark::State& state) {
+  DeepCloud deep(state.range(0) != 0);
+  if (!deep.ok) {
+    state.SkipWithError("deep tree setup failed");
+    return;
+  }
+  const std::string leaf = deep.dir + "/leaf";
+  std::uint64_t gets = 0, ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deep.fs->Stat(leaf));
+    gets += deep.fs->last_op().gets;
+    ++ops;
+  }
+  state.counters["cloud_gets_per_op"] =
+      benchmark::Counter(static_cast<double>(gets) / static_cast<double>(ops));
+}
+BENCHMARK(BM_H2DeepStat)->ArgName("cache")->Arg(0)->Arg(1);
+
+void BM_H2DeepList(benchmark::State& state) {
+  DeepCloud deep(state.range(0) != 0);
+  if (!deep.ok) {
+    state.SkipWithError("deep tree setup failed");
+    return;
+  }
+  std::uint64_t gets = 0, ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deep.fs->List(deep.dir, ListDetail::kNamesOnly));
+    gets += deep.fs->last_op().gets;
+    ++ops;
+  }
+  state.counters["cloud_gets_per_op"] =
+      benchmark::Counter(static_cast<double>(gets) / static_cast<double>(ops));
+}
+BENCHMARK(BM_H2DeepList)->ArgName("cache")->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace h2

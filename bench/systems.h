@@ -117,8 +117,14 @@ inline std::unique_ptr<SystemHolder> MakeSystem(SystemKind kind) {
   using internal::BaselineHolder;
   const LatencyProfile lan = LatencyProfile::RackLan();
   switch (kind) {
-    case SystemKind::kH2:
-      return std::make_unique<internal::H2Holder>();
+    case SystemKind::kH2: {
+      // Paper reproduction: figures compare the O(d) level-by-level H2
+      // of Fig. 13, so the figure benches keep the resolve cache off.
+      // Cache-on series construct internal::H2Holder directly.
+      H2Config paper;
+      paper.resolve_cache = false;
+      return std::make_unique<internal::H2Holder>(paper);
+    }
     case SystemKind::kSwift:
       return std::make_unique<BaselineHolder<SwiftFs>>(lan);
     case SystemKind::kDropbox:

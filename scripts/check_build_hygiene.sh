@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Fails if generated build artifacts are tracked by git.  Run from anywhere
+# inside the repository; CI and pre-commit hooks can call it directly.
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel)"
+
+bad=$(git ls-files -- 'build/' 'build-*/' 'cmake-build-*/' '*.o' '*.a' '*.so' || true)
+if [[ -n "${bad}" ]]; then
+  echo "error: generated build artifacts are tracked by git:" >&2
+  echo "${bad}" | head -20 >&2
+  count=$(echo "${bad}" | wc -l)
+  if [[ "${count}" -gt 20 ]]; then
+    echo "... and $((count - 20)) more" >&2
+  fi
+  echo "Run: git rm -r --cached <paths> (they are covered by .gitignore)" >&2
+  exit 1
+fi
+echo "build hygiene OK: no tracked build artifacts"

@@ -11,13 +11,13 @@ namespace h2 {
 ObjectCloud::ObjectCloud(const CloudConfig& config)
     : ring_(config.part_power, config.replica_count),
       latency_(config.latency, config.seed),
-      replica_count_(config.replica_count) {
+      replica_count_(config.replica_count),
+      zone_count_(std::max(config.zone_count, 1)) {
   assert(config.node_count >= 1);
   SplitMix64 seeder(config.seed);
-  const int zones = std::max(config.zone_count, 1);
   for (int i = 0; i < config.node_count; ++i) {
     const auto id = static_cast<DeviceId>(i);
-    const auto zone = static_cast<std::uint32_t>(i % zones);
+    const auto zone = static_cast<std::uint32_t>(i % zone_count_);
     std::string name = "node-" + std::to_string(i);
     nodes_.push_back(
         std::make_unique<StorageNode>(id, name, seeder.Next(), zone));
@@ -54,6 +54,9 @@ VirtualNanos ObjectCloud::ZoneSurcharge(const StorageNode& node,
 
 Status ObjectCloud::Put(const std::string& key, ObjectValue value,
                         OpMeter& meter, PutOptions opts) {
+  if (!put_fault_.empty() && key.find(put_fault_) != std::string::npos) {
+    return Status::Internal("injected put fault: " + key);
+  }
   const std::uint64_t size = value.logical_size;
   const std::vector<StorageNode*> replicas = ReplicaNodes(key, meter.zone());
   {
@@ -121,7 +124,16 @@ Result<ObjectValue> ObjectCloud::Get(const std::string& key,
     if (r.ok()) {
       if (r->modified <= std::max(newest_tombstone,
                                   node->TombstoneTime(key))) {
-        continue;  // a newer delete supersedes this copy
+        // A newer delete supersedes this copy.  The probe still made a
+        // round trip to the replica; price it like the 404 path below.
+        newest_tombstone =
+            std::max(newest_tombstone, node->TombstoneTime(key));
+        std::lock_guard lock(latency_mu_);
+        const VirtualNanos probe = latency_.Jitter(latency_.HeadBase()) +
+                                   ZoneSurcharge(*node, meter);
+        meter.Charge(probe);
+        clock_.Advance(probe);
+        continue;
       }
       const std::uint64_t size = r->logical_size;
       std::lock_guard lock(latency_mu_);
@@ -376,10 +388,15 @@ ObjectCloud::MigrationReport ObjectCloud::RedistributeObjects() {
 
 Result<ObjectCloud::MigrationReport> ObjectCloud::AddStorageNode() {
   const auto id = static_cast<DeviceId>(nodes_.size());
+  // Same round-robin zone assignment as the constructor, so scale-out
+  // keeps replicas spread across failure domains.
+  const auto zone = static_cast<std::uint32_t>(id % zone_count_);
   std::string name = "node-" + std::to_string(id);
   SplitMix64 seeder(0x9e3779b97f4a7c15ULL ^ id);
-  nodes_.push_back(std::make_unique<StorageNode>(id, name, seeder.Next()));
-  H2_RETURN_IF_ERROR(ring_.AddDevice(RingDevice{id, std::move(name), 1.0}));
+  nodes_.push_back(
+      std::make_unique<StorageNode>(id, name, seeder.Next(), zone));
+  H2_RETURN_IF_ERROR(
+      ring_.AddDevice(RingDevice{id, std::move(name), 1.0, zone}));
   H2_RETURN_IF_ERROR(ring_.Rebalance());
   return RedistributeObjects();
 }

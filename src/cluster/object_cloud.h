@@ -120,6 +120,15 @@ class ObjectCloud {
   /// longer own them.  Swift calls this the replicator.
   MigrationReport RepairReplicas();
 
+  // --- fault injection -----------------------------------------------------
+  /// Fails every PUT whose key contains `substring` (before any replica
+  /// is touched), modelling a proxy-level write outage for a key family.
+  /// Pass "" to clear.  Tests use this to cut multi-object sequences at
+  /// exact points (e.g. CreateAccount's commit-point ordering).
+  void FailPutsMatching(std::string substring) {
+    put_fault_ = std::move(substring);
+  }
+
   // --- infrastructure access ---------------------------------------------
   StorageNode& node(std::size_t i) { return *nodes_[i]; }
   std::size_t node_count() const { return nodes_.size(); }
@@ -148,6 +157,8 @@ class ObjectCloud {
   std::mutex latency_mu_;  // guards latency_'s jitter RNG
   LatencyModel latency_;
   int replica_count_;
+  int zone_count_;
+  std::string put_fault_;  // FailPutsMatching substring; empty = off
 };
 
 }  // namespace h2

@@ -9,14 +9,18 @@
 namespace h2 {
 
 struct H2Config {
-  /// Cache (parent namespace, name) -> child namespace lookups.  The paper's
-  /// H2 resolves level-by-level on every access (O(d), Fig. 13), so the
-  /// cache defaults off; switching it on approximates the locality that
-  /// makes Dynamic Partition look O(1) (bench/ablation_ns_cache).
-  bool namespace_cache = false;
-  /// Bound on cached (parent ns, name) -> namespace entries; least
+  /// The H2ResolveCache (h2/resolve_cache.h): a versioned, bounded LRU of
+  /// (parent namespace, name) -> DirRecord plus per-namespace merged
+  /// NameRing snapshots, invalidated by patch/merge/gossip events rather
+  /// than TTLs.  Defaults on -- it only removes redundant cloud GETs.
+  /// Paper-reproduction fixtures and benches pin it off to preserve the
+  /// level-by-level O(d) resolution of Fig. 13.
+  bool resolve_cache = true;
+  /// Bound on cached (parent ns, name) -> DirRecord entries; least
   /// recently used entries are evicted beyond it.
-  std::size_t ns_cache_capacity = 65'536;
+  std::size_t resolve_cache_capacity = 65'536;
+  /// Bound on cached per-namespace merged NameRing snapshots.
+  std::size_t ring_cache_capacity = 4'096;
 
   /// Physically drop tombstoned tuples when a NameRing is "in use"
   /// (LIST/MOVE), per §3.3.2.  Tombstones younger than `tombstone_gc_age`

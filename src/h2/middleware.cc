@@ -54,6 +54,8 @@ H2Middleware::H2Middleware(ObjectCloud& cloud, std::uint32_t node_id,
       node_(node_id),
       config_(config),
       minter_(node_id),
+      resolve_cache_(config.resolve_cache_capacity,
+                     config.ring_cache_capacity),
       intents_(cloud, node_id) {}
 
 H2Middleware::~H2Middleware() = default;
@@ -74,11 +76,15 @@ Status H2Middleware::CreateAccount(std::string_view user, OpMeter& meter) {
     root = minter_.Mint(cloud_.clock().NowUnixMillis());
   }
   const VirtualNanos now = cloud_.clock().Tick();
-  AccountRecord record{std::string(user), root, now};
+  // The root directory's (empty) NameRing goes first and the account
+  // record last: the record is the commit point.  If the record PUT
+  // fails, all that remains is an invisible orphan ring under a fresh
+  // namespace, and the CREATE can simply be retried.
   H2_RETURN_IF_ERROR(
-      cloud_.Put(key, MakeObject(record.Serialize(), "account", now), meter));
-  // The root directory's (empty) NameRing.
-  return cloud_.Put(NameRingKey(root), MakeObject("", "ring", now), meter);
+      cloud_.Put(NameRingKey(root), MakeObject("", "ring", now), meter));
+  AccountRecord record{std::string(user), root, now};
+  return cloud_.Put(key, MakeObject(record.Serialize(), "account", now),
+                    meter);
 }
 
 Result<NamespaceId> H2Middleware::AccountRoot(std::string_view user,
@@ -103,13 +109,27 @@ Status H2Middleware::DeleteAccount(std::string_view user, OpMeter& meter) {
 Result<DirRecord> H2Middleware::LoadDirRecord(const NamespaceId& parent_ns,
                                               std::string_view name,
                                               OpMeter& meter) {
+  std::uint64_t rev = 0;
+  if (config_.resolve_cache) {
+    std::lock_guard lock(mu_);
+    if (auto cached =
+            resolve_cache_.GetChild(parent_ns, std::string(name))) {
+      return *cached;
+    }
+    rev = resolve_cache_.ChildRev(parent_ns);  // snapshot before the GET
+  }
   H2_ASSIGN_OR_RETURN(ObjectValue obj,
                       cloud_.Get(ChildKey(parent_ns, name), meter));
   auto it = obj.metadata.find(std::string(kMetaKind));
   if (it == obj.metadata.end() || it->second != kMetaKindDir) {
     return Status::NotADirectory("not a directory: " + std::string(name));
   }
-  return DirRecord::Parse(obj.payload);
+  H2_ASSIGN_OR_RETURN(DirRecord record, DirRecord::Parse(obj.payload));
+  if (config_.resolve_cache) {
+    std::lock_guard lock(mu_);
+    resolve_cache_.PutChild(parent_ns, std::string(name), record, rev);
+  }
+  return record;
 }
 
 Result<NamespaceId> H2Middleware::ResolvePath(const NamespaceId& root,
@@ -117,19 +137,8 @@ Result<NamespaceId> H2Middleware::ResolvePath(const NamespaceId& root,
                                               OpMeter& meter) {
   NamespaceId current = root;
   for (auto component : PathComponents(path)) {
-    const std::string child_key = ChildKey(current, component);
-    if (config_.namespace_cache) {
-      if (auto cached = CachedNamespace(child_key)) {
-        current = *cached;
-        continue;
-      }
-    }
     Result<DirRecord> record = LoadDirRecord(current, component, meter);
     if (!record.ok()) return record.status();
-    if (config_.namespace_cache) {
-      std::lock_guard lock(mu_);
-      CacheNamespace(child_key, record->ns);
-    }
     current = record->ns;
   }
   return current;
@@ -143,6 +152,12 @@ Result<NamespaceId> H2Middleware::ResolveParent(
 
 Result<NameRing> H2Middleware::LoadNameRing(const NamespaceId& ns,
                                             OpMeter& meter) {
+  std::uint64_t rev = 0;
+  if (config_.resolve_cache) {
+    std::lock_guard lock(mu_);
+    if (auto cached = resolve_cache_.GetRing(ns)) return *cached;
+    rev = resolve_cache_.RingRev(ns);  // snapshot before the GET
+  }
   H2_ASSIGN_OR_RETURN(ObjectValue obj, cloud_.Get(NameRingKey(ns), meter));
   H2_ASSIGN_OR_RETURN(NameRing ring, NameRing::Parse(obj.payload));
   // Overlay this node's unmerged patches and its local merged view so the
@@ -154,6 +169,9 @@ Result<NameRing> H2Middleware::LoadNameRing(const NamespaceId& ns,
     if (desc.local.has_value()) ring.Merge(*desc.local);
     for (const auto& [patch_no, patch] : desc.pending) ring.Merge(patch);
   }
+  // Cached post-overlay: every event that changes the stored ring or the
+  // overlay (patch submit, merge, compaction, rumor) bumps ring_rev.
+  if (config_.resolve_cache) resolve_cache_.PutRing(ns, ring, rev);
   return ring;
 }
 
@@ -334,9 +352,11 @@ Status H2Middleware::Mkdir(const NamespaceId& root, std::string_view path,
   }
 
   NamespaceId ns;
+  std::uint64_t rev = 0;
   {
     std::lock_guard lock(mu_);
     ns = minter_.Mint(cloud_.clock().NowUnixMillis());
+    rev = resolve_cache_.ChildRev(parent);  // snapshot before the PUTs
   }
   const VirtualNanos now = cloud_.clock().Tick();
   DirRecord record{ns, parent, std::string(name), now};
@@ -345,9 +365,9 @@ Status H2Middleware::Mkdir(const NamespaceId& root, std::string_view path,
                  meter));
   H2_RETURN_IF_ERROR(
       cloud_.Put(NameRingKey(ns), MakeObject("", "ring", now), meter));
-  if (config_.namespace_cache) {
+  if (config_.resolve_cache) {
     std::lock_guard lock(mu_);
-    CacheNamespace(key, ns);
+    resolve_cache_.PutChild(parent, std::string(name), record, rev);
   }
   return SubmitPatch(
       parent,
@@ -370,7 +390,8 @@ Status H2Middleware::Rmdir(const NamespaceId& root, std::string_view path,
   // objects are reclaimed lazily (O(1) foreground, Table 1).
   std::lock_guard lock(mu_);
   cleanup_queue_.push_back(record.ns);
-  InvalidateNamespace(ChildKey(parent, name));
+  resolve_cache_.EraseChild(parent, std::string(name));
+  resolve_cache_.InvalidateNamespace(record.ns);
   return Status::Ok();
 }
 
@@ -425,12 +446,19 @@ Status H2Middleware::Move(const NamespaceId& root, std::string_view from,
     H2_ASSIGN_OR_RETURN(DirRecord record, DirRecord::Parse(source.payload));
     record.parent_ns = to_parent;
     record.name = std::string(to_name);
+    std::uint64_t rev = 0;
+    {
+      std::lock_guard lock(mu_);
+      rev = resolve_cache_.ChildRev(to_parent);  // snapshot before the PUT
+    }
     H2_RETURN_IF_ERROR(cloud_.Put(
         to_key, MakeObject(record.Serialize(), kMetaKindDir, now), meter));
     H2_RETURN_IF_ERROR(cloud_.Delete(from_key, meter));
     std::lock_guard lock(mu_);
-    InvalidateNamespace(from_key);
-    if (config_.namespace_cache) CacheNamespace(to_key, record.ns);
+    resolve_cache_.EraseChild(from_parent, std::string(from_name));
+    if (config_.resolve_cache) {
+      resolve_cache_.PutChild(to_parent, std::string(to_name), record, rev);
+    }
   } else {
     H2_RETURN_IF_ERROR(cloud_.Copy(from_key, to_key, meter));
     H2_RETURN_IF_ERROR(cloud_.Delete(from_key, meter));
@@ -497,6 +525,13 @@ std::size_t H2Middleware::RecoverIntents() {
       }
     }
     (void)cloud_.Delete(from_key, meter);
+    {
+      // The redo may have rewritten either parent's child set behind any
+      // cached record; drop both precisely.
+      std::lock_guard lock(mu_);
+      resolve_cache_.EraseChild(*from_parent, from_name);
+      resolve_cache_.EraseChild(*to_parent, to_name);
+    }
     const EntryKind kind =
         is_dir ? EntryKind::kDirectory : EntryKind::kFile;
     (void)SubmitPatch(*from_parent,
@@ -740,6 +775,8 @@ Status H2Middleware::SubmitPatchTuples(const NamespaceId& ns,
     desc.pending.emplace(patch_no, std::move(patch));
     chain_snapshot = desc.chain;
     ++counters_.patches_submitted;
+    // The overlaid view of ns changed; cached ring snapshots are stale.
+    resolve_cache_.InvalidateRing(ns);
   }
   H2_RETURN_IF_ERROR(
       cloud_.Put(PatchChainKey(ns, node_),
@@ -828,6 +865,7 @@ std::size_t H2Middleware::MergeNamespaceLocked(
     after.local = ring;
     after.local_version = version;
   }
+  resolve_cache_.InvalidateRing(ns);
   counters_.patches_merged += merged_patches;
   ++counters_.merge_passes;
 
@@ -881,6 +919,9 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
       if (cleanup_queue_.empty()) break;
       ns = cleanup_queue_.front();
       cleanup_queue_.pop_front();
+      // The directory is being reclaimed; nothing cached under it may
+      // survive (its record entry died with the RMDIR/DELETE already).
+      resolve_cache_.InvalidateNamespace(ns);
     }
     // Read the removed directory's NameRing to find its children.
     Result<ObjectValue> ring_obj = cloud_.Get(NameRingKey(ns), local);
@@ -928,6 +969,7 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
   maintenance_meter_.Merge(local.cost());
   return deleted;
 }
+
 
 bool H2Middleware::MaintenanceIdle() const {
   std::lock_guard lock(mu_);
@@ -1002,6 +1044,9 @@ bool H2Middleware::HandleRumor(const Rumor& rumor) {
       desc.local = std::move(merged);
       desc.local_version = std::max(
           {desc.local_version, rumor.version, repair_version});
+      // A remote middleware changed this directory: anything cached about
+      // it -- ring snapshot and child records alike -- may be stale.
+      resolve_cache_.InvalidateNamespace(ns);
     }
   } else {
     // Ring gone (directory removed elsewhere): remember the version so the
@@ -1009,6 +1054,7 @@ bool H2Middleware::HandleRumor(const Rumor& rumor) {
     std::lock_guard lock(mu_);
     Descriptor& desc = DescriptorFor(ns);
     desc.local_version = std::max(desc.local_version, rumor.version);
+    resolve_cache_.InvalidateNamespace(ns);
   }
 
   if (need_repair) {
@@ -1044,44 +1090,9 @@ Status H2Middleware::MaybeCompact(const NamespaceId& ns, NameRing& ring,
   Descriptor& desc = DescriptorFor(ns);
   desc.local = std::move(pruned);
   desc.local_version = now;
+  resolve_cache_.InvalidateRing(ns);
   counters_.tombstones_compacted += removed;
   return Status::Ok();
-}
-
-void H2Middleware::CacheNamespace(const std::string& child_key,
-                                  const NamespaceId& ns) {
-  auto it = ns_cache_.find(child_key);
-  if (it != ns_cache_.end()) {
-    it->second->second = ns;
-    ns_lru_.splice(ns_lru_.begin(), ns_lru_, it->second);
-    return;
-  }
-  ns_lru_.emplace_front(child_key, ns);
-  ns_cache_[child_key] = ns_lru_.begin();
-  while (ns_lru_.size() > std::max<std::size_t>(config_.ns_cache_capacity, 1)) {
-    ns_cache_.erase(ns_lru_.back().first);
-    ns_lru_.pop_back();
-  }
-}
-
-std::optional<NamespaceId> H2Middleware::CachedNamespace(
-    const std::string& child_key) {
-  std::lock_guard lock(mu_);
-  auto it = ns_cache_.find(child_key);
-  if (it == ns_cache_.end()) {
-    ++counters_.ns_cache_misses;
-    return std::nullopt;
-  }
-  ++counters_.ns_cache_hits;
-  ns_lru_.splice(ns_lru_.begin(), ns_lru_, it->second);  // refresh recency
-  return it->second->second;
-}
-
-void H2Middleware::InvalidateNamespace(const std::string& child_key) {
-  auto it = ns_cache_.find(child_key);
-  if (it == ns_cache_.end()) return;
-  ns_lru_.erase(it->second);
-  ns_cache_.erase(it);
 }
 
 OpCost H2Middleware::maintenance_cost() const {
@@ -1091,7 +1102,12 @@ OpCost H2Middleware::maintenance_cost() const {
 
 H2Counters H2Middleware::counters() const {
   std::lock_guard lock(mu_);
-  return counters_;
+  H2Counters out = counters_;
+  const H2ResolveCache::Stats& cache = resolve_cache_.stats();
+  out.resolve_cache_hits = cache.hits;
+  out.resolve_cache_misses = cache.misses;
+  out.resolve_cache_invalidations = cache.invalidations;
+  return out;
 }
 
 }  // namespace h2

@@ -15,7 +15,7 @@
 // Deployments run several middlewares over one ObjectCloud; each one is
 // identified by a node number that namespaces its UUIDs and patch keys.
 //
-// Thread model: all mutable middleware state (descriptor cache, namespace
+// Thread model: all mutable middleware state (descriptor cache, resolve
 // cache, cleanup queue, counters) sits behind one mutex, never held across
 // cloud I/O.  Foreground filesystem calls, the background merger thread
 // and gossip handlers may run concurrently.
@@ -41,6 +41,7 @@
 #include "h2/intent_log.h"
 #include "h2/name_ring.h"
 #include "h2/records.h"
+#include "h2/resolve_cache.h"
 #include "hash/uuid.h"
 
 namespace h2 {
@@ -54,8 +55,9 @@ struct H2Counters {
   std::uint64_t gossip_repairs = 0;    // lost concurrent merges re-applied
   std::uint64_t tombstones_compacted = 0;
   std::uint64_t cleanup_objects_deleted = 0;
-  std::uint64_t ns_cache_hits = 0;
-  std::uint64_t ns_cache_misses = 0;
+  std::uint64_t resolve_cache_hits = 0;
+  std::uint64_t resolve_cache_misses = 0;
+  std::uint64_t resolve_cache_invalidations = 0;
 };
 
 class H2Middleware {
@@ -199,9 +201,6 @@ class H2Middleware {
 
   // -- shared-state helpers (call with mu_ held) --
   Descriptor& DescriptorFor(const NamespaceId& ns);
-  void CacheNamespace(const std::string& child_key, const NamespaceId& ns);
-  std::optional<NamespaceId> CachedNamespace(const std::string& child_key);
-  void InvalidateNamespace(const std::string& child_key);
 
   // -- op helpers --
   Status CopyTree(const NamespaceId& src_ns, const NamespaceId& dst_ns,
@@ -215,11 +214,10 @@ class H2Middleware {
 
   mutable std::mutex mu_;
   NamespaceMinter minter_;
-  // LRU namespace cache: the list keeps recency order (front = hottest),
-  // the map indexes into it.
-  using NsLruList = std::list<std::pair<std::string, NamespaceId>>;
-  NsLruList ns_lru_;
-  std::unordered_map<std::string, NsLruList::iterator> ns_cache_;
+  // The versioned resolution cache (h2/resolve_cache.h); all accesses
+  // under mu_, fills validated against revision snapshots taken under mu_
+  // before the corresponding cloud read.
+  H2ResolveCache resolve_cache_;
   std::unordered_map<NamespaceId, std::unique_ptr<Descriptor>> descriptors_;
   std::unordered_set<NamespaceId> write_blocked_;  // §3.3.3(b)
   IntentLog intents_;

@@ -25,6 +25,16 @@ std::uint64_t MonitorSnapshot::TotalGossipRepairs() const {
   return total;
 }
 
+double MonitorSnapshot::ResolveCacheHitRate() const {
+  std::uint64_t hits = 0, misses = 0;
+  for (const auto& mw : middlewares) {
+    hits += mw.counters.resolve_cache_hits;
+    misses += mw.counters.resolve_cache_misses;
+  }
+  if (hits + misses == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(hits + misses);
+}
+
 bool MonitorSnapshot::FullyConverged() const {
   return std::all_of(middlewares.begin(), middlewares.end(),
                      [](const MiddlewareSnapshot& mw) { return mw.idle; });
@@ -71,6 +81,21 @@ std::string MonitorSnapshot::ToText() const {
         static_cast<unsigned long long>(mw.counters.gossip_repairs),
         static_cast<unsigned long long>(mw.counters.tombstones_compacted),
         mw.maintenance.elapsed_ms(), mw.idle ? "idle" : "BUSY");
+    out += buf;
+    const std::uint64_t lookups = mw.counters.resolve_cache_hits +
+                                  mw.counters.resolve_cache_misses;
+    std::snprintf(
+        buf, sizeof(buf),
+        "           resolve cache: %llu hits, %llu misses (%.1f%% hit "
+        "rate), %llu invalidations\n",
+        static_cast<unsigned long long>(mw.counters.resolve_cache_hits),
+        static_cast<unsigned long long>(mw.counters.resolve_cache_misses),
+        lookups == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(mw.counters.resolve_cache_hits) /
+                  static_cast<double>(lookups),
+        static_cast<unsigned long long>(
+            mw.counters.resolve_cache_invalidations));
     out += buf;
   }
 

@@ -47,6 +47,9 @@ struct MonitorSnapshot {
   std::uint64_t TotalPatchesSubmitted() const;
   std::uint64_t TotalPatchesMerged() const;
   std::uint64_t TotalGossipRepairs() const;
+  /// Resolve-cache hits / (hits + misses) across all middlewares;
+  /// 0.0 when the cache saw no traffic (disabled or untouched).
+  double ResolveCacheHitRate() const;
   /// All submitted patches merged, queues drained, gossip silent.
   bool FullyConverged() const;
   /// max/mean node object count (1.0 = perfectly even).

@@ -18,6 +18,23 @@ std::string_view KindCode(EntryKind kind) {
   return kind == EntryKind::kDirectory ? "D" : "F";
 }
 
+// Total order on same-name tuples, so Merge is a semilattice join even
+// when two replicas stamp conflicting updates at the same tick: larger
+// timestamp wins, then a deletion beats a creation (safe side: the loser
+// can be recreated, a resurrected ghost cannot be un-leaked), then a
+// directory beats a file.  Equal-rank tuples keep the incumbent, which
+// preserves idempotence.
+bool Supersedes(const RingTuple& incoming, const RingTuple& incumbent) {
+  if (incoming.timestamp != incumbent.timestamp) {
+    return incoming.timestamp > incumbent.timestamp;
+  }
+  if (incoming.deleted != incumbent.deleted) return incoming.deleted;
+  if (incoming.kind != incumbent.kind) {
+    return incoming.kind == EntryKind::kDirectory;
+  }
+  return false;
+}
+
 }  // namespace
 
 bool NameRing::Apply(RingTuple tuple) {
@@ -26,7 +43,7 @@ bool NameRing::Apply(RingTuple tuple) {
     tuples_.emplace(tuple.name, std::move(tuple));
     return true;
   }
-  if (tuple.timestamp > it->second.timestamp) {
+  if (Supersedes(tuple, it->second)) {
     it->second = std::move(tuple);
     return true;
   }

@@ -8,13 +8,15 @@
 //
 // The merge algorithm (§3.3.2) treats a patch as a virtual NameRing and
 // folds it in child-by-child: a child present in both sides keeps the
-// tuple with the larger timestamp; a child present only in the patch is
-// inserted; nothing is ever physically removed by a merge.  With
-// timestamps drawn from a strictly monotonic clock this makes Merge a
-// join: commutative, associative and idempotent (property-tested in
-// tests/h2/name_ring_property_test.cc), which is what lets the
-// asynchronous maintenance protocol converge regardless of patch arrival
-// order.
+// higher-ranked tuple; a child present only in the patch is inserted;
+// nothing is ever physically removed by a merge.  Tuples of the same
+// child are totally ordered -- larger timestamp first, then deletion
+// over creation, then directory over file -- so even same-tick
+// collisions from different replicas resolve identically everywhere and
+// Merge is a join: commutative, associative and idempotent
+// (property-tested in tests/name_ring_property_test.cc), which is what
+// lets the asynchronous maintenance protocol converge regardless of
+// patch arrival order.
 //
 // The ring also carries a version vector {node -> highest merged patch
 // number} so a middleware can tell whether its own submitted patches have

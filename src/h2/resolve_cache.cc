@@ -1,0 +1,161 @@
+#include "h2/resolve_cache.h"
+
+#include "h2/keys.h"
+
+namespace h2 {
+namespace {
+
+constexpr std::size_t kRevMapSlack = 4;
+
+}  // namespace
+
+H2ResolveCache::H2ResolveCache(std::size_t child_capacity,
+                               std::size_t ring_capacity)
+    : child_capacity_(child_capacity == 0 ? 1 : child_capacity),
+      ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+std::uint64_t H2ResolveCache::ChildRev(const NamespaceId& ns) const {
+  auto it = child_revs_.find(ns);
+  return it == child_revs_.end() ? rev_floor_ : it->second;
+}
+
+std::uint64_t H2ResolveCache::RingRev(const NamespaceId& ns) const {
+  auto it = ring_revs_.find(ns);
+  return it == ring_revs_.end() ? rev_floor_ : it->second;
+}
+
+std::optional<DirRecord> H2ResolveCache::GetChild(const NamespaceId& parent,
+                                                  const std::string& name) {
+  auto it = child_map_.find(ChildKey(parent, name));
+  if (it == child_map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  child_lru_.splice(child_lru_.begin(), child_lru_, it->second);
+  ++stats_.hits;
+  return it->second->record;
+}
+
+void H2ResolveCache::PutChild(const NamespaceId& parent,
+                              const std::string& name, const DirRecord& record,
+                              std::uint64_t rev_snapshot) {
+  if (ChildRev(parent) != rev_snapshot) return;  // invalidated mid-fill
+  std::string key = ChildKey(parent, name);
+  auto it = child_map_.find(key);
+  if (it != child_map_.end()) {
+    it->second->record = record;
+    child_lru_.splice(child_lru_.begin(), child_lru_, it->second);
+    return;
+  }
+  child_lru_.push_front(ChildEntry{parent, key, record});
+  child_map_.emplace(std::move(key), child_lru_.begin());
+  if (child_map_.size() > child_capacity_) {
+    child_map_.erase(child_lru_.back().key);
+    child_lru_.pop_back();
+  }
+}
+
+void H2ResolveCache::EraseChild(const NamespaceId& parent,
+                                const std::string& name) {
+  BumpChildRev(parent);
+  auto it = child_map_.find(ChildKey(parent, name));
+  if (it == child_map_.end()) return;
+  child_lru_.erase(it->second);
+  child_map_.erase(it);
+  ++stats_.invalidations;
+}
+
+std::optional<NameRing> H2ResolveCache::GetRing(const NamespaceId& ns) {
+  auto it = ring_map_.find(ns);
+  if (it == ring_map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ring_lru_.splice(ring_lru_.begin(), ring_lru_, it->second);
+  ++stats_.hits;
+  return it->second->ring;
+}
+
+void H2ResolveCache::PutRing(const NamespaceId& ns, const NameRing& ring,
+                             std::uint64_t rev_snapshot) {
+  if (RingRev(ns) != rev_snapshot) return;  // invalidated mid-fill
+  auto it = ring_map_.find(ns);
+  if (it != ring_map_.end()) {
+    it->second->ring = ring;
+    ring_lru_.splice(ring_lru_.begin(), ring_lru_, it->second);
+    return;
+  }
+  ring_lru_.push_front(RingEntry{ns, ring});
+  ring_map_.emplace(ns, ring_lru_.begin());
+  if (ring_map_.size() > ring_capacity_) {
+    ring_map_.erase(ring_lru_.back().ns);
+    ring_lru_.pop_back();
+  }
+}
+
+void H2ResolveCache::InvalidateRing(const NamespaceId& ns) {
+  BumpRingRev(ns);
+  auto it = ring_map_.find(ns);
+  if (it == ring_map_.end()) return;
+  ring_lru_.erase(it->second);
+  ring_map_.erase(it);
+  ++stats_.invalidations;
+}
+
+void H2ResolveCache::InvalidateNamespace(const NamespaceId& ns) {
+  InvalidateRing(ns);
+  BumpChildRev(ns);
+  // Child entries are keyed by (ns, name); walk the LRU and drop every
+  // entry under ns. Capacity-bounded, and namespace-wide invalidations
+  // only fire on remote-change events, so the scan cost is acceptable.
+  bool dropped = false;
+  for (auto it = child_lru_.begin(); it != child_lru_.end();) {
+    if (it->parent == ns) {
+      child_map_.erase(it->key);
+      it = child_lru_.erase(it);
+      dropped = true;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped) ++stats_.invalidations;
+}
+
+void H2ResolveCache::Clear() {
+  // Raising the floor past every previously-minted revision kills all
+  // in-flight fills at once; per-namespace entries become redundant.
+  rev_floor_ = NextRev();
+  child_revs_.clear();
+  ring_revs_.clear();
+  child_lru_.clear();
+  child_map_.clear();
+  ring_lru_.clear();
+  ring_map_.clear();
+  ++stats_.invalidations;
+}
+
+void H2ResolveCache::BumpChildRev(const NamespaceId& ns) {
+  child_revs_[ns] = NextRev();
+  TrimRevMaps();
+}
+
+void H2ResolveCache::BumpRingRev(const NamespaceId& ns) {
+  ring_revs_[ns] = NextRev();
+  TrimRevMaps();
+}
+
+void H2ResolveCache::TrimRevMaps() {
+  // Keep revision bookkeeping bounded. Forgetting an entry makes its
+  // namespace read `rev_floor_`; raising the floor to a fresh value
+  // first guarantees dropped revisions can only cause spurious misses
+  // for outstanding snapshots, never false hits.
+  const std::size_t limit =
+      kRevMapSlack * (child_capacity_ + ring_capacity_) + 16;
+  if (child_revs_.size() > limit || ring_revs_.size() > limit) {
+    rev_floor_ = NextRev();
+    child_revs_.clear();
+    ring_revs_.clear();
+  }
+}
+
+}  // namespace h2

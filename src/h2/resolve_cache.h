@@ -1,0 +1,121 @@
+#ifndef H2_H2_RESOLVE_CACHE_H_
+#define H2_H2_RESOLVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "h2/name_ring.h"
+#include "h2/records.h"
+#include "hash/uuid.h"
+
+namespace h2 {
+
+// Versioned cache for the middleware's directory-resolution hot path.
+//
+// Two bounded LRUs:
+//   * child map:  (parent namespace, child name) -> DirRecord, so
+//     ResolvePath/Stat skip the per-component cloud GET for warm paths.
+//   * ring map:   namespace -> merged NameRing snapshot, so List/readdir
+//     skip re-fetching and re-merging an unchanged directory.
+//
+// Instead of TTLs, every namespace carries two revision counters drawn
+// from one global monotonic counter:
+//   * child_rev(ns) advances when the *membership* of ns may have changed
+//     in a way the precise EraseChild/PutChild calls cannot capture
+//     (remote rumor, gossip repair, recovery, lazy cleanup).
+//   * ring_rev(ns) advances whenever the merged ring for ns may differ
+//     (any local patch submit, merge, compaction, or remote change).
+// Fills that straddle cloud I/O snapshot the revision first and are
+// dropped if it moved, so a racing invalidation can never be overwritten
+// by a stale read (no ABA: revisions never repeat, even across eviction
+// of the revision entries themselves).
+//
+// Externally synchronized: the middleware calls every method under its
+// own mutex and never holds that mutex across cloud I/O.
+class H2ResolveCache {
+ public:
+  H2ResolveCache(std::size_t child_capacity, std::size_t ring_capacity);
+
+  // -- revision snapshots (take BEFORE issuing the cloud read/write that
+  //    produces the value handed to the matching Put) --
+  std::uint64_t ChildRev(const NamespaceId& ns) const;
+  std::uint64_t RingRev(const NamespaceId& ns) const;
+
+  // -- child records --
+  std::optional<DirRecord> GetChild(const NamespaceId& parent,
+                                    const std::string& name);
+  // Inserts only if child_rev(parent) still equals `rev_snapshot`.
+  void PutChild(const NamespaceId& parent, const std::string& name,
+                const DirRecord& record, std::uint64_t rev_snapshot);
+  // Precisely drops one child entry and bumps child_rev(parent) so
+  // in-flight fills for that parent are discarded too.
+  void EraseChild(const NamespaceId& parent, const std::string& name);
+
+  // -- merged ring snapshots --
+  std::optional<NameRing> GetRing(const NamespaceId& ns);
+  // Inserts only if ring_rev(ns) still equals `rev_snapshot`.
+  void PutRing(const NamespaceId& ns, const NameRing& ring,
+               std::uint64_t rev_snapshot);
+
+  // A local patch/merge/compaction changed the merged ring of `ns` but
+  // the child membership deltas were applied precisely by the caller.
+  void InvalidateRing(const NamespaceId& ns);
+  // Anything about `ns` may have changed (remote rumor, repair, cleanup):
+  // drop the ring snapshot and all child entries under `ns`.
+  void InvalidateNamespace(const NamespaceId& ns);
+
+  void Clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t child_entries() const { return child_map_.size(); }
+  std::size_t ring_entries() const { return ring_map_.size(); }
+
+ private:
+  struct ChildEntry {
+    NamespaceId parent;
+    std::string key;  // ChildKey(parent, name)
+    DirRecord record;
+  };
+  struct RingEntry {
+    NamespaceId ns;
+    NameRing ring;
+  };
+  using ChildList = std::list<ChildEntry>;
+  using RingList = std::list<RingEntry>;
+
+  std::uint64_t NextRev() { return ++rev_counter_; }
+  void BumpChildRev(const NamespaceId& ns);
+  void BumpRingRev(const NamespaceId& ns);
+  void TrimRevMaps();
+
+  std::size_t child_capacity_;
+  std::size_t ring_capacity_;
+
+  ChildList child_lru_;  // front = most recent
+  std::unordered_map<std::string, ChildList::iterator> child_map_;
+  RingList ring_lru_;
+  std::unordered_map<NamespaceId, RingList::iterator> ring_map_;
+
+  // Revisions are minted from one global counter, and namespaces with no
+  // entry read `rev_floor_` (raised whenever entries are forgotten), so a
+  // forgotten revision can only cause spurious misses, never false hits.
+  std::uint64_t rev_counter_ = 0;
+  std::uint64_t rev_floor_ = 0;
+  std::unordered_map<NamespaceId, std::uint64_t> child_revs_;
+  std::unordered_map<NamespaceId, std::uint64_t> ring_revs_;
+
+  Stats stats_;
+};
+
+}  // namespace h2
+
+#endif  // H2_H2_RESOLVE_CACHE_H_

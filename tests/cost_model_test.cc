@@ -24,6 +24,9 @@ struct H2Box {
   H2Box() {
     H2CloudConfig cfg;
     cfg.cloud.part_power = 8;
+    // Cost-shape assertions reproduce the paper's O(d) access curves;
+    // the resolve cache would flatten them, so it is pinned off.
+    cfg.h2.resolve_cache = false;
     cloud = std::make_unique<H2Cloud>(cfg);
     EXPECT_TRUE(cloud->CreateAccount("u").ok());
     fs = std::move(cloud->OpenFilesystem("u")).value();
@@ -187,6 +190,65 @@ TEST(CostShapeTest, ObjectCountUpBytesNegligible) {
   const double byte_overhead =
       static_cast<double>(h2_bytes) / static_cast<double>(swift_bytes) - 1.0;
   EXPECT_LT(byte_overhead, 0.01);                        // Fig. 15: <1%
+}
+
+// ---- Tombstone-superseded reads ---------------------------------------------
+
+TEST(CostShapeTest, SupersededCopyChargesHeadPricedProbe) {
+  // A replica that missed a delete still holds the object; a read that
+  // sees a newer tombstone first must price that stale copy like the 404
+  // probes around it (HEAD round trip, no byte transfer), so reading a
+  // deleted key costs the same replica sweep as a key that never existed.
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  const std::string big(1 << 20, 'x');  // a wrongly priced GET would dwarf HEADs
+
+  OpMeter deleted_read;
+  bool superseded_read_found = false;
+  for (int attempt = 0; attempt < 3 && !superseded_read_found; ++attempt) {
+    const std::string key = "victim" + std::to_string(attempt);
+    ASSERT_TRUE(cloud.Put(key, ObjectValue::FromString(big, 1), meter).ok());
+    // Take down the attempt-th replica holder during the delete, so it
+    // keeps a stale copy while the others gain tombstones.
+    std::size_t stale = cloud.node_count();
+    int seen = 0;
+    for (std::size_t n = 0; n < cloud.node_count(); ++n) {
+      if (cloud.node(n).Contains(key) && seen++ == attempt) {
+        stale = n;
+        break;
+      }
+    }
+    ASSERT_LT(stale, cloud.node_count());
+    cloud.node(stale).SetDown(true);
+    ASSERT_TRUE(cloud.Delete(key, meter).ok());
+    cloud.node(stale).SetDown(false);
+
+    // If the stale replica happens to be probed before any tombstone, the
+    // eventually-consistent read legitimately returns the old value; some
+    // attempt places it later in probe order and yields NotFound.
+    deleted_read.Reset();
+    const auto read = cloud.Get(key, deleted_read);
+    if (read.code() == ErrorCode::kNotFound) superseded_read_found = true;
+  }
+  ASSERT_TRUE(superseded_read_found);
+
+  OpMeter missing_read;
+  EXPECT_EQ(cloud.Get("never-existed", missing_read).code(),
+            ErrorCode::kNotFound);
+  OpMeter live_read;
+  ASSERT_TRUE(cloud.Put("live", ObjectValue::FromString(big, 1), meter).ok());
+  ASSERT_TRUE(cloud.Get("live", live_read).ok());
+
+  const double deleted_ms = deleted_read.cost().elapsed_ms();
+  const double missing_ms = missing_read.cost().elapsed_ms();
+  // Tight enough to catch both failure modes: a free (uncharged) probe
+  // would land near 2/3 of missing_ms, a GET-priced one far above it.
+  EXPECT_GT(deleted_ms, 0.8 * missing_ms);
+  EXPECT_LT(deleted_ms, 1.25 * missing_ms);
+  // The stale copy's payload was never transferred or priced, unlike the
+  // live read's.
+  EXPECT_EQ(deleted_read.cost().bytes_moved, 0u);
+  EXPECT_EQ(live_read.cost().bytes_moved, big.size());
 }
 
 // ---- Headline absolute numbers ----------------------------------------------

@@ -110,6 +110,30 @@ TEST(FaultInjectionTest, InjectedErrorRatesSurfaceAsUnavailable) {
   }
 }
 
+TEST(FaultInjectionTest, CreateAccountSurvivesRecordPutFailure) {
+  // CREATE ACCOUNT writes the root NameRing first and the account record
+  // last; the record is the commit point.  Failing the record PUT must
+  // leave no half-created account behind, and a plain retry must succeed.
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+
+  cloud.cloud().FailPutsMatching("account::");
+  EXPECT_FALSE(cloud.CreateAccount("alice").ok());
+  // No commit point was written: the account does not exist in any
+  // observable way (only an orphan ring object remains in the cloud).
+  EXPECT_EQ(cloud.OpenFilesystem("alice").code(), ErrorCode::kNotFound);
+
+  cloud.cloud().FailPutsMatching("");
+  ASSERT_TRUE(cloud.CreateAccount("alice").ok());
+  auto fs = std::move(cloud.OpenFilesystem("alice")).value();
+  ASSERT_TRUE(fs->Mkdir("/home").ok());
+  ASSERT_TRUE(
+      fs->WriteFile("/home/f", FileBlob::FromString("durable")).ok());
+  cloud.RunMaintenanceToQuiescence();
+  EXPECT_EQ(fs->ReadFile("/home/f")->data, "durable");
+}
+
 TEST(FaultInjectionTest, MaintenanceRetriesThroughOutage) {
   H2CloudConfig cfg;
   cfg.cloud.part_power = 8;

@@ -1,5 +1,6 @@
 // Tests for the H2 extensions beyond the paper's core: paged LIST
-// (Swift-style marker/limit) and the bounded LRU namespace cache.
+// (Swift-style marker/limit) and the versioned resolve cache (deeper
+// cache coverage lives in tests/resolve_cache_test.cc).
 #include <gtest/gtest.h>
 
 #include <set>
@@ -104,10 +105,8 @@ TEST(ListPagedTest, Errors) {
       ErrorCode::kInvalidArgument);
 }
 
-TEST(NsCacheTest, HitsAfterWarmup) {
-  H2Config cfg;
-  cfg.namespace_cache = true;
-  H2Box box(cfg);
+TEST(ResolveCacheTest, HitsAfterWarmup) {
+  H2Box box;  // resolve cache defaults on
   ASSERT_TRUE(box.fs->Mkdir("/a").ok());
   ASSERT_TRUE(box.fs->Mkdir("/a/b").ok());
   ASSERT_TRUE(box.fs->WriteFile("/a/b/f", FileBlob::FromString("x")).ok());
@@ -117,33 +116,32 @@ TEST(NsCacheTest, HitsAfterWarmup) {
   EXPECT_EQ(box.fs->last_op().gets, 0u);     // no directory-record GETs
   EXPECT_EQ(box.fs->last_op().heads, 1u);
   const H2Counters counters = box.cloud->middleware(0).counters();
-  EXPECT_GT(counters.ns_cache_hits, 0u);
+  EXPECT_GT(counters.resolve_cache_hits, 0u);
 }
 
-TEST(NsCacheTest, CapacityEvictsLeastRecentlyUsed) {
+TEST(ResolveCacheTest, CapacityEvictsLeastRecentlyUsed) {
   H2Config cfg;
-  cfg.namespace_cache = true;
-  cfg.ns_cache_capacity = 4;
+  cfg.resolve_cache_capacity = 4;
+  cfg.ring_cache_capacity = 4;
   H2Box box(cfg);
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(box.fs->Mkdir("/d" + std::to_string(i)).ok());
   }
-  // Touch all ten directories: only 4 mappings can stay cached.
+  // Touch all ten directories: only 4 of each entry kind can stay cached.
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(
         box.fs->List("/d" + std::to_string(i), ListDetail::kNamesOnly).ok());
   }
-  // /d9 was touched last -> cached; /d0 evicted -> needs a GET again.
+  // /d9 was touched last -> record and ring cached; /d0 evicted -> both
+  // GETs are paid again.
   ASSERT_TRUE(box.fs->List("/d9", ListDetail::kNamesOnly).ok());
-  EXPECT_EQ(box.fs->last_op().gets, 1u);  // only the NameRing
+  EXPECT_EQ(box.fs->last_op().gets, 0u);  // record + ring both cached
   ASSERT_TRUE(box.fs->List("/d0", ListDetail::kNamesOnly).ok());
   EXPECT_EQ(box.fs->last_op().gets, 2u);  // dir record + NameRing
 }
 
-TEST(NsCacheTest, InvalidatedOnRmdirAndMove) {
-  H2Config cfg;
-  cfg.namespace_cache = true;
-  H2Box box(cfg);
+TEST(ResolveCacheTest, InvalidatedOnRmdirAndMove) {
+  H2Box box;
   ASSERT_TRUE(box.fs->Mkdir("/dir").ok());
   ASSERT_TRUE(box.fs->List("/dir", ListDetail::kNamesOnly).ok());  // cache
   ASSERT_TRUE(box.fs->Rmdir("/dir").ok());

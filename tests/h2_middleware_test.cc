@@ -15,6 +15,10 @@ class H2CloudTest : public ::testing::Test {
   void SetUp() override {
     H2CloudConfig cfg;
     cfg.cloud.part_power = 8;
+    // These tests assert the paper's exact per-op GET counts (O(d)
+    // level-by-level resolution), so the resolve cache stays off here;
+    // cache-on behaviour is covered by tests/resolve_cache_test.cc.
+    cfg.h2.resolve_cache = false;
     cloud_ = std::make_unique<H2Cloud>(cfg);
     ASSERT_TRUE(cloud_->CreateAccount("alice").ok());
     auto fs = cloud_->OpenFilesystem("alice");

@@ -46,22 +46,9 @@ TEST_P(MergePropertyTest, MergeIsCommutative) {
     ab.Merge(b);
     NameRing ba = b;
     ba.Merge(a);
-    // Tuples with equal timestamps but different payloads can keep either
-    // side; our timestamps come from a strictly monotonic clock, and the
-    // random generator makes collisions rare but possible -- compare via
-    // a collision-free generator: regenerate if serializations differ only
-    // due to equal-timestamp ties.  Simpler: with 1000 distinct timestamps
-    // and <=24 tuples, ties are rare; assert equality of the common case
-    // by skipping iterations with cross-ring timestamp ties.
-    bool tie = false;
-    for (const auto& t : a.AllTuples()) {
-      const RingTuple* other = b.Find(t.name);
-      if (other != nullptr && other->timestamp == t.timestamp &&
-          !(*other == t)) {
-        tie = true;
-      }
-    }
-    if (tie) continue;
+    // The small timestamp range (1000 values) makes equal-timestamp
+    // collisions common; the deterministic tie-break (deleted wins, then
+    // directory over file) resolves them identically on both sides.
     EXPECT_EQ(ab, ba);
   }
 }
@@ -72,21 +59,6 @@ TEST_P(MergePropertyTest, MergeIsAssociative) {
     const NameRing a = RandomRing(rng, 10, 6);
     const NameRing b = RandomRing(rng, 10, 6);
     const NameRing c = RandomRing(rng, 10, 6);
-    bool tie = false;
-    auto check_tie = [&](const NameRing& x, const NameRing& y) {
-      for (const auto& t : x.AllTuples()) {
-        const RingTuple* other = y.Find(t.name);
-        if (other != nullptr && other->timestamp == t.timestamp &&
-            !(*other == t)) {
-          tie = true;
-        }
-      }
-    };
-    check_tie(a, b);
-    check_tie(b, c);
-    check_tie(a, c);
-    if (tie) continue;
-
     NameRing left = a;
     left.Merge(b);
     left.Merge(c);
@@ -181,6 +153,53 @@ TEST(MergeOrderTest, PatchOrderDoesNotMatter) {
 
     EXPECT_EQ(forward, reverse);
     EXPECT_EQ(forward, via_big);
+  }
+}
+
+// The regression the tie-break fix targets: patches with FORCED timestamp
+// collisions (create vs delete vs kind change at the same tick, from
+// different nodes) must merge to bit-identical rings under every
+// permutation of arrival order.  Before the fix the incumbent won ties,
+// so two replicas receiving the same patches in different orders
+// diverged forever.
+TEST(MergeOrderTest, PermutedPatchOrdersWithTiesConverge) {
+  Rng rng(777);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<NameRing> patches;
+    for (int p = 0; p < 5; ++p) {
+      NameRing patch;
+      const std::size_t n = 1 + rng.Below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Only 4 names and 4 timestamps: collisions on every iteration.
+        patch.Apply(RingTuple{"n" + std::to_string(rng.Below(4)),
+                              static_cast<VirtualNanos>(10 * rng.Below(4)),
+                              rng.Chance(0.4) ? EntryKind::kDirectory
+                                              : EntryKind::kFile,
+                              rng.Chance(0.4)});
+      }
+      patch.NoteMerged(static_cast<std::uint32_t>(p), 1 + rng.Below(5));
+      patches.push_back(std::move(patch));
+    }
+
+    std::vector<std::size_t> order(patches.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::string reference;
+    for (int perm = 0; perm < 24; ++perm) {
+      // Random permutation (Fisher-Yates) of the patch arrival order.
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.Below(i)]);
+      }
+      NameRing merged;
+      for (std::size_t idx : order) merged.Merge(patches[idx]);
+      const std::string serialized = merged.Serialize();
+      if (perm == 0) {
+        reference = serialized;
+      } else {
+        ASSERT_EQ(serialized, reference)
+            << "iteration " << iter << " permutation " << perm
+            << " diverged";
+      }
+    }
   }
 }
 

@@ -40,11 +40,31 @@ TEST(NameRingTest, SmallerTimestampDoesNotOverride) {
   EXPECT_FALSE(ring.HasLive("cat"));
 }
 
-TEST(NameRingTest, EqualTimestampDoesNotOverride) {
+TEST(NameRingTest, EqualTimestampTieBreaksDeterministically) {
+  // Same-tick collisions resolve identically regardless of arrival
+  // order: deletion beats creation, directory beats file, and an exact
+  // duplicate keeps the incumbent (idempotence).
   NameRing ring;
   ring.Apply(File("cat", 10));
-  EXPECT_FALSE(ring.Apply(File("cat", 10, true)));
-  EXPECT_TRUE(ring.HasLive("cat"));
+  EXPECT_TRUE(ring.Apply(File("cat", 10, /*deleted=*/true)));
+  EXPECT_FALSE(ring.HasLive("cat"));
+  // The reverse order converges to the same winner.
+  NameRing reversed;
+  reversed.Apply(File("cat", 10, /*deleted=*/true));
+  EXPECT_FALSE(reversed.Apply(File("cat", 10)));
+  EXPECT_FALSE(reversed.HasLive("cat"));
+  EXPECT_EQ(ring.Serialize(), reversed.Serialize());
+
+  NameRing kinds;
+  kinds.Apply(File("pet", 10));
+  EXPECT_TRUE(kinds.Apply(Dir("pet", 10)));
+  EXPECT_EQ(kinds.Find("pet")->kind, EntryKind::kDirectory);
+  EXPECT_FALSE(kinds.Apply(File("pet", 10)));  // file loses the tie
+
+  NameRing dup;
+  dup.Apply(File("dog", 10));
+  EXPECT_FALSE(dup.Apply(File("dog", 10)));  // idempotent re-apply
+  EXPECT_TRUE(dup.HasLive("dog"));
 }
 
 TEST(NameRingTest, LiveChildrenAreAlphabetical) {

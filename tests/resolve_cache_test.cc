@@ -1,0 +1,215 @@
+// Tests for the versioned directory-resolution cache: unit tests for the
+// revision/LRU mechanics of H2ResolveCache, plus end-to-end checks that
+// the cache actually removes cloud GETs from the hot path, stays coherent
+// across middlewares via gossip, and surfaces in the monitor report.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "h2/h2cloud.h"
+#include "h2/monitor.h"
+#include "h2/resolve_cache.h"
+
+namespace h2 {
+namespace {
+
+NamespaceId Ns(int i) {
+  return NamespaceId{static_cast<std::uint32_t>(i), 1, 1000 + i};
+}
+
+DirRecord Rec(const NamespaceId& parent, std::string name, int i) {
+  return DirRecord{Ns(100 + i), parent, std::move(name), i};
+}
+
+// ---- unit: revision + LRU mechanics -----------------------------------------
+
+TEST(ResolveCacheUnitTest, ChildRoundTripAndStaleFillRejected) {
+  H2ResolveCache cache(8, 8);
+  const NamespaceId parent = Ns(1);
+
+  EXPECT_FALSE(cache.GetChild(parent, "x").has_value());
+  const std::uint64_t rev = cache.ChildRev(parent);
+  cache.PutChild(parent, "x", Rec(parent, "x", 1), rev);
+  auto got = cache.GetChild(parent, "x");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->name, "x");
+  EXPECT_EQ(got->parent_ns, parent);
+
+  // A fill whose revision snapshot predates an invalidation is dropped:
+  // the racing cloud read may have observed pre-invalidation state.
+  const std::uint64_t stale = cache.ChildRev(parent);
+  cache.EraseChild(parent, "x");
+  EXPECT_FALSE(cache.GetChild(parent, "x").has_value());
+  cache.PutChild(parent, "x", Rec(parent, "x", 1), stale);
+  EXPECT_FALSE(cache.GetChild(parent, "x").has_value());
+
+  // A snapshot taken after the invalidation fills normally.
+  const std::uint64_t fresh = cache.ChildRev(parent);
+  cache.PutChild(parent, "x", Rec(parent, "x", 1), fresh);
+  EXPECT_TRUE(cache.GetChild(parent, "x").has_value());
+  EXPECT_GT(cache.stats().hits, 0u);
+  EXPECT_GT(cache.stats().misses, 0u);
+}
+
+TEST(ResolveCacheUnitTest, ChildLruEvictsOldest) {
+  H2ResolveCache cache(2, 2);
+  const NamespaceId parent = Ns(1);
+  const std::uint64_t rev = cache.ChildRev(parent);
+  cache.PutChild(parent, "a", Rec(parent, "a", 1), rev);
+  cache.PutChild(parent, "b", Rec(parent, "b", 2), rev);
+  cache.PutChild(parent, "c", Rec(parent, "c", 3), rev);
+  EXPECT_EQ(cache.child_entries(), 2u);
+  EXPECT_FALSE(cache.GetChild(parent, "a").has_value());  // evicted
+  EXPECT_TRUE(cache.GetChild(parent, "b").has_value());
+  EXPECT_TRUE(cache.GetChild(parent, "c").has_value());
+}
+
+TEST(ResolveCacheUnitTest, RingSnapshotHonorsInvalidation) {
+  H2ResolveCache cache(4, 4);
+  const NamespaceId ns = Ns(2);
+  NameRing ring;
+  ring.Apply(RingTuple{"child", 10, EntryKind::kFile, false});
+
+  const std::uint64_t rev = cache.RingRev(ns);
+  cache.PutRing(ns, ring, rev);
+  auto got = cache.GetRing(ns);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->HasLive("child"));
+
+  cache.InvalidateRing(ns);
+  EXPECT_FALSE(cache.GetRing(ns).has_value());
+  cache.PutRing(ns, ring, rev);  // stale snapshot
+  EXPECT_FALSE(cache.GetRing(ns).has_value());
+}
+
+TEST(ResolveCacheUnitTest, InvalidateNamespaceDropsOnlyThatNamespace) {
+  H2ResolveCache cache(8, 8);
+  const NamespaceId p1 = Ns(1), p2 = Ns(2);
+  cache.PutChild(p1, "a", Rec(p1, "a", 1), cache.ChildRev(p1));
+  cache.PutChild(p1, "b", Rec(p1, "b", 2), cache.ChildRev(p1));
+  cache.PutChild(p2, "c", Rec(p2, "c", 3), cache.ChildRev(p2));
+  NameRing ring;
+  cache.PutRing(p1, ring, cache.RingRev(p1));
+
+  cache.InvalidateNamespace(p1);
+  EXPECT_FALSE(cache.GetChild(p1, "a").has_value());
+  EXPECT_FALSE(cache.GetChild(p1, "b").has_value());
+  EXPECT_FALSE(cache.GetRing(p1).has_value());
+  EXPECT_TRUE(cache.GetChild(p2, "c").has_value());
+  EXPECT_GT(cache.stats().invalidations, 0u);
+}
+
+TEST(ResolveCacheUnitTest, ClearRejectsPreClearSnapshots) {
+  // Clear forgets the per-namespace revision entries; the floor mechanism
+  // must keep old snapshots unusable (spurious misses are fine, false
+  // hits are not).
+  H2ResolveCache cache(8, 8);
+  const NamespaceId parent = Ns(3);
+  const std::uint64_t before = cache.ChildRev(parent);
+  cache.PutChild(parent, "x", Rec(parent, "x", 1), before);
+  cache.Clear();
+  EXPECT_EQ(cache.child_entries(), 0u);
+
+  cache.PutChild(parent, "x", Rec(parent, "x", 1), before);
+  EXPECT_FALSE(cache.GetChild(parent, "x").has_value());
+  const std::uint64_t after = cache.ChildRev(parent);
+  EXPECT_GT(after, before);
+  cache.PutChild(parent, "x", Rec(parent, "x", 1), after);
+  EXPECT_TRUE(cache.GetChild(parent, "x").has_value());
+}
+
+// ---- end to end: the cache removes GETs from the hot path -------------------
+
+std::uint64_t WarmPathGets(bool cache_on) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  cfg.h2.resolve_cache = cache_on;
+  H2Cloud cloud(cfg);
+  EXPECT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+
+  std::string dir;
+  for (int d = 1; d <= 8; ++d) {
+    dir += "/d" + std::to_string(d);
+    EXPECT_TRUE(fs->Mkdir(dir).ok());
+  }
+  EXPECT_TRUE(fs->WriteFile(dir + "/leaf", FileBlob::FromString("x")).ok());
+  cloud.RunMaintenanceToQuiescence();
+
+  EXPECT_TRUE(fs->Stat(dir + "/leaf").ok());  // warm-up round
+  EXPECT_TRUE(fs->List(dir, ListDetail::kNamesOnly).ok());
+
+  std::uint64_t gets = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(fs->Stat(dir + "/leaf").ok());
+    gets += fs->last_op().gets;
+    EXPECT_TRUE(fs->List(dir, ListDetail::kNamesOnly).ok());
+    gets += fs->last_op().gets;
+  }
+  return gets;
+}
+
+TEST(ResolveCacheE2ETest, DeepWarmPathNeedsHalfTheCloudGets) {
+  const std::uint64_t off = WarmPathGets(false);
+  const std::uint64_t on = WarmPathGets(true);
+  // Depth-8 Stat is O(d) GETs uncached and zero GETs warm; the issue's
+  // acceptance bar is >= 2x fewer.
+  EXPECT_GT(off, 0u);
+  EXPECT_GE(off, 2 * std::max<std::uint64_t>(on, 1));
+}
+
+TEST(ResolveCacheE2ETest, GossipInvalidatesPeerCaches) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  cfg.middleware_count = 2;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs0 = std::move(cloud.OpenFilesystem("u", 0)).value();
+  auto fs1 = std::move(cloud.OpenFilesystem("u", 1)).value();
+
+  ASSERT_TRUE(fs0->Mkdir("/a").ok());
+  ASSERT_TRUE(fs0->Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs0->WriteFile("/a/b/f", FileBlob::FromString("v")).ok());
+  cloud.RunMaintenanceToQuiescence();
+
+  // Warm middleware 0's child and ring caches along the path.
+  ASSERT_TRUE(fs0->Stat("/a/b/f").ok());
+  ASSERT_TRUE(fs0->List("/a/b", ListDetail::kNamesOnly).ok());
+
+  // The peer deletes the file through middleware 1; the maintenance
+  // round's gossip rumor must evict middleware 0's snapshots.
+  ASSERT_TRUE(fs1->RemoveFile("/a/b/f").ok());
+  cloud.RunMaintenanceToQuiescence();
+  auto names = fs0->List("/a/b", ListDetail::kNamesOnly);
+  ASSERT_TRUE(names.ok());
+  EXPECT_TRUE(names->empty());
+  EXPECT_EQ(fs0->Stat("/a/b/f").code(), ErrorCode::kNotFound);
+
+  // Same for whole directories resolved through the child cache.
+  ASSERT_TRUE(fs1->Rmdir("/a/b").ok());
+  cloud.RunMaintenanceToQuiescence();
+  EXPECT_EQ(fs0->Stat("/a/b").code(), ErrorCode::kNotFound);
+  EXPECT_GT(cloud.middleware(0).counters().resolve_cache_invalidations, 0u);
+}
+
+TEST(ResolveCacheE2ETest, MonitorReportsHitRate) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  ASSERT_TRUE(fs->Mkdir("/a").ok());
+  ASSERT_TRUE(fs->WriteFile("/a/f", FileBlob::FromString("x")).ok());
+  cloud.RunMaintenanceToQuiescence();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fs->Stat("/a/f").ok());
+  }
+
+  const MonitorSnapshot snapshot = CollectSnapshot(cloud);
+  EXPECT_GT(snapshot.ResolveCacheHitRate(), 0.0);
+  EXPECT_LE(snapshot.ResolveCacheHitRate(), 1.0);
+  EXPECT_NE(snapshot.ToText().find("resolve cache"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2

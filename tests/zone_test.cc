@@ -130,6 +130,43 @@ TEST(ZoneTest, H2MiddlewaresInDifferentZones) {
   EXPECT_EQ(names->size(), 2u);
 }
 
+TEST(ZoneTest, AddedNodesJoinZonesRoundRobin) {
+  ObjectCloud cloud(GeoCloud());  // 9 nodes, 3 zones, 3 per zone
+  OpMeter meter;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), meter)
+                    .ok());
+  }
+  // Scale out by a full rack row: the new nodes continue the
+  // constructor's round-robin zone assignment instead of all landing in
+  // zone 0.
+  ASSERT_TRUE(cloud.AddStorageNode().ok());
+  ASSERT_TRUE(cloud.AddStorageNode().ok());
+  ASSERT_TRUE(cloud.AddStorageNode().ok());
+  EXPECT_EQ(cloud.node(9).zone(), 0u);
+  EXPECT_EQ(cloud.node(10).zone(), 1u);
+  EXPECT_EQ(cloud.node(11).zone(), 2u);
+
+  // Zone distinctness holds for data that migrated onto the new nodes
+  // and for fresh writes alike.
+  for (int i = 100; i < 150; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj" + std::to_string(i),
+                         ObjectValue::FromString("v", 0), meter)
+                    .ok());
+  }
+  for (int i = 0; i < 150; ++i) {
+    const std::string key = "obj" + std::to_string(i);
+    std::set<std::uint32_t> zones;
+    for (std::size_t n = 0; n < cloud.node_count(); ++n) {
+      if (cloud.node(n).Contains(key)) zones.insert(cloud.node(n).zone());
+    }
+    EXPECT_EQ(zones.size(), 3u) << key;
+  }
+}
+
 TEST(ZoneTest, FewZonesFallsBackToDeviceDistinctness) {
   // 2 zones < 3 replicas: zone distinctness is impossible; device
   // distinctness must still hold.
