@@ -16,4 +16,17 @@ if [[ -n "${bad}" ]]; then
   echo "Run: git rm -r --cached <paths> (they are covered by .gitignore)" >&2
   exit 1
 fi
-echo "build hygiene OK: no tracked build artifacts"
+# Stray (untracked but visible) build directories mean .gitignore rot: a
+# future `git add -A` would sweep them in.  `git status --porcelain` only
+# lists paths .gitignore does NOT cover, so anything matching here is a
+# build tree the ignore rules lost track of.
+stray=$(git status --porcelain | awk '{print $NF}' \
+  | grep -E '^(build|build-[^/]*|cmake-build-[^/]*)(/|$)' || true)
+if [[ -n "${stray}" ]]; then
+  echo "error: stray build artifacts are visible to git (not ignored):" >&2
+  echo "${stray}" | head -20 >&2
+  echo "Add them to .gitignore or remove them." >&2
+  exit 1
+fi
+
+echo "build hygiene OK: no tracked or stray build artifacts"

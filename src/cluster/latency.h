@@ -125,6 +125,14 @@ class LatencyModel {
     return profile_.lan_hop + profile_.proxy_cpu +
            (profile_.disk_read + profile_.disk_write) / 2;
   }
+  VirtualNanos RepairPushBase() const {
+    // Background replica repair (read-repair push, hint replay,
+    // anti-entropy copy): node-to-node, no proxy CPU in the loop.
+    // Charged un-jittered to the cloud's repair meter so background
+    // traffic never perturbs the foreground jitter stream the figure
+    // benches are calibrated against.
+    return profile_.lan_hop + profile_.disk_write;
+  }
 
  private:
   LatencyProfile profile_;

@@ -11,9 +11,22 @@
 // the caller threads through (see cluster/latency.h, cluster/op_meter.h).
 //
 // Consistency/replication model: writes go to all R replicas and succeed
-// when a majority quorum acks; reads fall through replicas in ring order.
+// when a majority quorum acks; reads probe the replicas in zone-affine
+// ring order and return the newest non-superseded copy, so a replica that
+// missed an overwrite can never shadow a newer copy later in ring order.
 // Failure injection on individual nodes lets tests exercise quorum
 // behaviour and H2Cloud's eventual-consistency story.
+//
+// Replicas that miss writes are healed by a three-part repair subsystem
+// (Swift §5.1 semantics, see docs/PROTOCOL.md "Degraded-mode semantics"):
+// hinted handoff (failed replica writes park a hint on a surviving
+// replica, replayed by the maintenance loop once the target answers),
+// read-repair (a read that observes missing/stale/tombstone-divergent
+// replicas pushes the newest copy back), and an anti-entropy sweep
+// (ReplicaScrub) that converges whole partitions by digest comparison.
+// All repair traffic is metered out-of-band on the cloud's repair meter
+// -- never on the caller's OpMeter and never through the jitter RNG -- so
+// the figure benches' calibrated foreground numbers are unchanged.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +58,9 @@ struct CloudConfig {
   int zone_count = 1;
   LatencyProfile latency = LatencyProfile::RackLan();
   std::uint64_t seed = 42;
+  /// Degraded-mode repair machinery (bench/degraded_mode ablates these).
+  bool read_repair = true;
+  bool hinted_handoff = true;
 };
 
 struct PutOptions {
@@ -120,6 +136,56 @@ class ObjectCloud {
   /// longer own them.  Swift calls this the replicator.
   MigrationReport RepairReplicas();
 
+  // --- replica repair (degraded-mode convergence) --------------------------
+  // Metered in virtual time on the cloud's background repair meter; see
+  // docs/PROTOCOL.md "Degraded-mode semantics".
+
+  /// Cumulative repair-subsystem counters, surfaced by h2/monitor.
+  struct RepairStats {
+    std::uint64_t hints_queued = 0;
+    std::uint64_t hints_replayed = 0;
+    std::uint64_t read_repairs_pushed = 0;
+    std::uint64_t scrub_repairs_pushed = 0;
+    std::uint64_t divergent_keys_found = 0;
+    std::uint64_t failed_puts = 0;
+    std::uint64_t failed_deletes = 0;
+    std::uint64_t failed_copies = 0;
+  };
+
+  /// One anti-entropy sweep's outcome.
+  struct RepairReport {
+    std::uint64_t keys_examined = 0;
+    std::uint64_t divergent_keys = 0;
+    std::uint64_t copies_pushed = 0;
+    std::uint64_t tombstones_pushed = 0;
+    std::uint64_t stale_copies_dropped = 0;
+  };
+
+  /// Replays parked hints whose holder and target are both reachable.
+  /// Returns hints delivered (a maintenance work count: zero once
+  /// drained, so quiescence loops terminate while targets stay down).
+  std::size_t ReplayHints();
+  /// One deterministic repair step for the maintenance loop (hint
+  /// replay today; anti-entropy sweeps stay an explicit call because
+  /// they walk every partition).
+  std::size_t RunRepairStep() { return ReplayHints(); }
+  /// Anti-entropy sweep: walks every key, compares per-replica
+  /// (modified, md5) digests across the key's reachable ring owners, and
+  /// converges divergent copies/tombstones newest-wins.  Deterministic:
+  /// keys are visited in sorted order.
+  RepairReport ReplicaScrub();
+  /// Digest comparison only -- counts keys whose reachable ring owners
+  /// disagree (missing copy, stale copy, or tombstone-superseded copy)
+  /// without repairing or charging anything.  Test/bench oracle.
+  std::uint64_t DivergentKeyCount();
+
+  RepairStats repair_stats() const;
+  /// Background repair traffic priced so far (out-of-band; foreground
+  /// OpMeters never include it).
+  OpCost repair_cost() const;
+  void SetReadRepair(bool on) { read_repair_ = on; }
+  void SetHintedHandoff(bool on) { hinted_handoff_ = on; }
+
   // --- fault injection -----------------------------------------------------
   /// Fails every PUT whose key contains `substring` (before any replica
   /// is touched), modelling a proxy-level write outage for a key family.
@@ -140,6 +206,8 @@ class ObjectCloud {
   std::vector<std::uint64_t> NodeObjectCounts() const;
 
  private:
+  struct ReplicaProbe;
+
   /// Replica nodes for a key, reordered so replicas in `reader_zone` come
   /// first (read affinity).
   std::vector<StorageNode*> ReplicaNodes(const std::string& key,
@@ -147,6 +215,35 @@ class ObjectCloud {
   /// Inter-zone surcharge for touching `node` from `meter`'s zone.
   VirtualNanos ZoneSurcharge(const StorageNode& node,
                              const OpMeter& meter) const;
+  /// Majority quorum clamped to the key's actual replica-set size, so a
+  /// cluster with fewer nodes than replicas still has a reachable quorum.
+  /// One helper for PUT/DELETE/COPY ack checks and the PUT zone
+  /// surcharge, so they can never disagree again.
+  int EffectiveQuorum(std::size_t replica_set_size) const;
+  /// HEADs every replica of `key` (zone-affine order) and records status,
+  /// freshness digest and tombstone per replica.
+  std::vector<ReplicaProbe> ProbeReplicas(const std::string& key,
+                                          std::uint32_t reader_zone);
+  /// Index of the newest live copy that beats every observed tombstone,
+  /// ties broken by probe order; -1 when no live copy survives.
+  static int PickNewest(const std::vector<ReplicaProbe>& probes);
+  /// Pushes the winning copy (or, with no winner, the newest tombstone)
+  /// to lagging replicas, charged on the repair meter.
+  void ReadRepair(const std::string& key,
+                  const std::vector<ReplicaProbe>& probes, int winner);
+  /// Queues hints on `holder` for every node in `missed` (PUT hint when
+  /// `tombstone == 0`, DELETE hint otherwise).
+  void QueueHints(const std::string& key, const ObjectValue& value,
+                  VirtualNanos tombstone, StorageNode* holder,
+                  const std::vector<StorageNode*>& missed);
+  /// Charges background repair traffic out-of-band (never the caller's
+  /// meter, never the jitter RNG; advances virtual time only when
+  /// `advance_clock` -- maintenance-driven repair runs on its own
+  /// timeline, read-triggered repair rides the foreground op's window).
+  void ChargeRepair(VirtualNanos cost, bool advance_clock);
+  /// Shared walk behind ReplicaScrub (repair = true) and
+  /// DivergentKeyCount (repair = false).
+  RepairReport ScrubInternal(bool repair);
   /// Moves every object to exactly its current replica set.
   MigrationReport RedistributeObjects();
 
@@ -159,6 +256,12 @@ class ObjectCloud {
   int replica_count_;
   int zone_count_;
   std::string put_fault_;  // FailPutsMatching substring; empty = off
+  bool read_repair_;
+  bool hinted_handoff_;
+
+  mutable std::mutex repair_mu_;  // guards repair_meter_ and repair_stats_
+  OpMeter repair_meter_;
+  RepairStats repair_stats_;
 };
 
 }  // namespace h2

@@ -28,6 +28,10 @@ struct OpCost {
   std::uint64_t heads = 0;
   std::uint64_t copies = 0;
   std::uint64_t scanned_objects = 0;
+  /// Operations that failed after charging (quorum not reached, injected
+  /// fault): a failed PUT still prices its attempt, but must stay
+  /// distinguishable from a success in bench counters.
+  std::uint64_t failed_ops = 0;
 
   // Secondary-structure counts (baselines).
   std::uint64_t db_pages = 0;   // file-path DB page accesses (Swift model)
@@ -48,6 +52,7 @@ struct OpCost {
     heads += other.heads;
     copies += other.copies;
     scanned_objects += other.scanned_objects;
+    failed_ops += other.failed_ops;
     db_pages += other.db_pages;
     index_rpcs += other.index_rpcs;
     return *this;
@@ -99,6 +104,7 @@ class OpMeter {
   void CountHead() { ++cost_.heads; }
   void CountCopy() { ++cost_.copies; }
   void CountScanned(std::uint64_t n) { cost_.scanned_objects += n; }
+  void CountFailed() { ++cost_.failed_ops; }
   void CountDbPages(std::uint64_t n) { cost_.db_pages += n; }
   void CountIndexRpc() { ++cost_.index_rpcs; }
 

@@ -30,6 +30,22 @@ Status StorageNode::Put(const std::string& key, ObjectValue value) {
   return Status::Ok();
 }
 
+Status StorageNode::PutIfNewer(const std::string& key, ObjectValue value) {
+  std::lock_guard lock(mu_);
+  H2_RETURN_IF_ERROR(CheckAvailable());
+  auto tomb = tombstones_.find(key);
+  if (tomb != tombstones_.end()) {
+    if (tomb->second >= value.modified) return Status::Ok();  // superseded
+    tombstones_.erase(tomb);
+  }
+  auto it = objects_.find(key);
+  if (it != objects_.end() && it->second.modified >= value.modified) {
+    return Status::Ok();  // incumbent is as new or newer
+  }
+  objects_[key] = std::move(value);
+  return Status::Ok();
+}
+
 Result<ObjectValue> StorageNode::Get(const std::string& key) const {
   std::lock_guard lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
@@ -55,6 +71,15 @@ Status StorageNode::Delete(const std::string& key, VirtualNanos ts) {
   std::lock_guard lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
   if (ts != 0) {
+    // Last-writer-wins against the stored copy: a timed tombstone older
+    // than the incumbent (a replayed or repaired delete racing a newer
+    // overwrite) must not erase it.  Untimed deletes (ts == 0) stay
+    // unconditional -- they are administrative removals, not replicated
+    // delete operations.
+    auto obj = objects_.find(key);
+    if (obj != objects_.end() && obj->second.modified > ts) {
+      return Status::Ok();  // superseded by a newer write
+    }
     auto [it, inserted] = tombstones_.try_emplace(key, ts);
     if (!inserted && ts > it->second) it->second = ts;
   }
@@ -92,6 +117,32 @@ std::uint64_t StorageNode::logical_bytes() const {
   std::uint64_t total = 0;
   for (const auto& [key, value] : objects_) total += value.logical_size;
   return total;
+}
+
+Status StorageNode::QueueHint(ReplicaHint hint) {
+  std::lock_guard lock(mu_);
+  // Only a down holder refuses: queueing is a local append, not a request
+  // that can be lost to the injected per-request error stream.
+  if (down_) return Status::Unavailable("node " + name_ + " is down");
+  hints_.push_back(std::move(hint));
+  return Status::Ok();
+}
+
+std::vector<ReplicaHint> StorageNode::TakeHints(
+    const std::function<bool(DeviceId)>& deliverable) {
+  std::lock_guard lock(mu_);
+  std::vector<ReplicaHint> taken;
+  std::vector<ReplicaHint> kept;
+  for (auto& hint : hints_) {
+    (deliverable(hint.target) ? taken : kept).push_back(std::move(hint));
+  }
+  hints_ = std::move(kept);
+  return taken;
+}
+
+std::size_t StorageNode::hint_count() const {
+  std::lock_guard lock(mu_);
+  return hints_.size();
 }
 
 void StorageNode::SetDown(bool down) {

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cluster/object.h"
 #include "common/rng.h"
@@ -19,6 +20,17 @@
 #include "ring/partition_ring.h"
 
 namespace h2 {
+
+/// A write a replica missed, parked on a surviving node until the target
+/// answers again (Swift's hinted handoff).  `tombstone != 0` means the
+/// missed write was a delete and replays as `Delete(key, tombstone)`;
+/// otherwise `value` replays as a last-writer-wins put.
+struct ReplicaHint {
+  std::string key;
+  ObjectValue value;
+  VirtualNanos tombstone = 0;
+  DeviceId target = 0;
+};
 
 class StorageNode {
  public:
@@ -32,6 +44,12 @@ class StorageNode {
   std::uint32_t zone() const { return zone_; }
 
   Status Put(const std::string& key, ObjectValue value);
+  /// Last-writer-wins put used by replica repair: applies `value` only if
+  /// it is strictly newer than the incumbent copy (and any tombstone), so
+  /// a repair push racing a foreground overwrite can never roll a replica
+  /// back.  Unlike Put it clones `value` verbatim (no creation-time
+  /// preservation): repair replicates bytes, it does not author writes.
+  Status PutIfNewer(const std::string& key, ObjectValue value);
   Result<ObjectValue> Get(const std::string& key) const;
   Result<ObjectHead> Head(const std::string& key) const;
   /// Removes the object and records a tombstone at `ts` (0 = untimed).
@@ -52,6 +70,17 @@ class StorageNode {
   std::uint64_t object_count() const;
   std::uint64_t logical_bytes() const;
 
+  // --- hinted handoff ------------------------------------------------------
+  /// Parks a hint for a replica that missed a write.  Hints survive
+  /// injected request faults (they are a local queue append) but not a
+  /// down node.
+  Status QueueHint(ReplicaHint hint);
+  /// Removes and returns every queued hint whose target `deliverable`
+  /// approves (typically: the target node answers again).
+  std::vector<ReplicaHint> TakeHints(
+      const std::function<bool(DeviceId)>& deliverable);
+  std::size_t hint_count() const;
+
   // --- failure injection -------------------------------------------------
   /// A down node fails every request with kUnavailable.
   void SetDown(bool down);
@@ -70,6 +99,7 @@ class StorageNode {
   mutable std::mutex mu_;
   std::unordered_map<std::string, ObjectValue> objects_;
   std::unordered_map<std::string, VirtualNanos> tombstones_;
+  std::vector<ReplicaHint> hints_;
   bool down_ = false;
   double error_rate_ = 0.0;
   mutable Rng fault_rng_;

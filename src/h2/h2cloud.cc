@@ -47,6 +47,10 @@ std::size_t H2Cloud::RunMaintenanceStep() {
     work += mw->RunLazyCleanup(256);
   }
   work += gossip_.Step();
+  // Substrate-level repair: replay hinted-handoff queues whose targets
+  // answer again.  Counts as work so quiescence waits for revived nodes
+  // to catch up (undeliverable hints stay parked and count zero).
+  work += cloud_->RunRepairStep();
   return work;
 }
 

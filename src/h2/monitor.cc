@@ -25,6 +25,12 @@ std::uint64_t MonitorSnapshot::TotalGossipRepairs() const {
   return total;
 }
 
+std::uint64_t MonitorSnapshot::HintsPending() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes) total += n.hints_pending;
+  return total;
+}
+
 double MonitorSnapshot::ResolveCacheHitRate() const {
   std::uint64_t hits = 0, misses = 0;
   for (const auto& mw : middlewares) {
@@ -101,13 +107,37 @@ std::string MonitorSnapshot::ToText() const {
 
   out += "-- storage nodes --\n";
   for (const auto& n : nodes) {
-    std::snprintf(buf, sizeof(buf), "  %-8s zone %u: %8llu objects, %10s%s\n",
+    std::snprintf(buf, sizeof(buf), "  %-8s zone %u: %8llu objects, %10s%s%s\n",
                   n.name.c_str(), n.zone,
                   static_cast<unsigned long long>(n.objects),
                   HumanBytes(n.logical_bytes).c_str(),
+                  n.hints_pending != 0 ? "  [hints pending]" : "",
                   n.down ? "  [DOWN]" : "");
     out += buf;
   }
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "-- replica repair --\n"
+      "  hints: %llu queued, %llu replayed, %llu pending\n"
+      "  pushes: %llu read-repair, %llu anti-entropy (%llu divergent keys "
+      "seen)\n",
+      static_cast<unsigned long long>(repair.hints_queued),
+      static_cast<unsigned long long>(repair.hints_replayed),
+      static_cast<unsigned long long>(HintsPending()),
+      static_cast<unsigned long long>(repair.read_repairs_pushed),
+      static_cast<unsigned long long>(repair.scrub_repairs_pushed),
+      static_cast<unsigned long long>(repair.divergent_keys_found));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  failed ops: %llu puts, %llu deletes, %llu copies; background "
+      "repair cost %.1f ms\n",
+      static_cast<unsigned long long>(repair.failed_puts),
+      static_cast<unsigned long long>(repair.failed_deletes),
+      static_cast<unsigned long long>(repair.failed_copies),
+      repair_cost.elapsed_ms());
+  out += buf;
 
   std::snprintf(buf, sizeof(buf),
                 "-- gossip --\n  %llu published, %llu delivered, %llu "
@@ -140,10 +170,13 @@ MonitorSnapshot CollectSnapshot(H2Cloud& cloud) {
     n.zone = node.zone();
     n.objects = node.object_count();
     n.logical_bytes = node.logical_bytes();
+    n.hints_pending = node.hint_count();
     n.down = node.IsDown();
     snapshot.nodes.push_back(std::move(n));
   }
   snapshot.gossip = cloud.gossip().stats();
+  snapshot.repair = oc.repair_stats();
+  snapshot.repair_cost = oc.repair_cost();
   snapshot.logical_objects = oc.LogicalObjectCount();
   snapshot.raw_objects = oc.RawObjectCount();
   snapshot.logical_bytes = oc.LogicalBytes();

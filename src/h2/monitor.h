@@ -30,6 +30,8 @@ struct NodeSnapshot {
   std::uint32_t zone = 0;
   std::uint64_t objects = 0;
   std::uint64_t logical_bytes = 0;
+  /// Hinted-handoff writes parked on this node for unreachable replicas.
+  std::uint64_t hints_pending = 0;
   bool down = false;
 };
 
@@ -37,6 +39,10 @@ struct MonitorSnapshot {
   std::vector<MiddlewareSnapshot> middlewares;
   std::vector<NodeSnapshot> nodes;
   GossipStats gossip;
+  /// Substrate replica-repair counters (hinted handoff, read-repair,
+  /// anti-entropy) and the out-of-band cost charged for them.
+  ObjectCloud::RepairStats repair;
+  OpCost repair_cost;
   std::uint64_t logical_objects = 0;
   std::uint64_t raw_objects = 0;
   std::uint64_t logical_bytes = 0;
@@ -47,6 +53,8 @@ struct MonitorSnapshot {
   std::uint64_t TotalPatchesSubmitted() const;
   std::uint64_t TotalPatchesMerged() const;
   std::uint64_t TotalGossipRepairs() const;
+  /// Hinted-handoff writes still parked across all storage nodes.
+  std::uint64_t HintsPending() const;
   /// Resolve-cache hits / (hits + misses) across all middlewares;
   /// 0.0 when the cache saw no traffic (disabled or untouched).
   double ResolveCacheHitRate() const;

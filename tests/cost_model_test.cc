@@ -6,7 +6,9 @@
 
 #include "baselines/index_fs.h"
 #include "baselines/swift_fs.h"
+#include "cluster/object_cloud.h"
 #include "h2/h2cloud.h"
+#include "hash/md5.h"
 #include "metrics/stats.h"
 #include "workload/tree_gen.h"
 
@@ -249,6 +251,36 @@ TEST(CostShapeTest, SupersededCopyChargesHeadPricedProbe) {
   // live read's.
   EXPECT_EQ(deleted_read.cost().bytes_moved, 0u);
   EXPECT_EQ(live_read.cost().bytes_moved, big.size());
+}
+
+// ---- Degraded reads ---------------------------------------------------------
+
+TEST(CostShapeTest, DegradedReadPricePinned) {
+  // A read whose first-probed replica is down pays one LAN hop for the
+  // failed probe plus the normal GET -- and the charge advances virtual
+  // time in lockstep with the meter.  (The kUnavailable probe branch used
+  // to charge the meter without advancing the clock, so degraded reads
+  // drifted the two timelines apart.)
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  const std::string key = "degraded";
+  ASSERT_TRUE(cloud.Put(key, ObjectValue::FromString("v", 1), meter).ok());
+  const auto replicas = cloud.ring().ReplicasOfHash(Md5::Hash64(key));
+  ASSERT_FALSE(replicas.empty());
+  cloud.node(replicas.front()).SetDown(true);
+
+  OpMeter reader;
+  const VirtualNanos before = cloud.clock().Now();
+  ASSERT_TRUE(cloud.Get(key, reader).ok());
+  const VirtualNanos after = cloud.clock().Now();
+  EXPECT_EQ(after - before, reader.cost().elapsed);
+
+  // Absolute price: lan_hop (~0.5 ms) + GetBase (~10 ms), within jitter.
+  // Repair traffic (the digest probe of the third replica) must not leak
+  // into this number.
+  const double ms = reader.cost().elapsed_ms();
+  EXPECT_GT(ms, 8.4);
+  EXPECT_LT(ms, 13.2);
 }
 
 // ---- Headline absolute numbers ----------------------------------------------

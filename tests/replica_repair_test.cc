@@ -1,0 +1,312 @@
+// Replica repair subsystem tests: newest-wins reads, hinted handoff,
+// read-repair, anti-entropy scrubbing, and the failure accounting around
+// them.  These exercise the ObjectCloud directly -- the degraded-mode
+// semantics documented in docs/PROTOCOL.md.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/object_cloud.h"
+#include "hash/md5.h"
+
+namespace h2 {
+namespace {
+
+CloudConfig SmallCloud() {
+  CloudConfig cfg;
+  cfg.node_count = 8;
+  cfg.replica_count = 3;
+  cfg.part_power = 8;
+  return cfg;
+}
+
+/// Node indices holding replicas of `key`, in ring order.
+std::vector<std::size_t> ReplicaIndices(const ObjectCloud& cloud,
+                                        const std::string& key) {
+  std::vector<std::size_t> out;
+  for (DeviceId dev : cloud.ring().ReplicasOfHash(Md5::Hash64(key))) {
+    out.push_back(static_cast<std::size_t>(dev));
+  }
+  return out;
+}
+
+TEST(ReplicaRepairTest, NewestWinsAcrossZones) {
+  // Down one replica holder, overwrite, revive: every zone's reader must
+  // see the overwrite even when its zone-affine probe order reaches the
+  // stale replica first.
+  CloudConfig cfg = SmallCloud();
+  cfg.node_count = 9;
+  cfg.zone_count = 3;
+  ObjectCloud cloud(cfg);
+  OpMeter meter;
+  const std::string key = "stale-read-victim";
+  ASSERT_TRUE(cloud.Put(key, ObjectValue::FromString("v1", 10), meter).ok());
+
+  const auto replicas = ReplicaIndices(cloud, key);
+  ASSERT_EQ(replicas.size(), 3u);
+  for (std::size_t stale : replicas) {
+    cloud.node(stale).SetDown(true);
+    ASSERT_TRUE(
+        cloud.Put(key, ObjectValue::FromString("v2", 10), meter).ok());
+    cloud.node(stale).SetDown(false);
+
+    for (std::uint32_t zone = 0; zone < 3; ++zone) {
+      OpMeter reader;
+      reader.SetZone(zone);
+      auto got = cloud.Get(key, reader);
+      ASSERT_TRUE(got.ok()) << "zone " << zone;
+      EXPECT_EQ(got->payload, "v2") << "zone " << zone;
+    }
+    // Reset for the next iteration (read-repair healed the laggard).
+    ASSERT_TRUE(
+        cloud.Put(key, ObjectValue::FromString("v1", 10), meter).ok());
+  }
+}
+
+TEST(ReplicaRepairTest, HintedHandoffHealsMissedWrite) {
+  ObjectCloud cloud(SmallCloud());
+  cloud.SetReadRepair(false);  // isolate the hint path
+  OpMeter meter;
+  const std::string key = "hinted";
+  ASSERT_TRUE(cloud.Put(key, ObjectValue::FromString("v1", 10), meter).ok());
+
+  const auto replicas = ReplicaIndices(cloud, key);
+  const std::size_t down = replicas.back();
+  cloud.node(down).SetDown(true);
+  ASSERT_TRUE(cloud.Put(key, ObjectValue::FromString("v2", 10), meter).ok());
+  EXPECT_GE(cloud.repair_stats().hints_queued, 1u);
+
+  // Undeliverable while the target is down: replay is a no-op.
+  EXPECT_EQ(cloud.ReplayHints(), 0u);
+
+  cloud.node(down).SetDown(false);
+  EXPECT_GE(cloud.ReplayHints(), 1u);
+  EXPECT_GE(cloud.repair_stats().hints_replayed, 1u);
+  auto healed = cloud.node(down).Get(key);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed->payload, "v2");
+  // Hint replay is maintenance work: it advances virtual time and lands
+  // on the out-of-band repair meter.
+  EXPECT_GT(cloud.repair_cost().elapsed, 0);
+}
+
+TEST(ReplicaRepairTest, HintedHandoffDeliversTombstones) {
+  ObjectCloud cloud(SmallCloud());
+  cloud.SetReadRepair(false);
+  OpMeter meter;
+  const std::string key = "hinted-delete";
+  ASSERT_TRUE(cloud.Put(key, ObjectValue::FromString("v1", 10), meter).ok());
+
+  const auto replicas = ReplicaIndices(cloud, key);
+  const std::size_t down = replicas.back();
+  cloud.node(down).SetDown(true);
+  ASSERT_TRUE(cloud.Delete(key, meter).ok());
+  cloud.node(down).SetDown(false);
+  ASSERT_TRUE(cloud.node(down).Contains(key));  // missed the tombstone
+
+  EXPECT_GE(cloud.ReplayHints(), 1u);
+  EXPECT_FALSE(cloud.node(down).Contains(key));
+  EXPECT_EQ(cloud.Get(key, meter).code(), ErrorCode::kNotFound);
+}
+
+TEST(ReplicaRepairTest, ReadRepairConvergesLaggards) {
+  ObjectCloud cloud(SmallCloud());
+  cloud.SetHintedHandoff(false);  // isolate the read-repair path
+  OpMeter meter;
+  const std::string key = "read-repaired";
+  ASSERT_TRUE(cloud.Put(key, ObjectValue::FromString("v1", 10), meter).ok());
+
+  const auto replicas = ReplicaIndices(cloud, key);
+  const std::size_t stale = replicas.back();
+  cloud.node(stale).SetDown(true);
+  ASSERT_TRUE(cloud.Put(key, ObjectValue::FromString("v2", 10), meter).ok());
+  cloud.node(stale).SetDown(false);
+
+  OpMeter reader;
+  auto got = cloud.Get(key, reader);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload, "v2");
+  // The read observed the stale replica and pushed the newest copy back.
+  EXPECT_GE(cloud.repair_stats().read_repairs_pushed, 1u);
+  auto healed = cloud.node(stale).Get(key);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed->payload, "v2");
+  // The push was charged out-of-band, never on the reader's meter: the
+  // reader paid a healthy-read price (one GET, no repair traffic).
+  EXPECT_GT(cloud.repair_cost().elapsed, 0);
+  EXPECT_LT(reader.cost().elapsed_ms(), 13.0);
+}
+
+TEST(ReplicaRepairTest, ReadRepairPropagatesTombstones) {
+  ObjectCloud cloud(SmallCloud());
+  cloud.SetHintedHandoff(false);
+  OpMeter meter;
+  const std::string key = "tombstoned";
+  ASSERT_TRUE(cloud.Put(key, ObjectValue::FromString("v1", 10), meter).ok());
+
+  const auto replicas = ReplicaIndices(cloud, key);
+  const std::size_t stale = replicas.front();
+  cloud.node(stale).SetDown(true);
+  ASSERT_TRUE(cloud.Delete(key, meter).ok());
+  cloud.node(stale).SetDown(false);
+  ASSERT_TRUE(cloud.node(stale).Contains(key));
+
+  // Newest-wins already hides the resurrected copy; read-repair drops it.
+  OpMeter reader;
+  EXPECT_EQ(cloud.Get(key, reader).code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(cloud.node(stale).Contains(key));
+}
+
+TEST(ReplicaRepairTest, ReplicaScrubFindsAndFixesDivergence) {
+  ObjectCloud cloud(SmallCloud());
+  cloud.SetReadRepair(false);
+  cloud.SetHintedHandoff(false);
+  OpMeter meter;
+  // Seed a population, then make one node miss overwrites and a delete.
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(
+        cloud.Put(key, ObjectValue::FromString("v1-" + key, 10), meter).ok());
+  }
+  cloud.node(0).SetDown(true);
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (i % 5 == 0) {
+      ASSERT_TRUE(cloud.Delete(key, meter).ok());
+    } else {
+      ASSERT_TRUE(
+          cloud.Put(key, ObjectValue::FromString("v2-" + key, 10), meter)
+              .ok());
+    }
+  }
+  cloud.node(0).SetDown(false);
+
+  const std::uint64_t divergent_before = cloud.DivergentKeyCount();
+  ASSERT_GT(divergent_before, 0u);
+  // The audit itself must neither repair nor charge anything.
+  EXPECT_EQ(cloud.DivergentKeyCount(), divergent_before);
+  EXPECT_EQ(cloud.repair_cost().elapsed, 0);
+
+  const auto report = cloud.ReplicaScrub();
+  EXPECT_EQ(report.divergent_keys, divergent_before);
+  EXPECT_GT(report.copies_pushed + report.tombstones_pushed, 0u);
+  EXPECT_GT(cloud.repair_cost().elapsed, 0);
+
+  EXPECT_EQ(cloud.DivergentKeyCount(), 0u);
+  const auto second = cloud.ReplicaScrub();
+  EXPECT_EQ(second.divergent_keys, 0u);
+  EXPECT_EQ(second.copies_pushed + second.tombstones_pushed, 0u);
+
+  // Converged state serves the expected values everywhere.
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    auto got = cloud.Get(key, meter);
+    if (i % 5 == 0) {
+      EXPECT_EQ(got.code(), ErrorCode::kNotFound) << key;
+    } else {
+      ASSERT_TRUE(got.ok()) << key;
+      EXPECT_EQ(got->payload, "v2-" + key);
+    }
+  }
+}
+
+TEST(ReplicaRepairTest, EffectiveQuorumSmallCluster) {
+  // A cluster with fewer nodes than the replica count must still have a
+  // reachable quorum (clamped to the actual replica-set size) -- and must
+  // not charge the inter-zone surcharge against phantom replicas.
+  CloudConfig cfg = SmallCloud();
+  cfg.node_count = 1;
+  cfg.latency.inter_zone_hop = FromMillis(5.0);
+  ObjectCloud solo(cfg);
+  OpMeter meter;
+  ASSERT_TRUE(solo.Put("k", ObjectValue::FromString("v", 10), meter).ok());
+  EXPECT_TRUE(solo.Get("k", meter).ok());
+  // One local replica, quorum 1: no inter-zone ack can be on the path.
+  OpMeter put_meter;
+  ASSERT_TRUE(
+      solo.Put("k2", ObjectValue::FromString("v", 10), put_meter).ok());
+  EXPECT_LT(put_meter.cost().elapsed_ms(), 14.0);
+
+  cfg.node_count = 2;
+  ObjectCloud duo(cfg);
+  ASSERT_TRUE(duo.Put("k", ObjectValue::FromString("v", 10), meter).ok());
+  // Both replicas form the (clamped) quorum of 2; losing one node makes
+  // writes fail loudly instead of acking below quorum.
+  duo.node(0).SetDown(true);
+  OpMeter failed;
+  const Status st = duo.Put("k", ObjectValue::FromString("v2", 10), failed);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(failed.cost().failed_ops, 1u);
+  EXPECT_GE(duo.repair_stats().failed_puts, 1u);
+}
+
+TEST(ReplicaRepairTest, FailedOpsAreCounted) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+
+  // Injected proxy-level fault.
+  cloud.FailPutsMatching("doomed");
+  EXPECT_FALSE(
+      cloud.Put("doomed-key", ObjectValue::FromString("v", 10), meter).ok());
+  EXPECT_EQ(meter.cost().failed_ops, 1u);
+  EXPECT_EQ(cloud.repair_stats().failed_puts, 1u);
+  cloud.FailPutsMatching("");
+
+  // Quorum failure: all replica holders of the key down.
+  const std::string key = "quorumless";
+  ASSERT_TRUE(cloud.Put(key, ObjectValue::FromString("v", 10), meter).ok());
+  for (std::size_t n : ReplicaIndices(cloud, key)) {
+    cloud.node(n).SetDown(true);
+  }
+  OpMeter put_meter, del_meter;
+  EXPECT_FALSE(
+      cloud.Put(key, ObjectValue::FromString("v2", 10), put_meter).ok());
+  EXPECT_EQ(put_meter.cost().failed_ops, 1u);
+  EXPECT_FALSE(cloud.Delete(key, del_meter).ok());
+  EXPECT_EQ(del_meter.cost().failed_ops, 1u);
+  const auto stats = cloud.repair_stats();
+  EXPECT_GE(stats.failed_puts, 2u);
+  EXPECT_GE(stats.failed_deletes, 1u);
+
+  // Successful ops never count as failed.
+  OpMeter ok_meter;
+  ASSERT_TRUE(
+      cloud.Put("fine", ObjectValue::FromString("v", 10), ok_meter).ok());
+  EXPECT_TRUE(cloud.Get("fine", ok_meter).ok());
+  EXPECT_EQ(ok_meter.cost().failed_ops, 0u);
+}
+
+TEST(ReplicaRepairTest, RepairStaysOffForegroundMeters) {
+  // End to end: a degraded overwrite plus the reads that heal it must
+  // never leak repair charges into foreground meters, and repair pricing
+  // must be jitter-free (deterministic across identical runs).
+  OpCost first_repair;
+  OpCost first_read;
+  for (int run = 0; run < 2; ++run) {
+    ObjectCloud cloud(SmallCloud());
+    OpMeter meter;
+    const std::string key = "deterministic";
+    ASSERT_TRUE(
+        cloud.Put(key, ObjectValue::FromString("v1", 10), meter).ok());
+    const auto replicas = ReplicaIndices(cloud, key);
+    cloud.node(replicas.back()).SetDown(true);
+    ASSERT_TRUE(
+        cloud.Put(key, ObjectValue::FromString("v2", 10), meter).ok());
+    cloud.node(replicas.back()).SetDown(false);
+    cloud.ReplayHints();
+    OpMeter reader;
+    ASSERT_TRUE(cloud.Get(key, reader).ok());
+    if (run == 0) {
+      first_repair = cloud.repair_cost();
+      first_read = reader.cost();
+    } else {
+      EXPECT_EQ(cloud.repair_cost().elapsed, first_repair.elapsed);
+      EXPECT_EQ(reader.cost().elapsed, first_read.elapsed);
+    }
+  }
+  EXPECT_GT(first_repair.elapsed, 0);
+}
+
+}  // namespace
+}  // namespace h2
