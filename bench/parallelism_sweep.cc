@@ -1,0 +1,130 @@
+// Batched-I/O width sweep: elapsed time of the fan-out-heavy operations
+// (detailed LIST, COPY, RMDIR of a 1000-file directory) as the batch
+// wave width W (CloudConfig::io_concurrency) grows 1 -> 32, for H2Cloud
+// and the Swift baseline.  LIST and COPY are waves of per-child object
+// ops, so their critical-path cost shrinks roughly W-fold; H2's RMDIR is
+// O(1) foreground (the subtree is reclaimed lazily), so only its
+// background cleanup cost moves.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace h2::bench {
+namespace {
+
+struct Row {
+  std::uint64_t width = 0;
+  double h2_list_ms = 0, h2_copy_ms = 0, h2_rmdir_ms = 0, h2_cleanup_ms = 0;
+  double sw_list_ms = 0, sw_copy_ms = 0, sw_rmdir_ms = 0;
+};
+
+double MaintenanceMs(H2Cloud& cloud) {
+  double total = 0;
+  for (std::size_t i = 0; i < cloud.middleware_count(); ++i) {
+    total += cloud.middleware(i).maintenance_cost().elapsed_ms();
+  }
+  return total;
+}
+
+Row Measure(std::uint64_t width) {
+  Row row;
+  row.width = width;
+
+  {
+    H2CloudConfig cfg;
+    cfg.cloud = internal::BenchCloudConfig(LatencyProfile::RackLan());
+    cfg.cloud.io_concurrency = width;
+    cfg.h2.resolve_cache = false;  // paper-reproduction O(d) resolution
+    H2Cloud cloud(cfg);
+    BENCH_CHECK(cloud.CreateAccount("bench"));
+    auto fs = std::move(cloud.OpenFilesystem("bench")).value();
+    BENCH_CHECK(fs->Mkdir("/dir"));
+    BENCH_CHECK(AddFiles(*fs, "/dir", 0, 1000));
+    cloud.RunMaintenanceToQuiescence();
+
+    BENCH_CHECK(fs->List("/dir", ListDetail::kDetailed).status());
+    row.h2_list_ms = fs->last_op().elapsed_ms();
+
+    BENCH_CHECK(fs->Copy("/dir", "/dir-copy"));
+    row.h2_copy_ms = fs->last_op().elapsed_ms();
+
+    cloud.RunMaintenanceToQuiescence();
+    const double before = MaintenanceMs(cloud);
+    BENCH_CHECK(fs->Rmdir("/dir-copy"));
+    row.h2_rmdir_ms = fs->last_op().elapsed_ms();
+    cloud.RunMaintenanceToQuiescence();
+    row.h2_cleanup_ms = MaintenanceMs(cloud) - before;
+  }
+
+  {
+    CloudConfig ccfg = internal::BenchCloudConfig(LatencyProfile::RackLan());
+    ccfg.io_concurrency = width;
+    ObjectCloud cloud(ccfg);
+    SwiftFs fs(cloud);
+    BENCH_CHECK(fs.Mkdir("/dir"));
+    BENCH_CHECK(AddFiles(fs, "/dir", 0, 1000));
+
+    BENCH_CHECK(fs.List("/dir", ListDetail::kDetailed).status());
+    row.sw_list_ms = fs.last_op().elapsed_ms();
+
+    BENCH_CHECK(fs.Copy("/dir", "/dir-copy"));
+    row.sw_copy_ms = fs.last_op().elapsed_ms();
+
+    BENCH_CHECK(fs.Rmdir("/dir-copy"));
+    row.sw_rmdir_ms = fs.last_op().elapsed_ms();
+  }
+  return row;
+}
+
+void RequireStrictDecrease(const char* what, double prev, double cur,
+                           std::uint64_t from, std::uint64_t to) {
+  if (cur < prev) return;
+  std::fprintf(stderr,
+               "FATAL %s did not strictly decrease W=%llu (%.2f ms) -> "
+               "W=%llu (%.2f ms)\n",
+               what, static_cast<unsigned long long>(from), prev,
+               static_cast<unsigned long long>(to), cur);
+  std::exit(1);
+}
+
+void Run() {
+  std::puts(
+      "== Parallelism sweep: wave width W vs elapsed, 1000-file dir ==");
+  std::printf("%4s  %10s %10s %10s %12s  %10s %10s %10s\n", "W", "H2 LIST",
+              "H2 COPY", "H2 RMDIR", "H2 cleanup", "Sw LIST", "Sw COPY",
+              "Sw RMDIR");
+
+  std::vector<Row> rows;
+  for (std::uint64_t w : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    rows.push_back(Measure(w));
+    const Row& r = rows.back();
+    std::printf("%4llu  %9.1fms %9.1fms %9.1fms %11.1fms  %9.1fms %9.1fms "
+                "%9.1fms\n",
+                static_cast<unsigned long long>(r.width), r.h2_list_ms,
+                r.h2_copy_ms, r.h2_rmdir_ms, r.h2_cleanup_ms, r.sw_list_ms,
+                r.sw_copy_ms, r.sw_rmdir_ms);
+  }
+
+  // Acceptance: the batched fan-outs get strictly faster W=1 -> 16.
+  for (std::size_t i = 1; i < rows.size() && rows[i].width <= 16; ++i) {
+    RequireStrictDecrease("H2 detailed LIST-1000", rows[i - 1].h2_list_ms,
+                          rows[i].h2_list_ms, rows[i - 1].width,
+                          rows[i].width);
+    RequireStrictDecrease("H2 COPY-1000", rows[i - 1].h2_copy_ms,
+                          rows[i].h2_copy_ms, rows[i - 1].width,
+                          rows[i].width);
+  }
+  std::puts(
+      "\nExpected shape: H2 LIST and H2/Swift COPY fall ~W-fold (waves "
+      "priced at their critical path); Swift's detailed LIST is container-"
+      "DB pages, so it is W-independent; H2 RMDIR stays O(1) foreground "
+      "while its lazy cleanup cost falls with W; Swift RMDIR falls with W "
+      "because its per-member deletes batch.");
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main() { h2::bench::Run(); }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Rebuilds the benches and re-runs every figure/table binary, collecting
+# each one's stdout under bench/out/<name>.txt so EXPERIMENTS.md can be
+# refreshed from one deterministic sweep.  The simulator is seeded and
+# single-threaded, so consecutive runs produce byte-identical outputs.
+#
+# micro_bench (google-benchmark, wall-clock timings) is excluded: its
+# numbers are host-dependent and feed no EXPERIMENTS.md row.
+#
+# Usage: scripts/regen_experiments.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel)"
+build_dir="${1:-build}"
+
+cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" --target \
+  fig07_move_rename fig08_rmdir fig09_list_n fig10_list_m fig11_copy \
+  fig12_mkdir fig13_access fig14_objects fig15_sizes headline_numbers \
+  rtt_impact tab1_complexity ablation_h2 ablation_gossip ablation_ring \
+  ablation_geo scalability ablation_calibration degraded_mode \
+  parallelism_sweep
+
+mkdir -p bench/out
+for bin in \
+    fig07_move_rename fig08_rmdir fig09_list_n fig10_list_m fig11_copy \
+    fig12_mkdir fig13_access fig14_objects fig15_sizes headline_numbers \
+    rtt_impact tab1_complexity ablation_h2 ablation_gossip ablation_ring \
+    ablation_geo scalability ablation_calibration degraded_mode \
+    parallelism_sweep; do
+  echo "== ${bin}"
+  "${build_dir}/bench/${bin}" > "bench/out/${bin}.txt"
+done
+
+echo "Done: outputs in bench/out/ (gitignored; paste into EXPERIMENTS.md)."

@@ -65,12 +65,18 @@ Status CasFs::RebuildIndex(OpMeter& meter) {
   ++rebuilds_;
   std::vector<std::pair<std::string, std::string>> new_blocks;
   const std::string new_root = HashSubtree(tree_.root(), meter, &new_blocks);
+  // Changed pointer blocks are independent writes: one pipelined batch.
+  std::vector<BatchOp> puts;
+  puts.reserve(new_blocks.size());
   for (auto& [hash, payload] : new_blocks) {
     ObjectValue value =
         ObjectValue::FromString(std::move(payload), cloud_.clock().Tick());
     value.metadata["kind"] = "ptrblock";
-    H2_RETURN_IF_ERROR(cloud_.Put(BlockKey(hash), std::move(value), meter));
+    puts.push_back(BatchOp::Put(BlockKey(hash), std::move(value)));
   }
+  const std::vector<BatchResult> written =
+      cloud_.ExecuteBatch(std::move(puts), meter);
+  for (const BatchResult& r : written) H2_RETURN_IF_ERROR(r.status);
   if (new_root != root_hash_) {
     root_hash_ = new_root;
     ObjectValue root = ObjectValue::FromString(root_hash_,
@@ -264,8 +270,12 @@ Result<std::vector<DirEntry>> CasFs::List(std::string_view path,
                       cloud_.Get(BlockKey(meta_[node].hash), meter));
   (void)block;
   std::vector<DirEntry> entries;
+  // Per-entry decode is independent CPU work the client pipelines:
+  // wave-priced lanes with no disk queue behind them.
+  std::vector<OpMeter::BatchLane> entry_lanes;
+  entry_lanes.reserve(node->children.size());
   for (const auto& [name, child] : node->children) {
-    meter.Charge(kPerEntryHashCpu);
+    entry_lanes.push_back({kPerEntryHashCpu, OpMeter::kNoQueue});
     meter.CountScanned(1);  // work unit: one pointer-block entry read
     DirEntry e;
     e.name = name;
@@ -275,6 +285,9 @@ Result<std::vector<DirEntry>> CasFs::List(std::string_view path,
       e.modified = child->modified;
     }
     entries.push_back(std::move(e));
+  }
+  if (!entry_lanes.empty()) {
+    meter.ChargeCriticalPath(entry_lanes, cloud_.EffectiveConcurrency());
   }
   return entries;
 }

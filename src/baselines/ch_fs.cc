@@ -126,11 +126,17 @@ Status ChFs::Rmdir(std::string_view path) {
   H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
   if (p == "/") return Status::InvalidArgument("cannot remove /");
   H2_RETURN_IF_ERROR(RequireDir(p, meter));
-  // Without any index, membership is discovered by scanning the cluster.
+  // Without any index, membership is discovered by scanning the cluster;
+  // the deletions themselves go out as one pipelined batch.
+  std::vector<BatchOp> deletes;
   for (const auto& [member, is_dir] : ScanSubtree(p, meter)) {
-    H2_RETURN_IF_ERROR(cloud_.Delete(Key(member), meter));
+    deletes.push_back(BatchOp::Delete(Key(member)));
   }
-  return cloud_.Delete(Key(p), meter);
+  deletes.push_back(BatchOp::Delete(Key(p)));
+  const std::vector<BatchResult> results =
+      cloud_.ExecuteBatch(std::move(deletes), meter);
+  for (const BatchResult& r : results) H2_RETURN_IF_ERROR(r.status);
+  return Status::Ok();
 }
 
 Status ChFs::Move(std::string_view from, std::string_view to) {
@@ -154,11 +160,22 @@ Status ChFs::Move(std::string_view from, std::string_view to) {
   std::vector<std::pair<std::string, bool>> members;
   if (is_dir) members = ScanSubtree(f, meter);
   members.emplace_back(f, is_dir);
+  // Re-key as two pipelined batches: all COPYs, then all DELETEs.
+  std::vector<BatchOp> copies;
+  std::vector<BatchOp> deletes;
+  copies.reserve(members.size());
+  deletes.reserve(members.size());
   for (const auto& [member, member_is_dir] : members) {
     const std::string target = t + member.substr(f.size());
-    H2_RETURN_IF_ERROR(cloud_.Copy(Key(member), Key(target), meter));
-    H2_RETURN_IF_ERROR(cloud_.Delete(Key(member), meter));
+    copies.push_back(BatchOp::Copy(Key(member), Key(target)));
+    deletes.push_back(BatchOp::Delete(Key(member)));
   }
+  const std::vector<BatchResult> copied =
+      cloud_.ExecuteBatch(std::move(copies), meter);
+  for (const BatchResult& r : copied) H2_RETURN_IF_ERROR(r.status);
+  const std::vector<BatchResult> dropped =
+      cloud_.ExecuteBatch(std::move(deletes), meter);
+  for (const BatchResult& r : dropped) H2_RETURN_IF_ERROR(r.status);
   return Status::Ok();
 }
 
@@ -216,10 +233,15 @@ Status ChFs::Copy(std::string_view from, std::string_view to) {
   std::vector<std::pair<std::string, bool>> members;
   if (is_dir) members = ScanSubtree(f, meter);
   members.emplace_back(f, is_dir);
+  std::vector<BatchOp> copies;
+  copies.reserve(members.size());
   for (const auto& [member, member_is_dir] : members) {
     const std::string target = t + member.substr(f.size());
-    H2_RETURN_IF_ERROR(cloud_.Copy(Key(member), Key(target), meter));
+    copies.push_back(BatchOp::Copy(Key(member), Key(target)));
   }
+  const std::vector<BatchResult> copied =
+      cloud_.ExecuteBatch(std::move(copies), meter);
+  for (const BatchResult& r : copied) H2_RETURN_IF_ERROR(r.status);
   return Status::Ok();
 }
 

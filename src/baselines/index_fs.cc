@@ -265,17 +265,24 @@ Status IndexServerFs::Rmdir(std::string_view path) {
 Status IndexServerFs::TransferSubtreeContent(IndexNode* node,
                                              OpMeter& meter) {
   // Static partitioning's penalty: moving across partitions physically
-  // re-writes every file's content to the destination server's store.
-  Status status = Status::Ok();
+  // re-writes every file's content to the destination server's store --
+  // one pipelined batch of COPYs, then one of DELETEs.
+  std::vector<BatchOp> copies;
+  std::vector<BatchOp> deletes;
   TreeIndex::Visit(node, [&](IndexNode* n) {
-    if (n->is_dir() || !status.ok()) return;
+    if (n->is_dir()) return;
     const std::string old_key = ContentKey(n->file_id);
     n->file_id = next_file_id_++;
-    Status s = cloud_.Copy(old_key, ContentKey(n->file_id), meter);
-    if (s.ok()) s = cloud_.Delete(old_key, meter);
-    if (!s.ok()) status = s;
+    copies.push_back(BatchOp::Copy(old_key, ContentKey(n->file_id)));
+    deletes.push_back(BatchOp::Delete(old_key));
   });
-  return status;
+  const std::vector<BatchResult> copied =
+      cloud_.ExecuteBatch(std::move(copies), meter);
+  for (const BatchResult& r : copied) H2_RETURN_IF_ERROR(r.status);
+  const std::vector<BatchResult> dropped =
+      cloud_.ExecuteBatch(std::move(deletes), meter);
+  for (const BatchResult& r : dropped) H2_RETURN_IF_ERROR(r.status);
+  return Status::Ok();
 }
 
 Status IndexServerFs::Move(std::string_view from, std::string_view to) {
@@ -325,6 +332,11 @@ Result<std::vector<DirEntry>> IndexServerFs::List(std::string_view path,
   std::vector<DirEntry> entries;
   entries.reserve(node->children.size());
   std::uint64_t bytes = 0;
+  // Detailed metadata rows are independent fetches the index server
+  // pipelines: priced as a wave-scheduled batch of CPU lanes (no disk
+  // queue -- the rows live in the server's cache/B-tree, not behind one
+  // spindle).
+  std::vector<OpMeter::BatchLane> detail_lanes;
   for (const auto& [name, child] : node->children) {
     DirEntry e;
     e.name = name;
@@ -333,10 +345,13 @@ Result<std::vector<DirEntry>> IndexServerFs::List(std::string_view path,
     if (detail == ListDetail::kDetailed) {
       e.size = child->size;
       e.modified = child->modified;
-      meter.Charge(kPerChildDetail);
+      detail_lanes.push_back({kPerChildDetail, OpMeter::kNoQueue});
       meter.CountScanned(1);  // work unit: one metadata row fetched
     }
     entries.push_back(std::move(e));
+  }
+  if (!detail_lanes.empty()) {
+    meter.ChargeCriticalPath(detail_lanes, cloud_.EffectiveConcurrency());
   }
   meter.Charge(cloud_.latency().ByteCost(bytes));
   return entries;
@@ -359,8 +374,10 @@ Status IndexServerFs::Copy(std::string_view from, std::string_view to) {
     return Status::AlreadyExists("destination exists: " + t);
   }
 
-  // Deep-copy metadata in memory, duplicating content objects (O(n)).
-  Status status = Status::Ok();
+  // Deep-copy metadata in memory, collecting the content duplications,
+  // then issue them as one pipelined batch of server-side COPYs (O(n)
+  // with a wave-priced constant).
+  std::vector<BatchOp> copies;
   const std::function<Result<IndexNode*>(IndexNode*, const IndexNode*,
                                          std::string_view)>
       clone = [&](IndexNode* dst_parent, const IndexNode* src_node,
@@ -373,8 +390,8 @@ Status IndexServerFs::Copy(std::string_view from, std::string_view to) {
     AccountCreate(*dst);
     if (!src_node->is_dir()) {
       dst->file_id = next_file_id_++;
-      H2_RETURN_IF_ERROR(cloud_.Copy(ContentKey(src_node->file_id),
-                                     ContentKey(dst->file_id), meter));
+      copies.push_back(BatchOp::Copy(ContentKey(src_node->file_id),
+                                     ContentKey(dst->file_id)));
       return dst;
     }
     for (const auto& [child_name, child] : src_node->children) {
@@ -386,7 +403,10 @@ Status IndexServerFs::Copy(std::string_view from, std::string_view to) {
   };
   H2_ASSIGN_OR_RETURN(IndexNode * ignored, clone(to_parent, src, to_name));
   (void)ignored;
-  return status;
+  const std::vector<BatchResult> copied =
+      cloud_.ExecuteBatch(std::move(copies), meter);
+  for (const BatchResult& r : copied) H2_RETURN_IF_ERROR(r.status);
+  return Status::Ok();
 }
 
 std::size_t IndexServerFs::RunLazyCleanup(std::size_t max_objects) {
@@ -394,12 +414,16 @@ std::size_t IndexServerFs::RunLazyCleanup(std::size_t max_objects) {
   while (!cleanup_.empty() && deleted < max_objects) {
     std::unique_ptr<IndexNode> subtree = std::move(cleanup_.front());
     cleanup_.pop_front();
+    std::vector<BatchOp> deletes;
     TreeIndex::Visit(subtree.get(), [&](IndexNode* n) {
       if (n->is_dir()) return;
-      if (cloud_.Delete(ContentKey(n->file_id), maintenance_meter_).ok()) {
-        ++deleted;
-      }
+      deletes.push_back(BatchOp::Delete(ContentKey(n->file_id)));
     });
+    const std::vector<BatchResult> results =
+        cloud_.ExecuteBatch(std::move(deletes), maintenance_meter_);
+    for (const BatchResult& r : results) {
+      if (r.ok()) ++deleted;
+    }
   }
   return deleted;
 }

@@ -214,12 +214,19 @@ Status SwiftFs::Rmdir(std::string_view path) {
                                                const PathDb::Row&) {
     doomed.push_back(path2);
   }));
+  std::vector<BatchOp> deletes;
+  deletes.reserve(doomed.size() + 1);
   for (const std::string& d : doomed) {
-    H2_RETURN_IF_ERROR(cloud_.Delete(Key(d), meter));
+    deletes.push_back(BatchOp::Delete(Key(d)));
+  }
+  deletes.push_back(BatchOp::Delete(Key(p)));
+  const std::vector<BatchResult> results =
+      cloud_.ExecuteBatch(std::move(deletes), meter);
+  for (const BatchResult& r : results) H2_RETURN_IF_ERROR(r.status);
+  for (const std::string& d : doomed) {
     ChargeDbPages(meter, db_.SeekPages());
     db_.Erase(d);
   }
-  H2_RETURN_IF_ERROR(cloud_.Delete(Key(p), meter));
   ChargeDbPages(meter, db_.SeekPages());
   db_.Erase(p);
   return Status::Ok();
@@ -253,10 +260,27 @@ Status SwiftFs::Move(std::string_view from, std::string_view to) {
       affected.emplace_back(path2, row);
     }));
   }
+  // Re-keying pipelines like any other fan-out: one batch of COPYs, one
+  // batch of DELETEs, then the DB row updates.
+  std::vector<BatchOp> copies;
+  copies.reserve(affected.size());
   for (const auto& [old_path, row] : affected) {
     const std::string new_path = t + old_path.substr(f.size());
-    H2_RETURN_IF_ERROR(cloud_.Copy(Key(old_path), Key(new_path), meter));
-    H2_RETURN_IF_ERROR(cloud_.Delete(Key(old_path), meter));
+    copies.push_back(BatchOp::Copy(Key(old_path), Key(new_path)));
+  }
+  const std::vector<BatchResult> copied =
+      cloud_.ExecuteBatch(std::move(copies), meter);
+  for (const BatchResult& r : copied) H2_RETURN_IF_ERROR(r.status);
+  std::vector<BatchOp> deletes;
+  deletes.reserve(affected.size());
+  for (const auto& [old_path, row] : affected) {
+    deletes.push_back(BatchOp::Delete(Key(old_path)));
+  }
+  const std::vector<BatchResult> dropped =
+      cloud_.ExecuteBatch(std::move(deletes), meter);
+  for (const BatchResult& r : dropped) H2_RETURN_IF_ERROR(r.status);
+  for (const auto& [old_path, row] : affected) {
+    const std::string new_path = t + old_path.substr(f.size());
     ChargeDbPages(meter, 2 * db_.SeekPages());
     db_.Erase(old_path);
     db_.Upsert(new_path, row);
@@ -315,13 +339,20 @@ Status SwiftFs::Copy(std::string_view from, std::string_view to) {
       affected.emplace_back(path2, row);
     }));
   }
-  // O(n + logN): per-object server-side copies plus a bulk DB insert
-  // (one descent, then sequential row appends).
+  // O(n + logN): per-object server-side copies (one pipelined batch)
+  // plus a bulk DB insert (one descent, then sequential row appends).
   ChargeDbPages(meter, db_.SeekPages() + affected.size());
+  std::vector<BatchOp> copies;
+  copies.reserve(affected.size());
   for (const auto& [old_path, row] : affected) {
     const std::string new_path = t + old_path.substr(f.size());
-    H2_RETURN_IF_ERROR(cloud_.Copy(Key(old_path), Key(new_path), meter));
-    db_.Upsert(new_path, row);
+    copies.push_back(BatchOp::Copy(Key(old_path), Key(new_path)));
+  }
+  const std::vector<BatchResult> copied =
+      cloud_.ExecuteBatch(std::move(copies), meter);
+  for (const BatchResult& r : copied) H2_RETURN_IF_ERROR(r.status);
+  for (const auto& [old_path, row] : affected) {
+    db_.Upsert(t + old_path.substr(f.size()), row);
   }
   return Status::Ok();
 }

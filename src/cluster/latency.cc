@@ -25,6 +25,7 @@ LatencyProfile LatencyProfile::ModernNvme() {
   p.disk_read = FromMillis(0.25);      // NVMe random read
   p.disk_write = FromMillis(0.35);
   p.per_kib_disk = FromMillis(0.0006);
+  p.disk_queue = FromMillis(0.005);    // deep NVMe queues, no seek penalty
   p.durable_commit = FromMillis(2.0);  // NVMe fsync
   p.db_page = FromMillis(0.01);
   p.index_cpu = FromMillis(0.02);

@@ -38,6 +38,11 @@ struct LatencyProfile {
   VirtualNanos disk_read = FromMillis(8.0);    // 15K SAS seek + read
   VirtualNanos disk_write = FromMillis(9.0);
   VirtualNanos per_kib_disk = FromMillis(0.010);
+  // Queueing surcharge per additional request parked behind the first on
+  // one node's disk within a batch wave (ObjectCloud::ExecuteBatch).  The
+  // elevator services a wave's requests for one device in a single sweep,
+  // so queued requests pay transfer time, not a fresh seek.
+  VirtualNanos disk_queue = FromMillis(0.1);
 
   // Durable metadata commit: a patch/journal write acknowledged by all
   // replicas with fsync (used by NameRing patch submission and the DP
@@ -53,8 +58,10 @@ struct LatencyProfile {
   // Full-scan enumeration cost per object (plain consistent hash).
   VirtualNanos scan_per_object = FromMillis(0.01);
 
-  // Parallel lanes available to one proxied operation for batched
-  // sub-requests (detailed LIST, bulk HEAD).
+  // Default client concurrency for one proxied operation's batched
+  // sub-requests (the wave width W of ObjectCloud::ExecuteBatch);
+  // CloudConfig::io_concurrency = 0 resolves to this.  Calibrated so the
+  // detailed-LIST figures keep the paper's shape (DESIGN.md §5).
   std::uint64_t batch_width = 32;
 
   // Service overhead added per metadata operation; zero on the rack,

@@ -15,7 +15,8 @@ ObjectCloud::ObjectCloud(const CloudConfig& config)
       replica_count_(config.replica_count),
       zone_count_(std::max(config.zone_count, 1)),
       read_repair_(config.read_repair),
-      hinted_handoff_(config.hinted_handoff) {
+      hinted_handoff_(config.hinted_handoff),
+      io_concurrency_(config.io_concurrency) {
   assert(config.node_count >= 1);
   SplitMix64 seeder(config.seed);
   for (int i = 0; i < config.node_count; ++i) {
@@ -409,6 +410,95 @@ bool ObjectCloud::Exists(const std::string& key, OpMeter& meter) {
   return Head(key, meter).ok();
 }
 
+// --- batched fan-out --------------------------------------------------------
+
+std::uint64_t ObjectCloud::EffectiveConcurrency(
+    std::uint64_t override_width) const {
+  std::uint64_t w = override_width;
+  if (w == 0) w = io_concurrency_;
+  if (w == 0) w = latency_.profile().batch_width;
+  return std::max<std::uint64_t>(w, 1);
+}
+
+DeviceId ObjectCloud::PrimaryDeviceOf(const std::string& key) const {
+  const auto replicas = ring_.ReplicasOfHash(Md5::Hash64(key));
+  return replicas.empty() ? DeviceId{0} : replicas.front();
+}
+
+std::vector<BatchResult> ObjectCloud::ExecuteBatch(std::vector<BatchOp> ops,
+                                                   OpMeter& meter,
+                                                   BatchOptions opts) {
+  std::vector<BatchResult> results(ops.size());
+  if (ops.empty()) return results;
+
+  // Execute sequentially through the ordinary primitives so node
+  // mutations, clock ticks and jitter draws are identical at every W;
+  // each op's serial cost is captured on a private sub-meter and becomes
+  // one lane of the wave schedule.
+  std::vector<OpMeter::BatchLane> lanes;
+  lanes.reserve(ops.size());
+  OpCost serial_total;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    BatchOp& op = ops[i];
+    BatchResult& out = results[i];
+    OpMeter sub;
+    sub.SetZone(meter.zone());
+    switch (op.kind) {
+      case BatchOp::Kind::kPut:
+        out.status = Put(op.key, std::move(op.value), sub, op.put_opts);
+        break;
+      case BatchOp::Kind::kGet: {
+        Result<ObjectValue> r = Get(op.key, sub);
+        out.status = r.status();
+        if (r.ok()) out.value = std::move(r).value();
+        break;
+      }
+      case BatchOp::Kind::kHead: {
+        Result<ObjectHead> r = Head(op.key, sub);
+        out.status = r.status();
+        if (r.ok()) out.head = *r;
+        break;
+      }
+      case BatchOp::Kind::kDelete:
+        out.status = Delete(op.key, sub);
+        break;
+      case BatchOp::Kind::kCopy:
+        out.status = Copy(op.key, op.dst, sub);
+        break;
+    }
+    OpMeter::BatchLane lane;
+    lane.elapsed = sub.cost().elapsed;
+    // The lane contends on the disk that serves it: the destination's
+    // primary for a COPY (the write side), the key's primary otherwise.
+    lane.queue = static_cast<std::uint32_t>(PrimaryDeviceOf(
+        op.kind == BatchOp::Kind::kCopy ? op.dst : op.key));
+    lanes.push_back(lane);
+    serial_total += sub.cost();
+  }
+
+  // Counters and bytes merge additively; elapsed is re-priced at the
+  // critical path of the wave schedule.
+  OpCost counters = serial_total;
+  counters.elapsed = 0;
+  meter.Merge(counters);
+  const std::uint64_t width = EffectiveConcurrency(opts.concurrency);
+  const VirtualNanos critical = meter.ChargeCriticalPath(
+      lanes, width, latency_.profile().disk_queue);
+  {
+    std::lock_guard lock(batch_mu_);
+    ++batch_stats_.batches;
+    batch_stats_.batched_ops += ops.size();
+    batch_stats_.serial_cost += serial_total.elapsed;
+    batch_stats_.critical_cost += critical;
+  }
+  return results;
+}
+
+ObjectCloud::BatchStats ObjectCloud::batch_stats() const {
+  std::lock_guard lock(batch_mu_);
+  return batch_stats_;
+}
+
 void ObjectCloud::Scan(const std::function<void(const std::string&,
                                                 const ObjectValue&)>& visitor,
                        OpMeter& meter) {
@@ -570,6 +660,19 @@ void ObjectCloud::ChargeRepair(VirtualNanos cost, bool advance_clock) {
   if (advance_clock) clock_.Advance(cost);
 }
 
+VirtualNanos ObjectCloud::ChargeRepairBatch(
+    const std::vector<OpMeter::BatchLane>& lanes, bool advance_clock) {
+  if (lanes.empty()) return 0;
+  VirtualNanos critical = 0;
+  {
+    std::lock_guard lock(repair_mu_);
+    critical = repair_meter_.ChargeCriticalPath(
+        lanes, EffectiveConcurrency(), latency_.profile().disk_queue);
+  }
+  if (advance_clock) clock_.Advance(critical);
+  return critical;
+}
+
 void ObjectCloud::QueueHints(const std::string& key, const ObjectValue& value,
                              VirtualNanos tombstone, StorageNode* holder,
                              const std::vector<StorageNode*>& missed) {
@@ -658,7 +761,10 @@ void ObjectCloud::ReadRepair(const std::string& key,
 
 std::size_t ObjectCloud::ReplayHints() {
   std::size_t delivered = 0;
-  VirtualNanos cost = 0;
+  // Each delivered hint is one independent node-to-node push: a lane of a
+  // repair batch, contending on the target node's disk, wave-priced on
+  // the repair meter at the cloud's effective concurrency.
+  std::vector<OpMeter::BatchLane> lanes;
   for (const auto& holder : nodes_) {
     if (holder->IsDown()) continue;
     std::vector<ReplicaHint> hints =
@@ -673,10 +779,13 @@ std::size_t ObjectCloud::ReplayHints() {
                             : target->PutIfNewer(hint.key, hint.value);
       if (st.ok() || st.code() == ErrorCode::kNotFound) {
         ++delivered;
-        cost += latency_.RepairPushBase() +
-                (hint.tombstone != 0
-                     ? 0
-                     : latency_.ByteCost(hint.value.logical_size));
+        OpMeter::BatchLane lane;
+        lane.elapsed = latency_.RepairPushBase() +
+                       (hint.tombstone != 0
+                            ? 0
+                            : latency_.ByteCost(hint.value.logical_size));
+        lane.queue = static_cast<std::uint32_t>(hint.target);
+        lanes.push_back(lane);
       } else {
         // Transient fault on the target: park the hint again.
         (void)holder->QueueHint(std::move(hint));
@@ -688,7 +797,7 @@ std::size_t ObjectCloud::ReplayHints() {
     repair_stats_.hints_replayed += delivered;
   }
   // Maintenance-driven repair runs on its own timeline: advance the clock.
-  ChargeRepair(cost, /*advance_clock=*/true);
+  ChargeRepairBatch(lanes, /*advance_clock=*/true);
   return delivered;
 }
 
@@ -702,7 +811,10 @@ ObjectCloud::RepairReport ObjectCloud::ScrubInternal(bool repair) {
         [&](const std::string& key, const ObjectValue&) { keys.insert(key); });
   }
 
-  VirtualNanos cost = 0;
+  VirtualNanos cost = 0;  // digest-compare sweep (serial scan)
+  // Repair pushes are independent node-to-node writes: batch lanes
+  // contending on the lagging owner's disk, wave-priced like hint replay.
+  std::vector<OpMeter::BatchLane> push_lanes;
   std::uint64_t pushed_copies = 0;
   std::uint64_t pushed_tombstones = 0;
   for (const std::string& key : keys) {
@@ -757,8 +869,10 @@ ObjectCloud::RepairReport ObjectCloud::ScrubInternal(bool repair) {
                                   : owner.node->PutIfNewer(key, *newest);
         if (st.ok()) {
           ++pushed_copies;
-          cost += latency_.RepairPushBase() +
-                  latency_.ByteCost(newest->logical_size);
+          push_lanes.push_back(
+              {latency_.RepairPushBase() +
+                   latency_.ByteCost(newest->logical_size),
+               static_cast<std::uint32_t>(owner.node->id())});
         }
       }
     } else if (newest_tombstone > 0) {
@@ -773,7 +887,9 @@ ObjectCloud::RepairReport ObjectCloud::ScrubInternal(bool repair) {
         if (st.ok() || st.code() == ErrorCode::kNotFound) {
           ++pushed_tombstones;
           if (owner.has_copy) ++report.stale_copies_dropped;
-          cost += latency_.RepairPushBase();
+          push_lanes.push_back(
+              {latency_.RepairPushBase(),
+               static_cast<std::uint32_t>(owner.node->id())});
         }
       }
     }
@@ -789,6 +905,7 @@ ObjectCloud::RepairReport ObjectCloud::ScrubInternal(bool repair) {
       repair_stats_.divergent_keys_found += report.divergent_keys;
     }
     ChargeRepair(cost, /*advance_clock=*/true);
+    ChargeRepairBatch(push_lanes, /*advance_clock=*/true);
   }
   return report;
 }

@@ -33,6 +33,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,11 @@ struct CloudConfig {
   /// Degraded-mode repair machinery (bench/degraded_mode ablates these).
   bool read_repair = true;
   bool hinted_handoff = true;
+  /// Client-side concurrency for ExecuteBatch: how many sub-requests the
+  /// proxy keeps in flight per wave.  0 resolves to the latency profile's
+  /// batch_width, which is calibrated to the paper's detailed-LIST
+  /// figures; bench/parallelism_sweep sweeps this knob.
+  std::uint64_t io_concurrency = 0;
 };
 
 struct PutOptions {
@@ -68,6 +74,71 @@ struct PutOptions {
   /// journals): charges the durable-commit latency on top of the normal
   /// majority-quorum write.
   bool durable = false;
+};
+
+/// One operation of a batched fan-out (ObjectCloud::ExecuteBatch): a
+/// tagged union over the flat primitives.  `key` is the PUT/GET/HEAD/
+/// DELETE target and the COPY source; `dst` is the COPY destination.
+struct BatchOp {
+  enum class Kind { kPut, kGet, kHead, kDelete, kCopy };
+
+  Kind kind = Kind::kGet;
+  std::string key;
+  std::string dst;
+  ObjectValue value;     // PUT payload
+  PutOptions put_opts;   // PUT only
+
+  static BatchOp Put(std::string key, ObjectValue value,
+                     PutOptions opts = {}) {
+    BatchOp op;
+    op.kind = Kind::kPut;
+    op.key = std::move(key);
+    op.value = std::move(value);
+    op.put_opts = opts;
+    return op;
+  }
+  static BatchOp Get(std::string key) {
+    BatchOp op;
+    op.kind = Kind::kGet;
+    op.key = std::move(key);
+    return op;
+  }
+  static BatchOp Head(std::string key) {
+    BatchOp op;
+    op.kind = Kind::kHead;
+    op.key = std::move(key);
+    return op;
+  }
+  static BatchOp Delete(std::string key) {
+    BatchOp op;
+    op.kind = Kind::kDelete;
+    op.key = std::move(key);
+    return op;
+  }
+  static BatchOp Copy(std::string src, std::string dst) {
+    BatchOp op;
+    op.kind = Kind::kCopy;
+    op.key = std::move(src);
+    op.dst = std::move(dst);
+    return op;
+  }
+};
+
+/// Positional outcome of one BatchOp: `status` always set; `value` on a
+/// successful GET, `head` on a successful HEAD.
+struct BatchResult {
+  Status status = Status::Ok();
+  std::optional<ObjectValue> value;
+  std::optional<ObjectHead> head;
+
+  bool ok() const { return status.ok(); }
+};
+
+struct BatchOptions {
+  /// Wave-width override for this batch; 0 resolves to
+  /// CloudConfig::io_concurrency (which itself defaults to the latency
+  /// profile's batch_width).
+  std::uint64_t concurrency = 0;
 };
 
 class ObjectCloud {
@@ -88,6 +159,56 @@ class ObjectCloud {
               OpMeter& meter);
   /// Metadata existence probe (a HEAD that tolerates NotFound).
   bool Exists(const std::string& key, OpMeter& meter);
+
+  // --- batched fan-out ----------------------------------------------------
+  /// Executes a batch of independent operations and prices it as a
+  /// pipelined client: ops are scheduled, in submission order, into waves
+  /// of W = BatchOptions::concurrency (0 -> CloudConfig::io_concurrency
+  /// -> latency profile batch_width); each wave is charged at the maximum
+  /// of its lanes' serial costs -- the critical path -- with lanes that
+  /// share a primary storage node serializing behind each other at
+  /// disk_queue per queued request.
+  ///
+  /// Execution itself is sequential and deterministic: node mutations,
+  /// clock ticks and jitter draws are identical for every W, so the final
+  /// cloud state is bit-identical across concurrency settings; W affects
+  /// only the price charged to `meter`.  (The clock still advances by each
+  /// sub-op's serial window, as the primitives do; only the caller-visible
+  /// elapsed is wave-priced.)  W = 1 reproduces the serial sum exactly.
+  ///
+  /// Results are positional: results[i] is ops[i]'s outcome, so callers
+  /// keep exact per-item error handling.
+  std::vector<BatchResult> ExecuteBatch(std::vector<BatchOp> ops,
+                                        OpMeter& meter,
+                                        BatchOptions opts = {});
+
+  /// Effective wave width after the defaulting rules above.
+  std::uint64_t EffectiveConcurrency(std::uint64_t override_width = 0) const;
+
+  /// Primary storage device for a key: the serialization domain batched
+  /// lanes contend on.
+  DeviceId PrimaryDeviceOf(const std::string& key) const;
+
+  /// Cumulative ExecuteBatch accounting (foreground batches; repair-path
+  /// batching shows up in repair_cost()'s own batch counters).
+  struct BatchStats {
+    std::uint64_t batches = 0;
+    std::uint64_t batched_ops = 0;
+    VirtualNanos serial_cost = 0;    // what a serial client would have paid
+    VirtualNanos critical_cost = 0;  // what wave scheduling charged
+    double mean_width() const {
+      return batches == 0 ? 0.0
+                          : static_cast<double>(batched_ops) /
+                                static_cast<double>(batches);
+    }
+    double savings() const {
+      if (serial_cost == 0) return 0.0;
+      const double ratio = static_cast<double>(critical_cost) /
+                           static_cast<double>(serial_cost);
+      return ratio >= 1.0 ? 0.0 : 1.0 - ratio;
+    }
+  };
+  BatchStats batch_stats() const;
 
   /// Enumerates every *primary* object in the cluster (each logical object
   /// once).  Nodes scan in parallel; the meter is charged for the busiest
@@ -241,6 +362,11 @@ class ObjectCloud {
   /// `advance_clock` -- maintenance-driven repair runs on its own
   /// timeline, read-triggered repair rides the foreground op's window).
   void ChargeRepair(VirtualNanos cost, bool advance_clock);
+  /// Wave-prices a batch of repair pushes (hint replay, scrub) on the
+  /// repair meter at the cloud's effective concurrency, same critical-path
+  /// model as ExecuteBatch.  Returns the amount charged.
+  VirtualNanos ChargeRepairBatch(const std::vector<OpMeter::BatchLane>& lanes,
+                                 bool advance_clock);
   /// Shared walk behind ReplicaScrub (repair = true) and
   /// DivergentKeyCount (repair = false).
   RepairReport ScrubInternal(bool repair);
@@ -258,6 +384,10 @@ class ObjectCloud {
   std::string put_fault_;  // FailPutsMatching substring; empty = off
   bool read_repair_;
   bool hinted_handoff_;
+  std::uint64_t io_concurrency_;  // CloudConfig::io_concurrency
+
+  mutable std::mutex batch_mu_;  // guards batch_stats_
+  BatchStats batch_stats_;
 
   mutable std::mutex repair_mu_;  // guards repair_meter_ and repair_stats_
   OpMeter repair_meter_;

@@ -5,12 +5,17 @@
 // Every object-store primitive and index access charges its simulated
 // latency and increments primitive counters on the OpMeter threaded
 // through the call.  Batched sub-operations (e.g. the per-child stats of a
-// detailed LIST) are charged as parallel lanes of a configurable width, so
-// elapsed time models a pipelined proxy rather than a serial client.
+// detailed LIST) are priced by ChargeCriticalPath: the batch is scheduled
+// into waves of a configurable width and each wave costs its *slowest*
+// lane (plus per-device queueing), so elapsed time models a pipelined
+// proxy rather than a serial client -- and a wave of one large GET plus
+// many cheap HEADs is bounded by the GET, not averaged away.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <unordered_map>
+#include <vector>
 
 #include "common/clock.h"
 
@@ -37,11 +42,35 @@ struct OpCost {
   std::uint64_t db_pages = 0;   // file-path DB page accesses (Swift model)
   std::uint64_t index_rpcs = 0; // index-server RPCs (DP / single-index)
 
+  // Batched-execution accounting (OpMeter::ChargeCriticalPath, used by
+  // ObjectCloud::ExecuteBatch): how many batch spans were priced, how many
+  // lanes they carried, what a serial client would have paid for them, and
+  // what the critical-path schedule actually charged.
+  std::uint64_t batches = 0;
+  std::uint64_t batched_ops = 0;
+  VirtualNanos batch_serial_cost = 0;
+  VirtualNanos batch_critical_cost = 0;
+
   std::uint64_t object_primitives() const {
     return gets + puts + deletes + heads + copies;
   }
 
   double elapsed_ms() const { return ToMillis(elapsed); }
+
+  /// Mean lanes per batch span (0 when no batches were priced).
+  double mean_batch_width() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_ops) /
+                              static_cast<double>(batches);
+  }
+  /// Fraction of the serial batch cost saved by wave scheduling, in
+  /// [0, 1] (0 when nothing was batched or W = 1 bought nothing).
+  double batch_savings() const {
+    if (batch_serial_cost == 0) return 0.0;
+    const double ratio = static_cast<double>(batch_critical_cost) /
+                         static_cast<double>(batch_serial_cost);
+    return std::max(0.0, 1.0 - ratio);
+  }
 
   OpCost& operator+=(const OpCost& other) {
     elapsed += other.elapsed;
@@ -55,6 +84,10 @@ struct OpCost {
     failed_ops += other.failed_ops;
     db_pages += other.db_pages;
     index_rpcs += other.index_rpcs;
+    batches += other.batches;
+    batched_ops += other.batched_ops;
+    batch_serial_cost += other.batch_serial_cost;
+    batch_critical_cost += other.batch_critical_cost;
     return *this;
   }
 };
@@ -75,26 +108,56 @@ class OpMeter {
   /// Sequential step: adds to elapsed time.
   void Charge(VirtualNanos d) { cost_.elapsed += d; }
 
-  /// `items` independent sub-steps of `per_item` cost executed on
-  /// `width` parallel lanes: elapsed grows by ceil(items/width)*per_item.
-  void ChargeBatch(std::uint64_t items, std::uint64_t width,
-                   VirtualNanos per_item) {
-    if (items == 0) return;
-    width = std::max<std::uint64_t>(width, 1);
-    const std::uint64_t waves = (items + width - 1) / width;
-    cost_.elapsed += static_cast<VirtualNanos>(waves) * per_item;
-  }
+  /// Sentinel queue id for lanes that contend on nothing (pure CPU work,
+  /// index-server row fetches): they parallelize freely within a wave.
+  static constexpr std::uint32_t kNoQueue = 0xffffffffu;
 
-  /// Re-costs everything charged since `mark` (a prior cost().elapsed
-  /// value) as if it ran on `width` parallel lanes.  Used for batched
-  /// sub-requests issued through sequential primitive calls, e.g. the
-  /// per-child HEADs of a detailed LIST.
-  void FoldParallel(VirtualNanos mark, std::uint64_t width) {
-    if (width <= 1 || cost_.elapsed <= mark) return;
-    const VirtualNanos extra = cost_.elapsed - mark;
-    cost_.elapsed =
-        mark + (extra + static_cast<VirtualNanos>(width) - 1) /
-                   static_cast<VirtualNanos>(width);
+  /// One lane of a batched span: the serial cost of an independent
+  /// sub-operation, tagged with the serialization domain it contends on
+  /// (for object I/O, the primary storage node's device id).
+  struct BatchLane {
+    VirtualNanos elapsed = 0;
+    std::uint32_t queue = kNoQueue;
+  };
+
+  /// Prices a batch of independent lanes executed `width` at a time:
+  /// lanes are packed, in order, into consecutive waves of at most
+  /// `width`; a wave costs the maximum over its lanes, except that lanes
+  /// sharing a queue serialize behind each other at `queue_delay` per
+  /// queued request (the device services the wave in one sweep; queued
+  /// requests pay transfer, not a fresh seek).  Elapsed grows by the sum
+  /// of wave costs -- the batch's critical path -- which the batch
+  /// counters record alongside the serial sum.  Returns the amount
+  /// charged.  `width` <= 1 degenerates to the exact serial sum.
+  VirtualNanos ChargeCriticalPath(const std::vector<BatchLane>& lanes,
+                                  std::uint64_t width,
+                                  VirtualNanos queue_delay = 0) {
+    if (lanes.empty()) return 0;
+    width = std::max<std::uint64_t>(width, 1);
+    VirtualNanos total = 0;
+    VirtualNanos serial = 0;
+    std::unordered_map<std::uint32_t, std::uint64_t> queue_depth;
+    for (std::size_t begin = 0; begin < lanes.size(); begin += width) {
+      const std::size_t end = std::min(lanes.size(), begin + width);
+      VirtualNanos wave = 0;
+      queue_depth.clear();
+      for (std::size_t i = begin; i < end; ++i) {
+        serial += lanes[i].elapsed;
+        VirtualNanos lane = lanes[i].elapsed;
+        if (lanes[i].queue != kNoQueue) {
+          lane += queue_delay * static_cast<VirtualNanos>(
+                                    queue_depth[lanes[i].queue]++);
+        }
+        wave = std::max(wave, lane);
+      }
+      total += wave;
+    }
+    cost_.elapsed += total;
+    ++cost_.batches;
+    cost_.batched_ops += lanes.size();
+    cost_.batch_serial_cost += serial;
+    cost_.batch_critical_cost += total;
+    return total;
   }
 
   void AddBytes(std::uint64_t n) { cost_.bytes_moved += n; }

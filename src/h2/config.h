@@ -31,8 +31,9 @@ struct H2Config {
   bool compact_on_use = true;
   VirtualNanos tombstone_gc_age = 2 * kSecond;
 
-  /// Parallel lanes for the per-child metadata fetches of a detailed LIST;
-  /// 0 uses the cloud latency profile's batch width.
+  /// Wave width for the per-child metadata HEAD batch of a detailed LIST
+  /// (passed to ObjectCloud::ExecuteBatch as BatchOptions::concurrency);
+  /// 0 uses the cloud's io_concurrency / latency-profile default.
   std::uint64_t list_batch_width = 0;
 
   /// Journal a durable intent object before each MOVE's multi-object

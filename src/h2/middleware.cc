@@ -254,7 +254,18 @@ Status H2Middleware::WriteFiles(const NamespaceId& root,
   };
   std::map<std::string, DirBatch> by_parent;
 
-  for (BatchEntry& entry : batch) {
+  // Phase 1: resolve each distinct parent once, then probe every target
+  // key's existence in one batch of HEADs.
+  struct Pending {
+    DirBatch* dir = nullptr;  // stable: std::map values don't move
+    std::string key;
+    std::string name;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(batch.size());
+  std::vector<BatchOp> heads;
+  heads.reserve(batch.size());
+  for (const BatchEntry& entry : batch) {
     const std::string& path = entry.path;
     if (path == "/") return Status::IsADirectory("cannot write to /");
     const std::string parent_path = ParentPath(path);
@@ -264,33 +275,51 @@ Status H2Middleware::WriteFiles(const NamespaceId& root,
                           ResolvePath(root, parent_path, meter));
       it = by_parent.emplace(parent_path, DirBatch{parent, {}}).first;
     }
-    const NamespaceId parent = it->second.ns;
-    const std::string_view name = BaseName(path);
-    const std::string key = ChildKey(parent, name);
+    Pending p;
+    p.dir = &it->second;
+    p.name = std::string(BaseName(path));
+    p.key = ChildKey(it->second.ns, p.name);
+    heads.push_back(BatchOp::Head(p.key));
+    pending.push_back(std::move(p));
+  }
+  const std::vector<BatchResult> existing =
+      cloud_.ExecuteBatch(std::move(heads), meter);
 
-    Result<ObjectHead> existing = cloud_.Head(key, meter);
-    bool is_new = false;
-    if (existing.ok()) {
-      auto kind = existing->metadata.find(std::string(kMetaKind));
-      if (kind != existing->metadata.end() && kind->second == kMetaKindDir) {
-        return Status::IsADirectory("is a directory: " + path);
+  // Phase 2: validate positionally, then write every payload in one
+  // batch of PUTs (timestamps minted in submission order).
+  std::vector<BatchOp> puts;
+  puts.reserve(batch.size());
+  std::vector<bool> is_new(batch.size(), false);
+  std::vector<VirtualNanos> stamped(batch.size(), 0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const BatchResult& head = existing[i];
+    if (head.ok()) {
+      auto kind = head.head->metadata.find(std::string(kMetaKind));
+      if (kind != head.head->metadata.end() &&
+          kind->second == kMetaKindDir) {
+        return Status::IsADirectory("is a directory: " + batch[i].path);
       }
-    } else if (existing.code() == ErrorCode::kNotFound) {
-      is_new = true;
+    } else if (head.status.code() == ErrorCode::kNotFound) {
+      is_new[i] = true;
     } else {
-      return existing.status();
+      return head.status;
     }
-
     const VirtualNanos now = cloud_.clock().Tick();
+    stamped[i] = now;
     ObjectValue value;
-    value.payload = std::move(entry.blob.data);
-    value.logical_size = entry.blob.logical_size;
+    value.payload = std::move(batch[i].blob.data);
+    value.logical_size = batch[i].blob.logical_size;
     value.metadata[std::string(kMetaKind)] = std::string(kMetaKindFile);
     value.created = value.modified = now;
-    H2_RETURN_IF_ERROR(cloud_.Put(key, std::move(value), meter));
-    if (is_new) {
-      it->second.tuples.push_back(
-          RingTuple{std::string(name), now, EntryKind::kFile, false});
+    puts.push_back(BatchOp::Put(pending[i].key, std::move(value)));
+  }
+  const std::vector<BatchResult> written =
+      cloud_.ExecuteBatch(std::move(puts), meter);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    H2_RETURN_IF_ERROR(written[i].status);
+    if (is_new[i]) {
+      pending[i].dir->tuples.push_back(RingTuple{
+          std::move(pending[i].name), stamped[i], EntryKind::kFile, false});
     }
   }
 
@@ -565,24 +594,28 @@ Result<std::vector<DirEntry>> H2Middleware::List(const NamespaceId& root,
     return entries;
   }
 
-  // Detailed LIST: the per-child metadata fetches run on the proxy's
-  // parallel lanes -- O(m) with a batched constant (§2).
-  std::uint64_t width = config_.list_batch_width;
-  if (width == 0) width = cloud_.latency().profile().batch_width;
-  const VirtualNanos mark = meter.cost().elapsed;
+  // Detailed LIST: the per-child metadata fetches go out as one batch on
+  // the proxy's pipeline -- O(m) with a wave-priced constant (§2).
+  std::vector<BatchOp> heads;
+  heads.reserve(children.size());
   for (const RingTuple& t : children) {
-    Result<ObjectHead> head = cloud_.Head(ChildKey(ns, t.name), meter);
-    if (head.code() == ErrorCode::kNotFound) continue;  // mid-cleanup child
-    if (!head.ok()) return head.status();
+    heads.push_back(BatchOp::Head(ChildKey(ns, t.name)));
+  }
+  const std::vector<BatchResult> results = cloud_.ExecuteBatch(
+      std::move(heads), meter, BatchOptions{config_.list_batch_width});
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const RingTuple& t = children[i];
+    const BatchResult& head = results[i];
+    if (head.status.code() == ErrorCode::kNotFound) continue;  // mid-cleanup
+    if (!head.ok()) return head.status;
     DirEntry entry;
     entry.name = t.name;
     entry.kind = t.kind;
     entry.size =
-        t.kind == EntryKind::kDirectory ? 0 : head->logical_size;
-    entry.modified = head->modified;
+        t.kind == EntryKind::kDirectory ? 0 : head.head->logical_size;
+    entry.modified = head.head->modified;
     entries.push_back(std::move(entry));
   }
-  meter.FoldParallel(mark, width);
   return entries;
 }
 
@@ -604,24 +637,38 @@ Result<H2Middleware::Page> H2Middleware::ListPaged(
                             return marker < t.name;
                           });
   }
-  std::uint64_t width = config_.list_batch_width;
-  if (width == 0) width = cloud_.latency().profile().batch_width;
-  const VirtualNanos mark = meter.cost().elapsed;
-  for (; it != children.end() && page.entries.size() < limit; ++it) {
-    DirEntry entry;
-    entry.name = it->name;
-    entry.kind = it->kind;
-    if (detail == ListDetail::kDetailed) {
-      Result<ObjectHead> head = cloud_.Head(ChildKey(ns, it->name), meter);
-      if (head.code() == ErrorCode::kNotFound) continue;
-      if (!head.ok()) return head.status();
-      entry.size =
-          it->kind == EntryKind::kDirectory ? 0 : head->logical_size;
-      entry.modified = head->modified;
+  if (detail != ListDetail::kDetailed) {
+    for (; it != children.end() && page.entries.size() < limit; ++it) {
+      page.entries.push_back(DirEntry{it->name, it->kind, 0, 0});
     }
-    page.entries.push_back(std::move(entry));
+  } else {
+    // Detailed metadata only for the page: batch a page's worth of HEADs
+    // at a time; children deleted mid-cleanup (NotFound) don't consume
+    // the limit, so top up with further batches until the page fills.
+    while (it != children.end() && page.entries.size() < limit) {
+      std::vector<BatchOp> heads;
+      auto chunk_end = it;
+      for (std::size_t n = page.entries.size();
+           n < limit && chunk_end != children.end(); ++n, ++chunk_end) {
+        heads.push_back(BatchOp::Head(ChildKey(ns, chunk_end->name)));
+      }
+      const std::vector<BatchResult> results = cloud_.ExecuteBatch(
+          std::move(heads), meter, BatchOptions{config_.list_batch_width});
+      for (const BatchResult& head : results) {
+        const RingTuple& t = *it++;
+        if (head.status.code() == ErrorCode::kNotFound) continue;
+        if (!head.ok()) return head.status;
+        DirEntry entry;
+        entry.name = t.name;
+        entry.kind = t.kind;
+        entry.size =
+            t.kind == EntryKind::kDirectory ? 0 : head.head->logical_size;
+        entry.modified = head.head->modified;
+        page.entries.push_back(std::move(entry));
+        if (page.entries.size() == limit) break;
+      }
+    }
   }
-  if (detail == ListDetail::kDetailed) meter.FoldParallel(mark, width);
   page.truncated = it != children.end();
   if (!page.entries.empty()) page.next_marker = page.entries.back().name;
   return page;
@@ -631,30 +678,69 @@ Status H2Middleware::CopyTree(const NamespaceId& src_ns,
                               const NamespaceId& dst_ns, OpMeter& meter) {
   H2_ASSIGN_OR_RETURN(NameRing src_ring, LoadNameRing(src_ns, meter));
   NameRing dst_ring;
-  for (const RingTuple& child : src_ring.LiveChildren()) {
-    const VirtualNanos now = cloud_.clock().Tick();
-    if (child.kind == EntryKind::kDirectory) {
-      Result<DirRecord> record = LoadDirRecord(src_ns, child.name, meter);
-      if (record.code() == ErrorCode::kNotFound) continue;
-      if (!record.ok()) return record.status();
-      NamespaceId child_dst;
-      {
-        std::lock_guard lock(mu_);
-        child_dst = minter_.Mint(cloud_.clock().NowUnixMillis());
-      }
-      DirRecord dst_record{child_dst, dst_ns, child.name, now};
-      H2_RETURN_IF_ERROR(cloud_.Put(
-          ChildKey(dst_ns, child.name),
-          MakeObject(dst_record.Serialize(), kMetaKindDir, now), meter));
-      H2_RETURN_IF_ERROR(CopyTree(record->ns, child_dst, meter));
-    } else {
-      const Status copied = cloud_.Copy(ChildKey(src_ns, child.name),
-                                        ChildKey(dst_ns, child.name), meter);
-      if (copied.code() == ErrorCode::kNotFound) continue;
-      H2_RETURN_IF_ERROR(copied);
-    }
-    dst_ring.Apply(RingTuple{child.name, now, child.kind, false});
+  const std::vector<RingTuple> children = src_ring.LiveChildren();
+
+  // Phase 1: per-file server-side COPYs, one batch for the whole level.
+  std::vector<BatchOp> copies;
+  std::vector<const RingTuple*> files;
+  for (const RingTuple& child : children) {
+    if (child.kind == EntryKind::kDirectory) continue;
+    copies.push_back(BatchOp::Copy(ChildKey(src_ns, child.name),
+                                   ChildKey(dst_ns, child.name)));
+    files.push_back(&child);
   }
+  const std::vector<BatchResult> copied =
+      cloud_.ExecuteBatch(std::move(copies), meter);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    // A source file deleted mid-copy (NotFound) is simply skipped.
+    if (copied[i].status.code() == ErrorCode::kNotFound) continue;
+    H2_RETURN_IF_ERROR(copied[i].status);
+    dst_ring.Apply(RingTuple{files[i]->name, cloud_.clock().Tick(),
+                             EntryKind::kFile, false});
+  }
+
+  // Phase 2: load each subdirectory's record, mint its destination
+  // namespace, and write all destination dir records as one batch.
+  struct SubdirCopy {
+    const RingTuple* tuple = nullptr;
+    NamespaceId src_child;
+    NamespaceId dst_child;
+    VirtualNanos now = 0;
+  };
+  std::vector<SubdirCopy> subdirs;
+  std::vector<BatchOp> record_puts;
+  for (const RingTuple& child : children) {
+    if (child.kind != EntryKind::kDirectory) continue;
+    Result<DirRecord> record = LoadDirRecord(src_ns, child.name, meter);
+    if (record.code() == ErrorCode::kNotFound) continue;
+    if (!record.ok()) return record.status();
+    SubdirCopy sub;
+    sub.tuple = &child;
+    sub.src_child = record->ns;
+    {
+      std::lock_guard lock(mu_);
+      sub.dst_child = minter_.Mint(cloud_.clock().NowUnixMillis());
+    }
+    sub.now = cloud_.clock().Tick();
+    DirRecord dst_record{sub.dst_child, dst_ns, child.name, sub.now};
+    record_puts.push_back(BatchOp::Put(
+        ChildKey(dst_ns, child.name),
+        MakeObject(dst_record.Serialize(), kMetaKindDir, sub.now)));
+    subdirs.push_back(sub);
+  }
+  const std::vector<BatchResult> put_results =
+      cloud_.ExecuteBatch(std::move(record_puts), meter);
+  for (std::size_t i = 0; i < subdirs.size(); ++i) {
+    H2_RETURN_IF_ERROR(put_results[i].status);
+    dst_ring.Apply(RingTuple{subdirs[i].tuple->name, subdirs[i].now,
+                             EntryKind::kDirectory, false});
+  }
+
+  // Phase 3: recurse into the copied subtrees.
+  for (const SubdirCopy& sub : subdirs) {
+    H2_RETURN_IF_ERROR(CopyTree(sub.src_child, sub.dst_child, meter));
+  }
+
   const VirtualNanos now = cloud_.clock().Tick();
   return cloud_.Put(NameRingKey(dst_ns),
                     MakeObject(dst_ring.Serialize(), "ring", now), meter);
@@ -923,29 +1009,39 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
       // survive (its record entry died with the RMDIR/DELETE already).
       resolve_cache_.InvalidateNamespace(ns);
     }
-    // Read the removed directory's NameRing to find its children.
+    // Read the removed directory's NameRing to find its children, fetch
+    // the subdirectory records in one batch (to seed the queue with their
+    // namespaces), then delete everything under the namespace as a second
+    // batch -- the whole level's teardown is two waves of fan-out.
+    std::vector<BatchOp> deletes;
     Result<ObjectValue> ring_obj = cloud_.Get(NameRingKey(ns), local);
     if (ring_obj.ok()) {
       Result<NameRing> parsed = NameRing::Parse(ring_obj->payload);
       if (parsed.ok()) {
-        for (const RingTuple& child : parsed->LiveChildren()) {
-          const std::string key = ChildKey(ns, child.name);
+        const std::vector<RingTuple> children = parsed->LiveChildren();
+        std::vector<BatchOp> record_gets;
+        for (const RingTuple& child : children) {
           if (child.kind == EntryKind::kDirectory) {
-            Result<ObjectValue> rec_obj = cloud_.Get(key, local);
-            if (rec_obj.ok()) {
-              Result<DirRecord> rec = DirRecord::Parse(rec_obj->payload);
-              if (rec.ok()) {
-                std::lock_guard lock(mu_);
-                cleanup_queue_.push_back(rec->ns);
-              }
-            }
+            record_gets.push_back(BatchOp::Get(ChildKey(ns, child.name)));
           }
-          if (cloud_.Delete(key, local).ok()) ++deleted;
+        }
+        const std::vector<BatchResult> records =
+            cloud_.ExecuteBatch(std::move(record_gets), local);
+        for (const BatchResult& rec_obj : records) {
+          if (!rec_obj.ok()) continue;
+          Result<DirRecord> rec = DirRecord::Parse(rec_obj.value->payload);
+          if (rec.ok()) {
+            std::lock_guard lock(mu_);
+            cleanup_queue_.push_back(rec->ns);
+          }
+        }
+        for (const RingTuple& child : children) {
+          deletes.push_back(BatchOp::Delete(ChildKey(ns, child.name)));
         }
       }
-      if (cloud_.Delete(NameRingKey(ns), local).ok()) ++deleted;
+      deletes.push_back(BatchOp::Delete(NameRingKey(ns)));
     }
-    if (cloud_.Delete(PatchChainKey(ns, node_), local).ok()) ++deleted;
+    deletes.push_back(BatchOp::Delete(PatchChainKey(ns, node_)));
     // Drop any of our own patch objects still parked under this namespace.
     std::vector<std::uint64_t> orphan_patches;
     {
@@ -959,9 +1055,12 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
       }
     }
     for (std::uint64_t patch_no : orphan_patches) {
-      if (cloud_.Delete(PatchKey(ns, node_, patch_no), local).ok()) {
-        ++deleted;
-      }
+      deletes.push_back(BatchOp::Delete(PatchKey(ns, node_, patch_no)));
+    }
+    const std::vector<BatchResult> dropped =
+        cloud_.ExecuteBatch(std::move(deletes), local);
+    for (const BatchResult& r : dropped) {
+      if (r.ok()) ++deleted;
     }
   }
   std::lock_guard lock(mu_);

@@ -139,6 +139,17 @@ std::string MonitorSnapshot::ToText() const {
       repair_cost.elapsed_ms());
   out += buf;
 
+  std::snprintf(
+      buf, sizeof(buf),
+      "-- batched I/O --\n"
+      "  %llu batches, %llu ops (mean width %.1f); serial %.1f ms -> "
+      "critical path %.1f ms (%.0f%% saved)\n",
+      static_cast<unsigned long long>(batch.batches),
+      static_cast<unsigned long long>(batch.batched_ops),
+      batch.mean_width(), ToMillis(batch.serial_cost),
+      ToMillis(batch.critical_cost), 100.0 * batch.savings());
+  out += buf;
+
   std::snprintf(buf, sizeof(buf),
                 "-- gossip --\n  %llu published, %llu delivered, %llu "
                 "suppressed, %llu rounds\n",
@@ -177,6 +188,7 @@ MonitorSnapshot CollectSnapshot(H2Cloud& cloud) {
   snapshot.gossip = cloud.gossip().stats();
   snapshot.repair = oc.repair_stats();
   snapshot.repair_cost = oc.repair_cost();
+  snapshot.batch = oc.batch_stats();
   snapshot.logical_objects = oc.LogicalObjectCount();
   snapshot.raw_objects = oc.RawObjectCount();
   snapshot.logical_bytes = oc.LogicalBytes();

@@ -43,6 +43,9 @@ struct MonitorSnapshot {
   /// anti-entropy) and the out-of-band cost charged for them.
   ObjectCloud::RepairStats repair;
   OpCost repair_cost;
+  /// Foreground batched-I/O accounting (ObjectCloud::ExecuteBatch):
+  /// batches issued, lanes carried, and serial-vs-critical-path cost.
+  ObjectCloud::BatchStats batch;
   std::uint64_t logical_objects = 0;
   std::uint64_t raw_objects = 0;
   std::uint64_t logical_bytes = 0;

@@ -24,7 +24,11 @@ CloudConfig SmallCloud(LatencyProfile profile = LatencyProfile::RackLan()) {
 // --------------------------- Swift ----------------------------------------
 
 TEST(SwiftTest, MoveCostScalesWithFiles) {
-  ObjectCloud cloud(SmallCloud());
+  // Pin the batch width to 1: this test asserts the O(n) re-key loop's
+  // serial cost shape; wave-width scaling is covered by batch_io_test.
+  CloudConfig cfg = SmallCloud();
+  cfg.io_concurrency = 1;
+  ObjectCloud cloud(cfg);
   SwiftFs fs(cloud);
   ASSERT_TRUE(fs.Mkdir("/dst").ok());
   ASSERT_TRUE(FillDirectory(fs, "/small", 10).ok());

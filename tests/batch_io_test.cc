@@ -1,0 +1,261 @@
+// ObjectCloud::ExecuteBatch: positional results, critical-path pricing,
+// per-node queue serialization, and the determinism contract -- the same
+// workload at any io_concurrency must produce identical per-op results and
+// a bit-identical final cloud state, with elapsed time monotone
+// non-increasing over a doubling width sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/object_cloud.h"
+
+namespace h2 {
+namespace {
+
+CloudConfig SmallCloud(std::uint64_t io_concurrency = 0) {
+  CloudConfig cfg;
+  cfg.node_count = 8;
+  cfg.replica_count = 3;
+  cfg.part_power = 8;
+  cfg.io_concurrency = io_concurrency;
+  return cfg;
+}
+
+std::string Key(std::size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "acct/k%04zu", i);
+  return buf;
+}
+
+TEST(ExecuteBatchTest, PositionalResultsMatchOpOrder) {
+  ObjectCloud cloud(SmallCloud());
+  OpMeter meter;
+  ASSERT_TRUE(
+      cloud.Put("a", ObjectValue::FromString("alpha", 1), meter).ok());
+
+  std::vector<BatchOp> ops;
+  ops.push_back(BatchOp::Get("a"));
+  ops.push_back(BatchOp::Get("missing"));
+  ops.push_back(BatchOp::Head("a"));
+  ops.push_back(BatchOp::Copy("a", "b"));
+  ops.push_back(BatchOp::Put("c", ObjectValue::FromString("gamma", 2)));
+  ops.push_back(BatchOp::Delete("a"));
+  auto results = cloud.ExecuteBatch(std::move(ops), meter);
+
+  ASSERT_EQ(results.size(), 6u);
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[0].value.has_value());
+  EXPECT_EQ(results[0].value->payload, "alpha");
+  EXPECT_EQ(results[1].status.code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(results[1].value.has_value());
+  ASSERT_TRUE(results[2].ok());
+  ASSERT_TRUE(results[2].head.has_value());
+  EXPECT_EQ(results[2].head->logical_size, 5u);
+  EXPECT_TRUE(results[3].ok());
+  EXPECT_TRUE(results[4].ok());
+  EXPECT_TRUE(results[5].ok());
+
+  // The batch really executed: the copy landed, the delete took.
+  EXPECT_TRUE(cloud.Get("b", meter).ok());
+  EXPECT_EQ(cloud.Get("a", meter).code(), ErrorCode::kNotFound);
+}
+
+TEST(ExecuteBatchTest, CountersFlowToMeterAndCloudStats) {
+  ObjectCloud cloud(SmallCloud(8));
+  OpMeter meter;
+  std::vector<BatchOp> ops;
+  for (std::size_t i = 0; i < 16; ++i) {
+    ops.push_back(BatchOp::Put(Key(i), ObjectValue::FromString("x", i)));
+  }
+  cloud.ExecuteBatch(std::move(ops), meter);
+
+  const OpCost& c = meter.cost();
+  EXPECT_EQ(c.batches, 1u);
+  EXPECT_EQ(c.batched_ops, 16u);
+  EXPECT_GT(c.batch_serial_cost, 0);
+  EXPECT_GT(c.batch_critical_cost, 0);
+  EXPECT_LE(c.batch_critical_cost, c.batch_serial_cost);
+  EXPECT_EQ(c.elapsed, c.batch_critical_cost);
+  EXPECT_GE(c.batch_savings(), 0.0);
+  EXPECT_LE(c.batch_savings(), 1.0);
+  EXPECT_DOUBLE_EQ(c.mean_batch_width(), 16.0);
+
+  const ObjectCloud::BatchStats stats = cloud.batch_stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_ops, 16u);
+  EXPECT_EQ(stats.serial_cost, c.batch_serial_cost);
+  EXPECT_EQ(stats.critical_cost, c.batch_critical_cost);
+}
+
+// One fat lane (1 MiB GET) plus ten thin ones (HEADs) in a single wave:
+// the wave must be priced at its critical path (~ the fat GET), not at
+// sum-of-lanes (serial) and not at sum/width (perfect-speedup fiction).
+TEST(ExecuteBatchTest, MixedWavePricedAtCriticalPath) {
+  auto run_width = [](std::uint64_t w) {
+    ObjectCloud cloud(SmallCloud(w));
+    OpMeter setup;
+    ObjectValue big = ObjectValue::FromString("B", 1);
+    big.logical_size = 1024 * 1024;
+    EXPECT_TRUE(cloud.Put("fat", big, setup).ok());
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_TRUE(
+          cloud.Put(Key(i), ObjectValue::FromString("t", 2 + i), setup).ok());
+    }
+    std::vector<BatchOp> ops;
+    ops.push_back(BatchOp::Get("fat"));
+    for (std::size_t i = 0; i < 10; ++i) ops.push_back(BatchOp::Head(Key(i)));
+    OpMeter meter;
+    cloud.ExecuteBatch(std::move(ops), meter);
+    return meter.cost().elapsed;
+  };
+
+  const VirtualNanos serial = run_width(1);
+  const VirtualNanos wave = run_width(11);
+  ASSERT_GT(serial, 0);
+  ASSERT_GT(wave, 0);
+  const double ratio =
+      static_cast<double>(wave) / static_cast<double>(serial);
+  // Fat GET ~ 10 ms seek + 1 MiB transfer; each HEAD ~ 10 ms.  Serial sum
+  // ~ 121 ms, critical path ~ the fat lane (~31 ms) -> ratio ~ 0.26.  A
+  // sum/width model would give ~ 0.09, a serial model 1.0.
+  EXPECT_GE(ratio, 0.20) << "wave priced below its slowest lane";
+  EXPECT_LE(ratio, 0.35) << "wave not priced at critical path";
+}
+
+// Lanes that land on the same primary storage node serialize on its disk
+// queue; lanes on distinct nodes do not.  Run with jitter pinned to zero
+// so the difference is exactly the disk_queue surcharge.
+TEST(ExecuteBatchTest, SharedPrimaryNodePaysQueueing) {
+  CloudConfig cfg = SmallCloud(4);
+  cfg.latency.jitter_frac = 0.0;
+  ObjectCloud cloud(cfg);
+
+  // Find two keys sharing a primary device and two on distinct devices.
+  std::vector<std::string> same, distinct;
+  for (std::size_t i = 0; i < 256 && (same.size() < 2 || distinct.size() < 2);
+       ++i) {
+    const std::string key = Key(i);
+    if (same.empty()) {
+      same.push_back(key);
+      continue;
+    }
+    const std::uint32_t anchor = cloud.PrimaryDeviceOf(same.front());
+    const std::uint32_t dev = cloud.PrimaryDeviceOf(key);
+    if (dev == anchor && same.size() < 2) {
+      same.push_back(key);
+    } else if (dev != anchor && distinct.size() < 2) {
+      if (distinct.empty() || cloud.PrimaryDeviceOf(distinct.front()) != dev) {
+        distinct.push_back(key);
+      }
+    }
+  }
+  ASSERT_EQ(same.size(), 2u);
+  ASSERT_EQ(distinct.size(), 2u);
+
+  OpMeter setup;
+  for (const auto& k : same)
+    ASSERT_TRUE(cloud.Put(k, ObjectValue::FromString("s", 1), setup).ok());
+  for (const auto& k : distinct)
+    ASSERT_TRUE(cloud.Put(k, ObjectValue::FromString("d", 1), setup).ok());
+
+  auto head_pair = [&cloud](const std::vector<std::string>& keys) {
+    OpMeter meter;
+    std::vector<BatchOp> ops;
+    for (const auto& k : keys) ops.push_back(BatchOp::Head(k));
+    cloud.ExecuteBatch(std::move(ops), meter);
+    return meter.cost().elapsed;
+  };
+
+  const VirtualNanos contended = head_pair(same);
+  const VirtualNanos parallel = head_pair(distinct);
+  // Same HEAD base cost everywhere (jitter off); the shared-node pair pays
+  // exactly one disk_queue delay on top of the wave max.
+  EXPECT_EQ(contended, parallel + cloud.latency().profile().disk_queue);
+}
+
+// -- the determinism contract --------------------------------------------
+
+struct WorkloadOutcome {
+  std::vector<ErrorCode> codes;
+  std::vector<std::string> payloads;  // successful GET payloads, in order
+  VirtualNanos elapsed = 0;
+  std::string state;  // per-node (key, bytes, timestamps) dump
+};
+
+std::string DumpState(ObjectCloud& cloud) {
+  std::string out;
+  for (std::size_t n = 0; n < cloud.node_count(); ++n) {
+    std::vector<std::string> lines;
+    cloud.node(n).ForEach([&](const std::string& key, const ObjectValue& v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "|%llu|%llu|%llu|%llu\n",
+                    static_cast<unsigned long long>(v.logical_size),
+                    static_cast<unsigned long long>(v.created),
+                    static_cast<unsigned long long>(v.modified),
+                    static_cast<unsigned long long>(v.payload.size()));
+      lines.push_back(cloud.node(n).name() + "/" + key + buf);
+    });
+    std::sort(lines.begin(), lines.end());
+    for (auto& l : lines) out += l;
+  }
+  return out;
+}
+
+WorkloadOutcome RunWorkload(std::uint64_t io_concurrency) {
+  ObjectCloud cloud(SmallCloud(io_concurrency));
+  WorkloadOutcome out;
+  OpMeter meter;
+
+  std::vector<BatchOp> seed;
+  for (std::size_t i = 0; i < 48; ++i) {
+    seed.push_back(BatchOp::Put(
+        Key(i), ObjectValue::FromString("payload-" + Key(i), 10 + i)));
+  }
+  auto seeded = cloud.ExecuteBatch(std::move(seed), meter);
+
+  std::vector<BatchOp> mixed;
+  for (std::size_t i = 0; i < 48; i += 4) mixed.push_back(BatchOp::Get(Key(i)));
+  mixed.push_back(BatchOp::Get("acct/never-written"));
+  for (std::size_t i = 1; i < 48; i += 4)
+    mixed.push_back(BatchOp::Head(Key(i)));
+  for (std::size_t i = 2; i < 48; i += 4)
+    mixed.push_back(BatchOp::Copy(Key(i), Key(i) + "-copy"));
+  for (std::size_t i = 3; i < 48; i += 4)
+    mixed.push_back(BatchOp::Delete(Key(i)));
+  auto results = cloud.ExecuteBatch(std::move(mixed), meter);
+
+  for (const auto& r : seeded) out.codes.push_back(r.status.code());
+  for (const auto& r : results) {
+    out.codes.push_back(r.status.code());
+    if (r.ok() && r.value.has_value()) out.payloads.push_back(r.value->payload);
+  }
+  out.elapsed = meter.cost().elapsed;
+  out.state = DumpState(cloud);
+  return out;
+}
+
+TEST(ExecuteBatchTest, WidthChangesCostNeverOutcome) {
+  const WorkloadOutcome serial = RunWorkload(1);
+  ASSERT_FALSE(serial.state.empty());
+  ASSERT_FALSE(serial.payloads.empty());
+
+  VirtualNanos prev = serial.elapsed;
+  for (std::uint64_t w : {2u, 4u, 8u, 16u, 32u}) {
+    const WorkloadOutcome wide = RunWorkload(w);
+    EXPECT_EQ(wide.codes, serial.codes) << "W=" << w;
+    EXPECT_EQ(wide.payloads, serial.payloads) << "W=" << w;
+    EXPECT_EQ(wide.state, serial.state)
+        << "final cloud state diverged at W=" << w;
+    EXPECT_LE(wide.elapsed, serial.elapsed) << "W=" << w;
+    // Doubling the wave width can only merge waves, never split them, so
+    // elapsed is monotone non-increasing along the sweep.
+    EXPECT_LE(wide.elapsed, prev) << "W=" << w;
+    prev = wide.elapsed;
+  }
+}
+
+}  // namespace
+}  // namespace h2

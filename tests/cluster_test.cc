@@ -25,25 +25,73 @@ TEST(OpMeterTest, ChargesAccumulate) {
   EXPECT_EQ(m.cost().elapsed, 0);
 }
 
-TEST(OpMeterTest, ChargeBatchUsesLanes) {
+TEST(OpMeterTest, CriticalPathPricesWavesAtMax) {
   OpMeter m;
-  m.ChargeBatch(100, 10, FromMillis(1));
+  // 100 uniform 1 ms lanes on distinct queues, width 10: 10 waves of 1 ms.
+  std::vector<OpMeter::BatchLane> lanes;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    lanes.push_back({FromMillis(1), i});
+  }
+  m.ChargeCriticalPath(lanes, 10);
   EXPECT_DOUBLE_EQ(m.cost().elapsed_ms(), 10.0);
+  EXPECT_EQ(m.cost().batches, 1u);
+  EXPECT_EQ(m.cost().batched_ops, 100u);
+  EXPECT_EQ(m.cost().batch_serial_cost, FromMillis(100));
+  EXPECT_EQ(m.cost().batch_critical_cost, FromMillis(10));
   m.Reset();
-  m.ChargeBatch(101, 10, FromMillis(1));  // 11 waves
+  lanes.push_back({FromMillis(1), 200});  // 101 lanes -> 11 waves
+  m.ChargeCriticalPath(lanes, 10);
   EXPECT_DOUBLE_EQ(m.cost().elapsed_ms(), 11.0);
   m.Reset();
-  m.ChargeBatch(0, 10, FromMillis(1));
+  m.ChargeCriticalPath({}, 10);
   EXPECT_EQ(m.cost().elapsed, 0);
+  EXPECT_EQ(m.cost().batches, 0u);
 }
 
-TEST(OpMeterTest, FoldParallelScalesTail) {
+TEST(OpMeterTest, CriticalPathBoundedBySlowestLane) {
+  // A wave of one large GET plus many cheap HEADs is priced at the GET,
+  // not at sum/width (heterogeneous lanes do not speed each other up).
   OpMeter m;
-  m.Charge(FromMillis(10));
-  const VirtualNanos mark = m.cost().elapsed;
-  for (int i = 0; i < 32; ++i) m.Charge(FromMillis(1));
-  m.FoldParallel(mark, 32);
-  EXPECT_NEAR(m.cost().elapsed_ms(), 11.0, 0.01);
+  std::vector<OpMeter::BatchLane> lanes;
+  lanes.push_back({FromMillis(28), 0});  // the big transfer
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    lanes.push_back({FromMillis(10), i});
+  }
+  m.ChargeCriticalPath(lanes, 11);  // one wave
+  // Critical path = max lane = 28 ms.  Sum/width would be ~11.6 ms.
+  EXPECT_DOUBLE_EQ(m.cost().elapsed_ms(), 28.0);
+}
+
+TEST(OpMeterTest, CriticalPathSerializesSharedQueues) {
+  OpMeter m;
+  // Four 2 ms lanes all behind the same device, 0.5 ms queueing: the
+  // wave costs 2 + 3 * 0.5 = 3.5 ms.
+  std::vector<OpMeter::BatchLane> lanes(4,
+                                        OpMeter::BatchLane{FromMillis(2), 7});
+  m.ChargeCriticalPath(lanes, 4, FromMillis(0.5));
+  EXPECT_DOUBLE_EQ(m.cost().elapsed_ms(), 3.5);
+  m.Reset();
+  // Same lanes on distinct queues: pure max, 2 ms.
+  for (std::uint32_t i = 0; i < 4; ++i) lanes[i].queue = i;
+  m.ChargeCriticalPath(lanes, 4, FromMillis(0.5));
+  EXPECT_DOUBLE_EQ(m.cost().elapsed_ms(), 2.0);
+  m.Reset();
+  // kNoQueue lanes never pay queueing even at one shared sentinel value.
+  for (auto& lane : lanes) lane.queue = OpMeter::kNoQueue;
+  m.ChargeCriticalPath(lanes, 4, FromMillis(0.5));
+  EXPECT_DOUBLE_EQ(m.cost().elapsed_ms(), 2.0);
+}
+
+TEST(OpMeterTest, CriticalPathWidthOneIsSerialSum) {
+  OpMeter m;
+  std::vector<OpMeter::BatchLane> lanes;
+  lanes.push_back({FromMillis(3), 1});
+  lanes.push_back({FromMillis(5), 1});
+  lanes.push_back({FromMillis(2), 1});
+  m.ChargeCriticalPath(lanes, 1, FromMillis(0.5));
+  // One lane per wave: no queueing surcharge, exact serial sum.
+  EXPECT_DOUBLE_EQ(m.cost().elapsed_ms(), 10.0);
+  EXPECT_EQ(m.cost().batch_serial_cost, m.cost().batch_critical_cost);
 }
 
 TEST(OpMeterTest, CostAddition) {

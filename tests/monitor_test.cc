@@ -56,6 +56,35 @@ TEST(MonitorTest, TextReportContainsSections) {
   EXPECT_NE(report.find("idle"), std::string::npos);
 }
 
+TEST(MonitorTest, BatchStatsSectionReflectsBatchedIo) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  H2Cloud cloud(cfg);
+  ASSERT_TRUE(cloud.CreateAccount("mon").ok());
+  auto fs = std::move(cloud.OpenFilesystem("mon")).value();
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(fs->WriteFile("/d/f" + std::to_string(i),
+                              FileBlob::FromString("x"))
+                    .ok());
+  }
+  cloud.RunMaintenanceToQuiescence();
+  // A detailed LIST fans per-child HEADs through ExecuteBatch.
+  ASSERT_TRUE(fs->List("/d", ListDetail::kDetailed).ok());
+
+  const MonitorSnapshot snapshot = CollectSnapshot(cloud);
+  EXPECT_GT(snapshot.batch.batches, 0u);
+  EXPECT_GE(snapshot.batch.batched_ops, 20u);
+  EXPECT_GE(snapshot.batch.mean_width(), 1.0);
+  EXPECT_LE(snapshot.batch.critical_cost, snapshot.batch.serial_cost);
+  EXPECT_GE(snapshot.batch.savings(), 0.0);
+  EXPECT_LE(snapshot.batch.savings(), 1.0);
+
+  const std::string report = snapshot.ToText();
+  EXPECT_NE(report.find("-- batched I/O --"), std::string::npos);
+  EXPECT_NE(report.find("critical path"), std::string::npos);
+}
+
 TEST(MonitorTest, DownNodeIsFlagged) {
   H2CloudConfig cfg;
   cfg.cloud.part_power = 8;
