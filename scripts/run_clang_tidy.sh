@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every C++
+# translation unit in src/, using a compile_commands.json database.  The
+# codebase is kept at zero findings; WarningsAsErrors='*' makes any finding
+# a hard failure.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir] [file ...]
+#   build-dir  directory containing compile_commands.json (default:
+#              build-tidy/, configured on demand)
+#   file ...   restrict to specific sources (default: all of src/)
+#
+# When clang-tidy is not installed (the local container ships only g++),
+# the script prints a warning and exits 0 so developer builds keep working;
+# CI installs clang-tidy and enforces the gate for real.
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel)"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "warning: clang-tidy not found; skipping (CI enforces this gate)" >&2
+  exit 0
+fi
+
+BUILD_DIR="${1:-build-tidy}"
+shift || true
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "configuring ${BUILD_DIR} for compile_commands.json ..." >&2
+  cmake -S . -B "${BUILD_DIR}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+fi
+
+if [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(find src -name '*.cc' | sort)
+fi
+
+status=0
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p "${BUILD_DIR}" "${files[@]}" || status=$?
+else
+  for f in "${files[@]}"; do
+    clang-tidy -quiet -p "${BUILD_DIR}" "$f" || status=$?
+  done
+fi
+
+if [[ ${status} -ne 0 ]]; then
+  echo "clang-tidy: findings detected (config: .clang-tidy)" >&2
+  exit 1
+fi
+echo "clang-tidy: clean"

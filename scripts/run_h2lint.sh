@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the h2lint determinism linter (tools/h2lint/h2lint.py) over the given
+# paths, defaulting to src/.  Exit 0 means no findings.
+#
+# Usage: scripts/run_h2lint.sh [path ...] [-- extra h2lint flags]
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel)"
+
+PYTHON="${PYTHON:-python3}"
+if ! command -v "${PYTHON}" >/dev/null 2>&1; then
+  echo "error: ${PYTHON} not found; h2lint requires Python 3" >&2
+  exit 2
+fi
+
+args=("$@")
+if [[ ${#args[@]} -eq 0 ]]; then
+  args=(src/)
+fi
+
+exec "${PYTHON}" tools/h2lint/h2lint.py "${args[@]}"

@@ -109,7 +109,7 @@ int ObjectCloud::PickNewest(const std::vector<ReplicaProbe>& probes) {
 
 Status ObjectCloud::Put(const std::string& key, ObjectValue value,
                         OpMeter& meter, PutOptions opts) {
-  if (!put_fault_.empty() && key.find(put_fault_) != std::string::npos) {
+  if (PutFaultMatches(key)) {
     meter.CountFailed();
     {
       std::lock_guard lock(repair_mu_);
@@ -584,7 +584,18 @@ ObjectCloud::MigrationReport ObjectCloud::RedistributeObjects() {
     });
   }
 
-  for (auto& [key, placement] : objects) {
+  // Migrate in sorted key order: the PUT/DELETE sequence below mutates
+  // node state and timestamps, so hash-table order would leave the
+  // post-migration cluster dependent on container history.
+  std::vector<const std::string*> sorted_keys;
+  sorted_keys.reserve(objects.size());
+  // h2lint: ordered -- key collection, sorted below
+  for (const auto& [key, placement] : objects) sorted_keys.push_back(&key);
+  std::sort(sorted_keys.begin(), sorted_keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* key_ptr : sorted_keys) {
+    const std::string& key = *key_ptr;
+    Placement& placement = objects.at(key);
     // A tombstone newer than the object on any replica means the object
     // was deleted; propagate the deletion instead of re-replicating.
     VirtualNanos tombstone = 0;
@@ -765,12 +776,22 @@ std::size_t ObjectCloud::ReplayHints() {
   // repair batch, contending on the target node's disk, wave-priced on
   // the repair meter at the cloud's effective concurrency.
   std::vector<OpMeter::BatchLane> lanes;
-  for (const auto& holder : nodes_) {
-    if (holder->IsDown()) continue;
+  // Reachability snapshot taken before any hint queue is locked:
+  // TakeHints holds the holder's mutex while the deliverable predicate
+  // runs, so consulting the *target's* IsDown() inside it would acquire
+  // node mutexes in holder->target order -- and opposite holder/target
+  // pairs across concurrent callers are a classic lock-order inversion.
+  std::vector<bool> reachable(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    reachable[i] = !nodes_[i]->IsDown();
+  }
+  for (std::size_t h = 0; h < nodes_.size(); ++h) {
+    if (!reachable[h]) continue;
+    StorageNode* holder = nodes_[h].get();
     std::vector<ReplicaHint> hints =
-        holder->TakeHints([this](DeviceId target) {
-          return static_cast<std::size_t>(target) < nodes_.size() &&
-                 !nodes_[target]->IsDown();
+        holder->TakeHints([&reachable](DeviceId target) {
+          return static_cast<std::size_t>(target) < reachable.size() &&
+                 reachable[target];
         });
     for (ReplicaHint& hint : hints) {
       StorageNode* target = nodes_[hint.target].get();

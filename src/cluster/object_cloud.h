@@ -29,6 +29,7 @@
 // the figure benches' calibrated foreground numbers are unchanged.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -178,9 +179,9 @@ class ObjectCloud {
   ///
   /// Results are positional: results[i] is ops[i]'s outcome, so callers
   /// keep exact per-item error handling.
-  std::vector<BatchResult> ExecuteBatch(std::vector<BatchOp> ops,
-                                        OpMeter& meter,
-                                        BatchOptions opts = {});
+  [[nodiscard]] std::vector<BatchResult> ExecuteBatch(std::vector<BatchOp> ops,
+                                                      OpMeter& meter,
+                                                      BatchOptions opts = {});
 
   /// Effective wave width after the defaulting rules above.
   std::uint64_t EffectiveConcurrency(std::uint64_t override_width = 0) const;
@@ -294,18 +295,20 @@ class ObjectCloud {
   /// (modified, md5) digests across the key's reachable ring owners, and
   /// converges divergent copies/tombstones newest-wins.  Deterministic:
   /// keys are visited in sorted order.
-  RepairReport ReplicaScrub();
+  [[nodiscard]] RepairReport ReplicaScrub();
   /// Digest comparison only -- counts keys whose reachable ring owners
   /// disagree (missing copy, stale copy, or tombstone-superseded copy)
   /// without repairing or charging anything.  Test/bench oracle.
-  std::uint64_t DivergentKeyCount();
+  [[nodiscard]] std::uint64_t DivergentKeyCount();
 
   RepairStats repair_stats() const;
   /// Background repair traffic priced so far (out-of-band; foreground
   /// OpMeters never include it).
   OpCost repair_cost() const;
-  void SetReadRepair(bool on) { read_repair_ = on; }
-  void SetHintedHandoff(bool on) { hinted_handoff_ = on; }
+  // Degraded-mode toggles are atomic: tests and the web API flip them
+  // while the background merger is live on other threads.
+  void SetReadRepair(bool on) { read_repair_.store(on); }
+  void SetHintedHandoff(bool on) { hinted_handoff_.store(on); }
 
   // --- fault injection -----------------------------------------------------
   /// Fails every PUT whose key contains `substring` (before any replica
@@ -313,6 +316,7 @@ class ObjectCloud {
   /// Pass "" to clear.  Tests use this to cut multi-object sequences at
   /// exact points (e.g. CreateAccount's commit-point ordering).
   void FailPutsMatching(std::string substring) {
+    std::lock_guard lock(fault_mu_);
     put_fault_ = std::move(substring);
   }
 
@@ -370,6 +374,12 @@ class ObjectCloud {
   /// Shared walk behind ReplicaScrub (repair = true) and
   /// DivergentKeyCount (repair = false).
   RepairReport ScrubInternal(bool repair);
+  /// True when the injected PUT fault matches `key` (reads put_fault_
+  /// under fault_mu_; callers may race FailPutsMatching).
+  bool PutFaultMatches(const std::string& key) const {
+    std::lock_guard lock(fault_mu_);
+    return !put_fault_.empty() && key.find(put_fault_) != std::string::npos;
+  }
   /// Moves every object to exactly its current replica set.
   MigrationReport RedistributeObjects();
 
@@ -381,9 +391,10 @@ class ObjectCloud {
   LatencyModel latency_;
   int replica_count_;
   int zone_count_;
-  std::string put_fault_;  // FailPutsMatching substring; empty = off
-  bool read_repair_;
-  bool hinted_handoff_;
+  mutable std::mutex fault_mu_;  // guards put_fault_
+  std::string put_fault_;        // FailPutsMatching substring; empty = off
+  std::atomic<bool> read_repair_;
+  std::atomic<bool> hinted_handoff_;
   std::uint64_t io_concurrency_;  // CloudConfig::io_concurrency
 
   mutable std::mutex batch_mu_;  // guards batch_stats_

@@ -1,5 +1,7 @@
 #include "cluster/storage_node.h"
 
+#include <algorithm>
+
 namespace h2 {
 
 Status StorageNode::CheckAvailable() const {
@@ -97,14 +99,23 @@ VirtualNanos StorageNode::TombstoneTime(const std::string& key) const {
 
 bool StorageNode::Contains(const std::string& key) const {
   std::lock_guard lock(mu_);
-  return objects_.find(key) != objects_.end();
+  return objects_.contains(key);
 }
 
 void StorageNode::ForEach(
     const std::function<void(const std::string&, const ObjectValue&)>& fn)
     const {
   std::lock_guard lock(mu_);
-  for (const auto& [key, value] : objects_) fn(key, value);
+  // Visit in sorted key order: ForEach feeds Scan, scrub sweeps and
+  // migration, all of which charge virtual time per visit -- hash-table
+  // order would make those charges depend on the container's history.
+  std::vector<const std::string*> keys;
+  keys.reserve(objects_.size());
+  // h2lint: ordered -- key collection, sorted below
+  for (const auto& [key, value] : objects_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* key : keys) fn(*key, objects_.at(*key));
 }
 
 std::uint64_t StorageNode::object_count() const {
@@ -115,6 +126,7 @@ std::uint64_t StorageNode::object_count() const {
 std::uint64_t StorageNode::logical_bytes() const {
   std::lock_guard lock(mu_);
   std::uint64_t total = 0;
+  // h2lint: ordered -- commutative sum
   for (const auto& [key, value] : objects_) total += value.logical_size;
   return total;
 }

@@ -100,7 +100,7 @@ void KvRecord::SetUint(std::string_view key, std::uint64_t value) {
 }
 
 bool KvRecord::Has(std::string_view key) const {
-  return fields_.find(key) != fields_.end();
+  return fields_.contains(key);
 }
 
 const std::string& KvRecord::Get(std::string_view key) const {

@@ -67,14 +67,29 @@ std::size_t H2Cloud::RunMaintenanceToQuiescence(std::size_t max_steps) {
   return steps;
 }
 
-void H2Cloud::StartBackground(std::chrono::milliseconds period) {
+void H2Cloud::StartBackground(std::chrono::milliseconds period,
+                              BackgroundMode mode) {
+  // background_mu_ serializes Start/Stop: the CAS alone left a window
+  // where a racing StopBackground could join-and-clear the thread vector
+  // while Start was still appending to it.
+  std::lock_guard lock(background_mu_);
   bool expected = false;
   if (!background_running_.compare_exchange_strong(expected, true)) return;
-  background_threads_.emplace_back(
-      [this, period] { BackgroundLoop(period); });
+  if (mode == BackgroundMode::kCoordinated) {
+    background_threads_.emplace_back(
+        [this, period] { CoordinatedLoop(period); });
+    return;
+  }
+  for (auto& mw : middlewares_) {
+    H2Middleware* raw = mw.get();
+    background_threads_.emplace_back(
+        [this, raw, period] { MergerLoop(*raw, period); });
+  }
+  background_threads_.emplace_back([this, period] { PumpLoop(period); });
 }
 
 void H2Cloud::StopBackground() {
+  std::lock_guard lock(background_mu_);
   background_running_.store(false);
   for (auto& t : background_threads_) {
     if (t.joinable()) t.join();
@@ -82,9 +97,26 @@ void H2Cloud::StopBackground() {
   background_threads_.clear();
 }
 
-void H2Cloud::BackgroundLoop(std::chrono::milliseconds period) {
+void H2Cloud::CoordinatedLoop(std::chrono::milliseconds period) {
   while (background_running_.load(std::memory_order_relaxed)) {
     RunMaintenanceStep();
+    std::this_thread::sleep_for(period);
+  }
+}
+
+void H2Cloud::MergerLoop(H2Middleware& mw,
+                         std::chrono::milliseconds period) {
+  while (background_running_.load(std::memory_order_relaxed)) {
+    mw.MergePending();
+    mw.RunLazyCleanup(256);
+    std::this_thread::sleep_for(period);
+  }
+}
+
+void H2Cloud::PumpLoop(std::chrono::milliseconds period) {
+  while (background_running_.load(std::memory_order_relaxed)) {
+    gossip_.Step();
+    cloud_->RunRepairStep();
     std::this_thread::sleep_for(period);
   }
 }

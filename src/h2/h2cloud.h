@@ -8,8 +8,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -56,11 +58,29 @@ class H2Cloud {
   std::size_t RunMaintenanceToQuiescence(std::size_t max_steps = 10'000);
 
   // --- threaded maintenance ----------------------------------------------------
-  /// Starts one background thread per middleware (the Background Merger)
-  /// plus a gossip pump.  Idempotent.
+  /// How StartBackground schedules the Background Merger.
+  enum class BackgroundMode {
+    /// One thread executing the exact serial RunMaintenanceStep schedule.
+    /// With a quiet foreground the post-join state is bit-identical to the
+    /// same number of deterministic RunMaintenanceStep calls (the property
+    /// background_race_test asserts).
+    kCoordinated,
+    /// One merger thread per middleware plus a gossip/repair pump --
+    /// maximal interleaving.  Converges to the same logical state but the
+    /// clock-tick order (hence timestamps) depends on the schedule; this
+    /// is the mode the TSan hammer drives.
+    kPerMiddleware,
+  };
+
+  /// Starts the Background Merger.  Idempotent; thread-safe against
+  /// concurrent Start/Stop calls.
   void StartBackground(
-      std::chrono::milliseconds period = std::chrono::milliseconds(2));
+      std::chrono::milliseconds period = std::chrono::milliseconds(2),
+      BackgroundMode mode = BackgroundMode::kCoordinated);
+  /// Stops and joins all background threads.  Idempotent; safe to race
+  /// with StartBackground from other threads.
   void StopBackground();
+  bool BackgroundRunning() const { return background_running_.load(); }
 
   // --- accessors ----------------------------------------------------------------
   ObjectCloud& cloud() { return *cloud_; }
@@ -72,13 +92,16 @@ class H2Cloud {
   OpCost TotalMaintenanceCost() const;
 
  private:
-  void BackgroundLoop(std::chrono::milliseconds period);
+  void CoordinatedLoop(std::chrono::milliseconds period);
+  void MergerLoop(H2Middleware& mw, std::chrono::milliseconds period);
+  void PumpLoop(std::chrono::milliseconds period);
 
   std::unique_ptr<ObjectCloud> cloud_;
   GossipBus gossip_;
   std::vector<std::unique_ptr<H2Middleware>> middlewares_;
 
   std::atomic<bool> background_running_{false};
+  std::mutex background_mu_;  // guards background_threads_ start/stop
   std::vector<std::thread> background_threads_;
 };
 

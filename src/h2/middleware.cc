@@ -983,12 +983,17 @@ std::size_t H2Middleware::MergePending() {
   {
     std::lock_guard lock(mu_);
     targets.reserve(descriptors_.size());
+    // h2lint: ordered -- candidate collection, sorted below
     for (const auto& [ns, desc] : descriptors_) {
       if (desc->chain_loaded && desc->chain.pending() > 0) {
         targets.push_back(ns);
       }
     }
   }
+  // Merge in namespace order: each merge ticks the clock and stamps ring
+  // versions, so hash-table order would make the merge schedule -- and
+  // every timestamp downstream of it -- nondeterministic run-to-run.
+  std::sort(targets.begin(), targets.end());
   std::size_t merged = 0;
   for (const NamespaceId& ns : targets) merged += MergeNamespace(ns);
   return merged;
@@ -1070,13 +1075,18 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
 }
 
 
-bool H2Middleware::MaintenanceIdle() const {
-  std::lock_guard lock(mu_);
+bool H2Middleware::MaintenanceIdleLocked() const {
   if (!cleanup_queue_.empty()) return false;
+  // h2lint: ordered -- existence predicate, order insensitive
   for (const auto& [ns, desc] : descriptors_) {
     if (desc->chain_loaded && desc->chain.pending() > 0) return false;
   }
   return true;
+}
+
+bool H2Middleware::MaintenanceIdle() const {
+  std::lock_guard lock(mu_);
+  return MaintenanceIdleLocked();
 }
 
 // ---------------------------------------------------------------------------
@@ -1199,14 +1209,27 @@ OpCost H2Middleware::maintenance_cost() const {
   return maintenance_meter_.cost();
 }
 
-H2Counters H2Middleware::counters() const {
-  std::lock_guard lock(mu_);
+H2Counters H2Middleware::CountersLocked() const {
   H2Counters out = counters_;
   const H2ResolveCache::Stats& cache = resolve_cache_.stats();
   out.resolve_cache_hits = cache.hits;
   out.resolve_cache_misses = cache.misses;
   out.resolve_cache_invalidations = cache.invalidations;
   return out;
+}
+
+H2Counters H2Middleware::counters() const {
+  std::lock_guard lock(mu_);
+  return CountersLocked();
+}
+
+H2Middleware::StatsSnapshot H2Middleware::Snapshot() const {
+  std::lock_guard lock(mu_);
+  StatsSnapshot snap;
+  snap.counters = CountersLocked();
+  snap.maintenance = maintenance_meter_.cost();
+  snap.idle = MaintenanceIdleLocked();
+  return snap;
 }
 
 }  // namespace h2

@@ -171,6 +171,19 @@ class H2Middleware {
   OpCost maintenance_cost() const;
   H2Counters counters() const;
 
+  /// One coherent statistics snapshot: counters, maintenance cost and
+  /// idleness read under a single mu_ acquisition.  Reading them through
+  /// the individual accessors lets a concurrent merge land between the
+  /// reads -- patches_merged then includes work the maintenance cost does
+  /// not (torn snapshot), which is exactly what monitor reports must never
+  /// show.
+  struct StatsSnapshot {
+    H2Counters counters;
+    OpCost maintenance;
+    bool idle = true;
+  };
+  StatsSnapshot Snapshot() const;
+
  private:
   struct Descriptor;  // the per-NameRing File Descriptor (§4.5)
 
@@ -193,11 +206,10 @@ class H2Middleware {
                                    OpMeter& meter);
   bool HandleRumor(const Rumor& rumor);
   void Announce(const NamespaceId& ns, VirtualNanos version);
-  OpMeter& MaintenanceMeter() {
-    return config_.synchronous_maintenance && foreground_meter_ != nullptr
-               ? *foreground_meter_
-               : maintenance_meter_;
-  }
+
+  // -- locked statistics internals (call with mu_ held) --
+  bool MaintenanceIdleLocked() const;
+  H2Counters CountersLocked() const;
 
   // -- shared-state helpers (call with mu_ held) --
   Descriptor& DescriptorFor(const NamespaceId& ns);
@@ -224,7 +236,6 @@ class H2Middleware {
   std::deque<NamespaceId> cleanup_queue_;
   H2Counters counters_;
   OpMeter maintenance_meter_;
-  OpMeter* foreground_meter_ = nullptr;  // synchronous-maintenance ablation
 
   GossipBus* gossip_ = nullptr;
   std::uint32_t gossip_member_ = 0;

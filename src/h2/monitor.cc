@@ -168,9 +168,13 @@ MonitorSnapshot CollectSnapshot(H2Cloud& cloud) {
     MiddlewareSnapshot m;
     m.node_id = mw.node_id();
     m.zone = mw.zone();
-    m.counters = mw.counters();
-    m.maintenance = mw.maintenance_cost();
-    m.idle = mw.MaintenanceIdle();
+    // One locked read per middleware: counters, maintenance cost and
+    // idleness must come from the same instant or a merge landing between
+    // separate reads shows patches_merged without its maintenance charge.
+    const H2Middleware::StatsSnapshot stats = mw.Snapshot();
+    m.counters = stats.counters;
+    m.maintenance = stats.maintenance;
+    m.idle = stats.idle;
     snapshot.middlewares.push_back(m);
   }
   ObjectCloud& oc = cloud.cloud();

@@ -1,5 +1,6 @@
 #include "h2/scrub.h"
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -66,10 +67,19 @@ ScrubReport ScrubOrphans(ObjectCloud& cloud) {
     for (const NamespaceId& child : it->second) frontier.push_back(child);
   }
 
-  // Pass 3: reclaim everything belonging to unreachable namespaces.
+  // Pass 3: reclaim everything belonging to unreachable namespaces.  Delete
+  // in sorted namespace/key order: each delete ticks the clock, so hash-table
+  // order would make scrub cost and tombstone timestamps nondeterministic.
+  std::vector<NamespaceId> unreachable;
+  // h2lint: ordered -- candidate collection, sorted below
   for (const auto& [ns, keys] : keys_by_ns) {
-    if (reachable.contains(ns)) continue;
+    if (!reachable.contains(ns)) unreachable.push_back(ns);
+  }
+  std::sort(unreachable.begin(), unreachable.end());
+  for (const NamespaceId& ns : unreachable) {
     ++report.namespaces_unreachable;
+    std::vector<std::string>& keys = keys_by_ns.at(ns);
+    std::sort(keys.begin(), keys.end());
     for (const std::string& key : keys) {
       if (cloud.Delete(key, meter).ok()) ++report.objects_deleted;
     }

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <numeric>
-#include <unordered_map>
 
 namespace h2 {
 
@@ -87,7 +87,9 @@ Status PartitionRing::Rebalance() {
   // Per-replica-row quota for each device, by the largest remainder method:
   // every row assigns exactly `parts` slots, and each device's share across
   // the whole ring is proportional to its weight.
-  std::unordered_map<DeviceId, std::uint32_t> quota;
+  // Ordered maps by DeviceId: these feed quota checks and the fill pool, and
+  // an ordered container keeps any future iteration over them deterministic.
+  std::map<DeviceId, std::uint32_t> quota;
   for (int row = 0; row < replica_count_; ++row) {
     std::vector<std::pair<double, DeviceId>> remainders;
     std::uint32_t assigned = 0;
@@ -117,7 +119,7 @@ Status PartitionRing::Rebalance() {
   // Pass 1: keep current assignments that are still valid -- the device is
   // active, has quota left, and does not collide with an earlier replica
   // row of the same partition.  This is what bounds data movement.
-  std::unordered_map<DeviceId, std::uint32_t> used;
+  std::map<DeviceId, std::uint32_t> used;
   auto slot = [&](int row, std::uint32_t part) -> DeviceId& {
     return assignment_[static_cast<std::size_t>(row) * parts + part];
   };

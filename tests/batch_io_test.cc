@@ -70,7 +70,9 @@ TEST(ExecuteBatchTest, CountersFlowToMeterAndCloudStats) {
   for (std::size_t i = 0; i < 16; ++i) {
     ops.push_back(BatchOp::Put(Key(i), ObjectValue::FromString("x", i)));
   }
-  cloud.ExecuteBatch(std::move(ops), meter);
+  const std::vector<BatchResult> results =
+      cloud.ExecuteBatch(std::move(ops), meter);
+  EXPECT_EQ(results.size(), 16u);
 
   const OpCost& c = meter.cost();
   EXPECT_EQ(c.batches, 1u);
@@ -108,7 +110,7 @@ TEST(ExecuteBatchTest, MixedWavePricedAtCriticalPath) {
     ops.push_back(BatchOp::Get("fat"));
     for (std::size_t i = 0; i < 10; ++i) ops.push_back(BatchOp::Head(Key(i)));
     OpMeter meter;
-    cloud.ExecuteBatch(std::move(ops), meter);
+    (void)cloud.ExecuteBatch(std::move(ops), meter);
     return meter.cost().elapsed;
   };
 
@@ -165,7 +167,7 @@ TEST(ExecuteBatchTest, SharedPrimaryNodePaysQueueing) {
     OpMeter meter;
     std::vector<BatchOp> ops;
     for (const auto& k : keys) ops.push_back(BatchOp::Head(k));
-    cloud.ExecuteBatch(std::move(ops), meter);
+    (void)cloud.ExecuteBatch(std::move(ops), meter);
     return meter.cost().elapsed;
   };
 

@@ -235,7 +235,7 @@ TEST(FaultInjectionTest, NodeCrashWriteReviveConverges) {
   cloud.cloud().node(0).SetDown(false);
 
   cloud.RunMaintenanceToQuiescence();
-  cloud.cloud().ReplicaScrub();
+  (void)cloud.cloud().ReplicaScrub();
   EXPECT_EQ(cloud.cloud().DivergentKeyCount(), 0u);
   EXPECT_TRUE(ReplicasBitIdentical(cloud.cloud()));
   // The repair machinery actually did something and was priced.

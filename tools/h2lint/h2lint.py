@@ -1,0 +1,403 @@
+#!/usr/bin/env python3
+"""h2lint: H2Cloud's determinism & hygiene linter.
+
+The repository's evaluation rests on an invariant the compiler never
+checks: the virtual-time cost model must be bit-deterministic from run to
+run (every figure in PAPER.md is regenerated from it).  h2lint enforces
+the determinism contract over src/ (see docs/STATIC_ANALYSIS.md):
+
+  wall-clock        no reads of real time (std::chrono::*_clock, time(),
+                    gettimeofday, ...).  Virtual time comes from SimClock
+                    (src/common/clock.h) only.
+  nondet-random     no nondeterministic randomness (std::random_device,
+                    rand(), /dev/urandom).  Seeded generators live in
+                    src/common/rng.*.
+  unordered-iter    no iteration over std::unordered_{map,set} unless the
+                    site is annotated `// h2lint: ordered` (meaning: the
+                    loop has been audited -- its effects are order
+                    insensitive, or it sorts before anything order
+                    sensitive).  Unaudited unordered iteration is how
+                    serialized output, NameRing merge order and OpMeter
+                    charges go nondeterministic.
+  discarded-status  no cloud primitive (Put/Get/Head/Delete/Copy/
+                    ExecuteBatch) called as a bare statement: Status /
+                    Result / BatchResults must be consumed, or the
+                    discard made explicit with `(void)`.
+
+Modes:
+  --mode=regex   (default) plain text scan; zero dependencies.
+  --mode=clang   libclang AST scan where python-clang is installed;
+                 falls back to regex with a note otherwise, so the tool
+                 always runs (the contract the CI gate relies on).
+
+Suppression:
+  // h2lint: ordered            acknowledges an audited unordered-iter site
+  // h2lint: allow(<rule>)      suppresses <rule> on that line (or a loop
+                                whose header starts on the next line)
+Both forms may sit on the flagged line or on the line directly above it.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = ("wall-clock", "nondet-random", "unordered-iter", "discarded-status")
+
+CXX_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
+
+# Files allowed to touch time/randomness primitives: the virtual clock and
+# the seeded RNG are where the contract is *implemented*.
+ALLOWLIST = {
+    "wall-clock": ("src/common/clock.h", "src/common/rng.h",
+                   "src/common/rng.cc"),
+    "nondet-random": ("src/common/clock.h", "src/common/rng.h",
+                      "src/common/rng.cc"),
+}
+
+WALL_CLOCK_PATTERNS = [
+    re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+    re.compile(r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0|&|\))"),
+    re.compile(r"\b(?:gettimeofday|clock_gettime|timespec_get|ftime)\s*\("),
+    re.compile(r"\b(?:localtime|gmtime|mktime)(?:_r)?\s*\("),
+]
+
+RANDOM_PATTERNS = [
+    re.compile(r"\bstd::random_device\b"),
+    re.compile(r"\brandom_device\b"),
+    re.compile(r"(?<![\w:.>])s?rand\s*\("),
+    re.compile(r"(?<![\w:.>])random\s*\(\s*\)"),
+    re.compile(r"/dev/u?random"),
+]
+
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*?>\s*"
+    r"[&*]?\s*([A-Za-z_]\w*)\s*(?:[;={(,)]|$)")
+
+# Cloud primitives whose Status/Result/BatchResults must not be silently
+# dropped when called as a bare statement.
+PRIMITIVES = ("Put", "Get", "Head", "Delete", "Copy", "ExecuteBatch",
+              "PutIfNewer", "ReplicaScrub", "AddStorageNode",
+              "DecommissionNode")
+DISCARD_CALL = re.compile(
+    r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))+(?:" + "|".join(PRIMITIVES) +
+    r")\s*\(")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+ANNOTATION_RE = re.compile(r"//\s*h2lint:\s*([a-z()\-, ]+)")
+
+
+class Finding:
+    def __init__(self, path, line_no, rule, message):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def starts_statement(stripped_lines, idx):
+    """True when stripped_lines[idx] begins a new statement: the previous
+    non-blank stripped line ends in `;`, `{`, `}` or a label `:`.  Filters
+    out continuation lines (`x =` / `H2_RETURN_IF_ERROR(` spilling onto
+    the next line), which are consumed expressions, not bare discards."""
+    for j in range(idx - 1, -1, -1):
+        prev = stripped_lines[j].rstrip()
+        if not prev.strip():
+            continue
+        return prev.endswith((";", "{", "}", ":", ")"))
+    return True
+
+
+def strip_comments_and_strings(line):
+    """Blanks out string/char literals and // comments so patterns do not
+    match inside them.  Keeps `h2lint:` annotations visible to the
+    annotation matcher (which runs on the raw line)."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+            out.append(" ")
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest is a comment
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def annotations_for(lines, idx):
+    """Suppression annotations applying to lines[idx]: on the line itself
+    or on the directly preceding line."""
+    found = set()
+    for j in (idx, idx - 1):
+        if 0 <= j < len(lines):
+            m = ANNOTATION_RE.search(lines[j])
+            if m:
+                text = m.group(1)
+                if "ordered" in text:
+                    found.add("unordered-iter")
+                for allow in re.findall(r"allow\(([a-z\-]+)\)", text):
+                    found.add(allow)
+    return found
+
+
+def is_allowlisted(path, rule):
+    norm = path.replace(os.sep, "/")
+    return any(norm.endswith(suffix) for suffix in ALLOWLIST.get(rule, ()))
+
+
+def sibling_header_paths(path, src_text, search_roots):
+    """Paths whose unordered declarations are visible from `path`: its own
+    quoted includes (resolved against the repo's include roots) and the
+    header sharing its stem."""
+    out = []
+    stem, ext = os.path.splitext(path)
+    if ext != ".h":
+        for header_ext in (".h", ".hpp"):
+            candidate = stem + header_ext
+            if os.path.isfile(candidate):
+                out.append(candidate)
+    for m in INCLUDE_RE.finditer(src_text):
+        for root in search_roots:
+            candidate = os.path.join(root, m.group(1))
+            if os.path.isfile(candidate):
+                out.append(candidate)
+                break
+    return out
+
+
+def unordered_names_in(text):
+    names = set()
+    for raw in text.splitlines():
+        line = strip_comments_and_strings(raw)
+        for m in UNORDERED_DECL.finditer(line):
+            names.add(m.group(1))
+    return names
+
+
+def iter_sites(lines, names):
+    """Yields (idx, name) for loop headers iterating an unordered
+    container: range-for over `name`, or explicit `name.begin()`."""
+    if not names:
+        return
+    union = "|".join(sorted(re.escape(n) for n in names))
+    range_for = re.compile(r"for\s*\([^;()]*:\s*\*?(?:this->)?(" + union +
+                           r")\s*\)")
+    begin_iter = re.compile(r"\b(" + union + r")\s*\.\s*(?:c?begin)\s*\(")
+    for idx, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        m = range_for.search(line) or begin_iter.search(line)
+        if m:
+            yield idx, m.group(1)
+
+
+def lint_file_regex(path, search_roots):
+    findings = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [Finding(path, 0, "io", str(e))]
+    lines = text.splitlines()
+    stripped = [strip_comments_and_strings(raw) for raw in lines]
+
+    names = unordered_names_in(text)
+    for header in sibling_header_paths(path, text, search_roots):
+        try:
+            with open(header, encoding="utf-8", errors="replace") as f:
+                names |= unordered_names_in(f.read())
+        except OSError:
+            pass
+
+    unordered_hits = {idx: name for idx, name in iter_sites(lines, names)}
+
+    for idx, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        suppressed = annotations_for(lines, idx)
+
+        if not is_allowlisted(path, "wall-clock") and \
+                "wall-clock" not in suppressed:
+            for pat in WALL_CLOCK_PATTERNS:
+                m = pat.search(line)
+                if m:
+                    findings.append(Finding(
+                        path, idx + 1, "wall-clock",
+                        f"wall-clock read `{m.group(0).strip()}`: virtual "
+                        "time must come from SimClock (src/common/clock.h)"))
+                    break
+
+        if not is_allowlisted(path, "nondet-random") and \
+                "nondet-random" not in suppressed:
+            for pat in RANDOM_PATTERNS:
+                m = pat.search(line)
+                if m:
+                    findings.append(Finding(
+                        path, idx + 1, "nondet-random",
+                        f"nondeterministic randomness `{m.group(0).strip()}`:"
+                        " use the seeded generators in src/common/rng.h"))
+                    break
+
+        if idx in unordered_hits and "unordered-iter" not in suppressed:
+            findings.append(Finding(
+                path, idx + 1, "unordered-iter",
+                f"iteration over unordered container `{unordered_hits[idx]}`"
+                " without `// h2lint: ordered` audit annotation: sort "
+                "first if anything order-sensitive consumes this loop"))
+
+        if "discarded-status" not in suppressed and \
+                DISCARD_CALL.match(line) and starts_statement(stripped, idx):
+            findings.append(Finding(
+                path, idx + 1, "discarded-status",
+                "cloud primitive called as a bare statement: consume the "
+                "Status/Result/BatchResults or discard explicitly with "
+                "`(void)`"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# libclang mode (optional).  AST-accurate for call-based rules; falls back
+# to the regex scan when python-clang is unavailable so the gate always
+# runs.
+# ---------------------------------------------------------------------------
+
+BANNED_CALLS = {
+    "time", "gettimeofday", "clock_gettime", "timespec_get", "localtime",
+    "gmtime", "mktime", "clock", "rand", "srand", "random",
+}
+BANNED_TYPES = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "random_device",
+}
+
+
+def lint_file_clang(path, search_roots, cindex):
+    findings = []
+    index = cindex.Index.create()
+    args = ["-std=c++20"] + [f"-I{root}" for root in search_roots]
+    tu = index.parse(path, args=args)
+    with open(path, encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+
+    def suppressed(line_no, rule):
+        return rule in annotations_for(lines, line_no - 1)
+
+    for cursor in tu.cursor.walk_preorder():
+        if cursor.location.file is None or \
+                cursor.location.file.name != path:
+            continue
+        line_no = cursor.location.line
+        kind = cursor.kind
+        if kind == cindex.CursorKind.CALL_EXPR and \
+                cursor.spelling in BANNED_CALLS:
+            rule = ("nondet-random"
+                    if cursor.spelling in ("rand", "srand", "random")
+                    else "wall-clock")
+            if not is_allowlisted(path, rule) and \
+                    not suppressed(line_no, rule):
+                findings.append(Finding(
+                    path, line_no, rule,
+                    f"call to banned function `{cursor.spelling}`"))
+        elif kind in (cindex.CursorKind.TYPE_REF,
+                      cindex.CursorKind.DECL_REF_EXPR) and \
+                cursor.spelling in BANNED_TYPES:
+            rule = ("nondet-random" if cursor.spelling == "random_device"
+                    else "wall-clock")
+            if not is_allowlisted(path, rule) and \
+                    not suppressed(line_no, rule):
+                findings.append(Finding(
+                    path, line_no, rule,
+                    f"reference to banned type `{cursor.spelling}`"))
+    # Text-based rules stay regex-driven even under clang mode: the
+    # annotation contract is line-oriented.
+    for f in lint_file_regex(path, search_roots):
+        if f.rule in ("unordered-iter", "discarded-status"):
+            findings.append(f)
+    return findings
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in ("build", ".git", "testdata"))
+                for name in sorted(filenames):
+                    if name.endswith(CXX_EXTENSIONS):
+                        files.append(os.path.join(dirpath, name))
+        elif os.path.isfile(p):
+            files.append(p)
+        else:
+            print(f"h2lint: no such file or directory: {p}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="h2lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to lint")
+    parser.add_argument("--mode", choices=("regex", "clang"),
+                        default="regex",
+                        help="analysis backend (clang falls back to regex "
+                             "when python-clang is unavailable)")
+    parser.add_argument("--rule", action="append", choices=RULES,
+                        help="restrict to specific rule(s)")
+    parser.add_argument("-I", "--include-root", action="append",
+                        default=[],
+                        help="include roots for header resolution "
+                             "(default: src/ under the repo root)")
+    args = parser.parse_args(argv)
+
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    search_roots = args.include_root or [os.path.join(repo_root, "src")]
+
+    lint_one = lint_file_regex
+    if args.mode == "clang":
+        try:
+            from clang import cindex  # noqa: PLC0415
+            lint_one = lambda p, roots: lint_file_clang(p, roots, cindex)
+        except ImportError:
+            print("h2lint: python-clang not available; "
+                  "falling back to regex mode", file=sys.stderr)
+
+    findings = []
+    for path in collect_files(args.paths):
+        findings.extend(lint_one(path, search_roots))
+    if args.rule:
+        findings = [f for f in findings if f.rule in args.rule]
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"h2lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+// h2lint fixture: cloud primitives called as bare statements, silently
+// dropping Status / BatchResults.  Expected: [discarded-status] findings
+// on every marked line.
+namespace fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+struct Cloud {
+  Status Put(int key) { return key ? Status{} : Status{}; }
+  Status Delete(int key) { return key ? Status{} : Status{}; }
+  Status ExecuteBatch(int n) { return n ? Status{} : Status{}; }
+};
+
+void Bad(Cloud& cloud) {
+  cloud.Put(1);                                         // flagged
+  cloud.Delete(2);                                      // flagged
+  cloud.ExecuteBatch(3);                                // flagged
+}
+
+}  // namespace fixture

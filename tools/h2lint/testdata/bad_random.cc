@@ -1,0 +1,15 @@
+// h2lint fixture: nondeterministic randomness outside src/common/rng.*.
+// Expected: [nondet-random] findings on every marked line.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int Bad() {
+  std::random_device rd;                                // flagged
+  std::mt19937 gen(rd());
+  srand(42);                                            // flagged
+  return rand() + static_cast<int>(gen());              // flagged
+}
+
+}  // namespace fixture

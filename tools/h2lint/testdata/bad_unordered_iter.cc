@@ -1,0 +1,22 @@
+// h2lint fixture: unaudited iteration over unordered containers feeding
+// serialized output.  Expected: [unordered-iter] findings on both loops.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+std::string Serialize(
+    const std::unordered_map<std::string, std::string>& fields,
+    const std::unordered_set<std::string>& tags) {
+  std::string out;
+  for (const auto& [key, value] : fields) {             // flagged
+    out += key + "=" + value + "\n";
+  }
+  for (auto it = tags.begin(); it != tags.end(); ++it) {  // flagged
+    out += *it;
+  }
+  return out;
+}
+
+}  // namespace fixture

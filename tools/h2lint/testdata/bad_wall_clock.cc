@@ -1,0 +1,18 @@
+// h2lint fixture: wall-clock reads the determinism contract forbids.
+// Expected: [wall-clock] findings on every marked line.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long Bad() {
+  auto a = std::chrono::system_clock::now();            // flagged
+  auto b = std::chrono::steady_clock::now();            // flagged
+  const std::time_t c = time(nullptr);                  // flagged
+  struct timespec ts;
+  clock_gettime(0, &ts);                                // flagged
+  return static_cast<long>(c) + ts.tv_sec +
+         a.time_since_epoch().count() + b.time_since_epoch().count();
+}
+
+}  // namespace fixture

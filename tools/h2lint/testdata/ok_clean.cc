@@ -1,0 +1,34 @@
+// h2lint fixture: the compliant shapes of everything the other fixtures
+// get flagged for.  Expected: clean.
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+struct Cloud {
+  Status Put(int key) { return key ? Status{} : Status{}; }
+  Status Delete(int key) { return key ? Status{} : Status{}; }
+};
+
+// Consumed, propagated, or explicitly discarded primitive results.
+Status Good(Cloud& cloud) {
+  Status put = cloud.Put(1);
+  if (!put.ok()) return put;
+  (void)cloud.Delete(2);  // explicit discard: best-effort cleanup
+  return cloud.Put(3);
+}
+
+// Ordered containers serialize deterministically without annotations.
+std::string Serialize(const std::map<std::string, std::string>& fields) {
+  std::string out;
+  for (const auto& [key, value] : fields) {
+    out += key + "=" + value + "\n";
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// h2lint fixture: audited unordered iteration.  The first loop only
+// accumulates a commutative sum (order insensitive); the second sorts
+// before serializing.  Expected: clean.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::string Serialize(
+    const std::unordered_map<std::string, std::string>& fields) {
+  std::size_t total = 0;
+  // h2lint: ordered -- commutative accumulation, order insensitive
+  for (const auto& [key, value] : fields) {
+    total += key.size() + value.size();
+  }
+
+  std::vector<std::string> lines;
+  lines.reserve(fields.size());
+  for (const auto& [key, value] : fields) {  // h2lint: ordered (sorted below)
+    lines.push_back(key + "=" + value);
+  }
+  std::sort(lines.begin(), lines.end());
+
+  std::string out = std::to_string(total) + "\n";
+  for (const auto& line : lines) out += line + "\n";
+  return out;
+}
+
+}  // namespace fixture
