@@ -1,0 +1,193 @@
+// Real wall-clock throughput of the sharded engine vs worker threads.
+//
+// Every other bench in this directory reports *virtual* operation time;
+// this one reports what the process actually sustains.  A closed-loop
+// Zipf load (workload/loadgen.h) of S shards -- one account through one
+// dedicated middleware each -- is replayed by the sharded engine
+// (engine/sharded_engine.h) at T = 1, 2, 4, 8 worker threads over a
+// fresh cloud per T.  For each T we report real ops/sec and wall-clock
+// p50/p99 per-op latency, and -- the differential oracle -- require the
+// post-maintenance ObjectCloud::DebugDump() to be byte-identical to the
+// T = 1 run's.  Any divergence is a determinism bug and fails the bench.
+//
+// The measured phase runs with pacing (EngineOptions::pacing): each
+// worker really sleeps a fixed fraction of its op's simulated service
+// time, so the closed loop is latency-bound the way a real fleet is and
+// the thread-count scaling reflects overlap of in-flight operations
+// rather than the host's core count.
+//
+// Output: a human table on stdout plus BENCH_throughput.json (path
+// overridable via argv[1]), the machine-readable source of truth the
+// EXPERIMENTS.md table cites; scripts/check_bench_json.sh validates the
+// schema.  Ops/sec is machine-dependent; the speedup ratios and the
+// oracle verdicts are the portable part.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/sharded_engine.h"
+#include "workload/loadgen.h"
+
+namespace h2::bench {
+namespace {
+
+/// Real-sleep fraction of simulated service time for the measured phase
+/// (1 simulated ms -> 100 real us).  Large enough that waiting, not CPU,
+/// bounds a serial client; small enough to keep the sweep brisk.
+constexpr double kPacing = 0.1;
+
+struct Row {
+  int threads = 0;
+  EngineReport setup;
+  EngineReport measured;
+  bool oracle_match = false;
+};
+
+H2CloudConfig SweepCloudConfig(std::size_t shards) {
+  H2CloudConfig cfg;
+  cfg.cloud = internal::BenchCloudConfig(LatencyProfile::RackLan());
+  cfg.middleware_count = static_cast<int>(shards);  // one per shard
+  return cfg;
+}
+
+std::vector<ShardPlan> SetupPlans(const std::vector<ShardLoad>& loads) {
+  std::vector<ShardPlan> plans;
+  plans.reserve(loads.size());
+  for (const ShardLoad& load : loads) {
+    plans.push_back(ShardPlan{load.account, load.setup});
+  }
+  return plans;
+}
+
+std::vector<ShardPlan> OpPlans(const std::vector<ShardLoad>& loads) {
+  std::vector<ShardPlan> plans;
+  plans.reserve(loads.size());
+  for (const ShardLoad& load : loads) {
+    plans.push_back(ShardPlan{load.account, load.ops});
+  }
+  return plans;
+}
+
+/// One full populate + measure cycle on a fresh cloud; returns the row
+/// and the final state dump for the oracle comparison.
+Row RunAt(int threads, const LoadgenSpec& spec,
+          const std::vector<ShardLoad>& loads, std::string& dump_out) {
+  Row row;
+  row.threads = threads;
+
+  H2Cloud cloud(SweepCloudConfig(spec.shards));
+
+  EngineOptions opts;
+  opts.threads = threads;
+  opts.collect_latencies = false;  // populate phase: throughput only
+  Result<EngineReport> setup = RunSharded(cloud, SetupPlans(loads), opts);
+  BENCH_CHECK(setup.status());
+  row.setup = *setup;
+  cloud.RunMaintenanceToQuiescence();
+
+  opts.collect_latencies = true;
+  opts.pacing = kPacing;
+  Result<EngineReport> measured = RunSharded(cloud, OpPlans(loads), opts);
+  BENCH_CHECK(measured.status());
+  row.measured = *measured;
+  cloud.RunMaintenanceToQuiescence();
+
+  dump_out = cloud.cloud().DebugDump();
+  return row;
+}
+
+void EmitJson(const char* path, const LoadgenSpec& spec,
+              const std::vector<Row>& rows, double speedup) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"throughput_sweep\",\n");
+  std::fprintf(f, "  \"unit\": \"ops_per_sec\",\n");
+  std::fprintf(f,
+               "  \"workload\": {\"shards\": %zu, \"dirs_per_shard\": %zu, "
+               "\"files_per_dir\": %zu, \"ops_per_shard\": %zu, "
+               "\"zipf_s\": %.3f, \"seed\": %llu},\n",
+               spec.shards, spec.dirs_per_shard, spec.files_per_dir,
+               spec.ops_per_shard, spec.zipf_s,
+               static_cast<unsigned long long>(spec.seed));
+  std::fprintf(f, "  \"pacing\": %.3f,\n", kPacing);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"ops\": %zu, \"failures\": %zu, "
+                 "\"wall_seconds\": %.6f, \"ops_per_sec\": %.1f, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"oracle_match\": %s}%s\n",
+                 r.threads, r.measured.ops, r.measured.failures,
+                 r.measured.wall_seconds, r.measured.ops_per_sec,
+                 r.measured.p50_ms, r.measured.p99_ms,
+                 r.oracle_match ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_max_threads_over_serial\": %.2f\n", speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  const char* out_path =
+      argc > 1 ? argv[1] : "BENCH_throughput.json";
+  LoadgenSpec spec;
+  if (argc > 2) spec.ops_per_shard = std::strtoull(argv[2], nullptr, 10);
+
+  const std::vector<ShardLoad> loads = BuildZipfLoad(spec);
+
+  std::printf("# throughput_sweep: %zu shards, %zu ops/shard, "
+              "LIST/GET-heavy Zipf(s=%.2f)\n",
+              spec.shards, spec.ops_per_shard, spec.zipf_s);
+  std::printf("%8s %10s %12s %10s %10s %8s\n", "threads", "ops",
+              "ops/sec", "p50 ms", "p99 ms", "oracle");
+
+  std::string oracle_dump;
+  std::vector<Row> rows;
+  bool all_match = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    std::string dump;
+    Row row = RunAt(threads, spec, loads, dump);
+    if (threads == 1) {
+      oracle_dump = dump;
+      row.oracle_match = true;
+    } else {
+      row.oracle_match = (dump == oracle_dump);
+    }
+    all_match = all_match && row.oracle_match;
+    std::printf("%8d %10zu %12.1f %10.4f %10.4f %8s\n", row.threads,
+                row.measured.ops, row.measured.ops_per_sec,
+                row.measured.p50_ms, row.measured.p99_ms,
+                row.oracle_match ? "match" : "DIVERGED");
+    rows.push_back(std::move(row));
+  }
+
+  const double speedup =
+      rows.front().measured.ops_per_sec > 0
+          ? rows.back().measured.ops_per_sec /
+                rows.front().measured.ops_per_sec
+          : 0;
+  std::printf("# speedup %dT/1T: %.2fx\n", rows.back().threads, speedup);
+  EmitJson(out_path, spec, rows, speedup);
+  std::printf("# wrote %s\n", out_path);
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FATAL: threaded run diverged from the serial oracle\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main(int argc, char** argv) { return h2::bench::Main(argc, argv); }

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Validates a BENCH_*.json artifact emitted by bench/throughput_sweep
+# (and future wall-clock benches that adopt the same envelope).  The JSON
+# is the machine-readable source of truth EXPERIMENTS.md cites, so CI
+# regenerates it and gates on this schema: required keys present, rows
+# well-formed, every row's oracle_match true, and the max-threads speedup
+# over serial at least the floor (default 3.0, override via $2 -- pass 0
+# to skip on hosts where scaling is not meaningful).
+#
+# Usage: scripts/check_bench_json.sh <bench.json> [min_speedup]
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <bench.json> [min_speedup]" >&2
+  exit 2
+fi
+
+FILE="$1"
+MIN_SPEEDUP="${2:-3.0}"
+
+if [[ ! -f "$FILE" ]]; then
+  echo "check_bench_json: no such file: $FILE" >&2
+  exit 2
+fi
+
+python3 - "$FILE" "$MIN_SPEEDUP" <<'EOF'
+import json
+import sys
+
+path, min_speedup = sys.argv[1], float(sys.argv[2])
+with open(path) as f:
+    doc = json.load(f)
+
+errors = []
+
+def require(cond, message):
+    if not cond:
+        errors.append(message)
+
+require(isinstance(doc.get("bench"), str) and doc.get("bench"),
+        "top-level 'bench' must be a non-empty string")
+require(doc.get("unit") == "ops_per_sec",
+        "top-level 'unit' must be 'ops_per_sec'")
+workload = doc.get("workload")
+require(isinstance(workload, dict), "'workload' must be an object")
+if isinstance(workload, dict):
+    for key in ("shards", "ops_per_shard", "seed"):
+        require(isinstance(workload.get(key), int) and workload[key] > 0,
+                f"workload.{key} must be a positive integer")
+
+rows = doc.get("rows")
+require(isinstance(rows, list) and rows, "'rows' must be a non-empty array")
+seen_threads = []
+if isinstance(rows, list):
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        for key, kind in (("threads", int), ("ops", int), ("failures", int)):
+            require(isinstance(row.get(key), kind) and not isinstance(
+                row.get(key), bool), f"{where}.{key} must be an integer")
+        for key in ("wall_seconds", "ops_per_sec", "p50_ms", "p99_ms"):
+            value = row.get(key)
+            require(isinstance(value, (int, float)) and value >= 0,
+                    f"{where}.{key} must be a non-negative number")
+        require(row.get("oracle_match") is True,
+                f"{where}.oracle_match must be true "
+                "(threaded state diverged from the serial oracle)")
+        if isinstance(row.get("p50_ms"), (int, float)) and isinstance(
+                row.get("p99_ms"), (int, float)):
+            require(row["p99_ms"] >= row["p50_ms"],
+                    f"{where}: p99_ms must be >= p50_ms")
+        if isinstance(row.get("threads"), int):
+            seen_threads.append(row["threads"])
+
+require(seen_threads == sorted(seen_threads) and len(set(seen_threads)) ==
+        len(seen_threads), "rows must be sorted by strictly increasing threads")
+require(1 in seen_threads, "rows must include the serial (threads=1) oracle run")
+
+speedup = doc.get("speedup_max_threads_over_serial")
+require(isinstance(speedup, (int, float)),
+        "'speedup_max_threads_over_serial' must be a number")
+if isinstance(speedup, (int, float)) and min_speedup > 0:
+    require(speedup >= min_speedup,
+            f"speedup {speedup} below the floor {min_speedup}")
+
+if errors:
+    print(f"check_bench_json: {path} FAILED:")
+    for error in errors:
+        print(f"  - {error}")
+    sys.exit(1)
+print(f"check_bench_json: {path} OK "
+      f"(rows={len(rows)}, speedup={speedup})")
+EOF

@@ -34,9 +34,13 @@ LatencyProfile LatencyProfile::ModernNvme() {
 }
 
 VirtualNanos LatencyModel::Jitter(VirtualNanos base) {
+  return JitterWith(rng_, base);
+}
+
+VirtualNanos LatencyModel::JitterWith(Rng& stream, VirtualNanos base) const {
   if (profile_.jitter_frac <= 0.0 || base <= 0) return base;
   const double f =
-      1.0 + profile_.jitter_frac * (2.0 * rng_.NextDouble() - 1.0);
+      1.0 + profile_.jitter_frac * (2.0 * stream.NextDouble() - 1.0);
   return static_cast<VirtualNanos>(static_cast<double>(base) * f);
 }
 

@@ -99,8 +99,16 @@ class LatencyModel {
 
   const LatencyProfile& profile() const { return profile_; }
 
-  /// Jittered value of a base cost.
+  /// Jittered value of a base cost, drawn from the model's own stream.
+  /// Callers must serialize access to the stream (ObjectCloud holds
+  /// latency_mu_ around it).
   VirtualNanos Jitter(VirtualNanos base);
+
+  /// Same jitter transform, drawn from an external stream.  The sharded
+  /// engine passes each shard's private deterministic stream here, which
+  /// needs no lock and keeps the draw sequence a function of the shard's
+  /// own op order alone.
+  VirtualNanos JitterWith(Rng& stream, VirtualNanos base) const;
 
   /// Cost of moving `bytes` over the LAN plus on/off disk.
   VirtualNanos ByteCost(std::uint64_t bytes) const;

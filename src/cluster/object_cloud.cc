@@ -62,6 +62,19 @@ VirtualNanos ObjectCloud::ZoneSurcharge(const StorageNode& node,
                                      : latency_.profile().inter_zone_hop;
 }
 
+SimClock& ObjectCloud::ClockFor(const OpMeter& meter) {
+  SimClock* domain = meter.clock_domain();
+  return domain != nullptr ? *domain : clock_;
+}
+
+VirtualNanos ObjectCloud::JitterFor(OpMeter& meter, VirtualNanos base) {
+  if (Rng* stream = meter.jitter_stream()) {
+    return latency_.JitterWith(*stream, base);
+  }
+  std::lock_guard lock(latency_mu_);
+  return latency_.Jitter(base);
+}
+
 int ObjectCloud::EffectiveQuorum(std::size_t replica_set_size) const {
   return std::min(replica_count_ / 2 + 1,
                   static_cast<int>(replica_set_size));
@@ -120,28 +133,26 @@ Status ObjectCloud::Put(const std::string& key, ObjectValue value,
   const std::uint64_t size = value.logical_size;
   const std::vector<StorageNode*> replicas = ReplicaNodes(key, meter.zone());
   const int quorum = EffectiveQuorum(replicas.size());
-  {
-    std::lock_guard lock(latency_mu_);
-    VirtualNanos base = latency_.Jitter(latency_.PutBase());
-    if (opts.durable) base += latency_.profile().durable_commit;
-    // Replication fans out in parallel; the farthest replica's ack
-    // dominates when the quorum spans zones.
-    VirtualNanos zone_extra = 0;
-    int remote = 0;
-    for (const StorageNode* node : replicas) {
-      if (node->zone() != meter.zone()) ++remote;
-    }
-    if (static_cast<int>(replicas.size()) - remote < quorum) {
-      zone_extra = latency_.profile().inter_zone_hop;
-    }
-    const VirtualNanos total = base + latency_.ByteCost(size) + zone_extra;
-    meter.Charge(total);
-    clock_.Advance(total);
+  SimClock& clock = ClockFor(meter);
+  VirtualNanos base = JitterFor(meter, latency_.PutBase());
+  if (opts.durable) base += latency_.profile().durable_commit;
+  // Replication fans out in parallel; the farthest replica's ack
+  // dominates when the quorum spans zones.
+  VirtualNanos zone_extra = 0;
+  int remote = 0;
+  for (const StorageNode* node : replicas) {
+    if (node->zone() != meter.zone()) ++remote;
   }
+  if (static_cast<int>(replicas.size()) - remote < quorum) {
+    zone_extra = latency_.profile().inter_zone_hop;
+  }
+  const VirtualNanos total = base + latency_.ByteCost(size) + zone_extra;
+  meter.Charge(total);
+  clock.Advance(total);
   meter.CountPut();
   meter.AddBytes(size);
 
-  value.modified = clock_.Tick();
+  value.modified = clock.Tick();
   if (value.created == 0) value.created = value.modified;
 
   int acks = 0;
@@ -210,7 +221,6 @@ Result<ObjectValue> ObjectCloud::Get(const std::string& key,
   const int fg_end =
       winner >= 0 ? winner : static_cast<int>(probes.size()) - 1;
   {
-    std::lock_guard lock(latency_mu_);
     VirtualNanos fg = 0;
     for (int i = 0; i <= fg_end; ++i) {
       const ReplicaProbe& p = probes[i];
@@ -218,18 +228,18 @@ Result<ObjectValue> ObjectCloud::Get(const std::string& key,
         // Failed probe: one wasted round trip.  Advances the clock like
         // every other charge -- degraded reads must keep virtual time and
         // metered elapsed in lockstep.
-        fg += latency_.Jitter(latency_.profile().lan_hop);
+        fg += JitterFor(meter, latency_.profile().lan_hop);
       } else if (i == winner) {
-        fg += latency_.Jitter(latency_.GetBase()) +
+        fg += JitterFor(meter, latency_.GetBase()) +
               latency_.ByteCost(value->logical_size) +
               ZoneSurcharge(*p.node, meter);
       } else {
-        fg += latency_.Jitter(latency_.HeadBase()) +
+        fg += JitterFor(meter, latency_.HeadBase()) +
               ZoneSurcharge(*p.node, meter);
       }
     }
     meter.Charge(fg);
-    clock_.Advance(fg);
+    ClockFor(meter).Advance(fg);
   }
   VirtualNanos bg = 0;
   for (std::size_t i = static_cast<std::size_t>(fg_end) + 1;
@@ -267,19 +277,18 @@ Result<ObjectHead> ObjectCloud::Head(const std::string& key,
   const int fg_end =
       winner >= 0 ? winner : static_cast<int>(probes.size()) - 1;
   {
-    std::lock_guard lock(latency_mu_);
     VirtualNanos fg = 0;
     for (int i = 0; i <= fg_end; ++i) {
       const ReplicaProbe& p = probes[i];
       if (p.head.code() == ErrorCode::kUnavailable) {
-        fg += latency_.Jitter(latency_.profile().lan_hop);
+        fg += JitterFor(meter, latency_.profile().lan_hop);
       } else {
-        fg += latency_.Jitter(latency_.HeadBase()) +
+        fg += JitterFor(meter, latency_.HeadBase()) +
               ZoneSurcharge(*p.node, meter);
       }
     }
     meter.Charge(fg);
-    clock_.Advance(fg);
+    ClockFor(meter).Advance(fg);
   }
   VirtualNanos bg = 0;
   for (std::size_t i = static_cast<std::size_t>(fg_end) + 1;
@@ -299,15 +308,13 @@ Result<ObjectHead> ObjectCloud::Head(const std::string& key,
 }
 
 Status ObjectCloud::Delete(const std::string& key, OpMeter& meter) {
-  {
-    std::lock_guard lock(latency_mu_);
-    const VirtualNanos total = latency_.Jitter(latency_.DeleteBase());
-    meter.Charge(total);
-    clock_.Advance(total);
-  }
+  SimClock& clock = ClockFor(meter);
+  const VirtualNanos total = JitterFor(meter, latency_.DeleteBase());
+  meter.Charge(total);
+  clock.Advance(total);
   meter.CountDelete();
 
-  const VirtualNanos tombstone_ts = clock_.Tick();
+  const VirtualNanos tombstone_ts = clock.Tick();
   const std::vector<StorageNode*> replicas = ReplicaNodes(key);
   int acks = 0;
   bool found = false;
@@ -368,15 +375,13 @@ Status ObjectCloud::Copy(const std::string& src, const std::string& dst,
     return Status::Unavailable("no replica reachable for: " + src);
   }
   ObjectValue value = std::move(best).value();
-  {
-    std::lock_guard lock(latency_mu_);
-    const VirtualNanos total = latency_.Jitter(latency_.CopyBase()) +
-                               latency_.ByteCost(value.logical_size);
-    meter.Charge(total);
-    clock_.Advance(total);
-  }
+  SimClock& clock = ClockFor(meter);
+  const VirtualNanos total = JitterFor(meter, latency_.CopyBase()) +
+                             latency_.ByteCost(value.logical_size);
+  meter.Charge(total);
+  clock.Advance(total);
   meter.AddBytes(value.logical_size);
-  value.modified = clock_.Tick();
+  value.modified = clock.Tick();
   value.created = value.modified;  // fresh object at the destination
 
   const std::vector<StorageNode*> dst_replicas = ReplicaNodes(dst);
@@ -442,7 +447,10 @@ std::vector<BatchResult> ObjectCloud::ExecuteBatch(std::vector<BatchOp> ops,
     BatchOp& op = ops[i];
     BatchResult& out = results[i];
     OpMeter sub;
-    sub.SetZone(meter.zone());
+    // The sub-meter carries the caller's full identity -- zone AND shard
+    // execution context -- so a batch issued by a shard stays inside that
+    // shard's clock domain and jitter stream.
+    sub.InheritContext(meter);
     switch (op.kind) {
       case BatchOp::Kind::kPut:
         out.status = Put(op.key, std::move(op.value), sub, op.put_opts);
@@ -519,13 +527,12 @@ void ObjectCloud::Scan(const std::function<void(const std::string&,
     total += visited;
   }
   meter.CountScanned(total);
-  std::lock_guard lock(latency_mu_);
   const VirtualNanos elapsed =
       2 * latency_.profile().lan_hop +
       static_cast<VirtualNanos>(busiest) *
           latency_.profile().scan_per_object;
   meter.Charge(elapsed);
-  clock_.Advance(elapsed);
+  ClockFor(meter).Advance(elapsed);
 }
 
 std::uint64_t ObjectCloud::LogicalObjectCount() const {
@@ -664,11 +671,20 @@ ObjectCloud::MigrationReport ObjectCloud::RepairReplicas() {
 
 void ObjectCloud::ChargeRepair(VirtualNanos cost, bool advance_clock) {
   if (cost == 0) return;
+  if (!advance_clock) {
+    // Read-triggered charge: fires on nearly every GET/HEAD (the digest
+    // probes past the winner).  A mutex here is a global serialization
+    // point for the whole sharded read side, so the cost rides a relaxed
+    // atomic instead; the sum is commutative, so the folded total in
+    // repair_cost() is deterministic under any interleaving.
+    oob_repair_nanos_.fetch_add(cost, std::memory_order_relaxed);
+    return;
+  }
   {
     std::lock_guard lock(repair_mu_);
     repair_meter_.Charge(cost);
   }
-  if (advance_clock) clock_.Advance(cost);
+  clock_.Advance(cost);
 }
 
 VirtualNanos ObjectCloud::ChargeRepairBatch(
@@ -945,8 +961,30 @@ ObjectCloud::RepairStats ObjectCloud::repair_stats() const {
 }
 
 OpCost ObjectCloud::repair_cost() const {
-  std::lock_guard lock(repair_mu_);
-  return repair_meter_.cost();
+  OpCost cost;
+  {
+    std::lock_guard lock(repair_mu_);
+    cost = repair_meter_.cost();
+  }
+  cost.elapsed += oob_repair_nanos_.load(std::memory_order_relaxed);
+  return cost;
+}
+
+std::string ObjectCloud::DebugDump() const {
+  std::string out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out += "== node " + std::to_string(i) + " ==\n";
+    nodes_[i]->ForEach([&](const std::string& key, const ObjectValue& v) {
+      out += key;
+      out += '|' + std::to_string(v.logical_size);
+      out += '|' + std::to_string(v.created);
+      out += '|' + std::to_string(v.modified);
+      for (const auto& [mk, mv] : v.metadata) out += '|' + mk + '=' + mv;
+      out += '|' + v.payload;
+      out += '\n';
+    });
+  }
+  return out;
 }
 
 }  // namespace h2

@@ -324,8 +324,17 @@ class ObjectCloud {
   StorageNode& node(std::size_t i) { return *nodes_[i]; }
   std::size_t node_count() const { return nodes_.size(); }
   const PartitionRing& ring() const { return ring_; }
+  PartitionRing& ring() { return ring_; }
   LatencyModel& latency() { return latency_; }
   SimClock& clock() { return clock_; }
+
+  /// Full byte-level dump of every storage node: keys in sorted order
+  /// (StorageNode::ForEach guarantees that) with payload, sizes,
+  /// timestamps and metadata.  Two clouds with equal dumps are
+  /// bit-identical down to the virtual clock values their objects carry;
+  /// this is the differential oracle the sharded engine and
+  /// background-merger tests compare against the serial schedule.
+  std::string DebugDump() const;
 
   /// Per-node object counts (load-balance experiments).
   std::vector<std::uint64_t> NodeObjectCounts() const;
@@ -365,7 +374,17 @@ class ObjectCloud {
   /// meter, never the jitter RNG; advances virtual time only when
   /// `advance_clock` -- maintenance-driven repair runs on its own
   /// timeline, read-triggered repair rides the foreground op's window).
+  /// Non-advancing charges land on a lock-free accumulator: they fire on
+  /// nearly every read (the digest probes past the winner), and taking
+  /// repair_mu_ there would serialize the whole sharded read side.
   void ChargeRepair(VirtualNanos cost, bool advance_clock);
+  /// Virtual clock the meter's operations run against: the meter's bound
+  /// shard clock domain when set, else the cloud's global clock.
+  SimClock& ClockFor(const OpMeter& meter);
+  /// Jitter draw for the meter's operations: the meter's bound per-shard
+  /// stream when set (lock-free, deterministic per shard), else the
+  /// global stream under latency_mu_.
+  VirtualNanos JitterFor(OpMeter& meter, VirtualNanos base);
   /// Wave-prices a batch of repair pushes (hint replay, scrub) on the
   /// repair meter at the cloud's effective concurrency, same critical-path
   /// model as ExecuteBatch.  Returns the amount charged.
@@ -403,6 +422,10 @@ class ObjectCloud {
   mutable std::mutex repair_mu_;  // guards repair_meter_ and repair_stats_
   OpMeter repair_meter_;
   RepairStats repair_stats_;
+  /// Read-path out-of-band probe/repair nanos (ChargeRepair with
+  /// advance_clock = false); folded into repair_cost().  Commutative sum,
+  /// so the total stays deterministic under any thread interleaving.
+  std::atomic<VirtualNanos> oob_repair_nanos_{0};
 };
 
 }  // namespace h2

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/rng.h"
 
 namespace h2 {
 
@@ -96,7 +97,9 @@ struct OpCost {
 class OpMeter {
  public:
   void Reset() {
-    cost_ = OpCost{};  // zone_ is caller identity, not per-op state
+    // zone_ and the execution context are caller identity, not per-op
+    // state: they survive the per-operation Reset.
+    cost_ = OpCost{};
   }
 
   /// Zone of the proxy/middleware issuing the operations (geo-distributed
@@ -104,6 +107,29 @@ class OpMeter {
   /// outside this zone.
   void SetZone(std::uint32_t zone) { zone_ = zone; }
   std::uint32_t zone() const { return zone_; }
+
+  // --- execution context (sharded engine) ---------------------------------
+  // A shard of the sharded wall-clock engine binds its own virtual clock
+  // domain and jitter RNG stream to the meter it threads through the
+  // cloud.  The cloud then advances/reads *this* clock and draws jitter
+  // from *this* stream instead of the global ones, which is what makes a
+  // multi-threaded replay bit-identical to the serial schedule: each
+  // shard's timestamps and jitter values depend only on that shard's own
+  // op order, never on cross-thread interleaving (the OpMeter jitter
+  // nondeterminism fix).  Null (the default) means "use the cloud's
+  // global clock / jitter RNG" -- the unchanged serial behaviour.
+  void SetClockDomain(SimClock* clock) { clock_domain_ = clock; }
+  SimClock* clock_domain() const { return clock_domain_; }
+  void SetJitterStream(Rng* stream) { jitter_stream_ = stream; }
+  Rng* jitter_stream() const { return jitter_stream_; }
+  /// Copies caller identity (zone + execution context) from `other`;
+  /// used for the private sub-meters of batched fan-outs so a batch
+  /// issued by a shard stays inside that shard's clock domain.
+  void InheritContext(const OpMeter& other) {
+    zone_ = other.zone_;
+    clock_domain_ = other.clock_domain_;
+    jitter_stream_ = other.jitter_stream_;
+  }
 
   /// Sequential step: adds to elapsed time.
   void Charge(VirtualNanos d) { cost_.elapsed += d; }
@@ -178,6 +204,8 @@ class OpMeter {
  private:
   OpCost cost_;
   std::uint32_t zone_ = 0;
+  SimClock* clock_domain_ = nullptr;  // not owned; null = global clock
+  Rng* jitter_stream_ = nullptr;      // not owned; null = global stream
 };
 
 }  // namespace h2

@@ -1,15 +1,27 @@
 #include "cluster/storage_node.h"
 
 #include <algorithm>
+#include <shared_mutex>
 
 namespace h2 {
 
 Status StorageNode::CheckAvailable() const {
-  if (down_) {
+  if (down_.load(std::memory_order_acquire)) {
     return Status::Unavailable("node " + name_ + " is down");
   }
-  if (error_rate_ > 0.0 && fault_rng_.Chance(error_rate_)) {
-    return Status::Unavailable("node " + name_ + " injected fault");
+  // The fault RNG draws under its own leaf mutex: CheckAvailable runs on
+  // the shared (read) side of mu_, where mutating the RNG state directly
+  // would be a data race between concurrent readers.  With a zero error
+  // rate the draw is skipped entirely, so healthy multi-threaded replays
+  // never touch the stream (its draw order is schedule-dependent once
+  // concurrent callers race it, which is why fault injection sits outside
+  // the sharded engine's determinism contract).
+  const double rate = error_rate_.load(std::memory_order_acquire);
+  if (rate > 0.0) {
+    std::lock_guard fault_lock(fault_mu_);
+    if (fault_rng_.Chance(rate)) {
+      return Status::Unavailable("node " + name_ + " injected fault");
+    }
   }
   return Status::Ok();
 }
@@ -49,7 +61,7 @@ Status StorageNode::PutIfNewer(const std::string& key, ObjectValue value) {
 }
 
 Result<ObjectValue> StorageNode::Get(const std::string& key) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
   auto it = objects_.find(key);
   if (it == objects_.end()) {
@@ -59,7 +71,7 @@ Result<ObjectValue> StorageNode::Get(const std::string& key) const {
 }
 
 Result<ObjectHead> StorageNode::Head(const std::string& key) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
   auto it = objects_.find(key);
   if (it == objects_.end()) {
@@ -92,20 +104,20 @@ Status StorageNode::Delete(const std::string& key, VirtualNanos ts) {
 }
 
 VirtualNanos StorageNode::TombstoneTime(const std::string& key) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   auto it = tombstones_.find(key);
   return it == tombstones_.end() ? 0 : it->second;
 }
 
 bool StorageNode::Contains(const std::string& key) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   return objects_.contains(key);
 }
 
 void StorageNode::ForEach(
     const std::function<void(const std::string&, const ObjectValue&)>& fn)
     const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   // Visit in sorted key order: ForEach feeds Scan, scrub sweeps and
   // migration, all of which charge virtual time per visit -- hash-table
   // order would make those charges depend on the container's history.
@@ -119,12 +131,12 @@ void StorageNode::ForEach(
 }
 
 std::uint64_t StorageNode::object_count() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   return objects_.size();
 }
 
 std::uint64_t StorageNode::logical_bytes() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   std::uint64_t total = 0;
   // h2lint: ordered -- commutative sum
   for (const auto& [key, value] : objects_) total += value.logical_size;
@@ -135,7 +147,9 @@ Status StorageNode::QueueHint(ReplicaHint hint) {
   std::lock_guard lock(mu_);
   // Only a down holder refuses: queueing is a local append, not a request
   // that can be lost to the injected per-request error stream.
-  if (down_) return Status::Unavailable("node " + name_ + " is down");
+  if (down_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("node " + name_ + " is down");
+  }
   hints_.push_back(std::move(hint));
   return Status::Ok();
 }
@@ -153,23 +167,20 @@ std::vector<ReplicaHint> StorageNode::TakeHints(
 }
 
 std::size_t StorageNode::hint_count() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(mu_);
   return hints_.size();
 }
 
 void StorageNode::SetDown(bool down) {
-  std::lock_guard lock(mu_);
-  down_ = down;
+  down_.store(down, std::memory_order_release);
 }
 
 bool StorageNode::IsDown() const {
-  std::lock_guard lock(mu_);
-  return down_;
+  return down_.load(std::memory_order_acquire);
 }
 
 void StorageNode::SetErrorRate(double rate) {
-  std::lock_guard lock(mu_);
-  error_rate_ = rate;
+  error_rate_.store(rate, std::memory_order_release);
 }
 
 }  // namespace h2

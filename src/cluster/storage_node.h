@@ -3,13 +3,24 @@
 // Thread-safe in-memory key/object store with failure injection.  Latency
 // is *not* charged here -- the ObjectCloud proxy layer owns accounting --
 // so a node is a pure state container, which keeps the concurrency story
-// simple (one mutex, no calls out while holding it).
+// simple (one lock, no calls out while holding it).
+//
+// Lock discipline: a reader/writer lock guards the object/tombstone/hint
+// maps -- reads (Get/Head/Contains/TombstoneTime/counts) take the shared
+// side so the sharded engine's read-heavy workloads scale across
+// threads; mutations take the exclusive side.  The failure-injection
+// knobs are atomics (flipped by tests while workers are live) and the
+// per-node fault RNG draws under its own leaf mutex, because a const
+// read path that mutated RNG state under a shared lock would be a data
+// race.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -96,12 +107,13 @@ class StorageNode {
   const std::string name_;
   const std::uint32_t zone_;
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, ObjectValue> objects_;
   std::unordered_map<std::string, VirtualNanos> tombstones_;
   std::vector<ReplicaHint> hints_;
-  bool down_ = false;
-  double error_rate_ = 0.0;
+  std::atomic<bool> down_{false};
+  std::atomic<double> error_rate_{0.0};
+  mutable std::mutex fault_mu_;  // leaf lock: guards fault_rng_ only
   mutable Rng fault_rng_;
 };
 

@@ -1,0 +1,155 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "engine/wall_timer.h"
+
+namespace h2 {
+namespace {
+
+/// Percentile over wall-clock nanos (nearest-rank on a sorted copy).
+double PercentileMs(std::vector<std::uint64_t>& nanos, double q) {
+  if (nanos.empty()) return 0;
+  std::sort(nanos.begin(), nanos.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(nanos.size() - 1) + 0.5);
+  return static_cast<double>(nanos[std::min(rank, nanos.size() - 1)]) * 1e-6;
+}
+
+}  // namespace
+
+Result<EngineReport> RunSharded(H2Cloud& cloud,
+                                const std::vector<ShardPlan>& plans,
+                                const EngineOptions& opts) {
+  EngineReport report;
+  report.threads = std::max(1, opts.threads);
+  if (plans.empty()) return report;
+  if (plans.size() > cloud.middleware_count()) {
+    return Status::InvalidArgument(
+        "sharded engine needs one middleware per shard");
+  }
+  if (cloud.middleware(0).config().synchronous_maintenance) {
+    // Inline merges would publish gossip rumors from foreground threads,
+    // making the rumor queue order schedule-dependent.
+    return Status::InvalidArgument(
+        "sharded engine requires asynchronous maintenance");
+  }
+  if (cloud.BackgroundRunning()) {
+    // The oracle compares post-replay state; a concurrent merger would
+    // interleave clock ticks with the replay and break bit-identity.
+    return Status::InvalidArgument(
+        "stop the background merger before a sharded replay");
+  }
+  {
+    std::unordered_set<std::string_view> accounts;
+    for (const ShardPlan& plan : plans) {
+      if (!accounts.insert(plan.account).second) {
+        return Status::InvalidArgument(
+            "shard accounts must be distinct: " + plan.account);
+      }
+    }
+  }
+
+  // --- serial setup: accounts, sessions, shard execution contexts ---------
+  // Account creation and session opening run on the global clock in shard
+  // order, so their cost and timestamps are identical for every T.
+  struct Shard {
+    const ShardPlan* plan = nullptr;
+    std::unique_ptr<H2AccountFs> fs;
+    std::unique_ptr<SimClock> clock;
+    std::unique_ptr<Rng> jitter;
+    std::vector<std::uint64_t> latency_nanos;
+    std::size_t failures = 0;
+    OpCost cost;
+  };
+  std::vector<Shard> shards(plans.size());
+  const VirtualNanos epoch = cloud.cloud().clock().Now();
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    Shard& shard = shards[i];
+    shard.plan = &plans[i];
+    const Status created = cloud.CreateAccount(plans[i].account);
+    if (!created.ok() && created.code() != ErrorCode::kAlreadyExists) {
+      return created;
+    }
+    H2_ASSIGN_OR_RETURN(shard.fs, cloud.OpenFilesystem(plans[i].account, i));
+    // Stride (i + 1): even shard 0 leaves the global clock's neighborhood,
+    // so maintenance ticks (global domain) can never collide with a shard
+    // timestamp.
+    shard.clock = std::make_unique<SimClock>(
+        epoch + static_cast<VirtualNanos>(i + 1) * opts.clock_stride);
+    shard.jitter = std::make_unique<Rng>(
+        SplitMix64(opts.jitter_seed + i).Next());
+    shard.fs->BindExecutionContext(shard.clock.get(), shard.jitter.get());
+  }
+
+  // --- threaded replay ----------------------------------------------------
+  const int threads =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(report.threads), shards.size()));
+  auto run_shard = [&opts](Shard& shard) {
+    if (opts.collect_latencies) {
+      shard.latency_nanos.reserve(shard.plan->ops.size());
+    }
+    WallTimer timer;
+    for (const TraceOp& op : shard.plan->ops) {
+      if (opts.collect_latencies) timer.Restart();
+      const Status status = ApplyTraceOp(*shard.fs, op);
+      if (!status.ok()) ++shard.failures;
+      const OpCost& cost = shard.fs->last_op();
+      shard.cost += cost;
+      if (opts.pacing > 0 && cost.elapsed > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            static_cast<std::int64_t>(opts.pacing *
+                                      static_cast<double>(cost.elapsed))));
+      }
+      if (opts.collect_latencies) {
+        // Sampled after the pacing sleep: the closed-loop client's view
+        // of the op includes its (scaled) service time.
+        shard.latency_nanos.push_back(timer.ElapsedNanos());
+      }
+    }
+  };
+
+  WallTimer wall;
+  if (threads <= 1) {
+    for (Shard& shard : shards) run_shard(shard);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&shards, threads, t, &run_shard] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < shards.size();
+             i += static_cast<std::size_t>(threads)) {
+          run_shard(shards[i]);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+  report.wall_seconds = wall.ElapsedSeconds();
+
+  // --- aggregate (shard order: the merge itself is deterministic) ---------
+  std::vector<std::uint64_t> all_nanos;
+  for (Shard& shard : shards) {
+    report.ops += shard.plan->ops.size();
+    report.failures += shard.failures;
+    report.virtual_cost += shard.cost;
+    all_nanos.insert(all_nanos.end(), shard.latency_nanos.begin(),
+                     shard.latency_nanos.end());
+    shard.fs->BindExecutionContext(nullptr, nullptr);
+  }
+  if (report.wall_seconds > 0) {
+    report.ops_per_sec =
+        static_cast<double>(report.ops) / report.wall_seconds;
+  }
+  report.p50_ms = PercentileMs(all_nanos, 0.50);
+  report.p99_ms = PercentileMs(all_nanos, 0.99);
+  return report;
+}
+
+}  // namespace h2

@@ -1,0 +1,110 @@
+// The sharded wall-clock execution engine.
+//
+// Everything else in this repository executes serially and measures
+// *virtual* operation time.  The engine adds the missing axis: real
+// throughput.  It partitions a workload into shards -- one account served
+// through its own dedicated middleware -- and replays the shards on T
+// worker threads, measuring real ops/sec and wall-clock latency
+// percentiles while the virtual-cost model keeps metering underneath.
+//
+// Determinism contract (the serial differential oracle).  The final cloud
+// state after Run() is bit-identical for every thread count T, including
+// T = 1, because every source of state is a function of a single shard's
+// own op order:
+//
+//   * keys: a shard's account root, namespaces, child objects, NameRings,
+//     patches and intent records all live under per-account / per-node
+//     key families (h2/keys.h), so shards never write the same key;
+//   * timestamps: each shard binds a private SimClock domain to its
+//     session meter (OpMeter::SetClockDomain), offset by a per-shard
+//     stride so no two domains ever mint the same tick;
+//   * jitter: each shard binds a private xoshiro stream seeded from its
+//     shard index (OpMeter::SetJitterStream), so latency draws do not
+//     cross shards through the global RNG;
+//   * middlewares: one per shard, so descriptor caches, resolve caches,
+//     namespace minters and patch counters are shard-private;
+//   * gossip: foreground operations never publish rumors (merges do, and
+//     the engine rejects synchronous_maintenance, the one config that
+//     merges inline) -- maintenance stays a serial phase owned by the
+//     caller, before and after Run().
+//
+// What remains shared -- storage node maps, the partition ring, the
+// repair accumulator -- is either internally synchronized on disjoint
+// keys or commutative, so the interleaving cannot leak into state.
+// tests/sharded_engine_test.cc enforces the contract by byte-comparing
+// ObjectCloud::DebugDump() across thread counts for every trace family.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/op_meter.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "h2/h2cloud.h"
+#include "workload/trace.h"
+
+namespace h2 {
+
+/// One shard: a trace replayed for `account` through the middleware with
+/// the shard's own index.  Accounts must be distinct across shards (the
+/// engine verifies; shared accounts would share namespaces and break the
+/// determinism contract above).
+struct ShardPlan {
+  std::string account;
+  std::vector<TraceOp> ops;
+};
+
+struct EngineOptions {
+  /// Worker threads.  Thread j runs shards i with i % threads == j, in
+  /// increasing i, each shard serially in op order.
+  int threads = 1;
+  /// Base seed for the per-shard jitter streams; shard i draws from
+  /// Rng(SplitMix64(jitter_seed + i)).  Fixed default keeps benches
+  /// reproducible run-to-run.
+  std::uint64_t jitter_seed = 0x5eeded11e5ULL;
+  /// Virtual-time offset between consecutive shard clock domains.  One
+  /// virtual day: far larger than any shard can advance during a replay,
+  /// so domains never overlap and every timestamp stays globally unique.
+  VirtualNanos clock_stride = 86'400LL * kSecond;
+  /// Record a wall-clock latency sample per operation (for p50/p99).
+  /// Sampling never feeds back into simulated state, so it cannot affect
+  /// the final-state oracle.
+  bool collect_latencies = true;
+  /// Fraction of each op's *virtual* elapsed time the worker really
+  /// sleeps after the op (0 = none).  This closes the loop over service
+  /// time: simulated operations complete instantly in real time, so an
+  /// unpaced sweep degenerates into a CPU microbenchmark whose scaling
+  /// is just the host's core count.  With pacing, each shard experiences
+  /// its simulated service latency (scaled), and ops/sec vs threads
+  /// measures what threading buys a latency-bound closed-loop fleet:
+  /// overlap of in-flight operations -- on any host, including a
+  /// single-core CI runner.  Sleeping reads no clock and writes no
+  /// state, so pacing cannot perturb the determinism oracle.
+  double pacing = 0;
+};
+
+struct EngineReport {
+  std::size_t ops = 0;
+  std::size_t failures = 0;   // non-OK statuses (counted, not fatal)
+  double wall_seconds = 0;    // replay section only (setup excluded)
+  double ops_per_sec = 0;
+  double p50_ms = 0;          // wall-clock per-op latency percentiles
+  double p99_ms = 0;
+  OpCost virtual_cost;        // summed simulated cost across shards
+  int threads = 1;
+};
+
+/// Replays `plans` over `cloud` on `opts.threads` worker threads.
+/// Requires one middleware per shard (plans.size() <= middleware_count),
+/// distinct accounts, and asynchronous maintenance.  Creates missing
+/// accounts and opens sessions serially (so setup cost never races),
+/// then runs the threaded replay.  The caller owns maintenance: run
+/// RunMaintenanceToQuiescence() after Run() returns before comparing
+/// state dumps.
+Result<EngineReport> RunSharded(H2Cloud& cloud,
+                                const std::vector<ShardPlan>& plans,
+                                const EngineOptions& opts = {});
+
+}  // namespace h2

@@ -1,0 +1,46 @@
+// Real (wall-clock) elapsed-time measurement for the sharded engine.
+//
+// Everything else in src/ runs on virtual time (common/clock.h): the
+// latency model *charges* nanoseconds instead of sleeping, which is what
+// keeps experiments bit-for-bit reproducible.  The sharded engine is the
+// one component whose whole point is real throughput -- how many
+// operations per second the process actually sustains as worker threads
+// are added -- so it, and only it, may read the machine clock.
+//
+// This header is the single sanctioned wall-clock read in src/; h2lint's
+// wall-clock rule allowlists exactly this file.  Wall time must never
+// leak into simulated state (timestamps, jitter, costs): it is measured
+// around operations, reported in EngineReport/BENCH_throughput.json, and
+// discarded.  steady_clock, not system_clock -- elapsed intervals must
+// survive NTP steps.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace h2 {
+
+class WallTimer {
+  using Clock = std::chrono::steady_clock;
+
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  std::uint64_t ElapsedNanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  std::chrono::time_point<Clock> start_;
+};
+
+}  // namespace h2

@@ -96,6 +96,16 @@ class FileSystem {
   /// Cost of the most recent operation (the figures' y-axis).
   const OpCost& last_op() const { return meter_.cost(); }
 
+  /// Binds a shard execution context (virtual clock domain + jitter RNG
+  /// stream) to this session's meter; see OpMeter::SetClockDomain.  The
+  /// sharded engine calls this once per shard session before replay; both
+  /// pointers must outlive the session.  Null/null restores the global
+  /// context.
+  void BindExecutionContext(SimClock* clock, Rng* jitter) {
+    meter_.SetClockDomain(clock);
+    meter_.SetJitterStream(jitter);
+  }
+
  protected:
   /// Implementations call this first in every public operation.
   OpMeter& BeginOp() {

@@ -32,8 +32,14 @@ struct H2Config {
   VirtualNanos tombstone_gc_age = 2 * kSecond;
 
   /// Wave width for the per-child metadata HEAD batch of a detailed LIST
-  /// (passed to ObjectCloud::ExecuteBatch as BatchOptions::concurrency);
-  /// 0 uses the cloud's io_concurrency / latency-profile default.
+  /// (passed to ObjectCloud::ExecuteBatch as BatchOptions::concurrency).
+  /// 0 defers down the defaulting chain, each level yielding to the next
+  /// only when it is itself 0:
+  ///   BatchOptions::concurrency -> CloudConfig::io_concurrency
+  ///     -> LatencyProfile::batch_width -> floor of 1.
+  /// The chain is pinned by ExecuteBatchTest.EffectiveConcurrencyDefaultingChain;
+  /// width affects only the critical-path price, never results or final
+  /// state (ObjectCloud::ExecuteBatch's determinism contract).
   std::uint64_t list_batch_width = 0;
 
   /// Journal a durable intent object before each MOVE's multi-object

@@ -5,6 +5,16 @@
 #include "common/strings.h"
 
 namespace h2 {
+namespace {
+
+/// Same clock-domain rule as the middleware: intent timestamps come from
+/// the meter's bound shard clock when set, else the cloud's global clock.
+SimClock& ClockFor(ObjectCloud& cloud, const OpMeter& meter) {
+  SimClock* domain = meter.clock_domain();
+  return domain != nullptr ? *domain : cloud.clock();
+}
+
+}  // namespace
 
 std::string IntentLog::ChainKey() const {
   char buf[48];
@@ -63,7 +73,7 @@ Status IntentLog::PersistChain(OpMeter& meter) {
   }
   record.Set("open", open_list);
   ObjectValue value =
-      ObjectValue::FromString(record.Serialize(), cloud_.clock().Tick());
+      ObjectValue::FromString(record.Serialize(), ClockFor(cloud_, meter).Tick());
   value.metadata["kind"] = "intent-chain";
   return cloud_.Put(ChainKey(), std::move(value), meter);
 }
@@ -78,7 +88,7 @@ Result<std::uint64_t> IntentLog::Begin(const KvRecord& record,
     open_.insert(id);
   }
   ObjectValue value =
-      ObjectValue::FromString(record.Serialize(), cloud_.clock().Tick());
+      ObjectValue::FromString(record.Serialize(), ClockFor(cloud_, meter).Tick());
   value.metadata["kind"] = "intent";
   // The intent must be durable before the first mutation it covers.
   H2_RETURN_IF_ERROR(cloud_.Put(IntentKey(id), std::move(value), meter,

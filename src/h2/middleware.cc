@@ -64,6 +64,11 @@ H2Middleware::~H2Middleware() = default;
 // Accounts
 // ---------------------------------------------------------------------------
 
+SimClock& H2Middleware::ClockFor(const OpMeter& meter) const {
+  SimClock* domain = meter.clock_domain();
+  return domain != nullptr ? *domain : cloud_.clock();
+}
+
 Status H2Middleware::CreateAccount(std::string_view user, OpMeter& meter) {
   if (user.empty()) return Status::InvalidArgument("empty account name");
   const std::string key = AccountKey(user);
@@ -73,9 +78,9 @@ Status H2Middleware::CreateAccount(std::string_view user, OpMeter& meter) {
   NamespaceId root;
   {
     std::lock_guard lock(mu_);
-    root = minter_.Mint(cloud_.clock().NowUnixMillis());
+    root = minter_.Mint(ClockFor(meter).NowUnixMillis());
   }
-  const VirtualNanos now = cloud_.clock().Tick();
+  const VirtualNanos now = ClockFor(meter).Tick();
   // The root directory's (empty) NameRing goes first and the account
   // record last: the record is the commit point.  If the record PUT
   // fails, all that remains is an invisible orphan ring under a fresh
@@ -223,7 +228,7 @@ Status H2Middleware::WriteFile(const NamespaceId& root, std::string_view path,
     std::lock_guard lock(mu_);
     write_blocked_.insert(parent);
   }
-  const VirtualNanos now = cloud_.clock().Tick();
+  const VirtualNanos now = ClockFor(meter).Tick();
   ObjectValue value;
   value.payload = std::move(blob.data);
   value.logical_size = blob.logical_size;
@@ -304,7 +309,7 @@ Status H2Middleware::WriteFiles(const NamespaceId& root,
     } else {
       return head.status;
     }
-    const VirtualNanos now = cloud_.clock().Tick();
+    const VirtualNanos now = ClockFor(meter).Tick();
     stamped[i] = now;
     ObjectValue value;
     value.payload = std::move(batch[i].blob.data);
@@ -361,7 +366,7 @@ Status H2Middleware::RemoveFile(const NamespaceId& root,
   H2_RETURN_IF_ERROR(cloud_.Delete(key, meter));
   // Fake deletion (§3.3.3a): the tuple gains a Deleted tag via a patch.
   return SubmitPatch(
-      parent, RingTuple{std::string(name), cloud_.clock().Tick(),
+      parent, RingTuple{std::string(name), ClockFor(meter).Tick(),
                         EntryKind::kFile, /*deleted=*/true},
       meter);
 }
@@ -384,10 +389,10 @@ Status H2Middleware::Mkdir(const NamespaceId& root, std::string_view path,
   std::uint64_t rev = 0;
   {
     std::lock_guard lock(mu_);
-    ns = minter_.Mint(cloud_.clock().NowUnixMillis());
+    ns = minter_.Mint(ClockFor(meter).NowUnixMillis());
     rev = resolve_cache_.ChildRev(parent);  // snapshot before the PUTs
   }
-  const VirtualNanos now = cloud_.clock().Tick();
+  const VirtualNanos now = ClockFor(meter).Tick();
   DirRecord record{ns, parent, std::string(name), now};
   H2_RETURN_IF_ERROR(
       cloud_.Put(key, MakeObject(record.Serialize(), kMetaKindDir, now),
@@ -412,7 +417,7 @@ Status H2Middleware::Rmdir(const NamespaceId& root, std::string_view path,
 
   H2_RETURN_IF_ERROR(cloud_.Delete(ChildKey(parent, name), meter));
   H2_RETURN_IF_ERROR(SubmitPatch(
-      parent, RingTuple{std::string(name), cloud_.clock().Tick(),
+      parent, RingTuple{std::string(name), ClockFor(meter).Tick(),
                         EntryKind::kDirectory, /*deleted=*/true},
       meter));
   // The n files and sub-directories beneath are unreachable now; their
@@ -449,8 +454,8 @@ Status H2Middleware::Move(const NamespaceId& root, std::string_view from,
   const bool is_dir =
       kind_it != source.metadata.end() && kind_it->second == kMetaKindDir;
 
-  const VirtualNanos now = cloud_.clock().Tick();
-  const VirtualNanos insert_ts = cloud_.clock().Tick();
+  const VirtualNanos now = ClockFor(meter).Tick();
+  const VirtualNanos insert_ts = ClockFor(meter).Tick();
   const EntryKind kind = is_dir ? EntryKind::kDirectory : EntryKind::kFile;
 
   // Journal the multi-object sequence so a crash mid-move can be
@@ -545,7 +550,7 @@ std::size_t H2Middleware::RecoverIntents() {
             dir->name = to_name;
             (void)cloud_.Put(to_key,
                              MakeObject(dir->Serialize(), kMetaKindDir,
-                                        cloud_.clock().Tick()),
+                                        ClockFor(meter).Tick()),
                              meter);
           }
         } else {
@@ -695,7 +700,7 @@ Status H2Middleware::CopyTree(const NamespaceId& src_ns,
     // A source file deleted mid-copy (NotFound) is simply skipped.
     if (copied[i].status.code() == ErrorCode::kNotFound) continue;
     H2_RETURN_IF_ERROR(copied[i].status);
-    dst_ring.Apply(RingTuple{files[i]->name, cloud_.clock().Tick(),
+    dst_ring.Apply(RingTuple{files[i]->name, ClockFor(meter).Tick(),
                              EntryKind::kFile, false});
   }
 
@@ -719,9 +724,9 @@ Status H2Middleware::CopyTree(const NamespaceId& src_ns,
     sub.src_child = record->ns;
     {
       std::lock_guard lock(mu_);
-      sub.dst_child = minter_.Mint(cloud_.clock().NowUnixMillis());
+      sub.dst_child = minter_.Mint(ClockFor(meter).NowUnixMillis());
     }
-    sub.now = cloud_.clock().Tick();
+    sub.now = ClockFor(meter).Tick();
     DirRecord dst_record{sub.dst_child, dst_ns, child.name, sub.now};
     record_puts.push_back(BatchOp::Put(
         ChildKey(dst_ns, child.name),
@@ -741,7 +746,7 @@ Status H2Middleware::CopyTree(const NamespaceId& src_ns,
     H2_RETURN_IF_ERROR(CopyTree(sub.src_child, sub.dst_child, meter));
   }
 
-  const VirtualNanos now = cloud_.clock().Tick();
+  const VirtualNanos now = ClockFor(meter).Tick();
   return cloud_.Put(NameRingKey(dst_ns),
                     MakeObject(dst_ring.Serialize(), "ring", now), meter);
 }
@@ -769,7 +774,7 @@ Status H2Middleware::Copy(const NamespaceId& root, std::string_view from,
   const bool is_dir =
       kind_it != head.metadata.end() && kind_it->second == kMetaKindDir;
 
-  const VirtualNanos now = cloud_.clock().Tick();
+  const VirtualNanos now = ClockFor(meter).Tick();
   if (!is_dir) {
     H2_RETURN_IF_ERROR(cloud_.Copy(from_key, to_key, meter));
     return SubmitPatch(
@@ -787,7 +792,7 @@ Status H2Middleware::Copy(const NamespaceId& root, std::string_view from,
   NamespaceId dst_ns;
   {
     std::lock_guard lock(mu_);
-    dst_ns = minter_.Mint(cloud_.clock().NowUnixMillis());
+    dst_ns = minter_.Mint(ClockFor(meter).NowUnixMillis());
   }
   H2_RETURN_IF_ERROR(CopyTree(src_record.ns, dst_ns, meter));
   DirRecord dst_record{dst_ns, to_parent, std::string(to_name), now};
@@ -850,7 +855,7 @@ Status H2Middleware::SubmitPatchTuples(const NamespaceId& ns,
 
   NameRing patch;
   for (RingTuple& tuple : tuples) patch.Apply(std::move(tuple));
-  const VirtualNanos now = cloud_.clock().Tick();
+  const VirtualNanos now = ClockFor(meter).Tick();
   H2_RETURN_IF_ERROR(cloud_.Put(PatchKey(ns, node_, patch_no),
                                 MakeObject(patch.Serialize(), "patch", now),
                                 meter, PutOptions{.durable = true}));
@@ -926,7 +931,7 @@ std::size_t H2Middleware::MergeNamespaceLocked(
     ring.Merge(big);
     if (local_copy.has_value()) ring.Merge(*local_copy);
     ring.NoteMerged(node_, hi);
-    version = cloud_.clock().Tick();
+    version = ClockFor(meter).Tick();
     const Status put =
         cloud_.Put(NameRingKey(ns),
                    MakeObject(ring.Serialize(), "ring", version), meter);
@@ -956,7 +961,7 @@ std::size_t H2Middleware::MergeNamespaceLocked(
   ++counters_.merge_passes;
 
   lock.unlock();
-  const VirtualNanos now = cloud_.clock().Tick();
+  const VirtualNanos now = ClockFor(meter).Tick();
   (void)cloud_.Put(PatchChainKey(ns, node_),
                    MakeObject(chain_snapshot.Serialize(), "chain", now),
                    meter);
@@ -1137,7 +1142,7 @@ bool H2Middleware::HandleRumor(const Rumor& rumor) {
         // does, so a legitimately compacted deletion is not "repaired"
         // back into the ring forever.
         NameRing aged = *desc.local;
-        aged.PruneTombstones(cloud_.clock().Now() -
+        aged.PruneTombstones(ClockFor(local_meter).Now() -
                              config_.tombstone_gc_age);
         merged.Merge(aged);
       }
@@ -1147,7 +1152,7 @@ bool H2Middleware::HandleRumor(const Rumor& rumor) {
         // read-merge-write clobbered them.  Write the join back.
         need_repair = true;
         repaired = merged;
-        repair_version = cloud_.clock().Tick();
+        repair_version = ClockFor(local_meter).Tick();
         ++counters_.gossip_repairs;
       }
       desc.local = std::move(merged);
@@ -1188,9 +1193,9 @@ Status H2Middleware::MaybeCompact(const NamespaceId& ns, NameRing& ring,
   }
   NameRing pruned = ring;
   const std::size_t removed = pruned.PruneTombstones(
-      cloud_.clock().Now() - config_.tombstone_gc_age);
+      ClockFor(meter).Now() - config_.tombstone_gc_age);
   if (removed == 0) return Status::Ok();
-  const VirtualNanos now = cloud_.clock().Tick();
+  const VirtualNanos now = ClockFor(meter).Tick();
   H2_RETURN_IF_ERROR(cloud_.Put(NameRingKey(ns),
                                 MakeObject(pruned.Serialize(), "ring", now),
                                 meter));
@@ -1211,7 +1216,7 @@ OpCost H2Middleware::maintenance_cost() const {
 
 H2Counters H2Middleware::CountersLocked() const {
   H2Counters out = counters_;
-  const H2ResolveCache::Stats& cache = resolve_cache_.stats();
+  const H2ResolveCache::Stats cache = resolve_cache_.stats();
   out.resolve_cache_hits = cache.hits;
   out.resolve_cache_misses = cache.misses;
   out.resolve_cache_invalidations = cache.invalidations;

@@ -211,6 +211,13 @@ class H2Middleware {
   bool MaintenanceIdleLocked() const;
   H2Counters CountersLocked() const;
 
+  /// Virtual clock the metered operation runs against: the meter's bound
+  /// shard clock domain when set (sharded engine), else the cloud's
+  /// global clock.  Every foreground timestamp the middleware mints
+  /// (ring tuples, directory records, namespace UUIDs) must come from
+  /// here so a shard's timestamps depend only on its own op order.
+  SimClock& ClockFor(const OpMeter& meter) const;
+
   // -- shared-state helpers (call with mu_ held) --
   Descriptor& DescriptorFor(const NamespaceId& ns);
 

@@ -14,18 +14,29 @@ H2ResolveCache::H2ResolveCache(std::size_t child_capacity,
     : child_capacity_(child_capacity == 0 ? 1 : child_capacity),
       ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
 
-std::uint64_t H2ResolveCache::ChildRev(const NamespaceId& ns) const {
+std::uint64_t H2ResolveCache::ChildRevLocked(const NamespaceId& ns) const {
   auto it = child_revs_.find(ns);
   return it == child_revs_.end() ? rev_floor_ : it->second;
 }
 
-std::uint64_t H2ResolveCache::RingRev(const NamespaceId& ns) const {
+std::uint64_t H2ResolveCache::RingRevLocked(const NamespaceId& ns) const {
   auto it = ring_revs_.find(ns);
   return it == ring_revs_.end() ? rev_floor_ : it->second;
 }
 
+std::uint64_t H2ResolveCache::ChildRev(const NamespaceId& ns) const {
+  std::lock_guard lock(mu_);
+  return ChildRevLocked(ns);
+}
+
+std::uint64_t H2ResolveCache::RingRev(const NamespaceId& ns) const {
+  std::lock_guard lock(mu_);
+  return RingRevLocked(ns);
+}
+
 std::optional<DirRecord> H2ResolveCache::GetChild(const NamespaceId& parent,
                                                   const std::string& name) {
+  std::lock_guard lock(mu_);
   auto it = child_map_.find(ChildKey(parent, name));
   if (it == child_map_.end()) {
     ++stats_.misses;
@@ -39,7 +50,10 @@ std::optional<DirRecord> H2ResolveCache::GetChild(const NamespaceId& parent,
 void H2ResolveCache::PutChild(const NamespaceId& parent,
                               const std::string& name, const DirRecord& record,
                               std::uint64_t rev_snapshot) {
-  if (ChildRev(parent) != rev_snapshot) return;  // invalidated mid-fill
+  std::lock_guard lock(mu_);
+  // The revision re-check and the LRU admit are one critical section:
+  // an invalidation between them can no longer lose to this fill.
+  if (ChildRevLocked(parent) != rev_snapshot) return;  // invalidated mid-fill
   std::string key = ChildKey(parent, name);
   auto it = child_map_.find(key);
   if (it != child_map_.end()) {
@@ -57,6 +71,7 @@ void H2ResolveCache::PutChild(const NamespaceId& parent,
 
 void H2ResolveCache::EraseChild(const NamespaceId& parent,
                                 const std::string& name) {
+  std::lock_guard lock(mu_);
   BumpChildRev(parent);
   auto it = child_map_.find(ChildKey(parent, name));
   if (it == child_map_.end()) return;
@@ -66,6 +81,7 @@ void H2ResolveCache::EraseChild(const NamespaceId& parent,
 }
 
 std::optional<NameRing> H2ResolveCache::GetRing(const NamespaceId& ns) {
+  std::lock_guard lock(mu_);
   auto it = ring_map_.find(ns);
   if (it == ring_map_.end()) {
     ++stats_.misses;
@@ -78,7 +94,8 @@ std::optional<NameRing> H2ResolveCache::GetRing(const NamespaceId& ns) {
 
 void H2ResolveCache::PutRing(const NamespaceId& ns, const NameRing& ring,
                              std::uint64_t rev_snapshot) {
-  if (RingRev(ns) != rev_snapshot) return;  // invalidated mid-fill
+  std::lock_guard lock(mu_);
+  if (RingRevLocked(ns) != rev_snapshot) return;  // invalidated mid-fill
   auto it = ring_map_.find(ns);
   if (it != ring_map_.end()) {
     it->second->ring = ring;
@@ -94,6 +111,11 @@ void H2ResolveCache::PutRing(const NamespaceId& ns, const NameRing& ring,
 }
 
 void H2ResolveCache::InvalidateRing(const NamespaceId& ns) {
+  std::lock_guard lock(mu_);
+  InvalidateRingLocked(ns);
+}
+
+void H2ResolveCache::InvalidateRingLocked(const NamespaceId& ns) {
   BumpRingRev(ns);
   auto it = ring_map_.find(ns);
   if (it == ring_map_.end()) return;
@@ -103,7 +125,8 @@ void H2ResolveCache::InvalidateRing(const NamespaceId& ns) {
 }
 
 void H2ResolveCache::InvalidateNamespace(const NamespaceId& ns) {
-  InvalidateRing(ns);
+  std::lock_guard lock(mu_);
+  InvalidateRingLocked(ns);
   BumpChildRev(ns);
   // Child entries are keyed by (ns, name); walk the LRU and drop every
   // entry under ns. Capacity-bounded, and namespace-wide invalidations
@@ -122,6 +145,7 @@ void H2ResolveCache::InvalidateNamespace(const NamespaceId& ns) {
 }
 
 void H2ResolveCache::Clear() {
+  std::lock_guard lock(mu_);
   // Raising the floor past every previously-minted revision kills all
   // in-flight fills at once; per-namespace entries become redundant.
   rev_floor_ = NextRev();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -33,8 +34,16 @@ namespace h2 {
 // by a stale read (no ABA: revisions never repeat, even across eviction
 // of the revision entries themselves).
 //
-// Externally synchronized: the middleware calls every method under its
-// own mutex and never holds that mutex across cloud I/O.
+// Internally synchronized: every method takes the cache's own mutex, so
+// each lookup, admit, and invalidation is one atomic critical section.
+// The owning middleware's mutex is NOT a substitute -- gossip handlers
+// and background mergers invalidate from other threads, and an
+// externally-locked cache let a reader's revision check and its LRU
+// admit interleave with a concurrent invalidation (admitting an entry
+// the invalidation had already killed).  The revision-vector protocol
+// above still carries the cross-I/O half of the race: snapshot the rev
+// BEFORE the cloud read, and the matching Put atomically re-checks it
+// under mu_.  Methods never call out while holding mu_ (leaf lock).
 class H2ResolveCache {
  public:
   H2ResolveCache(std::size_t child_capacity, std::size_t ring_capacity);
@@ -74,10 +83,20 @@ class H2ResolveCache {
     std::uint64_t misses = 0;
     std::uint64_t invalidations = 0;
   };
-  const Stats& stats() const { return stats_; }
+  /// Coherent snapshot (by value: a reference would be read outside mu_).
+  Stats stats() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
 
-  std::size_t child_entries() const { return child_map_.size(); }
-  std::size_t ring_entries() const { return ring_map_.size(); }
+  std::size_t child_entries() const {
+    std::lock_guard lock(mu_);
+    return child_map_.size();
+  }
+  std::size_t ring_entries() const {
+    std::lock_guard lock(mu_);
+    return ring_map_.size();
+  }
 
  private:
   struct ChildEntry {
@@ -92,13 +111,19 @@ class H2ResolveCache {
   using ChildList = std::list<ChildEntry>;
   using RingList = std::list<RingEntry>;
 
+  // Internal helpers run under mu_ (held by the public entry points).
   std::uint64_t NextRev() { return ++rev_counter_; }
+  std::uint64_t ChildRevLocked(const NamespaceId& ns) const;
+  std::uint64_t RingRevLocked(const NamespaceId& ns) const;
+  void InvalidateRingLocked(const NamespaceId& ns);
   void BumpChildRev(const NamespaceId& ns);
   void BumpRingRev(const NamespaceId& ns);
   void TrimRevMaps();
 
   std::size_t child_capacity_;
   std::size_t ring_capacity_;
+
+  mutable std::mutex mu_;  // guards everything below; leaf lock
 
   ChildList child_lru_;  // front = most recent
   std::unordered_map<std::string, ChildList::iterator> child_map_;

@@ -8,12 +8,15 @@
 namespace h2 {
 
 PartitionRing::PartitionRing(int part_power, int replica_count)
-    : part_power_(part_power), replica_count_(replica_count) {
+    : part_power_(part_power), replica_count_(replica_count),
+      slot_count_(static_cast<std::size_t>(replica_count) *
+                  (std::size_t{1} << part_power)),
+      assignment_(new std::atomic<DeviceId>[slot_count_]) {
   assert(part_power >= 1 && part_power <= 30);
   assert(replica_count >= 1);
-  assignment_.assign(
-      static_cast<std::size_t>(replica_count) * partition_count(),
-      kUnassigned);
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    assignment_[i].store(kUnassigned, std::memory_order_relaxed);
+  }
 }
 
 const RingDevice* PartitionRing::FindDevice(DeviceId id) const {
@@ -116,12 +119,20 @@ Status PartitionRing::Rebalance() {
     }
   }
 
+  // The algorithm below runs on a private copy of the table and publishes
+  // it wholesale at the end: readers race Rebalance lock-free through the
+  // seqlock, so the in-progress mutation must never be visible.
+  std::vector<DeviceId> next(slot_count_);
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    next[i] = assignment_[i].load(std::memory_order_relaxed);
+  }
+
   // Pass 1: keep current assignments that are still valid -- the device is
   // active, has quota left, and does not collide with an earlier replica
   // row of the same partition.  This is what bounds data movement.
   std::map<DeviceId, std::uint32_t> used;
   auto slot = [&](int row, std::uint32_t part) -> DeviceId& {
-    return assignment_[static_cast<std::size_t>(row) * parts + part];
+    return next[static_cast<std::size_t>(row) * parts + part];
   };
   // Zone-aware placement, like Swift's "as unique as possible" rule:
   // replicas must land on distinct devices, and -- when there are enough
@@ -218,7 +229,15 @@ Status PartitionRing::Rebalance() {
   }
   assert(pool_next == pool.size());
 
-  balanced_ = true;
+  // Seqlock publish: bump to odd, store every slot, bump back to even.
+  // A reader that overlaps the stores sees an odd or changed sequence and
+  // retries, so no caller can ever act on a half-published ring.
+  assign_seq_.fetch_add(1, std::memory_order_acq_rel);
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    assignment_[i].store(next[i], std::memory_order_release);
+  }
+  assign_seq_.fetch_add(1, std::memory_order_release);
+  balanced_.store(true, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -235,21 +254,28 @@ std::size_t PartitionRing::active_zone_count() const {
 std::vector<DeviceId> PartitionRing::ReplicasOfPartition(
     std::uint32_t partition) const {
   std::vector<DeviceId> out;
-  if (!balanced_) return out;
+  if (!balanced_.load(std::memory_order_acquire)) return out;
   out.reserve(static_cast<std::size_t>(replica_count_));
   const std::uint32_t parts = partition_count();
-  for (int row = 0; row < replica_count_; ++row) {
-    out.push_back(
-        assignment_[static_cast<std::size_t>(row) * parts + partition]);
+  for (;;) {
+    const std::uint32_t before = assign_seq_.load(std::memory_order_acquire);
+    if (before & 1u) continue;  // publish in flight
+    out.clear();
+    for (int row = 0; row < replica_count_; ++row) {
+      out.push_back(assignment_[static_cast<std::size_t>(row) * parts +
+                                partition]
+                        .load(std::memory_order_acquire));
+    }
+    if (assign_seq_.load(std::memory_order_acquire) == before) return out;
   }
-  return out;
 }
 
 std::vector<std::uint32_t> PartitionRing::SlotCounts() const {
   DeviceId max_id = 0;
   for (const auto& d : devices_) max_id = std::max(max_id, d.id);
   std::vector<std::uint32_t> counts(max_id + 1, 0);
-  for (DeviceId dev : assignment_) {
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    const DeviceId dev = assignment_[i].load(std::memory_order_acquire);
     if (dev != kUnassigned) counts[dev] += 1;
   }
   return counts;

@@ -15,9 +15,20 @@
 //     quota, so adding/removing one device only moves the necessary share.
 // Replicas of a partition land on distinct devices whenever the device
 // count allows.
+//
+// Concurrency: ReplicasOfPartition/ReplicasOfHash are the hot read path
+// (every cloud primitive resolves its replica set here) and run lock-free
+// against a seqlock-published assignment table -- a Rebalance racing
+// readers can therefore never hand out a torn replica row (half old ring,
+// half new ring), which would misdirect reads and quorum writes.  The
+// administrative mutators (AddDevice/RemoveDevice/SetWeight/Rebalance)
+// must still be externally serialized against each other, as Swift ring
+// deployments are.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +52,18 @@ class PartitionRing {
   /// production; tests use smaller rings).  `replica_count`: copies per
   /// object (the paper's deployment keeps 3, §5.1).
   PartitionRing(int part_power, int replica_count);
+
+  /// Move is single-threaded construction/setup only (tests, builders):
+  /// the seqlock protects readers racing Rebalance, not a ring being
+  /// moved out from under them.
+  PartitionRing(PartitionRing&& other) noexcept
+      : part_power_(other.part_power_),
+        replica_count_(other.replica_count_),
+        slot_count_(other.slot_count_),
+        devices_(std::move(other.devices_)),
+        assignment_(std::move(other.assignment_)),
+        assign_seq_(other.assign_seq_.load(std::memory_order_relaxed)),
+        balanced_(other.balanced_.load(std::memory_order_relaxed)) {}
 
   /// Registers a device.  Call Rebalance() afterwards to take effect.
   Status AddDevice(RingDevice device);
@@ -85,11 +108,16 @@ class PartitionRing {
 
   int part_power_;
   int replica_count_;
+  std::size_t slot_count_;  // replica_count * partition_count, fixed
   std::vector<RingDevice> devices_;
   // assignment_[replica_row * partition_count + partition] = device id,
-  // or kUnassigned before the first rebalance.
-  std::vector<DeviceId> assignment_;
-  bool balanced_ = false;
+  // or kUnassigned before the first rebalance.  Entries are individually
+  // atomic and every Rebalance publishes the whole table under
+  // assign_seq_ (a seqlock: odd while a publish is in flight); readers
+  // retry until they observe one consistent even-to-even snapshot.
+  std::unique_ptr<std::atomic<DeviceId>[]> assignment_;
+  std::atomic<std::uint32_t> assign_seq_{0};
+  std::atomic<bool> balanced_{false};
 
   static constexpr DeviceId kUnassigned = ~DeviceId{0};
 };

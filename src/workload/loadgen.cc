@@ -1,0 +1,84 @@
+#include "workload/loadgen.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace h2 {
+namespace {
+
+std::string DirPath(std::size_t dir) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/d%03zu", dir);
+  return buf;
+}
+
+std::string FilePath(std::size_t dir, std::size_t file) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "/d%03zu/f%04zu", dir, file);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<ShardLoad> BuildZipfLoad(const LoadgenSpec& spec) {
+  assert(spec.dirs_per_shard > 0);
+  assert(spec.files_per_dir > 0);
+  // The samplers' CDFs depend only on (n, s): shared across shards,
+  // sampled with each shard's private stream.
+  const ZipfSampler dir_zipf(spec.dirs_per_shard, spec.zipf_s);
+  const ZipfSampler file_zipf(spec.files_per_dir, spec.zipf_s);
+  const double total_weight = spec.stat_weight + spec.read_weight +
+                              spec.list_weight + spec.write_weight;
+
+  std::vector<ShardLoad> loads;
+  loads.reserve(spec.shards);
+  for (std::size_t s = 0; s < spec.shards; ++s) {
+    ShardLoad load;
+    load.account = "u" + std::to_string(s);
+
+    // Setup: the tree every measured op targets.  Mkdirs first, then
+    // files, so replay order alone keeps every op valid.
+    for (std::size_t d = 0; d < spec.dirs_per_shard; ++d) {
+      load.setup.push_back(TraceOp{TraceOpKind::kMkdir, DirPath(d), "", 0});
+    }
+    for (std::size_t d = 0; d < spec.dirs_per_shard; ++d) {
+      for (std::size_t f = 0; f < spec.files_per_dir; ++f) {
+        load.setup.push_back(
+            TraceOp{TraceOpKind::kWrite, FilePath(d, f), "", spec.file_size});
+      }
+    }
+
+    // Measured stream: Zipf-hot directories and files, structure-stable
+    // (writes overwrite setup files; no creates/removes), so the stream
+    // never depends on replay outcomes.
+    Rng rng(SplitMix64(spec.seed + 0x10ad'0000 + s).Next());
+    load.ops.reserve(spec.ops_per_shard);
+    for (std::size_t i = 0; i < spec.ops_per_shard; ++i) {
+      const double pick = rng.NextDouble() * total_weight;
+      const std::size_t dir = dir_zipf.Sample(rng);
+      TraceOp op;
+      if (pick < spec.stat_weight) {
+        op.kind = TraceOpKind::kStat;
+        op.path = FilePath(dir, file_zipf.Sample(rng));
+      } else if (pick < spec.stat_weight + spec.read_weight) {
+        op.kind = TraceOpKind::kRead;
+        op.path = FilePath(dir, file_zipf.Sample(rng));
+      } else if (pick < spec.stat_weight + spec.read_weight +
+                            spec.list_weight) {
+        op.kind = TraceOpKind::kList;
+        op.path = DirPath(dir);
+      } else {
+        op.kind = TraceOpKind::kWrite;
+        op.path = FilePath(dir, file_zipf.Sample(rng));
+        op.size = spec.file_size;
+      }
+      load.ops.push_back(std::move(op));
+    }
+    loads.push_back(std::move(load));
+  }
+  return loads;
+}
+
+}  // namespace h2

@@ -1,0 +1,61 @@
+// Closed-loop Zipf load generator for the sharded engine.
+//
+// Builds per-shard workloads: each shard (one account, one client) gets a
+// private directory tree and an op stream whose targets follow a Zipf
+// popularity law -- a few hot directories and files absorb most
+// operations, the skew the paper's personal-cloud traces show (§5.1).
+// "Closed loop" in the queueing sense: the engine replays each shard's
+// stream with exactly one op in flight per shard, issuing the next op
+// the moment the previous completes, so offered load scales with the
+// thread count rather than with a target arrival rate.
+//
+// Generation is pure: every shard's setup and op stream is a function of
+// (spec, shard index) alone, drawn from a per-shard SplitMix64-seeded
+// stream.  The same spec therefore produces byte-identical plans whether
+// the engine later replays them on 1 thread or 16 -- the precondition
+// for the serial differential oracle.  (This layer only builds traces;
+// engine/sharded_engine.h replays them.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace h2 {
+
+struct LoadgenSpec {
+  /// Shards (= accounts = closed-loop clients).  Must not exceed the
+  /// cloud's middleware count when handed to RunSharded.
+  std::size_t shards = 8;
+  std::size_t dirs_per_shard = 4;
+  std::size_t files_per_dir = 32;
+  /// Measured operations per shard (setup ops are separate).
+  std::size_t ops_per_shard = 400;
+  /// Zipf skew over directories and files (1.1 ~ web-like popularity).
+  double zipf_s = 1.1;
+  /// Relative op-mix weights; the default is the LIST/GET-heavy read mix
+  /// the throughput sweep measures (structure-stable: writes overwrite
+  /// existing files, so every generated op succeeds at replay time).
+  double stat_weight = 35;
+  double read_weight = 25;
+  double list_weight = 25;
+  double write_weight = 15;
+  std::uint64_t file_size = 4 * 1024;
+  std::uint64_t seed = 1469;
+};
+
+/// One shard's workload: `setup` populates the tree (mkdirs, then file
+/// writes), `ops` is the measured Zipf stream.  Feed both phases to
+/// RunSharded as {account, trace} shard plans -- setup first,
+/// maintenance to quiescence, then ops.
+struct ShardLoad {
+  std::string account;        // "u<shard index>"
+  std::vector<TraceOp> setup;
+  std::vector<TraceOp> ops;
+};
+
+std::vector<ShardLoad> BuildZipfLoad(const LoadgenSpec& spec);
+
+}  // namespace h2

@@ -204,45 +204,39 @@ std::vector<TraceOp> GenerateTrace(const GeneratedTree& tree,
   return trace;
 }
 
+Status ApplyTraceOp(FileSystem& fs, const TraceOp& op) {
+  switch (op.kind) {
+    case TraceOpKind::kStat:
+      return fs.Stat(op.path).status();
+    case TraceOpKind::kRead:
+      return fs.ReadFile(op.path).status();
+    case TraceOpKind::kWrite: {
+      std::string sample = "trace:" + op.path;
+      return fs.WriteFile(op.path,
+                          FileBlob::Synthetic(std::move(sample), op.size));
+    }
+    case TraceOpKind::kMkdir:
+      return fs.Mkdir(op.path);
+    case TraceOpKind::kRmdir:
+      return fs.Rmdir(op.path);
+    case TraceOpKind::kMove:
+      return fs.Move(op.path, op.path2);
+    case TraceOpKind::kRename:
+      return fs.Rename(op.path, op.path2);
+    case TraceOpKind::kList:
+      return fs.List(op.path, ListDetail::kDetailed).status();
+    case TraceOpKind::kCopy:
+      return fs.Copy(op.path, op.path2);
+    case TraceOpKind::kRemove:
+      return fs.RemoveFile(op.path);
+  }
+  return Status::InvalidArgument("unknown trace op kind");
+}
+
 ReplayStats ReplayTrace(FileSystem& fs, std::span<const TraceOp> trace) {
   ReplayStats stats;
   for (const TraceOp& op : trace) {
-    Status status = Status::Ok();
-    switch (op.kind) {
-      case TraceOpKind::kStat:
-        status = fs.Stat(op.path).status();
-        break;
-      case TraceOpKind::kRead:
-        status = fs.ReadFile(op.path).status();
-        break;
-      case TraceOpKind::kWrite: {
-        std::string sample = "trace:" + op.path;
-        status = fs.WriteFile(
-            op.path, FileBlob::Synthetic(std::move(sample), op.size));
-        break;
-      }
-      case TraceOpKind::kMkdir:
-        status = fs.Mkdir(op.path);
-        break;
-      case TraceOpKind::kRmdir:
-        status = fs.Rmdir(op.path);
-        break;
-      case TraceOpKind::kMove:
-        status = fs.Move(op.path, op.path2);
-        break;
-      case TraceOpKind::kRename:
-        status = fs.Rename(op.path, op.path2);
-        break;
-      case TraceOpKind::kList:
-        status = fs.List(op.path, ListDetail::kDetailed).status();
-        break;
-      case TraceOpKind::kCopy:
-        status = fs.Copy(op.path, op.path2);
-        break;
-      case TraceOpKind::kRemove:
-        status = fs.RemoveFile(op.path);
-        break;
-    }
+    const Status status = ApplyTraceOp(fs, op);
     ++stats.ops;
     if (!status.ok()) ++stats.failures;
     const OpCost& cost = fs.last_op();

@@ -70,6 +70,13 @@ struct ReplayStats {
   std::vector<std::size_t> per_kind_count = std::vector<std::size_t>(10, 0);
 };
 
+/// Applies one trace operation to `fs` and returns its status.  The
+/// serial replay loop and the sharded engine both dispatch through this
+/// single function, which is what makes the two executions comparable
+/// op-for-op: a threaded run issues exactly the calls a serial replay of
+/// the same trace would.
+Status ApplyTraceOp(FileSystem& fs, const TraceOp& op);
+
 /// Replays a trace; failures (e.g. AlreadyExists races) are counted, not
 /// fatal.  Returns per-kind cost statistics.
 ReplayStats ReplayTrace(FileSystem& fs, std::span<const TraceOp> trace);

@@ -259,5 +259,40 @@ TEST(ExecuteBatchTest, WidthChangesCostNeverOutcome) {
   }
 }
 
+// Pins the wave-width defaulting chain (H2Config::list_batch_width relies
+// on it when left at 0):
+//   BatchOptions::concurrency -> CloudConfig::io_concurrency
+//                             -> LatencyProfile::batch_width -> >= 1.
+// A detailed LIST passes BatchOptions{config_.list_batch_width}; each 0
+// in the chain defers one level down, and the profile default is the
+// floor, never silently 0 (which would deadlock the wave scheduler).
+TEST(ExecuteBatchTest, EffectiveConcurrencyDefaultingChain) {
+  // io_concurrency unset: 0-width requests fall through to the profile.
+  {
+    ObjectCloud cloud(SmallCloud(0));
+    const std::uint64_t profile_width =
+        cloud.latency().profile().batch_width;
+    ASSERT_GT(profile_width, 0u);
+    EXPECT_EQ(cloud.EffectiveConcurrency(), profile_width);
+    EXPECT_EQ(cloud.EffectiveConcurrency(0), profile_width);
+    // An explicit per-batch override always wins.
+    EXPECT_EQ(cloud.EffectiveConcurrency(5), 5u);
+  }
+  // io_concurrency set: it is the default, overrides still win.
+  {
+    ObjectCloud cloud(SmallCloud(12));
+    EXPECT_EQ(cloud.EffectiveConcurrency(), 12u);
+    EXPECT_EQ(cloud.EffectiveConcurrency(0), 12u);
+    EXPECT_EQ(cloud.EffectiveConcurrency(3), 3u);
+  }
+  // The floor: even a zeroed profile resolves to a width of at least 1.
+  {
+    CloudConfig cfg = SmallCloud(0);
+    cfg.latency.batch_width = 0;
+    ObjectCloud cloud(cfg);
+    EXPECT_EQ(cloud.EffectiveConcurrency(), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace h2

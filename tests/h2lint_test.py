@@ -83,6 +83,21 @@ class SourceTreeTest(unittest.TestCase):
         code, out, _ = run_h2lint(os.path.join(REPO_ROOT, "src"))
         self.assertEqual(code, 0, f"src/ must lint clean\noutput: {out}")
 
+    def test_wall_timer_is_the_sanctioned_wall_clock(self):
+        # The sharded engine's wall timer reads steady_clock by design
+        # (real throughput measurement) and is allowlisted by path ...
+        timer = os.path.join(REPO_ROOT, "src", "engine", "wall_timer.h")
+        code, out, _ = run_h2lint(timer)
+        self.assertEqual(code, 0, f"wall_timer.h is allowlisted\n{out}")
+        # ... but the allowlist is the file, not the pattern: the same
+        # tokens anywhere else keep failing (bad_wall_clock.cc covers the
+        # fixture side; this guards against an over-broad allowlist).
+        engine_cc = os.path.join(REPO_ROOT, "src", "engine",
+                                 "sharded_engine.cc")
+        code, out, _ = run_h2lint(engine_cc)
+        self.assertEqual(
+            code, 0, f"sharded_engine.cc must not read clocks itself\n{out}")
+
     def test_missing_path_is_usage_error(self):
         code, _, _ = run_h2lint(os.path.join(TESTDATA, "no_such_file.cc"))
         self.assertEqual(code, 2)

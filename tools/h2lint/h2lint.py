@@ -49,10 +49,14 @@ RULES = ("wall-clock", "nondet-random", "unordered-iter", "discarded-status")
 CXX_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
 
 # Files allowed to touch time/randomness primitives: the virtual clock and
-# the seeded RNG are where the contract is *implemented*.
+# the seeded RNG are where the contract is *implemented*, and the sharded
+# engine's wall timer (src/engine/wall_timer.h) is the single sanctioned
+# real-clock read -- it measures throughput *around* operations and must
+# never leak wall time into simulated state.  Everything else in src/
+# keeps the contract.
 ALLOWLIST = {
     "wall-clock": ("src/common/clock.h", "src/common/rng.h",
-                   "src/common/rng.cc"),
+                   "src/common/rng.cc", "src/engine/wall_timer.h"),
     "nondet-random": ("src/common/clock.h", "src/common/rng.h",
                       "src/common/rng.cc"),
 }
