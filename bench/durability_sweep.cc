@@ -1,0 +1,214 @@
+// Durability sweep: apply throughput and crash-recovery time per storage
+// backend and group-commit window (ISSUE 7).
+//
+// For each row -- the volatile in-memory backend, then the segment log at
+// group-commit windows 0 (synchronous), 8 and 32 -- a fresh 8-node cloud
+// absorbs the same deterministic put/overwrite/delete stream and is
+// scrubbed to convergence.  We then power-cycle node 0 mid-batch
+// (StorageNode::Crash + Restart) and converge again with hint replay and
+// anti-entropy sweeps.  Reported per row:
+//
+//   * apply ops/sec            -- real wall-clock rate of the apply loop
+//   * recovery wall seconds    -- Restart (log replay) + scrub back to
+//                                 zero divergence; for the memory backend
+//                                 this is a full re-replication from
+//                                 peers, the contrast the sweep exists to
+//                                 show
+//   * records lost / replayed  -- the group-commit exposure window
+//   * state_match              -- post-recovery DebugDump byte-equal to
+//                                 the pre-crash dump (the oracle)
+//
+// Virtual-time paper numbers are untouched by construction: fsync costs
+// land on each backend's private durability meter, pinned by the
+// differential suite (tests/durability_test.cc).  Wall-clock rates are
+// machine-dependent; the portable part is the oracle verdicts and the
+// lost/replayed record accounting.
+//
+// Output: human table on stdout plus BENCH_durability.json (path
+// overridable via argv[1]); scripts/check_bench_json.sh validates the
+// schema.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/object_cloud.h"
+#include "engine/wall_timer.h"
+
+namespace h2::bench {
+namespace {
+
+struct SweepSpec {
+  std::size_t objects = 2'000;     // distinct keys written
+  std::size_t overwrites = 1'000;  // rewrites over the key space
+  std::size_t deletes = 200;       // deletes over the key space
+  std::uint64_t payload_bytes = 64;
+};
+
+struct Row {
+  std::string backend;
+  std::uint32_t window = 0;
+  std::size_t ops = 0;
+  double apply_wall_seconds = 0;
+  double apply_ops_per_sec = 0;
+  double recovery_wall_seconds = 0;
+  BackendStats stats;             // node 0, post-recovery
+  std::uint64_t scrub_pushes = 0; // copies+tombstones re-replicated
+  std::uint64_t divergent_after_recovery = 0;
+  bool state_match = false;
+};
+
+CloudConfig RowCloudConfig(BackendKind kind, std::uint32_t window) {
+  CloudConfig cfg;
+  cfg.node_count = 8;
+  cfg.replica_count = 3;
+  cfg.part_power = 8;
+  cfg.backend.kind = kind;
+  cfg.backend.group_commit_window = window;
+  return cfg;
+}
+
+std::string Key(std::size_t i) { return "obj-" + std::to_string(i % 2'000); }
+
+Row RunRow(const std::string& name, BackendKind kind, std::uint32_t window,
+           const SweepSpec& spec) {
+  Row row;
+  row.backend = name;
+  row.window = window;
+  ObjectCloud cloud(RowCloudConfig(kind, window));
+  OpMeter meter;
+
+  // --- apply phase (measured in real wall time) ---------------------------
+  WallTimer apply_timer;
+  const std::string payload(spec.payload_bytes, 'd');
+  for (std::size_t i = 0; i < spec.objects; ++i) {
+    BENCH_CHECK(cloud.Put(Key(i), ObjectValue::FromString(payload, 0), meter));
+  }
+  for (std::size_t i = 0; i < spec.overwrites; ++i) {
+    BENCH_CHECK(cloud.Put(Key(i * 7 + 1),
+                          ObjectValue::FromString(payload + "w", 0), meter));
+  }
+  for (std::size_t i = 0; i < spec.deletes; ++i) {
+    BENCH_CHECK(cloud.Delete(Key(i * 13 + 3), meter));
+  }
+  row.ops = spec.objects + spec.overwrites + spec.deletes;
+  row.apply_wall_seconds = apply_timer.ElapsedSeconds();
+  row.apply_ops_per_sec =
+      row.apply_wall_seconds > 0
+          ? static_cast<double>(row.ops) / row.apply_wall_seconds
+          : 0;
+
+  // Converge fully, then freeze the oracle state.
+  (void)cloud.ReplicaScrub();
+  const std::string before = cloud.DebugDump();
+
+  // --- crash + recovery (measured in real wall time) ----------------------
+  const std::uint64_t scrub_before =
+      cloud.repair_stats().scrub_repairs_pushed;
+  cloud.node(0).Crash();
+  WallTimer recovery_timer;
+  BENCH_CHECK(cloud.node(0).Restart());
+  // Scrub until the divergence oracle is empty (the memory backend comes
+  // back empty and needs full re-replication from peers; the segment log
+  // only needs its lost group-commit tail).
+  for (int sweep = 0; sweep < 16; ++sweep) {
+    if (cloud.ReplicaScrub().divergent_keys == 0) break;
+  }
+  row.recovery_wall_seconds = recovery_timer.ElapsedSeconds();
+  row.divergent_after_recovery = cloud.DivergentKeyCount();
+  row.scrub_pushes =
+      cloud.repair_stats().scrub_repairs_pushed - scrub_before;
+  row.state_match = cloud.DebugDump() == before;
+  row.stats = cloud.node(0).backend_stats();
+  return row;
+}
+
+void EmitJson(const char* path, const SweepSpec& spec,
+              const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"durability_sweep\",\n");
+  std::fprintf(f, "  \"unit\": \"ops_per_sec\",\n");
+  std::fprintf(f,
+               "  \"workload\": {\"objects\": %zu, \"overwrites\": %zu, "
+               "\"deletes\": %zu, \"payload_bytes\": %llu},\n",
+               spec.objects, spec.overwrites, spec.deletes,
+               static_cast<unsigned long long>(spec.payload_bytes));
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"backend\": \"%s\", \"group_commit_window\": %u, "
+        "\"ops\": %zu, \"apply_wall_seconds\": %.6f, "
+        "\"apply_ops_per_sec\": %.1f, \"fsyncs\": %llu, "
+        "\"records_logged\": %llu, \"records_lost\": %llu, "
+        "\"records_replayed\": %llu, \"recovery_wall_seconds\": %.6f, "
+        "\"scrub_pushes\": %llu, \"divergent_after_recovery\": %llu, "
+        "\"state_match\": %s}%s\n",
+        r.backend.c_str(), r.window, r.ops, r.apply_wall_seconds,
+        r.apply_ops_per_sec, static_cast<unsigned long long>(r.stats.fsyncs),
+        static_cast<unsigned long long>(r.stats.records_logged),
+        static_cast<unsigned long long>(r.stats.records_lost),
+        static_cast<unsigned long long>(r.stats.records_replayed),
+        r.recovery_wall_seconds,
+        static_cast<unsigned long long>(r.scrub_pushes),
+        static_cast<unsigned long long>(r.divergent_after_recovery),
+        r.state_match ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_durability.json";
+  SweepSpec spec;
+  if (argc > 2) spec.objects = std::strtoull(argv[2], nullptr, 10);
+
+  std::printf("# durability_sweep: %zu objects + %zu overwrites + %zu "
+              "deletes, crash node 0 mid-batch, recover, scrub\n",
+              spec.objects, spec.overwrites, spec.deletes);
+  std::printf("%-12s %7s %12s %9s %9s %10s %10s %7s\n", "backend", "window",
+              "apply op/s", "fsyncs", "lost", "replayed", "recov s",
+              "oracle");
+
+  std::vector<Row> rows;
+  rows.push_back(RunRow("memory", BackendKind::kMemory, 0, spec));
+  for (const std::uint32_t window : {0u, 8u, 32u}) {
+    rows.push_back(
+        RunRow("segment-log", BackendKind::kSegmentLog, window, spec));
+  }
+
+  bool ok = true;
+  for (const Row& r : rows) {
+    std::printf("%-12s %7u %12.1f %9llu %9llu %10llu %10.4f %7s\n",
+                r.backend.c_str(), r.window, r.apply_ops_per_sec,
+                static_cast<unsigned long long>(r.stats.fsyncs),
+                static_cast<unsigned long long>(r.stats.records_lost),
+                static_cast<unsigned long long>(r.stats.records_replayed),
+                r.recovery_wall_seconds,
+                r.state_match && r.divergent_after_recovery == 0 ? "match"
+                                                                 : "FAIL");
+    ok = ok && r.state_match && r.divergent_after_recovery == 0;
+  }
+  EmitJson(out_path, spec, rows);
+  std::printf("# wrote %s\n", out_path);
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FATAL: a row failed to recover to the pre-crash state\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main(int argc, char** argv) { return h2::bench::Main(argc, argv); }

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# Validates a BENCH_*.json artifact emitted by bench/throughput_sweep
-# (and future wall-clock benches that adopt the same envelope).  The JSON
-# is the machine-readable source of truth EXPERIMENTS.md cites, so CI
-# regenerates it and gates on this schema: required keys present, rows
-# well-formed, every row's oracle_match true, and the max-threads speedup
-# over serial at least the floor (default 3.0, override via $2 -- pass 0
-# to skip on hosts where scaling is not meaningful).
+# Validates a BENCH_*.json artifact emitted by the wall-clock benches
+# (bench/throughput_sweep, bench/durability_sweep).  The JSON is the
+# machine-readable source of truth EXPERIMENTS.md cites, so CI
+# regenerates it and gates on the schema, dispatching on the top-level
+# "bench" name:
+#
+#   throughput_sweep -- rows well-formed, every row's oracle_match true,
+#                       and the max-threads speedup over serial at least
+#                       the floor (default 3.0, override via $2 -- pass 0
+#                       to skip on hosts where scaling is not meaningful).
+#   durability_sweep -- one in-memory row plus segment-log rows covering
+#                       group-commit windows 0, 8 and 32; every row must
+#                       have recovered to the pre-crash state
+#                       (state_match true, divergent_after_recovery 0).
 #
 # Usage: scripts/check_bench_json.sh <bench.json> [min_speedup]
 set -euo pipefail
@@ -37,59 +44,117 @@ def require(cond, message):
     if not cond:
         errors.append(message)
 
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
 require(isinstance(doc.get("bench"), str) and doc.get("bench"),
         "top-level 'bench' must be a non-empty string")
 require(doc.get("unit") == "ops_per_sec",
         "top-level 'unit' must be 'ops_per_sec'")
 workload = doc.get("workload")
 require(isinstance(workload, dict), "'workload' must be an object")
-if isinstance(workload, dict):
-    for key in ("shards", "ops_per_shard", "seed"):
-        require(isinstance(workload.get(key), int) and workload[key] > 0,
-                f"workload.{key} must be a positive integer")
-
 rows = doc.get("rows")
 require(isinstance(rows, list) and rows, "'rows' must be a non-empty array")
-seen_threads = []
-if isinstance(rows, list):
-    for i, row in enumerate(rows):
+
+def check_throughput():
+    if isinstance(workload, dict):
+        for key in ("shards", "ops_per_shard", "seed"):
+            require(is_count(workload.get(key)) and workload[key] > 0,
+                    f"workload.{key} must be a positive integer")
+    seen_threads = []
+    for i, row in enumerate(rows or []):
         where = f"rows[{i}]"
         if not isinstance(row, dict):
             errors.append(f"{where} must be an object")
             continue
-        for key, kind in (("threads", int), ("ops", int), ("failures", int)):
-            require(isinstance(row.get(key), kind) and not isinstance(
-                row.get(key), bool), f"{where}.{key} must be an integer")
+        for key in ("threads", "ops", "failures"):
+            require(is_count(row.get(key)), f"{where}.{key} must be an integer")
         for key in ("wall_seconds", "ops_per_sec", "p50_ms", "p99_ms"):
             value = row.get(key)
-            require(isinstance(value, (int, float)) and value >= 0,
+            require(is_number(value) and value >= 0,
                     f"{where}.{key} must be a non-negative number")
         require(row.get("oracle_match") is True,
                 f"{where}.oracle_match must be true "
                 "(threaded state diverged from the serial oracle)")
-        if isinstance(row.get("p50_ms"), (int, float)) and isinstance(
-                row.get("p99_ms"), (int, float)):
+        if is_number(row.get("p50_ms")) and is_number(row.get("p99_ms")):
             require(row["p99_ms"] >= row["p50_ms"],
                     f"{where}: p99_ms must be >= p50_ms")
-        if isinstance(row.get("threads"), int):
+        if is_count(row.get("threads")):
             seen_threads.append(row["threads"])
+    require(seen_threads == sorted(seen_threads) and len(set(seen_threads)) ==
+            len(seen_threads),
+            "rows must be sorted by strictly increasing threads")
+    require(1 in seen_threads,
+            "rows must include the serial (threads=1) oracle run")
+    speedup = doc.get("speedup_max_threads_over_serial")
+    require(is_number(speedup),
+            "'speedup_max_threads_over_serial' must be a number")
+    if is_number(speedup) and min_speedup > 0:
+        require(speedup >= min_speedup,
+                f"speedup {speedup} below the floor {min_speedup}")
+    return f"speedup={speedup}"
 
-require(seen_threads == sorted(seen_threads) and len(set(seen_threads)) ==
-        len(seen_threads), "rows must be sorted by strictly increasing threads")
-require(1 in seen_threads, "rows must include the serial (threads=1) oracle run")
+def check_durability():
+    if isinstance(workload, dict):
+        for key in ("objects", "overwrites", "deletes"):
+            require(is_count(workload.get(key)) and workload[key] > 0,
+                    f"workload.{key} must be a positive integer")
+    backends = set()
+    seg_windows = set()
+    for i, row in enumerate(rows or []):
+        where = f"rows[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        require(row.get("backend") in ("memory", "segment-log"),
+                f"{where}.backend must be 'memory' or 'segment-log'")
+        for key in ("group_commit_window", "ops", "fsyncs", "records_logged",
+                    "records_lost", "records_replayed", "scrub_pushes",
+                    "divergent_after_recovery"):
+            require(is_count(row.get(key)),
+                    f"{where}.{key} must be a non-negative integer")
+        for key in ("apply_wall_seconds", "apply_ops_per_sec",
+                    "recovery_wall_seconds"):
+            value = row.get(key)
+            require(is_number(value) and value >= 0,
+                    f"{where}.{key} must be a non-negative number")
+        require(row.get("state_match") is True,
+                f"{where}.state_match must be true "
+                "(recovery did not restore the pre-crash state)")
+        require(row.get("divergent_after_recovery") == 0,
+                f"{where}.divergent_after_recovery must be 0")
+        backends.add(row.get("backend"))
+        if row.get("backend") == "segment-log":
+            seg_windows.add(row.get("group_commit_window"))
+            require(is_count(row.get("fsyncs")) and row["fsyncs"] > 0,
+                    f"{where}: segment-log rows must report fsyncs > 0")
+        if row.get("group_commit_window") == 0 and \
+                row.get("backend") == "segment-log":
+            require(row.get("records_lost") == 0,
+                    f"{where}: synchronous (window=0) segment log "
+                    "must lose no records")
+    require("memory" in backends, "rows must include the in-memory backend")
+    require({0, 8, 32} <= seg_windows,
+            "segment-log rows must cover group-commit windows 0, 8 and 32 "
+            f"(saw {sorted(w for w in seg_windows if w is not None)})")
+    return f"windows={sorted(seg_windows)}"
 
-speedup = doc.get("speedup_max_threads_over_serial")
-require(isinstance(speedup, (int, float)),
-        "'speedup_max_threads_over_serial' must be a number")
-if isinstance(speedup, (int, float)) and min_speedup > 0:
-    require(speedup >= min_speedup,
-            f"speedup {speedup} below the floor {min_speedup}")
+bench = doc.get("bench")
+if bench == "durability_sweep":
+    detail = check_durability()
+elif bench:
+    # throughput_sweep and future benches adopting its envelope.
+    detail = check_throughput()
+else:
+    detail = "unvalidated"
 
 if errors:
     print(f"check_bench_json: {path} FAILED:")
     for error in errors:
         print(f"  - {error}")
     sys.exit(1)
-print(f"check_bench_json: {path} OK "
-      f"(rows={len(rows)}, speedup={speedup})")
+print(f"check_bench_json: {path} OK (rows={len(rows)}, {detail})")
 EOF

@@ -19,7 +19,7 @@ cmake --build "${build_dir}" -j "$(nproc)" --target \
   fig12_mkdir fig13_access fig14_objects fig15_sizes headline_numbers \
   rtt_impact tab1_complexity ablation_h2 ablation_gossip ablation_ring \
   ablation_geo scalability ablation_calibration degraded_mode \
-  parallelism_sweep
+  parallelism_sweep durability_sweep
 
 mkdir -p bench/out
 for bin in \
@@ -31,5 +31,13 @@ for bin in \
   echo "== ${bin}"
   "${build_dir}/bench/${bin}" > "bench/out/${bin}.txt"
 done
+
+# durability_sweep additionally emits the committed BENCH_durability.json
+# artifact (ops/s is host-dependent; the oracle verdicts and record
+# accounting are the portable part) and is schema-gated here.
+echo "== durability_sweep"
+"${build_dir}/bench/durability_sweep" BENCH_durability.json \
+  > bench/out/durability_sweep.txt
+scripts/check_bench_json.sh BENCH_durability.json
 
 echo "Done: outputs in bench/out/ (gitignored; paste into EXPERIMENTS.md)."

@@ -1,0 +1,66 @@
+#include "cluster/backend/memory_backend.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace h2 {
+
+void MemoryBackend::ApplyPut(const std::string& key, ObjectValue value) {
+  tombstones_.erase(key);
+  objects_[key] = std::move(value);
+  ++stats_.puts_applied;
+}
+
+void MemoryBackend::ApplyDelete(const std::string& key,
+                                VirtualNanos tombstone) {
+  if (tombstone != 0) {
+    auto [it, inserted] = tombstones_.try_emplace(key, tombstone);
+    if (!inserted && tombstone > it->second) it->second = tombstone;
+  }
+  objects_.erase(key);
+  ++stats_.deletes_applied;
+}
+
+const ObjectValue* MemoryBackend::Find(const std::string& key) const {
+  auto it = objects_.find(key);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+bool MemoryBackend::Contains(const std::string& key) const {
+  return objects_.contains(key);
+}
+
+VirtualNanos MemoryBackend::TombstoneTime(const std::string& key) const {
+  auto it = tombstones_.find(key);
+  return it == tombstones_.end() ? 0 : it->second;
+}
+
+std::uint64_t MemoryBackend::object_count() const { return objects_.size(); }
+
+std::uint64_t MemoryBackend::logical_bytes() const {
+  std::uint64_t total = 0;
+  // h2lint: ordered -- commutative sum
+  for (const auto& [key, value] : objects_) total += value.logical_size;
+  return total;
+}
+
+void MemoryBackend::ForEachSorted(
+    const std::function<void(const std::string&, const ObjectValue&)>& fn)
+    const {
+  std::vector<const std::string*> keys;
+  keys.reserve(objects_.size());
+  // h2lint: ordered -- key collection, sorted below
+  for (const auto& [key, value] : objects_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* key : keys) fn(*key, objects_.at(*key));
+}
+
+void MemoryBackend::Crash() {
+  stats_.records_lost += objects_.size() + tombstones_.size();
+  objects_.clear();
+  tombstones_.clear();
+  ++stats_.crashes;
+}
+
+}  // namespace h2

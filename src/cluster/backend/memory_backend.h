@@ -1,0 +1,42 @@
+// The original volatile in-memory backend: two hash maps, no durability.
+// Crash() loses everything; Recover() restores nothing -- after a crash
+// the node's state comes back only via replica repair (hinted handoff,
+// read-repair, anti-entropy scrub) from its peers.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "cluster/backend/storage_backend.h"
+
+namespace h2 {
+
+class MemoryBackend final : public StorageBackend {
+ public:
+  const char* name() const override { return "memory"; }
+
+  void ApplyPut(const std::string& key, ObjectValue value) override;
+  void ApplyDelete(const std::string& key, VirtualNanos tombstone) override;
+
+  const ObjectValue* Find(const std::string& key) const override;
+  bool Contains(const std::string& key) const override;
+  VirtualNanos TombstoneTime(const std::string& key) const override;
+  std::uint64_t object_count() const override;
+  std::uint64_t logical_bytes() const override;
+  void ForEachSorted(
+      const std::function<void(const std::string&, const ObjectValue&)>& fn)
+      const override;
+
+  void Flush() override {}  // nothing is ever durable
+  void Crash() override;
+  Status Recover() override { ++stats_.recoveries; return Status::Ok(); }
+
+  BackendStats stats() const override { return stats_; }
+
+ private:
+  std::unordered_map<std::string, ObjectValue> objects_;
+  std::unordered_map<std::string, VirtualNanos> tombstones_;
+  BackendStats stats_;
+};
+
+}  // namespace h2

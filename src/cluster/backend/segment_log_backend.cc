@@ -1,0 +1,270 @@
+#include "cluster/backend/segment_log_backend.h"
+
+#include <charconv>
+#include <string_view>
+#include <utility>
+
+#include "codec/formatter.h"
+#include "hash/fast_hash.h"
+
+namespace h2 {
+namespace {
+
+constexpr std::string_view kPutTag = "P";
+constexpr std::string_view kDeleteTag = "D";
+
+bool ParseI64(std::string_view s, std::int64_t* out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool ParseU64(std::string_view s, std::uint64_t* out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+/// Frames an encoded record line: checksum, space, line, newline.  The
+/// codec layer escapes '\n' and '|' inside fields, so the line itself can
+/// never collide with the framing.
+std::string FrameRecord(const std::string& line) {
+  std::string framed = std::to_string(XxHash64(line));
+  framed += ' ';
+  framed += line;
+  framed += '\n';
+  return framed;
+}
+
+}  // namespace
+
+SegmentLogBackend::SegmentLogBackend(const BackendConfig& config)
+    : config_(config) {}
+
+void SegmentLogBackend::ApplyPut(const std::string& key, ObjectValue value) {
+  std::vector<std::string> owned;
+  owned.reserve(6 + 2 * value.metadata.size());
+  owned.emplace_back(kPutTag);
+  owned.push_back(key);
+  owned.push_back(std::to_string(value.created));
+  owned.push_back(std::to_string(value.modified));
+  owned.push_back(std::to_string(value.logical_size));
+  owned.push_back(value.payload);
+  for (const auto& [mk, mv] : value.metadata) {
+    owned.push_back(mk);
+    owned.push_back(mv);
+  }
+  std::vector<std::string_view> fields(owned.begin(), owned.end());
+  Append(FrameRecord(MakeTupleLine(fields)));
+
+  tombstones_.erase(key);
+  objects_[key] = std::move(value);
+  ++stats_.puts_applied;
+}
+
+void SegmentLogBackend::ApplyDelete(const std::string& key,
+                                    VirtualNanos tombstone) {
+  const std::string ts = std::to_string(tombstone);
+  Append(FrameRecord(MakeTupleLine({kDeleteTag, key, ts})));
+
+  if (tombstone != 0) {
+    auto [it, inserted] = tombstones_.try_emplace(key, tombstone);
+    if (!inserted && tombstone > it->second) it->second = tombstone;
+  }
+  objects_.erase(key);
+  ++stats_.deletes_applied;
+}
+
+const ObjectValue* SegmentLogBackend::Find(const std::string& key) const {
+  auto it = objects_.find(key);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+bool SegmentLogBackend::Contains(const std::string& key) const {
+  return objects_.contains(key);
+}
+
+VirtualNanos SegmentLogBackend::TombstoneTime(const std::string& key) const {
+  auto it = tombstones_.find(key);
+  return it == tombstones_.end() ? 0 : it->second;
+}
+
+std::uint64_t SegmentLogBackend::object_count() const {
+  return objects_.size();
+}
+
+std::uint64_t SegmentLogBackend::logical_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : objects_) total += value.logical_size;
+  return total;
+}
+
+void SegmentLogBackend::ForEachSorted(
+    const std::function<void(const std::string&, const ObjectValue&)>& fn)
+    const {
+  // The index is an ordered map: ascending key order for free.
+  for (const auto& [key, value] : objects_) fn(key, value);
+}
+
+SegmentLogBackend::Segment& SegmentLogBackend::ActiveSegment() {
+  if (segments_.empty()) segments_.emplace_back();
+  if (segments_.back().bytes.size() >= config_.segment_max_bytes) {
+    Fsync();  // rotation seals the outgoing segment durably first
+    segments_.emplace_back();
+  }
+  return segments_.back();
+}
+
+void SegmentLogBackend::Append(std::string record) {
+  Segment& seg = ActiveSegment();
+  seg.bytes.append(record);
+  stats_.appended_bytes += record.size();
+  ++stats_.records_logged;
+  ++pending_in_batch_;
+  if (config_.group_commit_window == 0 ||
+      pending_in_batch_ >= config_.group_commit_window) {
+    Fsync();
+  }
+}
+
+void SegmentLogBackend::Fsync() {
+  if (pending_in_batch_ == 0) return;  // nothing new since the last barrier
+  segments_.back().durable_bytes = segments_.back().bytes.size();
+  pending_in_batch_ = 0;
+  ++stats_.fsyncs;
+  durability_meter_.Charge(config_.fsync_cost);
+}
+
+void SegmentLogBackend::Flush() {
+  if (segments_.empty()) return;
+  Fsync();
+}
+
+void SegmentLogBackend::Crash() {
+  stats_.records_lost += pending_in_batch_;
+  pending_in_batch_ = 0;
+  for (Segment& seg : segments_) seg.bytes.resize(seg.durable_bytes);
+  objects_.clear();
+  tombstones_.clear();
+  ++stats_.crashes;
+}
+
+Status SegmentLogBackend::ReplayRecord(const std::string& line) {
+  Result<std::vector<std::string>> fields = ParseTupleLine(line);
+  if (!fields.ok()) return fields.status();
+  const std::vector<std::string>& f = *fields;
+  if (f.size() >= 2 && f[0] == kPutTag) {
+    // P|key|created|modified|logical_size|payload|[k|v]...
+    if (f.size() < 6 || (f.size() - 6) % 2 != 0) {
+      return Status::Corruption("malformed put record");
+    }
+    ObjectValue value;
+    std::int64_t created = 0;
+    std::int64_t modified = 0;
+    if (!ParseI64(f[2], &created) || !ParseI64(f[3], &modified) ||
+        !ParseU64(f[4], &value.logical_size)) {
+      return Status::Corruption("unparseable put timestamps");
+    }
+    value.created = created;
+    value.modified = modified;
+    value.payload = f[5];
+    for (std::size_t i = 6; i + 1 < f.size(); i += 2) {
+      value.metadata[f[i]] = f[i + 1];
+    }
+    tombstones_.erase(f[1]);
+    objects_[f[1]] = std::move(value);
+    return Status::Ok();
+  }
+  if (f.size() == 3 && f[0] == kDeleteTag) {
+    std::int64_t tombstone = 0;
+    if (!ParseI64(f[2], &tombstone)) {
+      return Status::Corruption("unparseable tombstone");
+    }
+    if (tombstone != 0) {
+      auto [it, inserted] = tombstones_.try_emplace(f[1], tombstone);
+      if (!inserted && tombstone > it->second) it->second = tombstone;
+    }
+    objects_.erase(f[1]);
+    return Status::Ok();
+  }
+  return Status::Corruption("unknown record tag");
+}
+
+Status SegmentLogBackend::Recover() {
+  objects_.clear();
+  tombstones_.clear();
+  ++stats_.recoveries;
+
+  // Validates one framed record; returns the line when the checksum holds.
+  const auto checksum_ok = [](std::string_view framed,
+                              std::string_view* line_out) {
+    const std::size_t space = framed.find(' ');
+    if (space == std::string_view::npos) return false;
+    std::uint64_t want = 0;
+    if (!ParseU64(framed.substr(0, space), &want)) return false;
+    const std::string_view line = framed.substr(space + 1);
+    if (XxHash64(line) != want) return false;
+    *line_out = line;
+    return true;
+  };
+
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const std::string& bytes = segments_[s].bytes;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+      const std::size_t eol = bytes.find('\n', pos);
+      std::string_view line;
+      const bool framed_ok =
+          eol != std::string::npos &&
+          checksum_ok(std::string_view(bytes).substr(pos, eol - pos), &line);
+      if (!framed_ok) {
+        // A bad record at the very end of the log is a torn tail (the
+        // only place an append-only log can tear); a bad record with
+        // *valid* records after it -- in this segment or a later one --
+        // is media corruption, which recovery must not paper over.
+        std::size_t scan = eol == std::string::npos ? bytes.size() : eol + 1;
+        while (scan < bytes.size()) {
+          const std::size_t next = bytes.find('\n', scan);
+          if (next == std::string::npos) break;
+          std::string_view later;
+          if (checksum_ok(std::string_view(bytes).substr(scan, next - scan),
+                          &later)) {
+            return Status::Corruption("corrupt record inside segment " +
+                                      std::to_string(s));
+          }
+          scan = next + 1;
+        }
+        if (s + 1 < segments_.size()) {
+          return Status::Corruption("torn record in sealed segment " +
+                                    std::to_string(s));
+        }
+        ++stats_.torn_records_dropped;
+        return Status::Ok();
+      }
+      H2_RETURN_IF_ERROR(ReplayRecord(std::string(line)));
+      ++stats_.records_replayed;
+      pos = eol + 1;
+    }
+  }
+  return Status::Ok();
+}
+
+BackendStats SegmentLogBackend::stats() const {
+  BackendStats out = stats_;
+  out.segments = segments_.size();
+  out.fsync_nanos = durability_meter_.cost().elapsed;
+  return out;
+}
+
+void SegmentLogBackend::TearDurableTailForTest(std::size_t n) {
+  if (segments_.empty()) return;
+  Segment& seg = segments_.back();
+  const std::size_t keep = seg.bytes.size() > n ? seg.bytes.size() - n : 0;
+  seg.bytes.resize(keep);
+  seg.durable_bytes = seg.bytes.size();
+}
+
+void SegmentLogBackend::CorruptByteForTest(std::size_t offset) {
+  if (segments_.empty() || offset >= segments_.front().bytes.size()) return;
+  segments_.front().bytes[offset] ^= 0x01;
+}
+
+}  // namespace h2

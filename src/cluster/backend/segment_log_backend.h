@@ -1,0 +1,103 @@
+// Append-only segment-log backend with an in-memory index (the FawnKV /
+// log-structured-KV design direction of ROADMAP item 2).
+//
+// Every applied mutation is encoded as one checksummed record and
+// appended to the active segment; the in-memory index (ordered maps, so
+// ForEachSorted is a plain walk) is rebuilt from the log on recovery.
+// Durability is group-committed: an fsync covers up to
+// `group_commit_window` appended records (0 = fsync each record before
+// it is acknowledged), and segments rotate -- after an fsync -- once the
+// active segment exceeds `segment_max_bytes`.
+//
+// Crash() models power loss: the index is discarded and every segment is
+// truncated to its fsync watermark, so exactly the group-commit tail
+// (the un-fsynced records) is lost.  Recover() replays the surviving
+// records in append order, re-applying the same tombstone-LWW outcomes
+// the live path recorded; a checksum-invalid tail is dropped and counted
+// as torn (append-only logs tear only at the end), while a bad record
+// *followed by* valid ones is media corruption and fails recovery.
+//
+// Record format (one line per record, '\n'-framed; payloads and metadata
+// are percent-escaped by the codec layer so they cannot break framing):
+//   <xxhash64 of line> ' ' <line>
+//   line := P|<key>|<created>|<modified>|<logical_size>|<payload>|[k|v]...
+//         | D|<key>|<tombstone>
+//
+// Same no-locking contract as every StorageBackend: calls arrive under
+// the owning StorageNode's lock.  The fsync cost is charged to a
+// backend-private virtual-time OpMeter only -- never to a foreground
+// meter and never to the simulation clock -- so group-commit tuning can
+// never perturb the paper's serial numbers.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/backend/storage_backend.h"
+#include "cluster/op_meter.h"
+
+namespace h2 {
+
+class SegmentLogBackend final : public StorageBackend {
+ public:
+  explicit SegmentLogBackend(const BackendConfig& config);
+
+  const char* name() const override { return "segment-log"; }
+
+  void ApplyPut(const std::string& key, ObjectValue value) override;
+  void ApplyDelete(const std::string& key, VirtualNanos tombstone) override;
+
+  const ObjectValue* Find(const std::string& key) const override;
+  bool Contains(const std::string& key) const override;
+  VirtualNanos TombstoneTime(const std::string& key) const override;
+  std::uint64_t object_count() const override;
+  std::uint64_t logical_bytes() const override;
+  void ForEachSorted(
+      const std::function<void(const std::string&, const ObjectValue&)>& fn)
+      const override;
+
+  void Flush() override;
+  void Crash() override;
+  Status Recover() override;
+
+  BackendStats stats() const override;
+
+  // --- test hooks ----------------------------------------------------------
+  /// Chops `n` bytes off the active segment *without* moving its fsync
+  /// watermark back: models a device that acknowledged an fsync but tore
+  /// the final record (partial sector write).  Test-only.
+  void TearDurableTailForTest(std::size_t n);
+  /// Flips one byte at `offset` in the first segment: models media
+  /// corruption in the durable interior of the log.  Test-only.
+  void CorruptByteForTest(std::size_t offset);
+
+ private:
+  /// One log segment.  `bytes` is the encoded record stream; the prefix
+  /// up to `durable_bytes` has been fsynced and survives Crash().
+  struct Segment {
+    std::string bytes;
+    std::size_t durable_bytes = 0;
+  };
+
+  Segment& ActiveSegment();
+  void Append(std::string record);
+  void Fsync();
+  /// Replays one decoded record line into the index.  `torn` is set when
+  /// the record must be treated as a torn tail instead of corruption.
+  Status ReplayRecord(const std::string& line);
+
+  const BackendConfig config_;
+
+  // In-memory index -- ordered so ForEachSorted needs no sort pass.
+  std::map<std::string, ObjectValue> objects_;
+  std::map<std::string, VirtualNanos> tombstones_;
+
+  std::vector<Segment> segments_;
+  std::uint32_t pending_in_batch_ = 0;  // records since the last fsync
+
+  OpMeter durability_meter_;  // virtual-time fsync accounting, out-of-band
+  BackendStats stats_;
+};
+
+}  // namespace h2

@@ -1,0 +1,19 @@
+#include "cluster/backend/storage_backend.h"
+
+#include "cluster/backend/memory_backend.h"
+#include "cluster/backend/segment_log_backend.h"
+
+namespace h2 {
+
+std::unique_ptr<StorageBackend> MakeStorageBackend(
+    const BackendConfig& config) {
+  switch (config.kind) {
+    case BackendKind::kSegmentLog:
+      return std::make_unique<SegmentLogBackend>(config);
+    case BackendKind::kMemory:
+      break;
+  }
+  return std::make_unique<MemoryBackend>();
+}
+
+}  // namespace h2

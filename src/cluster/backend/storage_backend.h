@@ -1,0 +1,159 @@
+// Pluggable per-node storage backends (ROADMAP item 2).
+//
+// A StorageNode used to *be* its two in-memory maps: a node crash lost
+// every object silently and the repair subsystem papered over it.  The
+// backend interface separates the node's replication semantics (LWW
+// against tombstones, quorum membership, hinted handoff) from how the
+// resulting state is *kept*:
+//
+//   * MemoryBackend        -- the original volatile maps; state dies with
+//                             the process (or with StorageNode::Crash()).
+//   * SegmentLogBackend    -- FawnKV-style log-structured store: every
+//                             applied mutation is appended to an
+//                             append-only segment log with an in-memory
+//                             index; fsyncs are group-committed in
+//                             batches of `group_commit_window` records,
+//                             and recovery replays the durable prefix of
+//                             the log to rebuild the index byte-for-byte.
+//
+// Contract: a backend is a passive state container with NO locking of its
+// own.  StorageNode calls mutations under its exclusive lock and reads
+// under its shared lock; pointers returned by Find() are valid only while
+// that lock is held.  Backends never touch the simulation clock or the
+// jitter stream -- durability accounting runs on a backend-private
+// virtual-time OpMeter -- so backend choice can never perturb foreground
+// timestamps or paper numbers (the differential suite pins this:
+// in-memory and segment-log clouds must be bit-identical).
+//
+// LWW resolution stays in StorageNode: ApplyPut/ApplyDelete record
+// *outcomes*, so log replay is a pure re-application in append order and
+// needs no conflict reasoning beyond the tombstone max it shares with
+// live application.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cluster/object.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace h2 {
+
+enum class BackendKind {
+  kMemory,      // volatile in-memory maps (the historical behaviour)
+  kSegmentLog,  // append-only segment log + in-memory index
+};
+
+/// Backend selection and group-commit knobs, embedded in CloudConfig
+/// (and reachable from H2CloudConfig as `cfg.cloud.backend`).
+struct BackendConfig {
+  BackendKind kind = BackendKind::kMemory;
+
+  /// Group-commit window for the segment log: how many appended records
+  /// one fsync may cover.  0 = fsync every record before it is
+  /// acknowledged (synchronous durability -- a crash loses nothing, and
+  /// the differential suite holds bit-identically, which is why 0 is the
+  /// default).  W > 0 batches up to W records per fsync: higher apply
+  /// throughput, but a crash loses the un-fsynced tail (up to W - 1
+  /// records), which the replica scrub then re-converges from peers.
+  std::uint32_t group_commit_window = 0;
+
+  /// Segment rotation threshold: a new segment is opened (after an
+  /// fsync of the old one) once the active segment's encoded size
+  /// exceeds this many bytes.
+  std::uint64_t segment_max_bytes = 4ull << 20;
+
+  /// Virtual-time cost of one fsync, charged to the backend's private
+  /// durability meter (never a foreground OpMeter).  Calibrated to a
+  /// 15K-RPM SAS synchronous write barrier.
+  VirtualNanos fsync_cost = FromMillis(5.0);
+};
+
+/// Cumulative per-backend durability accounting, surfaced by h2/monitor
+/// and bench/durability_sweep.
+struct BackendStats {
+  std::uint64_t puts_applied = 0;
+  std::uint64_t deletes_applied = 0;
+  std::uint64_t records_logged = 0;     // segment log only below here
+  std::uint64_t appended_bytes = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t records_replayed = 0;   // by Recover(), lifetime total
+  std::uint64_t records_lost = 0;       // volatile tail dropped by Crash()
+  std::uint64_t torn_records_dropped = 0;  // checksum/framing failures
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  /// Virtual nanos of fsync cost accumulated on the durability meter.
+  VirtualNanos fsync_nanos = 0;
+
+  BackendStats& operator+=(const BackendStats& other) {
+    puts_applied += other.puts_applied;
+    deletes_applied += other.deletes_applied;
+    records_logged += other.records_logged;
+    appended_bytes += other.appended_bytes;
+    fsyncs += other.fsyncs;
+    segments += other.segments;
+    records_replayed += other.records_replayed;
+    records_lost += other.records_lost;
+    torn_records_dropped += other.torn_records_dropped;
+    crashes += other.crashes;
+    recoveries += other.recoveries;
+    fsync_nanos += other.fsync_nanos;
+    return *this;
+  }
+};
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  // --- mutations (LWW already resolved by StorageNode) ---------------------
+  /// Stores `value` under `key` and clears any tombstone for it.  The
+  /// node only applies a put that beats the key's tombstone, so clearing
+  /// unconditionally is the recorded outcome, not a policy decision.
+  virtual void ApplyPut(const std::string& key, ObjectValue value) = 0;
+  /// Removes the object.  `tombstone != 0` additionally raises the key's
+  /// tombstone to max(existing, tombstone); 0 is an administrative erase
+  /// that leaves tombstone state untouched.
+  virtual void ApplyDelete(const std::string& key, VirtualNanos tombstone) = 0;
+
+  // --- reads (under the node's shared lock) --------------------------------
+  /// Stored object, or nullptr.  Valid only while the node lock is held.
+  virtual const ObjectValue* Find(const std::string& key) const = 0;
+  virtual bool Contains(const std::string& key) const = 0;
+  /// Deletion timestamp if a tombstone exists for `key`, else 0.
+  virtual VirtualNanos TombstoneTime(const std::string& key) const = 0;
+  virtual std::uint64_t object_count() const = 0;
+  virtual std::uint64_t logical_bytes() const = 0;
+  /// Visits every (key, object) in ascending key order -- the iteration
+  /// contract DebugDump and the scrub sweep depend on.
+  virtual void ForEachSorted(
+      const std::function<void(const std::string&, const ObjectValue&)>& fn)
+      const = 0;
+
+  // --- durability ----------------------------------------------------------
+  /// Closes any open group-commit batch (an explicit fsync).  No-op for
+  /// backends with nothing pending.
+  virtual void Flush() = 0;
+  /// Power loss: drops all volatile state.  The memory backend loses
+  /// everything; the segment log keeps exactly the fsynced prefix of
+  /// each segment and discards the index plus the un-fsynced tail.
+  virtual void Crash() = 0;
+  /// Restart after Crash(): rebuilds the in-memory index by replaying
+  /// the durable segments in append order (tombstone LWW included).
+  /// Fails with kCorruption only if a *durable* record fails to decode;
+  /// torn trailing records are dropped and counted, not fatal.
+  virtual Status Recover() = 0;
+
+  virtual BackendStats stats() const = 0;
+};
+
+/// Factory behind CloudConfig::backend.
+std::unique_ptr<StorageBackend> MakeStorageBackend(const BackendConfig& config);
+
+}  // namespace h2

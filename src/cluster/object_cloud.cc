@@ -16,15 +16,17 @@ ObjectCloud::ObjectCloud(const CloudConfig& config)
       zone_count_(std::max(config.zone_count, 1)),
       read_repair_(config.read_repair),
       hinted_handoff_(config.hinted_handoff),
-      io_concurrency_(config.io_concurrency) {
+      io_concurrency_(config.io_concurrency),
+      backend_config_(config.backend),
+      max_hints_per_node_(config.max_hints_per_node) {
   assert(config.node_count >= 1);
   SplitMix64 seeder(config.seed);
   for (int i = 0; i < config.node_count; ++i) {
     const auto id = static_cast<DeviceId>(i);
     const auto zone = static_cast<std::uint32_t>(i % zone_count_);
     std::string name = "node-" + std::to_string(i);
-    nodes_.push_back(
-        std::make_unique<StorageNode>(id, name, seeder.Next(), zone));
+    nodes_.push_back(std::make_unique<StorageNode>(
+        id, name, seeder.Next(), zone, backend_config_, max_hints_per_node_));
     const Status st =
         ring_.AddDevice(RingDevice{id, std::move(name), 1.0, zone});
     assert(st.ok());
@@ -322,10 +324,14 @@ Status ObjectCloud::Delete(const std::string& key, OpMeter& meter) {
   std::vector<StorageNode*> missed;
   Status last_error = Status::Internal("no replicas");
   for (StorageNode* node : replicas) {
+    // Timed node deletes now return Ok whether or not the replica held a
+    // copy (the tombstone committed either way), so "did the object
+    // exist" is probed separately for the cloud-level NotFound decision.
+    const bool had_copy = node->Contains(key);
     const Status st = node->Delete(key, tombstone_ts);
     if (st.ok()) {
       ++acks;
-      found = true;
+      found |= had_copy;
       if (hint_holder == nullptr) hint_holder = node;
     } else if (st.code() == ErrorCode::kNotFound) {
       ++acks;  // already absent counts as success for idempotency
@@ -643,8 +649,8 @@ Result<ObjectCloud::MigrationReport> ObjectCloud::AddStorageNode() {
   const auto zone = static_cast<std::uint32_t>(id % zone_count_);
   std::string name = "node-" + std::to_string(id);
   SplitMix64 seeder(0x9e3779b97f4a7c15ULL ^ id);
-  nodes_.push_back(
-      std::make_unique<StorageNode>(id, name, seeder.Next(), zone));
+  nodes_.push_back(std::make_unique<StorageNode>(
+      id, name, seeder.Next(), zone, backend_config_, max_hints_per_node_));
   H2_RETURN_IF_ERROR(
       ring_.AddDevice(RingDevice{id, std::move(name), 1.0, zone}));
   H2_RETURN_IF_ERROR(ring_.Rebalance());

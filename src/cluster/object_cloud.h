@@ -68,6 +68,14 @@ struct CloudConfig {
   /// batch_width, which is calibrated to the paper's detailed-LIST
   /// figures; bench/parallelism_sweep sweeps this knob.
   std::uint64_t io_concurrency = 0;
+  /// Per-node storage backend: volatile in-memory maps (default) or the
+  /// durable append-only segment log with group-commit fsync batching and
+  /// crash-recovery replay (see cluster/backend/storage_backend.h).
+  BackendConfig backend;
+  /// Bound on each node's parked hinted-handoff queue; overflow degrades
+  /// convergence to the anti-entropy scrub instead of growing without
+  /// bound (surfaced as hint_overflow_count / monitor "overflowed").
+  std::size_t max_hints_per_node = StorageNode::kDefaultMaxHints;
 };
 
 struct PutOptions {
@@ -415,6 +423,8 @@ class ObjectCloud {
   std::atomic<bool> read_repair_;
   std::atomic<bool> hinted_handoff_;
   std::uint64_t io_concurrency_;  // CloudConfig::io_concurrency
+  BackendConfig backend_config_;  // backend for ctor + AddStorageNode nodes
+  std::size_t max_hints_per_node_;
 
   mutable std::mutex batch_mu_;  // guards batch_stats_
   BatchStats batch_stats_;

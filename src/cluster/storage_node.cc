@@ -1,7 +1,7 @@
 #include "cluster/storage_node.h"
 
-#include <algorithm>
 #include <shared_mutex>
+#include <utility>
 
 namespace h2 {
 
@@ -31,116 +31,110 @@ Status StorageNode::Put(const std::string& key, ObjectValue value) {
   H2_RETURN_IF_ERROR(CheckAvailable());
   // Last-writer-wins against a tombstone: an older write arriving after a
   // newer delete must not resurrect the object.
-  auto tomb = tombstones_.find(key);
-  if (tomb != tombstones_.end()) {
-    if (tomb->second >= value.modified) return Status::Ok();  // superseded
-    tombstones_.erase(tomb);
+  const VirtualNanos tomb = backend_->TombstoneTime(key);
+  if (tomb != 0 && tomb >= value.modified) {
+    return Status::Ok();  // superseded
   }
-  auto [it, inserted] = objects_.try_emplace(key);
-  if (!inserted) {
-    value.created = it->second.created;  // preserve creation time
+  if (const ObjectValue* existing = backend_->Find(key)) {
+    value.created = existing->created;  // preserve creation time
   }
-  it->second = std::move(value);
+  backend_->ApplyPut(key, std::move(value));
   return Status::Ok();
 }
 
 Status StorageNode::PutIfNewer(const std::string& key, ObjectValue value) {
   std::lock_guard lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
-  auto tomb = tombstones_.find(key);
-  if (tomb != tombstones_.end()) {
-    if (tomb->second >= value.modified) return Status::Ok();  // superseded
-    tombstones_.erase(tomb);
+  const VirtualNanos tomb = backend_->TombstoneTime(key);
+  if (tomb != 0 && tomb >= value.modified) {
+    return Status::Ok();  // superseded
   }
-  auto it = objects_.find(key);
-  if (it != objects_.end() && it->second.modified >= value.modified) {
+  const ObjectValue* existing = backend_->Find(key);
+  if (existing != nullptr && existing->modified >= value.modified) {
     return Status::Ok();  // incumbent is as new or newer
   }
-  objects_[key] = std::move(value);
+  backend_->ApplyPut(key, std::move(value));
   return Status::Ok();
 }
 
 Result<ObjectValue> StorageNode::Get(const std::string& key) const {
   std::shared_lock lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
-  auto it = objects_.find(key);
-  if (it == objects_.end()) {
+  const ObjectValue* value = backend_->Find(key);
+  if (value == nullptr) {
     return Status::NotFound("no such object: " + key);
   }
-  return it->second;
+  return *value;
 }
 
 Result<ObjectHead> StorageNode::Head(const std::string& key) const {
   std::shared_lock lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
-  auto it = objects_.find(key);
-  if (it == objects_.end()) {
+  const ObjectValue* value = backend_->Find(key);
+  if (value == nullptr) {
     return Status::NotFound("no such object: " + key);
   }
-  const ObjectValue& v = it->second;
-  return ObjectHead{v.logical_size, v.metadata, v.created, v.modified};
+  return ObjectHead{value->logical_size, value->metadata, value->created,
+                    value->modified};
 }
 
 Status StorageNode::Delete(const std::string& key, VirtualNanos ts) {
   std::lock_guard lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
+  const bool existed = backend_->Contains(key);
   if (ts != 0) {
     // Last-writer-wins against the stored copy: a timed tombstone older
     // than the incumbent (a replayed or repaired delete racing a newer
     // overwrite) must not erase it.  Untimed deletes (ts == 0) stay
     // unconditional -- they are administrative removals, not replicated
     // delete operations.
-    auto obj = objects_.find(key);
-    if (obj != objects_.end() && obj->second.modified > ts) {
-      return Status::Ok();  // superseded by a newer write
+    if (const ObjectValue* existing = backend_->Find(key)) {
+      if (existing->modified > ts) {
+        return Status::Ok();  // superseded by a newer write
+      }
     }
-    auto [it, inserted] = tombstones_.try_emplace(key, ts);
-    if (!inserted && ts > it->second) it->second = ts;
+    backend_->ApplyDelete(key, ts);
+    // The tombstone committed: a replica that never held the copy has
+    // still durably applied the delete, so this is success, not NotFound
+    // (see the header -- the old NotFound here broke repair accounting).
+    return Status::Ok();
   }
-  if (objects_.erase(key) == 0) {
+  if (!existed) {
     return Status::NotFound("no such object: " + key);
   }
+  backend_->ApplyDelete(key, 0);
   return Status::Ok();
 }
 
 VirtualNanos StorageNode::TombstoneTime(const std::string& key) const {
   std::shared_lock lock(mu_);
-  auto it = tombstones_.find(key);
-  return it == tombstones_.end() ? 0 : it->second;
+  return backend_->TombstoneTime(key);
 }
 
 bool StorageNode::Contains(const std::string& key) const {
   std::shared_lock lock(mu_);
-  return objects_.contains(key);
+  return backend_->Contains(key);
 }
 
 void StorageNode::ForEach(
     const std::function<void(const std::string&, const ObjectValue&)>& fn)
     const {
   std::shared_lock lock(mu_);
-  // Visit in sorted key order: ForEach feeds Scan, scrub sweeps and
-  // migration, all of which charge virtual time per visit -- hash-table
-  // order would make those charges depend on the container's history.
-  std::vector<const std::string*> keys;
-  keys.reserve(objects_.size());
-  // h2lint: ordered -- key collection, sorted below
-  for (const auto& [key, value] : objects_) keys.push_back(&key);
-  std::sort(keys.begin(), keys.end(),
-            [](const std::string* a, const std::string* b) { return *a < *b; });
-  for (const std::string* key : keys) fn(*key, objects_.at(*key));
+  // Sorted key order is the backend's ForEachSorted contract: ForEach
+  // feeds Scan, scrub sweeps and migration, all of which charge virtual
+  // time per visit -- hash-table order would make those charges depend on
+  // the container's history.
+  backend_->ForEachSorted(fn);
 }
 
 std::uint64_t StorageNode::object_count() const {
   std::shared_lock lock(mu_);
-  return objects_.size();
+  return backend_->object_count();
 }
 
 std::uint64_t StorageNode::logical_bytes() const {
   std::shared_lock lock(mu_);
-  std::uint64_t total = 0;
-  // h2lint: ordered -- commutative sum
-  for (const auto& [key, value] : objects_) total += value.logical_size;
-  return total;
+  return backend_->logical_bytes();
 }
 
 Status StorageNode::QueueHint(ReplicaHint hint) {
@@ -149,6 +143,10 @@ Status StorageNode::QueueHint(ReplicaHint hint) {
   // that can be lost to the injected per-request error stream.
   if (down_.load(std::memory_order_acquire)) {
     return Status::Unavailable("node " + name_ + " is down");
+  }
+  if (hints_.size() >= max_hints_) {
+    hint_overflows_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("node " + name_ + " hint queue full");
   }
   hints_.push_back(std::move(hint));
   return Status::Ok();
@@ -181,6 +179,37 @@ bool StorageNode::IsDown() const {
 
 void StorageNode::SetErrorRate(double rate) {
   error_rate_.store(rate, std::memory_order_release);
+}
+
+void StorageNode::Crash() {
+  std::lock_guard lock(mu_);
+  backend_->Crash();
+  // Hints are volatile queue state on this node; power loss drops them
+  // and convergence for their targets falls back to the scrub.
+  hints_.clear();
+  down_.store(true, std::memory_order_release);
+}
+
+Status StorageNode::Restart() {
+  std::lock_guard lock(mu_);
+  H2_RETURN_IF_ERROR(backend_->Recover());
+  down_.store(false, std::memory_order_release);
+  return Status::Ok();
+}
+
+void StorageNode::FlushBackend() {
+  std::lock_guard lock(mu_);
+  backend_->Flush();
+}
+
+BackendStats StorageNode::backend_stats() const {
+  std::shared_lock lock(mu_);
+  return backend_->stats();
+}
+
+const char* StorageNode::backend_name() const {
+  std::shared_lock lock(mu_);
+  return backend_->name();
 }
 
 }  // namespace h2

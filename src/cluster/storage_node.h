@@ -1,30 +1,44 @@
 // A single storage node of the simulated object cloud.
 //
-// Thread-safe in-memory key/object store with failure injection.  Latency
-// is *not* charged here -- the ObjectCloud proxy layer owns accounting --
-// so a node is a pure state container, which keeps the concurrency story
-// simple (one lock, no calls out while holding it).
+// Thread-safe key/object store with failure injection, holding its state
+// in a pluggable StorageBackend (cluster/backend/): volatile in-memory
+// maps or a durable append-only segment log with group-commit fsync and
+// crash-recovery replay.  Latency is *not* charged here -- the
+// ObjectCloud proxy layer owns accounting -- so a node is replication
+// semantics (LWW against tombstones) plus a state container.
 //
-// Lock discipline: a reader/writer lock guards the object/tombstone/hint
-// maps -- reads (Get/Head/Contains/TombstoneTime/counts) take the shared
-// side so the sharded engine's read-heavy workloads scale across
-// threads; mutations take the exclusive side.  The failure-injection
-// knobs are atomics (flipped by tests while workers are live) and the
-// per-node fault RNG draws under its own leaf mutex, because a const
-// read path that mutated RNG state under a shared lock would be a data
-// race.
+// Lock discipline (three tiers, strictly leaf-ward):
+//   1. `mu_` (shared_mutex) guards the backend and the hint queue.
+//      Reads (Get/Head/Contains/TombstoneTime/ForEach/counts) take the
+//      shared side so the sharded engine's read-heavy workloads scale
+//      across threads; mutations, Crash() and Restart() take the
+//      exclusive side.  The backend itself is lock-free by contract
+//      (cluster/backend/storage_backend.h): every backend call -- index
+//      lookups, log appends, fsyncs, recovery replay -- happens under
+//      `mu_`, and backends never call back into the node or out to any
+//      other lock, so `mu_` -> backend is the only ordering and is
+//      trivially acyclic.  Pointers a backend returns (Find) are used
+//      only while `mu_` is held.
+//   2. `fault_mu_` is a leaf mutex guarding only `fault_rng_`: the
+//      per-node fault RNG draws on the shared (read) side of `mu_`,
+//      where mutating RNG state without its own lock would be a data
+//      race between concurrent readers.  Nothing is acquired under it.
+//   3. The failure-injection knobs (`down_`, `error_rate_`) and the hint
+//      overflow counter are atomics, flipped/read by tests and the
+//      monitor while workers are live, with no lock held at all.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "cluster/backend/storage_backend.h"
 #include "cluster/object.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -45,9 +59,17 @@ struct ReplicaHint {
 
 class StorageNode {
  public:
+  /// Default bound on parked hints (see QueueHint): high enough that the
+  /// repair tests' outage windows never touch it, low enough that a
+  /// target staying down for days degrades to scrub-repair instead of
+  /// growing the holder's memory without bound.
+  static constexpr std::size_t kDefaultMaxHints = 65'536;
+
   StorageNode(DeviceId id, std::string name, std::uint64_t fault_seed,
-              std::uint32_t zone = 0)
+              std::uint32_t zone = 0, const BackendConfig& backend = {},
+              std::size_t max_hints = kDefaultMaxHints)
       : id_(id), name_(std::move(name)), zone_(zone),
+        backend_(MakeStorageBackend(backend)), max_hints_(max_hints),
         fault_rng_(fault_seed) {}
 
   DeviceId id() const { return id_; }
@@ -67,13 +89,24 @@ class StorageNode {
   /// Tombstones let the cloud's replica fall-through distinguish "this
   /// replica missed the write" from "this object was deleted" -- the same
   /// job Swift's X-Timestamp tombstones do.
+  ///
+  /// Return semantics differ by flavour:
+  ///   * `ts != 0` (a replicated delete): returns Ok whether or not this
+  ///     replica held a copy -- the tombstone committed, and a replica
+  ///     that merely missed the original write has still durably applied
+  ///     the delete.  (It used to return NotFound here, which made hint
+  ///     replay and repair accounting treat a committed tombstone as a
+  ///     failure.)
+  ///   * `ts == 0` (administrative erase): returns NotFound when there
+  ///     was nothing to erase.
   Status Delete(const std::string& key, VirtualNanos ts = 0);
   bool Contains(const std::string& key) const;
   /// Deletion timestamp if this node holds a tombstone for `key`, else 0.
   VirtualNanos TombstoneTime(const std::string& key) const;
 
-  /// Visits every (key, object) on this node.  The callback runs under the
-  /// node lock; it must not call back into the node.
+  /// Visits every (key, object) on this node in ascending key order.  The
+  /// callback runs under the node lock; it must not call back into the
+  /// node.
   void ForEach(
       const std::function<void(const std::string&, const ObjectValue&)>& fn)
       const;
@@ -84,21 +117,44 @@ class StorageNode {
   // --- hinted handoff ------------------------------------------------------
   /// Parks a hint for a replica that missed a write.  Hints survive
   /// injected request faults (they are a local queue append) but not a
-  /// down node.
+  /// down or crashed node.  The queue is bounded by `max_hints`: once a
+  /// target has been down long enough to fill it, further hints are
+  /// refused (counted in hint_overflow_count()) and convergence degrades
+  /// to the anti-entropy scrub -- bounded memory instead of OOM.
   Status QueueHint(ReplicaHint hint);
   /// Removes and returns every queued hint whose target `deliverable`
   /// approves (typically: the target node answers again).
   std::vector<ReplicaHint> TakeHints(
       const std::function<bool(DeviceId)>& deliverable);
   std::size_t hint_count() const;
+  /// Hints refused because the queue was full (monotonic).
+  std::uint64_t hint_overflow_count() const {
+    return hint_overflows_.load(std::memory_order_relaxed);
+  }
 
-  // --- failure injection -------------------------------------------------
+  // --- failure injection / durability --------------------------------------
   /// A down node fails every request with kUnavailable.
   void SetDown(bool down);
   bool IsDown() const;
   /// Each request independently fails with this probability (deterministic
   /// per-node stream).
   void SetErrorRate(double rate);
+  /// Power loss: drops every piece of volatile state -- the backend's
+  /// un-fsynced writes (all of them, for the memory backend) and the
+  /// parked hint queue -- and marks the node down until Restart().
+  /// Fsynced segment-log state survives.
+  void Crash();
+  /// Restart after Crash(): replays the backend's durable log to rebuild
+  /// its index, then brings the node back up.  On a recovery error the
+  /// node stays down.
+  Status Restart();
+  /// Explicit fsync barrier: makes everything applied so far durable
+  /// (closes an open group-commit batch).
+  void FlushBackend();
+  /// Durability/backend counters (fsyncs, replayed/lost records, ...).
+  BackendStats backend_stats() const;
+  /// Static name of the backend in play ("memory" / "segment-log").
+  const char* backend_name() const;
 
  private:
   Status CheckAvailable() const;
@@ -108,9 +164,10 @@ class StorageNode {
   const std::uint32_t zone_;
 
   mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, ObjectValue> objects_;
-  std::unordered_map<std::string, VirtualNanos> tombstones_;
+  std::unique_ptr<StorageBackend> backend_;
   std::vector<ReplicaHint> hints_;
+  const std::size_t max_hints_;
+  std::atomic<std::uint64_t> hint_overflows_{0};
   std::atomic<bool> down_{false};
   std::atomic<double> error_rate_{0.0};
   mutable std::mutex fault_mu_;  // leaf lock: guards fault_rng_ only

@@ -52,6 +52,13 @@ struct H2Config {
   /// instead of the maintenance meter.  Models the strawman *synchronous*
   /// protocol of §3.3.1 (ablation: what asynchrony buys).
   bool synchronous_maintenance = false;
+
+  // Substrate durability is configured one level down, not here: the
+  // storage nodes' backend (volatile in-memory maps vs the append-only
+  // segment log with group-commit fsync and crash-recovery replay) and
+  // the hint-queue bound are CloudConfig knobs -- see
+  // `H2CloudConfig::cloud.backend` / `.cloud.max_hints_per_node` and
+  // cluster/backend/storage_backend.h for the semantics.
 };
 
 }  // namespace h2

@@ -31,6 +31,12 @@ std::uint64_t MonitorSnapshot::HintsPending() const {
   return total;
 }
 
+std::uint64_t MonitorSnapshot::HintsOverflowed() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes) total += n.hints_overflowed;
+  return total;
+}
+
 double MonitorSnapshot::ResolveCacheHitRate() const {
   std::uint64_t hits = 0, misses = 0;
   for (const auto& mw : middlewares) {
@@ -119,12 +125,13 @@ std::string MonitorSnapshot::ToText() const {
   std::snprintf(
       buf, sizeof(buf),
       "-- replica repair --\n"
-      "  hints: %llu queued, %llu replayed, %llu pending\n"
+      "  hints: %llu queued, %llu replayed, %llu pending, %llu overflowed\n"
       "  pushes: %llu read-repair, %llu anti-entropy (%llu divergent keys "
       "seen)\n",
       static_cast<unsigned long long>(repair.hints_queued),
       static_cast<unsigned long long>(repair.hints_replayed),
       static_cast<unsigned long long>(HintsPending()),
+      static_cast<unsigned long long>(HintsOverflowed()),
       static_cast<unsigned long long>(repair.read_repairs_pushed),
       static_cast<unsigned long long>(repair.scrub_repairs_pushed),
       static_cast<unsigned long long>(repair.divergent_keys_found));
@@ -137,6 +144,24 @@ std::string MonitorSnapshot::ToText() const {
       static_cast<unsigned long long>(repair.failed_deletes),
       static_cast<unsigned long long>(repair.failed_copies),
       repair_cost.elapsed_ms());
+  out += buf;
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "-- storage backend (%s) --\n"
+      "  %llu records logged, %llu fsyncs across %llu segments "
+      "(%.1f ms fsync time); %llu crashes, %llu recoveries "
+      "(%llu records replayed, %llu lost, %llu torn)\n",
+      backend_name.c_str(),
+      static_cast<unsigned long long>(backend.records_logged),
+      static_cast<unsigned long long>(backend.fsyncs),
+      static_cast<unsigned long long>(backend.segments),
+      ToMillis(backend.fsync_nanos),
+      static_cast<unsigned long long>(backend.crashes),
+      static_cast<unsigned long long>(backend.recoveries),
+      static_cast<unsigned long long>(backend.records_replayed),
+      static_cast<unsigned long long>(backend.records_lost),
+      static_cast<unsigned long long>(backend.torn_records_dropped));
   out += buf;
 
   std::snprintf(
@@ -186,8 +211,11 @@ MonitorSnapshot CollectSnapshot(H2Cloud& cloud) {
     n.objects = node.object_count();
     n.logical_bytes = node.logical_bytes();
     n.hints_pending = node.hint_count();
+    n.hints_overflowed = node.hint_overflow_count();
     n.down = node.IsDown();
     snapshot.nodes.push_back(std::move(n));
+    snapshot.backend += node.backend_stats();
+    if (i == 0) snapshot.backend_name = node.backend_name();
   }
   snapshot.gossip = cloud.gossip().stats();
   snapshot.repair = oc.repair_stats();

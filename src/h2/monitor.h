@@ -32,6 +32,10 @@ struct NodeSnapshot {
   std::uint64_t logical_bytes = 0;
   /// Hinted-handoff writes parked on this node for unreachable replicas.
   std::uint64_t hints_pending = 0;
+  /// Hints this node refused because its bounded queue was full
+  /// (CloudConfig::max_hints_per_node); convergence for those writes
+  /// falls back to the anti-entropy scrub.
+  std::uint64_t hints_overflowed = 0;
   bool down = false;
 };
 
@@ -43,6 +47,10 @@ struct MonitorSnapshot {
   /// anti-entropy) and the out-of-band cost charged for them.
   ObjectCloud::RepairStats repair;
   OpCost repair_cost;
+  /// Aggregated per-node storage-backend durability counters (group-commit
+  /// fsyncs, crash/recovery replay) plus the backend name in play.
+  BackendStats backend;
+  std::string backend_name;
   /// Foreground batched-I/O accounting (ObjectCloud::ExecuteBatch):
   /// batches issued, lanes carried, and serial-vs-critical-path cost.
   ObjectCloud::BatchStats batch;
@@ -58,6 +66,8 @@ struct MonitorSnapshot {
   std::uint64_t TotalGossipRepairs() const;
   /// Hinted-handoff writes still parked across all storage nodes.
   std::uint64_t HintsPending() const;
+  /// Hints refused by full queues across all storage nodes.
+  std::uint64_t HintsOverflowed() const;
   /// Resolve-cache hits / (hits + misses) across all middlewares;
   /// 0.0 when the cache saw no traffic (disabled or untouched).
   double ResolveCacheHitRate() const;

@@ -1,0 +1,426 @@
+// Storage-backend durability tests (ISSUE 7): segment-log crash-recovery
+// replay, group-commit loss windows, torn-tail vs corruption handling,
+// the bounded hint queue, the timed-delete return-code fix, and the
+// memory-vs-segment-log differential over the engine's trace families.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/backend/memory_backend.h"
+#include "cluster/backend/segment_log_backend.h"
+#include "cluster/object_cloud.h"
+#include "cluster/storage_node.h"
+#include "engine/sharded_engine.h"
+#include "hash/md5.h"
+#include "workload/loadgen.h"
+#include "workload/trace.h"
+#include "workload/tree_gen.h"
+
+namespace h2 {
+namespace {
+
+ObjectValue MakeValue(const std::string& payload, VirtualNanos ts) {
+  ObjectValue v = ObjectValue::FromString(payload, ts);
+  v.metadata["content-type"] = "text/plain";
+  return v;
+}
+
+/// Byte-level dump of a backend's index: objects in sorted order with
+/// every field, then tombstones for the probed keys.  Two backends with
+/// equal dumps hold bit-identical state.
+std::string DumpBackend(const StorageBackend& backend,
+                        const std::vector<std::string>& tombstone_probes) {
+  std::string out;
+  backend.ForEachSorted([&](const std::string& key, const ObjectValue& v) {
+    out += key;
+    out += '=';
+    out += v.payload;
+    out += '/';
+    out += std::to_string(v.logical_size);
+    out += '/';
+    out += std::to_string(v.created);
+    out += '/';
+    out += std::to_string(v.modified);
+    for (const auto& [mk, mv] : v.metadata) {
+      out += '/';
+      out += mk;
+      out += ':';
+      out += mv;
+    }
+    out += '\n';
+  });
+  for (const std::string& key : tombstone_probes) {
+    out += "tomb:" + key + "=" + std::to_string(backend.TombstoneTime(key));
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(SegmentLogBackendTest, SynchronousCrashLosesNothing) {
+  BackendConfig cfg;
+  cfg.kind = BackendKind::kSegmentLog;
+  cfg.group_commit_window = 0;  // fsync every record
+  SegmentLogBackend backend(cfg);
+
+  for (int i = 0; i < 10; ++i) {
+    backend.ApplyPut("k" + std::to_string(i),
+                     MakeValue("v" + std::to_string(i), 100 + i));
+  }
+  backend.ApplyDelete("k3", /*tombstone=*/500);
+  backend.ApplyDelete("k4", /*tombstone=*/0);  // administrative erase
+
+  const std::vector<std::string> probes = {"k3", "k4", "k5"};
+  const std::string before = DumpBackend(backend, probes);
+
+  backend.Crash();
+  EXPECT_EQ(backend.object_count(), 0u);  // index gone until replay
+  ASSERT_TRUE(backend.Recover().ok());
+
+  EXPECT_EQ(DumpBackend(backend, probes), before);
+  const BackendStats stats = backend.stats();
+  EXPECT_EQ(stats.records_lost, 0u);
+  EXPECT_EQ(stats.records_replayed, 12u);  // 10 puts + 2 deletes
+  EXPECT_EQ(stats.torn_records_dropped, 0u);
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(backend.TombstoneTime("k3"), 500);
+  EXPECT_EQ(backend.TombstoneTime("k4"), 0);  // untimed: no tombstone
+}
+
+TEST(SegmentLogBackendTest, MidBatchCrashKeepsExactlyTheDurablePrefix) {
+  BackendConfig cfg;
+  cfg.kind = BackendKind::kSegmentLog;
+  cfg.group_commit_window = 8;
+  SegmentLogBackend backend(cfg);
+
+  // A reference backend sees only the writes the crash will preserve.
+  BackendConfig ref_cfg = cfg;
+  ref_cfg.group_commit_window = 0;
+  SegmentLogBackend reference(ref_cfg);
+
+  std::vector<std::string> probes;
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    probes.push_back(key);
+    const ObjectValue value = MakeValue("payload-" + std::to_string(i), i + 1);
+    backend.ApplyPut(key, value);
+    // Fsyncs fire after records 8 and 16: the first 16 records survive.
+    if (i < 16) reference.ApplyPut(key, value);
+  }
+
+  backend.Crash();
+  ASSERT_TRUE(backend.Recover().ok());
+
+  // Byte-identical rebuild of exactly the fsynced prefix.
+  EXPECT_EQ(DumpBackend(backend, probes), DumpBackend(reference, probes));
+  const BackendStats stats = backend.stats();
+  EXPECT_EQ(stats.records_lost, 4u);      // the open batch: records 17-20
+  EXPECT_EQ(stats.records_replayed, 16u);
+  EXPECT_EQ(backend.object_count(), 16u);
+}
+
+TEST(SegmentLogBackendTest, FlushClosesTheOpenBatch) {
+  BackendConfig cfg;
+  cfg.kind = BackendKind::kSegmentLog;
+  cfg.group_commit_window = 64;  // wider than the write count
+  SegmentLogBackend backend(cfg);
+  for (int i = 0; i < 5; ++i) {
+    backend.ApplyPut("k" + std::to_string(i), MakeValue("v", i + 1));
+  }
+  backend.Flush();  // explicit barrier
+  backend.Crash();
+  ASSERT_TRUE(backend.Recover().ok());
+  EXPECT_EQ(backend.object_count(), 5u);
+  EXPECT_EQ(backend.stats().records_lost, 0u);
+}
+
+TEST(SegmentLogBackendTest, SegmentsRotateAndReplayAcrossRotation) {
+  BackendConfig cfg;
+  cfg.kind = BackendKind::kSegmentLog;
+  cfg.group_commit_window = 0;
+  cfg.segment_max_bytes = 256;  // force frequent rotation
+  SegmentLogBackend backend(cfg);
+  std::vector<std::string> probes;
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "rotate-" + std::to_string(i);
+    probes.push_back(key);
+    backend.ApplyPut(key, MakeValue(std::string(32, 'x'), i + 1));
+  }
+  EXPECT_GT(backend.stats().segments, 1u);
+
+  const std::string before = DumpBackend(backend, probes);
+  backend.Crash();
+  ASSERT_TRUE(backend.Recover().ok());
+  EXPECT_EQ(DumpBackend(backend, probes), before);
+  EXPECT_EQ(backend.stats().records_lost, 0u);
+}
+
+TEST(SegmentLogBackendTest, TornTailIsDroppedNotFatal) {
+  BackendConfig cfg;
+  cfg.kind = BackendKind::kSegmentLog;
+  cfg.group_commit_window = 0;
+  SegmentLogBackend backend(cfg);
+  backend.ApplyPut("a", MakeValue("first", 1));
+  backend.ApplyPut("b", MakeValue("second", 2));
+  backend.ApplyPut("c", MakeValue("third", 3));
+
+  // A device that acked the fsync but tore the final record mid-sector.
+  backend.TearDurableTailForTest(4);
+  ASSERT_TRUE(backend.Recover().ok());
+  EXPECT_EQ(backend.stats().torn_records_dropped, 1u);
+  EXPECT_TRUE(backend.Contains("a"));
+  EXPECT_TRUE(backend.Contains("b"));
+  EXPECT_FALSE(backend.Contains("c"));  // the torn record
+}
+
+TEST(SegmentLogBackendTest, InteriorCorruptionFailsRecovery) {
+  BackendConfig cfg;
+  cfg.kind = BackendKind::kSegmentLog;
+  cfg.group_commit_window = 0;
+  SegmentLogBackend backend(cfg);
+  backend.ApplyPut("a", MakeValue("first", 1));
+  backend.ApplyPut("b", MakeValue("second", 2));
+  backend.ApplyPut("c", MakeValue("third", 3));
+
+  // Flip a byte inside the *first* record: valid records follow it, so
+  // this is media corruption, not a torn tail, and must not be dropped
+  // silently.
+  backend.CorruptByteForTest(2);
+  const Status st = backend.Recover();
+  EXPECT_EQ(st.code(), ErrorCode::kCorruption) << st.ToString();
+}
+
+TEST(SegmentLogBackendTest, FsyncCostStaysOffTheForegroundClock) {
+  BackendConfig cfg;
+  cfg.kind = BackendKind::kSegmentLog;
+  cfg.group_commit_window = 0;
+  SegmentLogBackend backend(cfg);
+  for (int i = 0; i < 7; ++i) {
+    backend.ApplyPut("k" + std::to_string(i), MakeValue("v", i + 1));
+  }
+  const BackendStats stats = backend.stats();
+  EXPECT_EQ(stats.fsyncs, 7u);
+  // The cost is real but private: it accrues on the backend's durability
+  // meter, never on any foreground OpMeter or the cloud clock (the
+  // differential test below is the end-to-end pin of that claim).
+  EXPECT_EQ(stats.fsync_nanos, 7 * cfg.fsync_cost);
+}
+
+TEST(MemoryBackendTest, CrashLosesEverythingAndRecoversEmpty) {
+  MemoryBackend backend;
+  backend.ApplyPut("a", MakeValue("v", 1));
+  backend.ApplyDelete("gone", /*tombstone=*/7);
+  backend.Crash();
+  ASSERT_TRUE(backend.Recover().ok());
+  EXPECT_EQ(backend.object_count(), 0u);
+  EXPECT_EQ(backend.TombstoneTime("gone"), 0);
+  EXPECT_GT(backend.stats().records_lost, 0u);
+}
+
+// --- the timed-delete return-code fix (satellite 1) ------------------------
+
+TEST(StorageNodeDurabilityTest, TimedDeleteOnAbsentKeyCommitsAndReturnsOk) {
+  StorageNode node(0, "n0", 1);
+  // Before the fix this returned NotFound while still recording the
+  // tombstone, so hint replay and repair accounting treated a committed
+  // delete as a failure.
+  EXPECT_TRUE(node.Delete("never-written", /*ts=*/300).ok());
+  EXPECT_EQ(node.TombstoneTime("never-written"), 300);
+  // Untimed (administrative) deletes keep their NotFound contract.
+  EXPECT_EQ(node.Delete("also-never-written").code(), ErrorCode::kNotFound);
+}
+
+TEST(StorageNodeDurabilityTest, NodeCrashRestartReplaysSegmentLog) {
+  BackendConfig backend;
+  backend.kind = BackendKind::kSegmentLog;
+  backend.group_commit_window = 4;
+  StorageNode node(0, "n0", 1, /*zone=*/0, backend);
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        node.Put("k" + std::to_string(i), MakeValue("v", 100 + i)).ok());
+  }
+  ASSERT_TRUE(node.QueueHint(ReplicaHint{"k0", MakeValue("h", 1), 0, 3}).ok());
+
+  node.Crash();
+  EXPECT_TRUE(node.IsDown());
+  EXPECT_EQ(node.hint_count(), 0u);  // hints are volatile
+  EXPECT_EQ(node.Get("k0").code(), ErrorCode::kUnavailable);
+
+  ASSERT_TRUE(node.Restart().ok());
+  EXPECT_FALSE(node.IsDown());
+  // Two records (9, 10 mod 4) were in the open batch and died; the
+  // durable eight replayed.
+  EXPECT_EQ(node.object_count(), 8u);
+  EXPECT_EQ(node.backend_stats().records_lost, 2u);
+  EXPECT_TRUE(node.Contains("k7"));
+  EXPECT_FALSE(node.Contains("k8"));
+}
+
+// --- bounded hint queue (satellite 2) --------------------------------------
+
+TEST(HintCapTest, OverflowDegradesToScrubRepairNotUnboundedGrowth) {
+  CloudConfig cfg;
+  cfg.node_count = 8;
+  cfg.replica_count = 3;
+  cfg.part_power = 8;
+  cfg.max_hints_per_node = 4;
+  ObjectCloud cloud(cfg);
+  cloud.SetReadRepair(false);  // isolate the hint path
+  OpMeter meter;
+  const std::string key = "capped";
+  ASSERT_TRUE(cloud.Put(key, ObjectValue::FromString("v0", 0), meter).ok());
+
+  std::size_t down = 0;
+  for (DeviceId dev : cloud.ring().ReplicasOfHash(Md5::Hash64(key))) {
+    down = static_cast<std::size_t>(dev);  // last replica in ring order
+  }
+  cloud.node(down).SetDown(true);
+  // Every overwrite parks a hint on the same surviving holder; past the
+  // cap of 4 the holder refuses instead of growing without bound.
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(
+        cloud.Put(key, ObjectValue::FromString("v" + std::to_string(i), 0),
+                  meter)
+            .ok());
+  }
+  std::uint64_t overflows = 0;
+  std::size_t parked = 0;
+  for (std::size_t n = 0; n < cloud.node_count(); ++n) {
+    overflows += cloud.node(n).hint_overflow_count();
+    parked += cloud.node(n).hint_count();
+    EXPECT_LE(cloud.node(n).hint_count(), 4u) << "node " << n;
+  }
+  EXPECT_EQ(overflows, 16u);  // 20 hints attempted, 4 parked
+  EXPECT_EQ(parked, 4u);
+
+  // Replayed hints alone cannot converge (the parked four are the oldest
+  // versions); the anti-entropy scrub closes the gap.
+  cloud.node(down).SetDown(false);
+  while (cloud.ReplayHints() > 0) {
+  }
+  (void)cloud.ReplicaScrub();
+  EXPECT_EQ(cloud.DivergentKeyCount(), 0u);
+  auto healed = cloud.node(down).Get(key);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed->payload, "v20");
+}
+
+// --- memory vs segment-log differential (tentpole acceptance) --------------
+
+H2CloudConfig BackendConfigFor(BackendKind kind, std::uint32_t window,
+                               std::size_t middlewares) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  cfg.cloud.backend.kind = kind;
+  cfg.cloud.backend.group_commit_window = window;
+  cfg.middleware_count = static_cast<int>(middlewares);
+  return cfg;
+}
+
+constexpr std::size_t kShards = 3;
+
+struct FamilyPlans {
+  std::vector<ShardPlan> setup;
+  std::vector<ShardPlan> ops;
+};
+
+FamilyPlans BuildFamily(const TraceMix& mix, std::size_t ops_per_shard) {
+  FamilyPlans plans;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    TreeSpec spec;
+    spec.file_count = 18;
+    spec.dir_count = 5;
+    spec.max_depth = 4;
+    spec.seed = 300 + s;
+    const GeneratedTree tree = GenerateTree(spec);
+
+    ShardPlan setup;
+    setup.account = "u" + std::to_string(s);
+    for (const std::string& dir : tree.dirs) {
+      setup.ops.push_back(TraceOp{TraceOpKind::kMkdir, dir, "", 0});
+    }
+    for (const FileSpec& file : tree.files) {
+      setup.ops.push_back(
+          TraceOp{TraceOpKind::kWrite, file.path, "", file.size});
+    }
+
+    ShardPlan ops;
+    ops.account = setup.account;
+    ops.ops = GenerateTrace(tree, ops_per_shard, mix, 7100 + s);
+    plans.setup.push_back(std::move(setup));
+    plans.ops.push_back(std::move(ops));
+  }
+  return plans;
+}
+
+std::string RunCycle(const FamilyPlans& plans, const H2CloudConfig& cfg) {
+  H2Cloud cloud(cfg);
+  EngineOptions opts;
+  opts.threads = 1;
+  opts.collect_latencies = false;
+  Result<EngineReport> setup = RunSharded(cloud, plans.setup, opts);
+  EXPECT_TRUE(setup.ok()) << setup.status().ToString();
+  cloud.RunMaintenanceToQuiescence();
+  Result<EngineReport> replay = RunSharded(cloud, plans.ops, opts);
+  EXPECT_TRUE(replay.ok()) << replay.status().ToString();
+  cloud.RunMaintenanceToQuiescence();
+  return cloud.cloud().DebugDump();
+}
+
+void ExpectBackendsBitIdentical(const TraceMix& mix, const char* family) {
+  const FamilyPlans plans = BuildFamily(mix, 40);
+  const std::string oracle =
+      RunCycle(plans, BackendConfigFor(BackendKind::kMemory, 0, kShards));
+  ASSERT_FALSE(oracle.empty());
+  // Any group-commit window must match: durability batching may only
+  // change what a crash would lose, never live foreground state.
+  for (const std::uint32_t window : {0u, 8u, 32u}) {
+    const std::string dump = RunCycle(
+        plans, BackendConfigFor(BackendKind::kSegmentLog, window, kShards));
+    EXPECT_TRUE(dump == oracle)
+        << family << ": segment-log(window=" << window
+        << ") diverged from the in-memory backend (dump sizes "
+        << dump.size() << " vs " << oracle.size() << ")";
+  }
+}
+
+TEST(BackendDifferentialTest, DefaultMixBitIdentical) {
+  ExpectBackendsBitIdentical(TraceMix{}, "default-mix");
+}
+
+TEST(BackendDifferentialTest, ReadHeavyFamilyBitIdentical) {
+  TraceMix mix;
+  mix.stat = 45;
+  mix.read = 35;
+  mix.list = 12;
+  mix.write = 5;
+  mix.mkdir = 1;
+  mix.move = 1;
+  mix.rename = 0.5;
+  mix.copy = 0.5;
+  mix.remove = 0;
+  mix.rmdir = 0;
+  ExpectBackendsBitIdentical(mix, "read-heavy");
+}
+
+TEST(BackendDifferentialTest, StructuralChurnFamilyBitIdentical) {
+  TraceMix mix;
+  mix.stat = 5;
+  mix.read = 5;
+  mix.list = 5;
+  mix.write = 25;
+  mix.mkdir = 15;
+  mix.move = 15;
+  mix.rename = 10;
+  mix.copy = 10;
+  mix.remove = 8;
+  mix.rmdir = 2;
+  ExpectBackendsBitIdentical(mix, "structural-churn");
+}
+
+}  // namespace
+}  // namespace h2

@@ -110,6 +110,36 @@ TEST(ReplicaRepairTest, HintedHandoffDeliversTombstones) {
   EXPECT_EQ(cloud.Get(key, meter).code(), ErrorCode::kNotFound);
 }
 
+TEST(ReplicaRepairTest, TimedDeleteCommitsOnReplicaThatMissedTheWrite) {
+  // Regression for the timed-delete return-code fix: a replica that never
+  // held the object still commits the tombstone, reports Ok, and must not
+  // be charged as a failed delete or an undelivered hint.
+  ObjectCloud cloud(SmallCloud());
+  cloud.SetReadRepair(false);
+  OpMeter meter;
+  const std::string key = "delete-on-laggard";
+
+  const auto replicas = ReplicaIndices(cloud, key);
+  const std::size_t laggard = replicas.back();
+  cloud.node(laggard).SetDown(true);
+  ASSERT_TRUE(cloud.Put(key, ObjectValue::FromString("v1", 10), meter).ok());
+  cloud.node(laggard).SetDown(false);
+  ASSERT_FALSE(cloud.node(laggard).Contains(key));  // missed the write
+
+  // The laggard's node-level delete lands on an absent key: previously
+  // NotFound (counted as mere idempotency), now a committed tombstone.
+  ASSERT_TRUE(cloud.Delete(key, meter).ok());
+  EXPECT_GT(cloud.node(laggard).TombstoneTime(key), 0);
+  EXPECT_EQ(cloud.repair_stats().failed_deletes, 0u);
+
+  // The parked put hint replays superseded by the tombstone; nothing can
+  // resurrect the key and the divergence oracle stays empty.
+  while (cloud.ReplayHints() > 0) {
+  }
+  EXPECT_EQ(cloud.Get(key, meter).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(cloud.DivergentKeyCount(), 0u);
+}
+
 TEST(ReplicaRepairTest, ReadRepairConvergesLaggards) {
   ObjectCloud cloud(SmallCloud());
   cloud.SetHintedHandoff(false);  // isolate the read-repair path
