@@ -1,0 +1,263 @@
+// Churn sweep: degraded foreground latency and time-to-converge under
+// elastic membership changes, per rebalance-rate knob (ISSUE 8).
+//
+// For each scenario -- add a node, remove a node, replace a node, and a
+// full zone outage on the segment-log backend -- and each value of
+// CloudConfig::max_rebalance_keys_per_step (the churn-rate knob), a
+// fresh 9-node / 3-zone cloud is preloaded with the same deterministic
+// object set, the membership event fires, and a GET-only foreground
+// phase runs while RunRebalanceStep drips migration work between
+// operations.  Reported per row:
+//
+//   * p50 / p99 virtual ms     -- per-GET operation time during the
+//                                 degraded window (the paper's metric;
+//                                 rebalance work is priced on its own
+//                                 meter and never advances the
+//                                 foreground clock, so these must not
+//                                 grow with the rebalance rate)
+//   * steps / keys / max-step  -- bounded-rate accounting: no single
+//                                 step may exceed the configured knob
+//   * rebalance virtual ms     -- time-to-converge on the rebalance
+//                                 meter
+//   * divergent_after          -- anti-entropy oracle, must be zero
+//   * oracle_match             -- final DebugDump byte-equal to the
+//                                 rate-0 (drain-everything-per-step)
+//                                 run of the same scenario
+//
+// The measured phase is GET-only by design: a PUT's priced path is
+// rate-invariant, but a GET's winner replica depends on how far
+// migration has progressed, so reads mid-churn consume jitter draws
+// differently per rate.  That is harmless here -- no timestamps are
+// minted after the preload -- and it is exactly the degraded-read
+// latency the sweep exists to measure.
+//
+// Output: human table on stdout plus BENCH_churn.json (path overridable
+// via argv[1], object count via argv[2]); scripts/check_bench_json.sh
+// validates the schema.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/object_cloud.h"
+#include "common/rng.h"
+#include "metrics/stats.h"
+
+namespace h2::bench {
+namespace {
+
+struct SweepSpec {
+  std::size_t objects = 3'000;  // distinct keys preloaded
+  std::size_t gets = 600;       // degraded-phase reads
+  std::uint64_t payload_bytes = 64;
+};
+
+const char* const kScenarios[] = {"add", "remove", "replace",
+                                  "zone_outage"};
+constexpr std::size_t kRates[] = {0, 16, 128};  // 0 = unbounded (oracle)
+
+struct Row {
+  std::string scenario;
+  std::size_t rate = 0;
+  std::size_t gets = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::uint64_t steps_to_converge = 0;
+  std::uint64_t keys_moved = 0;
+  std::uint64_t max_step_keys = 0;
+  double rebalance_ms = 0;
+  std::uint64_t divergent_after = 0;
+  bool oracle_match = false;
+};
+
+CloudConfig ChurnCloudConfig(std::size_t rate) {
+  CloudConfig cfg;
+  cfg.node_count = 9;
+  cfg.replica_count = 3;
+  cfg.zone_count = 3;  // one replica per zone: a zone outage leaves two
+  cfg.part_power = 8;
+  cfg.max_rebalance_keys_per_step = rate;
+  cfg.backend.kind = BackendKind::kSegmentLog;
+  cfg.backend.group_commit_window = 32;
+  return cfg;
+}
+
+std::string Key(std::size_t i) { return "churn-" + std::to_string(i); }
+
+Row RunRow(const std::string& scenario, std::size_t rate,
+           const SweepSpec& spec, std::string& dump_out) {
+  Row row;
+  row.scenario = scenario;
+  row.rate = rate;
+  ObjectCloud cloud(ChurnCloudConfig(rate));
+  OpMeter meter;
+
+  // Preload.  Every key carries a deterministic created stamp (i + 1):
+  // node-level PUT preserves the incumbent's creation time on overwrite,
+  // so migration timing must never be able to change the surviving bytes.
+  const std::string payload(spec.payload_bytes, 'c');
+  for (std::size_t i = 0; i < spec.objects; ++i) {
+    ObjectValue value = ObjectValue::FromString(payload, 0);
+    value.created = static_cast<VirtualNanos>(i + 1);
+    BENCH_CHECK(cloud.Put(Key(i), std::move(value), meter));
+  }
+
+  // The membership event.
+  std::vector<std::size_t> dark;  // zone_outage: crashed node ids
+  if (scenario == "add") {
+    BENCH_CHECK(cloud.AddStorageNodeDeferred().status());
+  } else if (scenario == "remove") {
+    BENCH_CHECK(cloud.RemoveStorageNode(2));
+  } else if (scenario == "replace") {
+    BENCH_CHECK(cloud.ReplaceStorageNode(4).status());
+  } else {  // zone_outage: power-cycle every node in zone 1
+    for (std::size_t n = 0; n < cloud.node_count(); ++n) {
+      if (cloud.node(n).zone() == 1) {
+        cloud.node(n).Crash();
+        dark.push_back(n);
+      }
+    }
+  }
+
+  const auto step = [&] {
+    const std::size_t moved = cloud.RunRebalanceStep();
+    if (moved > 0) {
+      ++row.steps_to_converge;
+      row.keys_moved += moved;
+      row.max_step_keys = std::max<std::uint64_t>(row.max_step_keys, moved);
+    }
+  };
+
+  // Degraded foreground phase: reads race the dripping rebalancer (and,
+  // for zone_outage, run against two of three zones).  Every GET must
+  // succeed; its virtual operation time feeds the latency summary.
+  Summary latency;
+  Rng rng(4242);
+  for (std::size_t g = 0; g < spec.gets; ++g) {
+    const std::string key = Key(rng.Below(spec.objects));
+    meter.Reset();
+    Result<ObjectValue> got = cloud.Get(key, meter);
+    BENCH_CHECK(got.status());
+    latency.Add(meter.cost().elapsed_ms());
+    if (g % 4 == 0) step();
+  }
+  row.gets = spec.gets;
+  row.p50_ms = latency.percentile(0.5);
+  row.p99_ms = latency.percentile(0.99);
+
+  // Drain whatever migration remains, then (zone_outage) restart the
+  // dark zone -- segment-log replay restores the fsynced prefix -- and
+  // scrub anti-entropy until the divergence oracle is empty.
+  while (cloud.RebalancePending() > 0) step();
+  const std::uint64_t scrub_before =
+      cloud.repair_stats().scrub_repairs_pushed;
+  for (const std::size_t n : dark) {
+    BENCH_CHECK(cloud.node(n).Restart());
+  }
+  for (int sweep = 0; sweep < 16; ++sweep) {
+    if (cloud.ReplicaScrub().divergent_keys == 0) break;
+  }
+  // Scrub pushes count as moved keys too: for zone_outage they are the
+  // whole recovery (the rebalance queue is empty).
+  row.keys_moved +=
+      cloud.repair_stats().scrub_repairs_pushed - scrub_before;
+  row.rebalance_ms = ToMillis(cloud.rebalance_cost().elapsed);
+  row.divergent_after = cloud.DivergentKeyCount();
+  dump_out = cloud.DebugDump();
+  return row;
+}
+
+void EmitJson(const char* path, const SweepSpec& spec,
+              const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"churn_sweep\",\n");
+  std::fprintf(f, "  \"unit\": \"virtual_ms\",\n");
+  std::fprintf(f,
+               "  \"workload\": {\"objects\": %zu, \"gets\": %zu, "
+               "\"payload_bytes\": %llu, \"nodes\": 9, \"zones\": 3, "
+               "\"replicas\": 3},\n",
+               spec.objects, spec.gets,
+               static_cast<unsigned long long>(spec.payload_bytes));
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"rate\": %zu, \"gets\": %zu, "
+        "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"steps_to_converge\": %llu, \"keys_moved\": %llu, "
+        "\"max_step_keys\": %llu, \"rebalance_ms\": %.4f, "
+        "\"divergent_after\": %llu, \"oracle_match\": %s}%s\n",
+        r.scenario.c_str(), r.rate, r.gets, r.p50_ms, r.p99_ms,
+        static_cast<unsigned long long>(r.steps_to_converge),
+        static_cast<unsigned long long>(r.keys_moved),
+        static_cast<unsigned long long>(r.max_step_keys), r.rebalance_ms,
+        static_cast<unsigned long long>(r.divergent_after),
+        r.oracle_match ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_churn.json";
+  SweepSpec spec;
+  if (argc > 2) spec.objects = std::strtoull(argv[2], nullptr, 10);
+
+  std::printf("# churn_sweep: %zu objects, %zu degraded GETs per row, "
+              "9 nodes / 3 zones, rates {0=unbounded, 16, 128}\n",
+              spec.objects, spec.gets);
+  std::printf("%-12s %6s %9s %9s %7s %9s %9s %12s %6s %7s\n", "scenario",
+              "rate", "p50 ms", "p99 ms", "steps", "keys", "max/step",
+              "rebal ms", "diverg", "oracle");
+
+  std::vector<Row> rows;
+  bool ok = true;
+  for (const char* const scenario : kScenarios) {
+    std::string oracle_dump;
+    for (const std::size_t rate : kRates) {
+      std::string dump;
+      Row row = RunRow(scenario, rate, spec, dump);
+      if (rate == 0) {
+        oracle_dump = dump;
+        row.oracle_match = true;
+      } else {
+        row.oracle_match = (dump == oracle_dump);
+      }
+      ok = ok && row.oracle_match && row.divergent_after == 0 &&
+           (rate == 0 || row.max_step_keys <= rate);
+      std::printf("%-12s %6zu %9.4f %9.4f %7llu %9llu %9llu %12.4f "
+                  "%6llu %7s\n",
+                  row.scenario.c_str(), row.rate, row.p50_ms, row.p99_ms,
+                  static_cast<unsigned long long>(row.steps_to_converge),
+                  static_cast<unsigned long long>(row.keys_moved),
+                  static_cast<unsigned long long>(row.max_step_keys),
+                  row.rebalance_ms,
+                  static_cast<unsigned long long>(row.divergent_after),
+                  row.oracle_match ? "match" : "DIVERGED");
+      rows.push_back(std::move(row));
+    }
+  }
+  EmitJson(out_path, spec, rows);
+  std::printf("# wrote %s\n", out_path);
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FATAL: a row diverged from its rate-0 oracle, left "
+                 "divergent keys, or exceeded its rate bound\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main(int argc, char** argv) { return h2::bench::Main(argc, argv); }

@@ -13,6 +13,12 @@
 #                       group-commit windows 0, 8 and 32; every row must
 #                       have recovered to the pre-crash state
 #                       (state_match true, divergent_after_recovery 0).
+#   churn_sweep      -- add/remove/replace/zone_outage scenarios each at
+#                       every rebalance rate; every row must match its
+#                       rate-0 oracle (oracle_match true), end with
+#                       divergent_after 0, keep p99 >= p50, and respect
+#                       the rate bound (max_step_keys <= rate when
+#                       rate > 0).
 #
 # Usage: scripts/check_bench_json.sh <bench.json> [min_speedup]
 set -euo pipefail
@@ -52,8 +58,12 @@ def is_count(value):
 
 require(isinstance(doc.get("bench"), str) and doc.get("bench"),
         "top-level 'bench' must be a non-empty string")
-require(doc.get("unit") == "ops_per_sec",
-        "top-level 'unit' must be 'ops_per_sec'")
+# churn_sweep reports virtual (simulated) latency; the wall-clock benches
+# report real throughput.
+expected_unit = ("virtual_ms" if doc.get("bench") == "churn_sweep"
+                 else "ops_per_sec")
+require(doc.get("unit") == expected_unit,
+        f"top-level 'unit' must be '{expected_unit}'")
 workload = doc.get("workload")
 require(isinstance(workload, dict), "'workload' must be an object")
 rows = doc.get("rows")
@@ -142,9 +152,61 @@ def check_durability():
             f"(saw {sorted(w for w in seg_windows if w is not None)})")
     return f"windows={sorted(seg_windows)}"
 
+def check_churn():
+    if isinstance(workload, dict):
+        for key in ("objects", "gets", "nodes", "zones", "replicas"):
+            require(is_count(workload.get(key)) and workload[key] > 0,
+                    f"workload.{key} must be a positive integer")
+    scenarios = set()
+    rates_by_scenario = {}
+    for i, row in enumerate(rows or []):
+        where = f"rows[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        scenario = row.get("scenario")
+        require(scenario in ("add", "remove", "replace", "zone_outage"),
+                f"{where}.scenario must be one of add/remove/replace/"
+                "zone_outage")
+        for key in ("rate", "gets", "steps_to_converge", "keys_moved",
+                    "max_step_keys", "divergent_after"):
+            require(is_count(row.get(key)),
+                    f"{where}.{key} must be a non-negative integer")
+        for key in ("p50_ms", "p99_ms", "rebalance_ms"):
+            value = row.get(key)
+            require(is_number(value) and value >= 0,
+                    f"{where}.{key} must be a non-negative number")
+        require(row.get("oracle_match") is True,
+                f"{where}.oracle_match must be true "
+                "(final state diverged from the rate-0 oracle)")
+        require(row.get("divergent_after") == 0,
+                f"{where}.divergent_after must be 0")
+        if is_number(row.get("p50_ms")) and is_number(row.get("p99_ms")):
+            require(row["p99_ms"] >= row["p50_ms"],
+                    f"{where}: p99_ms must be >= p50_ms")
+        if is_count(row.get("rate")) and row["rate"] > 0 and \
+                is_count(row.get("max_step_keys")):
+            require(row["max_step_keys"] <= row["rate"],
+                    f"{where}: max_step_keys {row['max_step_keys']} exceeds "
+                    f"the configured rate {row['rate']}")
+        if isinstance(scenario, str):
+            scenarios.add(scenario)
+            rates_by_scenario.setdefault(scenario, set()).add(row.get("rate"))
+    require(scenarios == {"add", "remove", "replace", "zone_outage"},
+            "rows must cover scenarios add, remove, replace and zone_outage "
+            f"(saw {sorted(scenarios)})")
+    for scenario, rates in sorted(rates_by_scenario.items()):
+        require(0 in rates,
+                f"scenario '{scenario}' must include the rate-0 oracle run")
+        require(any(is_count(r) and r > 0 for r in rates),
+                f"scenario '{scenario}' must include a bounded-rate run")
+    return f"scenarios={sorted(scenarios)}"
+
 bench = doc.get("bench")
 if bench == "durability_sweep":
     detail = check_durability()
+elif bench == "churn_sweep":
+    detail = check_churn()
 elif bench:
     # throughput_sweep and future benches adopting its envelope.
     detail = check_throughput()

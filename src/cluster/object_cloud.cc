@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <set>
 #include <unordered_map>
 
@@ -18,8 +19,14 @@ ObjectCloud::ObjectCloud(const CloudConfig& config)
       hinted_handoff_(config.hinted_handoff),
       io_concurrency_(config.io_concurrency),
       backend_config_(config.backend),
-      max_hints_per_node_(config.max_hints_per_node) {
+      max_hints_per_node_(config.max_hints_per_node),
+      max_rebalance_keys_per_step_(config.max_rebalance_keys_per_step) {
   assert(config.node_count >= 1);
+  // Headroom for elastic membership: growing nodes_ must never reallocate
+  // under readers that index it without the membership lock (direct
+  // primitives, monitors).  Membership mutations beyond this reserve still
+  // work but are only safe against pinned batches.
+  nodes_.reserve(static_cast<std::size_t>(config.node_count) * 2 + 16);
   SplitMix64 seeder(config.seed);
   for (int i = 0; i < config.node_count; ++i) {
     const auto id = static_cast<DeviceId>(i);
@@ -259,8 +266,57 @@ Result<ObjectValue> ObjectCloud::Get(const std::string& key,
     meter.AddBytes(value->logical_size);
     return value;
   }
-  if (any_answer) return Status::NotFound("no such object: " + key);
+  if (any_answer) {
+    // Every reachable owner answered 404.  If the key is still queued
+    // for rebalance the copy lives on its *previous* owners -- a publish
+    // can reassign all replica rows of a partition at once -- so sweep
+    // the fleet before declaring it gone (stale-free: newest-wins with
+    // the same tombstone rule the migration itself applies).
+    Result<ObjectValue> moved = RebalanceFallbackGet(key);
+    if (moved.ok()) {
+      meter.AddBytes(moved->logical_size);
+      return moved;
+    }
+    return Status::NotFound("no such object: " + key);
+  }
   return Status::Unavailable("no replica reachable for: " + key);
+}
+
+Result<ObjectValue> ObjectCloud::RebalanceFallbackGet(const std::string& key) {
+  {
+    std::lock_guard lock(rebalance_mu_);
+    if (rebalance_pending_.find(key) == rebalance_pending_.end()) {
+      return Status::NotFound("no such object: " + key);
+    }
+  }
+  // Same newest-wins / tombstone-dominates walk as MigrateKey, read-only.
+  ObjectValue newest;
+  bool have_copy = false;
+  VirtualNanos tombstone = 0;
+  VirtualNanos cost = 0;
+  for (const auto& node : nodes_) {
+    cost += latency_.HeadBase();
+    tombstone = std::max(tombstone, node->TombstoneTime(key));
+    Result<ObjectValue> r = node->Get(key);
+    if (!r.ok()) continue;
+    if (!have_copy || r->modified > newest.modified) {
+      newest = std::move(r).value();
+      have_copy = true;
+    }
+  }
+  if (!have_copy || tombstone >= newest.modified) {
+    have_copy = false;
+  } else {
+    cost += latency_.ByteCost(newest.logical_size);
+  }
+  {
+    std::lock_guard lock(rebalance_mu_);
+    // Migration debt: un-jittered, never advances the foreground clock,
+    // so NotFound pricing on the request path stays churn-independent.
+    rebalance_meter_.Charge(cost);
+  }
+  if (!have_copy) return Status::NotFound("no such object: " + key);
+  return newest;
 }
 
 Result<ObjectHead> ObjectCloud::Head(const std::string& key,
@@ -442,6 +498,13 @@ std::vector<BatchResult> ObjectCloud::ExecuteBatch(std::vector<BatchOp> ops,
   std::vector<BatchResult> results(ops.size());
   if (ops.empty()) return results;
 
+  // Pin the batch to one membership epoch: a concurrent AddStorageNode /
+  // RemoveStorageNode blocks on membership_mu_ until the wave drains, so
+  // no op inside the batch can observe a half-applied topology (some ops
+  // routed by the old ring, some by the new).
+  std::shared_lock membership_pin(membership_mu_);
+  const std::uint64_t pinned_epoch = ring_.epoch();
+
   // Execute sequentially through the ordinary primitives so node
   // mutations, clock ticks and jitter draws are identical at every W;
   // each op's serial cost is captured on a private sub-meter and becomes
@@ -504,6 +567,9 @@ std::vector<BatchResult> ObjectCloud::ExecuteBatch(std::vector<BatchOp> ops,
     batch_stats_.batched_ops += ops.size();
     batch_stats_.serial_cost += serial_total.elapsed;
     batch_stats_.critical_cost += critical;
+    // Invariant check, not control flow: the shared lock above makes a
+    // mid-batch epoch change impossible, so this stays 0.
+    if (ring_.epoch() != pinned_epoch) ++batch_stats_.epoch_pin_violations;
   }
   return results;
 }
@@ -642,26 +708,277 @@ ObjectCloud::MigrationReport ObjectCloud::RedistributeObjects() {
   return report;
 }
 
-Result<ObjectCloud::MigrationReport> ObjectCloud::AddStorageNode() {
+// --- elastic membership -----------------------------------------------------
+
+Result<DeviceId> ObjectCloud::StageAddNode(int zone_override, double weight) {
   const auto id = static_cast<DeviceId>(nodes_.size());
-  // Same round-robin zone assignment as the constructor, so scale-out
-  // keeps replicas spread across failure domains.
-  const auto zone = static_cast<std::uint32_t>(id % zone_count_);
+  // Same round-robin zone assignment as the constructor (unless pinned),
+  // so scale-out keeps replicas spread across failure domains.
+  const auto zone = zone_override >= 0
+                        ? static_cast<std::uint32_t>(zone_override)
+                        : static_cast<std::uint32_t>(id % zone_count_);
   std::string name = "node-" + std::to_string(id);
   SplitMix64 seeder(0x9e3779b97f4a7c15ULL ^ id);
-  nodes_.push_back(std::make_unique<StorageNode>(
-      id, name, seeder.Next(), zone, backend_config_, max_hints_per_node_));
-  H2_RETURN_IF_ERROR(
-      ring_.AddDevice(RingDevice{id, std::move(name), 1.0, zone}));
-  H2_RETURN_IF_ERROR(ring_.Rebalance());
-  return RedistributeObjects();
+  {
+    std::unique_lock membership(membership_mu_);
+    nodes_.push_back(std::make_unique<StorageNode>(
+        id, name, seeder.Next(), zone, backend_config_, max_hints_per_node_));
+    H2_RETURN_IF_ERROR(
+        ring_.AddDevice(RingDevice{id, std::move(name), weight, zone}));
+    H2_RETURN_IF_ERROR(ring_.Rebalance());
+  }
+  RebuildRebalanceQueue();
+  return id;
+}
+
+Result<DeviceId> ObjectCloud::AddStorageNodeDeferred() {
+  return StageAddNode(/*zone_override=*/-1, /*weight=*/1.0);
+}
+
+Status ObjectCloud::RemoveStorageNode(DeviceId id) {
+  {
+    std::unique_lock membership(membership_mu_);
+    if (ring_.active_device_count() <= 1) {
+      return Status::InvalidArgument("cannot remove the last device");
+    }
+    H2_RETURN_IF_ERROR(ring_.RemoveDevice(id));
+    H2_RETURN_IF_ERROR(ring_.Rebalance());
+  }
+  MigrateHints(id);
+  RebuildRebalanceQueue();
+  return Status::Ok();
+}
+
+Result<DeviceId> ObjectCloud::ReplaceStorageNode(DeviceId id) {
+  // Validate + capture the outgoing device's weight before staging the
+  // replacement, so a NotFound leaves no orphan node behind.
+  double weight = 0.0;
+  for (const RingDevice& dev : ring_.devices()) {
+    if (dev.id == id && dev.active) weight = dev.weight;
+  }
+  if (weight <= 0.0) return Status::NotFound("no such active device");
+  const auto new_id = static_cast<DeviceId>(nodes_.size());
+  const std::uint32_t zone = nodes_[id]->zone();  // inherit failure domain
+  std::string name = "node-" + std::to_string(new_id);
+  SplitMix64 seeder(0x9e3779b97f4a7c15ULL ^ new_id);
+  {
+    std::unique_lock membership(membership_mu_);
+    nodes_.push_back(std::make_unique<StorageNode>(
+        new_id, name, seeder.Next(), zone, backend_config_,
+        max_hints_per_node_));
+    H2_RETURN_IF_ERROR(ring_.ReplaceDevice(
+        id, RingDevice{new_id, std::move(name), weight, zone}));
+  }
+  MigrateHints(id);
+  RebuildRebalanceQueue();
+  return new_id;
+}
+
+Status ObjectCloud::SetNodeWeight(DeviceId id, double weight) {
+  {
+    std::unique_lock membership(membership_mu_);
+    H2_RETURN_IF_ERROR(ring_.SetWeight(id, weight));
+    H2_RETURN_IF_ERROR(ring_.Rebalance());
+  }
+  RebuildRebalanceQueue();
+  return Status::Ok();
+}
+
+void ObjectCloud::RebuildRebalanceQueue() {
+  std::shared_lock membership(membership_mu_);
+  std::lock_guard lock(rebalance_mu_);
+  rebalance_queue_.clear();
+  rebalance_pending_.clear();
+  // Sorted key -> holder set (std::map keeps the queue deterministic);
+  // nodes_ is walked in DeviceId order so each holder list arrives sorted.
+  std::map<std::string, std::vector<DeviceId>> holders;
+  for (const auto& node : nodes_) {
+    node->ForEach([&](const std::string& key, const ObjectValue&) {
+      holders[key].push_back(node->id());
+    });
+  }
+  VirtualNanos scan_cost = 0;
+  for (auto& [key, holder_ids] : holders) {
+    scan_cost += latency_.profile().scan_per_object;
+    std::vector<DeviceId> owners = ring_.ReplicasOfHash(Md5::Hash64(key));
+    std::sort(owners.begin(), owners.end());
+    owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+    if (holder_ids != owners) {
+      rebalance_queue_.push_back(key);
+      rebalance_pending_.insert(key);
+    }
+  }
+  rebalance_stats_.epoch = ring_.epoch();
+  // The placement scan is background work on the rebalance meter; like
+  // every rebalance charge it never advances the foreground clock.
+  rebalance_meter_.Charge(scan_cost);
+}
+
+void ObjectCloud::MigrateKey(const std::string& key, RebalanceStats& stats,
+                             std::vector<OpMeter::BatchLane>& lanes) {
+  // Per-key slice of RedistributeObjects with identical semantics: the
+  // newest reachable copy wins, a newer tombstone propagates instead of
+  // re-replicating, and node-level Put/Delete preserve timestamps -- so a
+  // drained queue leaves the same bytes as one eager migration, however
+  // the keys were chunked into steps.
+  ObjectValue newest;
+  bool have_copy = false;
+  VirtualNanos tombstone = 0;
+  std::vector<DeviceId> holder_ids;
+  for (const auto& node : nodes_) {
+    tombstone = std::max(tombstone, node->TombstoneTime(key));
+    Result<ObjectValue> r = node->Get(key);
+    if (!r.ok()) continue;  // down / faulted nodes converge via scrub
+    holder_ids.push_back(node->id());
+    if (!have_copy || r->modified > newest.modified) {
+      newest = std::move(r).value();
+      have_copy = true;
+    }
+  }
+  if (!have_copy) return;  // vanished or tombstone-only: nothing to move
+  const auto owners = ring_.ReplicasOfHash(Md5::Hash64(key));
+  if (tombstone >= newest.modified) {
+    for (DeviceId holder : holder_ids) {
+      if (nodes_[holder]->Delete(key, tombstone).ok()) {
+        ++stats.objects_dropped;
+        lanes.push_back(
+            {latency_.RepairPushBase(), static_cast<std::uint32_t>(holder)});
+      }
+    }
+    return;
+  }
+  for (DeviceId owner : owners) {
+    if (std::find(holder_ids.begin(), holder_ids.end(), owner) ==
+        holder_ids.end()) {
+      // Conditional so a foreground write that raced ahead of this
+      // migration step is never clobbered by the older snapshot; in a
+      // serial drain the owner holds nothing and this always writes.
+      if (nodes_[owner]->PutIfNewer(key, newest).ok()) {
+        ++stats.objects_copied;
+        stats.bytes_copied += newest.logical_size;
+        lanes.push_back({latency_.RepairPushBase() +
+                             latency_.ByteCost(newest.logical_size),
+                         static_cast<std::uint32_t>(owner)});
+      }
+    }
+  }
+  for (DeviceId holder : holder_ids) {
+    if (std::find(owners.begin(), owners.end(), holder) == owners.end()) {
+      if (nodes_[holder]->Delete(key).ok()) {
+        ++stats.objects_dropped;
+        lanes.push_back(
+            {latency_.RepairPushBase(), static_cast<std::uint32_t>(holder)});
+      }
+    }
+  }
+}
+
+void ObjectCloud::MigrateHints(DeviceId removed) {
+  std::shared_lock membership(membership_mu_);
+  std::uint64_t migrated = 0;
+  VirtualNanos cost = 0;
+  for (const auto& holder : nodes_) {
+    std::vector<ReplicaHint> orphaned = holder->TakeHints(
+        [removed](DeviceId target) { return target == removed; });
+    for (ReplicaHint& hint : orphaned) {
+      // Retarget the parked write to the key's successor under the new
+      // ring: prefer an owner that does not hold the key yet (that is the
+      // slot the removed device vacated); if the holder is the only
+      // owner, the write is already durable there and the hint drops.
+      const auto owners = ring_.ReplicasOfHash(Md5::Hash64(hint.key));
+      DeviceId successor = removed;
+      bool found = false;
+      for (DeviceId owner : owners) {
+        if (owner == holder->id()) continue;
+        if (!found) {
+          successor = owner;
+          found = true;
+        }
+        if (!nodes_[owner]->Contains(hint.key)) {
+          successor = owner;
+          break;
+        }
+      }
+      ++migrated;
+      cost += latency_.profile().lan_hop;  // local queue relabel + append
+      if (!found) continue;
+      hint.target = successor;
+      (void)holder->QueueHint(std::move(hint));
+    }
+  }
+  if (migrated != 0) {
+    std::lock_guard lock(rebalance_mu_);
+    rebalance_stats_.hints_migrated += migrated;
+    rebalance_meter_.Charge(cost);
+  }
+}
+
+std::size_t ObjectCloud::RunRebalanceStep(std::size_t max_keys) {
+  std::shared_lock membership(membership_mu_);
+  std::lock_guard lock(rebalance_mu_);
+  if (rebalance_queue_.empty()) return 0;
+  if (max_keys == 0) max_keys = max_rebalance_keys_per_step_;
+  if (max_keys == 0) max_keys = rebalance_queue_.size();  // knob 0: drain
+  std::vector<OpMeter::BatchLane> lanes;
+  std::size_t processed = 0;
+  while (processed < max_keys && !rebalance_queue_.empty()) {
+    const std::string key = std::move(rebalance_queue_.front());
+    rebalance_queue_.pop_front();
+    rebalance_pending_.erase(key);
+    MigrateKey(key, rebalance_stats_, lanes);
+    ++processed;
+  }
+  ++rebalance_stats_.steps;
+  rebalance_stats_.keys_moved += processed;
+  // Un-jittered wave pricing on the dedicated meter.  The foreground
+  // clock never advances for rebalance work, so the churn rate cannot
+  // perturb foreground timestamps: the drained state is bit-identical at
+  // every max_keys setting.
+  if (!lanes.empty()) {
+    (void)rebalance_meter_.ChargeCriticalPath(
+        lanes, EffectiveConcurrency(), latency_.profile().disk_queue);
+  }
+  return processed;
+}
+
+ObjectCloud::MigrationReport ObjectCloud::DrainRebalance() {
+  const RebalanceStats before = rebalance_stats();
+  while (RunRebalanceStep(~std::size_t{0}) > 0) {
+  }
+  const RebalanceStats after = rebalance_stats();
+  MigrationReport report;
+  report.objects_copied = after.objects_copied - before.objects_copied;
+  report.objects_dropped = after.objects_dropped - before.objects_dropped;
+  report.bytes_copied = after.bytes_copied - before.bytes_copied;
+  return report;
+}
+
+std::size_t ObjectCloud::RebalancePending() const {
+  std::lock_guard lock(rebalance_mu_);
+  return rebalance_queue_.size();
+}
+
+ObjectCloud::RebalanceStats ObjectCloud::rebalance_stats() const {
+  std::lock_guard lock(rebalance_mu_);
+  return rebalance_stats_;
+}
+
+OpCost ObjectCloud::rebalance_cost() const {
+  std::lock_guard lock(rebalance_mu_);
+  return rebalance_meter_.cost();
+}
+
+Result<ObjectCloud::MigrationReport> ObjectCloud::AddStorageNode() {
+  // Eager legacy entry point: stage the membership change, then drain the
+  // whole queue before returning (callers expect a converged cluster).
+  H2_RETURN_IF_ERROR(AddStorageNodeDeferred().status());
+  return DrainRebalance();
 }
 
 Result<ObjectCloud::MigrationReport> ObjectCloud::DecommissionNode(
     DeviceId id) {
-  H2_RETURN_IF_ERROR(ring_.RemoveDevice(id));
-  H2_RETURN_IF_ERROR(ring_.Rebalance());
-  MigrationReport report = RedistributeObjects();
+  H2_RETURN_IF_ERROR(RemoveStorageNode(id));
+  MigrationReport report = DrainRebalance();
   // The drained node must hold nothing afterwards.
   if (nodes_[id]->object_count() != 0) {
     return Status::Internal("decommissioned node still holds objects");
@@ -793,6 +1110,8 @@ void ObjectCloud::ReadRepair(const std::string& key,
 }
 
 std::size_t ObjectCloud::ReplayHints() {
+  // Maintenance runs against a stable topology (node set + ring epoch).
+  std::shared_lock membership(membership_mu_);
   std::size_t delivered = 0;
   // Each delivered hint is one independent node-to-node push: a lane of a
   // repair batch, contending on the target node's disk, wave-priced on
@@ -845,6 +1164,8 @@ std::size_t ObjectCloud::ReplayHints() {
 }
 
 ObjectCloud::RepairReport ObjectCloud::ScrubInternal(bool repair) {
+  // Maintenance runs against a stable topology (node set + ring epoch).
+  std::shared_lock membership(membership_mu_);
   RepairReport report;
   // Deterministic sweep: sorted union of keys held by reachable nodes.
   std::set<std::string> keys;

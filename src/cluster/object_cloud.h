@@ -31,11 +31,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/latency.h"
@@ -76,6 +79,11 @@ struct CloudConfig {
   /// convergence to the anti-entropy scrub instead of growing without
   /// bound (surfaced as hint_overflow_count / monitor "overflowed").
   std::size_t max_hints_per_node = StorageNode::kDefaultMaxHints;
+  /// Keys a single RunRebalanceStep migrates (the churn-rate knob): the
+  /// maintenance loop drains the post-membership-change rebalance queue
+  /// at most this fast, so foreground latency during churn is bounded by
+  /// construction.  0 = unbounded (each step drains the whole queue).
+  std::size_t max_rebalance_keys_per_step = 128;
 };
 
 struct PutOptions {
@@ -205,6 +213,11 @@ class ObjectCloud {
     std::uint64_t batched_ops = 0;
     VirtualNanos serial_cost = 0;    // what a serial client would have paid
     VirtualNanos critical_cost = 0;  // what wave scheduling charged
+    /// Batches that observed a ring-epoch change mid-flight.  Membership
+    /// publishes take membership_mu_ exclusively while every batch holds
+    /// it shared, so this must stay 0 -- the invariant the batch_io
+    /// regression test pins.
+    std::uint64_t epoch_pin_violations = 0;
     double mean_width() const {
       return batches == 0 ? 0.0
                           : static_cast<double>(batched_ops) /
@@ -242,8 +255,25 @@ class ObjectCloud {
   // object storage cloud to automatically provide high reliability and
   // scalability"): grow or shrink the ring and move only the partitions
   // whose ownership changed, or heal replication after a node loss.
-  // Administration assumes a quiescent cluster (no concurrent writers),
-  // as Swift's ring deployments do.
+  //
+  // Membership changes are safe under load: each one publishes the new
+  // ring under membership_mu_ held exclusively, while every ExecuteBatch
+  // pins the epoch by holding it shared -- an in-flight batch never
+  // observes a topology flip mid-wave.  Concurrent membership *mutations*
+  // against each other are still externally serialized (one admin), as
+  // Swift ring deployments are.
+  //
+  // Data movement is decoupled from the ring publish: a membership change
+  // enqueues the affected keys on a deterministic (sorted) rebalance
+  // queue, drained by RunRebalanceStep at most max_rebalance_keys_per_step
+  // keys at a time.  Migration preserves object timestamps (node-level
+  // Put/Delete, no clock ticks, no jitter), and its cost lands on a
+  // dedicated rebalance OpMeter -- same out-of-band pattern as the repair
+  // meter -- so the final cloud state is bit-identical across every
+  // rebalance-rate setting and foreground latency during churn is bounded
+  // by the configured rate.  The eager entry points (AddStorageNode /
+  // DecommissionNode) stage the change and drain the queue to completion
+  // before returning.
 
   struct MigrationReport {
     std::uint64_t objects_copied = 0;   // new replica placements written
@@ -265,6 +295,56 @@ class ObjectCloud {
   /// after a node lost its disk) and drops replicas from nodes that no
   /// longer own them.  Swift calls this the replicator.
   MigrationReport RepairReplicas();
+
+  // --- elastic membership (bounded-rate, under load) -----------------------
+
+  /// Adds a storage node and publishes the new ring but does NOT migrate
+  /// data: affected keys go on the rebalance queue for RunRebalanceStep.
+  /// Returns the new node's device id.
+  Result<DeviceId> AddStorageNodeDeferred();
+  /// Removes a node from the ring (it may be down or already gone).  Hints
+  /// parked anywhere *for* the removed node are retargeted to the key's
+  /// successor owners instead of leaking; the node's data drains via the
+  /// rebalance queue.
+  Status RemoveStorageNode(DeviceId id);
+  /// Swaps a (typically failed) node for a fresh one that inherits its
+  /// ring slots, weight and zone -- minimal movement: only the old node's
+  /// own share re-replicates, nothing reshuffles among survivors.
+  /// Returns the replacement's device id.
+  Result<DeviceId> ReplaceStorageNode(DeviceId id);
+  /// Changes a node's ring weight; the proportional share of partitions
+  /// moves via the rebalance queue.
+  Status SetNodeWeight(DeviceId id, double weight);
+
+  /// Current membership epoch (the ring's published-table generation);
+  /// gossiped to middlewares so their resolve caches flush on topology
+  /// change.
+  std::uint64_t membership_epoch() const { return ring_.epoch(); }
+
+  /// Migrates up to `max_keys` queued keys to their current ring owners
+  /// (0 = CloudConfig::max_rebalance_keys_per_step; that knob at 0 means
+  /// drain fully).  Returns keys processed -- a maintenance work count.
+  /// Deterministic: keys move in sorted order, timestamps preserved, cost
+  /// charged un-jittered to the rebalance meter without advancing the
+  /// foreground clock, so churn rate can never perturb foreground state.
+  std::size_t RunRebalanceStep(std::size_t max_keys = 0);
+  /// Keys still awaiting migration after a membership change.
+  std::size_t RebalancePending() const;
+
+  /// Cumulative rebalance accounting, surfaced by h2/monitor.
+  struct RebalanceStats {
+    std::uint64_t epoch = 0;        // ring epoch the queue was built for
+    std::uint64_t steps = 0;        // RunRebalanceStep calls that did work
+    std::uint64_t keys_moved = 0;   // queue entries processed
+    std::uint64_t objects_copied = 0;
+    std::uint64_t objects_dropped = 0;
+    std::uint64_t bytes_copied = 0;
+    std::uint64_t hints_migrated = 0;  // retargeted off removed nodes
+  };
+  RebalanceStats rebalance_stats() const;
+  /// Background rebalance traffic priced so far (out-of-band; foreground
+  /// OpMeters never include it).
+  OpCost rebalance_cost() const;
 
   // --- replica repair (degraded-mode convergence) --------------------------
   // Metered in virtual time on the cloud's background repair meter; see
@@ -410,6 +490,35 @@ class ObjectCloud {
   /// Moves every object to exactly its current replica set.
   MigrationReport RedistributeObjects();
 
+  // -- elastic-membership internals --
+  /// Creates the next storage node (round-robin zone unless `zone_override`
+  /// >= 0) and registers + publishes it on the ring.
+  Result<DeviceId> StageAddNode(int zone_override, double weight);
+  /// Rebuilds the rebalance queue from scratch: every key whose holder set
+  /// differs from its ring owner set, in sorted order.  Called after each
+  /// membership publish; the enumeration scan is charged to the rebalance
+  /// meter.
+  void RebuildRebalanceQueue();
+  /// Migrates one key to exactly its current owners (timestamp-preserving
+  /// node-level Put/Delete); appends the priced pushes to `lanes`.
+  void MigrateKey(const std::string& key, RebalanceStats& stats,
+                  std::vector<OpMeter::BatchLane>& lanes);
+  /// Re-parks hints targeted at `removed` onto the keys' successor owners
+  /// (hint-drain-on-remove: parked writes must not leak with the node).
+  void MigrateHints(DeviceId removed);
+  /// Drains the rebalance queue to completion; returns the migration
+  /// delta as the eager entry points' MigrationReport.
+  MigrationReport DrainRebalance();
+  /// Degraded-read fallback for a key still queued for rebalance: a
+  /// publish may reassign every replica row of a partition at once, so
+  /// none of the *current* owners holds the key until migration reaches
+  /// it.  Sweeps the whole fleet for the newest live copy (tombstones
+  /// win ties, same rule as MigrateKey).  Priced on the rebalance meter:
+  /// the extra probes are migration debt, and foreground NotFound
+  /// pricing must not depend on churn state.  Returns NotFound when the
+  /// key is not pending or no copy survives.
+  Result<ObjectValue> RebalanceFallbackGet(const std::string& key);
+
   PartitionRing ring_;
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   SimClock clock_;
@@ -425,9 +534,25 @@ class ObjectCloud {
   std::uint64_t io_concurrency_;  // CloudConfig::io_concurrency
   BackendConfig backend_config_;  // backend for ctor + AddStorageNode nodes
   std::size_t max_hints_per_node_;
+  std::size_t max_rebalance_keys_per_step_;  // churn-rate knob
 
   mutable std::mutex batch_mu_;  // guards batch_stats_
   BatchStats batch_stats_;
+
+  /// Epoch pin: ExecuteBatch holds the shared side for its whole wave;
+  /// membership publishes (ring mutation + nodes_ growth) take the
+  /// exclusive side, so a topology flip waits for in-flight batches and a
+  /// batch never routes half-old, half-new.  Ordering: membership_mu_ ->
+  /// rebalance_mu_ (queue rebuild inside a publish); never the reverse.
+  mutable std::shared_mutex membership_mu_;
+
+  mutable std::mutex rebalance_mu_;  // guards the queue, meter and stats
+  std::deque<std::string> rebalance_queue_;
+  /// Membership of rebalance_queue_, for O(1) pending checks on the read
+  /// path (never iterated, so unordered is safe).
+  std::unordered_set<std::string> rebalance_pending_;
+  OpMeter rebalance_meter_;
+  RebalanceStats rebalance_stats_;
 
   mutable std::mutex repair_mu_;  // guards repair_meter_ and repair_stats_
   OpMeter repair_meter_;

@@ -40,6 +40,41 @@ Result<std::unique_ptr<H2AccountFs>> H2Cloud::OpenFilesystem(
   return std::make_unique<H2AccountFs>(mw, std::string(user), root);
 }
 
+void H2Cloud::AnnounceTopology() {
+  const std::uint64_t epoch = cloud_->membership_epoch();
+  // The publisher never receives its own rumor, so middleware 0 (the
+  // bus member the deployment publishes through) learns directly; the
+  // rumor then spreads epidemically to the rest of the fleet.
+  middlewares_.front()->ObserveTopologyEpoch(epoch);
+  gossip_.Publish(middlewares_.front()->node_id() - 1,
+                  Rumor{kMembershipRumorTopic, 0,
+                        static_cast<std::int64_t>(epoch)});
+}
+
+Result<DeviceId> H2Cloud::AddStorageNode() {
+  H2_ASSIGN_OR_RETURN(DeviceId id, cloud_->AddStorageNodeDeferred());
+  AnnounceTopology();
+  return id;
+}
+
+Status H2Cloud::RemoveStorageNode(DeviceId id) {
+  H2_RETURN_IF_ERROR(cloud_->RemoveStorageNode(id));
+  AnnounceTopology();
+  return Status::Ok();
+}
+
+Result<DeviceId> H2Cloud::ReplaceStorageNode(DeviceId id) {
+  H2_ASSIGN_OR_RETURN(DeviceId fresh, cloud_->ReplaceStorageNode(id));
+  AnnounceTopology();
+  return fresh;
+}
+
+Status H2Cloud::SetNodeWeight(DeviceId id, double weight) {
+  H2_RETURN_IF_ERROR(cloud_->SetNodeWeight(id, weight));
+  AnnounceTopology();
+  return Status::Ok();
+}
+
 std::size_t H2Cloud::RunMaintenanceStep() {
   std::size_t work = 0;
   for (auto& mw : middlewares_) {
@@ -51,6 +86,10 @@ std::size_t H2Cloud::RunMaintenanceStep() {
   // answer again.  Counts as work so quiescence waits for revived nodes
   // to catch up (undeliverable hints stay parked and count zero).
   work += cloud_->RunRepairStep();
+  // Bounded-rate rebalance: migrate at most max_rebalance_keys_per_step
+  // keys toward their post-churn owners.  Counts as work so quiescence
+  // implies a fully converged placement.
+  work += cloud_->RunRebalanceStep();
   return work;
 }
 
@@ -117,6 +156,7 @@ void H2Cloud::PumpLoop(std::chrono::milliseconds period) {
   while (background_running_.load(std::memory_order_relaxed)) {
     gossip_.Step();
     cloud_->RunRepairStep();
+    cloud_->RunRebalanceStep();
     std::this_thread::sleep_for(period);
   }
 }

@@ -48,10 +48,23 @@ class H2Cloud {
   Result<std::unique_ptr<H2AccountFs>> OpenFilesystem(
       std::string_view user, std::size_t middleware_index = 0);
 
+  // --- elastic membership -------------------------------------------------
+  // Cluster-level membership changes, announced to the H2Layer over the
+  // gossip bus: the middlewares learn the new epoch (and flush their
+  // placement caches) the same way they learn NameRing patches.  Data
+  // movement is deferred to the bounded-rate rebalancer driven from
+  // RunMaintenanceStep (or the background pump).
+  Result<DeviceId> AddStorageNode();
+  Status RemoveStorageNode(DeviceId id);
+  Result<DeviceId> ReplaceStorageNode(DeviceId id);
+  Status SetNodeWeight(DeviceId id, double weight);
+
   // --- deterministic maintenance ----------------------------------------------
   /// One maintenance step: every middleware merges its pending patches and
-  /// runs some lazy cleanup, then gossip delivers one round.
-  /// Returns work items processed (patches + deletions + deliveries).
+  /// runs some lazy cleanup, then gossip delivers one round, then the
+  /// substrate replays hints and migrates one bounded rebalance chunk.
+  /// Returns work items processed (patches + deletions + deliveries +
+  /// keys migrated).
   std::size_t RunMaintenanceStep();
   /// Steps until the system is quiescent (no pending patches, empty
   /// cleanup queues, silent gossip).  Returns steps taken.
@@ -92,6 +105,10 @@ class H2Cloud {
   OpCost TotalMaintenanceCost() const;
 
  private:
+  /// Spreads the cloud's current membership epoch to the H2Layer: told
+  /// directly to middleware 0 (the bus never loops a rumor back to its
+  /// publisher) and gossiped to the rest.
+  void AnnounceTopology();
   void CoordinatedLoop(std::chrono::milliseconds period);
   void MergerLoop(H2Middleware& mw, std::chrono::milliseconds period);
   void PumpLoop(std::chrono::milliseconds period);

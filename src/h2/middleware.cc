@@ -1110,7 +1110,29 @@ void H2Middleware::Announce(const NamespaceId& ns, VirtualNanos version) {
                    Rumor{ns.ToString(), node_, version});
 }
 
+bool H2Middleware::ObserveTopologyEpoch(std::uint64_t epoch) {
+  {
+    std::lock_guard lock(mu_);
+    ++counters_.gossip_rumors_handled;
+    if (epoch <= topology_epoch_) return false;  // old news: stop forwarding
+    topology_epoch_ = epoch;
+    ++counters_.topology_updates;
+  }
+  // Placement-derived cache state is stale the instant the ring moves:
+  // flush outside mu_ (the cache is a leaf lock; never nest into it
+  // while holding state the cache's other callers also take).
+  resolve_cache_.OnTopologyEpoch(epoch);
+  return true;
+}
+
 bool H2Middleware::HandleRumor(const Rumor& rumor) {
+  // Membership epochs travel the same bus as NameRing rumors (the
+  // middleware learns topology exactly like it learns patches); the
+  // reserved topic dispatches before the namespace parse below.
+  if (rumor.topic == kMembershipRumorTopic) {
+    return ObserveTopologyEpoch(
+        static_cast<std::uint64_t>(rumor.version));
+  }
   Result<NamespaceId> parsed = NamespaceId::Parse(rumor.topic);
   if (!parsed.ok()) return false;
   const NamespaceId ns = *parsed;

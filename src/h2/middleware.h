@@ -58,7 +58,12 @@ struct H2Counters {
   std::uint64_t resolve_cache_hits = 0;
   std::uint64_t resolve_cache_misses = 0;
   std::uint64_t resolve_cache_invalidations = 0;
+  std::uint64_t topology_updates = 0;  // membership epochs learned
 };
+
+/// Gossip topic carrying cluster-membership epochs.  '!' cannot start a
+/// NamespaceId, so the topic can never collide with a NameRing rumor.
+inline constexpr char kMembershipRumorTopic[] = "!membership";
 
 class H2Middleware {
  public:
@@ -167,6 +172,18 @@ class H2Middleware {
   /// NameRing merges and repairs/fetches on incoming rumors.
   void JoinGossip(GossipBus& bus);
 
+  /// Membership epoch learned (over gossip or told directly by the
+  /// deployment).  Monotonic: stale/duplicate epochs are no-ops.  On
+  /// news, the resolve cache is flushed -- cached placements may point at
+  /// retired replicas.  Returns true iff the epoch was news (gossip
+  /// keeps forwarding exactly while handlers report news).
+  bool ObserveTopologyEpoch(std::uint64_t epoch);
+  /// Highest membership epoch observed so far.
+  std::uint64_t topology_epoch() const {
+    std::lock_guard lock(mu_);
+    return topology_epoch_;
+  }
+
   /// Cumulative background cost (merging, cleanup, gossip fetches).
   OpCost maintenance_cost() const;
   H2Counters counters() const;
@@ -243,6 +260,7 @@ class H2Middleware {
   std::deque<NamespaceId> cleanup_queue_;
   H2Counters counters_;
   OpMeter maintenance_meter_;
+  std::uint64_t topology_epoch_ = 0;  // highest membership epoch observed
 
   GossipBus* gossip_ = nullptr;
   std::uint32_t gossip_member_ = 0;

@@ -175,6 +175,22 @@ std::string MonitorSnapshot::ToText() const {
       ToMillis(batch.critical_cost), 100.0 * batch.savings());
   out += buf;
 
+  std::snprintf(
+      buf, sizeof(buf),
+      "-- membership & rebalancing --\n"
+      "  epoch %llu, %zu keys pending; %llu steps moved %llu keys "
+      "(%llu copied, %llu dropped, %s), %llu hints migrated, "
+      "cost %.1f ms\n",
+      static_cast<unsigned long long>(membership_epoch), rebalance_pending,
+      static_cast<unsigned long long>(rebalance.steps),
+      static_cast<unsigned long long>(rebalance.keys_moved),
+      static_cast<unsigned long long>(rebalance.objects_copied),
+      static_cast<unsigned long long>(rebalance.objects_dropped),
+      HumanBytes(rebalance.bytes_copied).c_str(),
+      static_cast<unsigned long long>(rebalance.hints_migrated),
+      rebalance_cost.elapsed_ms());
+  out += buf;
+
   std::snprintf(buf, sizeof(buf),
                 "-- gossip --\n  %llu published, %llu delivered, %llu "
                 "suppressed, %llu rounds\n",
@@ -221,6 +237,10 @@ MonitorSnapshot CollectSnapshot(H2Cloud& cloud) {
   snapshot.repair = oc.repair_stats();
   snapshot.repair_cost = oc.repair_cost();
   snapshot.batch = oc.batch_stats();
+  snapshot.rebalance = oc.rebalance_stats();
+  snapshot.rebalance_cost = oc.rebalance_cost();
+  snapshot.membership_epoch = oc.membership_epoch();
+  snapshot.rebalance_pending = oc.RebalancePending();
   snapshot.logical_objects = oc.LogicalObjectCount();
   snapshot.raw_objects = oc.RawObjectCount();
   snapshot.logical_bytes = oc.LogicalBytes();

@@ -54,6 +54,13 @@ struct MonitorSnapshot {
   /// Foreground batched-I/O accounting (ObjectCloud::ExecuteBatch):
   /// batches issued, lanes carried, and serial-vs-critical-path cost.
   ObjectCloud::BatchStats batch;
+  /// Elastic-membership state: current ring epoch, keys still awaiting
+  /// migration, and the cumulative bounded-rate rebalancer counters
+  /// (charged out-of-band on their own meter, like repair).
+  ObjectCloud::RebalanceStats rebalance;
+  OpCost rebalance_cost;
+  std::uint64_t membership_epoch = 0;
+  std::size_t rebalance_pending = 0;
   std::uint64_t logical_objects = 0;
   std::uint64_t raw_objects = 0;
   std::uint64_t logical_bytes = 0;

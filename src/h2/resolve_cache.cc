@@ -144,8 +144,7 @@ void H2ResolveCache::InvalidateNamespace(const NamespaceId& ns) {
   if (dropped) ++stats_.invalidations;
 }
 
-void H2ResolveCache::Clear() {
-  std::lock_guard lock(mu_);
+void H2ResolveCache::ClearLocked() {
   // Raising the floor past every previously-minted revision kills all
   // in-flight fills at once; per-namespace entries become redundant.
   rev_floor_ = NextRev();
@@ -156,6 +155,19 @@ void H2ResolveCache::Clear() {
   ring_lru_.clear();
   ring_map_.clear();
   ++stats_.invalidations;
+}
+
+void H2ResolveCache::Clear() {
+  std::lock_guard lock(mu_);
+  ClearLocked();
+}
+
+void H2ResolveCache::OnTopologyEpoch(std::uint64_t epoch) {
+  std::lock_guard lock(mu_);
+  if (epoch <= topology_epoch_) return;  // duplicate / stale rumor
+  topology_epoch_ = epoch;
+  ++stats_.epoch_flushes;
+  ClearLocked();
 }
 
 void H2ResolveCache::BumpChildRev(const NamespaceId& ns) {

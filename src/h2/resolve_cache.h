@@ -78,10 +78,22 @@ class H2ResolveCache {
 
   void Clear();
 
+  // Cluster membership changed (ring epoch bump learned over gossip or
+  // locally).  Cached records may now route to retired replicas, so the
+  // whole cache is flushed -- but only once per epoch: late or duplicate
+  // rumors for an already-observed epoch are no-ops.
+  void OnTopologyEpoch(std::uint64_t epoch);
+  /// Highest membership epoch this cache has flushed for.
+  std::uint64_t topology_epoch() const {
+    std::lock_guard lock(mu_);
+    return topology_epoch_;
+  }
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t invalidations = 0;
+    std::uint64_t epoch_flushes = 0;  // whole-cache drops on membership
   };
   /// Coherent snapshot (by value: a reference would be read outside mu_).
   Stats stats() const {
@@ -112,6 +124,7 @@ class H2ResolveCache {
   using RingList = std::list<RingEntry>;
 
   // Internal helpers run under mu_ (held by the public entry points).
+  void ClearLocked();
   std::uint64_t NextRev() { return ++rev_counter_; }
   std::uint64_t ChildRevLocked(const NamespaceId& ns) const;
   std::uint64_t RingRevLocked(const NamespaceId& ns) const;
@@ -135,6 +148,7 @@ class H2ResolveCache {
   // forgotten revision can only cause spurious misses, never false hits.
   std::uint64_t rev_counter_ = 0;
   std::uint64_t rev_floor_ = 0;
+  std::uint64_t topology_epoch_ = 0;  // highest membership epoch flushed
   std::unordered_map<NamespaceId, std::uint64_t> child_revs_;
   std::unordered_map<NamespaceId, std::uint64_t> ring_revs_;
 

@@ -67,6 +67,42 @@ Status PartitionRing::SetWeight(DeviceId id, double weight) {
   return Status::Ok();
 }
 
+Status PartitionRing::ReplaceDevice(DeviceId old_id, RingDevice replacement) {
+  if (replacement.weight <= 0) {
+    return Status::InvalidArgument("device weight must be positive");
+  }
+  RingDevice* old_dev = FindDevice(old_id);
+  if (old_dev == nullptr || !old_dev->active) {
+    return Status::NotFound("no such active device");
+  }
+  if (replacement.id == old_id) {
+    return Status::InvalidArgument("replacement must use a fresh device id");
+  }
+  if (FindDevice(replacement.id) != nullptr) {
+    return Status::AlreadyExists("device id already registered");
+  }
+  old_dev->active = false;
+  replacement.active = true;
+  const DeviceId new_id = replacement.id;
+  devices_.push_back(std::move(replacement));
+
+  // Relabel old_id -> new_id in a private copy and publish wholesale, same
+  // seqlock discipline as Rebalance: readers never see a half-relabeled
+  // table mixing the two identities.
+  std::vector<DeviceId> next(slot_count_);
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    const DeviceId dev = assignment_[i].load(std::memory_order_relaxed);
+    next[i] = dev == old_id ? new_id : dev;
+  }
+  assign_seq_.fetch_add(1, std::memory_order_acq_rel);
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    assignment_[i].store(next[i], std::memory_order_release);
+  }
+  assign_seq_.fetch_add(1, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::Ok();
+}
+
 std::size_t PartitionRing::active_device_count() const {
   return static_cast<std::size_t>(
       std::count_if(devices_.begin(), devices_.end(),
@@ -238,6 +274,7 @@ Status PartitionRing::Rebalance() {
   }
   assign_seq_.fetch_add(1, std::memory_order_release);
   balanced_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
@@ -268,6 +305,14 @@ std::vector<DeviceId> PartitionRing::ReplicasOfPartition(
     }
     if (assign_seq_.load(std::memory_order_acquire) == before) return out;
   }
+}
+
+std::uint32_t PartitionRing::VnodeCount(DeviceId id) const {
+  std::uint32_t count = 0;
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    if (assignment_[i].load(std::memory_order_acquire) == id) ++count;
+  }
+  return count;
 }
 
 std::vector<std::uint32_t> PartitionRing::SlotCounts() const {

@@ -10,11 +10,19 @@
 //
 // Rebalance() implements the two properties consistent hashing is used for:
 //   * proportionality: each device owns a share of partitions proportional
-//     to its weight (largest-remainder quotas);
+//     to its weight (largest-remainder quotas) -- the (partition, replica)
+//     slots granted to a device are its *virtual nodes*, so weight -> vnode
+//     count directly (VnodeCount);
 //   * minimal movement: a device keeps its current partitions up to its new
 //     quota, so adding/removing one device only moves the necessary share.
 // Replicas of a partition land on distinct devices whenever the device
 // count allows.
+//
+// Membership epoch: every published assignment table carries a monotonically
+// increasing epoch (bumped by Rebalance and ReplaceDevice).  Routing can only
+// change at an epoch bump, which is what lets ObjectCloud pin a batch to one
+// topology and lets middlewares learn membership changes over gossip the way
+// they learn NameRing patches.
 //
 // Concurrency: ReplicasOfPartition/ReplicasOfHash are the hot read path
 // (every cloud primitive resolves its replica set here) and run lock-free
@@ -63,7 +71,8 @@ class PartitionRing {
         devices_(std::move(other.devices_)),
         assignment_(std::move(other.assignment_)),
         assign_seq_(other.assign_seq_.load(std::memory_order_relaxed)),
-        balanced_(other.balanced_.load(std::memory_order_relaxed)) {}
+        balanced_(other.balanced_.load(std::memory_order_relaxed)),
+        epoch_(other.epoch_.load(std::memory_order_relaxed)) {}
 
   /// Registers a device.  Call Rebalance() afterwards to take effect.
   Status AddDevice(RingDevice device);
@@ -71,8 +80,22 @@ class PartitionRing {
   Status RemoveDevice(DeviceId id);
   Status SetWeight(DeviceId id, double weight);
 
+  /// Swaps a failed device for a fresh one in place: the replacement
+  /// inherits every (partition, replica) slot the old device held, so the
+  /// only data that moves is the old device's own share -- zero partitions
+  /// reshuffle among the survivors.  The replacement's weight/zone come
+  /// from `replacement`; publishing the relabeled table bumps the epoch.
+  /// (A later Rebalance trues slot counts up to the replacement's weight.)
+  Status ReplaceDevice(DeviceId old_id, RingDevice replacement);
+
   /// (Re)assigns partitions to devices.  Idempotent.
   Status Rebalance();
+
+  /// Membership epoch: bumped once per published assignment table
+  /// (Rebalance / ReplaceDevice).  0 before the first publish.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
   int part_power() const { return part_power_; }
   int replica_count() const { return replica_count_; }
@@ -100,6 +123,11 @@ class PartitionRing {
   /// indexed by DeviceId.  Used by balance tests and the ring bench.
   std::vector<std::uint32_t> SlotCounts() const;
 
+  /// Virtual nodes currently assigned to `id`: its (partition, replica)
+  /// slots in the published table.  Proportional to weight after a
+  /// Rebalance; 0 for unknown or fully drained devices.
+  std::uint32_t VnodeCount(DeviceId id) const;
+
   const std::vector<RingDevice>& devices() const { return devices_; }
 
  private:
@@ -118,6 +146,7 @@ class PartitionRing {
   std::unique_ptr<std::atomic<DeviceId>[]> assignment_;
   std::atomic<std::uint32_t> assign_seq_{0};
   std::atomic<bool> balanced_{false};
+  std::atomic<std::uint64_t> epoch_{0};  // published-table generation
 
   static constexpr DeviceId kUnassigned = ~DeviceId{0};
 };

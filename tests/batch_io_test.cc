@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/object_cloud.h"
@@ -292,6 +294,82 @@ TEST(ExecuteBatchTest, EffectiveConcurrencyDefaultingChain) {
     ObjectCloud cloud(cfg);
     EXPECT_EQ(cloud.EffectiveConcurrency(), 1u);
   }
+}
+
+// Regression (elastic membership): a batch pins the ring epoch for its
+// whole wave, so a membership change can never be observed mid-batch --
+// some ops routed by the old ring, some by the new.
+TEST(ExecuteBatchTest, MembershipChangeWaitsForInFlightBatch) {
+  ObjectCloud cloud(SmallCloud(4));
+  OpMeter meter;
+  std::vector<BatchOp> ops;
+  for (std::size_t i = 0; i < 32; ++i) {
+    ops.push_back(BatchOp::Put(Key(i), ObjectValue::FromString("v", i)));
+  }
+  const std::uint64_t epoch_before = cloud.membership_epoch();
+  auto results = cloud.ExecuteBatch(std::move(ops), meter);
+  for (const auto& r : results) EXPECT_TRUE(r.ok());
+  EXPECT_EQ(cloud.membership_epoch(), epoch_before);
+  EXPECT_EQ(cloud.batch_stats().epoch_pin_violations, 0u);
+
+  // Membership changes after the wave drained publish a fresh epoch.
+  ASSERT_TRUE(cloud.AddStorageNode().ok());
+  EXPECT_GT(cloud.membership_epoch(), epoch_before);
+  EXPECT_EQ(cloud.batch_stats().epoch_pin_violations, 0u);
+}
+
+TEST(ExecuteBatchTest, ConcurrentMembershipChurnNeverTearsABatch) {
+  ObjectCloud cloud(SmallCloud(4));
+  OpMeter seed_meter;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        cloud.Put(Key(i), ObjectValue::FromString("seed", i), seed_meter)
+            .ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> failed_ops{0};
+  std::thread batcher([&] {
+    OpMeter meter;
+    std::size_t round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<BatchOp> ops;
+      for (std::size_t i = 0; i < 16; ++i) {
+        const std::size_t k = (round * 7 + i * 3) % 64;
+        if (i % 2 == 0) {
+          ops.push_back(
+              BatchOp::Put(Key(k), ObjectValue::FromString("w", round)));
+        } else {
+          ops.push_back(BatchOp::Get(Key(k)));
+        }
+      }
+      for (const auto& r : cloud.ExecuteBatch(std::move(ops), meter)) {
+        if (!r.ok()) failed_ops.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++round;
+    }
+  });
+
+  // Membership churn racing the batches: grow twice, reweight, and run
+  // extra bounded rebalance steps from this thread.
+  ASSERT_TRUE(cloud.AddStorageNode().ok());
+  ASSERT_TRUE(cloud.SetNodeWeight(0, 2.5).ok());
+  while (cloud.RunRebalanceStep(8) > 0) {
+  }
+  ASSERT_TRUE(cloud.AddStorageNode().ok());
+  stop.store(true);
+  batcher.join();
+
+  // No op inside any batch saw a torn topology, nothing failed, and the
+  // cluster converges once the queue drains.
+  EXPECT_EQ(cloud.batch_stats().epoch_pin_violations, 0u);
+  EXPECT_EQ(failed_ops.load(), 0u);
+  while (cloud.RunRebalanceStep() > 0) {
+  }
+  while (cloud.ReplayHints() > 0) {
+  }
+  cloud.ReplicaScrub();
+  EXPECT_EQ(cloud.DivergentKeyCount(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,340 @@
+// Elastic membership: weighted virtual nodes, bounded-rate rebalancing,
+// hint drain on removal, membership epochs over gossip, and the serial
+// differential oracle -- the same churn trace drained at any
+// max_rebalance_keys_per_step must leave a byte-identical cluster.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "cluster/object_cloud.h"
+#include "h2/h2cloud.h"
+
+namespace h2 {
+namespace {
+
+CloudConfig MembershipCloud(std::size_t rate, int part_power = 6) {
+  CloudConfig cfg;
+  cfg.node_count = 6;
+  cfg.replica_count = 3;
+  cfg.part_power = part_power;
+  cfg.zone_count = 3;
+  cfg.max_rebalance_keys_per_step = rate;
+  return cfg;
+}
+
+std::string Key(std::size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "obj/k%04zu", i);
+  return buf;
+}
+
+std::uint64_t TotalHints(ObjectCloud& cloud) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < cloud.node_count(); ++i) {
+    total += cloud.node(i).hint_count();
+  }
+  return total;
+}
+
+void DrainAll(ObjectCloud& cloud) {
+  while (cloud.RunRebalanceStep() > 0) {
+  }
+  while (cloud.ReplayHints() > 0) {
+  }
+}
+
+// The churn trace: four membership events (add, remove, replace,
+// reweight), each followed by a FIXED number of foreground write bursts
+// interleaved with bounded rebalance steps.  Writes only: a PUT's priced
+// path (replica set, zone mix, one jitter draw) is the same wherever the
+// rebalancer happens to be, while a GET's depends on which replica wins
+// mid-migration -- reads mid-churn would advance the clock differently
+// per rate and break the byte-identity this oracle asserts.
+//
+// Every write to Key(k) carries created = k + 1: node-level Put preserves
+// the incumbent's creation time on overwrite, so whether the stale copy
+// was still present (rate-dependent) must not change the surviving bytes.
+// (+1 dodges created == 0, which the cloud rewrites to the PUT's tick.)
+std::string RunChurnScenario(std::size_t rate) {
+  ObjectCloud cloud(MembershipCloud(rate));
+  OpMeter meter;
+  for (std::size_t i = 0; i < 240; ++i) {
+    EXPECT_TRUE(
+        cloud.Put(Key(i), ObjectValue::FromString("seed", i + 1), meter)
+            .ok());
+  }
+
+  std::size_t serial = 0;
+  const auto churn_wave = [&](std::size_t salt) {
+    for (std::size_t step = 0; step < 10; ++step) {
+      for (std::size_t j = 0; j < 6; ++j, ++serial) {
+        const std::size_t k = (salt * 13 + serial * 5) % 300;
+        EXPECT_TRUE(cloud
+                        .Put(Key(k),
+                             ObjectValue::FromString(
+                                 "wave" + std::to_string(salt), k + 1),
+                             meter)
+                        .ok());
+      }
+      EXPECT_TRUE(
+          cloud.Delete(Key((salt * 13 + (serial - 1) * 5) % 300), meter)
+              .ok());
+      cloud.RunRebalanceStep();
+    }
+  };
+
+  Result<DeviceId> added = cloud.AddStorageNodeDeferred();
+  EXPECT_TRUE(added.ok());
+  churn_wave(1);
+  EXPECT_TRUE(cloud.RemoveStorageNode(2).ok());
+  churn_wave(2);
+  EXPECT_TRUE(cloud.ReplaceStorageNode(4).ok());
+  churn_wave(3);
+  EXPECT_TRUE(cloud.SetNodeWeight(*added, 2.0).ok());
+  churn_wave(4);
+
+  DrainAll(cloud);
+  EXPECT_EQ(cloud.RebalancePending(), 0u);
+  EXPECT_EQ(cloud.DivergentKeyCount(), 0u);
+  return cloud.DebugDump();
+}
+
+TEST(MembershipTest, ChurnDifferentialAcrossRates) {
+  const std::string drip = RunChurnScenario(3);
+  const std::string chunky = RunChurnScenario(50);
+  const std::string eager = RunChurnScenario(0);  // whole queue per step
+  EXPECT_EQ(drip, eager);
+  EXPECT_EQ(chunky, eager);
+}
+
+TEST(MembershipTest, DeferredAddMatchesEagerAdd) {
+  ObjectCloud eager(MembershipCloud(0));
+  ObjectCloud deferred(MembershipCloud(7));
+  OpMeter m1, m2;
+  for (std::size_t i = 0; i < 150; ++i) {
+    ASSERT_TRUE(
+        eager.Put(Key(i), ObjectValue::FromString("v", i), m1).ok());
+    ASSERT_TRUE(
+        deferred.Put(Key(i), ObjectValue::FromString("v", i), m2).ok());
+  }
+  Result<ObjectCloud::MigrationReport> report = eager.AddStorageNode();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->objects_copied, 0u);
+
+  ASSERT_TRUE(deferred.AddStorageNodeDeferred().ok());
+  EXPECT_GT(deferred.RebalancePending(), 0u);
+  std::size_t steps = 0;
+  while (deferred.RunRebalanceStep() > 0) ++steps;
+  EXPECT_GT(steps, 1u);  // the bounded path really dripped
+
+  EXPECT_EQ(deferred.DebugDump(), eager.DebugDump());
+  const ObjectCloud::RebalanceStats stats = deferred.rebalance_stats();
+  EXPECT_EQ(stats.objects_copied, report->objects_copied);
+  EXPECT_EQ(stats.objects_dropped, report->objects_dropped);
+}
+
+TEST(MembershipTest, BoundedRateIsRespectedPerStep) {
+  CloudConfig cfg = MembershipCloud(16, /*part_power=*/8);
+  ObjectCloud cloud(cfg);
+  OpMeter meter;
+  for (std::size_t i = 0; i < 600; ++i) {
+    ASSERT_TRUE(
+        cloud.Put(Key(i), ObjectValue::FromString("x", i), meter).ok());
+  }
+  const VirtualNanos clock_before = cloud.clock().Now();
+  ASSERT_TRUE(cloud.AddStorageNodeDeferred().ok());
+  const std::size_t pending = cloud.RebalancePending();
+  ASSERT_GT(pending, 16u);
+
+  std::size_t steps = 0;
+  std::size_t remaining = pending;
+  for (;;) {
+    const std::size_t moved = cloud.RunRebalanceStep();
+    if (moved == 0) break;
+    ++steps;
+    EXPECT_LE(moved, 16u);
+    EXPECT_EQ(moved, std::min<std::size_t>(16, remaining));
+    remaining -= moved;
+  }
+  EXPECT_EQ(steps, (pending + 15) / 16);
+
+  const ObjectCloud::RebalanceStats stats = cloud.rebalance_stats();
+  EXPECT_EQ(stats.keys_moved, pending);
+  EXPECT_EQ(stats.epoch, cloud.membership_epoch());
+  // Migration work is priced on its own meter and never advances the
+  // foreground clock -- churn rate cannot perturb foreground timestamps.
+  EXPECT_GT(cloud.rebalance_cost().elapsed, 0);
+  EXPECT_EQ(cloud.clock().Now(), clock_before);
+  EXPECT_EQ(cloud.DivergentKeyCount(), 0u);
+}
+
+TEST(MembershipTest, WeightChangeRedistributesProportionally) {
+  // One failure domain: with multiple zones the "as unique as possible"
+  // placement caps a heavy node's share at ~1 replica row per partition
+  // in its zone, so proportionality only holds zone-unconstrained.
+  CloudConfig cfg = MembershipCloud(0, /*part_power=*/8);
+  cfg.zone_count = 1;
+  ObjectCloud cloud(cfg);
+  OpMeter meter;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        cloud.Put(Key(i), ObjectValue::FromString("w", i), meter).ok());
+  }
+  ASSERT_TRUE(cloud.SetNodeWeight(0, 3.0).ok());
+  while (cloud.RunRebalanceStep() > 0) {
+  }
+
+  // Weights are now {3, 1, 1, 1, 1, 1}: node 0 should hold ~3/8 of the
+  // vnodes and of the raw replicas.
+  const std::uint32_t vnodes0 = cloud.ring().VnodeCount(0);
+  const double total_slots = 3.0 * cloud.ring().partition_count();
+  EXPECT_NEAR(vnodes0, total_slots * 3.0 / 8.0, total_slots * 0.02);
+
+  const std::vector<std::uint64_t> counts = cloud.NodeObjectCounts();
+  const std::uint64_t raw =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  EXPECT_NEAR(static_cast<double>(counts[0]),
+              static_cast<double>(raw) * 3.0 / 8.0,
+              static_cast<double>(raw) * 3.0 / 8.0 * 0.15);
+  EXPECT_GT(cloud.rebalance_stats().keys_moved, 0u);
+  EXPECT_EQ(cloud.DivergentKeyCount(), 0u);
+}
+
+TEST(MembershipTest, ReplaceStorageNodeMovesOnlyTheReplacedShare) {
+  ObjectCloud cloud(MembershipCloud(0));
+  OpMeter meter;
+  for (std::size_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        cloud.Put(Key(i), ObjectValue::FromString("r", i), meter).ok());
+  }
+  const std::vector<std::uint64_t> before = cloud.NodeObjectCounts();
+  const std::uint64_t epoch_before = cloud.membership_epoch();
+  Result<DeviceId> fresh = cloud.ReplaceStorageNode(2);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(cloud.membership_epoch(), epoch_before + 1);
+  while (cloud.RunRebalanceStep() > 0) {
+  }
+
+  // The replacement inherits node 2's slots wholesale: its data moves
+  // over, node 2 drains, and no survivor gains or loses a single object.
+  const std::vector<std::uint64_t> after = cloud.NodeObjectCounts();
+  EXPECT_EQ(after[2], 0u);
+  EXPECT_EQ(after[*fresh], before[2]);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(after[i], before[i]) << "node " << i;
+  }
+  const ObjectCloud::RebalanceStats stats = cloud.rebalance_stats();
+  EXPECT_EQ(stats.objects_copied, before[2]);
+  EXPECT_EQ(stats.objects_dropped, before[2]);
+  EXPECT_EQ(cloud.DivergentKeyCount(), 0u);
+  // The retired id is gone: replacing it again must fail.
+  EXPECT_EQ(cloud.ReplaceStorageNode(2).code(), ErrorCode::kNotFound);
+}
+
+// Regression: hints parked for a node that is then REMOVED must drain to
+// the key's successor instead of leaking (their target never revives, so
+// without migration they would sit in the holder's bounded queue
+// forever, wasting capacity).
+TEST(MembershipTest, HintsParkedForRemovedNodeDrainToSuccessor) {
+  ObjectCloud cloud(MembershipCloud(0));
+  OpMeter meter;
+  for (std::size_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(
+        cloud.Put(Key(i), ObjectValue::FromString("base", i), meter).ok());
+  }
+  cloud.node(3).SetDown(true);
+  for (std::size_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(
+        cloud.Put(Key(i), ObjectValue::FromString("new", i), meter).ok());
+  }
+  ASSERT_GT(TotalHints(cloud), 0u);  // writes node 3 missed are parked
+
+  ASSERT_TRUE(cloud.RemoveStorageNode(3).ok());
+  EXPECT_GT(cloud.rebalance_stats().hints_migrated, 0u);
+  DrainAll(cloud);
+
+  // Node 3 never comes back, yet nothing leaked and nothing diverged.
+  EXPECT_EQ(TotalHints(cloud), 0u);
+  EXPECT_EQ(cloud.DivergentKeyCount(), 0u);
+  for (std::size_t i = 0; i < 120; ++i) {
+    Result<ObjectValue> r = cloud.Get(Key(i), meter);
+    ASSERT_TRUE(r.ok()) << Key(i);
+    EXPECT_EQ(r->payload, "new") << Key(i);
+  }
+}
+
+TEST(MembershipTest, RemoveLastDeviceIsRejected) {
+  CloudConfig cfg = MembershipCloud(0);
+  cfg.node_count = 1;
+  cfg.replica_count = 1;
+  cfg.zone_count = 1;
+  ObjectCloud cloud(cfg);
+  EXPECT_EQ(cloud.RemoveStorageNode(0).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(cloud.RemoveStorageNode(42).code(), ErrorCode::kInvalidArgument);
+}
+
+// Membership epochs ride the gossip bus: every middleware learns the new
+// topology like it learns NameRing patches, and flushes its resolve
+// cache exactly once per epoch.
+TEST(MembershipTest, EpochGossipsToEveryMiddleware) {
+  H2CloudConfig cfg;
+  cfg.cloud = MembershipCloud(16);
+  cfg.middleware_count = 5;
+  H2Cloud h2(cfg);
+  OpMeter meter;
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        h2.cloud()
+            .Put(Key(i), ObjectValue::FromString("g", i), meter)
+            .ok());
+  }
+
+  Result<DeviceId> added = h2.AddStorageNode();
+  ASSERT_TRUE(added.ok());
+  h2.RunMaintenanceToQuiescence();
+  const std::uint64_t epoch = h2.cloud().membership_epoch();
+  for (std::size_t i = 0; i < h2.middleware_count(); ++i) {
+    EXPECT_EQ(h2.middleware(i).topology_epoch(), epoch) << "middleware " << i;
+    EXPECT_GE(h2.middleware(i).counters().topology_updates, 1u);
+  }
+  // Quiescence also means the maintenance loop drained the migration.
+  EXPECT_EQ(h2.cloud().RebalancePending(), 0u);
+  EXPECT_EQ(h2.cloud().DivergentKeyCount(), 0u);
+
+  // A second change: epochs stay monotone and spread again.
+  ASSERT_TRUE(h2.SetNodeWeight(*added, 2.0).ok());
+  h2.RunMaintenanceToQuiescence();
+  const std::uint64_t epoch2 = h2.cloud().membership_epoch();
+  EXPECT_GT(epoch2, epoch);
+  for (std::size_t i = 0; i < h2.middleware_count(); ++i) {
+    EXPECT_EQ(h2.middleware(i).topology_epoch(), epoch2)
+        << "middleware " << i;
+    EXPECT_GE(h2.middleware(i).counters().topology_updates, 2u);
+  }
+}
+
+TEST(MembershipTest, StaleEpochRumorIsOldNews) {
+  H2CloudConfig cfg;
+  cfg.cloud = MembershipCloud(0);
+  cfg.middleware_count = 2;
+  H2Cloud h2(cfg);
+  ASSERT_TRUE(h2.AddStorageNode().ok());
+  h2.RunMaintenanceToQuiescence();
+  const std::uint64_t epoch = h2.cloud().membership_epoch();
+  ASSERT_EQ(h2.middleware(1).topology_epoch(), epoch);
+
+  // Replaying an old epoch is suppressed (handler reports no news), so
+  // the bus quiesces immediately instead of re-flooding.
+  h2.gossip().Publish(0, Rumor{kMembershipRumorTopic, 0, 1});
+  h2.RunMaintenanceToQuiescence();
+  EXPECT_EQ(h2.middleware(1).topology_epoch(), epoch);
+  const H2Counters counters = h2.middleware(1).counters();
+  EXPECT_EQ(counters.topology_updates, 1u);
+}
+
+}  // namespace
+}  // namespace h2

@@ -210,6 +210,146 @@ TEST(RingTest, IncrementalRebalanceKeepsReplicasDistinct) {
   }
 }
 
+TEST(RingTest, EpochBumpsOncePerPublish) {
+  PartitionRing ring(8, 3);
+  EXPECT_EQ(ring.epoch(), 0u);  // nothing published yet
+  ASSERT_TRUE(ring.AddDevice(RingDevice{0, "d0", 1.0}).ok());
+  EXPECT_EQ(ring.epoch(), 0u);  // registration alone publishes nothing
+  ASSERT_TRUE(ring.Rebalance().ok());
+  EXPECT_EQ(ring.epoch(), 1u);
+  ASSERT_TRUE(ring.AddDevice(RingDevice{1, "d1", 1.0}).ok());
+  ASSERT_TRUE(ring.Rebalance().ok());
+  EXPECT_EQ(ring.epoch(), 2u);
+  // Idempotent re-publish still announces a (identical) new table.
+  ASSERT_TRUE(ring.Rebalance().ok());
+  EXPECT_EQ(ring.epoch(), 3u);
+}
+
+TEST(RingTest, ReplaceDeviceMovesNothingAmongSurvivors) {
+  auto ring = MakeRing(8);
+  const std::uint64_t epoch_before = ring.epoch();
+  std::vector<std::vector<DeviceId>> before;
+  for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+    before.push_back(ring.ReplicasOfPartition(p));
+  }
+  const std::uint32_t inherited = ring.VnodeCount(3);
+  ASSERT_GT(inherited, 0u);
+  ASSERT_TRUE(ring.ReplaceDevice(3, RingDevice{8, "dev8", 1.0}).ok());
+  EXPECT_EQ(ring.epoch(), epoch_before + 1);
+  // The replacement holds exactly the slots the old device held; every
+  // other assignment is byte-for-byte untouched.
+  EXPECT_EQ(ring.VnodeCount(8), inherited);
+  EXPECT_EQ(ring.VnodeCount(3), 0u);
+  for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+    const auto after = ring.ReplicasOfPartition(p);
+    for (std::size_t r = 0; r < after.size(); ++r) {
+      const DeviceId expected = before[p][r] == 3 ? 8 : before[p][r];
+      EXPECT_EQ(after[r], expected) << "partition " << p << " row " << r;
+    }
+  }
+}
+
+TEST(RingTest, ReplaceDeviceRejectsBadArguments) {
+  auto ring = MakeRing(4);
+  EXPECT_EQ(ring.ReplaceDevice(42, RingDevice{9, "d9", 1.0}).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(ring.ReplaceDevice(1, RingDevice{1, "d1b", 1.0}).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ring.ReplaceDevice(1, RingDevice{2, "dup", 1.0}).code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(ring.ReplaceDevice(1, RingDevice{9, "d9", -1.0}).code(),
+            ErrorCode::kInvalidArgument);
+  ASSERT_TRUE(ring.ReplaceDevice(1, RingDevice{9, "d9", 1.0}).ok());
+  // The retired id is gone for good.
+  EXPECT_EQ(ring.ReplaceDevice(1, RingDevice{10, "d10", 1.0}).code(),
+            ErrorCode::kNotFound);
+}
+
+// Property: across random weighted topologies under random add/remove
+// churn, (a) per-device vnode share tracks weight within tolerance and
+// (b) each step moves no more slots than the quota deltas require.
+TEST(RingTest, WeightedChurnTracksWeightWithMinimalMovement) {
+  for (std::uint64_t seed : {7u, 19u, 83u}) {
+    Rng rng(seed);
+    PartitionRing ring(10, 3);
+    DeviceId next_id = 0;
+    std::map<DeviceId, double> weights;
+    for (int i = 0; i < 4 + static_cast<int>(rng.Below(4)); ++i) {
+      const double w = 0.5 + 3.5 * rng.NextDouble();
+      ASSERT_TRUE(ring.AddDevice(RingDevice{next_id,
+                                            "d" + std::to_string(next_id), w})
+                      .ok());
+      weights[next_id] = w;
+      ++next_id;
+    }
+    ASSERT_TRUE(ring.Rebalance().ok());
+    const std::size_t total_slots = 3u * ring.partition_count();
+    for (int step = 0; step < 12; ++step) {
+      std::vector<std::uint32_t> before_counts = ring.SlotCounts();
+      std::vector<std::vector<DeviceId>> before;
+      for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+        before.push_back(ring.ReplicasOfPartition(p));
+      }
+      if (rng.Chance(0.4) && weights.size() > 3) {
+        auto it = weights.begin();
+        std::advance(it, rng.Below(weights.size()));
+        ASSERT_TRUE(ring.RemoveDevice(it->first).ok());
+        weights.erase(it);
+      } else {
+        const double w = 0.5 + 3.5 * rng.NextDouble();
+        ASSERT_TRUE(
+            ring.AddDevice(
+                    RingDevice{next_id, "d" + std::to_string(next_id), w})
+                .ok());
+        weights[next_id] = w;
+        ++next_id;
+      }
+      ASSERT_TRUE(ring.Rebalance().ok());
+
+      // (a) proportionality: share tracks weight / total weight.
+      double total_weight = 0;
+      for (const auto& [id, w] : weights) total_weight += w;
+      const auto counts = ring.SlotCounts();
+      for (const auto& [id, w] : weights) {
+        const double want = total_slots * w / total_weight;
+        EXPECT_NEAR(counts[id], want, want * 0.05 + 3.0)
+            << "seed " << seed << " step " << step << " device " << id;
+      }
+
+      // (b) minimal movement: replicas that changed *device* are bounded
+      // by the sum of per-device quota shrinkage (slots the old owners
+      // could not keep), plus slack for zone-collision avoidance.  Row
+      // order within a partition is ignored -- data lives on devices,
+      // so a row swap moves nothing.
+      std::size_t moved = 0;
+      for (std::uint32_t p = 0; p < ring.partition_count(); ++p) {
+        std::multiset<DeviceId> was(before[p].begin(), before[p].end());
+        for (DeviceId d : ring.ReplicasOfPartition(p)) {
+          auto it = was.find(d);
+          if (it != was.end()) {
+            was.erase(it);
+          } else {
+            ++moved;
+          }
+        }
+      }
+      std::size_t shrinkage = 0;
+      for (DeviceId id = 0; id < next_id; ++id) {
+        const std::uint32_t now = counts[id];
+        const std::uint32_t was =
+            id < before_counts.size() ? before_counts[id] : 0;
+        if (was > now) shrinkage += was - now;
+      }
+      // 1.5x covers the extra swaps zone-aware filling makes on top of
+      // the pure quota delta; a full reshuffle would be ~total_slots.
+      EXPECT_LE(moved, shrinkage + shrinkage / 2 + 16)
+          << "seed " << seed << " step " << step;
+      EXPECT_LT(moved, total_slots / 2)
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
 TEST(RingTest, ChurnSequenceStaysConsistent) {
   auto ring = MakeRing(5);
   Rng rng(31);
