@@ -1,0 +1,249 @@
+// Rebalance-rate policy ablation under LIVE foreground load (ROADMAP
+// item 2 remaining; complements bench/churn_sweep.cc, which measures
+// degraded reads with the rebalancer dripping *between* serial ops).
+//
+// Here the contention is real: a membership event (one node added) fires
+// on a populated cloud, then the sharded engine replays a Zipf load on 2
+// worker threads while a pump thread drives RunRebalanceStep
+// concurrently -- direct primitives pinning the membership epoch against
+// live migration.  Per policy (max_rebalance_keys_per_step in {3, 16,
+// 128, 0 = unbounded}) we report convergence effort (steps, keys, max
+// step, virtual rebalance ms), foreground wall throughput during the
+// contended window, and the correctness gates: the per-step bound held,
+// anti-entropy finds zero divergent keys afterwards, and every preloaded
+// key reads back.
+//
+// Cross-rate byte-identity is deliberately NOT asserted: with reads
+// racing migration, the winning replica (and so each shard's jitter
+// consumption) legitimately depends on how far migration has progressed.
+// That oracle lives in churn_sweep's write-only phases; this bench's
+// contract is bounded-rate progress under contention.
+//
+// Output: human table on stdout, plus an "ablation_rebalance" section
+// appended to an existing BENCH_churn.json (path overridable via
+// argv[1]; run bench/churn_sweep first -- the file must exist).
+// scripts/check_bench_json.sh validates the combined document.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/sharded_engine.h"
+#include "workload/loadgen.h"
+
+namespace h2::bench {
+namespace {
+
+constexpr std::size_t kShards = 4;
+constexpr std::size_t kPreload = 1'200;  // direct-keyed objects to migrate
+constexpr double kPacing = 0.05;
+
+struct Row {
+  std::size_t rate = 0;  // 0 = unbounded
+  std::uint64_t steps = 0;
+  std::uint64_t keys_moved = 0;
+  std::uint64_t max_step_keys = 0;
+  double rebalance_ms = 0;
+  std::size_t foreground_ops = 0;
+  std::size_t foreground_failures = 0;
+  double foreground_ops_per_sec = 0;
+  std::uint64_t divergent_after = 0;
+  bool keys_readable = false;
+};
+
+std::string Key(std::size_t i) { return "abl/k" + std::to_string(i); }
+
+Row RunRate(std::size_t rate, const std::vector<ShardLoad>& loads) {
+  Row row;
+  row.rate = rate;
+
+  H2CloudConfig cfg;
+  cfg.cloud = internal::BenchCloudConfig(LatencyProfile::RackLan());
+  cfg.cloud.max_rebalance_keys_per_step = rate;
+  cfg.middleware_count = static_cast<int>(kShards);
+  H2Cloud cloud(cfg);
+  ObjectCloud& oc = cloud.cloud();
+
+  // Direct-keyed ballast so the membership event has real mass to move
+  // (the shard trees add more on top).
+  {
+    OpMeter meter;
+    for (std::size_t i = 0; i < kPreload; ++i) {
+      BENCH_CHECK(
+          oc.Put(Key(i), ObjectValue::FromString("ballast", i + 1), meter));
+    }
+  }
+
+  EngineOptions opts;
+  opts.threads = 2;
+  opts.collect_latencies = false;
+  std::vector<ShardPlan> setup;
+  std::vector<ShardPlan> ops;
+  for (const ShardLoad& load : loads) {
+    setup.push_back(ShardPlan{load.account, load.setup});
+    ops.push_back(ShardPlan{load.account, load.ops});
+  }
+  BENCH_CHECK(RunSharded(cloud, setup, opts).status());
+  cloud.RunMaintenanceToQuiescence();
+
+  // The membership event, then the contended window: a pump thread
+  // drains the migration queue at the configured per-step bound while
+  // the engine replays the measured load.
+  BENCH_CHECK(oc.AddStorageNodeDeferred().status());
+  std::atomic<bool> stop{false};
+  std::uint64_t max_step = 0;
+  std::thread pump([&oc, &stop, &max_step] {
+    for (;;) {
+      const std::size_t moved = oc.RunRebalanceStep();
+      max_step = std::max<std::uint64_t>(max_step, moved);
+      if (moved == 0) {
+        if (stop.load(std::memory_order_relaxed)) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  });
+
+  opts.pacing = kPacing;
+  Result<EngineReport> measured = RunSharded(cloud, ops, opts);
+  BENCH_CHECK(measured.status());
+  stop.store(true);
+  pump.join();
+  cloud.RunMaintenanceToQuiescence();
+  while (oc.RebalancePending() > 0) (void)oc.RunRebalanceStep();
+  while (oc.ReplayHints() > 0) {
+  }
+
+  row.foreground_ops = measured->ops;
+  row.foreground_failures = measured->failures;
+  row.foreground_ops_per_sec = measured->ops_per_sec;
+  const ObjectCloud::RebalanceStats stats = oc.rebalance_stats();
+  row.steps = stats.steps;
+  row.keys_moved = stats.keys_moved;
+  row.max_step_keys = max_step;
+  row.rebalance_ms = ToMillis(oc.rebalance_cost().elapsed);
+  for (int sweep = 0; sweep < 16; ++sweep) {
+    if (oc.ReplicaScrub().divergent_keys == 0) break;
+  }
+  row.divergent_after = oc.DivergentKeyCount();
+
+  row.keys_readable = true;
+  OpMeter check;
+  for (std::size_t i = 0; i < kPreload; ++i) {
+    if (!oc.Get(Key(i), check).ok()) {
+      row.keys_readable = false;
+      break;
+    }
+  }
+  return row;
+}
+
+/// Splices the section into an existing churn_sweep artifact: truncate
+/// either the previous ablation section (re-run) or the final "}" and
+/// re-close the document.
+void AppendSection(const char* path, const std::vector<Row>& rows) {
+  std::FILE* in = std::fopen(path, "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr,
+                 "FATAL: %s does not exist -- run bench/churn_sweep "
+                 "first, then append this ablation\n",
+                 path);
+    std::exit(1);
+  }
+  std::string doc;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) doc.append(buf, n);
+  std::fclose(in);
+
+  const std::size_t prior = doc.find("\"ablation_rebalance\"");
+  std::size_t cut;
+  if (prior != std::string::npos) {
+    cut = doc.rfind(',', prior);
+  } else {
+    cut = doc.rfind('}');
+  }
+  if (cut == std::string::npos) {
+    std::fprintf(stderr, "FATAL: %s is not a churn_sweep artifact\n", path);
+    std::exit(1);
+  }
+  doc.resize(cut);
+
+  std::FILE* out = std::fopen(path, "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot rewrite %s\n", path);
+    std::exit(1);
+  }
+  std::fwrite(doc.data(), 1, doc.size(), out);
+  std::fprintf(out, ",\n  \"ablation_rebalance\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"rate\": %zu, \"steps\": %llu, \"keys_moved\": %llu, "
+        "\"max_step_keys\": %llu, \"rebalance_ms\": %.4f, "
+        "\"foreground_ops\": %zu, \"foreground_failures\": %zu, "
+        "\"foreground_ops_per_sec\": %.1f, \"divergent_after\": %llu, "
+        "\"keys_readable\": %s}%s\n",
+        r.rate, static_cast<unsigned long long>(r.steps),
+        static_cast<unsigned long long>(r.keys_moved),
+        static_cast<unsigned long long>(r.max_step_keys), r.rebalance_ms,
+        r.foreground_ops, r.foreground_failures, r.foreground_ops_per_sec,
+        static_cast<unsigned long long>(r.divergent_after),
+        r.keys_readable ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+int Main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "BENCH_churn.json";
+
+  LoadgenSpec spec;
+  spec.shards = kShards;
+  spec.ops_per_shard = 150;
+  const std::vector<ShardLoad> loads = BuildZipfLoad(spec);
+
+  std::printf("# ablation_rebalance: %zu ballast keys + %zu-shard Zipf "
+              "load live during migration\n",
+              kPreload, kShards);
+  std::printf("%10s %8s %10s %10s %12s %12s %8s %8s\n", "rate", "steps",
+              "keys", "max/step", "rebal ms", "fg ops/s", "diverg",
+              "keys");
+
+  std::vector<Row> rows;
+  bool ok = true;
+  for (const std::size_t rate : {std::size_t{3}, std::size_t{16},
+                                 std::size_t{128}, std::size_t{0}}) {
+    Row row = RunRate(rate, loads);
+    ok = ok && row.divergent_after == 0 && row.keys_readable &&
+         (rate == 0 || row.max_step_keys <= rate);
+    std::printf("%10zu %8llu %10llu %10llu %12.4f %12.1f %8llu %8s\n",
+                row.rate, static_cast<unsigned long long>(row.steps),
+                static_cast<unsigned long long>(row.keys_moved),
+                static_cast<unsigned long long>(row.max_step_keys),
+                row.rebalance_ms, row.foreground_ops_per_sec,
+                static_cast<unsigned long long>(row.divergent_after),
+                row.keys_readable ? "ok" : "LOST");
+    rows.push_back(std::move(row));
+  }
+
+  AppendSection(path, rows);
+  std::printf("# appended ablation_rebalance section to %s\n", path);
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FATAL: a policy exceeded its step bound, left divergent "
+                 "keys, or lost ballast keys\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main(int argc, char** argv) { return h2::bench::Main(argc, argv); }

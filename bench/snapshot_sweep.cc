@@ -1,0 +1,510 @@
+// Versioned-namespace benchmarks: snapshot-clone vs CopyTree, ListAt
+// time-travel overhead, history-watermark retention ablation, and
+// concurrent-writer hot-directory throughput (DESIGN.md §13).
+//
+// Four sections, one committed artifact (BENCH_snapshot.json, path
+// overridable via argv[1]); scripts/check_bench_json.sh validates the
+// schema and re-asserts the headline invariants:
+//
+//   clone_vs_copy      -- SnapshotClone of a 1000-file subtree against
+//                         the CopyTree fan-out on the *same* tree, at
+//                         io_concurrency = 1 so the copy pays the serial
+//                         per-file price the paper's cost model reports
+//                         (W = 1 reproduces the serial numbers; wave
+//                         batching would only compress the copy's
+//                         elapsed, never the clone's).  The clone must
+//                         be >= 100x cheaper in virtual time and every
+//                         file read through it byte-identical to the
+//                         source.  A Cumulus (compressed-snapshot
+//                         baseline) row shows what "snapshot" costs a
+//                         system whose SnapshotClone degenerates to a
+//                         materialized copy.
+//   listat             -- mean virtual ms of a live LIST vs ListAt at
+//                         the current version vs ListAt at a historical
+//                         version, on a retained-history directory.
+//   watermark_ablation -- the same churny single-directory workload under
+//                         history_watermark in {0, 8s, 64s, keep-all}:
+//                         tuples folded, background compaction passes and
+//                         cost (the dedicated meter), and how many of the
+//                         observed DirVersions remain answerable.
+//   rows (hot_dir)     -- sharded-engine closed loop where every shard
+//                         hammers its own hot directory with writes plus
+//                         versioned reads and snapshot clones, at
+//                         T = 1, 2, 4, 8 worker threads; real ops/sec,
+//                         wall p50/p99, and the serial differential
+//                         oracle (post-maintenance DebugDump byte-equal
+//                         to T = 1) per row.
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/sharded_engine.h"
+#include "h2/monitor.h"
+#include "workload/tree_gen.h"
+
+namespace h2::bench {
+namespace {
+
+constexpr std::size_t kSubtreeFiles = 1000;
+// Flat layout: SnapshotClone is O(directories) (one pin RMW each, plus
+// one durable patch commit for the destination entry), while CopyTree is
+// O(files x bytes).  The headline ratio therefore uses the flat
+// 1000-file directory; clone-of-nested-tree correctness is pinned by
+// tests/snapshot_test.cc's differential against CopyTree.
+constexpr std::size_t kSubtreeDirs = 0;
+constexpr std::size_t kSubtreeFileBytes = 512 * 1024;
+constexpr std::size_t kListFiles = 128;  // listat section directory size
+constexpr std::size_t kListReps = 32;
+constexpr double kPacing = 0.1;  // hot-dir sweep, as throughput_sweep
+
+// -- section results ---------------------------------------------------------
+
+struct CloneVsCopy {
+  double clone_ms = 0;
+  double copy_ms = 0;
+  std::uint64_t clone_primitives = 0;
+  std::uint64_t copy_primitives = 0;
+  double baseline_copy_ms = 0;  // Cumulus materialized "snapshot"
+  bool reads_identical = false;
+  double cost_ratio() const {
+    return clone_ms > 0 ? copy_ms / clone_ms : 0;
+  }
+  double primitives_ratio() const {
+    return clone_primitives > 0
+               ? static_cast<double>(copy_primitives) /
+                     static_cast<double>(clone_primitives)
+               : 0;
+  }
+};
+
+struct ListAtRow {
+  double live_ms = 0;
+  double at_current_ms = 0;
+  double at_past_ms = 0;
+};
+
+struct AblationRow {
+  std::string label;
+  double watermark_s = 0;  // -1 = keep everything
+  std::uint64_t tuples_folded = 0;
+  std::uint64_t compaction_passes = 0;
+  double compaction_ms = 0;
+  std::size_t versions_observed = 0;
+  std::size_t versions_answerable = 0;
+};
+
+struct HotDirRow {
+  int threads = 0;
+  EngineReport measured;
+  bool oracle_match = false;
+};
+
+// -- helpers -----------------------------------------------------------------
+
+std::unique_ptr<H2Cloud> MakeSerialCloud(VirtualNanos watermark,
+                                         std::uint64_t io_concurrency = 0,
+                                         bool resolve_cache = true) {
+  H2CloudConfig cfg;
+  cfg.cloud = internal::BenchCloudConfig(LatencyProfile::RackLan());
+  cfg.cloud.io_concurrency = io_concurrency;
+  cfg.h2.history_watermark = watermark;
+  cfg.h2.resolve_cache = resolve_cache;
+  auto cloud = std::make_unique<H2Cloud>(cfg);
+  BENCH_CHECK(cloud->CreateAccount("bench"));
+  return cloud;
+}
+
+Status BuildSubtree(FileSystem& fs, const std::string& root) {
+  H2_RETURN_IF_ERROR(fs.Mkdir(root));
+  if (kSubtreeDirs == 0) {
+    return AddFiles(fs, root, 0, kSubtreeFiles, kSubtreeFileBytes);
+  }
+  const std::size_t per_dir = kSubtreeFiles / kSubtreeDirs;
+  for (std::size_t d = 0; d < kSubtreeDirs; ++d) {
+    const std::string dir = root + "/d" + std::to_string(d);
+    H2_RETURN_IF_ERROR(fs.Mkdir(dir));
+    H2_RETURN_IF_ERROR(AddFiles(fs, dir, 0, per_dir, kSubtreeFileBytes));
+  }
+  return Status::Ok();
+}
+
+/// Recursively reads every file under `dir`, appending "path=bytes"
+/// lines; clone and source must produce identical flattenings.
+Status FlattenTree(FileSystem& fs, const std::string& dir,
+                   std::string& out) {
+  H2_ASSIGN_OR_RETURN(std::vector<DirEntry> entries,
+                      fs.List(dir, ListDetail::kNamesOnly));
+  for (const DirEntry& e : entries) {
+    const std::string path = dir + "/" + e.name;
+    if (e.kind == EntryKind::kDirectory) {
+      H2_RETURN_IF_ERROR(FlattenTree(fs, path, out));
+    } else {
+      H2_ASSIGN_OR_RETURN(FileBlob blob, fs.ReadFile(path));
+      out += e.name + "=" + blob.data + ":" +
+             std::to_string(blob.logical_size) + "\n";
+    }
+  }
+  return Status::Ok();
+}
+
+CloneVsCopy RunCloneVsCopy() {
+  CloneVsCopy result;
+  // io_concurrency = 1: the CopyTree fan-out is priced as the serial
+  // per-file sum, the same schedule every figure bench reports.
+  auto cloud = MakeSerialCloud(/*watermark=*/0, /*io_concurrency=*/1);
+  auto fs = std::move(cloud->OpenFilesystem("bench")).value();
+  BENCH_CHECK(BuildSubtree(*fs, "/src"));
+  cloud->RunMaintenanceToQuiescence();
+
+  BENCH_CHECK(fs->Copy("/src", "/copy"));
+  result.copy_ms = fs->last_op().elapsed_ms();
+  result.copy_primitives = fs->last_op().object_primitives();
+
+  BENCH_CHECK(fs->SnapshotClone("/src", "/snap"));
+  result.clone_ms = fs->last_op().elapsed_ms();
+  result.clone_primitives = fs->last_op().object_primitives();
+
+  std::string src_flat;
+  std::string snap_flat;
+  BENCH_CHECK(FlattenTree(*fs, "/src", src_flat));
+  BENCH_CHECK(FlattenTree(*fs, "/snap", snap_flat));
+  result.reads_identical = !src_flat.empty() && src_flat == snap_flat;
+
+  // The Cumulus baseline has no version history: its SnapshotClone is
+  // the default materialized Copy over the O(N) metadata log.
+  auto cumulus = MakeSystem(SystemKind::kCumulus);
+  BENCH_CHECK(BuildSubtree(cumulus->fs(), "/src"));
+  BENCH_CHECK(cumulus->fs().SnapshotClone("/src", "/snap"));
+  result.baseline_copy_ms = cumulus->fs().last_op().elapsed_ms();
+  return result;
+}
+
+ListAtRow RunListAt() {
+  ListAtRow row;
+  // Keep-everything watermark: the historical version must stay
+  // answerable however maintenance interleaves.  Resolve cache OFF: with
+  // it on, a warm LIST (live or versioned) is served from the cached
+  // merged ring at zero cloud cost and every column reads 0 ms -- the
+  // interesting comparison is the uncached read path, where ListAt pays
+  // the same ring fetch as LIST plus the history replay.
+  auto cloud = MakeSerialCloud(/*watermark=*/1'000'000LL * kSecond,
+                               /*io_concurrency=*/0,
+                               /*resolve_cache=*/false);
+  auto fs = std::move(cloud->OpenFilesystem("bench")).value();
+  BENCH_CHECK(fs->Mkdir("/hot"));
+  BENCH_CHECK(AddFiles(*fs, "/hot", 0, kListFiles / 2));
+  cloud->RunMaintenanceToQuiescence();
+  const VirtualNanos past = fs->DirVersion("/hot").value();
+  BENCH_CHECK(AddFiles(*fs, "/hot", kListFiles / 2, kListFiles));
+  cloud->RunMaintenanceToQuiescence();
+  const VirtualNanos current = fs->DirVersion("/hot").value();
+
+  row.live_ms = MeasureMs(*fs, kListReps, [&](std::size_t) {
+    BENCH_CHECK(fs->List("/hot", ListDetail::kNamesOnly).status());
+  });
+  row.at_current_ms = MeasureMs(*fs, kListReps, [&](std::size_t) {
+    BENCH_CHECK(
+        fs->ListAt("/hot", current, ListDetail::kNamesOnly).status());
+  });
+  row.at_past_ms = MeasureMs(*fs, kListReps, [&](std::size_t) {
+    BENCH_CHECK(fs->ListAt("/hot", past, ListDetail::kNamesOnly).status());
+  });
+  return row;
+}
+
+AblationRow RunAblation(const std::string& label, VirtualNanos watermark) {
+  AblationRow row;
+  row.label = label;
+  row.watermark_s =
+      label == "keep_all"
+          ? -1.0
+          : static_cast<double>(watermark) / static_cast<double>(kSecond);
+  auto cloud = MakeSerialCloud(watermark);
+  auto fs = std::move(cloud->OpenFilesystem("bench")).value();
+  BENCH_CHECK(fs->Mkdir("/churn"));
+
+  // Churny single directory: create, overwrite-adjacent churn and
+  // deletes, with maintenance (merge + background compaction) every few
+  // steps so history actually crosses the watermark.
+  std::vector<VirtualNanos> versions;
+  std::set<std::string> live;
+  for (std::size_t i = 0; i < 160; ++i) {
+    const std::string path = "/churn/f" + std::to_string(i % 40);
+    // Delete every fifth touch of a live name; a name deleted on a
+    // previous lap gets re-created instead, so the schedule stays legal
+    // (and identical) at every watermark.
+    if (i >= 40 && i % 5 == 0 && live.count(path) > 0) {
+      BENCH_CHECK(fs->RemoveFile(path));
+      live.erase(path);
+    } else {
+      BENCH_CHECK(fs->WriteFile(path, FileBlob::Synthetic("s", 256)));
+      live.insert(path);
+    }
+    if (i % 8 == 7) cloud->RunMaintenanceToQuiescence();
+    versions.push_back(fs->DirVersion("/churn").value());
+  }
+  cloud->RunMaintenanceToQuiescence();
+
+  row.versions_observed = versions.size();
+  for (const VirtualNanos v : versions) {
+    if (fs->ListAt("/churn", v, ListDetail::kNamesOnly).ok()) {
+      ++row.versions_answerable;
+    }
+  }
+  const MonitorSnapshot snapshot = CollectSnapshot(*cloud);
+  row.tuples_folded = snapshot.TotalHistoryFolded();
+  for (const auto& mw : snapshot.middlewares) {
+    row.compaction_passes += mw.counters.history_compaction_passes;
+  }
+  row.compaction_ms = ToMillis(snapshot.history_compaction_cost.elapsed);
+  return row;
+}
+
+// Hot-directory shard plans: one directory per shard, every measured op
+// lands in it -- concurrent writers with versioned readers.
+std::vector<ShardPlan> HotDirSetup(std::size_t shards) {
+  std::vector<ShardPlan> plans;
+  for (std::size_t s = 0; s < shards; ++s) {
+    ShardPlan plan;
+    plan.account = "u" + std::to_string(s);
+    plan.ops.push_back(TraceOp{TraceOpKind::kMkdir, "/hot", "", 0});
+    for (std::size_t i = 0; i < 16; ++i) {
+      plan.ops.push_back(TraceOp{TraceOpKind::kWrite,
+                                 "/hot/seed" + std::to_string(i), "", 1024});
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+std::vector<ShardPlan> HotDirOps(std::size_t shards,
+                                 std::size_t ops_per_shard) {
+  TreeSpec spec;
+  spec.file_count = 16;
+  spec.dir_count = 1;
+  spec.max_depth = 1;
+  TraceMix mix;
+  mix.stat = 5;
+  mix.read = 5;
+  mix.list = 5;
+  mix.write = 55;  // concurrent writers dominate
+  mix.mkdir = 2;
+  mix.move = 2;
+  mix.rename = 1;
+  mix.copy = 0;
+  mix.remove = 5;
+  mix.rmdir = 2;
+  mix.list_at = 12;
+  mix.snapshot_clone = 6;
+  std::vector<ShardPlan> plans;
+  for (std::size_t s = 0; s < shards; ++s) {
+    spec.seed = 500 + s;
+    const GeneratedTree tree = GenerateTree(spec);
+    ShardPlan plan;
+    plan.account = "u" + std::to_string(s);
+    // The generated tree's dirs/files live under the shard's own root;
+    // replay them into /hot so every op contends on one directory.
+    for (const std::string& dir : tree.dirs) {
+      plan.ops.push_back(TraceOp{TraceOpKind::kMkdir, dir, "", 0});
+    }
+    for (const FileSpec& file : tree.files) {
+      plan.ops.push_back(
+          TraceOp{TraceOpKind::kWrite, file.path, "", file.size});
+    }
+    std::vector<TraceOp> generated =
+        GenerateTrace(tree, ops_per_shard, mix, 7000 + s);
+    plan.ops.insert(plan.ops.end(),
+                    std::make_move_iterator(generated.begin()),
+                    std::make_move_iterator(generated.end()));
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+HotDirRow RunHotDirAt(int threads, std::size_t shards,
+                      const std::vector<ShardPlan>& setup,
+                      const std::vector<ShardPlan>& ops,
+                      std::string& dump_out) {
+  HotDirRow row;
+  row.threads = threads;
+  H2CloudConfig cfg;
+  cfg.cloud = internal::BenchCloudConfig(LatencyProfile::RackLan());
+  cfg.middleware_count = static_cast<int>(shards);
+  cfg.h2.history_watermark = 64 * kSecond;  // retention on, threaded
+  H2Cloud cloud(cfg);
+
+  EngineOptions opts;
+  opts.threads = threads;
+  opts.collect_latencies = false;
+  Result<EngineReport> prepared = RunSharded(cloud, setup, opts);
+  BENCH_CHECK(prepared.status());
+  cloud.RunMaintenanceToQuiescence();
+
+  opts.collect_latencies = true;
+  opts.pacing = kPacing;
+  Result<EngineReport> measured = RunSharded(cloud, ops, opts);
+  BENCH_CHECK(measured.status());
+  row.measured = *measured;
+  cloud.RunMaintenanceToQuiescence();
+  dump_out = cloud.cloud().DebugDump();
+  return row;
+}
+
+// -- emission ----------------------------------------------------------------
+
+void EmitJson(const char* path, std::size_t shards,
+              std::size_t ops_per_shard, const CloneVsCopy& clone,
+              const ListAtRow& listat,
+              const std::vector<AblationRow>& ablation,
+              const std::vector<HotDirRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"snapshot_sweep\",\n");
+  std::fprintf(f, "  \"unit\": \"virtual_ms\",\n");
+  std::fprintf(f,
+               "  \"workload\": {\"subtree_files\": %zu, "
+               "\"subtree_dirs\": %zu, \"listat_files\": %zu, "
+               "\"listat_reps\": %zu, \"hot_dir_shards\": %zu, "
+               "\"hot_dir_ops_per_shard\": %zu},\n",
+               kSubtreeFiles, kSubtreeDirs, kListFiles, kListReps, shards,
+               ops_per_shard);
+  std::fprintf(f,
+               "  \"clone_vs_copy\": {\"clone_ms\": %.4f, "
+               "\"copy_ms\": %.4f, \"cost_ratio\": %.2f, "
+               "\"clone_primitives\": %llu, \"copy_primitives\": %llu, "
+               "\"primitives_ratio\": %.2f, \"baseline_copy_ms\": %.4f, "
+               "\"reads_identical\": %s},\n",
+               clone.clone_ms, clone.copy_ms, clone.cost_ratio(),
+               static_cast<unsigned long long>(clone.clone_primitives),
+               static_cast<unsigned long long>(clone.copy_primitives),
+               clone.primitives_ratio(), clone.baseline_copy_ms,
+               clone.reads_identical ? "true" : "false");
+  std::fprintf(f,
+               "  \"listat\": {\"live_ms\": %.4f, \"at_current_ms\": %.4f, "
+               "\"at_past_ms\": %.4f},\n",
+               listat.live_ms, listat.at_current_ms, listat.at_past_ms);
+  std::fprintf(f, "  \"watermark_ablation\": [\n");
+  for (std::size_t i = 0; i < ablation.size(); ++i) {
+    const AblationRow& a = ablation[i];
+    std::fprintf(f,
+                 "    {\"watermark\": \"%s\", \"watermark_s\": %.1f, "
+                 "\"tuples_folded\": %llu, \"compaction_passes\": %llu, "
+                 "\"compaction_ms\": %.4f, \"versions_observed\": %zu, "
+                 "\"versions_answerable\": %zu}%s\n",
+                 a.label.c_str(), a.watermark_s,
+                 static_cast<unsigned long long>(a.tuples_folded),
+                 static_cast<unsigned long long>(a.compaction_passes),
+                 a.compaction_ms, a.versions_observed,
+                 a.versions_answerable,
+                 i + 1 < ablation.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const HotDirRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"ops\": %zu, \"failures\": %zu, "
+                 "\"wall_seconds\": %.6f, \"ops_per_sec\": %.1f, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"oracle_match\": %s}%s\n",
+                 r.threads, r.measured.ops, r.measured.failures,
+                 r.measured.wall_seconds, r.measured.ops_per_sec,
+                 r.measured.p50_ms, r.measured.p99_ms,
+                 r.oracle_match ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_snapshot.json";
+  std::size_t ops_per_shard = 120;
+  if (argc > 2) ops_per_shard = std::strtoull(argv[2], nullptr, 10);
+  constexpr std::size_t kShards = 5;
+
+  std::printf("# snapshot_sweep: clone vs copy on %zu files / %zu dirs\n",
+              kSubtreeFiles, kSubtreeDirs);
+  const CloneVsCopy clone = RunCloneVsCopy();
+  std::printf(
+      "clone %.3f ms (%llu primitives) vs copy %.3f ms (%llu primitives): "
+      "%.0fx cheaper, reads %s; Cumulus materialized %.3f ms\n",
+      clone.clone_ms,
+      static_cast<unsigned long long>(clone.clone_primitives),
+      clone.copy_ms,
+      static_cast<unsigned long long>(clone.copy_primitives),
+      clone.cost_ratio(), clone.reads_identical ? "identical" : "DIVERGED",
+      clone.baseline_copy_ms);
+
+  const ListAtRow listat = RunListAt();
+  std::printf(
+      "# listat (%zu files, %zu reps): live %.4f ms, at-current %.4f ms, "
+      "at-past %.4f ms\n",
+      kListFiles, kListReps, listat.live_ms, listat.at_current_ms,
+      listat.at_past_ms);
+
+  std::vector<AblationRow> ablation;
+  ablation.push_back(RunAblation("0s", 0));
+  ablation.push_back(RunAblation("8s", 8 * kSecond));
+  ablation.push_back(RunAblation("64s", 64 * kSecond));
+  ablation.push_back(RunAblation("keep_all", 1'000'000LL * kSecond));
+  std::printf("%-10s %10s %8s %10s %12s\n", "watermark", "folded", "passes",
+              "compact ms", "answerable");
+  for (const AblationRow& a : ablation) {
+    std::printf("%-10s %10llu %8llu %10.4f %8zu/%zu\n", a.label.c_str(),
+                static_cast<unsigned long long>(a.tuples_folded),
+                static_cast<unsigned long long>(a.compaction_passes),
+                a.compaction_ms, a.versions_answerable,
+                a.versions_observed);
+  }
+
+  std::printf("# hot-dir sweep: %zu shards, %zu ops/shard\n", kShards,
+              ops_per_shard);
+  std::printf("%8s %10s %12s %10s %10s %8s\n", "threads", "ops", "ops/sec",
+              "p50 ms", "p99 ms", "oracle");
+  const std::vector<ShardPlan> setup = HotDirSetup(kShards);
+  const std::vector<ShardPlan> ops = HotDirOps(kShards, ops_per_shard);
+  std::string oracle_dump;
+  std::vector<HotDirRow> rows;
+  bool ok = clone.reads_identical && clone.cost_ratio() >= 100.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    std::string dump;
+    HotDirRow row = RunHotDirAt(threads, kShards, setup, ops, dump);
+    if (threads == 1) {
+      oracle_dump = dump;
+      row.oracle_match = true;
+    } else {
+      row.oracle_match = (dump == oracle_dump);
+    }
+    ok = ok && row.oracle_match;
+    std::printf("%8d %10zu %12.1f %10.4f %10.4f %8s\n", row.threads,
+                row.measured.ops, row.measured.ops_per_sec,
+                row.measured.p50_ms, row.measured.p99_ms,
+                row.oracle_match ? "match" : "DIVERGED");
+    rows.push_back(std::move(row));
+  }
+
+  EmitJson(out_path, kShards, ops_per_shard, clone, listat, ablation, rows);
+  std::printf("# wrote %s\n", out_path);
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FATAL: clone slower than 100x vs copy, clone reads "
+                 "diverged, or a threaded run diverged from the serial "
+                 "oracle\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace h2::bench
+
+int main(int argc, char** argv) { return h2::bench::Main(argc, argv); }

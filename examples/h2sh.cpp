@@ -12,8 +12,10 @@
 //   cat <file>             stat <path>          rm <file>
 //   rmdir <dir>            mv <from> <to>       cp <from> <to>
 //   rename <path> <name>   ns <dir>             objects
+//   dirver <dir>           lsat <dir> <ver>     clone <from> <to>
 //   maint                  help                 exit
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -70,7 +72,7 @@ struct Shell {
     if (cmd == "help") {
       std::puts(
           "  mkdir ls put cat stat rm rmdir mv cp rename ns objects "
-          "monitor maint exit");
+          "dirver lsat clone monitor maint exit");
     } else if (cmd == "mkdir") {
       show(fs->Mkdir(arg()));
     } else if (cmd == "ls") {
@@ -138,6 +140,30 @@ struct Shell {
       } else {
         std::printf("  error: %s\n", ns.status().ToString().c_str());
       }
+    } else if (cmd == "dirver") {
+      auto version = fs->DirVersion(arg());
+      if (!version.ok()) {
+        std::printf("  error: %s\n", version.status().ToString().c_str());
+        return;
+      }
+      std::printf("  version=%lld\n", static_cast<long long>(*version));
+      ReportCost();
+    } else if (cmd == "lsat") {
+      const std::string dir = arg();
+      const VirtualNanos version = std::strtoll(arg().c_str(), nullptr, 10);
+      auto entries = fs->ListAt(dir, version, ListDetail::kNamesOnly);
+      if (!entries.ok()) {
+        std::printf("  error: %s\n", entries.status().ToString().c_str());
+        return;
+      }
+      for (const auto& e : *entries) {
+        std::printf("  %s%s\n", e.name.c_str(),
+                    e.kind == EntryKind::kDirectory ? "/" : "");
+      }
+      ReportCost();
+    } else if (cmd == "clone") {
+      const std::string f = arg();
+      show(fs->SnapshotClone(f, arg()));
     } else if (cmd == "objects") {
       std::printf("  %llu logical objects, %llu raw replicas, %s\n",
                   static_cast<unsigned long long>(

@@ -18,7 +18,20 @@
 #                       rate-0 oracle (oracle_match true), end with
 #                       divergent_after 0, keep p99 >= p50, and respect
 #                       the rate bound (max_step_keys <= rate when
-#                       rate > 0).
+#                       rate > 0).  The document must also carry the
+#                       'ablation_rebalance' section appended by
+#                       bench/ablation_rebalance (rates 3/16/128 plus
+#                       0 = unbounded under live sharded load, each
+#                       bound-respecting, divergence-free, and with all
+#                       ballast keys readable afterwards).
+#   snapshot_sweep   -- clone_vs_copy must show SnapshotClone >= 100x
+#                       cheaper in virtual time than CopyTree with
+#                       byte-identical clone reads; listat overheads
+#                       non-negative; watermark_ablation must cover
+#                       0s/8s/64s/keep_all with answerable versions
+#                       monotone in the watermark (keep_all answers all);
+#                       hot-dir rows follow the throughput envelope with
+#                       every threaded run matching the serial oracle.
 #
 # Usage: scripts/check_bench_json.sh <bench.json> [min_speedup]
 set -euo pipefail
@@ -58,9 +71,10 @@ def is_count(value):
 
 require(isinstance(doc.get("bench"), str) and doc.get("bench"),
         "top-level 'bench' must be a non-empty string")
-# churn_sweep reports virtual (simulated) latency; the wall-clock benches
-# report real throughput.
-expected_unit = ("virtual_ms" if doc.get("bench") == "churn_sweep"
+# churn_sweep and snapshot_sweep report virtual (simulated) latency; the
+# wall-clock benches report real throughput.
+expected_unit = ("virtual_ms"
+                 if doc.get("bench") in ("churn_sweep", "snapshot_sweep")
                  else "ops_per_sec")
 require(doc.get("unit") == expected_unit,
         f"top-level 'unit' must be '{expected_unit}'")
@@ -200,13 +214,160 @@ def check_churn():
                 f"scenario '{scenario}' must include the rate-0 oracle run")
         require(any(is_count(r) and r > 0 for r in rates),
                 f"scenario '{scenario}' must include a bounded-rate run")
-    return f"scenarios={sorted(scenarios)}"
+    ablation = doc.get("ablation_rebalance")
+    require(isinstance(ablation, list) and ablation,
+            "'ablation_rebalance' must be a non-empty array "
+            "(run bench/ablation_rebalance after bench/churn_sweep)")
+    abl_rates = set()
+    for i, row in enumerate(ablation if isinstance(ablation, list) else []):
+        where = f"ablation_rebalance[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        for key in ("rate", "steps", "keys_moved", "max_step_keys",
+                    "foreground_ops", "foreground_failures",
+                    "divergent_after"):
+            require(is_count(row.get(key)),
+                    f"{where}.{key} must be a non-negative integer")
+        for key in ("rebalance_ms", "foreground_ops_per_sec"):
+            value = row.get(key)
+            require(is_number(value) and value >= 0,
+                    f"{where}.{key} must be a non-negative number")
+        require(row.get("divergent_after") == 0,
+                f"{where}.divergent_after must be 0")
+        require(row.get("keys_readable") is True,
+                f"{where}.keys_readable must be true "
+                "(a ballast key was lost during live rebalancing)")
+        if is_count(row.get("rate")) and row["rate"] > 0 and \
+                is_count(row.get("max_step_keys")):
+            require(row["max_step_keys"] <= row["rate"],
+                    f"{where}: max_step_keys {row['max_step_keys']} exceeds "
+                    f"the configured rate {row['rate']}")
+        if is_count(row.get("rate")):
+            abl_rates.add(row["rate"])
+    require(abl_rates == {0, 3, 16, 128},
+            "ablation_rebalance must cover rates 3, 16, 128 and 0 "
+            f"(unbounded); saw {sorted(abl_rates)}")
+    if isinstance(ablation, list) and ablation:
+        moved = {row.get("keys_moved") for row in ablation
+                 if isinstance(row, dict)}
+        require(len(moved) == 1,
+                "every ablation_rebalance policy must migrate the same key "
+                f"set (keys_moved saw {sorted(m for m in moved if is_count(m))})")
+    return f"scenarios={sorted(scenarios)}, ablation_rates={sorted(abl_rates)}"
+
+def check_snapshot():
+    if isinstance(workload, dict):
+        for key in ("subtree_files", "listat_files", "listat_reps",
+                    "hot_dir_shards", "hot_dir_ops_per_shard"):
+            require(is_count(workload.get(key)) and workload[key] > 0,
+                    f"workload.{key} must be a positive integer")
+        require(is_count(workload.get("subtree_dirs")),
+                "workload.subtree_dirs must be a non-negative integer")
+    clone = doc.get("clone_vs_copy")
+    require(isinstance(clone, dict), "'clone_vs_copy' must be an object")
+    if isinstance(clone, dict):
+        for key in ("clone_ms", "copy_ms", "cost_ratio", "primitives_ratio",
+                    "baseline_copy_ms"):
+            value = clone.get(key)
+            require(is_number(value) and value >= 0,
+                    f"clone_vs_copy.{key} must be a non-negative number")
+        for key in ("clone_primitives", "copy_primitives"):
+            require(is_count(clone.get(key)) and clone[key] > 0,
+                    f"clone_vs_copy.{key} must be a positive integer")
+        require(clone.get("reads_identical") is True,
+                "clone_vs_copy.reads_identical must be true "
+                "(clone reads diverged from the source subtree)")
+        if is_number(clone.get("cost_ratio")):
+            require(clone["cost_ratio"] >= 100.0,
+                    f"clone_vs_copy.cost_ratio {clone['cost_ratio']} below "
+                    "the 100x floor")
+    listat = doc.get("listat")
+    require(isinstance(listat, dict), "'listat' must be an object")
+    if isinstance(listat, dict):
+        for key in ("live_ms", "at_current_ms", "at_past_ms"):
+            value = listat.get(key)
+            require(is_number(value) and value >= 0,
+                    f"listat.{key} must be a non-negative number")
+    ablation = doc.get("watermark_ablation")
+    require(isinstance(ablation, list) and ablation,
+            "'watermark_ablation' must be a non-empty array")
+    labels = []
+    answerable = {}
+    for i, row in enumerate(ablation if isinstance(ablation, list) else []):
+        where = f"watermark_ablation[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        require(isinstance(row.get("watermark"), str) and row["watermark"],
+                f"{where}.watermark must be a non-empty string")
+        require(is_number(row.get("watermark_s")),
+                f"{where}.watermark_s must be a number (-1 = keep all)")
+        for key in ("tuples_folded", "compaction_passes"):
+            require(is_count(row.get(key)),
+                    f"{where}.{key} must be a non-negative integer")
+        value = row.get("compaction_ms")
+        require(is_number(value) and value >= 0,
+                f"{where}.compaction_ms must be a non-negative number")
+        for key in ("versions_observed", "versions_answerable"):
+            require(is_count(row.get(key)),
+                    f"{where}.{key} must be a non-negative integer")
+        if is_count(row.get("versions_observed")) and \
+                is_count(row.get("versions_answerable")):
+            require(row["versions_answerable"] <= row["versions_observed"],
+                    f"{where}: versions_answerable exceeds versions_observed")
+        if isinstance(row.get("watermark"), str):
+            labels.append(row["watermark"])
+            answerable[row["watermark"]] = row.get("versions_answerable")
+    require(labels == ["0s", "8s", "64s", "keep_all"],
+            "watermark_ablation must cover 0s, 8s, 64s and keep_all in "
+            f"ascending order (saw {labels})")
+    order = [answerable.get(k) for k in ("0s", "8s", "64s", "keep_all")]
+    if all(is_count(v) for v in order):
+        require(order == sorted(order),
+                "versions_answerable must be monotone non-decreasing in the "
+                f"watermark (saw {order})")
+        keep_all_row = next((r for r in ablation if isinstance(r, dict) and
+                             r.get("watermark") == "keep_all"), None)
+        if keep_all_row is not None:
+            require(keep_all_row["versions_answerable"] ==
+                    keep_all_row["versions_observed"],
+                    "keep_all must answer every observed version")
+    seen_threads = []
+    for i, row in enumerate(rows or []):
+        where = f"rows[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        for key in ("threads", "ops", "failures"):
+            require(is_count(row.get(key)), f"{where}.{key} must be an integer")
+        for key in ("wall_seconds", "ops_per_sec", "p50_ms", "p99_ms"):
+            value = row.get(key)
+            require(is_number(value) and value >= 0,
+                    f"{where}.{key} must be a non-negative number")
+        require(row.get("oracle_match") is True,
+                f"{where}.oracle_match must be true "
+                "(threaded hot-dir state diverged from the serial oracle)")
+        if is_number(row.get("p50_ms")) and is_number(row.get("p99_ms")):
+            require(row["p99_ms"] >= row["p50_ms"],
+                    f"{where}: p99_ms must be >= p50_ms")
+        if is_count(row.get("threads")):
+            seen_threads.append(row["threads"])
+    require(seen_threads == sorted(seen_threads) and len(set(seen_threads)) ==
+            len(seen_threads),
+            "rows must be sorted by strictly increasing threads")
+    require(1 in seen_threads,
+            "rows must include the serial (threads=1) oracle run")
+    ratio = clone.get("cost_ratio") if isinstance(clone, dict) else None
+    return f"cost_ratio={ratio}, watermarks={labels}"
 
 bench = doc.get("bench")
 if bench == "durability_sweep":
     detail = check_durability()
 elif bench == "churn_sweep":
     detail = check_churn()
+elif bench == "snapshot_sweep":
+    detail = check_snapshot()
 elif bench:
     # throughput_sweep and future benches adopting its envelope.
     detail = check_throughput()

@@ -19,7 +19,8 @@ cmake --build "${build_dir}" -j "$(nproc)" --target \
   fig12_mkdir fig13_access fig14_objects fig15_sizes headline_numbers \
   rtt_impact tab1_complexity ablation_h2 ablation_gossip ablation_ring \
   ablation_geo scalability ablation_calibration degraded_mode \
-  parallelism_sweep durability_sweep
+  parallelism_sweep durability_sweep churn_sweep snapshot_sweep \
+  ablation_rebalance
 
 mkdir -p bench/out
 for bin in \
@@ -39,5 +40,24 @@ echo "== durability_sweep"
 "${build_dir}/bench/durability_sweep" BENCH_durability.json \
   > bench/out/durability_sweep.txt
 scripts/check_bench_json.sh BENCH_durability.json
+
+# churn_sweep emits BENCH_churn.json and ablation_rebalance appends its
+# rebalance-rate-policy section to the same artifact; the schema check
+# requires the combined document.
+echo "== churn_sweep"
+"${build_dir}/bench/churn_sweep" BENCH_churn.json \
+  > bench/out/churn_sweep.txt
+echo "== ablation_rebalance"
+"${build_dir}/bench/ablation_rebalance" BENCH_churn.json \
+  > bench/out/ablation_rebalance.txt
+scripts/check_bench_json.sh BENCH_churn.json
+
+# snapshot_sweep emits BENCH_snapshot.json (clone-vs-copy, ListAt
+# overhead, watermark ablation, hot-dir sweep) and gates on the 100x
+# clone floor plus the serial differential oracle.
+echo "== snapshot_sweep"
+"${build_dir}/bench/snapshot_sweep" BENCH_snapshot.json \
+  > bench/out/snapshot_sweep.txt
+scripts/check_bench_json.sh BENCH_snapshot.json
 
 echo "Done: outputs in bench/out/ (gitignored; paste into EXPERIMENTS.md)."

@@ -131,6 +131,15 @@ int ObjectCloud::PickNewest(const std::vector<ReplicaProbe>& probes) {
 
 Status ObjectCloud::Put(const std::string& key, ObjectValue value,
                         OpMeter& meter, PutOptions opts) {
+  // Epoch pin: even a lone primitive routes against exactly one
+  // membership epoch (AddStorageNode/RemoveStorageNode publish under the
+  // exclusive side, so they wait for in-flight ops to drain).
+  std::shared_lock membership(membership_mu_);
+  return PutUnpinned(key, std::move(value), meter, opts);
+}
+
+Status ObjectCloud::PutUnpinned(const std::string& key, ObjectValue value,
+                                OpMeter& meter, PutOptions opts) {
   if (PutFaultMatches(key)) {
     meter.CountFailed();
     {
@@ -195,6 +204,12 @@ Status ObjectCloud::Put(const std::string& key, ObjectValue value,
 
 Result<ObjectValue> ObjectCloud::Get(const std::string& key,
                                      OpMeter& meter) {
+  std::shared_lock membership(membership_mu_);
+  return GetUnpinned(key, meter);
+}
+
+Result<ObjectValue> ObjectCloud::GetUnpinned(const std::string& key,
+                                             OpMeter& meter) {
   // Swift-style read, newest-wins: probe every replica's freshness digest
   // (a replica that answers 404 may simply have missed the write; one that
   // answers with an old copy may have missed an overwrite) and serve the
@@ -321,6 +336,12 @@ Result<ObjectValue> ObjectCloud::RebalanceFallbackGet(const std::string& key) {
 
 Result<ObjectHead> ObjectCloud::Head(const std::string& key,
                                      OpMeter& meter) {
+  std::shared_lock membership(membership_mu_);
+  return HeadUnpinned(key, meter);
+}
+
+Result<ObjectHead> ObjectCloud::HeadUnpinned(const std::string& key,
+                                             OpMeter& meter) {
   meter.CountHead();
   std::vector<ReplicaProbe> probes = ProbeReplicas(key, meter.zone());
   const int winner = PickNewest(probes);
@@ -366,6 +387,11 @@ Result<ObjectHead> ObjectCloud::Head(const std::string& key,
 }
 
 Status ObjectCloud::Delete(const std::string& key, OpMeter& meter) {
+  std::shared_lock membership(membership_mu_);
+  return DeleteUnpinned(key, meter);
+}
+
+Status ObjectCloud::DeleteUnpinned(const std::string& key, OpMeter& meter) {
   SimClock& clock = ClockFor(meter);
   const VirtualNanos total = JitterFor(meter, latency_.DeleteBase());
   meter.Charge(total);
@@ -414,6 +440,12 @@ Status ObjectCloud::Delete(const std::string& key, OpMeter& meter) {
 
 Status ObjectCloud::Copy(const std::string& src, const std::string& dst,
                          OpMeter& meter) {
+  std::shared_lock membership(membership_mu_);
+  return CopyUnpinned(src, dst, meter);
+}
+
+Status ObjectCloud::CopyUnpinned(const std::string& src,
+                                 const std::string& dst, OpMeter& meter) {
   meter.CountCopy();
   // Read the newest source copy (same newest-wins rule as Get: a replica
   // that missed the write must neither fail the copy nor feed it stale
@@ -522,25 +554,25 @@ std::vector<BatchResult> ObjectCloud::ExecuteBatch(std::vector<BatchOp> ops,
     sub.InheritContext(meter);
     switch (op.kind) {
       case BatchOp::Kind::kPut:
-        out.status = Put(op.key, std::move(op.value), sub, op.put_opts);
+        out.status = PutUnpinned(op.key, std::move(op.value), sub, op.put_opts);
         break;
       case BatchOp::Kind::kGet: {
-        Result<ObjectValue> r = Get(op.key, sub);
+        Result<ObjectValue> r = GetUnpinned(op.key, sub);
         out.status = r.status();
         if (r.ok()) out.value = std::move(r).value();
         break;
       }
       case BatchOp::Kind::kHead: {
-        Result<ObjectHead> r = Head(op.key, sub);
+        Result<ObjectHead> r = HeadUnpinned(op.key, sub);
         out.status = r.status();
         if (r.ok()) out.head = *r;
         break;
       }
       case BatchOp::Kind::kDelete:
-        out.status = Delete(op.key, sub);
+        out.status = DeleteUnpinned(op.key, sub);
         break;
       case BatchOp::Kind::kCopy:
-        out.status = Copy(op.key, op.dst, sub);
+        out.status = CopyUnpinned(op.key, op.dst, sub);
         break;
     }
     OpMeter::BatchLane lane;

@@ -166,6 +166,10 @@ class ObjectCloud {
   ObjectCloud& operator=(const ObjectCloud&) = delete;
 
   // --- flat object primitives (the paper's PUT/GET/DELETE "and other") ---
+  // Each primitive pins the membership epoch for its whole duration (the
+  // shared side of membership_mu_, like ExecuteBatch does per batch): a
+  // concurrent Add/Remove/ReplaceStorageNode publishes only after every
+  // in-flight op drains, so no op ever routes half-old, half-new.
   Status Put(const std::string& key, ObjectValue value, OpMeter& meter,
              PutOptions opts = {});
   Result<ObjectValue> Get(const std::string& key, OpMeter& meter);
@@ -429,6 +433,20 @@ class ObjectCloud {
 
  private:
   struct ReplicaProbe;
+
+  // Unpinned bodies of the flat primitives.  The public wrappers and
+  // ExecuteBatch take the membership epoch pin (the shared side of
+  // membership_mu_) exactly once and then call these, so a single PUT
+  // routes against one ring epoch just like a whole batch -- and a batch
+  // never re-acquires the shared lock it already holds (recursive
+  // shared_mutex acquisition is undefined behaviour).
+  Status PutUnpinned(const std::string& key, ObjectValue value,
+                     OpMeter& meter, PutOptions opts);
+  Result<ObjectValue> GetUnpinned(const std::string& key, OpMeter& meter);
+  Result<ObjectHead> HeadUnpinned(const std::string& key, OpMeter& meter);
+  Status DeleteUnpinned(const std::string& key, OpMeter& meter);
+  Status CopyUnpinned(const std::string& src, const std::string& dst,
+                      OpMeter& meter);
 
   /// Replica nodes for a key, reordered so replicas in `reader_zone` come
   /// first (read affinity).

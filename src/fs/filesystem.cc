@@ -13,4 +13,28 @@ Status FileSystem::Rename(std::string_view path, std::string_view new_name) {
   return Move(normalized, JoinPath(ParentPath(normalized), new_name));
 }
 
+Result<VirtualNanos> FileSystem::DirVersion(std::string_view path) {
+  // Unversioned systems live at a single version 0 for every path; the
+  // follow-up ListAt/StatAt surfaces any bad-operand error.
+  (void)path;
+  return VirtualNanos{0};
+}
+
+Result<std::vector<DirEntry>> FileSystem::ListAt(std::string_view path,
+                                                 VirtualNanos version,
+                                                 ListDetail detail) {
+  (void)version;
+  return List(path, detail);
+}
+
+Result<FileInfo> FileSystem::StatAt(std::string_view path,
+                                    VirtualNanos version) {
+  (void)version;
+  return Stat(path);
+}
+
+Status FileSystem::SnapshotClone(std::string_view from, std::string_view to) {
+  return Copy(from, to);
+}
+
 }  // namespace h2

@@ -92,6 +92,28 @@ class FileSystem {
   /// Copies a file or directory subtree to a new full path.
   virtual Status Copy(std::string_view from, std::string_view to) = 0;
 
+  // --- versioned reads & snapshots ------------------------------------------
+  // Systems without patch-history retention serve these as plain reads
+  // and materialized copies, so one trace replays against every system:
+  // the default DirVersion token is 0 and the default ListAt/StatAt
+  // ignore the version, while the default SnapshotClone degenerates to
+  // Copy -- exactly the O(n) contrast the snapshot benches measure
+  // against H2's O(1) clone.
+  /// The directory's current version -- the time-travel token accepted by
+  /// ListAt/StatAt.
+  virtual Result<VirtualNanos> DirVersion(std::string_view path);
+  /// LIST as the directory stood at `version` (InvalidArgument below the
+  /// implementation's retention floor).
+  virtual Result<std::vector<DirEntry>> ListAt(std::string_view path,
+                                               VirtualNanos version,
+                                               ListDetail detail);
+  /// Stat as of `version`.
+  virtual Result<FileInfo> StatAt(std::string_view path,
+                                  VirtualNanos version);
+  /// Snapshot of the `from` subtree at `to`, frozen at `from`'s current
+  /// version.
+  virtual Status SnapshotClone(std::string_view from, std::string_view to);
+
   // --- metering -------------------------------------------------------------
   /// Cost of the most recent operation (the figures' y-axis).
   const OpCost& last_op() const { return meter_.cost(); }

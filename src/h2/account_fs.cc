@@ -106,4 +106,37 @@ Result<NamespaceId> H2AccountFs::Namespace(std::string_view path) {
   return middleware_.ResolvePath(root_, p, meter);
 }
 
+Result<VirtualNanos> H2AccountFs::DirVersion(std::string_view path) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  return middleware_.DirVersion(root_, p, meter);
+}
+
+Result<std::vector<DirEntry>> H2AccountFs::ListAt(std::string_view path,
+                                                  VirtualNanos version,
+                                                  ListDetail detail) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  return middleware_.ListAt(root_, p, version, detail, meter);
+}
+
+Result<FileInfo> H2AccountFs::StatAt(std::string_view path,
+                                     VirtualNanos version) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string p, NormalizePath(path));
+  return middleware_.StatAt(root_, p, version, meter);
+}
+
+Status H2AccountFs::SnapshotClone(std::string_view from,
+                                  std::string_view to) {
+  OpMeter& meter = BeginOp();
+  meter.SetZone(middleware_.zone());
+  H2_ASSIGN_OR_RETURN(std::string f, NormalizePath(from));
+  H2_ASSIGN_OR_RETURN(std::string t, NormalizePath(to));
+  return middleware_.SnapshotClone(root_, f, t, meter);
+}
+
 }  // namespace h2

@@ -50,6 +50,21 @@ class H2AccountFs final : public FileSystem {
   /// Resolve a directory path to its namespace handle.
   Result<NamespaceId> Namespace(std::string_view path);
 
+  // --- versioned reads & snapshot clones (DESIGN.md §13) --------------------
+  /// The directory's current DirVersion -- the time-travel token for
+  /// ListAt/StatAt.
+  Result<VirtualNanos> DirVersion(std::string_view path) override;
+  /// LIST as of `version` (InvalidArgument below the retention floor).
+  Result<std::vector<DirEntry>> ListAt(std::string_view path,
+                                       VirtualNanos version,
+                                       ListDetail detail) override;
+  /// Stat as of `version`.
+  Result<FileInfo> StatAt(std::string_view path,
+                          VirtualNanos version) override;
+  /// O(1)-per-directory snapshot clone of `from` at `to` (see
+  /// H2Middleware::SnapshotClone).
+  Status SnapshotClone(std::string_view from, std::string_view to) override;
+
   const std::string& account() const { return account_; }
   const NamespaceId& root() const { return root_; }
   H2Middleware& middleware() { return middleware_; }

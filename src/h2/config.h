@@ -31,6 +31,15 @@ struct H2Config {
   bool compact_on_use = true;
   VirtualNanos tombstone_gc_age = 2 * kSecond;
 
+  /// How much merged patch history a versioned NameRing retains
+  /// (DESIGN.md §13): the merge path and the background history-compaction
+  /// pass fold history older than `merge tick - history_watermark`, so
+  /// ListAt/StatAt can look back at most this far (snapshot pins always
+  /// hold their own version answerable regardless of the watermark).
+  /// 0 folds history at every merge: rings stay as lean as the unversioned
+  /// design and only pinned versions remain readable.
+  VirtualNanos history_watermark = 0;
+
   /// Wave width for the per-child metadata HEAD batch of a detailed LIST
   /// (passed to ObjectCloud::ExecuteBatch as BatchOptions::concurrency).
   /// 0 defers down the defaulting chain, each level yielding to the next

@@ -80,6 +80,10 @@ std::size_t H2Cloud::RunMaintenanceStep() {
   for (auto& mw : middlewares_) {
     work += mw->MergePending();
     work += mw->RunLazyCleanup(256);
+    // Retention: fold versioned-ring history past the watermark in idle
+    // rings (no-op at the default watermark of 0, where merges fold
+    // inline).  Counts as work so quiescence implies folded history.
+    work += mw->CompactRingHistory(64);
   }
   work += gossip_.Step();
   // Substrate-level repair: replay hinted-handoff queues whose targets
@@ -148,6 +152,7 @@ void H2Cloud::MergerLoop(H2Middleware& mw,
   while (background_running_.load(std::memory_order_relaxed)) {
     mw.MergePending();
     mw.RunLazyCleanup(256);
+    mw.CompactRingHistory(64);
     std::this_thread::sleep_for(period);
   }
 }
@@ -164,6 +169,14 @@ void H2Cloud::PumpLoop(std::chrono::milliseconds period) {
 OpCost H2Cloud::TotalMaintenanceCost() const {
   OpCost total;
   for (const auto& mw : middlewares_) total += mw->maintenance_cost();
+  return total;
+}
+
+OpCost H2Cloud::TotalHistoryCompactionCost() const {
+  OpCost total;
+  for (const auto& mw : middlewares_) {
+    total += mw->history_compaction_cost();
+  }
   return total;
 }
 

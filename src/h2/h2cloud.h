@@ -103,6 +103,9 @@ class H2Cloud {
 
   /// Sum of all middlewares' background costs.
   OpCost TotalMaintenanceCost() const;
+  /// Sum of all middlewares' history-compaction meters (the dedicated
+  /// retention meter; disjoint from TotalMaintenanceCost).
+  OpCost TotalHistoryCompactionCost() const;
 
  private:
   /// Spreads the cloud's current membership epoch to the H2Layer: told

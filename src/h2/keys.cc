@@ -29,6 +29,19 @@ std::string PatchChainKey(const NamespaceId& ns, std::uint32_t node) {
   return NameRingKey(ns) + suffix;
 }
 
+std::string PinKey(const NamespaceId& ns) {
+  return NameRingKey(ns) + ".Pins";
+}
+
+std::string PreservedKey(const NamespaceId& ns, std::string_view name,
+                         VirtualNanos version) {
+  std::string key = NameRingKey(ns) + ".Preserved.";
+  key += std::to_string(version);
+  key += '.';
+  key += name;
+  return key;
+}
+
 std::string AccountKey(std::string_view user) {
   std::string key = "account::";
   key += user;

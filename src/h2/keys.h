@@ -24,6 +24,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/clock.h"
 #include "hash/uuid.h"
 
 namespace h2 {
@@ -41,6 +42,18 @@ std::string PatchKey(const NamespaceId& ns, std::uint32_t node,
 
 /// "<ns>::/NameRing/.Node<NN>.Chain"
 std::string PatchChainKey(const NamespaceId& ns, std::uint32_t node);
+
+/// "<ns>::/NameRing/.Pins" -- snapshot-clone pin count for the namespace
+/// (present and > 0 while reference records point at it; lazy cleanup
+/// defers teardown of pinned namespaces).
+std::string PinKey(const NamespaceId& ns);
+
+/// "<ns>::/NameRing/.Preserved.<version>.<name>" -- content preserved for
+/// the snapshot pin at `version` just before an in-place overwrite or
+/// delete of the live child object (DESIGN.md §13).  '/' cannot appear in
+/// child names, so preserved keys never collide with children.
+std::string PreservedKey(const NamespaceId& ns, std::string_view name,
+                         VirtualNanos version);
 
 /// "account::<user>"
 std::string AccountKey(std::string_view user);

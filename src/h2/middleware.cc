@@ -114,14 +114,14 @@ Status H2Middleware::DeleteAccount(std::string_view user, OpMeter& meter) {
 Result<DirRecord> H2Middleware::LoadDirRecord(const NamespaceId& parent_ns,
                                               std::string_view name,
                                               OpMeter& meter) {
-  std::uint64_t rev = 0;
+  VirtualNanos floor = 0;
   if (config_.resolve_cache) {
     std::lock_guard lock(mu_);
     if (auto cached =
             resolve_cache_.GetChild(parent_ns, std::string(name))) {
       return *cached;
     }
-    rev = resolve_cache_.ChildRev(parent_ns);  // snapshot before the GET
+    floor = resolve_cache_.ChildFloor(parent_ns);  // fence before the GET
   }
   H2_ASSIGN_OR_RETURN(ObjectValue obj,
                       cloud_.Get(ChildKey(parent_ns, name), meter));
@@ -132,21 +132,107 @@ Result<DirRecord> H2Middleware::LoadDirRecord(const NamespaceId& parent_ns,
   H2_ASSIGN_OR_RETURN(DirRecord record, DirRecord::Parse(obj.payload));
   if (config_.resolve_cache) {
     std::lock_guard lock(mu_);
-    resolve_cache_.PutChild(parent_ns, std::string(name), record, rev);
+    resolve_cache_.PutChild(parent_ns, std::string(name), record, floor);
   }
   return record;
+}
+
+Result<ObjectValue> H2Middleware::GetContentAt(const NamespaceId& ns,
+                                               std::string_view name,
+                                               VirtualNanos version,
+                                               OpMeter& meter) {
+  // Common case first: a live object whose last write predates the pin
+  // IS the pinned content -- one GET, exactly the unversioned cost.  A
+  // newer (or missing) live object means the original was overwritten or
+  // deleted after the pin, and preserve-on-write kept a copy aside.
+  Result<ObjectValue> live = cloud_.Get(ChildKey(ns, name), meter);
+  if (live.ok() && live->modified <= version) return live;
+  Result<ObjectValue> kept =
+      cloud_.Get(PreservedKey(ns, name, version), meter);
+  if (kept.ok()) return kept;
+  // Never preserved (pin taken before preserve-on-write existed, or a
+  // restart lost the pin hint): degrade to the shared live object.
+  if (live.ok()) return live;
+  return live.status();
+}
+
+Result<DirRecord> H2Middleware::LoadDirRecordAt(const NamespaceId& parent_ns,
+                                                std::string_view name,
+                                                VirtualNanos version,
+                                                OpMeter& meter) {
+  H2_ASSIGN_OR_RETURN(ObjectValue obj,
+                      GetContentAt(parent_ns, name, version, meter));
+  auto it = obj.metadata.find(std::string(kMetaKind));
+  if (it == obj.metadata.end() || it->second != kMetaKindDir) {
+    return Status::NotADirectory("not a directory: " + std::string(name));
+  }
+  return DirRecord::Parse(obj.payload);
+}
+
+Status H2Middleware::PreserveForPins(const NamespaceId& ns,
+                                     std::string_view name, OpMeter& meter) {
+  {
+    std::lock_guard lock(mu_);
+    if (pinned_ns_.count(ns) == 0) return Status::Ok();
+  }
+  H2_ASSIGN_OR_RETURN(NameRing ring, LoadNameRing(ns, meter));
+  if (ring.pin_count() == 0) return Status::Ok();
+  for (const auto& [version, count] : ring.pins()) {
+    if (HasPreservedHint(ns, version, name)) continue;
+    // Only pins that can still see the current object need a copy: the
+    // name must be live at the pinned version, and the first
+    // post-pin overwrite is the one that preserves (later ones find the
+    // hint set).
+    Result<std::optional<RingTuple>> tuple = ring.FindAt(name, version);
+    if (!tuple.ok() || !tuple->has_value() || (*tuple)->deleted) continue;
+    Status copied = cloud_.Copy(ChildKey(ns, name),
+                                PreservedKey(ns, name, version), meter);
+    if (copied.code() == ErrorCode::kNotFound) continue;  // nothing live
+    H2_RETURN_IF_ERROR(copied);
+    std::lock_guard lock(mu_);
+    preserved_hint_.emplace(ns, version, std::string(name));
+    ++counters_.snapshot_content_preserved;
+  }
+  return Status::Ok();
+}
+
+bool H2Middleware::HasPreservedHint(const NamespaceId& ns,
+                                    VirtualNanos version,
+                                    std::string_view name) const {
+  std::lock_guard lock(mu_);
+  return preserved_hint_.count({ns, version, std::string(name)}) > 0;
+}
+
+Result<H2Middleware::DirHandle> H2Middleware::ResolveDir(
+    const NamespaceId& root, std::string_view path, OpMeter& meter) {
+  DirHandle handle{root, false, 0};
+  for (auto component : PathComponents(path)) {
+    // Inside a pinned view, records deleted or replaced after the pin
+    // resolve to their preserved copies (and never poison the live
+    // child cache).
+    Result<DirRecord> record =
+        handle.pinned
+            ? LoadDirRecordAt(handle.ns, component, handle.version, meter)
+            : LoadDirRecord(handle.ns, component, meter);
+    if (!record.ok()) return record.status();
+    handle.ns = record->ns;
+    if (record->reference) {
+      // A nested reference inside a pinned view pins an older snapshot;
+      // the walk keeps the oldest version on the path.
+      handle.version = handle.pinned
+                           ? std::min(handle.version, record->ref_version)
+                           : record->ref_version;
+      handle.pinned = true;
+    }
+  }
+  return handle;
 }
 
 Result<NamespaceId> H2Middleware::ResolvePath(const NamespaceId& root,
                                               std::string_view path,
                                               OpMeter& meter) {
-  NamespaceId current = root;
-  for (auto component : PathComponents(path)) {
-    Result<DirRecord> record = LoadDirRecord(current, component, meter);
-    if (!record.ok()) return record.status();
-    current = record->ns;
-  }
-  return current;
+  H2_ASSIGN_OR_RETURN(DirHandle handle, ResolveDir(root, path, meter));
+  return handle.ns;
 }
 
 Result<NamespaceId> H2Middleware::ResolveParent(
@@ -155,13 +241,34 @@ Result<NamespaceId> H2Middleware::ResolveParent(
   return ResolvePath(root, ParentPath(normalized_path), meter);
 }
 
+Result<NamespaceId> H2Middleware::ResolveDirForWrite(const NamespaceId& root,
+                                                     std::string_view path,
+                                                     OpMeter& meter) {
+  NamespaceId current = root;
+  for (auto component : PathComponents(path)) {
+    H2_ASSIGN_OR_RETURN(DirRecord record,
+                        LoadDirRecord(current, component, meter));
+    if (record.reference) {
+      H2_ASSIGN_OR_RETURN(
+          current, MaterializeReference(current, component, record, meter));
+    } else {
+      current = record.ns;
+    }
+  }
+  return current;
+}
+
+Result<NamespaceId> H2Middleware::ResolveParentForWrite(
+    const NamespaceId& root, std::string_view normalized_path,
+    OpMeter& meter) {
+  return ResolveDirForWrite(root, ParentPath(normalized_path), meter);
+}
+
 Result<NameRing> H2Middleware::LoadNameRing(const NamespaceId& ns,
                                             OpMeter& meter) {
-  std::uint64_t rev = 0;
   if (config_.resolve_cache) {
     std::lock_guard lock(mu_);
     if (auto cached = resolve_cache_.GetRing(ns)) return *cached;
-    rev = resolve_cache_.RingRev(ns);  // snapshot before the GET
   }
   H2_ASSIGN_OR_RETURN(ObjectValue obj, cloud_.Get(NameRingKey(ns), meter));
   H2_ASSIGN_OR_RETURN(NameRing ring, NameRing::Parse(obj.payload));
@@ -174,9 +281,14 @@ Result<NameRing> H2Middleware::LoadNameRing(const NamespaceId& ns,
     if (desc.local.has_value()) ring.Merge(*desc.local);
     for (const auto& [patch_no, patch] : desc.pending) ring.Merge(patch);
   }
-  // Cached post-overlay: every event that changes the stored ring or the
-  // overlay (patch submit, merge, compaction, rumor) bumps ring_rev.
-  if (config_.resolve_cache) resolve_cache_.PutRing(ns, ring, rev);
+  // Cached post-overlay.  The fill is self-validating: every event that
+  // changes the stored ring or the overlay (patch submit, merge,
+  // compaction, rumor) notes its version as the ring floor, and PutRing
+  // admits the ring only if its dir_version has caught up.
+  if (config_.resolve_cache) resolve_cache_.PutRing(ns, ring);
+  // Observed pins arm preserve-on-write (cross-middleware clones and
+  // post-restart recovery learn pin state from the stored ring).
+  if (ring.pin_count() > 0) pinned_ns_.insert(ns);
   return ring;
 }
 
@@ -194,8 +306,12 @@ Result<FileInfo> H2Middleware::Stat(const NamespaceId& root,
     info.kind = EntryKind::kDirectory;
     return info;
   }
-  H2_ASSIGN_OR_RETURN(NamespaceId parent, ResolveParent(root, path, meter));
-  return StatRelative(parent, BaseName(path), meter);
+  H2_ASSIGN_OR_RETURN(DirHandle parent,
+                      ResolveDir(root, ParentPath(path), meter));
+  if (!parent.pinned) return StatRelative(parent.ns, BaseName(path), meter);
+  // Inside a snapshot clone the O(1) HEAD is not enough: the child must
+  // have existed at the pinned version, so consult the ring's history.
+  return StatAtInDir(parent.ns, BaseName(path), parent.version, meter);
 }
 
 // ---------------------------------------------------------------------------
@@ -205,7 +321,8 @@ Result<FileInfo> H2Middleware::Stat(const NamespaceId& root,
 Status H2Middleware::WriteFile(const NamespaceId& root, std::string_view path,
                                FileBlob blob, OpMeter& meter) {
   if (path == "/") return Status::IsADirectory("cannot write to /");
-  H2_ASSIGN_OR_RETURN(NamespaceId parent, ResolveParent(root, path, meter));
+  H2_ASSIGN_OR_RETURN(NamespaceId parent,
+                      ResolveParentForWrite(root, path, meter));
   const std::string_view name = BaseName(path);
   const std::string key = ChildKey(parent, name);
 
@@ -216,6 +333,9 @@ Status H2Middleware::WriteFile(const NamespaceId& root, std::string_view path,
     if (it != existing->metadata.end() && it->second == kMetaKindDir) {
       return Status::IsADirectory("is a directory: " + std::string(path));
     }
+    // Overwrite in place: snapshot pins on this directory keep reading
+    // the old bytes, so copy them aside first.
+    H2_RETURN_IF_ERROR(PreserveForPins(parent, name, meter));
   } else if (existing.code() == ErrorCode::kNotFound) {
     is_new = true;
   } else {
@@ -277,7 +397,7 @@ Status H2Middleware::WriteFiles(const NamespaceId& root,
     auto it = by_parent.find(parent_path);
     if (it == by_parent.end()) {
       H2_ASSIGN_OR_RETURN(NamespaceId parent,
-                          ResolvePath(root, parent_path, meter));
+                          ResolveDirForWrite(root, parent_path, meter));
       it = by_parent.emplace(parent_path, DirBatch{parent, {}}).first;
     }
     Pending p;
@@ -308,6 +428,10 @@ Status H2Middleware::WriteFiles(const NamespaceId& root,
       is_new[i] = true;
     } else {
       return head.status;
+    }
+    if (!is_new[i]) {
+      H2_RETURN_IF_ERROR(
+          PreserveForPins(pending[i].dir->ns, pending[i].name, meter));
     }
     const VirtualNanos now = ClockFor(meter).Tick();
     stamped[i] = now;
@@ -341,9 +465,28 @@ Result<FileBlob> H2Middleware::ReadFile(const NamespaceId& root,
                                         std::string_view path,
                                         OpMeter& meter) {
   if (path == "/") return Status::IsADirectory("cannot read /");
-  H2_ASSIGN_OR_RETURN(NamespaceId parent, ResolveParent(root, path, meter));
-  H2_ASSIGN_OR_RETURN(ObjectValue obj,
-                      cloud_.Get(ChildKey(parent, BaseName(path)), meter));
+  H2_ASSIGN_OR_RETURN(DirHandle parent,
+                      ResolveDir(root, ParentPath(path), meter));
+  const std::string_view name = BaseName(path);
+  ObjectValue obj;
+  if (!parent.pinned) {
+    H2_ASSIGN_OR_RETURN(obj, cloud_.Get(ChildKey(parent.ns, name), meter));
+  } else {
+    // Through a clone the name must have existed at the pinned version
+    // (a file created in the source afterwards is invisible even to a
+    // direct open), and the content read is version-aware.
+    H2_ASSIGN_OR_RETURN(NameRing ring, LoadNameRing(parent.ns, meter));
+    H2_ASSIGN_OR_RETURN(std::optional<RingTuple> tuple,
+                        ring.FindAt(name, parent.version));
+    if (!tuple.has_value() || tuple->deleted) {
+      return Status::NotFound("not found at version: " + std::string(path));
+    }
+    if (tuple->kind == EntryKind::kDirectory) {
+      return Status::IsADirectory("is a directory: " + std::string(path));
+    }
+    H2_ASSIGN_OR_RETURN(obj,
+                        GetContentAt(parent.ns, name, parent.version, meter));
+  }
   auto it = obj.metadata.find(std::string(kMetaKind));
   if (it != obj.metadata.end() && it->second == kMetaKindDir) {
     return Status::IsADirectory("is a directory: " + std::string(path));
@@ -354,7 +497,8 @@ Result<FileBlob> H2Middleware::ReadFile(const NamespaceId& root,
 Status H2Middleware::RemoveFile(const NamespaceId& root,
                                 std::string_view path, OpMeter& meter) {
   if (path == "/") return Status::IsADirectory("cannot remove /");
-  H2_ASSIGN_OR_RETURN(NamespaceId parent, ResolveParent(root, path, meter));
+  H2_ASSIGN_OR_RETURN(NamespaceId parent,
+                      ResolveParentForWrite(root, path, meter));
   const std::string_view name = BaseName(path);
   const std::string key = ChildKey(parent, name);
 
@@ -363,6 +507,7 @@ Status H2Middleware::RemoveFile(const NamespaceId& root,
   if (it != head.metadata.end() && it->second == kMetaKindDir) {
     return Status::IsADirectory("is a directory: " + std::string(path));
   }
+  H2_RETURN_IF_ERROR(PreserveForPins(parent, name, meter));
   H2_RETURN_IF_ERROR(cloud_.Delete(key, meter));
   // Fake deletion (§3.3.3a): the tuple gains a Deleted tag via a patch.
   return SubmitPatch(
@@ -378,7 +523,8 @@ Status H2Middleware::RemoveFile(const NamespaceId& root,
 Status H2Middleware::Mkdir(const NamespaceId& root, std::string_view path,
                            OpMeter& meter) {
   if (path == "/") return Status::AlreadyExists("/");
-  H2_ASSIGN_OR_RETURN(NamespaceId parent, ResolveParent(root, path, meter));
+  H2_ASSIGN_OR_RETURN(NamespaceId parent,
+                      ResolveParentForWrite(root, path, meter));
   const std::string_view name = BaseName(path);
   const std::string key = ChildKey(parent, name);
   if (cloud_.Exists(key, meter)) {
@@ -386,11 +532,11 @@ Status H2Middleware::Mkdir(const NamespaceId& root, std::string_view path,
   }
 
   NamespaceId ns;
-  std::uint64_t rev = 0;
+  VirtualNanos floor = 0;
   {
     std::lock_guard lock(mu_);
     ns = minter_.Mint(ClockFor(meter).NowUnixMillis());
-    rev = resolve_cache_.ChildRev(parent);  // snapshot before the PUTs
+    floor = resolve_cache_.ChildFloor(parent);  // fence before the PUTs
   }
   const VirtualNanos now = ClockFor(meter).Tick();
   DirRecord record{ns, parent, std::string(name), now};
@@ -401,7 +547,7 @@ Status H2Middleware::Mkdir(const NamespaceId& root, std::string_view path,
       cloud_.Put(NameRingKey(ns), MakeObject("", "ring", now), meter));
   if (config_.resolve_cache) {
     std::lock_guard lock(mu_);
-    resolve_cache_.PutChild(parent, std::string(name), record, rev);
+    resolve_cache_.PutChild(parent, std::string(name), record, floor);
   }
   return SubmitPatch(
       parent,
@@ -411,21 +557,31 @@ Status H2Middleware::Mkdir(const NamespaceId& root, std::string_view path,
 Status H2Middleware::Rmdir(const NamespaceId& root, std::string_view path,
                            OpMeter& meter) {
   if (path == "/") return Status::InvalidArgument("cannot remove /");
-  H2_ASSIGN_OR_RETURN(NamespaceId parent, ResolveParent(root, path, meter));
+  H2_ASSIGN_OR_RETURN(NamespaceId parent,
+                      ResolveParentForWrite(root, path, meter));
   const std::string_view name = BaseName(path);
   H2_ASSIGN_OR_RETURN(DirRecord record, LoadDirRecord(parent, name, meter));
 
+  H2_RETURN_IF_ERROR(PreserveForPins(parent, name, meter));
   H2_RETURN_IF_ERROR(cloud_.Delete(ChildKey(parent, name), meter));
   H2_RETURN_IF_ERROR(SubmitPatch(
       parent, RingTuple{std::string(name), ClockFor(meter).Tick(),
                         EntryKind::kDirectory, /*deleted=*/true},
       meter));
-  // The n files and sub-directories beneath are unreachable now; their
-  // objects are reclaimed lazily (O(1) foreground, Table 1).
   std::lock_guard lock(mu_);
-  cleanup_queue_.push_back(record.ns);
+  if (record.reference) {
+    // Removing a snapshot clone releases its pins on the (shared) source
+    // subtree; the source's objects are never queued for deletion.
+    unpin_queue_.push_back(
+        UnpinEntry{record.ns, record.ref_version, /*recurse=*/true});
+  } else {
+    // The n files and sub-directories beneath are unreachable now; their
+    // objects are reclaimed lazily (O(1) foreground, Table 1).  If the
+    // namespace is pinned by a snapshot clone, cleanup parks it until the
+    // last pin goes.
+    cleanup_queue_.push_back(record.ns);
+  }
   resolve_cache_.EraseChild(parent, std::string(name));
-  resolve_cache_.InvalidateNamespace(record.ns);
   return Status::Ok();
 }
 
@@ -438,12 +594,13 @@ Status H2Middleware::Move(const NamespaceId& root, std::string_view from,
     return Status::InvalidArgument("cannot move a directory into itself");
   }
   H2_ASSIGN_OR_RETURN(NamespaceId from_parent,
-                      ResolveParent(root, from, meter));
+                      ResolveParentForWrite(root, from, meter));
   const std::string_view from_name = BaseName(from);
   const std::string from_key = ChildKey(from_parent, from_name);
   // Source existence takes error precedence over destination conflicts.
   H2_ASSIGN_OR_RETURN(ObjectValue source, cloud_.Get(from_key, meter));
-  H2_ASSIGN_OR_RETURN(NamespaceId to_parent, ResolveParent(root, to, meter));
+  H2_ASSIGN_OR_RETURN(NamespaceId to_parent,
+                      ResolveParentForWrite(root, to, meter));
   const std::string_view to_name = BaseName(to);
   const std::string to_key = ChildKey(to_parent, to_name);
 
@@ -477,24 +634,28 @@ Status H2Middleware::Move(const NamespaceId& root, std::string_view from,
   if (is_dir) {
     // Rewriting the directory record is the whole move: the subtree stays
     // keyed by the directory's own namespace.  This is H2's O(1) MOVE.
+    // A reference record moves the same way -- its referent and pinned
+    // version ride along in the rewritten record.
     H2_ASSIGN_OR_RETURN(DirRecord record, DirRecord::Parse(source.payload));
     record.parent_ns = to_parent;
     record.name = std::string(to_name);
-    std::uint64_t rev = 0;
+    VirtualNanos floor = 0;
     {
       std::lock_guard lock(mu_);
-      rev = resolve_cache_.ChildRev(to_parent);  // snapshot before the PUT
+      floor = resolve_cache_.ChildFloor(to_parent);  // fence before the PUT
     }
     H2_RETURN_IF_ERROR(cloud_.Put(
         to_key, MakeObject(record.Serialize(), kMetaKindDir, now), meter));
+    H2_RETURN_IF_ERROR(PreserveForPins(from_parent, from_name, meter));
     H2_RETURN_IF_ERROR(cloud_.Delete(from_key, meter));
     std::lock_guard lock(mu_);
     resolve_cache_.EraseChild(from_parent, std::string(from_name));
     if (config_.resolve_cache) {
-      resolve_cache_.PutChild(to_parent, std::string(to_name), record, rev);
+      resolve_cache_.PutChild(to_parent, std::string(to_name), record, floor);
     }
   } else {
     H2_RETURN_IF_ERROR(cloud_.Copy(from_key, to_key, meter));
+    H2_RETURN_IF_ERROR(PreserveForPins(from_parent, from_name, meter));
     H2_RETURN_IF_ERROR(cloud_.Delete(from_key, meter));
   }
 
@@ -579,16 +740,10 @@ std::size_t H2Middleware::RecoverIntents() {
   return completed;
 }
 
-Result<std::vector<DirEntry>> H2Middleware::List(const NamespaceId& root,
-                                                 std::string_view path,
-                                                 ListDetail detail,
-                                                 OpMeter& meter) {
-  H2_ASSIGN_OR_RETURN(NamespaceId ns, ResolvePath(root, path, meter));
-  H2_ASSIGN_OR_RETURN(NameRing ring, LoadNameRing(ns, meter));
-  H2_RETURN_IF_ERROR(MaybeCompact(ns, ring, meter));
-
+Result<std::vector<DirEntry>> H2Middleware::BuildEntries(
+    const NamespaceId& ns, const std::vector<RingTuple>& children,
+    ListDetail detail, OpMeter& meter) {
   std::vector<DirEntry> entries;
-  const std::vector<RingTuple> children = ring.LiveChildren();
   entries.reserve(children.size());
 
   if (detail == ListDetail::kNamesOnly) {
@@ -624,16 +779,42 @@ Result<std::vector<DirEntry>> H2Middleware::List(const NamespaceId& root,
   return entries;
 }
 
+Result<std::vector<DirEntry>> H2Middleware::List(const NamespaceId& root,
+                                                 std::string_view path,
+                                                 ListDetail detail,
+                                                 OpMeter& meter) {
+  H2_ASSIGN_OR_RETURN(DirHandle dir, ResolveDir(root, path, meter));
+  H2_ASSIGN_OR_RETURN(NameRing ring, LoadNameRing(dir.ns, meter));
+  std::vector<RingTuple> children;
+  if (dir.pinned) {
+    // A clone view never compacts through its reference (the ring belongs
+    // to the source); it lists the state at the pinned version.
+    Result<std::vector<RingTuple>> at = ring.LiveChildrenAt(dir.version);
+    children = at.ok() ? *std::move(at) : ring.LiveChildren();
+  } else {
+    H2_RETURN_IF_ERROR(MaybeCompact(dir.ns, ring, meter));
+    children = ring.LiveChildren();
+  }
+  return BuildEntries(dir.ns, children, detail, meter);
+}
+
 Result<H2Middleware::Page> H2Middleware::ListPaged(
     const NamespaceId& root, std::string_view path, ListDetail detail,
     std::string_view start_after, std::size_t limit, OpMeter& meter) {
   if (limit == 0) return Status::InvalidArgument("limit must be positive");
-  H2_ASSIGN_OR_RETURN(NamespaceId ns, ResolvePath(root, path, meter));
+  H2_ASSIGN_OR_RETURN(DirHandle dir, ResolveDir(root, path, meter));
+  const NamespaceId ns = dir.ns;
   H2_ASSIGN_OR_RETURN(NameRing ring, LoadNameRing(ns, meter));
-  H2_RETURN_IF_ERROR(MaybeCompact(ns, ring, meter));
+  std::vector<RingTuple> children;
+  if (dir.pinned) {
+    Result<std::vector<RingTuple>> at = ring.LiveChildrenAt(dir.version);
+    children = at.ok() ? *std::move(at) : ring.LiveChildren();
+  } else {
+    H2_RETURN_IF_ERROR(MaybeCompact(ns, ring, meter));
+    children = ring.LiveChildren();
+  }
 
   Page page;
-  const std::vector<RingTuple> children = ring.LiveChildren();
   // LiveChildren is alphabetical: find the window after the marker.
   auto it = children.begin();
   if (!start_after.empty()) {
@@ -680,18 +861,30 @@ Result<H2Middleware::Page> H2Middleware::ListPaged(
 }
 
 Status H2Middleware::CopyTree(const NamespaceId& src_ns,
-                              const NamespaceId& dst_ns, OpMeter& meter) {
+                              const NamespaceId& dst_ns, OpMeter& meter,
+                              VirtualNanos at) {
   H2_ASSIGN_OR_RETURN(NameRing src_ring, LoadNameRing(src_ns, meter));
   NameRing dst_ring;
-  const std::vector<RingTuple> children = src_ring.LiveChildren();
+  std::vector<RingTuple> children;
+  if (at > 0) {
+    // Copying a pinned view (COPY of a snapshot clone): the child set and
+    // the file bytes are the ones frozen at `at`.
+    Result<std::vector<RingTuple>> view = src_ring.LiveChildrenAt(at);
+    children = view.ok() ? *std::move(view) : src_ring.LiveChildren();
+  } else {
+    children = src_ring.LiveChildren();
+  }
 
   // Phase 1: per-file server-side COPYs, one batch for the whole level.
   std::vector<BatchOp> copies;
   std::vector<const RingTuple*> files;
   for (const RingTuple& child : children) {
     if (child.kind == EntryKind::kDirectory) continue;
-    copies.push_back(BatchOp::Copy(ChildKey(src_ns, child.name),
-                                   ChildKey(dst_ns, child.name)));
+    const std::string src =
+        at > 0 && HasPreservedHint(src_ns, at, child.name)
+            ? PreservedKey(src_ns, child.name, at)
+            : ChildKey(src_ns, child.name);
+    copies.push_back(BatchOp::Copy(src, ChildKey(dst_ns, child.name)));
     files.push_back(&child);
   }
   const std::vector<BatchResult> copied =
@@ -711,17 +904,23 @@ Status H2Middleware::CopyTree(const NamespaceId& src_ns,
     NamespaceId src_child;
     NamespaceId dst_child;
     VirtualNanos now = 0;
+    VirtualNanos at = 0;  // pinned view to recurse into (0 = live)
   };
   std::vector<SubdirCopy> subdirs;
   std::vector<BatchOp> record_puts;
   for (const RingTuple& child : children) {
     if (child.kind != EntryKind::kDirectory) continue;
-    Result<DirRecord> record = LoadDirRecord(src_ns, child.name, meter);
+    Result<DirRecord> record =
+        at > 0 ? LoadDirRecordAt(src_ns, child.name, at, meter)
+               : LoadDirRecord(src_ns, child.name, meter);
     if (record.code() == ErrorCode::kNotFound) continue;
     if (!record.ok()) return record.status();
     SubdirCopy sub;
     sub.tuple = &child;
     sub.src_child = record->ns;
+    // A reference child freezes its own (possibly older) version; a real
+    // child inside a pinned view inherits the view's version.
+    sub.at = record->reference ? record->ref_version : at;
     {
       std::lock_guard lock(mu_);
       sub.dst_child = minter_.Mint(ClockFor(meter).NowUnixMillis());
@@ -743,7 +942,7 @@ Status H2Middleware::CopyTree(const NamespaceId& src_ns,
 
   // Phase 3: recurse into the copied subtrees.
   for (const SubdirCopy& sub : subdirs) {
-    H2_RETURN_IF_ERROR(CopyTree(sub.src_child, sub.dst_child, meter));
+    H2_RETURN_IF_ERROR(CopyTree(sub.src_child, sub.dst_child, meter, sub.at));
   }
 
   const VirtualNanos now = ClockFor(meter).Tick();
@@ -758,12 +957,34 @@ Status H2Middleware::Copy(const NamespaceId& root, std::string_view from,
   if (from == to || IsWithin(to, from)) {
     return Status::InvalidArgument("cannot copy a directory into itself");
   }
-  H2_ASSIGN_OR_RETURN(NamespaceId from_parent,
-                      ResolveParent(root, from, meter));
+  H2_ASSIGN_OR_RETURN(DirHandle from_dir,
+                      ResolveDir(root, ParentPath(from), meter));
+  const NamespaceId from_parent = from_dir.ns;
   const std::string_view from_name = BaseName(from);
-  const std::string from_key = ChildKey(from_parent, from_name);
-  H2_ASSIGN_OR_RETURN(ObjectHead head, cloud_.Head(from_key, meter));
-  H2_ASSIGN_OR_RETURN(NamespaceId to_parent, ResolveParent(root, to, meter));
+  std::string from_key = ChildKey(from_parent, from_name);
+  Result<ObjectHead> head_result = cloud_.Head(from_key, meter);
+  if (from_dir.pinned) {
+    // Copying out of a clone: the source is the view frozen at the pin,
+    // not the live object (which may be newer, renamed, or gone).
+    H2_ASSIGN_OR_RETURN(NameRing ring, LoadNameRing(from_parent, meter));
+    H2_ASSIGN_OR_RETURN(std::optional<RingTuple> tuple,
+                        ring.FindAt(from_name, from_dir.version));
+    if (!tuple.has_value() || tuple->deleted) {
+      return Status::NotFound("not found at version: " + std::string(from));
+    }
+    if (!head_result.ok() || head_result->modified > from_dir.version) {
+      Result<ObjectHead> kept = cloud_.Head(
+          PreservedKey(from_parent, from_name, from_dir.version), meter);
+      if (kept.ok()) {
+        from_key = PreservedKey(from_parent, from_name, from_dir.version);
+        head_result = kept;
+      }
+    }
+  }
+  H2_RETURN_IF_ERROR(head_result.status());
+  const ObjectHead head = *std::move(head_result);
+  H2_ASSIGN_OR_RETURN(NamespaceId to_parent,
+                      ResolveParentForWrite(root, to, meter));
   const std::string_view to_name = BaseName(to);
   const std::string to_key = ChildKey(to_parent, to_name);
 
@@ -787,14 +1008,23 @@ Status H2Middleware::Copy(const NamespaceId& root, std::string_view from,
   // copied BEFORE the destination record is written: a crash mid-copy
   // then leaves only invisible orphan objects (fresh namespaces no path
   // reaches), never a half-populated visible directory.
-  H2_ASSIGN_OR_RETURN(DirRecord src_record,
-                      LoadDirRecord(from_parent, from_name, meter));
+  H2_ASSIGN_OR_RETURN(
+      DirRecord src_record,
+      from_dir.pinned
+          ? LoadDirRecordAt(from_parent, from_name, from_dir.version, meter)
+          : LoadDirRecord(from_parent, from_name, meter));
   NamespaceId dst_ns;
   {
     std::lock_guard lock(mu_);
     dst_ns = minter_.Mint(ClockFor(meter).NowUnixMillis());
   }
-  H2_RETURN_IF_ERROR(CopyTree(src_record.ns, dst_ns, meter));
+  // COPY of a snapshot clone (or inside one) materializes the pinned
+  // view into a real, independent tree.
+  const VirtualNanos copy_at =
+      src_record.reference
+          ? src_record.ref_version
+          : (from_dir.pinned ? from_dir.version : 0);
+  H2_RETURN_IF_ERROR(CopyTree(src_record.ns, dst_ns, meter, copy_at));
   DirRecord dst_record{dst_ns, to_parent, std::string(to_name), now};
   H2_RETURN_IF_ERROR(cloud_.Put(
       to_key, MakeObject(dst_record.Serialize(), kMetaKindDir, now), meter));
@@ -802,6 +1032,270 @@ Status H2Middleware::Copy(const NamespaceId& root, std::string_view from,
       to_parent,
       RingTuple{std::string(to_name), now, EntryKind::kDirectory, false},
       meter);
+}
+
+// ---------------------------------------------------------------------------
+// Versioned reads & snapshot clones (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+Result<std::vector<DirEntry>> H2Middleware::ListAt(const NamespaceId& root,
+                                                   std::string_view path,
+                                                   VirtualNanos version,
+                                                   ListDetail detail,
+                                                   OpMeter& meter) {
+  H2_ASSIGN_OR_RETURN(DirHandle dir, ResolveDir(root, path, meter));
+  H2_ASSIGN_OR_RETURN(NameRing ring, LoadNameRing(dir.ns, meter));
+  const VirtualNanos at =
+      dir.pinned ? std::min(version, dir.version) : version;
+  H2_ASSIGN_OR_RETURN(std::vector<RingTuple> children,
+                      ring.LiveChildrenAt(at));
+  {
+    std::lock_guard lock(mu_);
+    ++counters_.versioned_reads;
+  }
+  return BuildEntries(dir.ns, children, detail, meter);
+}
+
+Result<FileInfo> H2Middleware::StatAtInDir(const NamespaceId& ns,
+                                           std::string_view name,
+                                           VirtualNanos version,
+                                           OpMeter& meter) {
+  H2_ASSIGN_OR_RETURN(NameRing ring, LoadNameRing(ns, meter));
+  H2_ASSIGN_OR_RETURN(std::optional<RingTuple> tuple,
+                      ring.FindAt(name, version));
+  {
+    std::lock_guard lock(mu_);
+    ++counters_.versioned_reads;
+  }
+  if (!tuple.has_value() || tuple->deleted) {
+    return Status::NotFound("not found at version: " + std::string(name));
+  }
+  // Object times tell which generation answers: the live object while
+  // its last write predates `version`, else the copy preserve-on-write
+  // kept for this pin, else (never preserved) the live object, else the
+  // tuple itself.
+  Result<FileInfo> live = StatRelative(ns, name, meter);
+  if (live.ok() && live->kind == tuple->kind &&
+      live->modified <= version) {
+    return *live;
+  }
+  Result<ObjectHead> kept =
+      cloud_.Head(PreservedKey(ns, name, version), meter);
+  if (kept.ok()) return InfoFromHead(*kept);
+  if (live.ok() && live->kind == tuple->kind) return *live;
+  FileInfo info;
+  info.kind = tuple->kind;
+  info.size = 0;
+  info.created = info.modified = tuple->timestamp;
+  return info;
+}
+
+Result<FileInfo> H2Middleware::StatAt(const NamespaceId& root,
+                                      std::string_view path,
+                                      VirtualNanos version, OpMeter& meter) {
+  if (path == "/") {
+    FileInfo info;
+    info.kind = EntryKind::kDirectory;
+    return info;
+  }
+  H2_ASSIGN_OR_RETURN(DirHandle parent,
+                      ResolveDir(root, ParentPath(path), meter));
+  const VirtualNanos at =
+      parent.pinned ? std::min(version, parent.version) : version;
+  return StatAtInDir(parent.ns, BaseName(path), at, meter);
+}
+
+Result<VirtualNanos> H2Middleware::DirVersion(const NamespaceId& root,
+                                              std::string_view path,
+                                              OpMeter& meter) {
+  H2_ASSIGN_OR_RETURN(DirHandle dir, ResolveDir(root, path, meter));
+  if (dir.pinned) return dir.version;
+  H2_ASSIGN_OR_RETURN(NameRing ring, LoadNameRing(dir.ns, meter));
+  return ring.dir_version();
+}
+
+Status H2Middleware::PinTree(
+    const NamespaceId& ns, VirtualNanos version, OpMeter& meter,
+    std::set<std::pair<NamespaceId, VirtualNanos>>& visited) {
+  // One pin per (namespace, version) reachable from the clone root: a
+  // reference cycle reaches the same pair twice and must not double-pin
+  // it, or the release walk (which consumes one pin per visit) would
+  // leak the second pin forever.
+  if (!visited.insert({ns, version}).second) return Status::Ok();
+  // Pin the ring by read-modify-write, then fan out into the
+  // subdirectories of the pinned view.  No per-file work: this is the
+  // O(1)-per-directory cost of SnapshotClone.  The read half goes
+  // through LoadNameRing -- the merged view with this node's overlay,
+  // served from the resolve cache when warm, and a superset of the
+  // stored ring that merge would produce anyway (Merge is idempotent,
+  // so persisting the overlay early is harmless) -- which keeps the pin
+  // walk off the cloud read path entirely on the common warm-cache
+  // clone.
+  H2_ASSIGN_OR_RETURN(NameRing stored, LoadNameRing(ns, meter));
+  stored.Pin(version);
+  H2_RETURN_IF_ERROR(cloud_.Put(
+      NameRingKey(ns),
+      MakeObject(stored.Serialize(), "ring", ClockFor(meter).Tick()), meter));
+  {
+    std::lock_guard lock(mu_);
+    ++counters_.rings_pinned;
+    pinned_ns_.insert(ns);  // arms preserve-on-write for this namespace
+    // Keep the cache byte-equal with what we just persisted; the write
+    // did not advance dir_version, so the floor check admits it.
+    if (config_.resolve_cache) resolve_cache_.PutRing(ns, stored);
+  }
+  // The clone freezes the state at `version`, so only subdirectories
+  // visible at `version` need pins (mirrors the unpin walk, including
+  // its current-view fallback for folded history).
+  Result<std::vector<RingTuple>> at = stored.LiveChildrenAt(version);
+  const std::vector<RingTuple> children =
+      at.ok() ? *std::move(at) : stored.LiveChildren();
+  for (const RingTuple& child : children) {
+    if (child.kind != EntryKind::kDirectory) continue;
+    Result<DirRecord> record = LoadDirRecord(ns, child.name, meter);
+    if (record.code() == ErrorCode::kNotFound) continue;  // mid-cleanup
+    if (!record.ok()) return record.status();
+    // A nested reference is re-pinned at its own (older) version so the
+    // shared subtree's counts stay symmetric with the unpin walk.
+    const VirtualNanos child_version =
+        record->reference ? record->ref_version : version;
+    H2_RETURN_IF_ERROR(PinTree(record->ns, child_version, meter, visited));
+  }
+  return Status::Ok();
+}
+
+Status H2Middleware::SnapshotClone(const NamespaceId& root,
+                                   std::string_view from, std::string_view to,
+                                   OpMeter& meter) {
+  if (from == "/") return Status::InvalidArgument("cannot clone /");
+  if (to == "/") return Status::AlreadyExists("destination exists: /");
+  if (from == to || IsWithin(to, from)) {
+    return Status::InvalidArgument("cannot clone a directory into itself");
+  }
+  H2_ASSIGN_OR_RETURN(NamespaceId from_parent,
+                      ResolveParent(root, from, meter));
+  const std::string_view from_name = BaseName(from);
+  H2_ASSIGN_OR_RETURN(DirRecord src_record,
+                      LoadDirRecord(from_parent, from_name, meter));
+  H2_ASSIGN_OR_RETURN(NamespaceId to_parent,
+                      ResolveParentForWrite(root, to, meter));
+  const std::string_view to_name = BaseName(to);
+  const std::string to_key = ChildKey(to_parent, to_name);
+  if (cloud_.Exists(to_key, meter)) {
+    return Status::AlreadyExists("destination exists: " + std::string(to));
+  }
+
+  // Cloning a clone shares the original source at its pinned version;
+  // cloning a live directory pins the present.
+  const VirtualNanos version = src_record.reference
+                                   ? src_record.ref_version
+                                   : ClockFor(meter).Tick();
+  std::set<std::pair<NamespaceId, VirtualNanos>> visited;
+  H2_RETURN_IF_ERROR(PinTree(src_record.ns, version, meter, visited));
+
+  const VirtualNanos now = ClockFor(meter).Tick();
+  DirRecord clone{src_record.ns, to_parent, std::string(to_name), now};
+  clone.reference = true;
+  clone.ref_version = version;
+  H2_RETURN_IF_ERROR(cloud_.Put(
+      to_key, MakeObject(clone.Serialize(), kMetaKindDir, now), meter));
+  H2_RETURN_IF_ERROR(SubmitPatch(
+      to_parent,
+      RingTuple{std::string(to_name), now, EntryKind::kDirectory, false},
+      meter));
+  std::lock_guard lock(mu_);
+  ++counters_.snapshot_clones;
+  return Status::Ok();
+}
+
+Result<NamespaceId> H2Middleware::MaterializeReference(
+    const NamespaceId& parent_ns, std::string_view name,
+    const DirRecord& record, OpMeter& meter) {
+  // First mutation inside the clone: turn the reference at (parent_ns,
+  // name) into a real directory holding the pinned view.  Files are
+  // copied (content becomes independent of the source from here on);
+  // subdirectories stay lazy as nested references at the same pinned
+  // version, inheriting the pins the clone already holds on them.
+  H2_ASSIGN_OR_RETURN(NameRing src_ring, LoadNameRing(record.ns, meter));
+  Result<std::vector<RingTuple>> at =
+      src_ring.LiveChildrenAt(record.ref_version);
+  const std::vector<RingTuple> view =
+      at.ok() ? *std::move(at) : src_ring.LiveChildren();
+
+  NamespaceId new_ns;
+  {
+    std::lock_guard lock(mu_);
+    new_ns = minter_.Mint(ClockFor(meter).NowUnixMillis());
+  }
+  NameRing new_ring;
+
+  std::vector<BatchOp> copies;
+  std::vector<const RingTuple*> files;
+  for (const RingTuple& child : view) {
+    if (child.kind == EntryKind::kDirectory) continue;
+    // A file overwritten/deleted in the source after the pin was copied
+    // aside by preserve-on-write; materialize from that copy.
+    const std::string src =
+        HasPreservedHint(record.ns, record.ref_version, child.name)
+            ? PreservedKey(record.ns, child.name, record.ref_version)
+            : ChildKey(record.ns, child.name);
+    copies.push_back(BatchOp::Copy(src, ChildKey(new_ns, child.name)));
+    files.push_back(&child);
+  }
+  const std::vector<BatchResult> copied =
+      cloud_.ExecuteBatch(std::move(copies), meter);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (copied[i].status.code() == ErrorCode::kNotFound) continue;
+    H2_RETURN_IF_ERROR(copied[i].status);
+    new_ring.Apply(*files[i]);
+  }
+
+  std::vector<BatchOp> record_puts;
+  std::vector<const RingTuple*> subdirs;
+  for (const RingTuple& child : view) {
+    if (child.kind != EntryKind::kDirectory) continue;
+    Result<DirRecord> sub =
+        LoadDirRecordAt(record.ns, child.name, record.ref_version, meter);
+    if (sub.code() == ErrorCode::kNotFound) continue;
+    if (!sub.ok()) return sub.status();
+    DirRecord nested{sub->ns, new_ns, child.name,
+                     ClockFor(meter).Tick()};
+    nested.reference = true;
+    nested.ref_version =
+        sub->reference ? sub->ref_version : record.ref_version;
+    record_puts.push_back(
+        BatchOp::Put(ChildKey(new_ns, child.name),
+                     MakeObject(nested.Serialize(), kMetaKindDir,
+                                nested.created)));
+    subdirs.push_back(&child);
+  }
+  const std::vector<BatchResult> put_results =
+      cloud_.ExecuteBatch(std::move(record_puts), meter);
+  for (std::size_t i = 0; i < subdirs.size(); ++i) {
+    H2_RETURN_IF_ERROR(put_results[i].status);
+    new_ring.Apply(*subdirs[i]);
+  }
+
+  new_ring.BumpVersion(record.ref_version);
+  const VirtualNanos now = ClockFor(meter).Tick();
+  H2_RETURN_IF_ERROR(cloud_.Put(NameRingKey(new_ns),
+                                MakeObject(new_ring.Serialize(), "ring", now),
+                                meter));
+  DirRecord real{new_ns, parent_ns, std::string(name), now};
+  H2_RETURN_IF_ERROR(
+      cloud_.Put(ChildKey(parent_ns, name),
+                 MakeObject(real.Serialize(), kMetaKindDir, now), meter));
+  {
+    std::lock_guard lock(mu_);
+    // Only this level's pin is released -- the nested references keep the
+    // pins on their subtrees.  The release itself is lazy (it walks no
+    // further than this ring).
+    unpin_queue_.push_back(
+        UnpinEntry{record.ns, record.ref_version, /*recurse=*/false});
+    resolve_cache_.EraseChild(parent_ns, std::string(name));
+    ++counters_.snapshot_cow_materializations;
+  }
+  return new_ns;
 }
 
 // ---------------------------------------------------------------------------
@@ -855,6 +1349,10 @@ Status H2Middleware::SubmitPatchTuples(const NamespaceId& ns,
 
   NameRing patch;
   for (RingTuple& tuple : tuples) patch.Apply(std::move(tuple));
+  // The patch's dir_version (its newest tuple) is what the overlaid view
+  // of ns now carries: announcing it as the ring floor drops stale cached
+  // snapshots and fences in-flight fills.
+  const VirtualNanos patch_version = patch.dir_version();
   const VirtualNanos now = ClockFor(meter).Tick();
   H2_RETURN_IF_ERROR(cloud_.Put(PatchKey(ns, node_, patch_no),
                                 MakeObject(patch.Serialize(), "patch", now),
@@ -866,8 +1364,7 @@ Status H2Middleware::SubmitPatchTuples(const NamespaceId& ns,
     desc.pending.emplace(patch_no, std::move(patch));
     chain_snapshot = desc.chain;
     ++counters_.patches_submitted;
-    // The overlaid view of ns changed; cached ring snapshots are stale.
-    resolve_cache_.InvalidateRing(ns);
+    resolve_cache_.NoteRingVersion(ns, patch_version);
   }
   H2_RETURN_IF_ERROR(
       cloud_.Put(PatchChainKey(ns, node_),
@@ -926,12 +1423,22 @@ std::size_t H2Middleware::MergeNamespaceLocked(
     if (parsed.ok()) ring = std::move(parsed).value();
   }
   std::size_t merged_patches = 0;
+  std::size_t history_folded = 0;
   VirtualNanos version = 0;
   if (ring_exists) {
     ring.Merge(big);
     if (local_copy.has_value()) ring.Merge(*local_copy);
     ring.NoteMerged(node_, hi);
     version = ClockFor(meter).Tick();
+    // The stored dir_version must equal the version this merge announces,
+    // or cache refills would chase a floor the ring never reaches.
+    ring.BumpVersion(version);
+    // Retention: fold patch history older than the watermark in the same
+    // rewrite (pinned versions are held by the ring itself).
+    if (version > config_.history_watermark) {
+      history_folded =
+          ring.CompactHistory(version - config_.history_watermark);
+    }
     const Status put =
         cloud_.Put(NameRingKey(ns),
                    MakeObject(ring.Serialize(), "ring", version), meter);
@@ -955,9 +1462,10 @@ std::size_t H2Middleware::MergeNamespaceLocked(
   if (ring_exists) {
     after.local = ring;
     after.local_version = version;
+    resolve_cache_.NoteRingVersion(ns, version);
   }
-  resolve_cache_.InvalidateRing(ns);
   counters_.patches_merged += merged_patches;
+  counters_.history_tuples_folded += history_folded;
   ++counters_.merge_passes;
 
   lock.unlock();
@@ -1007,7 +1515,9 @@ std::size_t H2Middleware::MergePending() {
 std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
   OpMeter local;
   local.SetZone(zone_);
-  std::size_t deleted = 0;
+  // Pin releases first: they are what re-queues parked namespaces below,
+  // and each processed entry counts as work so quiescence loops converge.
+  std::size_t deleted = ProcessUnpins(local);
   while (deleted < max_objects) {
     NamespaceId ns;
     {
@@ -1015,9 +1525,6 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
       if (cleanup_queue_.empty()) break;
       ns = cleanup_queue_.front();
       cleanup_queue_.pop_front();
-      // The directory is being reclaimed; nothing cached under it may
-      // survive (its record entry died with the RMDIR/DELETE already).
-      resolve_cache_.InvalidateNamespace(ns);
     }
     // Read the removed directory's NameRing to find its children, fetch
     // the subdirectory records in one batch (to seed the queue with their
@@ -1028,6 +1535,14 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
     if (ring_obj.ok()) {
       Result<NameRing> parsed = NameRing::Parse(ring_obj->payload);
       if (parsed.ok()) {
+        if (parsed->pin_count() > 0) {
+          // A snapshot clone still reads this directory: park it.  Parked
+          // namespaces are not re-enqueued (so quiescence terminates);
+          // the final Unpin re-queues them.
+          std::lock_guard lock(mu_);
+          parked_cleanups_.insert(ns);
+          continue;
+        }
         const std::vector<RingTuple> children = parsed->LiveChildren();
         std::vector<BatchOp> record_gets;
         for (const RingTuple& child : children) {
@@ -1042,7 +1557,14 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
           Result<DirRecord> rec = DirRecord::Parse(rec_obj.value->payload);
           if (rec.ok()) {
             std::lock_guard lock(mu_);
-            cleanup_queue_.push_back(rec->ns);
+            if (rec->reference) {
+              // A clone lived here: release its subtree pins instead of
+              // deleting the (shared) source namespace.
+              unpin_queue_.push_back(
+                  UnpinEntry{rec->ns, rec->ref_version, /*recurse=*/true});
+            } else {
+              cleanup_queue_.push_back(rec->ns);
+            }
           }
         }
         for (const RingTuple& child : children) {
@@ -1050,6 +1572,12 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
         }
       }
       deletes.push_back(BatchOp::Delete(NameRingKey(ns)));
+    }
+    {
+      // Only now is the namespace actually dying (Retire at RMDIR time
+      // would kill caching for clone reads through parked namespaces).
+      std::lock_guard lock(mu_);
+      resolve_cache_.Retire(ns);
     }
     deletes.push_back(BatchOp::Delete(PatchChainKey(ns, node_)));
     // Drop any of our own patch objects still parked under this namespace.
@@ -1080,8 +1608,157 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
 }
 
 
+std::size_t H2Middleware::ProcessUnpins(OpMeter& meter) {
+  std::size_t processed = 0;
+  for (;;) {
+    UnpinEntry entry;
+    {
+      std::lock_guard lock(mu_);
+      if (unpin_queue_.empty()) break;
+      entry = unpin_queue_.front();
+      unpin_queue_.pop_front();
+    }
+    ++processed;
+    Result<ObjectValue> ring_obj = cloud_.Get(NameRingKey(entry.ns), meter);
+    if (!ring_obj.ok()) continue;  // already torn down elsewhere
+    Result<NameRing> parsed = NameRing::Parse(ring_obj->payload);
+    if (!parsed.ok()) continue;
+    NameRing ring = std::move(*parsed);
+    const bool unpinned = ring.Unpin(entry.version);
+    if (unpinned) {
+      (void)cloud_.Put(
+          NameRingKey(entry.ns),
+          MakeObject(ring.Serialize(), "ring", ClockFor(meter).Tick()),
+          meter);
+      std::lock_guard lock(mu_);
+      ++counters_.rings_unpinned;
+    }
+    // Recurse only when a pin was actually consumed: the pin walk takes
+    // one pin per (namespace, version) even when a reference cycle
+    // reaches the pair twice, so an entry that found no pin to release
+    // is the second arrival of such a cycle -- re-enqueueing its
+    // children would spin forever.
+    if (unpinned && entry.recurse) {
+      // Walk the pinned view: subtree pins were taken against the state at
+      // entry.version, so the same view drives the release.  Nested
+      // references hold their own version's pin (mirrors PinTree).
+      Result<std::vector<RingTuple>> view = ring.LiveChildrenAt(entry.version);
+      const std::vector<RingTuple> children =
+          view.ok() ? std::move(*view) : ring.LiveChildren();
+      for (const RingTuple& child : children) {
+        if (child.kind != EntryKind::kDirectory) continue;
+        Result<DirRecord> rec = LoadDirRecord(entry.ns, child.name, meter);
+        if (!rec.ok()) continue;
+        std::lock_guard lock(mu_);
+        if (rec->reference) {
+          unpin_queue_.push_back(
+              UnpinEntry{rec->ns, rec->ref_version, /*recurse=*/true});
+        } else {
+          unpin_queue_.push_back(
+              UnpinEntry{rec->ns, entry.version, /*recurse=*/true});
+        }
+      }
+    }
+    if (unpinned && ring.pins().count(entry.version) == 0) {
+      // Last pin at this version: the copies preserve-on-write kept for
+      // it are unreachable now -- reclaim them.
+      std::vector<std::string> stale;
+      {
+        std::lock_guard lock(mu_);
+        auto it = preserved_hint_.lower_bound(
+            {entry.ns, entry.version, std::string()});
+        while (it != preserved_hint_.end() &&
+               std::get<0>(*it) == entry.ns &&
+               std::get<1>(*it) == entry.version) {
+          stale.push_back(std::get<2>(*it));
+          it = preserved_hint_.erase(it);
+        }
+      }
+      for (const std::string& name : stale) {
+        (void)cloud_.Delete(PreservedKey(entry.ns, name, entry.version),
+                            meter);
+        std::lock_guard lock(mu_);
+        ++counters_.cleanup_objects_deleted;
+      }
+    }
+    if (ring.pin_count() == 0) {
+      std::lock_guard lock(mu_);
+      pinned_ns_.erase(entry.ns);  // disarm preserve-on-write
+      // If lazy cleanup parked this namespace waiting on pins, resume it.
+      auto parked = parked_cleanups_.find(entry.ns);
+      if (parked != parked_cleanups_.end()) {
+        parked_cleanups_.erase(parked);
+        cleanup_queue_.push_back(entry.ns);
+      }
+    }
+  }
+  return processed;
+}
+
+std::size_t H2Middleware::CompactRingHistory(std::size_t max_rings) {
+  if (config_.history_watermark == 0) {
+    // Watermark 0 folds at every merge; there is nothing left for the
+    // background pass to do.
+    return 0;
+  }
+  OpMeter local;
+  local.SetZone(zone_);
+  std::vector<NamespaceId> targets;
+  {
+    std::lock_guard lock(mu_);
+    // h2lint: ordered -- candidate collection, sorted below
+    for (const auto& [ns, desc] : descriptors_) {
+      if (desc->local.has_value() && desc->pending.empty() &&
+          desc->local->history_count() > 0) {
+        targets.push_back(ns);
+      }
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  std::size_t folded = 0;
+  std::size_t visited = 0;
+  for (const NamespaceId& ns : targets) {
+    if (visited >= max_rings) break;
+    ++visited;
+    const VirtualNanos now = ClockFor(local).Now();
+    if (now <= config_.history_watermark) continue;
+    const VirtualNanos cutoff = now - config_.history_watermark;
+    Result<ObjectValue> ring_obj = cloud_.Get(NameRingKey(ns), local);
+    if (!ring_obj.ok()) continue;
+    Result<NameRing> parsed = NameRing::Parse(ring_obj->payload);
+    if (!parsed.ok()) continue;
+    const std::size_t n = parsed->CompactHistory(cutoff);
+    if (n == 0) continue;
+    const Status put = cloud_.Put(
+        NameRingKey(ns),
+        MakeObject(parsed->Serialize(), "ring", ClockFor(local).Tick()),
+        local);
+    if (!put.ok()) continue;
+    folded += n;
+    std::lock_guard lock(mu_);
+    // Fold the local copy too, or the next gossip merge would re-import
+    // the history we just dropped.
+    Descriptor& desc = DescriptorFor(ns);
+    if (desc.local.has_value()) desc.local->CompactHistory(cutoff);
+  }
+  std::lock_guard lock(mu_);
+  counters_.history_tuples_folded += folded;
+  if (folded > 0) ++counters_.history_compaction_passes;
+  history_meter_.Merge(local.cost());
+  return folded;
+}
+
+OpCost H2Middleware::history_compaction_cost() const {
+  std::lock_guard lock(mu_);
+  return history_meter_.cost();
+}
+
 bool H2Middleware::MaintenanceIdleLocked() const {
   if (!cleanup_queue_.empty()) return false;
+  if (!unpin_queue_.empty()) return false;
+  // Parked cleanups are deliberately NOT counted: they wait on an unpin
+  // that may never come locally, and counting them would make quiescence
+  // loops spin forever.
   // h2lint: ordered -- existence predicate, order insensitive
   for (const auto& [ns, desc] : descriptors_) {
     if (desc->chain_loaded && desc->chain.pending() > 0) return false;
@@ -1171,18 +1848,21 @@ bool H2Middleware::HandleRumor(const Rumor& rumor) {
       fresh = !desc.local.has_value() || !(merged == *desc.local);
       if (!(merged == *cloud_ring)) {
         // The stored ring is missing updates we hold locally: a concurrent
-        // read-merge-write clobbered them.  Write the join back.
+        // read-merge-write clobbered them.  Write the join back, stamped
+        // and version-bumped like any merge.
         need_repair = true;
-        repaired = merged;
         repair_version = ClockFor(local_meter).Tick();
+        merged.BumpVersion(repair_version);
+        repaired = merged;
         ++counters_.gossip_repairs;
       }
       desc.local = std::move(merged);
       desc.local_version = std::max(
           {desc.local_version, rumor.version, repair_version});
-      // A remote middleware changed this directory: anything cached about
-      // it -- ring snapshot and child records alike -- may be stale.
-      resolve_cache_.InvalidateNamespace(ns);
+      // A remote middleware changed this directory: raise the floors so
+      // older cached state about it -- ring snapshot and child records
+      // alike -- is dropped and cannot be re-admitted.
+      resolve_cache_.NoteVersion(ns, std::max(rumor.version, repair_version));
     }
   } else {
     // Ring gone (directory removed elsewhere): remember the version so the
@@ -1190,7 +1870,7 @@ bool H2Middleware::HandleRumor(const Rumor& rumor) {
     std::lock_guard lock(mu_);
     Descriptor& desc = DescriptorFor(ns);
     desc.local_version = std::max(desc.local_version, rumor.version);
-    resolve_cache_.InvalidateNamespace(ns);
+    resolve_cache_.NoteVersion(ns, rumor.version);
   }
 
   if (need_repair) {
@@ -1218,6 +1898,7 @@ Status H2Middleware::MaybeCompact(const NamespaceId& ns, NameRing& ring,
       ClockFor(meter).Now() - config_.tombstone_gc_age);
   if (removed == 0) return Status::Ok();
   const VirtualNanos now = ClockFor(meter).Tick();
+  pruned.BumpVersion(now);
   H2_RETURN_IF_ERROR(cloud_.Put(NameRingKey(ns),
                                 MakeObject(pruned.Serialize(), "ring", now),
                                 meter));
@@ -1226,7 +1907,7 @@ Status H2Middleware::MaybeCompact(const NamespaceId& ns, NameRing& ring,
   Descriptor& desc = DescriptorFor(ns);
   desc.local = std::move(pruned);
   desc.local_version = now;
-  resolve_cache_.InvalidateRing(ns);
+  resolve_cache_.NoteRingVersion(ns, now);
   counters_.tombstones_compacted += removed;
   return Status::Ok();
 }

@@ -27,10 +27,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cluster/object_cloud.h"
@@ -59,6 +62,17 @@ struct H2Counters {
   std::uint64_t resolve_cache_misses = 0;
   std::uint64_t resolve_cache_invalidations = 0;
   std::uint64_t topology_updates = 0;  // membership epochs learned
+  // -- versioning & snapshots (DESIGN.md §13) --
+  std::uint64_t snapshot_clones = 0;
+  std::uint64_t snapshot_cow_materializations = 0;
+  std::uint64_t rings_pinned = 0;    // snapshot pins applied
+  std::uint64_t rings_unpinned = 0;  // snapshot pins released
+  std::uint64_t versioned_reads = 0;  // ListAt/StatAt answered
+  std::uint64_t history_tuples_folded = 0;
+  std::uint64_t history_compaction_passes = 0;
+  // Child objects copied aside before an in-place overwrite/delete in a
+  // pinned namespace, so clone reads stay frozen (preserve-on-write).
+  std::uint64_t snapshot_content_preserved = 0;
 };
 
 /// Gossip topic carrying cluster-membership epochs.  '!' cannot start a
@@ -140,6 +154,35 @@ class H2Middleware {
   Status Copy(const NamespaceId& root, std::string_view from,
               std::string_view to, OpMeter& meter);
 
+  // --- versioned reads & snapshot clones (DESIGN.md §13) --------------------
+  /// LIST as of `version`: the directory's children as they were at that
+  /// DirVersion, answered from the ring's retained patch history.
+  /// InvalidArgument if `version` predates the ring's history floor
+  /// (folded away by the watermark).  Through a snapshot clone the view
+  /// is additionally capped at the clone's pinned version.
+  Result<std::vector<DirEntry>> ListAt(const NamespaceId& root,
+                                       std::string_view path,
+                                       VirtualNanos version, ListDetail detail,
+                                       OpMeter& meter);
+  /// Stat as of `version`, answered from the parent ring's history.  Size
+  /// and object times come from the live object when it still exists
+  /// (file content is not versioned); otherwise they fall back to the
+  /// historic tuple's timestamp with size 0.
+  Result<FileInfo> StatAt(const NamespaceId& root, std::string_view path,
+                          VirtualNanos version, OpMeter& meter);
+  /// The directory's current DirVersion (its pinned version through a
+  /// snapshot clone) -- the token callers pass back to ListAt/StatAt.
+  Result<VirtualNanos> DirVersion(const NamespaceId& root,
+                                  std::string_view path, OpMeter& meter);
+  /// Clones the directory at `from` to `to` as an O(1)-per-directory
+  /// metadata operation: one version-pinned reference record plus one pin
+  /// per subtree ring -- no per-file work (contrast COPY's O(n) fan-out).
+  /// The clone reads the source's rings at the pinned version; file
+  /// content stays shared until a mutation inside the clone materializes
+  /// the affected directory copy-on-write.
+  Status SnapshotClone(const NamespaceId& root, std::string_view from,
+                       std::string_view to, OpMeter& meter);
+
   // --- the quick method (§3.2) ----------------------------------------------
   /// O(1) file access via a namespace-decorated relative path: one HEAD.
   Result<FileInfo> StatRelative(const NamespaceId& ns, std::string_view name,
@@ -158,8 +201,18 @@ class H2Middleware {
   /// Merges one namespace's pending patches; returns patches merged.
   std::size_t MergeNamespace(const NamespaceId& ns);
   /// Processes up to `max_objects` deletions from the lazy-cleanup queue
-  /// left behind by RMDIR.  Returns objects deleted.
+  /// left behind by RMDIR, first draining the snapshot unpin queue left
+  /// behind by RMDIR-of-clone and COW materialization.  Namespaces whose
+  /// rings still carry snapshot pins are parked, not deleted; the last
+  /// unpin re-queues them.  Returns work items (objects deleted + unpins
+  /// processed).
   std::size_t RunLazyCleanup(std::size_t max_objects = ~std::size_t{0});
+  /// Background history compaction (DESIGN.md §13): folds ring patch
+  /// history older than `history_watermark` for idle namespaces this
+  /// middleware tracks (rings with pending patches fold at their next
+  /// merge instead).  Priced on the dedicated history meter.  Returns
+  /// history tuples folded.
+  std::size_t CompactRingHistory(std::size_t max_rings = ~std::size_t{0});
   /// Re-drives MOVEs a crashed predecessor (same node id) journaled but
   /// did not finish.  Every redo step is idempotent.  Returns the number
   /// of intents completed.
@@ -186,6 +239,9 @@ class H2Middleware {
 
   /// Cumulative background cost (merging, cleanup, gossip fetches).
   OpCost maintenance_cost() const;
+  /// Cumulative background history-compaction cost (its own meter, so the
+  /// watermark ablation can price retention separately).
+  OpCost history_compaction_cost() const;
   H2Counters counters() const;
 
   /// One coherent statistics snapshot: counters, maintenance cost and
@@ -204,15 +260,80 @@ class H2Middleware {
  private:
   struct Descriptor;  // the per-NameRing File Descriptor (§4.5)
 
+  /// A resolved directory plus the snapshot context the walk crossed: a
+  /// reference record pins everything below it at its version.
+  struct DirHandle {
+    NamespaceId ns;
+    bool pinned = false;
+    VirtualNanos version = 0;  // view version when pinned
+  };
+
   // -- lookup helpers --
   Result<DirRecord> LoadDirRecord(const NamespaceId& parent_ns,
                                   std::string_view name, OpMeter& meter);
+  /// Version-aware child-object fetch: the live object while it still
+  /// predates `version`, otherwise the copy preserved for the pin at
+  /// `version` (preserve-on-write), falling back to the live object for
+  /// content that was never preserved.
+  Result<ObjectValue> GetContentAt(const NamespaceId& ns,
+                                   std::string_view name,
+                                   VirtualNanos version, OpMeter& meter);
+  /// LoadDirRecord against the view pinned at `version` (records deleted
+  /// or replaced after the pin resolve to their preserved copies).
+  Result<DirRecord> LoadDirRecordAt(const NamespaceId& parent_ns,
+                                    std::string_view name,
+                                    VirtualNanos version, OpMeter& meter);
+  /// Read-side walk: follows reference records without materializing,
+  /// carrying the pinned version down the path.
+  Result<DirHandle> ResolveDir(const NamespaceId& root, std::string_view path,
+                               OpMeter& meter);
   Result<NamespaceId> ResolveParent(const NamespaceId& root,
                                     std::string_view normalized_path,
                                     OpMeter& meter);
+  /// Write-side walk: crossing a reference record materializes that
+  /// directory copy-on-write, so the returned namespace is always
+  /// directly mutable.
+  Result<NamespaceId> ResolveDirForWrite(const NamespaceId& root,
+                                         std::string_view path,
+                                         OpMeter& meter);
+  Result<NamespaceId> ResolveParentForWrite(const NamespaceId& root,
+                                            std::string_view normalized_path,
+                                            OpMeter& meter);
   /// GET + parse a NameRing, overlaying this node's unmerged patches so
   /// the middleware reads its own writes.
   Result<NameRing> LoadNameRing(const NamespaceId& ns, OpMeter& meter);
+
+  // -- snapshot internals (DESIGN.md §13) --
+  /// Adds one pin at `version` to every ring in the subtree under `ns`
+  /// (a nested reference re-pins its referent at its own older version).
+  // `visited` breaks reference cycles: clone chains may legally place a
+  // reference back inside its own source's subtree (only direct nesting
+  // of the destination under the source is rejected), and the folded-
+  // history fallback walks the current view, where such a cycle would
+  // otherwise recurse forever.
+  Status PinTree(const NamespaceId& ns, VirtualNanos version, OpMeter& meter,
+                 std::set<std::pair<NamespaceId, VirtualNanos>>& visited);
+  /// COW: replaces the reference record at (parent_ns, name) with a real
+  /// directory materialized from the pinned view -- file children are
+  /// copied, subdirectories become nested references at the same pinned
+  /// version (so only the mutated path materializes).  Releases this
+  /// level's pin.  Returns the new directory's namespace.
+  Result<NamespaceId> MaterializeReference(const NamespaceId& parent_ns,
+                                           std::string_view name,
+                                           const DirRecord& record,
+                                           OpMeter& meter);
+  /// Drains the unpin queue: each entry releases one pin and fans out to
+  /// the children visible at the pinned version.  Returns entries
+  /// processed.
+  std::size_t ProcessUnpins(OpMeter& meter);
+  /// Detailed/plain entry construction shared by List and ListAt.
+  Result<std::vector<DirEntry>> BuildEntries(
+      const NamespaceId& ns, const std::vector<RingTuple>& children,
+      ListDetail detail, OpMeter& meter);
+  /// Versioned stat of one name inside `ns` (shared by StatAt and by live
+  /// Stat through a pinned clone view).
+  Result<FileInfo> StatAtInDir(const NamespaceId& ns, std::string_view name,
+                               VirtualNanos version, OpMeter& meter);
 
   // -- maintenance internals --
   Status SubmitPatch(const NamespaceId& ns, RingTuple tuple, OpMeter& meter);
@@ -239,9 +360,19 @@ class H2Middleware {
   Descriptor& DescriptorFor(const NamespaceId& ns);
 
   // -- op helpers --
+  /// `at` > 0 copies the view pinned at that version (clone
+  /// materialization via COPY of a reference); 0 copies the live view.
   Status CopyTree(const NamespaceId& src_ns, const NamespaceId& dst_ns,
-                  OpMeter& meter);
+                  OpMeter& meter, VirtualNanos at = 0);
   Status MaybeCompact(const NamespaceId& ns, NameRing& ring, OpMeter& meter);
+  /// Preserve-on-write: before an in-place overwrite or delete of
+  /// ChildKey(ns, name), copy the current object aside once per snapshot
+  /// pin that can still see it, so pinned views keep serving the content
+  /// they froze.  No-op (and no cloud traffic) for unpinned namespaces.
+  Status PreserveForPins(const NamespaceId& ns, std::string_view name,
+                         OpMeter& meter);
+  bool HasPreservedHint(const NamespaceId& ns, VirtualNanos version,
+                        std::string_view name) const;
 
   ObjectCloud& cloud_;
   const std::uint32_t node_;
@@ -250,16 +381,40 @@ class H2Middleware {
 
   mutable std::mutex mu_;
   NamespaceMinter minter_;
-  // The versioned resolution cache (h2/resolve_cache.h); all accesses
-  // under mu_, fills validated against revision snapshots taken under mu_
-  // before the corresponding cloud read.
+  // The directory-version resolution cache (h2/resolve_cache.h): ring
+  // fills are validated by the dir_version they carry, child fills by a
+  // version-floor snapshot taken before the corresponding cloud read.
   H2ResolveCache resolve_cache_;
   std::unordered_map<NamespaceId, std::unique_ptr<Descriptor>> descriptors_;
   std::unordered_set<NamespaceId> write_blocked_;  // §3.3.3(b)
   IntentLog intents_;
   std::deque<NamespaceId> cleanup_queue_;
+  // Pins awaiting lazy release, pushed by RMDIR-of-clone (recursive: the
+  // whole pinned subtree) and COW materialization (this ring only -- the
+  // nested references keep the subtree pins), drained by RunLazyCleanup.
+  struct UnpinEntry {
+    NamespaceId ns;
+    VirtualNanos version = 0;
+    bool recurse = true;
+  };
+  std::deque<UnpinEntry> unpin_queue_;
+  // Deleted-but-pinned namespaces: teardown resumes when the last pin
+  // goes (the unpin path re-queues them for cleanup).
+  std::unordered_set<NamespaceId> parked_cleanups_;
+  // Preserve-on-write bookkeeping.  `pinned_ns_` is a conservative hint
+  // of namespaces whose stored ring carries snapshot pins (maintained at
+  // pin time and on every ring load), gating the preserve check off the
+  // unpinned write path.  `preserved_hint_` records which
+  // (namespace, pin version, name) copies this middleware wrote, so COW
+  // materialization picks preserved sources and the last unpin can
+  // delete them without probing.  Both recover lazily from ring loads
+  // after a restart (stale entries only cost a fallback to live reads).
+  std::set<NamespaceId> pinned_ns_;
+  std::set<std::tuple<NamespaceId, VirtualNanos, std::string>>
+      preserved_hint_;
   H2Counters counters_;
   OpMeter maintenance_meter_;
+  OpMeter history_meter_;  // dedicated: background history compaction
   std::uint64_t topology_epoch_ = 0;  // highest membership epoch observed
 
   GossipBus* gossip_ = nullptr;

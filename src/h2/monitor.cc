@@ -47,6 +47,20 @@ double MonitorSnapshot::ResolveCacheHitRate() const {
   return static_cast<double>(hits) / static_cast<double>(hits + misses);
 }
 
+std::uint64_t MonitorSnapshot::TotalSnapshotClones() const {
+  std::uint64_t total = 0;
+  for (const auto& mw : middlewares) total += mw.counters.snapshot_clones;
+  return total;
+}
+
+std::uint64_t MonitorSnapshot::TotalHistoryFolded() const {
+  std::uint64_t total = 0;
+  for (const auto& mw : middlewares) {
+    total += mw.counters.history_tuples_folded;
+  }
+  return total;
+}
+
 bool MonitorSnapshot::FullyConverged() const {
   return std::all_of(middlewares.begin(), middlewares.end(),
                      [](const MiddlewareSnapshot& mw) { return mw.idle; });
@@ -191,6 +205,34 @@ std::string MonitorSnapshot::ToText() const {
       rebalance_cost.elapsed_ms());
   out += buf;
 
+  std::uint64_t clones = 0, cows = 0, pinned = 0, unpinned = 0;
+  std::uint64_t vreads = 0, passes = 0, preserved = 0;
+  for (const auto& mw : middlewares) {
+    clones += mw.counters.snapshot_clones;
+    cows += mw.counters.snapshot_cow_materializations;
+    pinned += mw.counters.rings_pinned;
+    unpinned += mw.counters.rings_unpinned;
+    vreads += mw.counters.versioned_reads;
+    passes += mw.counters.history_compaction_passes;
+    preserved += mw.counters.snapshot_content_preserved;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "-- versioning & snapshots --\n"
+      "  %llu clones (%llu COW materializations), %llu rings pinned / "
+      "%llu unpinned, %llu objects preserved; %llu versioned reads; "
+      "history: %llu tuples folded over %llu passes, cost %.1f ms\n",
+      static_cast<unsigned long long>(clones),
+      static_cast<unsigned long long>(cows),
+      static_cast<unsigned long long>(pinned),
+      static_cast<unsigned long long>(unpinned),
+      static_cast<unsigned long long>(preserved),
+      static_cast<unsigned long long>(vreads),
+      static_cast<unsigned long long>(TotalHistoryFolded()),
+      static_cast<unsigned long long>(passes),
+      history_compaction_cost.elapsed_ms());
+  out += buf;
+
   std::snprintf(buf, sizeof(buf),
                 "-- gossip --\n  %llu published, %llu delivered, %llu "
                 "suppressed, %llu rounds\n",
@@ -239,6 +281,7 @@ MonitorSnapshot CollectSnapshot(H2Cloud& cloud) {
   snapshot.batch = oc.batch_stats();
   snapshot.rebalance = oc.rebalance_stats();
   snapshot.rebalance_cost = oc.rebalance_cost();
+  snapshot.history_compaction_cost = cloud.TotalHistoryCompactionCost();
   snapshot.membership_epoch = oc.membership_epoch();
   snapshot.rebalance_pending = oc.RebalancePending();
   snapshot.logical_objects = oc.LogicalObjectCount();

@@ -59,6 +59,9 @@ struct MonitorSnapshot {
   /// (charged out-of-band on their own meter, like repair).
   ObjectCloud::RebalanceStats rebalance;
   OpCost rebalance_cost;
+  /// Versioned-ring retention: cumulative background history-compaction
+  /// cost across the fleet (the dedicated meter, out-of-band like repair).
+  OpCost history_compaction_cost;
   std::uint64_t membership_epoch = 0;
   std::size_t rebalance_pending = 0;
   std::uint64_t logical_objects = 0;
@@ -80,6 +83,10 @@ struct MonitorSnapshot {
   double ResolveCacheHitRate() const;
   /// All submitted patches merged, queues drained, gossip silent.
   bool FullyConverged() const;
+  /// Snapshot clones taken across all middlewares.
+  std::uint64_t TotalSnapshotClones() const;
+  /// History tuples folded by merges and background compaction, fleet-wide.
+  std::uint64_t TotalHistoryFolded() const;
   /// max/mean node object count (1.0 = perfectly even).
   double LoadImbalance() const;
 

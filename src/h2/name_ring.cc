@@ -1,6 +1,8 @@
 #include "h2/name_ring.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "codec/formatter.h"
 #include "common/strings.h"
@@ -11,8 +13,17 @@ namespace {
 // Serialized tuple lines: name|timestamp|kind|flag
 //   kind: "F" file, "D" directory
 //   flag: "" live, "X" deleted
-// Version vector lines are prefixed with "#vv": #vv|node|patch_no
+// Metadata lines are prefixed:
+//   #vv|node|patch_no       version vector entry
+//   #dv|version             directory version
+//   #hf|version             history floor
+//   #pin|version|count      snapshot pin refcount
+//   #h|name|ts|kind|flag    retained history tuple
 constexpr std::string_view kVvPrefix = "#vv";
+constexpr std::string_view kDvPrefix = "#dv";
+constexpr std::string_view kFloorPrefix = "#hf";
+constexpr std::string_view kPinPrefix = "#pin";
+constexpr std::string_view kHistPrefix = "#h";
 
 std::string_view KindCode(EntryKind kind) {
   return kind == EntryKind::kDirectory ? "D" : "F";
@@ -35,18 +46,74 @@ bool Supersedes(const RingTuple& incoming, const RingTuple& incumbent) {
   return false;
 }
 
+// Strict weak order matching the merge rank: a < b iff b supersedes a.
+// For one name, equal rank implies equal tuple, so a rank-sorted vector
+// with exact-duplicate suppression holds each historic tuple once.
+bool RankLess(const RingTuple& a, const RingTuple& b) {
+  return Supersedes(b, a);
+}
+
+bool ParseSignedNanos(std::string_view field, VirtualNanos* out) {
+  bool negative = false;
+  if (!field.empty() && field[0] == '-') {
+    negative = true;
+    field.remove_prefix(1);
+  }
+  std::uint64_t magnitude = 0;
+  if (!ParseUint64(field, &magnitude)) return false;
+  *out = negative ? -static_cast<VirtualNanos>(magnitude)
+                  : static_cast<VirtualNanos>(magnitude);
+  return true;
+}
+
+Status ParseTupleFields(const std::vector<std::string>& fields,
+                        std::size_t offset, RingTuple* tuple) {
+  tuple->name = fields[offset];
+  if (!ParseSignedNanos(fields[offset + 1], &tuple->timestamp)) {
+    return Status::Corruption("bad timestamp in NameRing tuple");
+  }
+  if (fields[offset + 2] == "D") {
+    tuple->kind = EntryKind::kDirectory;
+  } else if (fields[offset + 2] == "F") {
+    tuple->kind = EntryKind::kFile;
+  } else {
+    return Status::Corruption("bad kind in NameRing tuple");
+  }
+  if (fields[offset + 3] == "X") {
+    tuple->deleted = true;
+  } else if (!fields[offset + 3].empty()) {
+    return Status::Corruption("bad flag in NameRing tuple");
+  } else {
+    tuple->deleted = false;
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
+void NameRing::RecordHistory(RingTuple tuple) {
+  std::vector<RingTuple>& vec = history_[tuple.name];
+  auto pos = std::lower_bound(vec.begin(), vec.end(), tuple, RankLess);
+  if (pos != vec.end() && *pos == tuple) return;  // idempotent re-merge
+  vec.insert(pos, std::move(tuple));
+}
+
 bool NameRing::Apply(RingTuple tuple) {
+  if (tuple.timestamp > dir_version_) dir_version_ = tuple.timestamp;
   auto it = tuples_.find(tuple.name);
   if (it == tuples_.end()) {
     tuples_.emplace(tuple.name, std::move(tuple));
     return true;
   }
   if (Supersedes(tuple, it->second)) {
+    RecordHistory(std::move(it->second));
     it->second = std::move(tuple);
     return true;
   }
+  // A losing tuple is still part of the directory's history: recording it
+  // here makes {current} ∪ {history} -- and every versioned read -- a set
+  // union, independent of the order patches arrive in.
+  if (!(tuple == it->second)) RecordHistory(std::move(tuple));
   return false;
 }
 
@@ -65,24 +132,28 @@ std::size_t NameRing::Merge(const NameRing& patch) {
   for (const auto& [name, tuple] : patch.tuples_) {
     if (Apply(tuple)) ++changed;
   }
+  for (const auto& [name, vec] : patch.history_) {
+    for (const RingTuple& tuple : vec) RecordHistory(tuple);
+  }
   for (const auto& [node, patch_no] : patch.versions_) {
     auto [it, inserted] = versions_.try_emplace(node, patch_no);
     if (!inserted && patch_no > it->second) it->second = patch_no;
   }
+  if (patch.dir_version_ > dir_version_) dir_version_ = patch.dir_version_;
+  if (patch.history_floor_ > history_floor_) {
+    history_floor_ = patch.history_floor_;
+  }
+  // Re-normalize against the merged floor: a side that had already folded
+  // its history must not have it re-imported by a side that had not, or
+  // replicas would converge to different rings depending on fold timing.
+  if (history_floor_ > 0) CompactHistory(history_floor_);
   return changed;
 }
 
 std::size_t NameRing::Compact() {
-  std::size_t removed = 0;
-  for (auto it = tuples_.begin(); it != tuples_.end();) {
-    if (it->second.deleted) {
-      it = tuples_.erase(it);
-      ++removed;
-    } else {
-      ++it;
-    }
-  }
-  return removed;
+  // "All tombstones" still stops at the oldest pin: a tombstone newer than
+  // a pinned version is part of that pinned view's history.
+  return PruneTombstones(std::numeric_limits<VirtualNanos>::max());
 }
 
 std::vector<RingTuple> NameRing::AllTuples() const {
@@ -92,10 +163,20 @@ std::vector<RingTuple> NameRing::AllTuples() const {
   return out;
 }
 
+VirtualNanos NameRing::ClampToPins(VirtualNanos cutoff) const {
+  if (pins_.empty()) return cutoff;
+  return std::min(cutoff, pins_.begin()->first);
+}
+
 std::size_t NameRing::PruneTombstones(VirtualNanos cutoff) {
+  cutoff = ClampToPins(cutoff);
   std::size_t removed = 0;
   for (auto it = tuples_.begin(); it != tuples_.end();) {
     if (it->second.deleted && it->second.timestamp <= cutoff) {
+      if (it->second.timestamp > history_floor_) {
+        history_floor_ = it->second.timestamp;
+      }
+      history_.erase(it->first);
       it = tuples_.erase(it);
       ++removed;
     } else {
@@ -122,6 +203,109 @@ std::size_t NameRing::live_count() const {
   return n;
 }
 
+void NameRing::BumpVersion(VirtualNanos version) {
+  if (version > dir_version_) dir_version_ = version;
+}
+
+std::size_t NameRing::history_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, vec] : history_) n += vec.size();
+  return n;
+}
+
+Result<std::optional<RingTuple>> NameRing::FindAt(std::string_view name,
+                                                  VirtualNanos version) const {
+  if (version < history_floor_) {
+    return Status::InvalidArgument(
+        "version below the NameRing history floor (compacted away)");
+  }
+  std::optional<RingTuple> best;
+  auto consider = [&](const RingTuple& t) {
+    if (t.timestamp > version) return;
+    if (!best.has_value() || Supersedes(t, *best)) best = t;
+  };
+  if (auto it = tuples_.find(name); it != tuples_.end()) consider(it->second);
+  if (auto hit = history_.find(name); hit != history_.end()) {
+    for (const RingTuple& t : hit->second) consider(t);
+  }
+  return best;
+}
+
+Result<std::vector<RingTuple>> NameRing::LiveChildrenAt(
+    VirtualNanos version) const {
+  if (version < history_floor_) {
+    return Status::InvalidArgument(
+        "version below the NameRing history floor (compacted away)");
+  }
+  std::vector<RingTuple> out;
+  // Every historic name also has a current tuple (see the history_
+  // invariant), so the current map enumerates every candidate name.
+  for (const auto& [name, current] : tuples_) {
+    std::optional<RingTuple> best;
+    auto consider = [&](const RingTuple& t) {
+      if (t.timestamp > version) return;
+      if (!best.has_value() || Supersedes(t, *best)) best = t;
+    };
+    consider(current);
+    if (auto hit = history_.find(name); hit != history_.end()) {
+      for (const RingTuple& t : hit->second) consider(t);
+    }
+    if (best.has_value() && !best->deleted) out.push_back(*best);
+  }
+  return out;
+}
+
+void NameRing::Pin(VirtualNanos version) { ++pins_[version]; }
+
+bool NameRing::Unpin(VirtualNanos version) {
+  auto it = pins_.find(version);
+  if (it == pins_.end()) return false;
+  if (--it->second == 0) pins_.erase(it);
+  return true;
+}
+
+std::uint64_t NameRing::pin_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [version, count] : pins_) n += count;
+  return n;
+}
+
+std::size_t NameRing::CompactHistory(VirtualNanos cutoff) {
+  cutoff = ClampToPins(cutoff);
+  std::size_t dropped = 0;
+  for (auto it = history_.begin(); it != history_.end();) {
+    std::vector<RingTuple>& vec = it->second;
+    // Rank order makes timestamps non-decreasing, so the foldable tuples
+    // (ts <= cutoff) form a prefix.
+    std::size_t old_count = 0;
+    while (old_count < vec.size() && vec[old_count].timestamp <= cutoff) {
+      ++old_count;
+    }
+    if (old_count > 0) {
+      // While the current tuple is newer than the cutoff, the highest
+      // ranked old tuple is still visible exactly at the new floor: keep
+      // it as the base.  Otherwise the current tuple covers the floor.
+      auto cur = tuples_.find(it->first);
+      bool base_needed =
+          cur != tuples_.end() && cur->second.timestamp > cutoff;
+      std::size_t erase_n = base_needed ? old_count - 1 : old_count;
+      if (erase_n > 0) {
+        vec.erase(vec.begin(),
+                  vec.begin() + static_cast<std::ptrdiff_t>(erase_n));
+        dropped += erase_n;
+      }
+    }
+    if (vec.empty()) {
+      it = history_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  VirtualNanos new_floor = std::min(cutoff, dir_version_);
+  if (new_floor > history_floor_) history_floor_ = new_floor;
+  return dropped;
+}
+
 void NameRing::NoteMerged(std::uint32_t node, std::uint64_t patch_no) {
   auto [it, inserted] = versions_.try_emplace(node, patch_no);
   if (!inserted && patch_no > it->second) it->second = patch_no;
@@ -135,6 +319,34 @@ std::uint64_t NameRing::MergedUpTo(std::uint32_t node) const {
 std::string NameRing::Serialize() const {
   std::string out;
   char buf[32];
+  if (dir_version_ != 0) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(dir_version_));
+    out += kDvPrefix;
+    out += '|';
+    out += buf;
+    out.push_back('\n');
+  }
+  if (history_floor_ != 0) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(history_floor_));
+    out += kFloorPrefix;
+    out += '|';
+    out += buf;
+    out.push_back('\n');
+  }
+  for (const auto& [version, count] : pins_) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(version));
+    std::string line(kPinPrefix);
+    line += '|';
+    line += buf;
+    line += '|';
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(count));
+    line += buf;
+    out += line;
+    out.push_back('\n');
+  }
   for (const auto& [node, patch_no] : versions_) {
     std::snprintf(buf, sizeof(buf), "%u", node);
     std::string line(kVvPrefix);
@@ -153,6 +365,15 @@ std::string NameRing::Serialize() const {
     out += MakeTupleLine({name, buf, KindCode(tuple.kind),
                           tuple.deleted ? "X" : ""});
     out.push_back('\n');
+  }
+  for (const auto& [name, vec] : history_) {
+    for (const RingTuple& tuple : vec) {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(tuple.timestamp));
+      out += MakeTupleLine({std::string(kHistPrefix), name, buf,
+                            KindCode(tuple.kind), tuple.deleted ? "X" : ""});
+      out.push_back('\n');
+    }
   }
   return out;
 }
@@ -175,34 +396,51 @@ Result<NameRing> NameRing::Parse(std::string_view data) {
       ring.versions_[static_cast<std::uint32_t>(node)] = patch_no;
       continue;
     }
+    if (!fields.empty() &&
+        (fields[0] == kDvPrefix || fields[0] == kFloorPrefix)) {
+      if (fields.size() != 2) {
+        return Status::Corruption("bad version line in NameRing");
+      }
+      VirtualNanos value = 0;
+      if (!ParseSignedNanos(fields[1], &value)) {
+        return Status::Corruption("bad version value in NameRing");
+      }
+      if (fields[0] == kDvPrefix) {
+        if (value > ring.dir_version_) ring.dir_version_ = value;
+      } else if (value > ring.history_floor_) {
+        ring.history_floor_ = value;
+      }
+      continue;
+    }
+    if (!fields.empty() && fields[0] == kPinPrefix) {
+      if (fields.size() != 3) {
+        return Status::Corruption("bad pin line in NameRing");
+      }
+      VirtualNanos version = 0;
+      std::uint64_t count = 0;
+      if (!ParseSignedNanos(fields[1], &version) ||
+          !ParseUint64(fields[2], &count) || count == 0) {
+        return Status::Corruption("bad pin values in NameRing");
+      }
+      ring.pins_[version] += count;
+      continue;
+    }
+    if (!fields.empty() && fields[0] == kHistPrefix) {
+      if (fields.size() != 5) {
+        return Status::Corruption("bad history line in NameRing");
+      }
+      RingTuple tuple;
+      H2_RETURN_IF_ERROR(ParseTupleFields(fields, 1, &tuple));
+      ring.RecordHistory(std::move(tuple));
+      continue;
+    }
     if (fields.size() != 4) {
       return Status::Corruption("bad tuple line in NameRing");
     }
     RingTuple tuple;
-    tuple.name = std::move(fields[0]);
-    std::string_view ts = fields[1];
-    bool negative = false;
-    if (!ts.empty() && ts[0] == '-') {
-      negative = true;
-      ts.remove_prefix(1);
-    }
-    std::uint64_t magnitude = 0;
-    if (!ParseUint64(ts, &magnitude)) {
-      return Status::Corruption("bad timestamp in NameRing tuple");
-    }
-    tuple.timestamp = negative ? -static_cast<VirtualNanos>(magnitude)
-                               : static_cast<VirtualNanos>(magnitude);
-    if (fields[2] == "D") {
-      tuple.kind = EntryKind::kDirectory;
-    } else if (fields[2] == "F") {
-      tuple.kind = EntryKind::kFile;
-    } else {
-      return Status::Corruption("bad kind in NameRing tuple");
-    }
-    if (fields[3] == "X") {
-      tuple.deleted = true;
-    } else if (!fields[3].empty()) {
-      return Status::Corruption("bad flag in NameRing tuple");
+    H2_RETURN_IF_ERROR(ParseTupleFields(fields, 0, &tuple));
+    if (tuple.timestamp > ring.dir_version_) {
+      ring.dir_version_ = tuple.timestamp;
     }
     ring.tuples_[tuple.name] = std::move(tuple);
   }

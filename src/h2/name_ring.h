@@ -22,6 +22,26 @@
 // number} so a middleware can tell whether its own submitted patches have
 // reached the stored ring (used for gossip-driven repair after concurrent
 // read-merge-write races; see h2/middleware.cc).
+//
+// --- Versioned rings (DESIGN.md §13) ---------------------------------------
+// The ring is additionally a *versioned* object:
+//
+//  * `dir_version()` is a monotone virtual timestamp.  Apply/Merge raise
+//    it to the newest tuple timestamp folded in, and the merge path bumps
+//    it to the merge tick (BumpVersion) before the ring is stored, so the
+//    stored version equals the version the merge announces.
+//  * Superseded tuples are retained as per-name *history*.  A tuple that
+//    loses a merge is recorded just like a tuple that is overridden, so
+//    the {current} ∪ {history} set per name -- and therefore every
+//    versioned read -- is independent of patch arrival order.
+//  * `FindAt` / `LiveChildrenAt` answer time-travel reads: the state of
+//    the ring as of any version >= `history_floor()`.
+//  * `CompactHistory(cutoff)` folds history at or below `cutoff` (keeping
+//    one floor "base" tuple per name while the current tuple is newer
+//    than the cutoff) and raises the floor; physical tombstone removal
+//    (Compact / PruneTombstones) drops the name's history and raises the
+//    floor to the tombstone time, so pruned names can never resurrect
+//    through a versioned read.
 #pragma once
 
 #include <cstdint>
@@ -51,8 +71,9 @@ class NameRing {
   NameRing() = default;
 
   /// Applies one tuple under the merge rule: inserted if the child is new,
-  /// overriding if its timestamp is strictly larger than the stored one.
-  /// Returns true if the ring changed.
+  /// overriding if it supersedes the stored one.  The superseded side (or
+  /// the losing incoming tuple) is retained as history.  Returns true if
+  /// the current state changed.
   bool Apply(RingTuple tuple);
 
   /// The tuple for `name`, including tombstoned ones; nullptr if absent.
@@ -66,7 +87,8 @@ class NameRing {
   std::size_t Merge(const NameRing& patch);
 
   /// Physically drops tombstoned tuples ("really removing the tuple ...
-  /// until this NameRing is in use", §3.3.2).  Returns tuples removed.
+  /// until this NameRing is in use", §3.3.2) together with their history,
+  /// raising the history floor past them.  Returns tuples removed.
   std::size_t Compact();
 
   /// Live children in alphabetical order.
@@ -76,13 +98,59 @@ class NameRing {
   std::vector<RingTuple> AllTuples() const;
 
   /// Physically removes tombstones whose deletion timestamp is <= cutoff
-  /// (the compaction safety rule; see h2/config.h tombstone_gc_age).
-  /// Returns tuples removed.
+  /// (the compaction safety rule; see h2/config.h tombstone_gc_age),
+  /// together with their history; the history floor rises to the newest
+  /// pruned tombstone.  Returns tuples removed.
   std::size_t PruneTombstones(VirtualNanos cutoff);
 
   std::size_t tuple_count() const { return tuples_.size(); }
   std::size_t live_count() const;
   std::size_t tombstone_count() const { return tuple_count() - live_count(); }
+
+  // --- directory version & history -----------------------------------------
+  /// Monotone directory version: at least the newest tuple timestamp ever
+  /// applied; the merge path bumps it to the merge tick before storing.
+  VirtualNanos dir_version() const { return dir_version_; }
+  /// Raises dir_version to `version` (no-op if already past it).
+  void BumpVersion(VirtualNanos version);
+
+  /// Oldest version that time-travel reads can still answer.
+  VirtualNanos history_floor() const { return history_floor_; }
+  /// Retained superseded tuples across all names.
+  std::size_t history_count() const;
+
+  /// The max-ranked tuple for `name` with timestamp <= version (tombstones
+  /// included); nullopt if the name had no tuple at or before `version`.
+  /// InvalidArgument if `version` is below the history floor.
+  Result<std::optional<RingTuple>> FindAt(std::string_view name,
+                                          VirtualNanos version) const;
+
+  /// Live children as of `version`, alphabetical.  InvalidArgument if
+  /// `version` is below the history floor.
+  Result<std::vector<RingTuple>> LiveChildrenAt(VirtualNanos version) const;
+
+  /// Folds history with timestamps <= cutoff: per name, everything older
+  /// than the floor "base" (the tuple visible exactly at the cutoff while
+  /// the current tuple is newer) is dropped, and the history floor rises
+  /// to min(cutoff, dir_version()).  The cutoff is clamped to the oldest
+  /// pin, so pinned versions always stay answerable.  Returns history
+  /// tuples dropped.
+  std::size_t CompactHistory(VirtualNanos cutoff);
+
+  // --- snapshot pins --------------------------------------------------------
+  // A pin marks "some reference record reads this directory at `version`":
+  // history compaction and tombstone GC clamp their cutoffs to the oldest
+  // pin, and lazy cleanup defers teardown of pinned namespaces.  Pins are
+  // bookkeeping of the *stored* ring object, maintained by read-modify-
+  // write at the clone/unclone site -- they are not replicated state, so
+  // Merge deliberately ignores the patch side's pins (a stale local view
+  // must not resurrect a released pin).
+  void Pin(VirtualNanos version);
+  /// Drops one pin at `version`; returns false if none was held.
+  bool Unpin(VirtualNanos version);
+  /// Total outstanding pins across all versions.
+  std::uint64_t pin_count() const;
+  const std::map<VirtualNanos, std::uint64_t>& pins() const { return pins_; }
 
   // --- version vector ------------------------------------------------------
   /// Records that patches up to `patch_no` from `node` are folded in.
@@ -98,13 +166,30 @@ class NameRing {
   static Result<NameRing> Parse(std::string_view data);
 
   friend bool operator==(const NameRing& a, const NameRing& b) {
-    return a.tuples_ == b.tuples_ && a.versions_ == b.versions_;
+    return a.dir_version_ == b.dir_version_ &&
+           a.history_floor_ == b.history_floor_ && a.tuples_ == b.tuples_ &&
+           a.history_ == b.history_ && a.versions_ == b.versions_ &&
+           a.pins_ == b.pins_;
   }
 
  private:
+  /// Retains a superseded tuple, keeping each name's history sorted by
+  /// merge rank and free of duplicates (so merges stay idempotent).
+  void RecordHistory(RingTuple tuple);
+  /// GC cutoffs never reach past the oldest pinned version.
+  VirtualNanos ClampToPins(VirtualNanos cutoff) const;
+
   // Alphabetical by child name -- the on-disk order the paper specifies.
   std::map<std::string, RingTuple, std::less<>> tuples_;
+  // Superseded tuples per name, rank-ascending (newest last).  Invariant:
+  // every key here also has a current tuple in tuples_, and every history
+  // tuple ranks strictly below that current tuple.
+  std::map<std::string, std::vector<RingTuple>, std::less<>> history_;
   std::map<std::uint32_t, std::uint64_t> versions_;
+  // Pinned version -> reference count (see the snapshot-pins section).
+  std::map<VirtualNanos, std::uint64_t> pins_;
+  VirtualNanos dir_version_ = 0;
+  VirtualNanos history_floor_ = 0;
 };
 
 }  // namespace h2

@@ -22,6 +22,7 @@ std::string DirRecord::Serialize() const {
   record.Set("parent", parent_ns.ToString());
   record.Set("name", name);
   record.SetInt("created", created);
+  if (reference) record.SetInt("refv", ref_version);
   return record.Serialize();
 }
 
@@ -35,6 +36,10 @@ Result<DirRecord> DirRecord::Parse(std::string_view data) {
   H2_ASSIGN_OR_RETURN(dir.parent_ns, ParseNsField(record, "parent"));
   dir.name = record.Get("name");
   H2_ASSIGN_OR_RETURN(dir.created, record.GetInt("created"));
+  if (record.Has("refv")) {
+    dir.reference = true;
+    H2_ASSIGN_OR_RETURN(dir.ref_version, record.GetInt("refv"));
+  }
   return dir;
 }
 

@@ -18,11 +18,19 @@ namespace h2 {
 
 /// The object stored at "<parent_ns>::<dirname>": binds a directory name
 /// to the namespace that owns its NameRing and children.
+///
+/// A *reference* record (SnapshotClone, DESIGN.md §13) points `ns` at
+/// another directory's namespace and pins the view at `ref_version`: reads
+/// resolve through the source ring as of that version, and the first
+/// mutation materializes the directory copy-on-write.  The pinned source
+/// namespace carries a pin count (PinKey) so lazy cleanup defers it.
 struct DirRecord {
   NamespaceId ns;          // this directory's own namespace
   NamespaceId parent_ns;   // namespace of the containing directory
   std::string name;
   VirtualNanos created = 0;
+  bool reference = false;        // true: `ns` is a pinned source namespace
+  VirtualNanos ref_version = 0;  // pinned DirVersion when reference
 
   std::string Serialize() const;
   static Result<DirRecord> Parse(std::string_view data);

@@ -1,11 +1,13 @@
 #include "h2/resolve_cache.h"
 
+#include <algorithm>
+
 #include "h2/keys.h"
 
 namespace h2 {
 namespace {
 
-constexpr std::size_t kRevMapSlack = 4;
+constexpr std::size_t kFloorMapSlack = 4;
 
 }  // namespace
 
@@ -14,24 +16,26 @@ H2ResolveCache::H2ResolveCache(std::size_t child_capacity,
     : child_capacity_(child_capacity == 0 ? 1 : child_capacity),
       ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
 
-std::uint64_t H2ResolveCache::ChildRevLocked(const NamespaceId& ns) const {
-  auto it = child_revs_.find(ns);
-  return it == child_revs_.end() ? rev_floor_ : it->second;
+VirtualNanos H2ResolveCache::ChildFloorLocked(const NamespaceId& ns) const {
+  auto it = child_floors_.find(ns);
+  return it == child_floors_.end() ? global_floor_
+                                   : std::max(it->second, global_floor_);
 }
 
-std::uint64_t H2ResolveCache::RingRevLocked(const NamespaceId& ns) const {
-  auto it = ring_revs_.find(ns);
-  return it == ring_revs_.end() ? rev_floor_ : it->second;
+VirtualNanos H2ResolveCache::RingFloorLocked(const NamespaceId& ns) const {
+  auto it = ring_floors_.find(ns);
+  return it == ring_floors_.end() ? global_floor_
+                                  : std::max(it->second, global_floor_);
 }
 
-std::uint64_t H2ResolveCache::ChildRev(const NamespaceId& ns) const {
+VirtualNanos H2ResolveCache::ChildFloor(const NamespaceId& ns) const {
   std::lock_guard lock(mu_);
-  return ChildRevLocked(ns);
+  return ChildFloorLocked(ns);
 }
 
-std::uint64_t H2ResolveCache::RingRev(const NamespaceId& ns) const {
+VirtualNanos H2ResolveCache::RingFloor(const NamespaceId& ns) const {
   std::lock_guard lock(mu_);
-  return RingRevLocked(ns);
+  return RingFloorLocked(ns);
 }
 
 std::optional<DirRecord> H2ResolveCache::GetChild(const NamespaceId& parent,
@@ -49,11 +53,15 @@ std::optional<DirRecord> H2ResolveCache::GetChild(const NamespaceId& parent,
 
 void H2ResolveCache::PutChild(const NamespaceId& parent,
                               const std::string& name, const DirRecord& record,
-                              std::uint64_t rev_snapshot) {
+                              VirtualNanos floor_snapshot) {
   std::lock_guard lock(mu_);
-  // The revision re-check and the LRU admit are one critical section:
-  // an invalidation between them can no longer lose to this fill.
-  if (ChildRevLocked(parent) != rev_snapshot) return;  // invalidated mid-fill
+  // The floor re-check and the LRU admit are one critical section: an
+  // invalidation between them can no longer lose to this fill.  Floors
+  // are monotone, so equality means "nothing was noted since snapshot".
+  // Retirement is terminal -- a post-retire snapshot also matches, but
+  // nothing under a deleted namespace may ever be admitted again.
+  if (floor_snapshot == kRetired) return;
+  if (ChildFloorLocked(parent) != floor_snapshot) return;  // stale fill
   std::string key = ChildKey(parent, name);
   auto it = child_map_.find(key);
   if (it != child_map_.end()) {
@@ -72,7 +80,14 @@ void H2ResolveCache::PutChild(const NamespaceId& parent,
 void H2ResolveCache::EraseChild(const NamespaceId& parent,
                                 const std::string& name) {
   std::lock_guard lock(mu_);
-  BumpChildRev(parent);
+  // A minimal floor step fences out in-flight fills for this parent
+  // without demanding a directory version from the caller.
+  VirtualNanos floor = ChildFloorLocked(parent);
+  if (floor < kRetired) {
+    child_floors_[parent] = floor + 1;
+    if (floor + 1 > max_noted_) max_noted_ = floor + 1;
+    TrimFloorMaps();
+  }
   auto it = child_map_.find(ChildKey(parent, name));
   if (it == child_map_.end()) return;
   child_lru_.erase(it->second);
@@ -92,10 +107,15 @@ std::optional<NameRing> H2ResolveCache::GetRing(const NamespaceId& ns) {
   return it->second->ring;
 }
 
-void H2ResolveCache::PutRing(const NamespaceId& ns, const NameRing& ring,
-                             std::uint64_t rev_snapshot) {
+void H2ResolveCache::PutRing(const NamespaceId& ns, const NameRing& ring) {
   std::lock_guard lock(mu_);
-  if (RingRevLocked(ns) != rev_snapshot) return;  // invalidated mid-fill
+  // The ring is self-validating: its dir_version must have caught up with
+  // every version announced for this namespace.  A fill that raced an
+  // invalidation carries an older version and is rejected here.  The
+  // retired floor is terminal: no version, however large, re-admits a
+  // deleted namespace.
+  const VirtualNanos floor = RingFloorLocked(ns);
+  if (floor == kRetired || ring.dir_version() < floor) return;  // stale fill
   auto it = ring_map_.find(ns);
   if (it != ring_map_.end()) {
     it->second->ring = ring;
@@ -110,24 +130,33 @@ void H2ResolveCache::PutRing(const NamespaceId& ns, const NameRing& ring,
   }
 }
 
-void H2ResolveCache::InvalidateRing(const NamespaceId& ns) {
-  std::lock_guard lock(mu_);
-  InvalidateRingLocked(ns);
-}
-
-void H2ResolveCache::InvalidateRingLocked(const NamespaceId& ns) {
-  BumpRingRev(ns);
+void H2ResolveCache::NoteRingVersionLocked(const NamespaceId& ns,
+                                           VirtualNanos version) {
+  VirtualNanos floor = RingFloorLocked(ns);
+  if (version > floor) {
+    ring_floors_[ns] = version;
+    if (version < kRetired && version > max_noted_) max_noted_ = version;
+    TrimFloorMaps();
+  }
   auto it = ring_map_.find(ns);
   if (it == ring_map_.end()) return;
+  if (it->second->ring.dir_version() >= version) return;  // still fresh
   ring_lru_.erase(it->second);
   ring_map_.erase(it);
   ++stats_.invalidations;
 }
 
-void H2ResolveCache::InvalidateNamespace(const NamespaceId& ns) {
-  std::lock_guard lock(mu_);
-  InvalidateRingLocked(ns);
-  BumpChildRev(ns);
+void H2ResolveCache::RaiseChildFloorLocked(const NamespaceId& ns,
+                                           VirtualNanos version) {
+  VirtualNanos floor = ChildFloorLocked(ns);
+  if (version > floor) {
+    child_floors_[ns] = version;
+    if (version < kRetired && version > max_noted_) max_noted_ = version;
+    TrimFloorMaps();
+  }
+}
+
+void H2ResolveCache::DropChildrenLocked(const NamespaceId& ns) {
   // Child entries are keyed by (ns, name); walk the LRU and drop every
   // entry under ns. Capacity-bounded, and namespace-wide invalidations
   // only fire on remote-change events, so the scan cost is acceptable.
@@ -144,12 +173,34 @@ void H2ResolveCache::InvalidateNamespace(const NamespaceId& ns) {
   if (dropped) ++stats_.invalidations;
 }
 
+void H2ResolveCache::NoteRingVersion(const NamespaceId& ns,
+                                     VirtualNanos version) {
+  std::lock_guard lock(mu_);
+  NoteRingVersionLocked(ns, version);
+}
+
+void H2ResolveCache::NoteVersion(const NamespaceId& ns, VirtualNanos version) {
+  std::lock_guard lock(mu_);
+  NoteRingVersionLocked(ns, version);
+  RaiseChildFloorLocked(ns, version);
+  DropChildrenLocked(ns);
+}
+
+void H2ResolveCache::Retire(const NamespaceId& ns) {
+  std::lock_guard lock(mu_);
+  NoteRingVersionLocked(ns, kRetired);
+  RaiseChildFloorLocked(ns, kRetired);
+  DropChildrenLocked(ns);
+}
+
 void H2ResolveCache::ClearLocked() {
-  // Raising the floor past every previously-minted revision kills all
-  // in-flight fills at once; per-namespace entries become redundant.
-  rev_floor_ = NextRev();
-  child_revs_.clear();
-  ring_revs_.clear();
+  // Raising the global floor strictly above every floor snapshot ever
+  // handed out kills all in-flight fills at once; per-namespace floors
+  // become redundant.
+  if (max_noted_ < kRetired) ++max_noted_;
+  global_floor_ = max_noted_;
+  child_floors_.clear();
+  ring_floors_.clear();
   child_lru_.clear();
   child_map_.clear();
   ring_lru_.clear();
@@ -170,27 +221,20 @@ void H2ResolveCache::OnTopologyEpoch(std::uint64_t epoch) {
   ClearLocked();
 }
 
-void H2ResolveCache::BumpChildRev(const NamespaceId& ns) {
-  child_revs_[ns] = NextRev();
-  TrimRevMaps();
-}
-
-void H2ResolveCache::BumpRingRev(const NamespaceId& ns) {
-  ring_revs_[ns] = NextRev();
-  TrimRevMaps();
-}
-
-void H2ResolveCache::TrimRevMaps() {
-  // Keep revision bookkeeping bounded. Forgetting an entry makes its
-  // namespace read `rev_floor_`; raising the floor to a fresh value
-  // first guarantees dropped revisions can only cause spurious misses
-  // for outstanding snapshots, never false hits.
+void H2ResolveCache::TrimFloorMaps() {
+  // Keep floor bookkeeping bounded.  Forgetting per-namespace floors is
+  // only safe once the global floor fences out every outstanding fill, so
+  // it rises past the highest version ever noted: dropped floors can then
+  // only cause spurious misses (a ring must re-prove freshness), never
+  // false hits.  Already-admitted LRU entries stay: they were valid at
+  // admit time and every later invalidation dropped its victims eagerly.
   const std::size_t limit =
-      kRevMapSlack * (child_capacity_ + ring_capacity_) + 16;
-  if (child_revs_.size() > limit || ring_revs_.size() > limit) {
-    rev_floor_ = NextRev();
-    child_revs_.clear();
-    ring_revs_.clear();
+      kFloorMapSlack * (child_capacity_ + ring_capacity_) + 16;
+  if (child_floors_.size() > limit || ring_floors_.size() > limit) {
+    if (max_noted_ < kRetired) ++max_noted_;
+    global_floor_ = max_noted_;
+    child_floors_.clear();
+    ring_floors_.clear();
   }
 }
 

@@ -2,6 +2,7 @@
 #define H2_H2_RESOLVE_CACHE_H_
 
 #include <cstdint>
+#include <limits>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -14,7 +15,7 @@
 
 namespace h2 {
 
-// Versioned cache for the middleware's directory-resolution hot path.
+// Directory-version cache for the middleware's resolution hot path.
 //
 // Two bounded LRUs:
 //   * child map:  (parent namespace, child name) -> DirRecord, so
@@ -22,59 +23,77 @@ namespace h2 {
 //   * ring map:   namespace -> merged NameRing snapshot, so List/readdir
 //     skip re-fetching and re-merging an unchanged directory.
 //
-// Instead of TTLs, every namespace carries two revision counters drawn
-// from one global monotonic counter:
-//   * child_rev(ns) advances when the *membership* of ns may have changed
-//     in a way the precise EraseChild/PutChild calls cannot capture
-//     (remote rumor, gossip repair, recovery, lazy cleanup).
-//   * ring_rev(ns) advances whenever the merged ring for ns may differ
-//     (any local patch submit, merge, compaction, or remote change).
-// Fills that straddle cloud I/O snapshot the revision first and are
-// dropped if it moved, so a racing invalidation can never be overwritten
-// by a stale read (no ABA: revisions never repeat, even across eviction
-// of the revision entries themselves).
+// Invalidation rides the DirVersion that versioned NameRings already
+// carry (DESIGN.md §13) instead of a side channel of revision counters:
+//
+//   * Ring entries are *self-validating*.  Every NameRing knows its own
+//     dir_version, and the cache keeps a per-namespace floor -- the
+//     highest version announced for that directory by a patch submit,
+//     merge, compaction or gossip rumor (NoteRingVersion/NoteVersion).
+//     PutRing admits a ring iff its dir_version has reached the floor, so
+//     a fill racing an invalidation is rejected by the value itself; no
+//     pre-read snapshot is needed on the ring path at all.
+//   * Child records carry no intrinsic version, so that path keeps the
+//     snapshot-before-GET shape with the floor as the fence: take
+//     ChildFloor(parent) before the cloud read, and the matching PutChild
+//     is dropped if the floor moved.  The child floor advances with the
+//     announced directory version (NoteVersion) and by a minimal step on
+//     precise single-child erases, so it is monotone in version units.
+//
+// Retire(ns) pins both floors at the maximum version for namespaces torn
+// down by lazy cleanup (namespaces are minted once and never reused).
+// Floor maps are bounded: on overflow everything is forgotten and a
+// global floor rises to the highest version ever noted, which can only
+// turn would-be hits into spurious misses, never admit stale data.
 //
 // Internally synchronized: every method takes the cache's own mutex, so
 // each lookup, admit, and invalidation is one atomic critical section.
 // The owning middleware's mutex is NOT a substitute -- gossip handlers
-// and background mergers invalidate from other threads, and an
-// externally-locked cache let a reader's revision check and its LRU
-// admit interleave with a concurrent invalidation (admitting an entry
-// the invalidation had already killed).  The revision-vector protocol
-// above still carries the cross-I/O half of the race: snapshot the rev
-// BEFORE the cloud read, and the matching Put atomically re-checks it
-// under mu_.  Methods never call out while holding mu_ (leaf lock).
+// and background mergers invalidate from other threads.  Methods never
+// call out while holding mu_ (leaf lock).
 class H2ResolveCache {
  public:
+  /// Floor value used for retired (deleted) namespaces.
+  static constexpr VirtualNanos kRetired =
+      std::numeric_limits<VirtualNanos>::max();
+
   H2ResolveCache(std::size_t child_capacity, std::size_t ring_capacity);
 
-  // -- revision snapshots (take BEFORE issuing the cloud read/write that
-  //    produces the value handed to the matching Put) --
-  std::uint64_t ChildRev(const NamespaceId& ns) const;
-  std::uint64_t RingRev(const NamespaceId& ns) const;
+  // -- version floors --------------------------------------------------------
+  /// Child-path fence for `ns`.  Take BEFORE issuing the cloud read that
+  /// produces the record handed to the matching PutChild.
+  VirtualNanos ChildFloor(const NamespaceId& ns) const;
+  /// Lowest dir_version a ring fill for `ns` may carry.
+  VirtualNanos RingFloor(const NamespaceId& ns) const;
 
-  // -- child records --
+  /// The merged ring of `ns` has (or will have) dir_version >= `version`
+  /// (local patch submit, merge, compaction, or a gossiped announce), but
+  /// the child record objects under `ns` are untouched: raises the ring
+  /// floor and drops a cached ring that is older than `version`.
+  void NoteRingVersion(const NamespaceId& ns, VirtualNanos version);
+  /// Anything under `ns` may have changed at `version` (remote rumor,
+  /// gossip repair, recovery): NoteRingVersion plus child-floor raise and
+  /// a drop of every cached child entry under `ns`.
+  void NoteVersion(const NamespaceId& ns, VirtualNanos version);
+  /// `ns` was deleted; namespaces are never reused, so both floors pin at
+  /// kRetired and nothing under `ns` is ever admitted again.
+  void Retire(const NamespaceId& ns);
+
+  // -- child records ---------------------------------------------------------
   std::optional<DirRecord> GetChild(const NamespaceId& parent,
                                     const std::string& name);
-  // Inserts only if child_rev(parent) still equals `rev_snapshot`.
+  // Inserts only if ChildFloor(parent) still equals `floor_snapshot`.
   void PutChild(const NamespaceId& parent, const std::string& name,
-                const DirRecord& record, std::uint64_t rev_snapshot);
-  // Precisely drops one child entry and bumps child_rev(parent) so
-  // in-flight fills for that parent are discarded too.
+                const DirRecord& record, VirtualNanos floor_snapshot);
+  // Precisely drops one child entry; the child floor takes a minimal step
+  // so in-flight fills for that parent are discarded too.
   void EraseChild(const NamespaceId& parent, const std::string& name);
 
-  // -- merged ring snapshots --
+  // -- merged ring snapshots -------------------------------------------------
   std::optional<NameRing> GetRing(const NamespaceId& ns);
-  // Inserts only if ring_rev(ns) still equals `rev_snapshot`.
-  void PutRing(const NamespaceId& ns, const NameRing& ring,
-               std::uint64_t rev_snapshot);
-
-  // A local patch/merge/compaction changed the merged ring of `ns` but
-  // the child membership deltas were applied precisely by the caller.
-  void InvalidateRing(const NamespaceId& ns);
-  // Anything about `ns` may have changed (remote rumor, repair, cleanup):
-  // drop the ring snapshot and all child entries under `ns`.
-  void InvalidateNamespace(const NamespaceId& ns);
+  // Inserts only if `ring.dir_version()` has reached RingFloor(ns): the
+  // version carried by the value is the admission check.
+  void PutRing(const NamespaceId& ns, const NameRing& ring);
 
   void Clear();
 
@@ -125,13 +144,12 @@ class H2ResolveCache {
 
   // Internal helpers run under mu_ (held by the public entry points).
   void ClearLocked();
-  std::uint64_t NextRev() { return ++rev_counter_; }
-  std::uint64_t ChildRevLocked(const NamespaceId& ns) const;
-  std::uint64_t RingRevLocked(const NamespaceId& ns) const;
-  void InvalidateRingLocked(const NamespaceId& ns);
-  void BumpChildRev(const NamespaceId& ns);
-  void BumpRingRev(const NamespaceId& ns);
-  void TrimRevMaps();
+  VirtualNanos ChildFloorLocked(const NamespaceId& ns) const;
+  VirtualNanos RingFloorLocked(const NamespaceId& ns) const;
+  void NoteRingVersionLocked(const NamespaceId& ns, VirtualNanos version);
+  void RaiseChildFloorLocked(const NamespaceId& ns, VirtualNanos version);
+  void DropChildrenLocked(const NamespaceId& ns);
+  void TrimFloorMaps();
 
   std::size_t child_capacity_;
   std::size_t ring_capacity_;
@@ -143,14 +161,15 @@ class H2ResolveCache {
   RingList ring_lru_;
   std::unordered_map<NamespaceId, RingList::iterator> ring_map_;
 
-  // Revisions are minted from one global counter, and namespaces with no
-  // entry read `rev_floor_` (raised whenever entries are forgotten), so a
-  // forgotten revision can only cause spurious misses, never false hits.
-  std::uint64_t rev_counter_ = 0;
-  std::uint64_t rev_floor_ = 0;
+  // Per-namespace version floors; namespaces with no entry read the
+  // global floor.  The global floor rises to the highest version ever
+  // noted whenever per-namespace entries are forgotten, so a forgotten
+  // floor can only cause spurious misses, never false hits.
+  VirtualNanos global_floor_ = 0;
+  VirtualNanos max_noted_ = 0;  // highest version ever noted/fenced
   std::uint64_t topology_epoch_ = 0;  // highest membership epoch flushed
-  std::unordered_map<NamespaceId, std::uint64_t> child_revs_;
-  std::unordered_map<NamespaceId, std::uint64_t> ring_revs_;
+  std::unordered_map<NamespaceId, VirtualNanos> child_floors_;
+  std::unordered_map<NamespaceId, VirtualNanos> ring_floors_;
 
   Stats stats_;
 };

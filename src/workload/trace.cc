@@ -19,6 +19,8 @@ std::string_view TraceOpName(TraceOpKind kind) {
     case TraceOpKind::kList: return "LIST";
     case TraceOpKind::kCopy: return "COPY";
     case TraceOpKind::kRemove: return "REMOVE";
+    case TraceOpKind::kListAt: return "LIST@V";
+    case TraceOpKind::kSnapshotClone: return "CLONE";
   }
   return "?";
 }
@@ -104,6 +106,24 @@ class NamespaceModel {
     files_.push_back(to);
   }
 
+  /// A clone materializes (in the model -- lazily in H2) a full copy of
+  /// the `from` subtree under `to`, so later operations can land inside
+  /// the clone: that is what drives copy-on-write at replay time.
+  void ClonePath(const std::string& from, const std::string& to) {
+    std::vector<std::string> new_dirs{to};
+    std::vector<std::string> new_files;
+    for (const auto& d : dirs_) {
+      if (IsWithin(d, from) && d != from) {
+        new_dirs.push_back(to + d.substr(from.size()));
+      }
+    }
+    for (const auto& f : files_) {
+      if (IsWithin(f, from)) new_files.push_back(to + f.substr(from.size()));
+    }
+    dirs_.insert(dirs_.end(), new_dirs.begin(), new_dirs.end());
+    files_.insert(files_.end(), new_files.begin(), new_files.end());
+  }
+
  private:
   std::vector<std::string> dirs_;
   std::vector<std::string> files_;
@@ -119,14 +139,16 @@ std::vector<TraceOp> GenerateTrace(const GeneratedTree& tree,
   std::vector<TraceOp> trace;
   trace.reserve(op_count);
 
-  const double weights[] = {mix.stat, mix.read,   mix.write, mix.mkdir,
-                            mix.rmdir, mix.move,  mix.rename, mix.list,
-                            mix.copy, mix.remove};
+  const double weights[] = {mix.stat,  mix.read,   mix.write,  mix.mkdir,
+                            mix.rmdir, mix.move,   mix.rename, mix.list,
+                            mix.copy,  mix.remove, mix.list_at,
+                            mix.snapshot_clone};
   const TraceOpKind kinds[] = {
-      TraceOpKind::kStat, TraceOpKind::kRead,   TraceOpKind::kWrite,
-      TraceOpKind::kMkdir, TraceOpKind::kRmdir, TraceOpKind::kMove,
-      TraceOpKind::kRename, TraceOpKind::kList, TraceOpKind::kCopy,
-      TraceOpKind::kRemove};
+      TraceOpKind::kStat,   TraceOpKind::kRead,   TraceOpKind::kWrite,
+      TraceOpKind::kMkdir,  TraceOpKind::kRmdir,  TraceOpKind::kMove,
+      TraceOpKind::kRename, TraceOpKind::kList,   TraceOpKind::kCopy,
+      TraceOpKind::kRemove, TraceOpKind::kListAt,
+      TraceOpKind::kSnapshotClone};
   double total_weight = 0;
   for (double w : weights) total_weight += w;
 
@@ -198,6 +220,20 @@ std::vector<TraceOp> GenerateTrace(const GeneratedTree& tree,
         op.path = model.RandomFile(rng);
         model.RemoveFilePath(op.path);
         break;
+      case TraceOpKind::kListAt:
+        op.path = model.RandomDir(rng);
+        break;
+      case TraceOpKind::kSnapshotClone: {
+        op.path = model.RandomRemovableDir(rng);
+        if (op.path.empty()) continue;
+        const std::string& dir = model.RandomDir(rng);
+        op.path2 = model.FreshName(rng, dir, "sn");
+        // A clone into its own source subtree is rejected at replay time;
+        // keep every generated op valid instead.
+        if (IsWithin(op.path2, op.path)) continue;
+        model.ClonePath(op.path, op.path2);
+        break;
+      }
     }
     trace.push_back(std::move(op));
   }
@@ -229,6 +265,13 @@ Status ApplyTraceOp(FileSystem& fs, const TraceOp& op) {
       return fs.Copy(op.path, op.path2);
     case TraceOpKind::kRemove:
       return fs.RemoveFile(op.path);
+    case TraceOpKind::kListAt: {
+      Result<VirtualNanos> version = fs.DirVersion(op.path);
+      if (!version.ok()) return version.status();
+      return fs.ListAt(op.path, *version, ListDetail::kDetailed).status();
+    }
+    case TraceOpKind::kSnapshotClone:
+      return fs.SnapshotClone(op.path, op.path2);
   }
   return Status::InvalidArgument("unknown trace op kind");
 }

@@ -28,7 +28,15 @@ enum class TraceOpKind {
   kList,
   kCopy,
   kRemove,
+  /// Time-travel LIST: resolve the directory's DirVersion, then ListAt
+  /// that version (the versioned read path of DESIGN.md §13).
+  kListAt,
+  /// SnapshotClone of a directory subtree; unversioned systems replay it
+  /// as a materialized Copy.
+  kSnapshotClone,
 };
+
+constexpr std::size_t kTraceOpKinds = 12;
 
 std::string_view TraceOpName(TraceOpKind kind);
 
@@ -52,6 +60,11 @@ struct TraceMix {
   double copy = 1.5;
   double remove = 2;
   double rmdir = 0.5;
+  /// Versioned-read and snapshot weights default to 0 so pre-versioning
+  /// workloads (and their golden cost numbers) are untouched; the
+  /// snapshot benches and the sharded-oracle suites opt in.
+  double list_at = 0;
+  double snapshot_clone = 0;
 };
 
 /// Generates `op_count` operations referencing (and evolving) `tree`.
@@ -66,8 +79,9 @@ struct ReplayStats {
   std::size_t failures = 0;
   OpCost total_cost;
   /// Per-kind aggregate operation time (ms), indexed by TraceOpKind.
-  std::vector<double> per_kind_ms = std::vector<double>(10, 0.0);
-  std::vector<std::size_t> per_kind_count = std::vector<std::size_t>(10, 0);
+  std::vector<double> per_kind_ms = std::vector<double>(kTraceOpKinds, 0.0);
+  std::vector<std::size_t> per_kind_count =
+      std::vector<std::size_t>(kTraceOpKinds, 0);
 };
 
 /// Applies one trace operation to `fs` and returns its status.  The

@@ -4,9 +4,11 @@
 // max_rebalance_keys_per_step must leave a byte-identical cluster.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/object_cloud.h"
@@ -314,6 +316,100 @@ TEST(MembershipTest, EpochGossipsToEveryMiddleware) {
     EXPECT_EQ(h2.middleware(i).topology_epoch(), epoch2)
         << "middleware " << i;
     EXPECT_GE(h2.middleware(i).counters().topology_updates, 2u);
+  }
+}
+
+// Direct primitives pin the membership epoch exactly like ExecuteBatch:
+// a lone PUT/GET/HEAD/DELETE/COPY racing AddStorageNode/RemoveStorageNode
+// holds the shared side of the membership lock for its whole duration, so
+// a publish can never land mid-op and split its routing across epochs.
+// Under -DH2_TSAN=ON this is the race net for the pinned wrappers; in any
+// build the quorum failures it would cause show up as op errors below.
+TEST(MembershipTest, DirectPrimitivesPinTheEpochDuringChurn) {
+  ObjectCloud cloud(MembershipCloud(/*rate=*/8));
+  {
+    OpMeter seed;
+    for (std::size_t i = 0; i < 48; ++i) {
+      ASSERT_TRUE(
+          cloud.Put(Key(i), ObjectValue::FromString("seed", i + 1), seed)
+              .ok());
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&cloud, &stop] {
+    std::vector<DeviceId> added;
+    for (int round = 0; round < 12; ++round) {
+      Result<DeviceId> id = cloud.AddStorageNodeDeferred();
+      if (id.ok()) added.push_back(*id);
+      for (int s = 0; s < 4; ++s) cloud.RunRebalanceStep();
+      if (added.size() > 1) {
+        (void)cloud.RemoveStorageNode(added.front());
+        added.erase(added.begin());
+      }
+      cloud.ReplayHints();
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> batch_failures{0};
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&cloud, &stop, &batch_failures, t] {
+      OpMeter meter;
+      for (std::size_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const std::string key = Key((t * 16 + i) % 48);
+        // Worker-private scratch key so Delete never races a peer's read.
+        const std::string mine =
+            "scratch/t" + std::to_string(t) + "-" + std::to_string(i % 8);
+        switch (i % 6) {
+          case 0:
+            (void)cloud.Put(key, ObjectValue::FromString("w", 1), meter);
+            break;
+          case 1:
+            (void)cloud.Get(key, meter);
+            break;
+          case 2:
+            (void)cloud.Head(key, meter);
+            break;
+          case 3:
+            (void)cloud.Copy(key, key + ".cp", meter);
+            break;
+          case 4:
+            (void)cloud.Put(mine, ObjectValue::FromString("m", 1), meter);
+            (void)cloud.Delete(mine, meter);
+            break;
+          default: {
+            // Batches race the same publishes; their epoch-pin violation
+            // counter is the direct witness that no publish landed
+            // mid-wave.
+            std::vector<BatchOp> ops;
+            ops.push_back(BatchOp::Get(key));
+            ops.push_back(BatchOp::Head(Key((t * 16 + i + 1) % 48)));
+            auto results = cloud.ExecuteBatch(std::move(ops), meter);
+            for (const auto& r : results) {
+              if (!r.status.ok() && r.status.code() != ErrorCode::kNotFound) {
+                batch_failures.fetch_add(1);
+              }
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  churn.join();
+  for (auto& w : workers) w.join();
+
+  EXPECT_GT(cloud.membership_epoch(), 1u);
+  EXPECT_EQ(cloud.batch_stats().epoch_pin_violations, 0u);
+  EXPECT_EQ(batch_failures.load(), 0u);
+  // Once the rebalancer and hint queues drain, every seeded key reads
+  // back: churn plus concurrent foreground traffic lost nothing.
+  DrainAll(cloud);
+  OpMeter check;
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_TRUE(cloud.Get(Key(i), check).ok()) << Key(i);
   }
 }
 

@@ -203,5 +203,100 @@ TEST(MergeOrderTest, PermutedPatchOrdersWithTiesConverge) {
   }
 }
 
+// Versioned reads are arrival-order independent (DESIGN.md §13): the
+// {current} ∪ {history} set per name is the same under every permutation
+// of patch arrival, so LiveChildrenAt must answer identically at EVERY
+// version -- a losing incoming tuple is recorded as history exactly like
+// a superseded incumbent.
+TEST(MergeOrderTest, PermutedPatchOrdersAgreeOnEveryVersionedRead) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<NameRing> patches;
+    for (int p = 0; p < 5; ++p) {
+      NameRing patch;
+      const std::size_t n = 1 + rng.Below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        patch.Apply(RingTuple{"n" + std::to_string(rng.Below(4)),
+                              static_cast<VirtualNanos>(1 + rng.Below(40)),
+                              rng.Chance(0.3) ? EntryKind::kDirectory
+                                              : EntryKind::kFile,
+                              rng.Chance(0.35)});
+      }
+      patches.push_back(std::move(patch));
+    }
+
+    // Reference answers from the identity permutation.
+    NameRing reference;
+    for (const auto& p : patches) reference.Merge(p);
+    std::vector<std::string> expected;
+    for (VirtualNanos v = 0; v <= 41; ++v) {
+      auto at = reference.LiveChildrenAt(v);
+      ASSERT_TRUE(at.ok());
+      std::string flat;
+      for (const RingTuple& t : *at) {
+        flat += t.name + "@" + std::to_string(t.timestamp) + ";";
+      }
+      expected.push_back(std::move(flat));
+    }
+
+    std::vector<std::size_t> order(patches.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (int perm = 0; perm < 16; ++perm) {
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.Below(i)]);
+      }
+      NameRing merged;
+      for (std::size_t idx : order) merged.Merge(patches[idx]);
+      for (VirtualNanos v = 0; v <= 41; ++v) {
+        auto at = merged.LiveChildrenAt(v);
+        ASSERT_TRUE(at.ok());
+        std::string flat;
+        for (const RingTuple& t : *at) {
+          flat += t.name + "@" + std::to_string(t.timestamp) + ";";
+        }
+        ASSERT_EQ(flat, expected[v])
+            << "iteration " << iter << " permutation " << perm
+            << " version " << v;
+      }
+    }
+  }
+}
+
+// CompactHistory never changes an answer it can still give: any version
+// at or above the post-compaction floor reads identically before and
+// after folding, at every cutoff.
+TEST(MergeOrderTest, CompactHistoryPreservesAnswerableReads) {
+  Rng rng(90210);
+  for (int iter = 0; iter < 20; ++iter) {
+    NameRing ring;
+    for (int p = 0; p < 5; ++p) {
+      NameRing patch;
+      const std::size_t n = 1 + rng.Below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        patch.Apply(RingTuple{"n" + std::to_string(rng.Below(4)),
+                              static_cast<VirtualNanos>(1 + rng.Below(40)),
+                              EntryKind::kFile, rng.Chance(0.35)});
+      }
+      ring.Merge(patch);
+    }
+    for (const VirtualNanos cutoff : {VirtualNanos{5}, VirtualNanos{20},
+                                      VirtualNanos{45}}) {
+      NameRing folded = ring;
+      folded.CompactHistory(cutoff);
+      for (VirtualNanos v = folded.history_floor(); v <= 41; ++v) {
+        auto before = ring.LiveChildrenAt(v);
+        auto after = folded.LiveChildrenAt(v);
+        // `ring` itself may have a (lower) floor from earlier folds; only
+        // compare where both sides answer.
+        if (!before.ok()) continue;
+        ASSERT_TRUE(after.ok()) << "cutoff " << cutoff << " v " << v;
+        ASSERT_EQ(*before, *after)
+            << "iteration " << iter << " cutoff " << cutoff
+            << " version " << v;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace h2

@@ -245,5 +245,128 @@ TEST(KeysTest, NameRingKeyCannotCollideWithChild) {
   EXPECT_NE(ChildKey(ns, "NameRing"), NameRingKey(ns));
 }
 
+// ---- versioned rings (DESIGN.md §13) ----------------------------------------
+
+TEST(VersionedNameRingTest, FindAtWalksHistory) {
+  NameRing ring;
+  ring.Apply(RingTuple{"a", 10, EntryKind::kFile, false});
+  ring.Apply(RingTuple{"a", 20, EntryKind::kFile, true});   // deleted
+  ring.Apply(RingTuple{"a", 30, EntryKind::kFile, false});  // recreated
+  EXPECT_EQ(ring.dir_version(), 30u);
+  EXPECT_EQ(ring.history_count(), 2u);
+
+  auto at5 = ring.FindAt("a", 5);
+  ASSERT_TRUE(at5.ok());
+  EXPECT_FALSE(at5->has_value());  // not born yet
+  auto at15 = ring.FindAt("a", 15);
+  ASSERT_TRUE(at15.ok());
+  ASSERT_TRUE(at15->has_value());
+  EXPECT_EQ((*at15)->timestamp, 10u);
+  auto at25 = ring.FindAt("a", 25);
+  ASSERT_TRUE(at25.ok());
+  ASSERT_TRUE(at25->has_value());
+  EXPECT_TRUE((*at25)->deleted);
+  auto at30 = ring.FindAt("a", 30);
+  ASSERT_TRUE(at30.ok());
+  EXPECT_EQ((*at30)->timestamp, 30u);
+
+  auto live15 = ring.LiveChildrenAt(15);
+  ASSERT_TRUE(live15.ok());
+  EXPECT_EQ(live15->size(), 1u);
+  auto live25 = ring.LiveChildrenAt(25);
+  ASSERT_TRUE(live25.ok());
+  EXPECT_TRUE(live25->empty());
+}
+
+TEST(VersionedNameRingTest, CompactHistoryRaisesFloorAndKeepsBase) {
+  NameRing ring;
+  ring.Apply(RingTuple{"a", 10, EntryKind::kFile, false});
+  ring.Apply(RingTuple{"a", 20, EntryKind::kFile, false});
+  ring.Apply(RingTuple{"a", 30, EntryKind::kFile, false});
+  // Cutoff 20: the tuple visible AT 20 (ts=20) stays as the floor base;
+  // only the ts=10 tuple folds.
+  EXPECT_EQ(ring.CompactHistory(20), 1u);
+  EXPECT_EQ(ring.history_floor(), 20u);
+  EXPECT_EQ(ring.FindAt("a", 15).code(), ErrorCode::kInvalidArgument);
+  auto at20 = ring.FindAt("a", 20);
+  ASSERT_TRUE(at20.ok());
+  EXPECT_EQ((*at20)->timestamp, 20u);
+  // Folding everything leaves only the current tuple; the floor is capped
+  // at dir_version so the present always answers.
+  ring.CompactHistory(1000);
+  EXPECT_EQ(ring.history_count(), 0u);
+  EXPECT_EQ(ring.history_floor(), 30u);
+  ASSERT_TRUE(ring.FindAt("a", 30).ok());
+}
+
+TEST(VersionedNameRingTest, PinsClampCompactionAndGc) {
+  NameRing ring;
+  ring.Apply(RingTuple{"a", 10, EntryKind::kFile, false});
+  ring.Apply(RingTuple{"a", 20, EntryKind::kFile, true});
+  ring.Apply(RingTuple{"b", 25, EntryKind::kFile, false});
+  ring.Pin(12);
+
+  // History at the pinned version survives a fold past it ...
+  EXPECT_EQ(ring.CompactHistory(1000), 0u);
+  auto at12 = ring.FindAt("a", 12);
+  ASSERT_TRUE(at12.ok());
+  EXPECT_EQ((*at12)->timestamp, 10u);
+  // ... and the tombstone GC cannot cross the pin either: pruning "a"
+  // would raise the floor past 12 and break the pinned view.
+  EXPECT_EQ(ring.PruneTombstones(1000), 0u);
+
+  // Releasing the pin re-arms both.
+  EXPECT_TRUE(ring.Unpin(12));
+  EXPECT_FALSE(ring.Unpin(12));  // no double release
+  EXPECT_EQ(ring.PruneTombstones(1000), 1u);
+  EXPECT_EQ(ring.FindAt("a", 12).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(VersionedNameRingTest, SerializationCarriesVersionHistoryAndPins) {
+  NameRing ring;
+  ring.Apply(RingTuple{"a", 10, EntryKind::kFile, false});
+  ring.Apply(RingTuple{"a", 20, EntryKind::kDirectory, false});
+  ring.BumpVersion(50);
+  ring.Pin(15);
+  ring.Pin(15);
+  ring.Pin(40);
+  ring.NoteMerged(3, 7);
+
+  auto parsed = NameRing::Parse(ring.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, ring);
+  EXPECT_EQ(parsed->dir_version(), 50u);
+  EXPECT_EQ(parsed->pin_count(), 3u);
+  EXPECT_EQ(parsed->history_count(), 1u);
+}
+
+TEST(VersionedNameRingTest, MergeIgnoresPatchSidePins) {
+  // Pins are stored-ring bookkeeping, not replicated state: a stale local
+  // view carrying an already-released pin must not resurrect it.
+  NameRing stored;
+  stored.Apply(RingTuple{"a", 10, EntryKind::kFile, false});
+  NameRing stale = stored;
+  stale.Pin(5);
+  stored.Merge(stale);
+  EXPECT_EQ(stored.pin_count(), 0u);
+}
+
+TEST(VersionedNameRingTest, MergeRenormalizesFoldedHistory) {
+  // Replica A folded its history; replica B still carries it.  Their
+  // merge must converge regardless of direction: the merged floor governs.
+  NameRing a;
+  a.Apply(RingTuple{"a", 10, EntryKind::kFile, false});
+  a.Apply(RingTuple{"a", 20, EntryKind::kFile, false});
+  NameRing b = a;  // b keeps history
+  a.CompactHistory(1000);
+
+  NameRing ab = a;
+  ab.Merge(b);
+  NameRing ba = b;
+  ba.Merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.history_count(), 0u);  // the fold wins; no re-import
+}
+
 }  // namespace
 }  // namespace h2

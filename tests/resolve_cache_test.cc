@@ -1,7 +1,8 @@
 // Tests for the versioned directory-resolution cache: unit tests for the
-// revision/LRU mechanics of H2ResolveCache, plus end-to-end checks that
-// the cache actually removes cloud GETs from the hot path, stays coherent
-// across middlewares via gossip, and surfaces in the monitor report.
+// version-floor/LRU mechanics of H2ResolveCache, plus end-to-end checks
+// that the cache actually removes cloud GETs from the hot path, stays
+// coherent across middlewares via gossip, and surfaces in the monitor
+// report.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -25,30 +26,37 @@ DirRecord Rec(const NamespaceId& parent, std::string name, int i) {
   return DirRecord{Ns(100 + i), parent, std::move(name), i};
 }
 
-// ---- unit: revision + LRU mechanics -----------------------------------------
+NameRing RingAt(VirtualNanos version) {
+  NameRing ring;
+  ring.Apply(RingTuple{"child", 10, EntryKind::kFile, false});
+  ring.BumpVersion(version);
+  return ring;
+}
+
+// ---- unit: version-floor + LRU mechanics ------------------------------------
 
 TEST(ResolveCacheUnitTest, ChildRoundTripAndStaleFillRejected) {
   H2ResolveCache cache(8, 8);
   const NamespaceId parent = Ns(1);
 
   EXPECT_FALSE(cache.GetChild(parent, "x").has_value());
-  const std::uint64_t rev = cache.ChildRev(parent);
-  cache.PutChild(parent, "x", Rec(parent, "x", 1), rev);
+  const VirtualNanos floor = cache.ChildFloor(parent);
+  cache.PutChild(parent, "x", Rec(parent, "x", 1), floor);
   auto got = cache.GetChild(parent, "x");
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->name, "x");
   EXPECT_EQ(got->parent_ns, parent);
 
-  // A fill whose revision snapshot predates an invalidation is dropped:
-  // the racing cloud read may have observed pre-invalidation state.
-  const std::uint64_t stale = cache.ChildRev(parent);
+  // A fill whose floor snapshot predates an invalidation is dropped: the
+  // racing cloud read may have observed pre-invalidation state.
+  const VirtualNanos stale = cache.ChildFloor(parent);
   cache.EraseChild(parent, "x");
   EXPECT_FALSE(cache.GetChild(parent, "x").has_value());
   cache.PutChild(parent, "x", Rec(parent, "x", 1), stale);
   EXPECT_FALSE(cache.GetChild(parent, "x").has_value());
 
   // A snapshot taken after the invalidation fills normally.
-  const std::uint64_t fresh = cache.ChildRev(parent);
+  const VirtualNanos fresh = cache.ChildFloor(parent);
   cache.PutChild(parent, "x", Rec(parent, "x", 1), fresh);
   EXPECT_TRUE(cache.GetChild(parent, "x").has_value());
   EXPECT_GT(cache.stats().hits, 0u);
@@ -58,44 +66,48 @@ TEST(ResolveCacheUnitTest, ChildRoundTripAndStaleFillRejected) {
 TEST(ResolveCacheUnitTest, ChildLruEvictsOldest) {
   H2ResolveCache cache(2, 2);
   const NamespaceId parent = Ns(1);
-  const std::uint64_t rev = cache.ChildRev(parent);
-  cache.PutChild(parent, "a", Rec(parent, "a", 1), rev);
-  cache.PutChild(parent, "b", Rec(parent, "b", 2), rev);
-  cache.PutChild(parent, "c", Rec(parent, "c", 3), rev);
+  const VirtualNanos floor = cache.ChildFloor(parent);
+  cache.PutChild(parent, "a", Rec(parent, "a", 1), floor);
+  cache.PutChild(parent, "b", Rec(parent, "b", 2), floor);
+  cache.PutChild(parent, "c", Rec(parent, "c", 3), floor);
   EXPECT_EQ(cache.child_entries(), 2u);
   EXPECT_FALSE(cache.GetChild(parent, "a").has_value());  // evicted
   EXPECT_TRUE(cache.GetChild(parent, "b").has_value());
   EXPECT_TRUE(cache.GetChild(parent, "c").has_value());
 }
 
-TEST(ResolveCacheUnitTest, RingSnapshotHonorsInvalidation) {
+TEST(ResolveCacheUnitTest, RingFillIsSelfValidating) {
   H2ResolveCache cache(4, 4);
   const NamespaceId ns = Ns(2);
-  NameRing ring;
-  ring.Apply(RingTuple{"child", 10, EntryKind::kFile, false});
 
-  const std::uint64_t rev = cache.RingRev(ns);
-  cache.PutRing(ns, ring, rev);
+  // No pre-read snapshot on the ring path: the dir_version carried by the
+  // value is the admission check.
+  cache.PutRing(ns, RingAt(10));
   auto got = cache.GetRing(ns);
   ASSERT_TRUE(got.has_value());
   EXPECT_TRUE(got->HasLive("child"));
 
-  cache.InvalidateRing(ns);
+  // Announcing a newer ring version drops the snapshot and fences
+  // re-admission of anything older...
+  cache.NoteRingVersion(ns, 20);
   EXPECT_FALSE(cache.GetRing(ns).has_value());
-  cache.PutRing(ns, ring, rev);  // stale snapshot
+  cache.PutRing(ns, RingAt(19));  // stale: dir_version below the floor
   EXPECT_FALSE(cache.GetRing(ns).has_value());
+
+  // ...while a ring that has caught up to the announced version admits.
+  cache.PutRing(ns, RingAt(20));
+  EXPECT_TRUE(cache.GetRing(ns).has_value());
 }
 
-TEST(ResolveCacheUnitTest, InvalidateNamespaceDropsOnlyThatNamespace) {
+TEST(ResolveCacheUnitTest, NoteVersionDropsOnlyThatNamespace) {
   H2ResolveCache cache(8, 8);
   const NamespaceId p1 = Ns(1), p2 = Ns(2);
-  cache.PutChild(p1, "a", Rec(p1, "a", 1), cache.ChildRev(p1));
-  cache.PutChild(p1, "b", Rec(p1, "b", 2), cache.ChildRev(p1));
-  cache.PutChild(p2, "c", Rec(p2, "c", 3), cache.ChildRev(p2));
-  NameRing ring;
-  cache.PutRing(p1, ring, cache.RingRev(p1));
+  cache.PutChild(p1, "a", Rec(p1, "a", 1), cache.ChildFloor(p1));
+  cache.PutChild(p1, "b", Rec(p1, "b", 2), cache.ChildFloor(p1));
+  cache.PutChild(p2, "c", Rec(p2, "c", 3), cache.ChildFloor(p2));
+  cache.PutRing(p1, RingAt(5));
 
-  cache.InvalidateNamespace(p1);
+  cache.NoteVersion(p1, 50);
   EXPECT_FALSE(cache.GetChild(p1, "a").has_value());
   EXPECT_FALSE(cache.GetChild(p1, "b").has_value());
   EXPECT_FALSE(cache.GetRing(p1).has_value());
@@ -103,20 +115,53 @@ TEST(ResolveCacheUnitTest, InvalidateNamespaceDropsOnlyThatNamespace) {
   EXPECT_GT(cache.stats().invalidations, 0u);
 }
 
+TEST(ResolveCacheUnitTest, NoteRingVersionLeavesChildEntriesAlone) {
+  // Patch submits and merges change the overlaid ring view but not the
+  // child record objects: only the ring snapshot may be dropped.
+  H2ResolveCache cache(8, 8);
+  const NamespaceId ns = Ns(4);
+  cache.PutChild(ns, "kid", Rec(ns, "kid", 1), cache.ChildFloor(ns));
+  cache.PutRing(ns, RingAt(5));
+
+  cache.NoteRingVersion(ns, 50);
+  EXPECT_FALSE(cache.GetRing(ns).has_value());
+  EXPECT_TRUE(cache.GetChild(ns, "kid").has_value());
+}
+
+TEST(ResolveCacheUnitTest, RetiredNamespaceNeverAdmitsAgain) {
+  H2ResolveCache cache(8, 8);
+  const NamespaceId ns = Ns(5);
+  cache.PutChild(ns, "x", Rec(ns, "x", 1), cache.ChildFloor(ns));
+  cache.PutRing(ns, RingAt(7));
+
+  cache.Retire(ns);
+  EXPECT_FALSE(cache.GetChild(ns, "x").has_value());
+  EXPECT_FALSE(cache.GetRing(ns).has_value());
+  EXPECT_EQ(cache.ChildFloor(ns), H2ResolveCache::kRetired);
+
+  // Even a "fresh" fill protocol cannot resurrect a retired namespace:
+  // the floor snapshot equals kRetired, and PutChild refuses that fence.
+  cache.PutChild(ns, "x", Rec(ns, "x", 1), cache.ChildFloor(ns));
+  EXPECT_FALSE(cache.GetChild(ns, "x").has_value());
+  cache.PutRing(ns, RingAt(H2ResolveCache::kRetired));
+  EXPECT_FALSE(cache.GetRing(ns).has_value());
+}
+
 TEST(ResolveCacheUnitTest, ClearRejectsPreClearSnapshots) {
-  // Clear forgets the per-namespace revision entries; the floor mechanism
-  // must keep old snapshots unusable (spurious misses are fine, false
-  // hits are not).
+  // Clear forgets the per-namespace floor entries; the global floor must
+  // keep old snapshots unusable (spurious misses are fine, false hits are
+  // not).
   H2ResolveCache cache(8, 8);
   const NamespaceId parent = Ns(3);
-  const std::uint64_t before = cache.ChildRev(parent);
+  cache.NoteVersion(parent, 30);  // establish a nonzero floor to forget
+  const VirtualNanos before = cache.ChildFloor(parent);
   cache.PutChild(parent, "x", Rec(parent, "x", 1), before);
   cache.Clear();
   EXPECT_EQ(cache.child_entries(), 0u);
 
   cache.PutChild(parent, "x", Rec(parent, "x", 1), before);
   EXPECT_FALSE(cache.GetChild(parent, "x").has_value());
-  const std::uint64_t after = cache.ChildRev(parent);
+  const VirtualNanos after = cache.ChildFloor(parent);
   EXPECT_GT(after, before);
   cache.PutChild(parent, "x", Rec(parent, "x", 1), after);
   EXPECT_TRUE(cache.GetChild(parent, "x").has_value());
@@ -199,7 +244,7 @@ TEST(ResolveCacheE2ETest, GossipInvalidatesPeerCaches) {
 // ---- hammer: internal synchronization ---------------------------------------
 
 // The cache is a leaf-locked, internally synchronized structure: a
-// lookup's revision check and its LRU admit are one critical section.
+// lookup's floor check and its LRU admit are one critical section.
 // Hammer it from readers, writers and invalidators at once -- foreground
 // resolution, the background merger and gossip handlers in miniature.
 // Under -DH2_TSAN=ON this is the data-race net for resolve_cache.cc; in
@@ -220,10 +265,11 @@ TEST(ResolveCacheHammerTest, ConcurrentLookupAdmitInvalidate) {
       for (int i = 0; i < kOpsPerThread; ++i) {
         const NamespaceId parent = Ns(static_cast<int>(rng.Below(kNamespaces)));
         const std::string name = "c" + std::to_string(rng.Below(5));
+        const VirtualNanos version = 1 + rng.Below(64);
         switch (rng.Below(6)) {
-          case 0: {  // fill protocol: snapshot rev, then admit
-            const std::uint64_t rev = cache.ChildRev(parent);
-            cache.PutChild(parent, name, Rec(parent, name, i), rev);
+          case 0: {  // fill protocol: snapshot the floor, then admit
+            const VirtualNanos floor = cache.ChildFloor(parent);
+            cache.PutChild(parent, name, Rec(parent, name, i), floor);
             break;
           }
           case 1:
@@ -232,11 +278,9 @@ TEST(ResolveCacheHammerTest, ConcurrentLookupAdmitInvalidate) {
               observed_hits.fetch_add(1, std::memory_order_relaxed);
             }
             break;
-          case 2: {
-            const std::uint64_t rev = cache.RingRev(parent);
-            cache.PutRing(parent, NameRing{}, rev);
+          case 2:
+            cache.PutRing(parent, RingAt(version));  // self-validating fill
             break;
-          }
           case 3:
             lookups.fetch_add(1, std::memory_order_relaxed);
             (void)cache.GetRing(parent);
@@ -246,9 +290,9 @@ TEST(ResolveCacheHammerTest, ConcurrentLookupAdmitInvalidate) {
             break;
           default:
             if (rng.Chance(0.25)) {
-              cache.InvalidateNamespace(parent);
+              cache.NoteVersion(parent, version);
             } else {
-              cache.InvalidateRing(parent);
+              cache.NoteRingVersion(parent, version);
             }
             break;
         }
@@ -269,8 +313,8 @@ TEST(ResolveCacheHammerTest, ConcurrentLookupAdmitInvalidate) {
 
   // The cache still works after the storm.
   const NamespaceId parent = Ns(1);
-  const std::uint64_t rev = cache.ChildRev(parent);
-  cache.PutChild(parent, "post", Rec(parent, "post", 1), rev);
+  const VirtualNanos floor = cache.ChildFloor(parent);
+  cache.PutChild(parent, "post", Rec(parent, "post", 1), floor);
   EXPECT_TRUE(cache.GetChild(parent, "post").has_value());
 }
 

@@ -135,6 +135,27 @@ TEST(ShardedEngine, StructuralChurnFamilyBitIdentical) {
   ExpectFamilyBitIdentical(mix, "structural-churn");
 }
 
+// Versioned reads, snapshot clones, copy-on-write materializations and
+// the rmdir-driven unpin path all ride the same per-shard key families,
+// so they must hold the byte-identity contract like every other op.
+// This is the race net for the pin/park machinery when run under TSAN.
+TEST(ShardedEngine, VersioningSnapshotFamilyBitIdentical) {
+  TraceMix mix;
+  mix.stat = 10;
+  mix.read = 10;
+  mix.list = 5;
+  mix.write = 25;
+  mix.mkdir = 10;
+  mix.move = 5;
+  mix.rename = 3;
+  mix.copy = 3;
+  mix.remove = 5;
+  mix.rmdir = 4;  // high enough to reclaim clones (and park live ones)
+  mix.list_at = 10;
+  mix.snapshot_clone = 10;
+  ExpectFamilyBitIdentical(mix, "versioning-snapshot");
+}
+
 TEST(ShardedEngine, ZipfLoadgenBitIdenticalAndReportSane) {
   LoadgenSpec spec;
   spec.shards = kShards;

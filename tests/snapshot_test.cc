@@ -1,0 +1,503 @@
+// Versioned NameRings end to end (DESIGN.md §13): DirVersion tokens,
+// ListAt/StatAt time-travel, history retention under the watermark, and
+// O(1) snapshot clones (pin + reference record + COW materialization)
+// differentially checked against the eager CopyTree equivalent.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "h2/h2cloud.h"
+#include "h2/monitor.h"
+
+namespace h2 {
+namespace {
+
+H2CloudConfig TestConfig(VirtualNanos watermark) {
+  H2CloudConfig cfg;
+  cfg.cloud.part_power = 8;
+  cfg.h2.history_watermark = watermark;
+  return cfg;
+}
+
+constexpr VirtualNanos kKeepEverything = 1'000'000 * kSecond;
+
+std::vector<std::string> Names(const std::vector<DirEntry>& entries) {
+  std::vector<std::string> out;
+  out.reserve(entries.size());
+  for (const DirEntry& e : entries) out.push_back(e.name);
+  return out;
+}
+
+// Recursively reads every file under `dir`, keyed by relative path --
+// the bit-identical comparison used by the clone differential.
+std::map<std::string, std::string> TreeContents(H2AccountFs& fs,
+                                                const std::string& dir) {
+  std::map<std::string, std::string> out;
+  auto entries = fs.List(dir, ListDetail::kNamesOnly);
+  EXPECT_TRUE(entries.ok()) << dir;
+  if (!entries.ok()) return out;
+  for (const DirEntry& e : *entries) {
+    const std::string path = dir + "/" + e.name;
+    if (e.kind == EntryKind::kDirectory) {
+      for (auto& [sub, data] : TreeContents(fs, path)) {
+        out[e.name + "/" + sub] = data;
+      }
+    } else {
+      auto blob = fs.ReadFile(path);
+      EXPECT_TRUE(blob.ok()) << path;
+      if (blob.ok()) out[e.name] = blob->data;
+    }
+  }
+  return out;
+}
+
+// ---- DirVersion & time travel ----------------------------------------------
+
+TEST(VersionedRingTest, DirVersionAdvancesWithMutations) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  auto v1 = fs->DirVersion("/d");
+  ASSERT_TRUE(v1.ok());
+
+  ASSERT_TRUE(fs->WriteFile("/d/a", FileBlob::FromString("a")).ok());
+  auto v2 = fs->DirVersion("/d");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_GT(*v2, *v1);
+
+  // The merge tick advances the version too (stored version == announced).
+  cloud.RunMaintenanceToQuiescence();
+  auto v3 = fs->DirVersion("/d");
+  ASSERT_TRUE(v3.ok());
+  EXPECT_GE(*v3, *v2);
+}
+
+TEST(VersionedRingTest, ListAtSeesHistoricState) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  ASSERT_TRUE(fs->WriteFile("/d/a", FileBlob::FromString("1")).ok());
+  ASSERT_TRUE(fs->WriteFile("/d/b", FileBlob::FromString("2")).ok());
+  const VirtualNanos v1 = fs->DirVersion("/d").value();
+
+  ASSERT_TRUE(fs->WriteFile("/d/c", FileBlob::FromString("3")).ok());
+  ASSERT_TRUE(fs->RemoveFile("/d/a").ok());
+  const VirtualNanos v2 = fs->DirVersion("/d").value();
+
+  // Live view and the v2 view agree; the v1 view is the past.
+  auto at_v1 = fs->ListAt("/d", v1, ListDetail::kNamesOnly);
+  ASSERT_TRUE(at_v1.ok());
+  EXPECT_EQ(Names(*at_v1), (std::vector<std::string>{"a", "b"}));
+  auto at_v2 = fs->ListAt("/d", v2, ListDetail::kNamesOnly);
+  ASSERT_TRUE(at_v2.ok());
+  EXPECT_EQ(Names(*at_v2), (std::vector<std::string>{"b", "c"}));
+
+  // StatAt: the deleted child exists at v1, is gone at v2.
+  EXPECT_TRUE(fs->StatAt("/d/a", v1).ok());
+  EXPECT_EQ(fs->StatAt("/d/a", v2).code(), ErrorCode::kNotFound);
+  // A child born after v1 does not exist there yet.
+  EXPECT_EQ(fs->StatAt("/d/c", v1).code(), ErrorCode::kNotFound);
+
+  // Time travel survives merge + gossip (history rides the stored ring).
+  cloud.RunMaintenanceToQuiescence();
+  at_v1 = fs->ListAt("/d", v1, ListDetail::kNamesOnly);
+  ASSERT_TRUE(at_v1.ok());
+  EXPECT_EQ(Names(*at_v1), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(VersionedRingTest, FoldedHistoryIsInvalidArgument) {
+  // Watermark 0: every merge folds the whole history, so pre-merge
+  // versions become unanswerable -- by a crisp error, not a wrong answer.
+  H2Cloud cloud(TestConfig(0));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  ASSERT_TRUE(fs->WriteFile("/d/a", FileBlob::FromString("1")).ok());
+  const VirtualNanos v1 = fs->DirVersion("/d").value();
+  ASSERT_TRUE(fs->WriteFile("/d/b", FileBlob::FromString("2")).ok());
+  cloud.RunMaintenanceToQuiescence();
+
+  EXPECT_EQ(fs->ListAt("/d", v1, ListDetail::kNamesOnly).code(),
+            ErrorCode::kInvalidArgument);
+  // The current version keeps answering.
+  const VirtualNanos now = fs->DirVersion("/d").value();
+  auto live = fs->ListAt("/d", now, ListDetail::kNamesOnly);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(Names(*live), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(VersionedRingTest, CompactionNeverChangesVisibleHistory) {
+  // Retention sweep: under every watermark, a version the floor still
+  // admits answers exactly what it answered before maintenance folded
+  // history -- compaction may only turn answers into kInvalidArgument.
+  for (const VirtualNanos watermark : {VirtualNanos{0}, 8 * kSecond,
+                                       64 * kSecond}) {
+    H2Cloud cloud(TestConfig(watermark));
+    ASSERT_TRUE(cloud.CreateAccount("u").ok());
+    auto fs = std::move(cloud.OpenFilesystem("u")).value();
+
+    ASSERT_TRUE(fs->Mkdir("/d").ok());
+    std::vector<VirtualNanos> versions;
+    std::map<VirtualNanos, std::vector<std::string>> expected;
+    for (int i = 0; i < 6; ++i) {
+      const std::string name = "f" + std::to_string(i);
+      ASSERT_TRUE(
+          fs->WriteFile("/d/" + name, FileBlob::FromString(name)).ok());
+      if (i == 2) {
+        ASSERT_TRUE(fs->RemoveFile("/d/f0").ok());
+      }
+      const VirtualNanos v = fs->DirVersion("/d").value();
+      versions.push_back(v);
+      auto listing = fs->ListAt("/d", v, ListDetail::kNamesOnly);
+      ASSERT_TRUE(listing.ok()) << "watermark " << watermark;
+      expected[v] = Names(*listing);
+    }
+
+    cloud.RunMaintenanceToQuiescence();
+    for (const VirtualNanos v : versions) {
+      auto listing = fs->ListAt("/d", v, ListDetail::kNamesOnly);
+      if (listing.ok()) {
+        EXPECT_EQ(Names(*listing), expected[v])
+            << "watermark " << watermark << " version " << v;
+      } else {
+        EXPECT_EQ(listing.code(), ErrorCode::kInvalidArgument)
+            << "watermark " << watermark << " version " << v;
+      }
+    }
+  }
+}
+
+// ---- snapshot clones --------------------------------------------------------
+
+void BuildTree(H2AccountFs& fs, const std::string& root) {
+  ASSERT_TRUE(fs.Mkdir(root).ok());
+  ASSERT_TRUE(fs.Mkdir(root + "/sub").ok());
+  ASSERT_TRUE(fs.Mkdir(root + "/sub/deep").ok());
+  ASSERT_TRUE(fs.WriteFile(root + "/top", FileBlob::FromString("t")).ok());
+  ASSERT_TRUE(
+      fs.WriteFile(root + "/sub/mid", FileBlob::FromString("m")).ok());
+  ASSERT_TRUE(
+      fs.WriteFile(root + "/sub/deep/leaf", FileBlob::FromString("l")).ok());
+}
+
+TEST(SnapshotCloneTest, CloneReadsBitIdenticalToSource) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  BuildTree(*fs, "/src");
+  cloud.RunMaintenanceToQuiescence();
+
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/snap").ok());
+  const auto src = TreeContents(*fs, "/src");
+  const auto snap = TreeContents(*fs, "/snap");
+  EXPECT_EQ(src, snap);
+  EXPECT_EQ(snap.size(), 3u);
+
+  // Stat through the reference works at every level.
+  EXPECT_TRUE(fs->Stat("/snap").ok());
+  EXPECT_TRUE(fs->Stat("/snap/sub/deep/leaf").ok());
+  EXPECT_EQ(fs->Stat("/snap/sub/nope").code(), ErrorCode::kNotFound);
+  EXPECT_GT(cloud.middleware(0).counters().snapshot_clones, 0u);
+  EXPECT_GT(cloud.middleware(0).counters().rings_pinned, 0u);
+}
+
+TEST(SnapshotCloneTest, CloneIsFrozenWhileSourceMovesOn) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  BuildTree(*fs, "/src");
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/snap").ok());
+
+  // New children in the source are invisible through the pinned clone.
+  ASSERT_TRUE(fs->WriteFile("/src/later", FileBlob::FromString("x")).ok());
+  ASSERT_TRUE(fs->Mkdir("/src/sub/newdir").ok());
+  auto snap_top = fs->List("/snap", ListDetail::kNamesOnly);
+  ASSERT_TRUE(snap_top.ok());
+  EXPECT_EQ(Names(*snap_top), (std::vector<std::string>{"sub", "top"}));
+  auto snap_sub = fs->List("/snap/sub", ListDetail::kNamesOnly);
+  ASSERT_TRUE(snap_sub.ok());
+  EXPECT_EQ(Names(*snap_sub), (std::vector<std::string>{"deep", "mid"}));
+  EXPECT_EQ(fs->Stat("/snap/later").code(), ErrorCode::kNotFound);
+
+  // ... and stays that way across maintenance (pins survive merges).
+  cloud.RunMaintenanceToQuiescence();
+  snap_top = fs->List("/snap", ListDetail::kNamesOnly);
+  ASSERT_TRUE(snap_top.ok());
+  EXPECT_EQ(Names(*snap_top), (std::vector<std::string>{"sub", "top"}));
+}
+
+TEST(SnapshotCloneTest, WritingIntoCloneMaterializesCopyOnWrite) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  BuildTree(*fs, "/src");
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/snap").ok());
+
+  // First mutation inside the clone materializes the touched directory.
+  ASSERT_TRUE(
+      fs->WriteFile("/snap/sub/extra", FileBlob::FromString("e")).ok());
+  EXPECT_GT(cloud.middleware(0).counters().snapshot_cow_materializations,
+            0u);
+
+  // The clone diverged; the source did not.
+  EXPECT_TRUE(fs->Stat("/snap/sub/extra").ok());
+  EXPECT_EQ(fs->Stat("/src/sub/extra").code(), ErrorCode::kNotFound);
+
+  // Untouched parts still read through; touched parts read the copy.
+  EXPECT_EQ(fs->ReadFile("/snap/sub/mid").value().data, "m");
+  EXPECT_EQ(fs->ReadFile("/snap/top").value().data, "t");
+  EXPECT_EQ(fs->ReadFile("/snap/sub/deep/leaf").value().data, "l");
+
+  // Overwrites inside the clone do not leak into the source.
+  ASSERT_TRUE(
+      fs->WriteFile("/snap/sub/mid", FileBlob::FromString("M2")).ok());
+  EXPECT_EQ(fs->ReadFile("/snap/sub/mid").value().data, "M2");
+  EXPECT_EQ(fs->ReadFile("/src/sub/mid").value().data, "m");
+
+  // And the whole system converges cleanly afterwards.
+  cloud.RunMaintenanceToQuiescence();
+  EXPECT_EQ(fs->ReadFile("/snap/sub/mid").value().data, "M2");
+  EXPECT_EQ(fs->ReadFile("/src/sub/mid").value().data, "m");
+}
+
+TEST(SnapshotCloneTest, RemovedSourceIsParkedUntilCloneReleasesIt) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  BuildTree(*fs, "/src");
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/snap").ok());
+
+  // Deleting the source parks its pinned namespaces instead of tearing
+  // them down: the clone keeps reading the shared tree.
+  ASSERT_TRUE(fs->Rmdir("/src").ok());
+  cloud.RunMaintenanceToQuiescence();
+  EXPECT_EQ(fs->Stat("/src").code(), ErrorCode::kNotFound);
+  const auto snap = TreeContents(*fs, "/snap");
+  EXPECT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.at("sub/deep/leaf"), "l");
+
+  // Dropping the clone releases the pins; cleanup then reclaims every
+  // parked namespace and the account converges to empty.
+  ASSERT_TRUE(fs->Rmdir("/snap").ok());
+  cloud.RunMaintenanceToQuiescence();
+  EXPECT_EQ(fs->Stat("/snap").code(), ErrorCode::kNotFound);
+  EXPECT_GT(cloud.middleware(0).counters().rings_unpinned, 0u);
+  auto rootlist = fs->List("/", ListDetail::kNamesOnly);
+  ASSERT_TRUE(rootlist.ok());
+  EXPECT_TRUE(rootlist->empty());
+}
+
+TEST(SnapshotCloneTest, CloneOfCloneSharesTheSamePinnedView) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  BuildTree(*fs, "/src");
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/snap1").ok());
+  ASSERT_TRUE(fs->WriteFile("/src/later", FileBlob::FromString("x")).ok());
+  ASSERT_TRUE(fs->SnapshotClone("/snap1", "/snap2").ok());
+
+  // snap2 clones snap1's pinned version, not the live source.
+  const auto a = TreeContents(*fs, "/snap1");
+  const auto b = TreeContents(*fs, "/snap2");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(fs->Stat("/snap2/later").code(), ErrorCode::kNotFound);
+
+  // Dropping the middle clone must not strand the grandchild's pins.
+  ASSERT_TRUE(fs->Rmdir("/snap1").ok());
+  cloud.RunMaintenanceToQuiescence();
+  EXPECT_EQ(TreeContents(*fs, "/snap2"), b);
+}
+
+TEST(SnapshotCloneTest, CloneGuardsMirrorCopy) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  BuildTree(*fs, "/src");
+  ASSERT_TRUE(fs->WriteFile("/file", FileBlob::FromString("f")).ok());
+
+  EXPECT_EQ(fs->SnapshotClone("/missing", "/snap").code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(fs->SnapshotClone("/file", "/snap").code(),
+            ErrorCode::kNotADirectory);
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/snap").ok());
+  EXPECT_EQ(fs->SnapshotClone("/src", "/snap").code(),
+            ErrorCode::kAlreadyExists);
+  // Cloning a directory into its own subtree must fail, not recurse.
+  EXPECT_EQ(fs->SnapshotClone("/src", "/src/sub/self").code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(SnapshotCloneTest, CloneIsMetadataOnlyCheapVersusCopyTree) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  ASSERT_TRUE(fs->Mkdir("/big").ok());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(fs->WriteFile("/big/f" + std::to_string(i),
+                              FileBlob::FromString("x"))
+                    .ok());
+  }
+  cloud.RunMaintenanceToQuiescence();
+
+  ASSERT_TRUE(fs->SnapshotClone("/big", "/snap").ok());
+  const std::uint64_t clone_ops = fs->last_op().object_primitives();
+
+  // The eager equivalent: per-file COPYs into a fresh directory.
+  ASSERT_TRUE(fs->Mkdir("/copy").ok());
+  std::uint64_t copy_ops = fs->last_op().object_primitives();
+  for (int i = 0; i < 64; ++i) {
+    const std::string name = "/f" + std::to_string(i);
+    ASSERT_TRUE(fs->Copy("/big" + name, "/copy" + name).ok());
+    copy_ops += fs->last_op().object_primitives();
+  }
+
+  // O(1) metadata vs O(n) fan-out: an order of magnitude on 64 files.
+  EXPECT_LT(10 * clone_ops, copy_ops)
+      << "clone " << clone_ops << " vs copytree " << copy_ops;
+}
+
+// ---- preserve-on-write: content freezing under source mutation -------------
+
+TEST(SnapshotCloneTest, CloneContentSurvivesSourceOverwriteAndDelete) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  ASSERT_TRUE(fs->Mkdir("/src").ok());
+  ASSERT_TRUE(fs->WriteFile("/src/a", FileBlob::FromString("one")).ok());
+  ASSERT_TRUE(fs->WriteFile("/src/b", FileBlob::FromString("two")).ok());
+  cloud.RunMaintenanceToQuiescence();
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/snap").ok());
+
+  // Overwrite, delete, and create in the source after the clone.
+  ASSERT_TRUE(fs->WriteFile("/src/a", FileBlob::FromString("NEW")).ok());
+  ASSERT_TRUE(fs->RemoveFile("/src/b").ok());
+  ASSERT_TRUE(fs->WriteFile("/src/c", FileBlob::FromString("three")).ok());
+  cloud.RunMaintenanceToQuiescence();
+
+  // The clone keeps serving the frozen bytes...
+  EXPECT_EQ(fs->ReadFile("/snap/a").value().data, "one");
+  EXPECT_EQ(fs->ReadFile("/snap/b").value().data, "two");
+  // ... the post-clone file is invisible even to a direct open...
+  EXPECT_EQ(fs->ReadFile("/snap/c").code(), ErrorCode::kNotFound);
+  // ... and versioned stats answer from the preserved generation.
+  EXPECT_EQ(fs->Stat("/snap/a").value().size, 3u);
+  EXPECT_EQ(fs->Stat("/snap/b").value().size, 3u);
+  // The live side moved on.
+  EXPECT_EQ(fs->ReadFile("/src/a").value().data, "NEW");
+  EXPECT_EQ(fs->ReadFile("/src/b").code(), ErrorCode::kNotFound);
+  EXPECT_GT(cloud.middleware(0).counters().snapshot_content_preserved, 0u);
+}
+
+TEST(SnapshotCloneTest, TwoClonesAtDifferentVersionsEachKeepTheirEpoch) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  ASSERT_TRUE(fs->Mkdir("/src").ok());
+  ASSERT_TRUE(fs->WriteFile("/src/f", FileBlob::FromString("v1")).ok());
+  cloud.RunMaintenanceToQuiescence();
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/old").ok());
+
+  ASSERT_TRUE(fs->WriteFile("/src/f", FileBlob::FromString("v2")).ok());
+  cloud.RunMaintenanceToQuiescence();
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/mid").ok());
+
+  ASSERT_TRUE(fs->WriteFile("/src/f", FileBlob::FromString("v3")).ok());
+  cloud.RunMaintenanceToQuiescence();
+
+  EXPECT_EQ(fs->ReadFile("/old/f").value().data, "v1");
+  EXPECT_EQ(fs->ReadFile("/mid/f").value().data, "v2");
+  EXPECT_EQ(fs->ReadFile("/src/f").value().data, "v3");
+}
+
+TEST(SnapshotCloneTest, CowMaterializationCopiesPreservedContent) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  ASSERT_TRUE(fs->Mkdir("/src").ok());
+  ASSERT_TRUE(fs->WriteFile("/src/a", FileBlob::FromString("one")).ok());
+  cloud.RunMaintenanceToQuiescence();
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/snap").ok());
+  ASSERT_TRUE(fs->WriteFile("/src/a", FileBlob::FromString("NEW")).ok());
+
+  // COW must materialize from the preserved copy, not the live object.
+  ASSERT_TRUE(fs->WriteFile("/snap/extra", FileBlob::FromString("e")).ok());
+  EXPECT_GT(cloud.middleware(0).counters().snapshot_cow_materializations, 0u);
+  EXPECT_EQ(fs->ReadFile("/snap/a").value().data, "one");
+  // Materialized content is independent: further source writes are moot.
+  ASSERT_TRUE(fs->WriteFile("/src/a", FileBlob::FromString("NEWER")).ok());
+  EXPECT_EQ(fs->ReadFile("/snap/a").value().data, "one");
+}
+
+TEST(SnapshotCloneTest, CopyOfCloneMaterializesTheFrozenView) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  ASSERT_TRUE(fs->Mkdir("/src").ok());
+  ASSERT_TRUE(fs->Mkdir("/src/sub").ok());
+  ASSERT_TRUE(fs->WriteFile("/src/a", FileBlob::FromString("one")).ok());
+  ASSERT_TRUE(fs->WriteFile("/src/sub/m", FileBlob::FromString("mid")).ok());
+  cloud.RunMaintenanceToQuiescence();
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/snap").ok());
+  ASSERT_TRUE(fs->WriteFile("/src/a", FileBlob::FromString("NEW")).ok());
+  ASSERT_TRUE(fs->WriteFile("/src/later", FileBlob::FromString("x")).ok());
+  cloud.RunMaintenanceToQuiescence();
+
+  // COPY of the clone is a real tree holding the frozen view.
+  ASSERT_TRUE(fs->Copy("/snap", "/copy").ok());
+  const auto copy = TreeContents(*fs, "/copy");
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.at("a"), "one");
+  EXPECT_EQ(copy.at("sub/m"), "mid");
+  // And copying a single file out of the clone picks the frozen bytes.
+  ASSERT_TRUE(fs->Copy("/snap/a", "/a_then").ok());
+  EXPECT_EQ(fs->ReadFile("/a_then").value().data, "one");
+  EXPECT_EQ(fs->Copy("/snap/later", "/nope").code(), ErrorCode::kNotFound);
+}
+
+TEST(SnapshotCloneTest, LastUnpinReclaimsPreservedCopies) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  ASSERT_TRUE(fs->Mkdir("/src").ok());
+  ASSERT_TRUE(fs->WriteFile("/src/a", FileBlob::FromString("one")).ok());
+  cloud.RunMaintenanceToQuiescence();
+  const std::uint64_t baseline = cloud.cloud().LogicalObjectCount();
+
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/snap").ok());
+  ASSERT_TRUE(fs->WriteFile("/src/a", FileBlob::FromString("NEW")).ok());
+  EXPECT_GT(cloud.middleware(0).counters().snapshot_content_preserved, 0u);
+  cloud.RunMaintenanceToQuiescence();
+  EXPECT_GT(cloud.cloud().LogicalObjectCount(), baseline);
+
+  // Removing the clone releases the pin; maintenance reclaims both the
+  // reference record and the preserved generation.
+  ASSERT_TRUE(fs->Rmdir("/snap").ok());
+  cloud.RunMaintenanceToQuiescence();
+  EXPECT_EQ(cloud.cloud().LogicalObjectCount(), baseline);
+  EXPECT_EQ(fs->ReadFile("/src/a").value().data, "NEW");
+}
+
+TEST(SnapshotCloneTest, MonitorReportsVersioningCounters) {
+  H2Cloud cloud(TestConfig(kKeepEverything));
+  ASSERT_TRUE(cloud.CreateAccount("u").ok());
+  auto fs = std::move(cloud.OpenFilesystem("u")).value();
+  BuildTree(*fs, "/src");
+  ASSERT_TRUE(fs->SnapshotClone("/src", "/snap").ok());
+  const VirtualNanos v = fs->DirVersion("/src").value();
+  ASSERT_TRUE(fs->ListAt("/src", v, ListDetail::kNamesOnly).ok());
+  cloud.RunMaintenanceToQuiescence();
+
+  const MonitorSnapshot snap = CollectSnapshot(cloud);
+  EXPECT_GT(snap.TotalSnapshotClones(), 0u);
+  EXPECT_NE(snap.ToText().find("versioning & snapshots"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2
