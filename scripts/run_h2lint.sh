@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Runs the h2lint determinism linter (tools/h2lint/h2lint.py) over the given
-# paths, defaulting to src/.  Exit 0 means no findings.
+# Runs the h2lint determinism + locking-contract linter
+# (tools/h2lint/h2lint.py) over the given paths, defaulting to src/.
+# Exit 0 means no findings.
 #
-# Usage: scripts/run_h2lint.sh [path ...] [-- extra h2lint flags]
+# Usage: scripts/run_h2lint.sh [--hierarchy FILE] [path ...] [-- flags]
+#
+# The lock-order rule checks acquisition edges against a hierarchy file
+# (default: tools/lock_hierarchy.txt).  Pass `--hierarchy FILE` to point
+# at another one, or `--hierarchy ""` to skip the rule.
 set -euo pipefail
 
 cd "$(git rev-parse --show-toplevel)"
@@ -13,9 +18,26 @@ if ! command -v "${PYTHON}" >/dev/null 2>&1; then
   exit 2
 fi
 
-args=("$@")
+hierarchy="tools/lock_hierarchy.txt"
+args=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --hierarchy)
+      hierarchy="$2"
+      shift 2
+      ;;
+    --hierarchy=*)
+      hierarchy="${1#--hierarchy=}"
+      shift
+      ;;
+    *)
+      args+=("$1")
+      shift
+      ;;
+  esac
+done
 if [[ ${#args[@]} -eq 0 ]]; then
   args=(src/)
 fi
 
-exec "${PYTHON}" tools/h2lint/h2lint.py "${args[@]}"
+exec "${PYTHON}" tools/h2lint/h2lint.py --hierarchy "${hierarchy}"   "${args[@]}"

@@ -80,7 +80,7 @@ VirtualNanos ObjectCloud::JitterFor(OpMeter& meter, VirtualNanos base) {
   if (Rng* stream = meter.jitter_stream()) {
     return latency_.JitterWith(*stream, base);
   }
-  std::lock_guard lock(latency_mu_);
+  H2MutexLock lock(latency_mu_);
   return latency_.Jitter(base);
 }
 
@@ -134,7 +134,7 @@ Status ObjectCloud::Put(const std::string& key, ObjectValue value,
   // Epoch pin: even a lone primitive routes against exactly one
   // membership epoch (AddStorageNode/RemoveStorageNode publish under the
   // exclusive side, so they wait for in-flight ops to drain).
-  std::shared_lock membership(membership_mu_);
+  H2ReaderMutexLock membership(membership_mu_);
   return PutUnpinned(key, std::move(value), meter, opts);
 }
 
@@ -143,7 +143,7 @@ Status ObjectCloud::PutUnpinned(const std::string& key, ObjectValue value,
   if (PutFaultMatches(key)) {
     meter.CountFailed();
     {
-      std::lock_guard lock(repair_mu_);
+      H2MutexLock lock(repair_mu_);
       ++repair_stats_.failed_puts;
     }
     return Status::Internal("injected put fault: " + key);
@@ -192,7 +192,7 @@ Status ObjectCloud::PutUnpinned(const std::string& key, ObjectValue value,
   // through single-node failures, like Swift's write affinity.
   if (acks < quorum) {
     meter.CountFailed();
-    std::lock_guard lock(repair_mu_);
+    H2MutexLock lock(repair_mu_);
     ++repair_stats_.failed_puts;
     return last_error;
   }
@@ -204,7 +204,7 @@ Status ObjectCloud::PutUnpinned(const std::string& key, ObjectValue value,
 
 Result<ObjectValue> ObjectCloud::Get(const std::string& key,
                                      OpMeter& meter) {
-  std::shared_lock membership(membership_mu_);
+  H2ReaderMutexLock membership(membership_mu_);
   return GetUnpinned(key, meter);
 }
 
@@ -299,7 +299,7 @@ Result<ObjectValue> ObjectCloud::GetUnpinned(const std::string& key,
 
 Result<ObjectValue> ObjectCloud::RebalanceFallbackGet(const std::string& key) {
   {
-    std::lock_guard lock(rebalance_mu_);
+    H2MutexLock lock(rebalance_mu_);
     if (rebalance_pending_.find(key) == rebalance_pending_.end()) {
       return Status::NotFound("no such object: " + key);
     }
@@ -325,7 +325,7 @@ Result<ObjectValue> ObjectCloud::RebalanceFallbackGet(const std::string& key) {
     cost += latency_.ByteCost(newest.logical_size);
   }
   {
-    std::lock_guard lock(rebalance_mu_);
+    H2MutexLock lock(rebalance_mu_);
     // Migration debt: un-jittered, never advances the foreground clock,
     // so NotFound pricing on the request path stays churn-independent.
     rebalance_meter_.Charge(cost);
@@ -336,7 +336,7 @@ Result<ObjectValue> ObjectCloud::RebalanceFallbackGet(const std::string& key) {
 
 Result<ObjectHead> ObjectCloud::Head(const std::string& key,
                                      OpMeter& meter) {
-  std::shared_lock membership(membership_mu_);
+  H2ReaderMutexLock membership(membership_mu_);
   return HeadUnpinned(key, meter);
 }
 
@@ -387,7 +387,7 @@ Result<ObjectHead> ObjectCloud::HeadUnpinned(const std::string& key,
 }
 
 Status ObjectCloud::Delete(const std::string& key, OpMeter& meter) {
-  std::shared_lock membership(membership_mu_);
+  H2ReaderMutexLock membership(membership_mu_);
   return DeleteUnpinned(key, meter);
 }
 
@@ -425,7 +425,7 @@ Status ObjectCloud::DeleteUnpinned(const std::string& key, OpMeter& meter) {
   }
   if (acks < EffectiveQuorum(replicas.size())) {
     meter.CountFailed();
-    std::lock_guard lock(repair_mu_);
+    H2MutexLock lock(repair_mu_);
     ++repair_stats_.failed_deletes;
     return last_error;
   }
@@ -440,7 +440,7 @@ Status ObjectCloud::DeleteUnpinned(const std::string& key, OpMeter& meter) {
 
 Status ObjectCloud::Copy(const std::string& src, const std::string& dst,
                          OpMeter& meter) {
-  std::shared_lock membership(membership_mu_);
+  H2ReaderMutexLock membership(membership_mu_);
   return CopyUnpinned(src, dst, meter);
 }
 
@@ -495,7 +495,7 @@ Status ObjectCloud::CopyUnpinned(const std::string& src,
   }
   if (acks < EffectiveQuorum(dst_replicas.size())) {
     meter.CountFailed();
-    std::lock_guard lock(repair_mu_);
+    H2MutexLock lock(repair_mu_);
     ++repair_stats_.failed_copies;
     return write_error;
   }
@@ -534,7 +534,7 @@ std::vector<BatchResult> ObjectCloud::ExecuteBatch(std::vector<BatchOp> ops,
   // RemoveStorageNode blocks on membership_mu_ until the wave drains, so
   // no op inside the batch can observe a half-applied topology (some ops
   // routed by the old ring, some by the new).
-  std::shared_lock membership_pin(membership_mu_);
+  H2ReaderMutexLock membership_pin(membership_mu_);
   const std::uint64_t pinned_epoch = ring_.epoch();
 
   // Execute sequentially through the ordinary primitives so node
@@ -594,7 +594,7 @@ std::vector<BatchResult> ObjectCloud::ExecuteBatch(std::vector<BatchOp> ops,
   const VirtualNanos critical = meter.ChargeCriticalPath(
       lanes, width, latency_.profile().disk_queue);
   {
-    std::lock_guard lock(batch_mu_);
+    H2MutexLock lock(batch_mu_);
     ++batch_stats_.batches;
     batch_stats_.batched_ops += ops.size();
     batch_stats_.serial_cost += serial_total.elapsed;
@@ -607,13 +607,17 @@ std::vector<BatchResult> ObjectCloud::ExecuteBatch(std::vector<BatchOp> ops,
 }
 
 ObjectCloud::BatchStats ObjectCloud::batch_stats() const {
-  std::lock_guard lock(batch_mu_);
+  H2MutexLock lock(batch_mu_);
   return batch_stats_;
 }
 
 void ObjectCloud::Scan(const std::function<void(const std::string&,
                                                 const ObjectValue&)>& visitor,
                        OpMeter& meter) {
+  // The sweep walks nodes_, so it pins the membership epoch like every
+  // other reader (a concurrent scale-out used to be able to grow the
+  // vector mid-walk).
+  H2ReaderMutexLock membership(membership_mu_);
   // Nodes scan concurrently; elapsed time is the busiest node's share.
   std::uint64_t busiest = 0;
   std::uint64_t total = 0;
@@ -640,6 +644,7 @@ void ObjectCloud::Scan(const std::function<void(const std::string&,
 }
 
 std::uint64_t ObjectCloud::LogicalObjectCount() const {
+  H2ReaderMutexLock membership(membership_mu_);
   std::uint64_t count = 0;
   for (const auto& node : nodes_) {
     node->ForEach([&](const std::string& key, const ObjectValue&) {
@@ -651,6 +656,7 @@ std::uint64_t ObjectCloud::LogicalObjectCount() const {
 }
 
 std::uint64_t ObjectCloud::LogicalBytes() const {
+  H2ReaderMutexLock membership(membership_mu_);
   std::uint64_t bytes = 0;
   for (const auto& node : nodes_) {
     node->ForEach([&](const std::string& key, const ObjectValue& value) {
@@ -664,12 +670,14 @@ std::uint64_t ObjectCloud::LogicalBytes() const {
 }
 
 std::uint64_t ObjectCloud::RawObjectCount() const {
+  H2ReaderMutexLock membership(membership_mu_);
   std::uint64_t count = 0;
   for (const auto& node : nodes_) count += node->object_count();
   return count;
 }
 
 std::vector<std::uint64_t> ObjectCloud::NodeObjectCounts() const {
+  H2ReaderMutexLock membership(membership_mu_);
   std::vector<std::uint64_t> counts;
   counts.reserve(nodes_.size());
   for (const auto& node : nodes_) counts.push_back(node->object_count());
@@ -678,6 +686,9 @@ std::vector<std::uint64_t> ObjectCloud::NodeObjectCounts() const {
 
 
 ObjectCloud::MigrationReport ObjectCloud::RedistributeObjects() {
+  // Eager migration is maintenance: it runs against a pinned topology
+  // like the scrub and hint replay do.
+  H2ReaderMutexLock membership(membership_mu_);
   MigrationReport report;
   // Snapshot every object (newest copy wins) and who currently holds it.
   struct Placement {
@@ -743,16 +754,20 @@ ObjectCloud::MigrationReport ObjectCloud::RedistributeObjects() {
 // --- elastic membership -----------------------------------------------------
 
 Result<DeviceId> ObjectCloud::StageAddNode(int zone_override, double weight) {
-  const auto id = static_cast<DeviceId>(nodes_.size());
-  // Same round-robin zone assignment as the constructor (unless pinned),
-  // so scale-out keeps replicas spread across failure domains.
-  const auto zone = zone_override >= 0
-                        ? static_cast<std::uint32_t>(zone_override)
-                        : static_cast<std::uint32_t>(id % zone_count_);
-  std::string name = "node-" + std::to_string(id);
-  SplitMix64 seeder(0x9e3779b97f4a7c15ULL ^ id);
+  DeviceId id = 0;
   {
-    std::unique_lock membership(membership_mu_);
+    H2WriterMutexLock membership(membership_mu_);
+    // The new id derives from nodes_.size(), so it must be read under the
+    // exclusive side: two concurrent stages reading it unpinned would
+    // mint the same device id.
+    id = static_cast<DeviceId>(nodes_.size());
+    // Same round-robin zone assignment as the constructor (unless
+    // pinned), so scale-out keeps replicas spread across failure domains.
+    const auto zone = zone_override >= 0
+                          ? static_cast<std::uint32_t>(zone_override)
+                          : static_cast<std::uint32_t>(id % zone_count_);
+    std::string name = "node-" + std::to_string(id);
+    SplitMix64 seeder(0x9e3779b97f4a7c15ULL ^ id);
     nodes_.push_back(std::make_unique<StorageNode>(
         id, name, seeder.Next(), zone, backend_config_, max_hints_per_node_));
     H2_RETURN_IF_ERROR(
@@ -769,7 +784,7 @@ Result<DeviceId> ObjectCloud::AddStorageNodeDeferred() {
 
 Status ObjectCloud::RemoveStorageNode(DeviceId id) {
   {
-    std::unique_lock membership(membership_mu_);
+    H2WriterMutexLock membership(membership_mu_);
     if (ring_.active_device_count() <= 1) {
       return Status::InvalidArgument("cannot remove the last device");
     }
@@ -782,19 +797,23 @@ Status ObjectCloud::RemoveStorageNode(DeviceId id) {
 }
 
 Result<DeviceId> ObjectCloud::ReplaceStorageNode(DeviceId id) {
-  // Validate + capture the outgoing device's weight before staging the
-  // replacement, so a NotFound leaves no orphan node behind.
-  double weight = 0.0;
-  for (const RingDevice& dev : ring_.devices()) {
-    if (dev.id == id && dev.active) weight = dev.weight;
-  }
-  if (weight <= 0.0) return Status::NotFound("no such active device");
-  const auto new_id = static_cast<DeviceId>(nodes_.size());
-  const std::uint32_t zone = nodes_[id]->zone();  // inherit failure domain
-  std::string name = "node-" + std::to_string(new_id);
-  SplitMix64 seeder(0x9e3779b97f4a7c15ULL ^ new_id);
+  DeviceId new_id = 0;
   {
-    std::unique_lock membership(membership_mu_);
+    H2WriterMutexLock membership(membership_mu_);
+    // Validate + capture the outgoing device's weight before staging the
+    // replacement, so a NotFound leaves no orphan node behind.  Both the
+    // capture and the new id read membership state, so the whole staging
+    // runs under one exclusive acquisition (reading them unpinned raced
+    // concurrent membership changes).
+    double weight = 0.0;
+    for (const RingDevice& dev : ring_.devices()) {
+      if (dev.id == id && dev.active) weight = dev.weight;
+    }
+    if (weight <= 0.0) return Status::NotFound("no such active device");
+    new_id = static_cast<DeviceId>(nodes_.size());
+    const std::uint32_t zone = nodes_[id]->zone();  // inherit failure domain
+    std::string name = "node-" + std::to_string(new_id);
+    SplitMix64 seeder(0x9e3779b97f4a7c15ULL ^ new_id);
     nodes_.push_back(std::make_unique<StorageNode>(
         new_id, name, seeder.Next(), zone, backend_config_,
         max_hints_per_node_));
@@ -808,7 +827,7 @@ Result<DeviceId> ObjectCloud::ReplaceStorageNode(DeviceId id) {
 
 Status ObjectCloud::SetNodeWeight(DeviceId id, double weight) {
   {
-    std::unique_lock membership(membership_mu_);
+    H2WriterMutexLock membership(membership_mu_);
     H2_RETURN_IF_ERROR(ring_.SetWeight(id, weight));
     H2_RETURN_IF_ERROR(ring_.Rebalance());
   }
@@ -817,8 +836,8 @@ Status ObjectCloud::SetNodeWeight(DeviceId id, double weight) {
 }
 
 void ObjectCloud::RebuildRebalanceQueue() {
-  std::shared_lock membership(membership_mu_);
-  std::lock_guard lock(rebalance_mu_);
+  H2ReaderMutexLock membership(membership_mu_);
+  H2MutexLock lock(rebalance_mu_);
   rebalance_queue_.clear();
   rebalance_pending_.clear();
   // Sorted key -> holder set (std::map keeps the queue deterministic);
@@ -906,7 +925,7 @@ void ObjectCloud::MigrateKey(const std::string& key, RebalanceStats& stats,
 }
 
 void ObjectCloud::MigrateHints(DeviceId removed) {
-  std::shared_lock membership(membership_mu_);
+  H2ReaderMutexLock membership(membership_mu_);
   std::uint64_t migrated = 0;
   VirtualNanos cost = 0;
   for (const auto& holder : nodes_) {
@@ -939,15 +958,15 @@ void ObjectCloud::MigrateHints(DeviceId removed) {
     }
   }
   if (migrated != 0) {
-    std::lock_guard lock(rebalance_mu_);
+    H2MutexLock lock(rebalance_mu_);
     rebalance_stats_.hints_migrated += migrated;
     rebalance_meter_.Charge(cost);
   }
 }
 
 std::size_t ObjectCloud::RunRebalanceStep(std::size_t max_keys) {
-  std::shared_lock membership(membership_mu_);
-  std::lock_guard lock(rebalance_mu_);
+  H2ReaderMutexLock membership(membership_mu_);
+  H2MutexLock lock(rebalance_mu_);
   if (rebalance_queue_.empty()) return 0;
   if (max_keys == 0) max_keys = max_rebalance_keys_per_step_;
   if (max_keys == 0) max_keys = rebalance_queue_.size();  // knob 0: drain
@@ -986,17 +1005,17 @@ ObjectCloud::MigrationReport ObjectCloud::DrainRebalance() {
 }
 
 std::size_t ObjectCloud::RebalancePending() const {
-  std::lock_guard lock(rebalance_mu_);
+  H2MutexLock lock(rebalance_mu_);
   return rebalance_queue_.size();
 }
 
 ObjectCloud::RebalanceStats ObjectCloud::rebalance_stats() const {
-  std::lock_guard lock(rebalance_mu_);
+  H2MutexLock lock(rebalance_mu_);
   return rebalance_stats_;
 }
 
 OpCost ObjectCloud::rebalance_cost() const {
-  std::lock_guard lock(rebalance_mu_);
+  H2MutexLock lock(rebalance_mu_);
   return rebalance_meter_.cost();
 }
 
@@ -1011,9 +1030,13 @@ Result<ObjectCloud::MigrationReport> ObjectCloud::DecommissionNode(
     DeviceId id) {
   H2_RETURN_IF_ERROR(RemoveStorageNode(id));
   MigrationReport report = DrainRebalance();
-  // The drained node must hold nothing afterwards.
-  if (nodes_[id]->object_count() != 0) {
-    return Status::Internal("decommissioned node still holds objects");
+  // The drained node must hold nothing afterwards (checked under the
+  // epoch pin like every other nodes_ read).
+  {
+    H2ReaderMutexLock membership(membership_mu_);
+    if (nodes_[id]->object_count() != 0) {
+      return Status::Internal("decommissioned node still holds objects");
+    }
   }
   return report;
 }
@@ -1032,11 +1055,12 @@ void ObjectCloud::ChargeRepair(VirtualNanos cost, bool advance_clock) {
     // point for the whole sharded read side, so the cost rides a relaxed
     // atomic instead; the sum is commutative, so the folded total in
     // repair_cost() is deterministic under any interleaving.
+    // h2lint: mo(commutative cost sum; repair_cost folds the total)
     oob_repair_nanos_.fetch_add(cost, std::memory_order_relaxed);
     return;
   }
   {
-    std::lock_guard lock(repair_mu_);
+    H2MutexLock lock(repair_mu_);
     repair_meter_.Charge(cost);
   }
   clock_.Advance(cost);
@@ -1047,7 +1071,7 @@ VirtualNanos ObjectCloud::ChargeRepairBatch(
   if (lanes.empty()) return 0;
   VirtualNanos critical = 0;
   {
-    std::lock_guard lock(repair_mu_);
+    H2MutexLock lock(repair_mu_);
     critical = repair_meter_.ChargeCriticalPath(
         lanes, EffectiveConcurrency(), latency_.profile().disk_queue);
   }
@@ -1073,7 +1097,7 @@ void ObjectCloud::QueueHints(const std::string& key, const ObjectValue& value,
     }
   }
   if (queued != 0) {
-    std::lock_guard lock(repair_mu_);
+    H2MutexLock lock(repair_mu_);
     repair_stats_.hints_queued += queued;
   }
   ChargeRepair(cost, /*advance_clock=*/false);
@@ -1133,7 +1157,7 @@ void ObjectCloud::ReadRepair(const std::string& key,
     }
   }
   if (pushed != 0) {
-    std::lock_guard lock(repair_mu_);
+    H2MutexLock lock(repair_mu_);
     repair_stats_.read_repairs_pushed += pushed;
   }
   // Read-triggered repair rides the foreground op's window: priced, but
@@ -1143,7 +1167,7 @@ void ObjectCloud::ReadRepair(const std::string& key,
 
 std::size_t ObjectCloud::ReplayHints() {
   // Maintenance runs against a stable topology (node set + ring epoch).
-  std::shared_lock membership(membership_mu_);
+  H2ReaderMutexLock membership(membership_mu_);
   std::size_t delivered = 0;
   // Each delivered hint is one independent node-to-node push: a lane of a
   // repair batch, contending on the target node's disk, wave-priced on
@@ -1187,7 +1211,7 @@ std::size_t ObjectCloud::ReplayHints() {
     }
   }
   if (delivered != 0) {
-    std::lock_guard lock(repair_mu_);
+    H2MutexLock lock(repair_mu_);
     repair_stats_.hints_replayed += delivered;
   }
   // Maintenance-driven repair runs on its own timeline: advance the clock.
@@ -1197,7 +1221,7 @@ std::size_t ObjectCloud::ReplayHints() {
 
 ObjectCloud::RepairReport ObjectCloud::ScrubInternal(bool repair) {
   // Maintenance runs against a stable topology (node set + ring epoch).
-  std::shared_lock membership(membership_mu_);
+  H2ReaderMutexLock membership(membership_mu_);
   RepairReport report;
   // Deterministic sweep: sorted union of keys held by reachable nodes.
   std::set<std::string> keys;
@@ -1295,7 +1319,7 @@ ObjectCloud::RepairReport ObjectCloud::ScrubInternal(bool repair) {
   report.tombstones_pushed = pushed_tombstones;
   if (repair) {
     {
-      std::lock_guard lock(repair_mu_);
+      H2MutexLock lock(repair_mu_);
       repair_stats_.scrub_repairs_pushed +=
           pushed_copies + pushed_tombstones;
       repair_stats_.divergent_keys_found += report.divergent_keys;
@@ -1315,21 +1339,23 @@ std::uint64_t ObjectCloud::DivergentKeyCount() {
 }
 
 ObjectCloud::RepairStats ObjectCloud::repair_stats() const {
-  std::lock_guard lock(repair_mu_);
+  H2MutexLock lock(repair_mu_);
   return repair_stats_;
 }
 
 OpCost ObjectCloud::repair_cost() const {
   OpCost cost;
   {
-    std::lock_guard lock(repair_mu_);
+    H2MutexLock lock(repair_mu_);
     cost = repair_meter_.cost();
   }
+  // h2lint: mo(commutative cost sum; no ordering with the meter needed)
   cost.elapsed += oob_repair_nanos_.load(std::memory_order_relaxed);
   return cost;
 }
 
 std::string ObjectCloud::DebugDump() const {
+  H2ReaderMutexLock membership(membership_mu_);
   std::string out;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     out += "== node " + std::to_string(i) + " ==\n";

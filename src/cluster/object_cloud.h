@@ -34,15 +34,15 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "cluster/latency.h"
 #include "cluster/object.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "cluster/op_meter.h"
 #include "cluster/storage_node.h"
 #include "common/clock.h"
@@ -171,13 +171,16 @@ class ObjectCloud {
   // concurrent Add/Remove/ReplaceStorageNode publishes only after every
   // in-flight op drains, so no op ever routes half-old, half-new.
   Status Put(const std::string& key, ObjectValue value, OpMeter& meter,
-             PutOptions opts = {});
-  Result<ObjectValue> Get(const std::string& key, OpMeter& meter);
-  Result<ObjectHead> Head(const std::string& key, OpMeter& meter);
-  Status Delete(const std::string& key, OpMeter& meter);
+             PutOptions opts = {}) EXCLUDES(membership_mu_);
+  Result<ObjectValue> Get(const std::string& key, OpMeter& meter)
+      EXCLUDES(membership_mu_);
+  Result<ObjectHead> Head(const std::string& key, OpMeter& meter)
+      EXCLUDES(membership_mu_);
+  Status Delete(const std::string& key, OpMeter& meter)
+      EXCLUDES(membership_mu_);
   /// Server-side copy; the payload never crosses the proxy.
   Status Copy(const std::string& src, const std::string& dst,
-              OpMeter& meter);
+              OpMeter& meter) EXCLUDES(membership_mu_);
   /// Metadata existence probe (a HEAD that tolerates NotFound).
   bool Exists(const std::string& key, OpMeter& meter);
 
@@ -201,7 +204,8 @@ class ObjectCloud {
   /// keep exact per-item error handling.
   [[nodiscard]] std::vector<BatchResult> ExecuteBatch(std::vector<BatchOp> ops,
                                                       OpMeter& meter,
-                                                      BatchOptions opts = {});
+                                                      BatchOptions opts = {})
+      EXCLUDES(membership_mu_);
 
   /// Effective wave width after the defaulting rules above.
   std::uint64_t EffectiveConcurrency(std::uint64_t override_width = 0) const;
@@ -234,7 +238,7 @@ class ObjectCloud {
       return ratio >= 1.0 ? 0.0 : 1.0 - ratio;
     }
   };
-  BatchStats batch_stats() const;
+  BatchStats batch_stats() const EXCLUDES(batch_mu_);
 
   /// Enumerates every *primary* object in the cluster (each logical object
   /// once).  Nodes scan in parallel; the meter is charged for the busiest
@@ -243,16 +247,16 @@ class ObjectCloud {
   /// Table 1 assigns to plain Consistent Hash.
   void Scan(const std::function<void(const std::string&,
                                      const ObjectValue&)>& visitor,
-            OpMeter& meter);
+            OpMeter& meter) EXCLUDES(membership_mu_);
 
   // --- cluster-wide accounting (Fig. 14 / Fig. 15) -----------------------
   /// Logical (deduplicated) object count, i.e. replicas counted once.
-  std::uint64_t LogicalObjectCount() const;
+  std::uint64_t LogicalObjectCount() const EXCLUDES(membership_mu_);
   /// Logical bytes, replicas counted once.
-  std::uint64_t LogicalBytes() const;
+  std::uint64_t LogicalBytes() const EXCLUDES(membership_mu_);
   /// Raw stored copies across all nodes (= logical * replication when all
   /// nodes are healthy).
-  std::uint64_t RawObjectCount() const;
+  std::uint64_t RawObjectCount() const EXCLUDES(membership_mu_);
 
   // --- cluster administration ----------------------------------------------
   // The elasticity story the paper leans on ("re-take advantage of the
@@ -305,20 +309,22 @@ class ObjectCloud {
   /// Adds a storage node and publishes the new ring but does NOT migrate
   /// data: affected keys go on the rebalance queue for RunRebalanceStep.
   /// Returns the new node's device id.
-  Result<DeviceId> AddStorageNodeDeferred();
+  Result<DeviceId> AddStorageNodeDeferred() EXCLUDES(membership_mu_);
   /// Removes a node from the ring (it may be down or already gone).  Hints
   /// parked anywhere *for* the removed node are retargeted to the key's
   /// successor owners instead of leaking; the node's data drains via the
   /// rebalance queue.
-  Status RemoveStorageNode(DeviceId id);
+  Status RemoveStorageNode(DeviceId id) EXCLUDES(membership_mu_);
   /// Swaps a (typically failed) node for a fresh one that inherits its
   /// ring slots, weight and zone -- minimal movement: only the old node's
   /// own share re-replicates, nothing reshuffles among survivors.
   /// Returns the replacement's device id.
-  Result<DeviceId> ReplaceStorageNode(DeviceId id);
+  Result<DeviceId> ReplaceStorageNode(DeviceId id)
+      EXCLUDES(membership_mu_);
   /// Changes a node's ring weight; the proportional share of partitions
   /// moves via the rebalance queue.
-  Status SetNodeWeight(DeviceId id, double weight);
+  Status SetNodeWeight(DeviceId id, double weight)
+      EXCLUDES(membership_mu_);
 
   /// Current membership epoch (the ring's published-table generation);
   /// gossiped to middlewares so their resolve caches flush on topology
@@ -331,9 +337,10 @@ class ObjectCloud {
   /// Deterministic: keys move in sorted order, timestamps preserved, cost
   /// charged un-jittered to the rebalance meter without advancing the
   /// foreground clock, so churn rate can never perturb foreground state.
-  std::size_t RunRebalanceStep(std::size_t max_keys = 0);
+  std::size_t RunRebalanceStep(std::size_t max_keys = 0)
+      EXCLUDES(membership_mu_, rebalance_mu_);
   /// Keys still awaiting migration after a membership change.
-  std::size_t RebalancePending() const;
+  std::size_t RebalancePending() const EXCLUDES(rebalance_mu_);
 
   /// Cumulative rebalance accounting, surfaced by h2/monitor.
   struct RebalanceStats {
@@ -345,10 +352,10 @@ class ObjectCloud {
     std::uint64_t bytes_copied = 0;
     std::uint64_t hints_migrated = 0;  // retargeted off removed nodes
   };
-  RebalanceStats rebalance_stats() const;
+  RebalanceStats rebalance_stats() const EXCLUDES(rebalance_mu_);
   /// Background rebalance traffic priced so far (out-of-band; foreground
   /// OpMeters never include it).
-  OpCost rebalance_cost() const;
+  OpCost rebalance_cost() const EXCLUDES(rebalance_mu_);
 
   // --- replica repair (degraded-mode convergence) --------------------------
   // Metered in virtual time on the cloud's background repair meter; see
@@ -378,7 +385,7 @@ class ObjectCloud {
   /// Replays parked hints whose holder and target are both reachable.
   /// Returns hints delivered (a maintenance work count: zero once
   /// drained, so quiescence loops terminate while targets stay down).
-  std::size_t ReplayHints();
+  std::size_t ReplayHints() EXCLUDES(membership_mu_, repair_mu_);
   /// One deterministic repair step for the maintenance loop (hint
   /// replay today; anti-entropy sweeps stay an explicit call because
   /// they walk every partition).
@@ -393,10 +400,10 @@ class ObjectCloud {
   /// without repairing or charging anything.  Test/bench oracle.
   [[nodiscard]] std::uint64_t DivergentKeyCount();
 
-  RepairStats repair_stats() const;
+  RepairStats repair_stats() const EXCLUDES(repair_mu_);
   /// Background repair traffic priced so far (out-of-band; foreground
   /// OpMeters never include it).
-  OpCost repair_cost() const;
+  OpCost repair_cost() const EXCLUDES(repair_mu_);
   // Degraded-mode toggles are atomic: tests and the web API flip them
   // while the background merger is live on other threads.
   void SetReadRepair(bool on) { read_repair_.store(on); }
@@ -407,14 +414,22 @@ class ObjectCloud {
   /// is touched), modelling a proxy-level write outage for a key family.
   /// Pass "" to clear.  Tests use this to cut multi-object sequences at
   /// exact points (e.g. CreateAccount's commit-point ordering).
-  void FailPutsMatching(std::string substring) {
-    std::lock_guard lock(fault_mu_);
+  void FailPutsMatching(std::string substring) EXCLUDES(fault_mu_) {
+    H2MutexLock lock(fault_mu_);
     put_fault_ = std::move(substring);
   }
 
   // --- infrastructure access ---------------------------------------------
-  StorageNode& node(std::size_t i) { return *nodes_[i]; }
-  std::size_t node_count() const { return nodes_.size(); }
+  StorageNode& node(std::size_t i) EXCLUDES(membership_mu_) {
+    // Nodes are owned by stable unique_ptrs: the reference stays valid
+    // after the pin drops, only the vector itself needs it.
+    H2ReaderMutexLock membership(membership_mu_);
+    return *nodes_[i];
+  }
+  std::size_t node_count() const EXCLUDES(membership_mu_) {
+    H2ReaderMutexLock membership(membership_mu_);
+    return nodes_.size();
+  }
   const PartitionRing& ring() const { return ring_; }
   PartitionRing& ring() { return ring_; }
   LatencyModel& latency() { return latency_; }
@@ -426,10 +441,11 @@ class ObjectCloud {
   /// bit-identical down to the virtual clock values their objects carry;
   /// this is the differential oracle the sharded engine and
   /// background-merger tests compare against the serial schedule.
-  std::string DebugDump() const;
+  std::string DebugDump() const EXCLUDES(membership_mu_);
 
   /// Per-node object counts (load-balance experiments).
-  std::vector<std::uint64_t> NodeObjectCounts() const;
+  std::vector<std::uint64_t> NodeObjectCounts() const
+      EXCLUDES(membership_mu_);
 
  private:
   struct ReplicaProbe;
@@ -441,17 +457,22 @@ class ObjectCloud {
   // never re-acquires the shared lock it already holds (recursive
   // shared_mutex acquisition is undefined behaviour).
   Status PutUnpinned(const std::string& key, ObjectValue value,
-                     OpMeter& meter, PutOptions opts);
-  Result<ObjectValue> GetUnpinned(const std::string& key, OpMeter& meter);
-  Result<ObjectHead> HeadUnpinned(const std::string& key, OpMeter& meter);
-  Status DeleteUnpinned(const std::string& key, OpMeter& meter);
+                     OpMeter& meter, PutOptions opts)
+      REQUIRES_SHARED(membership_mu_);
+  Result<ObjectValue> GetUnpinned(const std::string& key, OpMeter& meter)
+      REQUIRES_SHARED(membership_mu_);
+  Result<ObjectHead> HeadUnpinned(const std::string& key, OpMeter& meter)
+      REQUIRES_SHARED(membership_mu_);
+  Status DeleteUnpinned(const std::string& key, OpMeter& meter)
+      REQUIRES_SHARED(membership_mu_);
   Status CopyUnpinned(const std::string& src, const std::string& dst,
-                      OpMeter& meter);
+                      OpMeter& meter) REQUIRES_SHARED(membership_mu_);
 
   /// Replica nodes for a key, reordered so replicas in `reader_zone` come
   /// first (read affinity).
   std::vector<StorageNode*> ReplicaNodes(const std::string& key,
-                                         std::uint32_t reader_zone = 0) const;
+                                         std::uint32_t reader_zone = 0) const
+      REQUIRES_SHARED(membership_mu_);
   /// Inter-zone surcharge for touching `node` from `meter`'s zone.
   VirtualNanos ZoneSurcharge(const StorageNode& node,
                              const OpMeter& meter) const;
@@ -463,19 +484,22 @@ class ObjectCloud {
   /// HEADs every replica of `key` (zone-affine order) and records status,
   /// freshness digest and tombstone per replica.
   std::vector<ReplicaProbe> ProbeReplicas(const std::string& key,
-                                          std::uint32_t reader_zone);
+                                          std::uint32_t reader_zone)
+      REQUIRES_SHARED(membership_mu_);
   /// Index of the newest live copy that beats every observed tombstone,
   /// ties broken by probe order; -1 when no live copy survives.
   static int PickNewest(const std::vector<ReplicaProbe>& probes);
   /// Pushes the winning copy (or, with no winner, the newest tombstone)
   /// to lagging replicas, charged on the repair meter.
   void ReadRepair(const std::string& key,
-                  const std::vector<ReplicaProbe>& probes, int winner);
+                  const std::vector<ReplicaProbe>& probes, int winner)
+      REQUIRES_SHARED(membership_mu_);
   /// Queues hints on `holder` for every node in `missed` (PUT hint when
   /// `tombstone == 0`, DELETE hint otherwise).
   void QueueHints(const std::string& key, const ObjectValue& value,
                   VirtualNanos tombstone, StorageNode* holder,
-                  const std::vector<StorageNode*>& missed);
+                  const std::vector<StorageNode*>& missed)
+      REQUIRES_SHARED(membership_mu_);
   /// Charges background repair traffic out-of-band (never the caller's
   /// meter, never the jitter RNG; advances virtual time only when
   /// `advance_clock` -- maintenance-driven repair runs on its own
@@ -498,32 +522,35 @@ class ObjectCloud {
                                  bool advance_clock);
   /// Shared walk behind ReplicaScrub (repair = true) and
   /// DivergentKeyCount (repair = false).
-  RepairReport ScrubInternal(bool repair);
+  RepairReport ScrubInternal(bool repair)
+      EXCLUDES(membership_mu_, repair_mu_);
   /// True when the injected PUT fault matches `key` (reads put_fault_
   /// under fault_mu_; callers may race FailPutsMatching).
-  bool PutFaultMatches(const std::string& key) const {
-    std::lock_guard lock(fault_mu_);
+  bool PutFaultMatches(const std::string& key) const EXCLUDES(fault_mu_) {
+    H2MutexLock lock(fault_mu_);
     return !put_fault_.empty() && key.find(put_fault_) != std::string::npos;
   }
   /// Moves every object to exactly its current replica set.
-  MigrationReport RedistributeObjects();
+  MigrationReport RedistributeObjects() EXCLUDES(membership_mu_);
 
   // -- elastic-membership internals --
   /// Creates the next storage node (round-robin zone unless `zone_override`
   /// >= 0) and registers + publishes it on the ring.
-  Result<DeviceId> StageAddNode(int zone_override, double weight);
+  Result<DeviceId> StageAddNode(int zone_override, double weight)
+      EXCLUDES(membership_mu_);
   /// Rebuilds the rebalance queue from scratch: every key whose holder set
   /// differs from its ring owner set, in sorted order.  Called after each
   /// membership publish; the enumeration scan is charged to the rebalance
   /// meter.
-  void RebuildRebalanceQueue();
+  void RebuildRebalanceQueue() EXCLUDES(membership_mu_, rebalance_mu_);
   /// Migrates one key to exactly its current owners (timestamp-preserving
   /// node-level Put/Delete); appends the priced pushes to `lanes`.
   void MigrateKey(const std::string& key, RebalanceStats& stats,
-                  std::vector<OpMeter::BatchLane>& lanes);
+                  std::vector<OpMeter::BatchLane>& lanes)
+      REQUIRES_SHARED(membership_mu_);
   /// Re-parks hints targeted at `removed` onto the keys' successor owners
   /// (hint-drain-on-remove: parked writes must not leak with the node).
-  void MigrateHints(DeviceId removed);
+  void MigrateHints(DeviceId removed) EXCLUDES(membership_mu_);
   /// Drains the rebalance queue to completion; returns the migration
   /// delta as the eager entry points' MigrationReport.
   MigrationReport DrainRebalance();
@@ -535,18 +562,27 @@ class ObjectCloud {
   /// the extra probes are migration debt, and foreground NotFound
   /// pricing must not depend on churn state.  Returns NotFound when the
   /// key is not pending or no copy survives.
-  Result<ObjectValue> RebalanceFallbackGet(const std::string& key);
+  Result<ObjectValue> RebalanceFallbackGet(const std::string& key)
+      REQUIRES_SHARED(membership_mu_);
 
   PartitionRing ring_;
-  std::vector<std::unique_ptr<StorageNode>> nodes_;
+  /// Guarded by the epoch pin: growth happens only under the exclusive
+  /// side, every reader (primitives, accounting, monitors) holds the
+  /// shared side.  The unique_ptr elements are stable, so a StorageNode*
+  /// captured under the pin stays valid after it drops.
+  std::vector<std::unique_ptr<StorageNode>> nodes_
+      GUARDED_BY(membership_mu_);
   SimClock clock_;
 
-  std::mutex latency_mu_;  // guards latency_'s jitter RNG
+  /// Guards only latency_'s *global* jitter RNG (JitterFor's fallback
+  /// stream); the rest of LatencyModel is immutable after construction
+  /// and read lock-free everywhere.
+  H2Mutex latency_mu_;
   LatencyModel latency_;
   int replica_count_;
   int zone_count_;
-  mutable std::mutex fault_mu_;  // guards put_fault_
-  std::string put_fault_;        // FailPutsMatching substring; empty = off
+  mutable H2Mutex fault_mu_;
+  std::string put_fault_ GUARDED_BY(fault_mu_);  // empty = off
   std::atomic<bool> read_repair_;
   std::atomic<bool> hinted_handoff_;
   std::uint64_t io_concurrency_;  // CloudConfig::io_concurrency
@@ -554,27 +590,28 @@ class ObjectCloud {
   std::size_t max_hints_per_node_;
   std::size_t max_rebalance_keys_per_step_;  // churn-rate knob
 
-  mutable std::mutex batch_mu_;  // guards batch_stats_
-  BatchStats batch_stats_;
+  mutable H2Mutex batch_mu_;
+  BatchStats batch_stats_ GUARDED_BY(batch_mu_);
 
   /// Epoch pin: ExecuteBatch holds the shared side for its whole wave;
   /// membership publishes (ring mutation + nodes_ growth) take the
   /// exclusive side, so a topology flip waits for in-flight batches and a
   /// batch never routes half-old, half-new.  Ordering: membership_mu_ ->
   /// rebalance_mu_ (queue rebuild inside a publish); never the reverse.
-  mutable std::shared_mutex membership_mu_;
+  mutable H2SharedMutex membership_mu_;
 
-  mutable std::mutex rebalance_mu_;  // guards the queue, meter and stats
-  std::deque<std::string> rebalance_queue_;
+  mutable H2Mutex rebalance_mu_;
+  std::deque<std::string> rebalance_queue_ GUARDED_BY(rebalance_mu_);
   /// Membership of rebalance_queue_, for O(1) pending checks on the read
   /// path (never iterated, so unordered is safe).
-  std::unordered_set<std::string> rebalance_pending_;
-  OpMeter rebalance_meter_;
-  RebalanceStats rebalance_stats_;
+  std::unordered_set<std::string> rebalance_pending_
+      GUARDED_BY(rebalance_mu_);
+  OpMeter rebalance_meter_ GUARDED_BY(rebalance_mu_);
+  RebalanceStats rebalance_stats_ GUARDED_BY(rebalance_mu_);
 
-  mutable std::mutex repair_mu_;  // guards repair_meter_ and repair_stats_
-  OpMeter repair_meter_;
-  RepairStats repair_stats_;
+  mutable H2Mutex repair_mu_;
+  OpMeter repair_meter_ GUARDED_BY(repair_mu_);
+  RepairStats repair_stats_ GUARDED_BY(repair_mu_);
   /// Read-path out-of-band probe/repair nanos (ChargeRepair with
   /// advance_clock = false); folded into repair_cost().  Commutative sum,
   /// so the total stays deterministic under any thread interleaving.

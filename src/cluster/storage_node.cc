@@ -1,11 +1,12 @@
 #include "cluster/storage_node.h"
 
-#include <shared_mutex>
 #include <utility>
 
 namespace h2 {
 
-Status StorageNode::CheckAvailable() const {
+Status StorageNode::CheckAvailable() const REQUIRES_SHARED(mu_) {
+  // h2lint: mo(acquire pairs with SetDown/Crash release so a down node's
+  // last state is visible before requests start failing)
   if (down_.load(std::memory_order_acquire)) {
     return Status::Unavailable("node " + name_ + " is down");
   }
@@ -16,9 +17,10 @@ Status StorageNode::CheckAvailable() const {
   // never touch the stream (its draw order is schedule-dependent once
   // concurrent callers race it, which is why fault injection sits outside
   // the sharded engine's determinism contract).
+  // h2lint: mo(acquire pairs with SetErrorRate release)
   const double rate = error_rate_.load(std::memory_order_acquire);
   if (rate > 0.0) {
-    std::lock_guard fault_lock(fault_mu_);
+    H2MutexLock fault_lock(fault_mu_);
     if (fault_rng_.Chance(rate)) {
       return Status::Unavailable("node " + name_ + " injected fault");
     }
@@ -27,7 +29,7 @@ Status StorageNode::CheckAvailable() const {
 }
 
 Status StorageNode::Put(const std::string& key, ObjectValue value) {
-  std::lock_guard lock(mu_);
+  H2WriterMutexLock lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
   // Last-writer-wins against a tombstone: an older write arriving after a
   // newer delete must not resurrect the object.
@@ -43,7 +45,7 @@ Status StorageNode::Put(const std::string& key, ObjectValue value) {
 }
 
 Status StorageNode::PutIfNewer(const std::string& key, ObjectValue value) {
-  std::lock_guard lock(mu_);
+  H2WriterMutexLock lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
   const VirtualNanos tomb = backend_->TombstoneTime(key);
   if (tomb != 0 && tomb >= value.modified) {
@@ -58,7 +60,7 @@ Status StorageNode::PutIfNewer(const std::string& key, ObjectValue value) {
 }
 
 Result<ObjectValue> StorageNode::Get(const std::string& key) const {
-  std::shared_lock lock(mu_);
+  H2ReaderMutexLock lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
   const ObjectValue* value = backend_->Find(key);
   if (value == nullptr) {
@@ -68,7 +70,7 @@ Result<ObjectValue> StorageNode::Get(const std::string& key) const {
 }
 
 Result<ObjectHead> StorageNode::Head(const std::string& key) const {
-  std::shared_lock lock(mu_);
+  H2ReaderMutexLock lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
   const ObjectValue* value = backend_->Find(key);
   if (value == nullptr) {
@@ -79,7 +81,7 @@ Result<ObjectHead> StorageNode::Head(const std::string& key) const {
 }
 
 Status StorageNode::Delete(const std::string& key, VirtualNanos ts) {
-  std::lock_guard lock(mu_);
+  H2WriterMutexLock lock(mu_);
   H2_RETURN_IF_ERROR(CheckAvailable());
   const bool existed = backend_->Contains(key);
   if (ts != 0) {
@@ -107,19 +109,19 @@ Status StorageNode::Delete(const std::string& key, VirtualNanos ts) {
 }
 
 VirtualNanos StorageNode::TombstoneTime(const std::string& key) const {
-  std::shared_lock lock(mu_);
+  H2ReaderMutexLock lock(mu_);
   return backend_->TombstoneTime(key);
 }
 
 bool StorageNode::Contains(const std::string& key) const {
-  std::shared_lock lock(mu_);
+  H2ReaderMutexLock lock(mu_);
   return backend_->Contains(key);
 }
 
 void StorageNode::ForEach(
     const std::function<void(const std::string&, const ObjectValue&)>& fn)
     const {
-  std::shared_lock lock(mu_);
+  H2ReaderMutexLock lock(mu_);
   // Sorted key order is the backend's ForEachSorted contract: ForEach
   // feeds Scan, scrub sweeps and migration, all of which charge virtual
   // time per visit -- hash-table order would make those charges depend on
@@ -128,23 +130,25 @@ void StorageNode::ForEach(
 }
 
 std::uint64_t StorageNode::object_count() const {
-  std::shared_lock lock(mu_);
+  H2ReaderMutexLock lock(mu_);
   return backend_->object_count();
 }
 
 std::uint64_t StorageNode::logical_bytes() const {
-  std::shared_lock lock(mu_);
+  H2ReaderMutexLock lock(mu_);
   return backend_->logical_bytes();
 }
 
 Status StorageNode::QueueHint(ReplicaHint hint) {
-  std::lock_guard lock(mu_);
+  H2WriterMutexLock lock(mu_);
   // Only a down holder refuses: queueing is a local append, not a request
   // that can be lost to the injected per-request error stream.
+  // h2lint: mo(acquire pairs with SetDown/Crash release)
   if (down_.load(std::memory_order_acquire)) {
     return Status::Unavailable("node " + name_ + " is down");
   }
   if (hints_.size() >= max_hints_) {
+    // h2lint: mo(monotonic counter; readers tolerate staleness)
     hint_overflows_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("node " + name_ + " hint queue full");
   }
@@ -154,7 +158,7 @@ Status StorageNode::QueueHint(ReplicaHint hint) {
 
 std::vector<ReplicaHint> StorageNode::TakeHints(
     const std::function<bool(DeviceId)>& deliverable) {
-  std::lock_guard lock(mu_);
+  H2WriterMutexLock lock(mu_);
   std::vector<ReplicaHint> taken;
   std::vector<ReplicaHint> kept;
   for (auto& hint : hints_) {
@@ -165,50 +169,55 @@ std::vector<ReplicaHint> StorageNode::TakeHints(
 }
 
 std::size_t StorageNode::hint_count() const {
-  std::shared_lock lock(mu_);
+  H2ReaderMutexLock lock(mu_);
   return hints_.size();
 }
 
 void StorageNode::SetDown(bool down) {
+  // h2lint: mo(release publishes the flip to CheckAvailable acquire loads)
   down_.store(down, std::memory_order_release);
 }
 
 bool StorageNode::IsDown() const {
+  // h2lint: mo(acquire pairs with SetDown/Crash release)
   return down_.load(std::memory_order_acquire);
 }
 
 void StorageNode::SetErrorRate(double rate) {
+  // h2lint: mo(release publishes the knob to CheckAvailable acquire loads)
   error_rate_.store(rate, std::memory_order_release);
 }
 
 void StorageNode::Crash() {
-  std::lock_guard lock(mu_);
+  H2WriterMutexLock lock(mu_);
   backend_->Crash();
   // Hints are volatile queue state on this node; power loss drops them
   // and convergence for their targets falls back to the scrub.
   hints_.clear();
+  // h2lint: mo(release: volatile state is gone before the node reads down)
   down_.store(true, std::memory_order_release);
 }
 
 Status StorageNode::Restart() {
-  std::lock_guard lock(mu_);
+  H2WriterMutexLock lock(mu_);
   H2_RETURN_IF_ERROR(backend_->Recover());
+  // h2lint: mo(release: recovered state is visible before the node is up)
   down_.store(false, std::memory_order_release);
   return Status::Ok();
 }
 
 void StorageNode::FlushBackend() {
-  std::lock_guard lock(mu_);
+  H2WriterMutexLock lock(mu_);
   backend_->Flush();
 }
 
 BackendStats StorageNode::backend_stats() const {
-  std::shared_lock lock(mu_);
+  H2ReaderMutexLock lock(mu_);
   return backend_->stats();
 }
 
 const char* StorageNode::backend_name() const {
-  std::shared_lock lock(mu_);
+  H2ReaderMutexLock lock(mu_);
   return backend_->name();
 }
 

@@ -7,40 +7,37 @@
 // ObjectCloud proxy layer owns accounting -- so a node is replication
 // semantics (LWW against tombstones) plus a state container.
 //
-// Lock discipline (three tiers, strictly leaf-ward):
-//   1. `mu_` (shared_mutex) guards the backend and the hint queue.
-//      Reads (Get/Head/Contains/TombstoneTime/ForEach/counts) take the
-//      shared side so the sharded engine's read-heavy workloads scale
-//      across threads; mutations, Crash() and Restart() take the
-//      exclusive side.  The backend itself is lock-free by contract
-//      (cluster/backend/storage_backend.h): every backend call -- index
-//      lookups, log appends, fsyncs, recovery replay -- happens under
-//      `mu_`, and backends never call back into the node or out to any
-//      other lock, so `mu_` -> backend is the only ordering and is
-//      trivially acyclic.  Pointers a backend returns (Find) are used
-//      only while `mu_` is held.
-//   2. `fault_mu_` is a leaf mutex guarding only `fault_rng_`: the
-//      per-node fault RNG draws on the shared (read) side of `mu_`,
-//      where mutating RNG state without its own lock would be a data
-//      race between concurrent readers.  Nothing is acquired under it.
-//   3. The failure-injection knobs (`down_`, `error_rate_`) and the hint
-//      overflow counter are atomics, flipped/read by tests and the
-//      monitor while workers are live, with no lock held at all.
+// Lock discipline: machine-checked by the GUARDED_BY/REQUIRES
+// annotations below (Clang -Werror=thread-safety) and by the
+// storage_node.mu_ -> storage_node.fault_mu_ edge in
+// tools/lock_hierarchy.txt.  What the annotations cannot state:
+//   * The backend is lock-free by contract
+//     (cluster/backend/storage_backend.h): backends never call back into
+//     the node or out to any other lock, so `mu_` -> backend is the only
+//     ordering through it and is trivially acyclic.  Pointers a backend
+//     returns (Find) are used only while `mu_` is held.
+//   * `fault_mu_` exists because the fault RNG draws on the *shared*
+//     side of `mu_`, where mutating RNG state would be a data race
+//     between concurrent readers; it is a leaf -- nothing is acquired
+//     under it.
+//   * The failure-injection knobs (`down_`, `error_rate_`) and the hint
+//     overflow counter are atomics, flipped/read by tests and the
+//     monitor while workers are live, with no lock held at all.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/backend/storage_backend.h"
 #include "cluster/object.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "ring/partition_ring.h"
 
@@ -129,6 +126,7 @@ class StorageNode {
   std::size_t hint_count() const;
   /// Hints refused because the queue was full (monotonic).
   std::uint64_t hint_overflow_count() const {
+    // h2lint: mo(monotonic counter; readers tolerate staleness)
     return hint_overflows_.load(std::memory_order_relaxed);
   }
 
@@ -157,21 +155,24 @@ class StorageNode {
   const char* backend_name() const;
 
  private:
-  Status CheckAvailable() const;
+  /// Availability gate shared by every request path: runs on both the
+  /// shared and exclusive sides of mu_, and takes the leaf fault_mu_ when
+  /// an error rate is injected.
+  Status CheckAvailable() const REQUIRES_SHARED(mu_) EXCLUDES(fault_mu_);
 
   const DeviceId id_;
   const std::string name_;
   const std::uint32_t zone_;
 
-  mutable std::shared_mutex mu_;
-  std::unique_ptr<StorageBackend> backend_;
-  std::vector<ReplicaHint> hints_;
+  mutable H2SharedMutex mu_;
+  std::unique_ptr<StorageBackend> backend_ GUARDED_BY(mu_);
+  std::vector<ReplicaHint> hints_ GUARDED_BY(mu_);
   const std::size_t max_hints_;
   std::atomic<std::uint64_t> hint_overflows_{0};
   std::atomic<bool> down_{false};
   std::atomic<double> error_rate_{0.0};
-  mutable std::mutex fault_mu_;  // leaf lock: guards fault_rng_ only
-  mutable Rng fault_rng_;
+  mutable H2Mutex fault_mu_;  // leaf: see lock_hierarchy.txt
+  mutable Rng fault_rng_ GUARDED_BY(fault_mu_);
 };
 
 }  // namespace h2

@@ -46,15 +46,18 @@ class SimClock {
   SimClock& operator=(const SimClock&) = delete;
 
   /// Current virtual time without advancing.
+  // h2lint: mo(monotonic counter; readers only need some recent value)
   VirtualNanos Now() const { return now_.load(std::memory_order_relaxed); }
 
   /// Strictly increasing timestamp (advances by 1ns per call).
   VirtualNanos Tick() {
+    // h2lint: mo(fetch_add is atomic either way; timestamps order data, not memory)
     return now_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
   /// Advance virtual time (e.g. between benchmark phases).
   void Advance(VirtualNanos delta) {
+    // h2lint: mo(counter bump; no payload is published via the clock)
     now_.fetch_add(delta, std::memory_order_relaxed);
   }
 

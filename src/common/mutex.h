@@ -1,0 +1,131 @@
+// Annotated mutex wrappers: the only mutex types allowed in src/.
+//
+// std::mutex / std::shared_mutex (and std::lock_guard et al.) carry no
+// Clang thread-safety attributes in libstdc++, and diagnostics inside
+// system headers are suppressed anyway -- so locking through them is
+// invisible to the analysis.  H2Mutex / H2SharedMutex are zero-overhead
+// wrappers declared CAPABILITY, and the scoped guards below are declared
+// SCOPED_CAPABILITY, which makes every acquisition a compiler-checked
+// fact under -DH2_THREAD_SAFETY=ON (see common/thread_annotations.h).
+//
+// scripts/check_build_hygiene.sh enforces that no std::mutex /
+// std::shared_mutex member is declared in src/ outside this header.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace h2 {
+
+/// Exclusive mutex (wraps std::mutex).
+class CAPABILITY("mutex") H2Mutex {
+ public:
+  H2Mutex() = default;
+  H2Mutex(const H2Mutex&) = delete;
+  H2Mutex& operator=(const H2Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Escape hatch for std::condition_variable interop only.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (wraps std::shared_mutex).
+class CAPABILITY("shared_mutex") H2SharedMutex {
+ public:
+  H2SharedMutex() = default;
+  H2SharedMutex(const H2SharedMutex&) = delete;
+  H2SharedMutex& operator=(const H2SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on an H2Mutex (std::lock_guard replacement).
+class SCOPED_CAPABILITY H2MutexLock {
+ public:
+  explicit H2MutexLock(H2Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~H2MutexLock() RELEASE() { mu_.Unlock(); }
+
+  H2MutexLock(const H2MutexLock&) = delete;
+  H2MutexLock& operator=(const H2MutexLock&) = delete;
+
+ private:
+  H2Mutex& mu_;
+};
+
+/// RAII exclusive lock that can be dropped and re-taken mid-scope --
+/// the hand-over-hand shape LoadLocked / MergeNamespaceLocked use to
+/// release the lock around cloud I/O.  Destructor unlocks iff held.
+class SCOPED_CAPABILITY H2ReleasableMutexLock {
+ public:
+  explicit H2ReleasableMutexLock(H2Mutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+    held_ = true;
+  }
+  ~H2ReleasableMutexLock() RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+  void Lock() ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+  bool held() const { return held_; }
+
+  H2ReleasableMutexLock(const H2ReleasableMutexLock&) = delete;
+  H2ReleasableMutexLock& operator=(const H2ReleasableMutexLock&) = delete;
+
+ private:
+  H2Mutex& mu_;
+  bool held_ = false;
+};
+
+/// RAII exclusive lock on an H2SharedMutex (writer side).
+class SCOPED_CAPABILITY H2WriterMutexLock {
+ public:
+  explicit H2WriterMutexLock(H2SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~H2WriterMutexLock() RELEASE() { mu_.Unlock(); }
+
+  H2WriterMutexLock(const H2WriterMutexLock&) = delete;
+  H2WriterMutexLock& operator=(const H2WriterMutexLock&) = delete;
+
+ private:
+  H2SharedMutex& mu_;
+};
+
+/// RAII shared lock on an H2SharedMutex (reader side).
+class SCOPED_CAPABILITY H2ReaderMutexLock {
+ public:
+  explicit H2ReaderMutexLock(H2SharedMutex& mu) ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~H2ReaderMutexLock() RELEASE() { mu_.ReaderUnlock(); }
+
+  H2ReaderMutexLock(const H2ReaderMutexLock&) = delete;
+  H2ReaderMutexLock& operator=(const H2ReaderMutexLock&) = delete;
+
+ private:
+  H2SharedMutex& mu_;
+};
+
+}  // namespace h2

@@ -1,0 +1,95 @@
+// First-class seqlock, extracted from PartitionRing's hand-rolled
+// epoch/version publishing.
+//
+// A seqlock publishes a multi-word value to lock-free readers: the writer
+// bumps the sequence to odd, stores the payload, and bumps back to even;
+// a reader snapshots the sequence (spinning past odd), reads the payload,
+// and retries if the sequence moved.  The payload words themselves must be
+// individually atomic (or otherwise race-free to load), because a reader
+// may observe a torn intermediate state -- it just never *acts* on one.
+//
+// Discipline (machine-checked by tools/h2lint's `seqlock` rule):
+//   * every ReadBegin() pairs with a ReadRetry() in an enclosing retry
+//     loop -- acting on a snapshot without re-checking is a torn read;
+//   * writers (WriteBegin/WriteEnd) run under the owning writer mutex,
+//     i.e. inside a function annotated REQUIRES(<writer mu>) -- two
+//     concurrent writers would both flip odd->even and let a half-merged
+//     table escape;
+//   * no pointer-chasing inside a read critical section -- a pointer read
+//     from a torn snapshot may dangle, and dereferencing it is UB even if
+//     the retry loop would have discarded the value.
+//
+// Usage:
+//   // reader
+//   for (;;) {
+//     const std::uint32_t before = seq_.ReadBegin();
+//     ... load payload atomics ...
+//     if (!seq_.ReadRetry(before)) break;
+//   }
+//   // writer, under the writer mutex
+//   seq_.WriteBegin();
+//   ... store payload atomics (release) ...
+//   seq_.WriteEnd();
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace h2 {
+
+class CAPABILITY("seqlock") SeqLock {
+ public:
+  SeqLock() = default;
+
+  /// Move is single-threaded construction/setup only (the same contract
+  /// as the structures a seqlock publishes).
+  SeqLock(SeqLock&& other) noexcept
+      // h2lint: mo(setup-only move; no concurrent reader exists yet)
+      : seq_(other.seq_.load(std::memory_order_relaxed)) {}
+
+  SeqLock(const SeqLock&) = delete;
+  SeqLock& operator=(const SeqLock&) = delete;
+
+  // --- reader side ---------------------------------------------------------
+
+  /// Starts a read critical section: returns the current (even) sequence,
+  /// spinning while a publish is in flight.  Pair with ReadRetry().
+  std::uint32_t ReadBegin() const {
+    for (;;) {
+      // h2lint: mo(acquire pairs with WriteEnd release; payload loads stay after)
+      const std::uint32_t s = seq_.load(std::memory_order_acquire);
+      if ((s & 1u) == 0u) return s;
+    }
+  }
+
+  /// Ends a read critical section: true iff a publish overlapped the
+  /// reads and the caller must retry from ReadBegin().
+  bool ReadRetry(std::uint32_t before) const {
+    // h2lint: mo(acquire orders payload loads before this re-check)
+    return seq_.load(std::memory_order_acquire) != before;
+  }
+
+  // --- writer side ---------------------------------------------------------
+  // Callers must hold the writer mutex; the h2lint `seqlock` rule checks
+  // every WriteBegin() call site for a REQUIRES(<mu>) annotation or a
+  // scoped lock in the enclosing function.
+
+  /// Marks a publish in flight (sequence becomes odd).
+  void WriteBegin() {
+    // h2lint: mo(acq_rel: readers spin on odd; payload stores stay below the bump)
+    seq_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Completes the publish (sequence returns to even).
+  void WriteEnd() {
+    // h2lint: mo(release publishes payload stores before the even sequence)
+    seq_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> seq_{0};
+};
+
+}  // namespace h2

@@ -1,0 +1,87 @@
+// Clang Thread Safety Analysis macros (Abseil-style).
+//
+// These expand to Clang's thread-safety attributes when the compiler
+// supports them and to nothing elsewhere, so the locking contract is a
+// compiler-checked fact under `-DH2_THREAD_SAFETY=ON` (Clang,
+// -Werror=thread-safety) and zero-cost prose under GCC.  See
+// docs/STATIC_ANALYSIS.md "Locking contract" for the catalog and the
+// rules for annotating a new mutex.
+//
+// The capability types these attach to live in common/mutex.h (H2Mutex,
+// H2SharedMutex) and common/seqlock.h (SeqLock).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define H2_TS_ATTRIBUTE__(x) __has_attribute(x)
+#else
+#define H2_TS_ATTRIBUTE__(x) 0
+#endif
+
+#if H2_TS_ATTRIBUTE__(guarded_by)
+#define H2_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define H2_THREAD_ANNOTATION__(x)
+#endif
+
+// Declares a type to be a capability ("mutex", "shared_mutex", ...).
+#define CAPABILITY(x) H2_THREAD_ANNOTATION__(capability(x))
+
+// Declares an RAII type that acquires a capability in its constructor and
+// releases it in its destructor.
+#define SCOPED_CAPABILITY H2_THREAD_ANNOTATION__(scoped_lockable)
+
+// Data members: reads/writes require holding the named capability
+// (shared suffices for reads, exclusive for writes).
+#define GUARDED_BY(x) H2_THREAD_ANNOTATION__(guarded_by(x))
+
+// Pointer members: the *pointee* is guarded; the pointer itself is not.
+#define PT_GUARDED_BY(x) H2_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Functions: callers must hold the capability exclusively / shared.
+#define REQUIRES(...) \
+  H2_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  H2_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+// Functions that acquire (and do not release) a capability.
+#define ACQUIRE(...) H2_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  H2_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+// Functions that release a held capability.
+#define RELEASE(...) H2_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  H2_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  H2_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+// Functions that acquire on success only (returns `true` iff acquired).
+#define TRY_ACQUIRE(...) \
+  H2_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  H2_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+// Callers must NOT hold the capability (deadlock-by-reentry guard).
+#define EXCLUDES(...) H2_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Establishes an acquisition order between capabilities: this one must be
+// taken after the named ones.  tools/lock_hierarchy.txt is the
+// authoritative cross-TU ordering; this attribute covers same-class pairs.
+#define ACQUIRED_AFTER(...) H2_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define ACQUIRED_BEFORE(...) \
+  H2_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+// Return value is a reference to the named capability.
+#define RETURN_CAPABILITY(x) H2_THREAD_ANNOTATION__(lock_returned(x))
+
+// Assertion that the calling thread already holds the capability (for
+// runtime-checked entry points the analysis cannot see through).
+#define ASSERT_CAPABILITY(x) H2_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  H2_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+// Opts a function out of the analysis entirely.  Every use-site must carry
+// a comment justifying why (hand-over-hand locking the analysis cannot
+// model, trusted re-lock helpers, ...).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  H2_THREAD_ANNOTATION__(no_thread_safety_analysis)

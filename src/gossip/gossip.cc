@@ -9,7 +9,7 @@ GossipBus::GossipBus(int fanout, std::uint64_t seed)
     : fanout_(std::max(fanout, 1)), rng_(seed) {}
 
 std::uint32_t GossipBus::Join(Handler handler) {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   members_.push_back(std::move(handler));
   return static_cast<std::uint32_t>(members_.size() - 1);
 }
@@ -43,7 +43,7 @@ void GossipBus::FanOutLocked(std::uint32_t from, const Rumor& rumor) {
 }
 
 void GossipBus::Publish(std::uint32_t from, Rumor rumor) {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   assert(from < members_.size());
   ++stats_.published;
   FanOutLocked(from, rumor);
@@ -54,7 +54,7 @@ std::size_t GossipBus::Step() {
   // next round, then deliver without holding the lock.
   std::deque<Delivery> round;
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     if (queue_.empty()) return 0;
     round.swap(queue_);
     ++stats_.rounds;
@@ -64,12 +64,12 @@ std::size_t GossipBus::Step() {
   for (const Delivery& d : round) {
     Handler handler;
     {
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       handler = members_[d.to];
     }
     const bool fresh = handler(d.rumor);
     ++delivered;
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     ++stats_.delivered;
     if (fresh) {
       FanOutLocked(d.to, d.rumor);
@@ -87,17 +87,17 @@ std::size_t GossipBus::RunToQuiescence(std::size_t max_rounds) {
 }
 
 bool GossipBus::Idle() const {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   return queue_.empty();
 }
 
 GossipStats GossipBus::stats() const {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t GossipBus::member_count() const {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   return members_.size();
 }
 

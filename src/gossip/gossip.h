@@ -24,11 +24,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace h2 {
 
@@ -80,14 +81,14 @@ class GossipBus {
     Rumor rumor;
   };
 
-  void FanOutLocked(std::uint32_t from, const Rumor& rumor);
+  void FanOutLocked(std::uint32_t from, const Rumor& rumor) REQUIRES(mu_);
 
   const int fanout_;
-  mutable std::mutex mu_;
-  std::vector<Handler> members_;
-  std::deque<Delivery> queue_;
-  Rng rng_;
-  GossipStats stats_;
+  mutable H2Mutex mu_;
+  std::vector<Handler> members_ GUARDED_BY(mu_);
+  std::deque<Delivery> queue_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_);
+  GossipStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace h2

@@ -115,7 +115,7 @@ void H2Cloud::StartBackground(std::chrono::milliseconds period,
   // background_mu_ serializes Start/Stop: the CAS alone left a window
   // where a racing StopBackground could join-and-clear the thread vector
   // while Start was still appending to it.
-  std::lock_guard lock(background_mu_);
+  H2MutexLock lock(background_mu_);
   bool expected = false;
   if (!background_running_.compare_exchange_strong(expected, true)) return;
   if (mode == BackgroundMode::kCoordinated) {
@@ -132,7 +132,7 @@ void H2Cloud::StartBackground(std::chrono::milliseconds period,
 }
 
 void H2Cloud::StopBackground() {
-  std::lock_guard lock(background_mu_);
+  H2MutexLock lock(background_mu_);
   background_running_.store(false);
   for (auto& t : background_threads_) {
     if (t.joinable()) t.join();
@@ -141,6 +141,7 @@ void H2Cloud::StopBackground() {
 }
 
 void H2Cloud::CoordinatedLoop(std::chrono::milliseconds period) {
+  // h2lint: mo(loop flag only; Stop's join is the synchronization point)
   while (background_running_.load(std::memory_order_relaxed)) {
     RunMaintenanceStep();
     std::this_thread::sleep_for(period);
@@ -149,6 +150,7 @@ void H2Cloud::CoordinatedLoop(std::chrono::milliseconds period) {
 
 void H2Cloud::MergerLoop(H2Middleware& mw,
                          std::chrono::milliseconds period) {
+  // h2lint: mo(loop flag only; Stop's join is the synchronization point)
   while (background_running_.load(std::memory_order_relaxed)) {
     mw.MergePending();
     mw.RunLazyCleanup(256);
@@ -158,6 +160,7 @@ void H2Cloud::MergerLoop(H2Middleware& mw,
 }
 
 void H2Cloud::PumpLoop(std::chrono::milliseconds period) {
+  // h2lint: mo(loop flag only; Stop's join is the synchronization point)
   while (background_running_.load(std::memory_order_relaxed)) {
     gossip_.Step();
     cloud_->RunRepairStep();

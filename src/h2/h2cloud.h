@@ -11,12 +11,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "cluster/object_cloud.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "gossip/gossip.h"
 #include "h2/account_fs.h"
 #include "h2/config.h"
@@ -121,8 +122,8 @@ class H2Cloud {
   std::vector<std::unique_ptr<H2Middleware>> middlewares_;
 
   std::atomic<bool> background_running_{false};
-  std::mutex background_mu_;  // guards background_threads_ start/stop
-  std::vector<std::thread> background_threads_;
+  H2Mutex background_mu_;  // serializes Start/Stop
+  std::vector<std::thread> background_threads_ GUARDED_BY(background_mu_);
 };
 
 }  // namespace h2

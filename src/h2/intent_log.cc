@@ -29,10 +29,10 @@ std::string IntentLog::IntentKey(std::uint64_t id) const {
   return buf;
 }
 
-Status IntentLog::LoadLocked(std::unique_lock<std::mutex>& lock,
+Status IntentLog::LoadLocked(H2ReleasableMutexLock& lock,
                              OpMeter& meter) {
   if (loaded_) return Status::Ok();
-  lock.unlock();
+  lock.Unlock();
   Result<ObjectValue> chain = cloud_.Get(ChainKey(), meter);
   std::uint64_t next = 1;
   std::set<std::uint64_t> open;
@@ -49,7 +49,7 @@ Status IntentLog::LoadLocked(std::unique_lock<std::mutex>& lock,
   } else if (chain.code() != ErrorCode::kNotFound) {
     return chain.status();
   }
-  lock.lock();
+  lock.Lock();
   if (!loaded_) {
     next_id_ = next;
     open_ = std::move(open);
@@ -62,7 +62,7 @@ Status IntentLog::PersistChain(OpMeter& meter) {
   KvRecord record;
   std::string open_list;
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     record.SetUint("next", next_id_);
     bool first = true;
     for (std::uint64_t id : open_) {
@@ -82,7 +82,7 @@ Result<std::uint64_t> IntentLog::Begin(const KvRecord& record,
                                        OpMeter& meter) {
   std::uint64_t id = 0;
   {
-    std::unique_lock lock(mu_);
+    H2ReleasableMutexLock lock(mu_);
     H2_RETURN_IF_ERROR(LoadLocked(lock, meter));
     id = next_id_++;
     open_.insert(id);
@@ -100,7 +100,7 @@ Result<std::uint64_t> IntentLog::Begin(const KvRecord& record,
 Status IntentLog::Commit(std::uint64_t id, OpMeter& meter) {
   (void)cloud_.Delete(IntentKey(id), meter);
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     open_.erase(id);
   }
   return PersistChain(meter);
@@ -110,7 +110,7 @@ Result<std::vector<std::pair<std::uint64_t, KvRecord>>> IntentLog::Open(
     OpMeter& meter) {
   std::set<std::uint64_t> ids;
   {
-    std::unique_lock lock(mu_);
+    H2ReleasableMutexLock lock(mu_);
     H2_RETURN_IF_ERROR(LoadLocked(lock, meter));
     ids = open_;
   }
@@ -119,7 +119,7 @@ Result<std::vector<std::pair<std::uint64_t, KvRecord>>> IntentLog::Open(
     Result<ObjectValue> obj = cloud_.Get(IntentKey(id), meter);
     if (obj.code() == ErrorCode::kNotFound) {
       // Deleted but chain update lost: treat as committed.
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       open_.erase(id);
       continue;
     }
@@ -131,7 +131,7 @@ Result<std::vector<std::pair<std::uint64_t, KvRecord>>> IntentLog::Open(
 }
 
 std::size_t IntentLog::pending() const {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   return open_.size();
 }
 

@@ -17,14 +17,15 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "cluster/object_cloud.h"
 #include "codec/formatter.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace h2 {
 
@@ -52,16 +53,22 @@ class IntentLog {
   std::string IntentKey(std::uint64_t id) const;
 
  private:
-  Status LoadLocked(std::unique_lock<std::mutex>& lock, OpMeter& meter);
-  Status PersistChain(OpMeter& meter);
+  /// Hand-over-hand: drops `lock` around the chain GET and re-takes it
+  /// before returning (mu_ is held on entry and on exit, but not across
+  /// the cloud I/O).  The analysis cannot model a lock released through a
+  /// passed-in guard, so the body is opted out; REQUIRES keeps call sites
+  /// checked.
+  Status LoadLocked(H2ReleasableMutexLock& lock, OpMeter& meter)
+      REQUIRES(mu_) NO_THREAD_SAFETY_ANALYSIS;
+  Status PersistChain(OpMeter& meter) EXCLUDES(mu_);
 
   ObjectCloud& cloud_;
   const std::uint32_t node_;
 
-  mutable std::mutex mu_;
-  bool loaded_ = false;
-  std::uint64_t next_id_ = 1;
-  std::set<std::uint64_t> open_;
+  mutable H2Mutex mu_;
+  bool loaded_ GUARDED_BY(mu_) = false;
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::set<std::uint64_t> open_ GUARDED_BY(mu_);
 };
 
 }  // namespace h2

@@ -77,7 +77,7 @@ Status H2Middleware::CreateAccount(std::string_view user, OpMeter& meter) {
   }
   NamespaceId root;
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     root = minter_.Mint(ClockFor(meter).NowUnixMillis());
   }
   const VirtualNanos now = ClockFor(meter).Tick();
@@ -102,7 +102,7 @@ Result<NamespaceId> H2Middleware::AccountRoot(std::string_view user,
 Status H2Middleware::DeleteAccount(std::string_view user, OpMeter& meter) {
   H2_ASSIGN_OR_RETURN(NamespaceId root, AccountRoot(user, meter));
   H2_RETURN_IF_ERROR(cloud_.Delete(AccountKey(user), meter));
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   cleanup_queue_.push_back(root);
   return Status::Ok();
 }
@@ -116,7 +116,7 @@ Result<DirRecord> H2Middleware::LoadDirRecord(const NamespaceId& parent_ns,
                                               OpMeter& meter) {
   VirtualNanos floor = 0;
   if (config_.resolve_cache) {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     if (auto cached =
             resolve_cache_.GetChild(parent_ns, std::string(name))) {
       return *cached;
@@ -131,7 +131,7 @@ Result<DirRecord> H2Middleware::LoadDirRecord(const NamespaceId& parent_ns,
   }
   H2_ASSIGN_OR_RETURN(DirRecord record, DirRecord::Parse(obj.payload));
   if (config_.resolve_cache) {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     resolve_cache_.PutChild(parent_ns, std::string(name), record, floor);
   }
   return record;
@@ -172,7 +172,7 @@ Result<DirRecord> H2Middleware::LoadDirRecordAt(const NamespaceId& parent_ns,
 Status H2Middleware::PreserveForPins(const NamespaceId& ns,
                                      std::string_view name, OpMeter& meter) {
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     if (pinned_ns_.count(ns) == 0) return Status::Ok();
   }
   H2_ASSIGN_OR_RETURN(NameRing ring, LoadNameRing(ns, meter));
@@ -189,7 +189,7 @@ Status H2Middleware::PreserveForPins(const NamespaceId& ns,
                                 PreservedKey(ns, name, version), meter);
     if (copied.code() == ErrorCode::kNotFound) continue;  // nothing live
     H2_RETURN_IF_ERROR(copied);
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     preserved_hint_.emplace(ns, version, std::string(name));
     ++counters_.snapshot_content_preserved;
   }
@@ -199,7 +199,7 @@ Status H2Middleware::PreserveForPins(const NamespaceId& ns,
 bool H2Middleware::HasPreservedHint(const NamespaceId& ns,
                                     VirtualNanos version,
                                     std::string_view name) const {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   return preserved_hint_.count({ns, version, std::string(name)}) > 0;
 }
 
@@ -267,14 +267,14 @@ Result<NamespaceId> H2Middleware::ResolveParentForWrite(
 Result<NameRing> H2Middleware::LoadNameRing(const NamespaceId& ns,
                                             OpMeter& meter) {
   if (config_.resolve_cache) {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     if (auto cached = resolve_cache_.GetRing(ns)) return *cached;
   }
   H2_ASSIGN_OR_RETURN(ObjectValue obj, cloud_.Get(NameRingKey(ns), meter));
   H2_ASSIGN_OR_RETURN(NameRing ring, NameRing::Parse(obj.payload));
   // Overlay this node's unmerged patches and its local merged view so the
   // middleware reads its own writes (free: in-memory joins).
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   auto it = descriptors_.find(ns);
   if (it != descriptors_.end()) {
     const Descriptor& desc = *it->second;
@@ -345,7 +345,7 @@ Status H2Middleware::WriteFile(const NamespaceId& root, std::string_view path,
   // §3.3.3(b): while the content stream is in flight, merges on the parent
   // NameRing are blocked.
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     write_blocked_.insert(parent);
   }
   const VirtualNanos now = ClockFor(meter).Tick();
@@ -362,7 +362,7 @@ Status H2Middleware::WriteFile(const NamespaceId& root, std::string_view path,
         meter);
   }
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     write_blocked_.erase(parent);
   }
   H2_RETURN_IF_ERROR(put);
@@ -534,7 +534,7 @@ Status H2Middleware::Mkdir(const NamespaceId& root, std::string_view path,
   NamespaceId ns;
   VirtualNanos floor = 0;
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     ns = minter_.Mint(ClockFor(meter).NowUnixMillis());
     floor = resolve_cache_.ChildFloor(parent);  // fence before the PUTs
   }
@@ -546,7 +546,7 @@ Status H2Middleware::Mkdir(const NamespaceId& root, std::string_view path,
   H2_RETURN_IF_ERROR(
       cloud_.Put(NameRingKey(ns), MakeObject("", "ring", now), meter));
   if (config_.resolve_cache) {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     resolve_cache_.PutChild(parent, std::string(name), record, floor);
   }
   return SubmitPatch(
@@ -568,7 +568,7 @@ Status H2Middleware::Rmdir(const NamespaceId& root, std::string_view path,
       parent, RingTuple{std::string(name), ClockFor(meter).Tick(),
                         EntryKind::kDirectory, /*deleted=*/true},
       meter));
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   if (record.reference) {
     // Removing a snapshot clone releases its pins on the (shared) source
     // subtree; the source's objects are never queued for deletion.
@@ -641,14 +641,14 @@ Status H2Middleware::Move(const NamespaceId& root, std::string_view from,
     record.name = std::string(to_name);
     VirtualNanos floor = 0;
     {
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       floor = resolve_cache_.ChildFloor(to_parent);  // fence before the PUT
     }
     H2_RETURN_IF_ERROR(cloud_.Put(
         to_key, MakeObject(record.Serialize(), kMetaKindDir, now), meter));
     H2_RETURN_IF_ERROR(PreserveForPins(from_parent, from_name, meter));
     H2_RETURN_IF_ERROR(cloud_.Delete(from_key, meter));
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     resolve_cache_.EraseChild(from_parent, std::string(from_name));
     if (config_.resolve_cache) {
       resolve_cache_.PutChild(to_parent, std::string(to_name), record, floor);
@@ -723,7 +723,7 @@ std::size_t H2Middleware::RecoverIntents() {
     {
       // The redo may have rewritten either parent's child set behind any
       // cached record; drop both precisely.
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       resolve_cache_.EraseChild(*from_parent, from_name);
       resolve_cache_.EraseChild(*to_parent, to_name);
     }
@@ -735,7 +735,7 @@ std::size_t H2Middleware::RecoverIntents() {
                       RingTuple{to_name, *insert_ts, kind, false}, meter);
     if (intents_.Commit(id, meter).ok()) ++completed;
   }
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   maintenance_meter_.Merge(meter.cost());
   return completed;
 }
@@ -922,7 +922,7 @@ Status H2Middleware::CopyTree(const NamespaceId& src_ns,
     // child inside a pinned view inherits the view's version.
     sub.at = record->reference ? record->ref_version : at;
     {
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       sub.dst_child = minter_.Mint(ClockFor(meter).NowUnixMillis());
     }
     sub.now = ClockFor(meter).Tick();
@@ -1015,7 +1015,7 @@ Status H2Middleware::Copy(const NamespaceId& root, std::string_view from,
           : LoadDirRecord(from_parent, from_name, meter));
   NamespaceId dst_ns;
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     dst_ns = minter_.Mint(ClockFor(meter).NowUnixMillis());
   }
   // COPY of a snapshot clone (or inside one) materializes the pinned
@@ -1050,7 +1050,7 @@ Result<std::vector<DirEntry>> H2Middleware::ListAt(const NamespaceId& root,
   H2_ASSIGN_OR_RETURN(std::vector<RingTuple> children,
                       ring.LiveChildrenAt(at));
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     ++counters_.versioned_reads;
   }
   return BuildEntries(dir.ns, children, detail, meter);
@@ -1064,7 +1064,7 @@ Result<FileInfo> H2Middleware::StatAtInDir(const NamespaceId& ns,
   H2_ASSIGN_OR_RETURN(std::optional<RingTuple> tuple,
                       ring.FindAt(name, version));
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     ++counters_.versioned_reads;
   }
   if (!tuple.has_value() || tuple->deleted) {
@@ -1137,7 +1137,7 @@ Status H2Middleware::PinTree(
       NameRingKey(ns),
       MakeObject(stored.Serialize(), "ring", ClockFor(meter).Tick()), meter));
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     ++counters_.rings_pinned;
     pinned_ns_.insert(ns);  // arms preserve-on-write for this namespace
     // Keep the cache byte-equal with what we just persisted; the write
@@ -1203,7 +1203,7 @@ Status H2Middleware::SnapshotClone(const NamespaceId& root,
       to_parent,
       RingTuple{std::string(to_name), now, EntryKind::kDirectory, false},
       meter));
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   ++counters_.snapshot_clones;
   return Status::Ok();
 }
@@ -1224,7 +1224,7 @@ Result<NamespaceId> H2Middleware::MaterializeReference(
 
   NamespaceId new_ns;
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     new_ns = minter_.Mint(ClockFor(meter).NowUnixMillis());
   }
   NameRing new_ring;
@@ -1286,7 +1286,7 @@ Result<NamespaceId> H2Middleware::MaterializeReference(
       cloud_.Put(ChildKey(parent_ns, name),
                  MakeObject(real.Serialize(), kMetaKindDir, now), meter));
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     // Only this level's pin is released -- the nested references keep the
     // pins on their subtrees.  The release itself is lazy (it walks no
     // further than this ring).
@@ -1324,10 +1324,10 @@ Status H2Middleware::SubmitPatchTuples(const NamespaceId& ns,
   // "<ns>::/NameRing/.Node<k>.Patch<i>" and advance the chain head.
   std::uint64_t patch_no = 0;
   {
-    std::unique_lock lock(mu_);
+    H2ReleasableMutexLock lock(mu_);
     Descriptor& desc = DescriptorFor(ns);
     if (!desc.chain_loaded) {
-      lock.unlock();
+      lock.Unlock();
       Result<ObjectValue> chain_obj =
           cloud_.Get(PatchChainKey(ns, node_), meter);
       PatchChain recovered;
@@ -1336,7 +1336,7 @@ Status H2Middleware::SubmitPatchTuples(const NamespaceId& ns,
       } else if (chain_obj.code() != ErrorCode::kNotFound) {
         return chain_obj.status();
       }
-      lock.lock();
+      lock.Lock();
       Descriptor& desc2 = DescriptorFor(ns);
       if (!desc2.chain_loaded) {
         desc2.chain = recovered;
@@ -1359,7 +1359,7 @@ Status H2Middleware::SubmitPatchTuples(const NamespaceId& ns,
                                 meter, PutOptions{.durable = true}));
   PatchChain chain_snapshot;
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     Descriptor& desc = DescriptorFor(ns);
     desc.pending.emplace(patch_no, std::move(patch));
     chain_snapshot = desc.chain;
@@ -1372,16 +1372,15 @@ Status H2Middleware::SubmitPatchTuples(const NamespaceId& ns,
 
   if (config_.synchronous_maintenance) {
     // Strawman mode (§3.3.1): the caller waits for the merge.
-    std::unique_lock lock(mu_);
+    H2ReleasableMutexLock lock(mu_);
     MergeNamespaceLocked(ns, lock, meter);
   }
   return Status::Ok();
 }
 
 std::size_t H2Middleware::MergeNamespaceLocked(
-    const NamespaceId& ns, std::unique_lock<std::mutex>& lock,
-    OpMeter& meter) {
-  assert(lock.owns_lock());
+    const NamespaceId& ns, H2ReleasableMutexLock& lock, OpMeter& meter) {
+  assert(lock.held());
   if (write_blocked_.contains(ns)) return 0;  // §3.3.3(b)
   Descriptor& desc = DescriptorFor(ns);
   if (!desc.chain_loaded || desc.chain.pending() == 0) return 0;
@@ -1406,7 +1405,7 @@ std::size_t H2Middleware::MergeNamespaceLocked(
   }
   std::optional<NameRing> local_copy = desc.local;
 
-  lock.unlock();
+  lock.Unlock();
   for (std::uint64_t i : missing) {
     Result<ObjectValue> obj = cloud_.Get(PatchKey(ns, node_, i), meter);
     if (!obj.ok()) continue;  // lost patch: tolerated, see header comment
@@ -1443,7 +1442,7 @@ std::size_t H2Middleware::MergeNamespaceLocked(
         cloud_.Put(NameRingKey(ns),
                    MakeObject(ring.Serialize(), "ring", version), meter);
     if (!put.ok()) {
-      lock.lock();
+      lock.Lock();
       return 0;  // retry on the next merge pass
     }
     merged_patches = static_cast<std::size_t>(hi - lo + 1);
@@ -1454,7 +1453,7 @@ std::size_t H2Middleware::MergeNamespaceLocked(
     (void)cloud_.Delete(PatchKey(ns, node_, i), meter);
   }
 
-  lock.lock();
+  lock.Lock();
   Descriptor& after = DescriptorFor(ns);
   after.chain.merged_through = hi;
   for (std::uint64_t i = lo; i <= hi; ++i) after.pending.erase(i);
@@ -1468,13 +1467,13 @@ std::size_t H2Middleware::MergeNamespaceLocked(
   counters_.history_tuples_folded += history_folded;
   ++counters_.merge_passes;
 
-  lock.unlock();
+  lock.Unlock();
   const VirtualNanos now = ClockFor(meter).Tick();
   (void)cloud_.Put(PatchChainKey(ns, node_),
                    MakeObject(chain_snapshot.Serialize(), "chain", now),
                    meter);
   if (ring_exists) Announce(ns, version);
-  lock.lock();
+  lock.Lock();
   return merged_patches;
 }
 
@@ -1483,10 +1482,10 @@ std::size_t H2Middleware::MergeNamespace(const NamespaceId& ns) {
   local.SetZone(zone_);
   std::size_t merged = 0;
   {
-    std::unique_lock lock(mu_);
+    H2ReleasableMutexLock lock(mu_);
     merged = MergeNamespaceLocked(ns, lock, local);
   }
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   maintenance_meter_.Merge(local.cost());
   return merged;
 }
@@ -1494,7 +1493,7 @@ std::size_t H2Middleware::MergeNamespace(const NamespaceId& ns) {
 std::size_t H2Middleware::MergePending() {
   std::vector<NamespaceId> targets;
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     targets.reserve(descriptors_.size());
     // h2lint: ordered -- candidate collection, sorted below
     for (const auto& [ns, desc] : descriptors_) {
@@ -1521,7 +1520,7 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
   while (deleted < max_objects) {
     NamespaceId ns;
     {
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       if (cleanup_queue_.empty()) break;
       ns = cleanup_queue_.front();
       cleanup_queue_.pop_front();
@@ -1539,7 +1538,7 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
           // A snapshot clone still reads this directory: park it.  Parked
           // namespaces are not re-enqueued (so quiescence terminates);
           // the final Unpin re-queues them.
-          std::lock_guard lock(mu_);
+          H2MutexLock lock(mu_);
           parked_cleanups_.insert(ns);
           continue;
         }
@@ -1556,7 +1555,7 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
           if (!rec_obj.ok()) continue;
           Result<DirRecord> rec = DirRecord::Parse(rec_obj.value->payload);
           if (rec.ok()) {
-            std::lock_guard lock(mu_);
+            H2MutexLock lock(mu_);
             if (rec->reference) {
               // A clone lived here: release its subtree pins instead of
               // deleting the (shared) source namespace.
@@ -1576,14 +1575,14 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
     {
       // Only now is the namespace actually dying (Retire at RMDIR time
       // would kill caching for clone reads through parked namespaces).
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       resolve_cache_.Retire(ns);
     }
     deletes.push_back(BatchOp::Delete(PatchChainKey(ns, node_)));
     // Drop any of our own patch objects still parked under this namespace.
     std::vector<std::uint64_t> orphan_patches;
     {
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       auto it = descriptors_.find(ns);
       if (it != descriptors_.end()) {
         for (const auto& [patch_no, patch] : it->second->pending) {
@@ -1601,7 +1600,7 @@ std::size_t H2Middleware::RunLazyCleanup(std::size_t max_objects) {
       if (r.ok()) ++deleted;
     }
   }
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   counters_.cleanup_objects_deleted += deleted;
   maintenance_meter_.Merge(local.cost());
   return deleted;
@@ -1613,7 +1612,7 @@ std::size_t H2Middleware::ProcessUnpins(OpMeter& meter) {
   for (;;) {
     UnpinEntry entry;
     {
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       if (unpin_queue_.empty()) break;
       entry = unpin_queue_.front();
       unpin_queue_.pop_front();
@@ -1630,7 +1629,7 @@ std::size_t H2Middleware::ProcessUnpins(OpMeter& meter) {
           NameRingKey(entry.ns),
           MakeObject(ring.Serialize(), "ring", ClockFor(meter).Tick()),
           meter);
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       ++counters_.rings_unpinned;
     }
     // Recurse only when a pin was actually consumed: the pin walk takes
@@ -1649,7 +1648,7 @@ std::size_t H2Middleware::ProcessUnpins(OpMeter& meter) {
         if (child.kind != EntryKind::kDirectory) continue;
         Result<DirRecord> rec = LoadDirRecord(entry.ns, child.name, meter);
         if (!rec.ok()) continue;
-        std::lock_guard lock(mu_);
+        H2MutexLock lock(mu_);
         if (rec->reference) {
           unpin_queue_.push_back(
               UnpinEntry{rec->ns, rec->ref_version, /*recurse=*/true});
@@ -1664,7 +1663,7 @@ std::size_t H2Middleware::ProcessUnpins(OpMeter& meter) {
       // it are unreachable now -- reclaim them.
       std::vector<std::string> stale;
       {
-        std::lock_guard lock(mu_);
+        H2MutexLock lock(mu_);
         auto it = preserved_hint_.lower_bound(
             {entry.ns, entry.version, std::string()});
         while (it != preserved_hint_.end() &&
@@ -1677,12 +1676,12 @@ std::size_t H2Middleware::ProcessUnpins(OpMeter& meter) {
       for (const std::string& name : stale) {
         (void)cloud_.Delete(PreservedKey(entry.ns, name, entry.version),
                             meter);
-        std::lock_guard lock(mu_);
+        H2MutexLock lock(mu_);
         ++counters_.cleanup_objects_deleted;
       }
     }
     if (ring.pin_count() == 0) {
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       pinned_ns_.erase(entry.ns);  // disarm preserve-on-write
       // If lazy cleanup parked this namespace waiting on pins, resume it.
       auto parked = parked_cleanups_.find(entry.ns);
@@ -1705,7 +1704,7 @@ std::size_t H2Middleware::CompactRingHistory(std::size_t max_rings) {
   local.SetZone(zone_);
   std::vector<NamespaceId> targets;
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     // h2lint: ordered -- candidate collection, sorted below
     for (const auto& [ns, desc] : descriptors_) {
       if (desc->local.has_value() && desc->pending.empty() &&
@@ -1735,13 +1734,13 @@ std::size_t H2Middleware::CompactRingHistory(std::size_t max_rings) {
         local);
     if (!put.ok()) continue;
     folded += n;
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     // Fold the local copy too, or the next gossip merge would re-import
     // the history we just dropped.
     Descriptor& desc = DescriptorFor(ns);
     if (desc.local.has_value()) desc.local->CompactHistory(cutoff);
   }
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   counters_.history_tuples_folded += folded;
   if (folded > 0) ++counters_.history_compaction_passes;
   history_meter_.Merge(local.cost());
@@ -1749,7 +1748,7 @@ std::size_t H2Middleware::CompactRingHistory(std::size_t max_rings) {
 }
 
 OpCost H2Middleware::history_compaction_cost() const {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   return history_meter_.cost();
 }
 
@@ -1767,7 +1766,7 @@ bool H2Middleware::MaintenanceIdleLocked() const {
 }
 
 bool H2Middleware::MaintenanceIdle() const {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   return MaintenanceIdleLocked();
 }
 
@@ -1789,7 +1788,7 @@ void H2Middleware::Announce(const NamespaceId& ns, VirtualNanos version) {
 
 bool H2Middleware::ObserveTopologyEpoch(std::uint64_t epoch) {
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     ++counters_.gossip_rumors_handled;
     if (epoch <= topology_epoch_) return false;  // old news: stop forwarding
     topology_epoch_ = epoch;
@@ -1815,7 +1814,7 @@ bool H2Middleware::HandleRumor(const Rumor& rumor) {
   const NamespaceId ns = *parsed;
 
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     ++counters_.gossip_rumors_handled;
     Descriptor& desc = DescriptorFor(ns);
     // Loop-back avoidance by timestamp comparison (§3.3.2): if the local
@@ -1833,7 +1832,7 @@ bool H2Middleware::HandleRumor(const Rumor& rumor) {
   if (ring_obj.ok()) {
     Result<NameRing> cloud_ring = NameRing::Parse(ring_obj->payload);
     if (cloud_ring.ok()) {
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       Descriptor& desc = DescriptorFor(ns);
       NameRing merged = *cloud_ring;
       if (desc.local.has_value()) {
@@ -1867,7 +1866,7 @@ bool H2Middleware::HandleRumor(const Rumor& rumor) {
   } else {
     // Ring gone (directory removed elsewhere): remember the version so the
     // rumor stops here.
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     Descriptor& desc = DescriptorFor(ns);
     desc.local_version = std::max(desc.local_version, rumor.version);
     resolve_cache_.NoteVersion(ns, rumor.version);
@@ -1879,7 +1878,7 @@ bool H2Middleware::HandleRumor(const Rumor& rumor) {
                      local_meter);
     Announce(ns, repair_version);
   }
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   maintenance_meter_.Merge(local_meter.cost());
   return fresh;
 }
@@ -1903,7 +1902,7 @@ Status H2Middleware::MaybeCompact(const NamespaceId& ns, NameRing& ring,
                                 MakeObject(pruned.Serialize(), "ring", now),
                                 meter));
   ring = pruned;
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   Descriptor& desc = DescriptorFor(ns);
   desc.local = std::move(pruned);
   desc.local_version = now;
@@ -1913,7 +1912,7 @@ Status H2Middleware::MaybeCompact(const NamespaceId& ns, NameRing& ring,
 }
 
 OpCost H2Middleware::maintenance_cost() const {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   return maintenance_meter_.cost();
 }
 
@@ -1927,12 +1926,12 @@ H2Counters H2Middleware::CountersLocked() const {
 }
 
 H2Counters H2Middleware::counters() const {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   return CountersLocked();
 }
 
 H2Middleware::StatsSnapshot H2Middleware::Snapshot() const {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   StatsSnapshot snap;
   snap.counters = CountersLocked();
   snap.maintenance = maintenance_meter_.cost();

@@ -16,16 +16,17 @@
 // identified by a node number that namespaces its UUIDs and patch keys.
 //
 // Thread model: all mutable middleware state (descriptor cache, resolve
-// cache, cleanup queue, counters) sits behind one mutex, never held across
-// cloud I/O.  Foreground filesystem calls, the background merger thread
-// and gossip handlers may run concurrently.
+// cache, cleanup queue, counters) sits behind one mutex (mu_, annotated on
+// every member below), never held across cloud I/O.  Foreground filesystem
+// calls, the background merger thread and gossip handlers may run
+// concurrently.  mu_ orders above resolve_cache.mu_ and the cloud locks in
+// tools/lock_hierarchy.txt.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -37,7 +38,9 @@
 #include <vector>
 
 #include "cluster/object_cloud.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "fs/filesystem.h"
 #include "gossip/gossip.h"
 #include "h2/config.h"
@@ -233,7 +236,7 @@ class H2Middleware {
   bool ObserveTopologyEpoch(std::uint64_t epoch);
   /// Highest membership epoch observed so far.
   std::uint64_t topology_epoch() const {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     return topology_epoch_;
   }
 
@@ -339,15 +342,21 @@ class H2Middleware {
   Status SubmitPatch(const NamespaceId& ns, RingTuple tuple, OpMeter& meter);
   Status SubmitPatchTuples(const NamespaceId& ns,
                            std::vector<RingTuple> tuples, OpMeter& meter);
+  /// Hand-over-hand: enters and leaves with mu_ held, but drops `lock`
+  /// around every cloud round-trip (ring GET, merged-ring PUT, patch
+  /// deletes).  The analysis cannot model a lock released through a
+  /// passed-in guard, so the body is opted out; REQUIRES keeps call
+  /// sites honest.
   std::size_t MergeNamespaceLocked(const NamespaceId& ns,
-                                   std::unique_lock<std::mutex>& lock,
-                                   OpMeter& meter);
+                                   H2ReleasableMutexLock& lock,
+                                   OpMeter& meter)
+      REQUIRES(mu_) NO_THREAD_SAFETY_ANALYSIS;
   bool HandleRumor(const Rumor& rumor);
   void Announce(const NamespaceId& ns, VirtualNanos version);
 
-  // -- locked statistics internals (call with mu_ held) --
-  bool MaintenanceIdleLocked() const;
-  H2Counters CountersLocked() const;
+  // -- locked statistics internals --
+  bool MaintenanceIdleLocked() const REQUIRES(mu_);
+  H2Counters CountersLocked() const REQUIRES(mu_);
 
   /// Virtual clock the metered operation runs against: the meter's bound
   /// shard clock domain when set (sharded engine), else the cloud's
@@ -356,8 +365,8 @@ class H2Middleware {
   /// here so a shard's timestamps depend only on its own op order.
   SimClock& ClockFor(const OpMeter& meter) const;
 
-  // -- shared-state helpers (call with mu_ held) --
-  Descriptor& DescriptorFor(const NamespaceId& ns);
+  // -- shared-state helpers --
+  Descriptor& DescriptorFor(const NamespaceId& ns) REQUIRES(mu_);
 
   // -- op helpers --
   /// `at` > 0 copies the view pinned at that version (clone
@@ -370,25 +379,26 @@ class H2Middleware {
   /// pin that can still see it, so pinned views keep serving the content
   /// they froze.  No-op (and no cloud traffic) for unpinned namespaces.
   Status PreserveForPins(const NamespaceId& ns, std::string_view name,
-                         OpMeter& meter);
+                         OpMeter& meter) EXCLUDES(mu_);
   bool HasPreservedHint(const NamespaceId& ns, VirtualNanos version,
-                        std::string_view name) const;
+                        std::string_view name) const EXCLUDES(mu_);
 
   ObjectCloud& cloud_;
   const std::uint32_t node_;
   const H2Config config_;
   std::uint32_t zone_ = 0;
 
-  mutable std::mutex mu_;
-  NamespaceMinter minter_;
+  mutable H2Mutex mu_;
+  NamespaceMinter minter_ GUARDED_BY(mu_);
   // The directory-version resolution cache (h2/resolve_cache.h): ring
   // fills are validated by the dir_version they carry, child fills by a
   // version-floor snapshot taken before the corresponding cloud read.
-  H2ResolveCache resolve_cache_;
-  std::unordered_map<NamespaceId, std::unique_ptr<Descriptor>> descriptors_;
-  std::unordered_set<NamespaceId> write_blocked_;  // §3.3.3(b)
-  IntentLog intents_;
-  std::deque<NamespaceId> cleanup_queue_;
+  H2ResolveCache resolve_cache_;  // internally synchronized (leaf lock)
+  std::unordered_map<NamespaceId, std::unique_ptr<Descriptor>> descriptors_
+      GUARDED_BY(mu_);
+  std::unordered_set<NamespaceId> write_blocked_ GUARDED_BY(mu_);  // §3.3.3(b)
+  IntentLog intents_;  // internally synchronized
+  std::deque<NamespaceId> cleanup_queue_ GUARDED_BY(mu_);
   // Pins awaiting lazy release, pushed by RMDIR-of-clone (recursive: the
   // whole pinned subtree) and COW materialization (this ring only -- the
   // nested references keep the subtree pins), drained by RunLazyCleanup.
@@ -397,10 +407,10 @@ class H2Middleware {
     VirtualNanos version = 0;
     bool recurse = true;
   };
-  std::deque<UnpinEntry> unpin_queue_;
+  std::deque<UnpinEntry> unpin_queue_ GUARDED_BY(mu_);
   // Deleted-but-pinned namespaces: teardown resumes when the last pin
   // goes (the unpin path re-queues them for cleanup).
-  std::unordered_set<NamespaceId> parked_cleanups_;
+  std::unordered_set<NamespaceId> parked_cleanups_ GUARDED_BY(mu_);
   // Preserve-on-write bookkeeping.  `pinned_ns_` is a conservative hint
   // of namespaces whose stored ring carries snapshot pins (maintained at
   // pin time and on every ring load), gating the preserve check off the
@@ -409,13 +419,15 @@ class H2Middleware {
   // materialization picks preserved sources and the last unpin can
   // delete them without probing.  Both recover lazily from ring loads
   // after a restart (stale entries only cost a fallback to live reads).
-  std::set<NamespaceId> pinned_ns_;
+  std::set<NamespaceId> pinned_ns_ GUARDED_BY(mu_);
   std::set<std::tuple<NamespaceId, VirtualNanos, std::string>>
-      preserved_hint_;
-  H2Counters counters_;
-  OpMeter maintenance_meter_;
-  OpMeter history_meter_;  // dedicated: background history compaction
-  std::uint64_t topology_epoch_ = 0;  // highest membership epoch observed
+      preserved_hint_ GUARDED_BY(mu_);
+  H2Counters counters_ GUARDED_BY(mu_);
+  OpMeter maintenance_meter_ GUARDED_BY(mu_);
+  // Dedicated meter: background history compaction.
+  OpMeter history_meter_ GUARDED_BY(mu_);
+  // Highest membership epoch observed.
+  std::uint64_t topology_epoch_ GUARDED_BY(mu_) = 0;
 
   GossipBus* gossip_ = nullptr;
   std::uint32_t gossip_member_ = 0;

@@ -29,18 +29,18 @@ VirtualNanos H2ResolveCache::RingFloorLocked(const NamespaceId& ns) const {
 }
 
 VirtualNanos H2ResolveCache::ChildFloor(const NamespaceId& ns) const {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   return ChildFloorLocked(ns);
 }
 
 VirtualNanos H2ResolveCache::RingFloor(const NamespaceId& ns) const {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   return RingFloorLocked(ns);
 }
 
 std::optional<DirRecord> H2ResolveCache::GetChild(const NamespaceId& parent,
                                                   const std::string& name) {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   auto it = child_map_.find(ChildKey(parent, name));
   if (it == child_map_.end()) {
     ++stats_.misses;
@@ -54,7 +54,7 @@ std::optional<DirRecord> H2ResolveCache::GetChild(const NamespaceId& parent,
 void H2ResolveCache::PutChild(const NamespaceId& parent,
                               const std::string& name, const DirRecord& record,
                               VirtualNanos floor_snapshot) {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   // The floor re-check and the LRU admit are one critical section: an
   // invalidation between them can no longer lose to this fill.  Floors
   // are monotone, so equality means "nothing was noted since snapshot".
@@ -79,7 +79,7 @@ void H2ResolveCache::PutChild(const NamespaceId& parent,
 
 void H2ResolveCache::EraseChild(const NamespaceId& parent,
                                 const std::string& name) {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   // A minimal floor step fences out in-flight fills for this parent
   // without demanding a directory version from the caller.
   VirtualNanos floor = ChildFloorLocked(parent);
@@ -96,7 +96,7 @@ void H2ResolveCache::EraseChild(const NamespaceId& parent,
 }
 
 std::optional<NameRing> H2ResolveCache::GetRing(const NamespaceId& ns) {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   auto it = ring_map_.find(ns);
   if (it == ring_map_.end()) {
     ++stats_.misses;
@@ -108,7 +108,7 @@ std::optional<NameRing> H2ResolveCache::GetRing(const NamespaceId& ns) {
 }
 
 void H2ResolveCache::PutRing(const NamespaceId& ns, const NameRing& ring) {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   // The ring is self-validating: its dir_version must have caught up with
   // every version announced for this namespace.  A fill that raced an
   // invalidation carries an older version and is rejected here.  The
@@ -175,19 +175,19 @@ void H2ResolveCache::DropChildrenLocked(const NamespaceId& ns) {
 
 void H2ResolveCache::NoteRingVersion(const NamespaceId& ns,
                                      VirtualNanos version) {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   NoteRingVersionLocked(ns, version);
 }
 
 void H2ResolveCache::NoteVersion(const NamespaceId& ns, VirtualNanos version) {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   NoteRingVersionLocked(ns, version);
   RaiseChildFloorLocked(ns, version);
   DropChildrenLocked(ns);
 }
 
 void H2ResolveCache::Retire(const NamespaceId& ns) {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   NoteRingVersionLocked(ns, kRetired);
   RaiseChildFloorLocked(ns, kRetired);
   DropChildrenLocked(ns);
@@ -209,12 +209,12 @@ void H2ResolveCache::ClearLocked() {
 }
 
 void H2ResolveCache::Clear() {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   ClearLocked();
 }
 
 void H2ResolveCache::OnTopologyEpoch(std::uint64_t epoch) {
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   if (epoch <= topology_epoch_) return;  // duplicate / stale rumor
   topology_epoch_ = epoch;
   ++stats_.epoch_flushes;

@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <limits>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "h2/name_ring.h"
 #include "h2/records.h"
 #include "hash/uuid.h"
@@ -46,11 +47,12 @@ namespace h2 {
 // global floor rises to the highest version ever noted, which can only
 // turn would-be hits into spurious misses, never admit stale data.
 //
-// Internally synchronized: every method takes the cache's own mutex, so
+// Internally synchronized: every member below is GUARDED_BY(mu_) and
+// every public method takes mu_ itself (the EXCLUDES annotations), so
 // each lookup, admit, and invalidation is one atomic critical section.
 // The owning middleware's mutex is NOT a substitute -- gossip handlers
-// and background mergers invalidate from other threads.  Methods never
-// call out while holding mu_ (leaf lock).
+// and background mergers invalidate from other threads.  mu_ is a leaf
+// in tools/lock_hierarchy.txt: methods never call out while holding it.
 class H2ResolveCache {
  public:
   /// Floor value used for retired (deleted) namespaces.
@@ -62,49 +64,54 @@ class H2ResolveCache {
   // -- version floors --------------------------------------------------------
   /// Child-path fence for `ns`.  Take BEFORE issuing the cloud read that
   /// produces the record handed to the matching PutChild.
-  VirtualNanos ChildFloor(const NamespaceId& ns) const;
+  VirtualNanos ChildFloor(const NamespaceId& ns) const EXCLUDES(mu_);
   /// Lowest dir_version a ring fill for `ns` may carry.
-  VirtualNanos RingFloor(const NamespaceId& ns) const;
+  VirtualNanos RingFloor(const NamespaceId& ns) const EXCLUDES(mu_);
 
   /// The merged ring of `ns` has (or will have) dir_version >= `version`
   /// (local patch submit, merge, compaction, or a gossiped announce), but
   /// the child record objects under `ns` are untouched: raises the ring
   /// floor and drops a cached ring that is older than `version`.
-  void NoteRingVersion(const NamespaceId& ns, VirtualNanos version);
+  void NoteRingVersion(const NamespaceId& ns, VirtualNanos version)
+      EXCLUDES(mu_);
   /// Anything under `ns` may have changed at `version` (remote rumor,
   /// gossip repair, recovery): NoteRingVersion plus child-floor raise and
   /// a drop of every cached child entry under `ns`.
-  void NoteVersion(const NamespaceId& ns, VirtualNanos version);
+  void NoteVersion(const NamespaceId& ns, VirtualNanos version)
+      EXCLUDES(mu_);
   /// `ns` was deleted; namespaces are never reused, so both floors pin at
   /// kRetired and nothing under `ns` is ever admitted again.
-  void Retire(const NamespaceId& ns);
+  void Retire(const NamespaceId& ns) EXCLUDES(mu_);
 
   // -- child records ---------------------------------------------------------
   std::optional<DirRecord> GetChild(const NamespaceId& parent,
-                                    const std::string& name);
+                                    const std::string& name) EXCLUDES(mu_);
   // Inserts only if ChildFloor(parent) still equals `floor_snapshot`.
   void PutChild(const NamespaceId& parent, const std::string& name,
-                const DirRecord& record, VirtualNanos floor_snapshot);
+                const DirRecord& record, VirtualNanos floor_snapshot)
+      EXCLUDES(mu_);
   // Precisely drops one child entry; the child floor takes a minimal step
   // so in-flight fills for that parent are discarded too.
-  void EraseChild(const NamespaceId& parent, const std::string& name);
+  void EraseChild(const NamespaceId& parent, const std::string& name)
+      EXCLUDES(mu_);
 
   // -- merged ring snapshots -------------------------------------------------
-  std::optional<NameRing> GetRing(const NamespaceId& ns);
+  std::optional<NameRing> GetRing(const NamespaceId& ns) EXCLUDES(mu_);
   // Inserts only if `ring.dir_version()` has reached RingFloor(ns): the
   // version carried by the value is the admission check.
-  void PutRing(const NamespaceId& ns, const NameRing& ring);
+  void PutRing(const NamespaceId& ns, const NameRing& ring)
+      EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   // Cluster membership changed (ring epoch bump learned over gossip or
   // locally).  Cached records may now route to retired replicas, so the
   // whole cache is flushed -- but only once per epoch: late or duplicate
   // rumors for an already-observed epoch are no-ops.
-  void OnTopologyEpoch(std::uint64_t epoch);
+  void OnTopologyEpoch(std::uint64_t epoch) EXCLUDES(mu_);
   /// Highest membership epoch this cache has flushed for.
   std::uint64_t topology_epoch() const {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     return topology_epoch_;
   }
 
@@ -116,16 +123,16 @@ class H2ResolveCache {
   };
   /// Coherent snapshot (by value: a reference would be read outside mu_).
   Stats stats() const {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     return stats_;
   }
 
   std::size_t child_entries() const {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     return child_map_.size();
   }
   std::size_t ring_entries() const {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     return ring_map_.size();
   }
 
@@ -143,35 +150,41 @@ class H2ResolveCache {
   using RingList = std::list<RingEntry>;
 
   // Internal helpers run under mu_ (held by the public entry points).
-  void ClearLocked();
-  VirtualNanos ChildFloorLocked(const NamespaceId& ns) const;
-  VirtualNanos RingFloorLocked(const NamespaceId& ns) const;
-  void NoteRingVersionLocked(const NamespaceId& ns, VirtualNanos version);
-  void RaiseChildFloorLocked(const NamespaceId& ns, VirtualNanos version);
-  void DropChildrenLocked(const NamespaceId& ns);
-  void TrimFloorMaps();
+  void ClearLocked() REQUIRES(mu_);
+  VirtualNanos ChildFloorLocked(const NamespaceId& ns) const REQUIRES(mu_);
+  VirtualNanos RingFloorLocked(const NamespaceId& ns) const REQUIRES(mu_);
+  void NoteRingVersionLocked(const NamespaceId& ns, VirtualNanos version)
+      REQUIRES(mu_);
+  void RaiseChildFloorLocked(const NamespaceId& ns, VirtualNanos version)
+      REQUIRES(mu_);
+  void DropChildrenLocked(const NamespaceId& ns) REQUIRES(mu_);
+  void TrimFloorMaps() REQUIRES(mu_);
 
   std::size_t child_capacity_;
   std::size_t ring_capacity_;
 
-  mutable std::mutex mu_;  // guards everything below; leaf lock
+  mutable H2Mutex mu_;
 
-  ChildList child_lru_;  // front = most recent
-  std::unordered_map<std::string, ChildList::iterator> child_map_;
-  RingList ring_lru_;
-  std::unordered_map<NamespaceId, RingList::iterator> ring_map_;
+  ChildList child_lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, ChildList::iterator> child_map_
+      GUARDED_BY(mu_);
+  RingList ring_lru_ GUARDED_BY(mu_);
+  std::unordered_map<NamespaceId, RingList::iterator> ring_map_
+      GUARDED_BY(mu_);
 
   // Per-namespace version floors; namespaces with no entry read the
   // global floor.  The global floor rises to the highest version ever
   // noted whenever per-namespace entries are forgotten, so a forgotten
   // floor can only cause spurious misses, never false hits.
-  VirtualNanos global_floor_ = 0;
-  VirtualNanos max_noted_ = 0;  // highest version ever noted/fenced
-  std::uint64_t topology_epoch_ = 0;  // highest membership epoch flushed
-  std::unordered_map<NamespaceId, VirtualNanos> child_floors_;
-  std::unordered_map<NamespaceId, VirtualNanos> ring_floors_;
+  VirtualNanos global_floor_ GUARDED_BY(mu_) = 0;
+  VirtualNanos max_noted_ GUARDED_BY(mu_) = 0;  // highest version noted
+  std::uint64_t topology_epoch_ GUARDED_BY(mu_) = 0;  // highest epoch flushed
+  std::unordered_map<NamespaceId, VirtualNanos> child_floors_
+      GUARDED_BY(mu_);
+  std::unordered_map<NamespaceId, VirtualNanos> ring_floors_
+      GUARDED_BY(mu_);
 
-  Stats stats_;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace h2

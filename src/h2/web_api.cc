@@ -35,14 +35,14 @@ std::string EncodeEntries(const std::vector<DirEntry>& entries,
 
 Result<NamespaceId> H2WebApi::RootFor(const std::string& user) {
   {
-    std::lock_guard lock(mu_);
+    H2MutexLock lock(mu_);
     auto it = roots_.find(user);
     if (it != roots_.end()) return it->second;
   }
   OpMeter meter;
   H2_ASSIGN_OR_RETURN(NamespaceId root,
                       cloud_.middleware(0).AccountRoot(user, meter));
-  std::lock_guard lock(mu_);
+  H2MutexLock lock(mu_);
   roots_[user] = root;
   return root;
 }
@@ -95,7 +95,7 @@ HttpResponse H2WebApi::HandleAccounts(const HttpRequest& request,
   if (request.method == "DELETE") {
     const Status st = cloud_.middleware(0).DeleteAccount(user, meter);
     {
-      std::lock_guard lock(mu_);
+      H2MutexLock lock(mu_);
       roots_.erase(user);
     }
     HttpResponse response = HttpResponse::FromStatus(st, "deleted\n");

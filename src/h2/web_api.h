@@ -30,10 +30,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "h2/h2cloud.h"
 #include "net/http.h"
 
@@ -61,8 +62,9 @@ class H2WebApi {
   H2Cloud& cloud_;
   std::unique_ptr<HttpServer> server_;
 
-  std::mutex mu_;
-  std::unordered_map<std::string, NamespaceId> roots_;  // user -> root ns
+  H2Mutex mu_;
+  std::unordered_map<std::string, NamespaceId> roots_
+      GUARDED_BY(mu_);  // user -> root ns
 };
 
 }  // namespace h2

@@ -266,7 +266,7 @@ void HttpServer::Stop() {
     ::close(fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard lock(workers_mu_);
+  H2MutexLock lock(workers_mu_);
   for (auto& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -282,7 +282,7 @@ void HttpServer::AcceptLoop() {
       if (!running_.load()) break;
       continue;
     }
-    std::lock_guard lock(workers_mu_);
+    H2MutexLock lock(workers_mu_);
     workers_.emplace_back([this, fd] { ServeConnection(fd); });
     // Reap finished workers opportunistically to bound the vector.
     if (workers_.size() > 256) {

@@ -23,7 +23,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace h2 {
 
@@ -89,8 +91,8 @@ class HttpServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
-  std::vector<std::thread> workers_;
-  std::mutex workers_mu_;
+  H2Mutex workers_mu_;
+  std::vector<std::thread> workers_ GUARDED_BY(workers_mu_);
 };
 
 /// Blocking HTTP client: one request per call, new connection each time.

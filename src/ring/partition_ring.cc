@@ -15,6 +15,7 @@ PartitionRing::PartitionRing(int part_power, int replica_count)
   assert(part_power >= 1 && part_power <= 30);
   assert(replica_count >= 1);
   for (std::size_t i = 0; i < slot_count_; ++i) {
+    // h2lint: mo(constructor; the table is not yet published to readers)
     assignment_[i].store(kUnassigned, std::memory_order_relaxed);
   }
 }
@@ -32,6 +33,7 @@ RingDevice* PartitionRing::FindDevice(DeviceId id) {
 }
 
 Status PartitionRing::AddDevice(RingDevice device) {
+  H2MutexLock lock(admin_mu_);
   if (device.weight <= 0) {
     return Status::InvalidArgument("device weight must be positive");
   }
@@ -45,6 +47,7 @@ Status PartitionRing::AddDevice(RingDevice device) {
 }
 
 Status PartitionRing::RemoveDevice(DeviceId id) {
+  H2MutexLock lock(admin_mu_);
   RingDevice* d = FindDevice(id);
   if (d == nullptr || !d->active) {
     return Status::NotFound("no such active device");
@@ -55,6 +58,7 @@ Status PartitionRing::RemoveDevice(DeviceId id) {
 }
 
 Status PartitionRing::SetWeight(DeviceId id, double weight) {
+  H2MutexLock lock(admin_mu_);
   if (weight <= 0) {
     return Status::InvalidArgument("device weight must be positive");
   }
@@ -68,6 +72,7 @@ Status PartitionRing::SetWeight(DeviceId id, double weight) {
 }
 
 Status PartitionRing::ReplaceDevice(DeviceId old_id, RingDevice replacement) {
+  H2MutexLock lock(admin_mu_);
   if (replacement.weight <= 0) {
     return Status::InvalidArgument("device weight must be positive");
   }
@@ -87,29 +92,38 @@ Status PartitionRing::ReplaceDevice(DeviceId old_id, RingDevice replacement) {
   devices_.push_back(std::move(replacement));
 
   // Relabel old_id -> new_id in a private copy and publish wholesale, same
-  // seqlock discipline as Rebalance: readers never see a half-relabeled
+  // SeqLock discipline as Rebalance: readers never see a half-relabeled
   // table mixing the two identities.
   std::vector<DeviceId> next(slot_count_);
   for (std::size_t i = 0; i < slot_count_; ++i) {
+    // h2lint: mo(writer-side read under admin_mu_; no publish in flight)
     const DeviceId dev = assignment_[i].load(std::memory_order_relaxed);
     next[i] = dev == old_id ? new_id : dev;
   }
-  assign_seq_.fetch_add(1, std::memory_order_acq_rel);
+  assign_seq_.WriteBegin();
   for (std::size_t i = 0; i < slot_count_; ++i) {
+    // h2lint: mo(release: slot visible before WriteEnd flips seq even)
     assignment_[i].store(next[i], std::memory_order_release);
   }
-  assign_seq_.fetch_add(1, std::memory_order_release);
+  assign_seq_.WriteEnd();
+  // h2lint: mo(acq_rel epoch bump orders after the table publish)
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
 std::size_t PartitionRing::active_device_count() const {
+  H2MutexLock lock(admin_mu_);
   return static_cast<std::size_t>(
       std::count_if(devices_.begin(), devices_.end(),
                     [](const RingDevice& d) { return d.active; }));
 }
 
 Status PartitionRing::Rebalance() {
+  H2MutexLock lock(admin_mu_);
+  return RebalanceLocked();
+}
+
+Status PartitionRing::RebalanceLocked() REQUIRES(admin_mu_) {
   std::vector<const RingDevice*> active;
   for (const auto& d : devices_) {
     if (d.active) active.push_back(&d);
@@ -160,6 +174,7 @@ Status PartitionRing::Rebalance() {
   // seqlock, so the in-progress mutation must never be visible.
   std::vector<DeviceId> next(slot_count_);
   for (std::size_t i = 0; i < slot_count_; ++i) {
+    // h2lint: mo(writer-side read under admin_mu_; no publish in flight)
     next[i] = assignment_[i].load(std::memory_order_relaxed);
   }
 
@@ -174,10 +189,14 @@ Status PartitionRing::Rebalance() {
   // replicas must land on distinct devices, and -- when there are enough
   // zones -- on distinct failure domains, so a whole rack/DC outage never
   // takes out every copy.
-  std::size_t zone_count = active_zone_count();
-  auto zone_of = [this](DeviceId dev) -> std::uint32_t {
-    const RingDevice* d = FindDevice(dev);
-    return d == nullptr ? 0 : d->zone;
+  std::size_t zone_count = ActiveZoneCountLocked();
+  // Snapshot zones up front: lambdas get their own analysis context, so
+  // they read this plain map instead of the admin_mu_-guarded table.
+  std::map<DeviceId, std::uint32_t> zone_map;
+  for (const auto& d : devices_) zone_map[d.id] = d.zone;
+  auto zone_of = [&zone_map](DeviceId dev) -> std::uint32_t {
+    const auto it = zone_map.find(dev);
+    return it == zone_map.end() ? 0 : it->second;
   };
   auto collides = [&](int row, std::uint32_t part, DeviceId dev) {
     if (active.size() < static_cast<std::size_t>(replica_count_)) {
@@ -265,20 +284,23 @@ Status PartitionRing::Rebalance() {
   }
   assert(pool_next == pool.size());
 
-  // Seqlock publish: bump to odd, store every slot, bump back to even.
+  // SeqLock publish: bump to odd, store every slot, bump back to even.
   // A reader that overlaps the stores sees an odd or changed sequence and
   // retries, so no caller can ever act on a half-published ring.
-  assign_seq_.fetch_add(1, std::memory_order_acq_rel);
+  assign_seq_.WriteBegin();
   for (std::size_t i = 0; i < slot_count_; ++i) {
+    // h2lint: mo(release: slot visible before WriteEnd flips seq even)
     assignment_[i].store(next[i], std::memory_order_release);
   }
-  assign_seq_.fetch_add(1, std::memory_order_release);
+  assign_seq_.WriteEnd();
+  // h2lint: mo(release: balanced gate opens only after the table publish)
   balanced_.store(true, std::memory_order_release);
+  // h2lint: mo(acq_rel epoch bump orders after the table publish)
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
-std::size_t PartitionRing::active_zone_count() const {
+std::size_t PartitionRing::ActiveZoneCountLocked() const {
   std::vector<std::uint32_t> zones;
   for (const auto& d : devices_) {
     if (d.active) zones.push_back(d.zone);
@@ -288,42 +310,64 @@ std::size_t PartitionRing::active_zone_count() const {
   return zones.size();
 }
 
+std::size_t PartitionRing::active_zone_count() const {
+  H2MutexLock lock(admin_mu_);
+  return ActiveZoneCountLocked();
+}
+
 std::vector<DeviceId> PartitionRing::ReplicasOfPartition(
     std::uint32_t partition) const {
   std::vector<DeviceId> out;
+  // h2lint: mo(acquire pairs with the release store after the publish)
   if (!balanced_.load(std::memory_order_acquire)) return out;
   out.reserve(static_cast<std::size_t>(replica_count_));
   const std::uint32_t parts = partition_count();
   for (;;) {
-    const std::uint32_t before = assign_seq_.load(std::memory_order_acquire);
-    if (before & 1u) continue;  // publish in flight
+    const std::uint32_t before = assign_seq_.ReadBegin();
     out.clear();
     for (int row = 0; row < replica_count_; ++row) {
+      // h2lint: mo(acquire slot load inside the seqlock read section)
       out.push_back(assignment_[static_cast<std::size_t>(row) * parts +
                                 partition]
                         .load(std::memory_order_acquire));
     }
-    if (assign_seq_.load(std::memory_order_acquire) == before) return out;
+    if (!assign_seq_.ReadRetry(before)) return out;
   }
 }
 
 std::uint32_t PartitionRing::VnodeCount(DeviceId id) const {
-  std::uint32_t count = 0;
-  for (std::size_t i = 0; i < slot_count_; ++i) {
-    if (assignment_[i].load(std::memory_order_acquire) == id) ++count;
+  for (;;) {
+    const std::uint32_t before = assign_seq_.ReadBegin();
+    std::uint32_t count = 0;
+    for (std::size_t i = 0; i < slot_count_; ++i) {
+      // h2lint: mo(acquire slot load inside the seqlock read section)
+      if (assignment_[i].load(std::memory_order_acquire) == id) ++count;
+    }
+    if (!assign_seq_.ReadRetry(before)) return count;
   }
-  return count;
 }
 
 std::vector<std::uint32_t> PartitionRing::SlotCounts() const {
   DeviceId max_id = 0;
-  for (const auto& d : devices_) max_id = std::max(max_id, d.id);
-  std::vector<std::uint32_t> counts(max_id + 1, 0);
-  for (std::size_t i = 0; i < slot_count_; ++i) {
-    const DeviceId dev = assignment_[i].load(std::memory_order_acquire);
-    if (dev != kUnassigned) counts[dev] += 1;
+  {
+    H2MutexLock lock(admin_mu_);
+    for (const auto& d : devices_) max_id = std::max(max_id, d.id);
   }
-  return counts;
+  for (;;) {
+    const std::uint32_t before = assign_seq_.ReadBegin();
+    std::vector<std::uint32_t> counts(max_id + 1, 0);
+    for (std::size_t i = 0; i < slot_count_; ++i) {
+      // h2lint: mo(acquire slot load inside the seqlock read section)
+      const DeviceId dev = assignment_[i].load(std::memory_order_acquire);
+      if (dev != kUnassigned) counts[dev] += 1;
+    }
+    if (!assign_seq_.ReadRetry(before)) return counts;
+  }
+}
+
+std::vector<RingDevice> PartitionRing::devices() const {
+  H2MutexLock lock(admin_mu_);
+  return devices_;
 }
 
 }  // namespace h2

@@ -26,12 +26,12 @@
 //
 // Concurrency: ReplicasOfPartition/ReplicasOfHash are the hot read path
 // (every cloud primitive resolves its replica set here) and run lock-free
-// against a seqlock-published assignment table -- a Rebalance racing
+// against a SeqLock-published assignment table -- a Rebalance racing
 // readers can therefore never hand out a torn replica row (half old ring,
 // half new ring), which would misdirect reads and quorum writes.  The
-// administrative mutators (AddDevice/RemoveDevice/SetWeight/Rebalance)
-// must still be externally serialized against each other, as Swift ring
-// deployments are.
+// administrative mutators (AddDevice/RemoveDevice/SetWeight/Rebalance/
+// ReplaceDevice) and the device-table accessors serialize on the internal
+// `admin_mu_` (GUARDED_BY below), so no external serialization is needed.
 #pragma once
 
 #include <atomic>
@@ -40,7 +40,10 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/seqlock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace h2 {
 
@@ -63,22 +66,24 @@ class PartitionRing {
 
   /// Move is single-threaded construction/setup only (tests, builders):
   /// the seqlock protects readers racing Rebalance, not a ring being
-  /// moved out from under them.
-  PartitionRing(PartitionRing&& other) noexcept
+  /// moved out from under them -- hence no locks taken here.
+  PartitionRing(PartitionRing&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
       : part_power_(other.part_power_),
         replica_count_(other.replica_count_),
         slot_count_(other.slot_count_),
         devices_(std::move(other.devices_)),
         assignment_(std::move(other.assignment_)),
-        assign_seq_(other.assign_seq_.load(std::memory_order_relaxed)),
+        assign_seq_(std::move(other.assign_seq_)),
+        // h2lint: mo(setup-only move; no concurrent reader exists yet)
         balanced_(other.balanced_.load(std::memory_order_relaxed)),
+        // h2lint: mo(setup-only move; no concurrent reader exists yet)
         epoch_(other.epoch_.load(std::memory_order_relaxed)) {}
 
   /// Registers a device.  Call Rebalance() afterwards to take effect.
-  Status AddDevice(RingDevice device);
+  Status AddDevice(RingDevice device) EXCLUDES(admin_mu_);
   /// Marks a device inactive; its partitions move on the next Rebalance().
-  Status RemoveDevice(DeviceId id);
-  Status SetWeight(DeviceId id, double weight);
+  Status RemoveDevice(DeviceId id) EXCLUDES(admin_mu_);
+  Status SetWeight(DeviceId id, double weight) EXCLUDES(admin_mu_);
 
   /// Swaps a failed device for a fresh one in place: the replacement
   /// inherits every (partition, replica) slot the old device held, so the
@@ -86,21 +91,23 @@ class PartitionRing {
   /// reshuffle among the survivors.  The replacement's weight/zone come
   /// from `replacement`; publishing the relabeled table bumps the epoch.
   /// (A later Rebalance trues slot counts up to the replacement's weight.)
-  Status ReplaceDevice(DeviceId old_id, RingDevice replacement);
+  Status ReplaceDevice(DeviceId old_id, RingDevice replacement)
+      EXCLUDES(admin_mu_);
 
   /// (Re)assigns partitions to devices.  Idempotent.
-  Status Rebalance();
+  Status Rebalance() EXCLUDES(admin_mu_);
 
   /// Membership epoch: bumped once per published assignment table
   /// (Rebalance / ReplaceDevice).  0 before the first publish.
   std::uint64_t epoch() const {
+    // h2lint: mo(acquire pairs with the publish-side acq_rel bump)
     return epoch_.load(std::memory_order_acquire);
   }
 
   int part_power() const { return part_power_; }
   int replica_count() const { return replica_count_; }
   std::uint32_t partition_count() const { return 1u << part_power_; }
-  std::size_t active_device_count() const;
+  std::size_t active_device_count() const EXCLUDES(admin_mu_);
 
   /// Partition owning a 64-bit key hash (top bits, like Swift).
   std::uint32_t PartitionOfHash(std::uint64_t hash) const {
@@ -112,7 +119,7 @@ class PartitionRing {
   std::vector<DeviceId> ReplicasOfPartition(std::uint32_t partition) const;
 
   /// Distinct zones among active devices.
-  std::size_t active_zone_count() const;
+  std::size_t active_zone_count() const EXCLUDES(admin_mu_);
 
   /// Convenience: partition + replicas for a key hash.
   std::vector<DeviceId> ReplicasOfHash(std::uint64_t hash) const {
@@ -121,30 +128,39 @@ class PartitionRing {
 
   /// Number of (partition, replica) slots assigned to each device;
   /// indexed by DeviceId.  Used by balance tests and the ring bench.
-  std::vector<std::uint32_t> SlotCounts() const;
+  std::vector<std::uint32_t> SlotCounts() const EXCLUDES(admin_mu_);
 
   /// Virtual nodes currently assigned to `id`: its (partition, replica)
   /// slots in the published table.  Proportional to weight after a
   /// Rebalance; 0 for unknown or fully drained devices.
   std::uint32_t VnodeCount(DeviceId id) const;
 
-  const std::vector<RingDevice>& devices() const { return devices_; }
+  /// Snapshot of the registered devices (copy: the live table is guarded
+  /// by admin_mu_ and may grow under a concurrent membership change).
+  std::vector<RingDevice> devices() const EXCLUDES(admin_mu_);
 
  private:
-  const RingDevice* FindDevice(DeviceId id) const;
-  RingDevice* FindDevice(DeviceId id);
+  const RingDevice* FindDevice(DeviceId id) const REQUIRES(admin_mu_);
+  RingDevice* FindDevice(DeviceId id) REQUIRES(admin_mu_);
+  std::size_t ActiveZoneCountLocked() const REQUIRES(admin_mu_);
+  Status RebalanceLocked() REQUIRES(admin_mu_);
 
   int part_power_;
   int replica_count_;
   std::size_t slot_count_;  // replica_count * partition_count, fixed
-  std::vector<RingDevice> devices_;
+
+  /// Serializes membership mutations and guards the device table; also
+  /// the writer mutex for assign_seq_ publishes (SeqLock discipline).
+  mutable H2Mutex admin_mu_;
+  std::vector<RingDevice> devices_ GUARDED_BY(admin_mu_);
+
   // assignment_[replica_row * partition_count + partition] = device id,
   // or kUnassigned before the first rebalance.  Entries are individually
   // atomic and every Rebalance publishes the whole table under
-  // assign_seq_ (a seqlock: odd while a publish is in flight); readers
-  // retry until they observe one consistent even-to-even snapshot.
+  // assign_seq_; readers retry until they observe one consistent
+  // even-to-even snapshot.
   std::unique_ptr<std::atomic<DeviceId>[]> assignment_;
-  std::atomic<std::uint32_t> assign_seq_{0};
+  SeqLock assign_seq_;
   std::atomic<bool> balanced_{false};
   std::atomic<std::uint64_t> epoch_{0};  // published-table generation
 

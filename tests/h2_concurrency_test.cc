@@ -7,7 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/object_cloud.h"
 #include "h2/h2cloud.h"
+#include "ring/partition_ring.h"
 
 namespace h2 {
 namespace {
@@ -174,6 +176,117 @@ TEST(ConcurrencyTest, NodeFailureDuringWrites) {
   ASSERT_TRUE(names.ok());
   EXPECT_EQ(names->size(), 50u);
 }
+
+// Regression: PartitionRing's device table used to be "externally
+// serialized" prose -- readers (devices(), active_device_count(),
+// SlotCounts()) walked the vector while AddDevice/SetWeight/Rebalance
+// mutated it, a race TSan catches the moment real threads mix them.
+// The ring now guards the table with its own admin_mu_ (GUARDED_BY) and
+// publishes assignments through the SeqLock, so arbitrary reader threads
+// may race membership mutations.  Run under -DH2_TSAN=ON.
+TEST(ConcurrencyTest, RingReadersRaceMembershipMutations) {
+  PartitionRing ring(8, 3);
+  for (DeviceId i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.AddDevice(RingDevice{i, "d" + std::to_string(i), 1.0,
+                                          static_cast<std::uint32_t>(i % 2)})
+                    .ok());
+  }
+  ASSERT_TRUE(ring.Rebalance().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn_reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&ring, &stop, &torn_reads] {
+      while (!stop.load()) {
+        // Each read must see a complete, self-consistent table.
+        const std::vector<RingDevice> devices = ring.devices();
+        if (devices.size() < 4) torn_reads.fetch_add(1);
+        if (ring.active_device_count() < 3) torn_reads.fetch_add(1);
+        const std::vector<DeviceId> replicas = ring.ReplicasOfPartition(5);
+        if (replicas.size() != 3) torn_reads.fetch_add(1);
+      }
+    });
+  }
+  for (DeviceId next = 4; next < 12; ++next) {
+    ASSERT_TRUE(
+        ring.AddDevice(RingDevice{next, "d" + std::to_string(next), 1.0,
+                                  static_cast<std::uint32_t>(next % 2)})
+            .ok());
+    ASSERT_TRUE(ring.SetWeight(next, 2.0).ok());
+    ASSERT_TRUE(ring.Rebalance().ok());
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn_reads.load(), 0);
+}
+
+// Regression: the cloud's accounting sweeps (Scan, LogicalObjectCount,
+// NodeObjectCounts) used to walk nodes_ without the membership epoch
+// pin, racing AddStorageNodeDeferred's push_back, and StageAddNode
+// minted the new device id from nodes_.size() before taking the
+// exclusive lock.  All of them now run under membership_mu_, so
+// accounting readers may race scale-out.  Run under -DH2_TSAN=ON.
+TEST(ConcurrencyTest, AccountingReadersRaceScaleOut) {
+  CloudConfig cfg;
+  cfg.node_count = 4;
+  cfg.replica_count = 3;
+  cfg.part_power = 6;
+  cfg.zone_count = 2;
+  cfg.max_rebalance_keys_per_step = 8;
+  ObjectCloud cloud(cfg);
+  OpMeter meter;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(cloud
+                    .Put("obj/k" + std::to_string(i),
+                         ObjectValue::FromString("x", i + 1), meter)
+                    .ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_counts{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&cloud, &stop, &bad_counts] {
+      while (!stop.load()) {
+        if (cloud.LogicalObjectCount() != 64) bad_counts.fetch_add(1);
+        const std::vector<std::uint64_t> counts = cloud.NodeObjectCounts();
+        if (counts.size() < 4) bad_counts.fetch_add(1);
+        std::size_t seen = 0;
+        OpMeter scan_meter;
+        cloud.Scan([&seen](const std::string&, const ObjectValue&) {
+          ++seen;
+        }, scan_meter);
+      }
+    });
+  }
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(cloud.AddStorageNodeDeferred().ok());
+    while (cloud.RunRebalanceStep() > 0) {
+    }
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(bad_counts.load(), 0);
+  EXPECT_EQ(cloud.node_count(), 8u);
+  EXPECT_EQ(cloud.LogicalObjectCount(), 64u);
+}
+
+#ifdef H2_TS_NEGATIVE_TEST
+// Deliberately broken: proves the -Werror=thread-safety gate fires.
+// Compile with Clang and -DH2_TS_NEGATIVE_TEST and the build MUST fail
+// with [-Werror,-Wthread-safety-analysis] (reading a GUARDED_BY member
+// without its mutex).  Never enabled in a normal build; CI's lint job
+// asserts the failure.
+std::uint64_t TsNegativeUnlockedRead(PartitionRing& ring) {
+  return ring.active_device_count() +
+         [] {
+           static H2Mutex mu;
+           static std::uint64_t counter GUARDED_BY(mu) = 0;
+           return ++counter;  // no lock held: must not compile
+         }();
+}
+#endif  // H2_TS_NEGATIVE_TEST
 
 }  // namespace
 }  // namespace h2

@@ -54,6 +54,47 @@ class FixtureTest(unittest.TestCase):
         self.assert_flags("bad_discarded_status.cc", "discarded-status",
                           min_findings=2)
 
+    def test_lock_order_fixture_fails(self):
+        # Inverted nesting between two locks is a cycle regardless of
+        # what tools/lock_hierarchy.txt declares.
+        self.assert_flags("bad_lock_order.cc", "lock-order")
+
+    def test_seqlock_fixture_fails(self):
+        # All three discipline shapes: missing ReadRetry, read section
+        # outside a retry loop + pointer chase, unlocked WriteBegin.
+        self.assert_flags("bad_seqlock.cc", "seqlock-discipline",
+                          min_findings=4)
+
+    def test_atomics_fixture_fails(self):
+        self.assert_flags("bad_atomic_unjustified.cc", "atomics-order",
+                          min_findings=4)
+
+    def test_locking_annotated_fixture_passes(self):
+        # Compliant nesting, an allow(lock-order) audited inversion, a
+        # well-formed seqlock loop, mo() justifications and the
+        # counters-only relaxed auto-allowlist.
+        self.assert_clean("ok_locking_annotated.cc")
+
+    def test_hierarchy_covers_extracted_edges(self):
+        # An extracted edge between locks the hierarchy names must follow
+        # the declared order: flipping the hierarchy direction makes the
+        # real sources fail, proving the file is load-bearing.
+        import tempfile
+        with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                         delete=False) as f:
+            f.write("storage_node.fault_mu_ -> storage_node.mu_\n")
+            inverted = f.name
+        try:
+            code, out, _ = run_h2lint(
+                "--rule", "lock-order", "--hierarchy", inverted,
+                os.path.join(REPO_ROOT, "src", "cluster"))
+            self.assertEqual(
+                code, 1,
+                f"inverted hierarchy must flag storage_node\n{out}")
+            self.assertIn("[lock-order]", out)
+        finally:
+            os.unlink(inverted)
+
     def test_annotated_unordered_fixture_passes(self):
         self.assert_clean("ok_unordered_annotated.cc")
 

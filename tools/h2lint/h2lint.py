@@ -23,6 +23,20 @@ the determinism contract over src/ (see docs/STATIC_ANALYSIS.md):
                     ExecuteBatch) called as a bare statement: Status /
                     Result / BatchResults must be consumed, or the
                     discard made explicit with `(void)`.
+  lock-order        the acquisition edges extracted from src/ (nested
+                    scoped-guard scans + REQUIRES annotations), merged
+                    with the declared order in tools/lock_hierarchy.txt,
+                    must form a DAG; an extracted edge between two
+                    declared locks must follow the declared order.
+  seqlock-discipline  SeqLock readers must run inside a retry loop
+                    (ReadBegin paired with ReadRetry) and must not chase
+                    pointers inside the read section; writers must hold
+                    the writer mutex around WriteBegin/WriteEnd.
+  atomics-order     every explicit memory_order_* use-site carries a
+                    single-line `// h2lint: mo(<why>)` justification on
+                    the line or within the three lines above (wrapped
+                    statements included); relaxed operations on
+                    counter-named atomics are auto-allowed.
 
 Modes:
   --mode=regex   (default) plain text scan; zero dependencies.
@@ -44,7 +58,8 @@ import os
 import re
 import sys
 
-RULES = ("wall-clock", "nondet-random", "unordered-iter", "discarded-status")
+RULES = ("wall-clock", "nondet-random", "unordered-iter", "discarded-status",
+         "lock-order", "seqlock-discipline", "atomics-order")
 
 CXX_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
 
@@ -59,6 +74,8 @@ ALLOWLIST = {
                    "src/common/rng.cc", "src/engine/wall_timer.h"),
     "nondet-random": ("src/common/clock.h", "src/common/rng.h",
                       "src/common/rng.cc"),
+    # The SeqLock implementation is where the discipline is *implemented*.
+    "seqlock-discipline": ("src/common/seqlock.h",),
 }
 
 WALL_CLOCK_PATTERNS = [
@@ -90,6 +107,34 @@ DISCARD_CALL = re.compile(
     r")\s*\(")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+# --- locking-contract patterns (docs/STATIC_ANALYSIS.md "Locking contract")
+
+# Scoped guards from src/common/mutex.h.  Group 3 is the capability
+# expression; the lock member is its last path component.
+GUARD_RE = re.compile(
+    r"\b(H2MutexLock|H2ReleasableMutexLock|H2WriterMutexLock|"
+    r"H2ReaderMutexLock)\s+\w+\s*[({]\s*(\*?(?:this->)?)"
+    r"([A-Za-z_][\w>.\-]*)\s*[)}]")
+
+REQUIRES_RE = re.compile(r"\bREQUIRES(?:_SHARED)?\s*\(([^)]*)\)")
+
+SEQ_READBEGIN_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*ReadBegin\s*\(")
+SEQ_WRITEBEGIN_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*WriteBegin\s*\(")
+LOOP_HEADER_RE = re.compile(
+    r"\bfor\s*\(\s*;\s*;\s*\)|\bwhile\s*\(\s*(?:true|1)\s*\)|\bdo\s*\{")
+POINTER_CHASE_RE = re.compile(r"(?<!this)->")
+
+MEMORY_ORDER_RE = re.compile(
+    r"\bmemory_order_(relaxed|consume|acquire|release|acq_rel|seq_cst)\b")
+MO_JUSTIFY_RE = re.compile(r"h2lint:\s*mo\(")
+# Counter-named atomics may use relaxed without a justification: a name
+# that reads as a statistic implies commutative accumulation.
+COUNTER_ATOMIC_RE = re.compile(
+    r"\b[A-Za-z_]\w*(?:count|counter|total|hits|misses|overflow|round|"
+    r"tick|ops|nanos|bytes|merges|errors)s?_?\s*"
+    r"(?:\.|->)\s*(?:load|store|fetch_add|fetch_sub|exchange)\b",
+    re.IGNORECASE)
 
 ANNOTATION_RE = re.compile(r"//\s*h2lint:\s*([a-z()\-, ]+)")
 
@@ -214,6 +259,296 @@ def iter_sites(lines, names):
             yield idx, m.group(1)
 
 
+def lock_member_name(expr):
+    """Last path component of a capability expression: `node->fault_mu_`,
+    `cloud_.mu_` and plain `mu_` all reduce to the member name."""
+    return re.split(r"\.|->", expr)[-1]
+
+
+def component_of(path):
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return stem
+
+
+def enclosing_function_start(stripped, idx, max_scan=400):
+    """Index of the line starting the function enclosing stripped[idx]:
+    the nearest preceding column-0 line that opens a declarator.  Used by
+    the seqlock and lock-order scans; headers with indented inline
+    methods simply bound the scan at `max_scan` lines."""
+    for j in range(idx, max(-1, idx - max_scan), -1):
+        line = stripped[j]
+        if line and not line[0].isspace() and line[0] not in "}#/":
+            return j
+    return max(0, idx - max_scan)
+
+
+def enclosing_requires(stripped, idx):
+    """Lock members named by REQUIRES/REQUIRES_SHARED clauses on the
+    enclosing function's signature (definition-site annotations only;
+    declaration-site annotations live in headers the scan also visits)."""
+    start = enclosing_function_start(stripped, idx)
+    names = []
+    for j in range(start, min(idx + 1, start + 8)):
+        for m in REQUIRES_RE.finditer(stripped[j]):
+            for arg in m.group(1).split(","):
+                arg = arg.strip()
+                if arg:
+                    names.append(lock_member_name(arg))
+        if "{" in stripped[j]:
+            break
+    return names
+
+
+def scan_lock_edges(path, lines, stripped):
+    """Acquisition edges observed in one file: `held -> acquired` for
+    every scoped-guard construction while another guard (or a REQUIRES
+    capability) is live in an enclosing scope.  Lock names are qualified
+    `<component>.<member>` to match tools/lock_hierarchy.txt."""
+    comp = component_of(path)
+    edges = []
+    guards = []  # (brace_depth, qualified_name)
+    depth = 0
+    for idx, line in enumerate(stripped):
+        m = GUARD_RE.search(line)
+        if m:
+            qual = f"{comp}.{lock_member_name(m.group(3))}"
+            held = [q for _, q in guards]
+            held += [f"{comp}.{name}"
+                     for name in enclosing_requires(stripped, idx)]
+            for h in held:
+                if h != qual:
+                    edges.append((h, qual, path, idx + 1))
+            guards.append((depth, qual))
+        depth += line.count("{") - line.count("}")
+        if depth <= 0:
+            depth = 0
+            guards = []
+        else:
+            guards = [(d, q) for d, q in guards if d <= depth]
+    return edges
+
+
+def parse_hierarchy(path):
+    """Declared `A -> B` edges from tools/lock_hierarchy.txt.  Returns
+    (edges, findings): malformed lines are findings, not crashes, so the
+    gate never silently passes on a broken hierarchy file."""
+    edges = []
+    findings = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        return [], [Finding(path, 0, "lock-order", str(e))]
+    for lineno, raw in enumerate(raw_lines, 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = re.fullmatch(r"([\w.]+)\s*->\s*([\w.]+)", line)
+        if not m:
+            findings.append(Finding(
+                path, lineno, "lock-order",
+                f"malformed hierarchy line `{line}` "
+                "(expected `component.lock -> component.lock`)"))
+            continue
+        edges.append((m.group(1), m.group(2)))
+    return edges, findings
+
+
+def find_cycle(adjacency):
+    """One cycle in the digraph as a node list [a, b, ..., a], or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in adjacency}
+    stack = []
+
+    def visit(node):
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in adjacency.get(node, ()):
+            if color.get(nxt, WHITE) == GRAY:
+                return stack[stack.index(nxt):] + [nxt]
+            if color.get(nxt, WHITE) == WHITE:
+                cycle = visit(nxt)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(adjacency):
+        if color[node] == WHITE:
+            cycle = visit(node)
+            if cycle:
+                return cycle
+    return None
+
+
+def reachable(adjacency, src):
+    seen = set()
+    frontier = [src]
+    while frontier:
+        node = frontier.pop()
+        for nxt in adjacency.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+def lint_lock_order(files, hierarchy_path):
+    """Global pass: merge declared and observed acquisition edges, fail
+    on cycles and on observed edges that contradict or bypass the
+    declared order."""
+    declared, findings = parse_hierarchy(hierarchy_path)
+    observed = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                lines = f.read().splitlines()
+        except OSError:
+            continue
+        stripped = [strip_comments_and_strings(raw) for raw in lines]
+        for edge in scan_lock_edges(path, lines, stripped):
+            src, dst, epath, eline = edge
+            if "lock-order" in annotations_for(lines, eline - 1):
+                continue
+            observed.append(edge)
+
+    adjacency = {}
+    for src, dst in declared:
+        adjacency.setdefault(src, set()).add(dst)
+        adjacency.setdefault(dst, set())
+    declared_nodes = set(adjacency)
+    declared_reach = {n: reachable(adjacency, n) for n in declared_nodes}
+
+    # Observed edges between two declared locks must follow the declared
+    # (transitive) order; edges that invert it are reported here and any
+    # cycle they introduce is reported below.
+    for src, dst, path, lineno in observed:
+        if src in declared_nodes and dst in declared_nodes and                 dst not in declared_reach[src]:
+            findings.append(Finding(
+                path, lineno, "lock-order",
+                f"acquisition `{src}` -> `{dst}` is not covered by "
+                f"{os.path.basename(hierarchy_path)}: declare the edge "
+                "or restructure the nesting"))
+        adjacency.setdefault(src, set()).add(dst)
+        adjacency.setdefault(dst, set())
+
+    cycle = find_cycle(adjacency)
+    if cycle:
+        where = next(((p, l) for s, d, p, l in observed
+                      if s in cycle and d in cycle),
+                     (hierarchy_path, 0))
+        findings.append(Finding(
+            where[0], where[1], "lock-order",
+            "lock acquisition cycle: " + " -> ".join(cycle)))
+    return findings
+
+
+def function_end(stripped, idx, max_scan=400):
+    """Index just past the enclosing function: the next column-0 `}`.
+    Bounds the seqlock pairing scans so a ReadBegin cannot borrow a
+    ReadRetry from the next function."""
+    for j in range(idx, min(len(stripped), idx + max_scan)):
+        if stripped[j].startswith("}"):
+            return j + 1
+    return min(len(stripped), idx + max_scan)
+
+
+def lint_seqlock(path, lines, stripped):
+    """Per-file seqlock discipline: reader retry loops, no pointer
+    chasing inside read sections, writer mutex around WriteBegin."""
+    findings = []
+    if is_allowlisted(path, "seqlock-discipline"):
+        return findings
+    for idx, line in enumerate(stripped):
+        if "seqlock-discipline" in annotations_for(lines, idx):
+            continue
+        m = SEQ_READBEGIN_RE.search(line)
+        if m:
+            obj = m.group(1)
+            retry_re = re.compile(
+                r"\b" + re.escape(obj) + r"\s*\.\s*ReadRetry\s*\(")
+            retry_idx = next(
+                (j for j in range(idx, function_end(stripped, idx))
+                 if retry_re.search(stripped[j])), None)
+            if retry_idx is None:
+                findings.append(Finding(
+                    path, idx + 1, "seqlock-discipline",
+                    f"`{obj}.ReadBegin()` without a matching "
+                    f"`{obj}.ReadRetry()`: seqlock reads must validate "
+                    "the sequence"))
+                continue
+            window = stripped[max(0, idx - 4):idx + 1]
+            in_loop = any(LOOP_HEADER_RE.search(w) for w in window) or                 re.search(r"while\s*\(", stripped[retry_idx])
+            if not in_loop:
+                findings.append(Finding(
+                    path, idx + 1, "seqlock-discipline",
+                    f"`{obj}.ReadBegin()` is not inside a retry loop: "
+                    "a failed ReadRetry must restart the read section"))
+            for j in range(idx + 1, retry_idx):
+                if POINTER_CHASE_RE.search(stripped[j]) and                         "seqlock-discipline" not in                         annotations_for(lines, j):
+                    findings.append(Finding(
+                        path, j + 1, "seqlock-discipline",
+                        "pointer chase inside a seqlock read section: "
+                        "a torn pointer may be dereferenced before "
+                        "ReadRetry rejects the read"))
+        m = SEQ_WRITEBEGIN_RE.search(line)
+        if m:
+            obj = m.group(1)
+            start = enclosing_function_start(stripped, idx)
+            prologue = stripped[start:idx]
+            holds = any(GUARD_RE.search(w) or REQUIRES_RE.search(w)
+                        for w in prologue)
+            if not holds:
+                findings.append(Finding(
+                    path, idx + 1, "seqlock-discipline",
+                    f"`{obj}.WriteBegin()` without the writer mutex: no "
+                    "scoped guard or REQUIRES clause precedes it in the "
+                    "enclosing function"))
+            end_re = re.compile(
+                r"\b" + re.escape(obj) + r"\s*\.\s*WriteEnd\s*\(")
+            if not any(end_re.search(stripped[j])
+                       for j in range(idx, function_end(stripped, idx))):
+                findings.append(Finding(
+                    path, idx + 1, "seqlock-discipline",
+                    f"`{obj}.WriteBegin()` without a matching "
+                    f"`{obj}.WriteEnd()`: readers would spin forever on "
+                    "an odd sequence"))
+    return findings
+
+
+def mo_justified(lines, idx):
+    """True when a `// h2lint: mo(<why>)` justification covers
+    lines[idx]: on the line itself or within the three lines above (the
+    window absorbs wrapped statements and wrapped comments)."""
+    for j in range(idx, max(-1, idx - 4), -1):
+        if MO_JUSTIFY_RE.search(lines[j]):
+            return True
+    return False
+
+
+def lint_atomics(path, lines, stripped):
+    """Per-file atomics audit: explicit memory orders need a mo()
+    justification; relaxed traffic on counter-named atomics passes."""
+    findings = []
+    for idx, line in enumerate(stripped):
+        m = MEMORY_ORDER_RE.search(line)
+        if not m:
+            continue
+        if "atomics-order" in annotations_for(lines, idx):
+            continue
+        if m.group(1) == "relaxed" and COUNTER_ATOMIC_RE.search(line):
+            continue
+        if not mo_justified(lines, idx):
+            findings.append(Finding(
+                path, idx + 1, "atomics-order",
+                f"`memory_order_{m.group(1)}` without a "
+                "`// h2lint: mo(<why>)` justification (line or the three "
+                "lines above): state what the ordering pairs with, or "
+                "why relaxed is safe"))
+    return findings
+
+
 def lint_file_regex(path, search_roots):
     findings = []
     try:
@@ -274,6 +609,9 @@ def lint_file_regex(path, search_roots):
                 "cloud primitive called as a bare statement: consume the "
                 "Status/Result/BatchResults or discard explicitly with "
                 "`(void)`"))
+
+    findings.extend(lint_seqlock(path, lines, stripped))
+    findings.extend(lint_atomics(path, lines, stripped))
     return findings
 
 
@@ -333,7 +671,8 @@ def lint_file_clang(path, search_roots, cindex):
     # Text-based rules stay regex-driven even under clang mode: the
     # annotation contract is line-oriented.
     for f in lint_file_regex(path, search_roots):
-        if f.rule in ("unordered-iter", "discarded-status"):
+        if f.rule in ("unordered-iter", "discarded-status",
+                      "seqlock-discipline", "atomics-order"):
             findings.append(f)
     return findings
 
@@ -374,11 +713,18 @@ def main(argv=None):
                         default=[],
                         help="include roots for header resolution "
                              "(default: src/ under the repo root)")
+    parser.add_argument("--hierarchy", default=None,
+                        help="lock hierarchy file for the lock-order rule "
+                             "(default: tools/lock_hierarchy.txt under the "
+                             "repo root; pass an empty string to skip)")
     args = parser.parse_args(argv)
 
     repo_root = os.path.dirname(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     search_roots = args.include_root or [os.path.join(repo_root, "src")]
+    hierarchy = args.hierarchy
+    if hierarchy is None:
+        hierarchy = os.path.join(repo_root, "tools", "lock_hierarchy.txt")
 
     lint_one = lint_file_regex
     if args.mode == "clang":
@@ -390,8 +736,11 @@ def main(argv=None):
                   "falling back to regex mode", file=sys.stderr)
 
     findings = []
-    for path in collect_files(args.paths):
+    files = collect_files(args.paths)
+    for path in files:
         findings.extend(lint_one(path, search_roots))
+    if hierarchy and (not args.rule or "lock-order" in args.rule):
+        findings.extend(lint_lock_order(files, hierarchy))
     if args.rule:
         findings = [f for f in findings if f.rule in args.rule]
 

@@ -1,0 +1,25 @@
+// h2lint fixture: MUST FAIL [atomics-order].
+//
+// Explicit memory orders with no `// h2lint: mo(<why>)` justification.
+// The names are deliberately not counter-shaped, so the relaxed
+// auto-allowlist does not apply either.
+
+#include <atomic>
+
+struct State {
+  std::atomic<bool> flag_{false};
+  std::atomic<int> value_{0};
+};
+
+bool Ready(const State& s) {
+  return s.flag_.load(std::memory_order_acquire);
+}
+
+void Publish(State& s) {
+  s.value_.store(1, std::memory_order_release);
+  s.flag_.store(true, std::memory_order_release);
+}
+
+int SneakyRelaxedRead(const State& s) {
+  return s.value_.load(std::memory_order_relaxed);
+}

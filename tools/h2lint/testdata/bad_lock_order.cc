@@ -1,0 +1,21 @@
+// h2lint fixture: MUST FAIL [lock-order].
+//
+// Two functions nest the same pair of locks in opposite orders.  The
+// extracted acquisition edges (bad_lock_order.a_mu_ -> .b_mu_ and the
+// inverse) form a cycle no hierarchy file can legalize: two threads
+// running First and Second concurrently deadlock.
+
+struct Widget {
+  H2Mutex a_mu_;
+  H2Mutex b_mu_;
+};
+
+void First(Widget& w) {
+  H2MutexLock a(w.a_mu_);
+  H2MutexLock b(w.b_mu_);  // a_mu_ held: edge a_mu_ -> b_mu_
+}
+
+void Second(Widget& w) {
+  H2MutexLock b(w.b_mu_);
+  H2MutexLock a(w.a_mu_);  // b_mu_ held: edge b_mu_ -> a_mu_ (cycle!)
+}

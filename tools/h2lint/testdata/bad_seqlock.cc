@@ -1,0 +1,38 @@
+// h2lint fixture: MUST FAIL [seqlock-discipline] (all three shapes).
+
+struct Row {
+  Row* next;
+  unsigned long id;
+};
+
+struct Table {
+  SeqLock seq_;
+  unsigned long rows_[4];
+  Row* head_;
+};
+
+// 1. ReadBegin with no ReadRetry at all: the read never validates the
+// sequence, so it happily returns a torn row.
+unsigned long BrokenRead(const Table& t) {
+  const unsigned before = t.seq_.ReadBegin();
+  (void)before;
+  return t.rows_[0];
+}
+
+// 2. ReadRetry present but no retry loop (a failed validation has
+// nowhere to go), plus a pointer chase inside the read section: the
+// torn pointer is dereferenced before ReadRetry can reject it.
+unsigned long ChasingRead(const Table& t) {
+  const unsigned before = t.seq_.ReadBegin();
+  Row* row = t.head_->next;
+  if (t.seq_.ReadRetry(before)) return 0;
+  return row->id;
+}
+
+// 3. WriteBegin without the writer mutex: concurrent writers interleave
+// their sequence bumps and the seqlock stops meaning anything.
+void UnlockedPublish(Table& t) {
+  t.seq_.WriteBegin();
+  t.rows_[0] = 1;
+  t.seq_.WriteEnd();
+}

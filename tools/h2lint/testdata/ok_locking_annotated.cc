@@ -1,0 +1,74 @@
+// h2lint fixture: MUST PASS.
+//
+// The compliant side of the locking-contract rules: consistent nesting
+// order, an audited inversion suppressed with `allow(lock-order)`, a
+// well-formed seqlock retry loop, justified memory orders and the
+// counters-only relaxed auto-allowlist.
+
+#include <atomic>
+
+struct Widget {
+  H2Mutex a_mu_;
+  H2Mutex b_mu_;
+};
+
+struct Table {
+  SeqLock seq_;
+  unsigned long rows_[4];
+};
+
+struct Meter {
+  std::atomic<bool> flag_{false};
+  std::atomic<unsigned long> hint_overflows_{0};
+};
+
+void Consistent(Widget& w) {
+  H2MutexLock a(w.a_mu_);
+  H2MutexLock b(w.b_mu_);
+}
+
+void AlsoConsistent(Widget& w) {
+  H2MutexLock a(w.a_mu_);
+  { H2MutexLock b(w.b_mu_); }
+}
+
+void AuditedTeardown(Widget& w) {
+  H2MutexLock b(w.b_mu_);
+  // h2lint: allow(lock-order) -- teardown: a_mu_'s owner already joined
+  H2MutexLock a(w.a_mu_);
+}
+
+unsigned long GoodRead(const Table& t) {
+  for (;;) {
+    const unsigned before = t.seq_.ReadBegin();
+    const unsigned long row = t.rows_[0];
+    if (!t.seq_.ReadRetry(before)) return row;
+  }
+}
+
+void GoodPublish(Widget& w, Table& t) {
+  H2MutexLock writer(w.a_mu_);
+  t.seq_.WriteBegin();
+  t.rows_[0] = 1;
+  t.seq_.WriteEnd();
+}
+
+bool JustifiedAcquire(const Meter& m) {
+  // h2lint: mo(acquire pairs with SetReady's release store)
+  return m.flag_.load(std::memory_order_acquire);
+}
+
+void SetReady(Meter& m) {
+  // h2lint: mo(release publishes everything written before the flag)
+  m.flag_.store(true, std::memory_order_release);
+}
+
+void CountOverflow(Meter& m) {
+  // Counter-named relaxed traffic needs no mo(): auto-allowed.
+  m.hint_overflows_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int AllowedOddball(const Meter& m) {
+  // h2lint: allow(atomics-order) -- fixture for the suppression path
+  return m.flag_.load(std::memory_order_seq_cst) ? 1 : 0;
+}
